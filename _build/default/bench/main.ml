@@ -1,0 +1,561 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's experiment index), then measures the
+   performance of the core components with Bechamel.
+
+   Experiment ids:
+   - T1  Table 1: sample rectification prompts for translation
+   - T2  Table 2: translation errors and whether the generated prompt fixed them
+   - L1  Section 3.2: translation leverage (paper: 2 human, ~20 automated, 10x)
+   - F4  Figure 4: the star topology generator outputs
+   - T3  Table 3: sample rectification prompts for local synthesis
+   - L2  Section 4.2: no-transit leverage (paper: 2 human, 12 automated, 6x)
+   - G1  Section 4.1: global vs local policy prompting
+   - S1  Ablations: IIPs on/off, leverage vs network size, stall threshold *)
+
+open Netcore
+open Policy
+
+let cisco_text = Cisco.Samples.border_router
+let border_ir = fst (Cisco.Parser.parse cisco_text)
+let correct_junos = Juniper.Translate.of_cisco_ir border_ir
+
+let section title =
+  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* T1: Table 1 — rectification prompts for translation                 *)
+(* ------------------------------------------------------------------ *)
+
+let prompt_for_fault cls target =
+  let fault = Llmsim.Fault.make cls target in
+  let text = Llmsim.Fault.render Llmsim.Fault.Junos_cfg correct_junos [ fault ] in
+  let ir, diags = Batfish.Parse_check.check Batfish.Parse_check.Junos text in
+  match List.find_opt Diag.is_error diags with
+  | Some d -> (Cosynth.Humanizer.of_diag d).Cosynth.Humanizer.text
+  | None -> (
+      match Campion.Differ.compare ~original:border_ir ~translation:ir with
+      | f :: _ -> (Cosynth.Humanizer.of_campion f).Cosynth.Humanizer.text
+      | [] -> "(no finding)")
+
+let table_t1 () =
+  section "T1 — Table 1: sample rectification prompts for translation";
+  let rows =
+    [
+      ( "Syntax error",
+        prompt_for_fault Llmsim.Error_class.Bad_prefix_list_syntax
+          (Llmsim.Fault.Named_list "our-networks") );
+      ( "Structural mismatch",
+        prompt_for_fault Llmsim.Error_class.Missing_import_policy
+          (Llmsim.Fault.Neighbor (Ipv4.of_string_exn "2.3.4.5")) );
+      ( "Attribute difference",
+        prompt_for_fault Llmsim.Error_class.Ospf_cost_wrong
+          (Llmsim.Fault.Interface (Iface.loopback 0)) );
+      ( "Policy behavior difference",
+        prompt_for_fault Llmsim.Error_class.Prefix_range_dropped
+          (Llmsim.Fault.Named_list "our-networks") );
+    ]
+  in
+  List.iter (fun (kind, text) -> Printf.printf "[%s]\n  %s\n\n" kind text) rows
+
+(* ------------------------------------------------------------------ *)
+(* T2: Table 2 — translation errors found and whether fixed            *)
+(* ------------------------------------------------------------------ *)
+
+let table_t2 () =
+  section "T2 — Table 2: translation errors and whether the generated prompt fixed them";
+  let faults = Cosynth.Driver.table2_faults ~cisco_text in
+  let result =
+    Cosynth.Driver.run_translation ~seed:7 ~force_faults:faults ~suppress_random:true
+      ~cisco_text ()
+  in
+  let category cls =
+    Llmsim.Error_class.category_to_string
+      (Llmsim.Error_class.profile cls).Llmsim.Error_class.category
+  in
+  let fixed cls =
+    List.exists
+      (fun (o : Cosynth.Driver.class_outcome) ->
+        Llmsim.Error_class.equal o.Cosynth.Driver.class_ cls
+        && o.Cosynth.Driver.fixed_by_generated_prompt)
+      result.Cosynth.Driver.outcomes
+  in
+  let row cls paper =
+    match Llmsim.Error_class.table2_label cls with
+    | Some label -> [ label; category cls; (if fixed cls then "Yes" else "No"); paper ]
+    | None -> []
+  in
+  let rows =
+    List.filter
+      (fun r -> r <> [])
+      [
+        row Llmsim.Error_class.Missing_local_as "Yes";
+        row Llmsim.Error_class.Bad_prefix_list_syntax "Yes";
+        row Llmsim.Error_class.Missing_import_policy "Yes";
+        row Llmsim.Error_class.Ospf_cost_wrong "Yes";
+        row Llmsim.Error_class.Ospf_passive_wrong "Yes";
+        row Llmsim.Error_class.Wrong_med "Yes";
+        row Llmsim.Error_class.Prefix_range_dropped "No";
+        row Llmsim.Error_class.Redistribution_unscoped "No";
+      ]
+  in
+  print_string
+    (Cosynth.Report.table ~title:"(measured vs paper)"
+       ~header:[ "Error"; "Type"; "Fixed (ours)"; "Fixed (paper)" ]
+       rows);
+  Printf.printf "\nRun ended verified=%b (Batfish and Campion clean).\n"
+    result.Cosynth.Driver.verified
+
+(* ------------------------------------------------------------------ *)
+(* L1 / L2: leverage                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let table_l1 () =
+  section "L1 — Translation leverage (paper: ~20 automated, 2 human, 10x)";
+  let s = Cosynth.Metrics.translation_summary ~runs:30 ~cisco_text () in
+  print_string
+    (Cosynth.Report.kv ~title:"30 seeded runs of the translation VPP loop"
+       [
+         ("converged", Printf.sprintf "%d/%d" s.Cosynth.Metrics.converged s.Cosynth.Metrics.runs);
+         ("mean automated prompts", Printf.sprintf "%.1f (paper: ~20)" s.Cosynth.Metrics.mean_auto);
+         ("mean human prompts", Printf.sprintf "%.1f (paper: 2)" s.Cosynth.Metrics.mean_human);
+         ( "leverage",
+           Printf.sprintf "%.1fx mean, %.1f-%.1f range (paper: 10x)"
+             s.Cosynth.Metrics.mean_leverage s.Cosynth.Metrics.min_leverage
+             s.Cosynth.Metrics.max_leverage );
+       ])
+
+let table_l2 () =
+  section "L2 — No-transit leverage (paper: 12 automated, 2 human, 6x)";
+  let s = Cosynth.Metrics.no_transit_summary ~runs:30 ~routers:7 () in
+  print_string
+    (Cosynth.Report.kv ~title:"30 seeded runs of the 7-router no-transit VPP loop"
+       [
+         ("converged", Printf.sprintf "%d/%d" s.Cosynth.Metrics.converged s.Cosynth.Metrics.runs);
+         ("mean automated prompts", Printf.sprintf "%.1f (paper: 12)" s.Cosynth.Metrics.mean_auto);
+         ("mean human prompts", Printf.sprintf "%.1f (paper: 2)" s.Cosynth.Metrics.mean_human);
+         ( "leverage",
+           Printf.sprintf "%.1fx mean, %.1f-%.1f range (paper: 6x)"
+             s.Cosynth.Metrics.mean_leverage s.Cosynth.Metrics.min_leverage
+             s.Cosynth.Metrics.max_leverage );
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* F4: Figure 4 — star topology                                        *)
+(* ------------------------------------------------------------------ *)
+
+let figure_f4 () =
+  section "F4 — Figure 4: star network generator (7 routers)";
+  let star = Star.make ~routers:7 in
+  Printf.printf "Output 1 — textual description (first lines):\n";
+  let lines = String.split_on_char '\n' (Star.description star) in
+  List.iteri (fun i l -> if i < 10 && l <> "" then Printf.printf "  %s\n" l) lines;
+  Printf.printf "  ... (%d lines total)\n\n" (List.length lines);
+  let json = Json.to_string (Star.to_json star) in
+  Printf.printf "Output 2 — JSON dictionary: %d bytes, %d routers, %d links\n"
+    (String.length json)
+    (List.length star.Star.topology.Topology.routers)
+    (List.length star.Star.topology.Topology.links)
+
+(* ------------------------------------------------------------------ *)
+(* T3: Table 3 — rectification prompts for local synthesis             *)
+(* ------------------------------------------------------------------ *)
+
+let table_t3 () =
+  section "T3 — Table 3: sample rectification prompts for local synthesis";
+  let star = Star.make ~routers:7 in
+  let hub = List.hd (Cosynth.Modularizer.plan star) in
+  let correct = hub.Cosynth.Modularizer.correct in
+  (* Syntax: a regex in a standard community list. *)
+  let syntax_text =
+    let _, diags =
+      Batfish.Parse_check.check Batfish.Parse_check.Cisco_ios
+        "ip community-list standard COMM_LIST_R2_OUT permit .+\n"
+    in
+    match List.find_opt Diag.is_error diags with
+    | Some d -> (Cosynth.Humanizer.of_diag d).Cosynth.Humanizer.text
+    | None -> "(no finding)"
+  in
+  Printf.printf "[Syntax error]\n  %s\n\n" syntax_text;
+  (* Topology: apply each topology fault class and show the verifier line. *)
+  Printf.printf "[Topology errors]\n";
+  let topo_classes =
+    [
+      Llmsim.Error_class.Wrong_interface_ip;
+      Llmsim.Error_class.Wrong_local_as;
+      Llmsim.Error_class.Wrong_router_id;
+      Llmsim.Error_class.Missing_neighbor_decl;
+      Llmsim.Error_class.Missing_network_decl;
+      Llmsim.Error_class.Extra_network_decl;
+      Llmsim.Error_class.Extra_neighbor_decl;
+    ]
+  in
+  List.iteri
+    (fun i cls ->
+      let target =
+        List.find_opt
+          (fun (f : Llmsim.Fault.t) -> Llmsim.Error_class.equal f.Llmsim.Fault.class_ cls)
+          (Llmsim.Fault.opportunities Llmsim.Fault.Cisco_cfg correct)
+      in
+      match target with
+      | None -> ()
+      | Some fault ->
+          let text = Llmsim.Fault.render Llmsim.Fault.Cisco_cfg correct [ fault ] in
+          let ir, _ = Cisco.Parser.parse text in
+          (match Topoverify.Verifier.check star.Star.topology ~router:"R1" ir with
+          | f :: _ ->
+              Printf.printf "  %d. %s\n" (i + 1)
+                (Cosynth.Humanizer.of_topology f).Cosynth.Humanizer.text
+          | [] -> ()))
+    topo_classes;
+  (* Semantic: the AND/OR confusion caught by Search Route Policies. *)
+  let map = Cosynth.Modularizer.egress_map_name "R2" in
+  let text =
+    Llmsim.Fault.render Llmsim.Fault.Cisco_cfg correct
+      [ Llmsim.Fault.make Llmsim.Error_class.And_or_confusion (Llmsim.Fault.Policy map) ]
+  in
+  let ir, _ = Cisco.Parser.parse text in
+  let semantic =
+    List.find_map
+      (fun (_, outcome) ->
+        match outcome with
+        | Batfish.Search_route_policies.Violated v ->
+            Some (Cosynth.Humanizer.of_violation v).Cosynth.Humanizer.text
+        | _ -> None)
+      (Batfish.Search_route_policies.check_all ir hub.Cosynth.Modularizer.specs)
+  in
+  Printf.printf "\n[Semantic error]\n  %s\n" (Option.value ~default:"(no finding)" semantic)
+
+(* ------------------------------------------------------------------ *)
+(* G1: global vs local policy prompting                                *)
+(* ------------------------------------------------------------------ *)
+
+let table_g1 () =
+  section "G1 — Global vs local policy prompting (Section 4.1)";
+  let c = Cosynth.Global_vs_local.compare ~runs:20 ~routers:7 () in
+  print_string
+    (Cosynth.Report.table ~title:"20 runs each, 7-router star"
+       ~header:[ "strategy"; "convergence"; "mean prompts"; "mean strategy switches" ]
+       [
+         [
+           "global spec";
+           Printf.sprintf "%.0f%%" (100. *. c.Cosynth.Global_vs_local.global_convergence_rate);
+           Printf.sprintf "%.1f" c.Cosynth.Global_vs_local.global_mean_prompts;
+           Printf.sprintf "%.1f" c.Cosynth.Global_vs_local.global_mean_switches;
+         ];
+         [
+           "local specs (Lightyear-style)";
+           Printf.sprintf "%.0f%%" (100. *. c.Cosynth.Global_vs_local.local_convergence_rate);
+           Printf.sprintf "%.1f" c.Cosynth.Global_vs_local.local_mean_prompts;
+           "0.0";
+         ];
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* S1: ablations                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let table_s1a () =
+  section "S1a — Ablation: IIP database on/off (7-router no-transit, 15 runs)";
+  let with_iips = Cosynth.Metrics.no_transit_summary ~runs:15 ~routers:7 ~use_iips:true () in
+  let without = Cosynth.Metrics.no_transit_summary ~runs:15 ~routers:7 ~use_iips:false () in
+  let row label (s : Cosynth.Metrics.summary) =
+    [
+      label;
+      Printf.sprintf "%.1f" s.Cosynth.Metrics.mean_auto;
+      Printf.sprintf "%.1f" s.Cosynth.Metrics.mean_human;
+      Printf.sprintf "%.1fx" s.Cosynth.Metrics.mean_leverage;
+      Printf.sprintf "%d/%d" s.Cosynth.Metrics.converged s.Cosynth.Metrics.runs;
+    ]
+  in
+  print_string
+    (Cosynth.Report.table ~title:"The IIPs suppress the common syntax mistakes"
+       ~header:[ "configuration"; "auto"; "human"; "leverage"; "converged" ]
+       [ row "with IIPs (paper setup)" with_iips; row "without IIPs" without ])
+
+let table_s1b () =
+  section "S1b — Ablation: leverage vs star size (10 runs per size)";
+  let rows =
+    List.map
+      (fun routers ->
+        let s = Cosynth.Metrics.no_transit_summary ~runs:10 ~routers () in
+        [
+          string_of_int routers;
+          Printf.sprintf "%.1f" s.Cosynth.Metrics.mean_auto;
+          Printf.sprintf "%.1f" s.Cosynth.Metrics.mean_human;
+          Printf.sprintf "%.1fx" s.Cosynth.Metrics.mean_leverage;
+        ])
+      [ 3; 5; 7; 9; 11 ]
+  in
+  print_string
+    (Cosynth.Report.table ~title:"More routers, more modularizer prompts, higher leverage"
+       ~header:[ "routers"; "auto"; "human"; "leverage" ]
+       rows)
+
+let table_s1c () =
+  section "S1c — Ablation: translation leverage vs stall threshold (10 runs each)";
+  let rows =
+    List.map
+      (fun st ->
+        let transcripts =
+          List.init 10 (fun i ->
+              (Cosynth.Driver.run_translation ~seed:(4000 + i) ~stall_threshold:st
+                 ~cisco_text ())
+                .Cosynth.Driver.transcript)
+        in
+        let s = Cosynth.Metrics.summarize transcripts in
+        [
+          string_of_int st;
+          Printf.sprintf "%.1f" s.Cosynth.Metrics.mean_auto;
+          Printf.sprintf "%.1f" s.Cosynth.Metrics.mean_human;
+          Printf.sprintf "%.1fx" s.Cosynth.Metrics.mean_leverage;
+        ])
+      [ 1; 2; 3; 4; 6 ]
+  in
+  print_string
+    (Cosynth.Report.table
+       ~title:
+         "How many automated attempts before escalating to the human (the V->H punt \
+          policy)"
+       ~header:[ "stall threshold"; "auto"; "human"; "leverage" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* S2: simulation vs modular proof as the global check                 *)
+(* ------------------------------------------------------------------ *)
+
+let table_s2 () =
+  section "S2 — Extension: whole-network simulation vs Lightyear-style modular proof";
+  let star = Star.make ~routers:7 in
+  let configs =
+    List.map
+      (fun (t : Cosynth.Modularizer.router_task) ->
+        (t.Cosynth.Modularizer.router, t.Cosynth.Modularizer.correct))
+      (Cosynth.Modularizer.plan star)
+  in
+  let hub = List.assoc "R1" configs in
+  let verdicts name fault_opt =
+    let cfgs =
+      match fault_opt with
+      | None -> configs
+      | Some fault ->
+          let text = Llmsim.Fault.render Llmsim.Fault.Cisco_cfg hub [ fault ] in
+          let broken, _ = Cisco.Parser.parse text in
+          ("R1", broken) :: List.remove_assoc "R1" configs
+    in
+    let transit = Cosynth.Modularizer.transit_violations star cfgs = [] in
+    let proof =
+      match Cosynth.Lightyear.prove_no_transit star cfgs with
+      | Cosynth.Lightyear.Proved -> "Proved"
+      | Cosynth.Lightyear.Refuted r ->
+          Printf.sprintf "Refuted (%s->%s)" r.Cosynth.Lightyear.from_spoke
+            r.Cosynth.Lightyear.to_spoke
+      | Cosynth.Lightyear.Inapplicable _ -> "Inapplicable"
+    in
+    [ name; (if transit then "no transit" else "TRANSIT"); proof ]
+  in
+  print_string
+    (Cosynth.Report.table
+       ~title:
+         "The proof composes the hub's ingress and egress policies symbolically (no \
+          simulation); it must agree with the simulated transit check"
+       ~header:[ "hub configuration"; "simulation"; "modular proof" ]
+       [
+         verdicts "correct (oracle)" None;
+         verdicts "AND/OR confusion on FILTER_COMM_OUT_R2"
+           (Some
+              (Llmsim.Fault.make Llmsim.Error_class.And_or_confusion
+                 (Llmsim.Fault.Policy (Cosynth.Modularizer.egress_map_name "R2"))));
+         verdicts "crossed ingress attachments"
+           (Some
+              (Llmsim.Fault.make Llmsim.Error_class.Crossed_policy_attachment
+                 Llmsim.Fault.Whole_config));
+         verdicts "non-additive community on TAG_R2"
+           (Some
+              (Llmsim.Fault.make Llmsim.Error_class.Community_not_additive
+                 (Llmsim.Fault.Policy_entry (Cosynth.Modularizer.ingress_map_name "R2", 10))));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* S3: incremental policy addition                                     *)
+(* ------------------------------------------------------------------ *)
+
+let table_s3 () =
+  section
+    "S3 — Extension: incremental policy addition (the paper's closing question)";
+  let runs = 25 in
+  let results =
+    List.init runs (fun i -> Cosynth.Driver.run_incremental ~seed:(i * 31) ~routers:7 ())
+  in
+  let count f = List.length (List.filter f results) in
+  let mean f =
+    List.fold_left (fun acc r -> acc +. f r) 0. results /. float_of_int runs
+  in
+  print_string
+    (Cosynth.Report.kv
+       ~title:
+         "Prepend the AS path on exports to R2 without breaking the verified no-transit \
+          policy (25 seeded runs)"
+       [
+         ("converged, all specs hold", Printf.sprintf "%d/%d" (count (fun r -> r.Cosynth.Driver.specs_hold)) runs);
+         ("no-transit preserved network-wide", Printf.sprintf "%d/%d" (count (fun r -> r.Cosynth.Driver.global_ok)) runs);
+         ( "runs where the edit interfered and the verifier caught it",
+           Printf.sprintf "%d/%d" (count (fun r -> r.Cosynth.Driver.interference_caught)) runs );
+         ( "mean prompts (auto / human)",
+           Printf.sprintf "%.1f / %.1f"
+             (mean (fun r -> float_of_int r.Cosynth.Driver.inc_transcript.Cosynth.Driver.auto_prompts))
+             (mean (fun r -> float_of_int r.Cosynth.Driver.inc_transcript.Cosynth.Driver.human_prompts)) );
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* S4: leverage vs model quality                                       *)
+(* ------------------------------------------------------------------ *)
+
+let table_s4 () =
+  section "S4 — Extension: leverage vs simulated model quality";
+  Printf.printf
+    "The paper predicts: \"If a future LLM, say GPT-6, produces near-perfect\n\
+     configurations, leverage will decrease as there is less need for automatic\n\
+     correction.\" Quality q scales fault injection by (1-q) and correction\n\
+     reliability toward 1.\n\n";
+  let rows =
+    List.map
+      (fun q ->
+        let transcripts =
+          List.init 15 (fun i ->
+              (Cosynth.Driver.run_translation ~seed:(6000 + i) ~quality:q ~cisco_text ())
+                .Cosynth.Driver.transcript)
+        in
+        let s = Cosynth.Metrics.summarize transcripts in
+        [
+          Printf.sprintf "%.2f" q;
+          Printf.sprintf "%.1f" s.Cosynth.Metrics.mean_auto;
+          Printf.sprintf "%.1f" s.Cosynth.Metrics.mean_human;
+          Printf.sprintf "%.1fx" s.Cosynth.Metrics.mean_leverage;
+          Printf.sprintf "%d/%d" s.Cosynth.Metrics.converged s.Cosynth.Metrics.runs;
+        ])
+      [ 0.0; 0.25; 0.5; 0.75; 0.95 ]
+  in
+  print_string
+    (Cosynth.Report.table ~title:"Translation loop, 15 runs per quality level"
+       ~header:[ "model quality"; "auto"; "human"; "leverage"; "converged" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* Performance benchmarks (Bechamel)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let perf_tests () =
+  let open Bechamel in
+  let junos_text = Juniper.Printer.print correct_junos in
+  let env = Eval.env_of_config border_ir in
+  let to_provider = Option.get (Config_ir.find_route_map border_ir "to_provider") in
+  let corrupted =
+    fst
+      (Juniper.Parser.parse
+         (Llmsim.Fault.render Llmsim.Fault.Junos_cfg correct_junos
+            [
+              Llmsim.Fault.make Llmsim.Error_class.Wrong_med
+                (Llmsim.Fault.Policy_entry ("to_provider", 10));
+            ]))
+  in
+  let star5 = Star.make ~routers:5 in
+  let configs5 =
+    List.map
+      (fun (t : Cosynth.Modularizer.router_task) ->
+        (t.Cosynth.Modularizer.router, t.Cosynth.Modularizer.correct))
+      (Cosynth.Modularizer.plan star5)
+  in
+  let net5 = Cosynth.Modularizer.compose star5 configs5 in
+  let our_networks = Option.get (Config_ir.find_prefix_list border_ir "our-networks") in
+  let private_ips = Option.get (Config_ir.find_prefix_list border_ir "private-ips") in
+  let space_a = Symbolic.Guard.compile_prefix_list our_networks in
+  let space_b = Symbolic.Guard.compile_prefix_list private_ips in
+  [
+    Test.make ~name:"prefix-space/inter+diff"
+      (Staged.stage (fun () ->
+           ignore
+             (Symbolic.Prefix_space.diff space_b (Symbolic.Prefix_space.inter space_a space_b))));
+    Test.make ~name:"symbolic/transfer-compile"
+      (Staged.stage (fun () -> ignore (Symbolic.Transfer.compile env to_provider)));
+    Test.make ~name:"symbolic/policy-diff"
+      (Staged.stage (fun () ->
+           ignore
+             (Symbolic.Policy_diff.compare_maps ~env_a:env
+                ~env_b:(Eval.env_of_config corrupted) to_provider
+                (Option.get (Config_ir.find_route_map corrupted "to_provider")))));
+    Test.make ~name:"cisco/parse"
+      (Staged.stage (fun () -> ignore (Cisco.Parser.parse cisco_text)));
+    Test.make ~name:"junos/parse"
+      (Staged.stage (fun () -> ignore (Juniper.Parser.parse junos_text)));
+    Test.make ~name:"junos/translate+print"
+      (Staged.stage (fun () ->
+           ignore (Juniper.Printer.print (Juniper.Translate.of_cisco_ir border_ir))));
+    Test.make ~name:"campion/compare"
+      (Staged.stage (fun () ->
+           ignore (Campion.Differ.compare ~original:border_ir ~translation:corrupted)));
+    Test.make ~name:"batfish/bgp-sim-star5"
+      (Staged.stage (fun () -> ignore (Batfish.Bgp_sim.run net5)));
+    Test.make ~name:"lightyear/prove-star5"
+      (Staged.stage (fun () -> ignore (Cosynth.Lightyear.prove_no_transit star5 configs5)));
+    (let acl = Option.get (Config_ir.find_acl border_ir "mgmt-in") in
+     let flipped =
+       Acl.make acl.Acl.name
+         (List.map
+            (fun (e : Acl.entry) ->
+              if e.Acl.seq = 10 then { e with Acl.action = Action.flip e.Acl.action } else e)
+            acl.Acl.entries)
+     in
+     Test.make ~name:"acl/symbolic-diff"
+       (Staged.stage (fun () -> ignore (Symbolic.Acl_diff.compare_acls acl flipped))));
+    Test.make ~name:"loop/translation-e2e"
+      (Staged.stage (fun () -> ignore (Cosynth.Driver.run_translation ~seed:5 ~cisco_text ())));
+    Test.make ~name:"loop/no-transit-5-e2e"
+      (Staged.stage (fun () -> ignore (Cosynth.Driver.run_no_transit ~seed:5 ~routers:5 ())));
+  ]
+
+let run_perf () =
+  section "Performance benchmarks (Bechamel, monotonic clock)";
+  let open Bechamel in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) () in
+  let grouped = Test.make_grouped ~name:"cosynth" (perf_tests ()) in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns = match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan in
+      rows := (name, ns) :: !rows)
+    results;
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
+  let human ns =
+    if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+    else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+    else Printf.sprintf "%8.0f ns" ns
+  in
+  print_string
+    (Cosynth.Report.table ~title:"time per run (OLS estimate)"
+       ~header:[ "benchmark"; "time/run" ]
+       (List.map (fun (n, ns) -> [ n; human ns ]) rows))
+
+let () =
+  Printf.printf
+    "CoSynth benchmark harness — reproduction of 'What do LLMs need to Synthesize \
+     Correct Router Configurations?' (HotNets 2023)\n";
+  table_t1 ();
+  table_t2 ();
+  table_l1 ();
+  figure_f4 ();
+  table_t3 ();
+  table_l2 ();
+  table_g1 ();
+  table_s1a ();
+  table_s1b ();
+  table_s1c ();
+  table_s2 ();
+  table_s3 ();
+  table_s4 ();
+  run_perf ();
+  Printf.printf "\nDone.\n"

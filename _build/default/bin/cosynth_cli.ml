@@ -1,0 +1,449 @@
+(* The CoSynth command-line interface.
+
+   Subcommands:
+   - topology   generate the Figure-4 star network (text + JSON)
+   - parse      run the Batfish-style syntax check on a config file
+   - diff       run the Campion-style differ on an original and a translation
+   - verify     run the topology verifier on a router's config
+   - translate  run the translation VPP loop on a Cisco config
+   - synth      run the no-transit VPP loop on an n-router star
+   - leverage   multi-seed leverage summaries for both use cases *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let print_diags diags =
+  List.iter (fun d -> Printf.printf "%s\n" (Netcore.Diag.to_string d)) diags
+
+(* ------------------------------------------------------------------ *)
+(* topology                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let topology_cmd =
+  let run n json =
+    let star = Netcore.Star.make ~routers:n in
+    if json then print_endline (Netcore.Json.to_string ~pretty:true (Netcore.Star.to_json star))
+    else print_string (Netcore.Star.description star);
+    0
+  in
+  let n =
+    Arg.(value & opt int 7 & info [ "n"; "routers" ] ~docv:"N" ~doc:"Number of routers.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the JSON dictionary.") in
+  Cmd.v
+    (Cmd.info "topology" ~doc:"Generate the Figure-4 star network description")
+    Term.(const run $ n $ json)
+
+(* ------------------------------------------------------------------ *)
+(* parse                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let dialect_conv =
+  let parse = function
+    | "cisco" | "ios" -> Ok Batfish.Parse_check.Cisco_ios
+    | "junos" | "juniper" -> Ok Batfish.Parse_check.Junos
+    | s -> Error (`Msg (Printf.sprintf "unknown dialect %S (cisco|junos)" s))
+  in
+  let print ppf d = Format.pp_print_string ppf (Batfish.Parse_check.dialect_name d) in
+  Arg.conv (parse, print)
+
+let parse_cmd =
+  let run dialect file =
+    let _, diags = Batfish.Parse_check.check dialect (read_file file) in
+    print_diags diags;
+    if List.exists Netcore.Diag.is_error diags then 1 else 0
+  in
+  let dialect =
+    Arg.(
+      required
+      & opt (some dialect_conv) None
+      & info [ "d"; "dialect" ] ~docv:"DIALECT" ~doc:"cisco or junos.")
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Syntax-check a configuration (Batfish-style)")
+    Term.(const run $ dialect $ file)
+
+(* ------------------------------------------------------------------ *)
+(* diff                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let diff_cmd =
+  let run original translation =
+    let orig_ir, d1 = Cisco.Parser.parse (read_file original) in
+    let trans_ir, d2 = Juniper.Parser.parse (read_file translation) in
+    print_diags (List.filter Netcore.Diag.is_error (d1 @ d2));
+    let findings = Campion.Differ.compare ~original:orig_ir ~translation:trans_ir in
+    if findings = [] then (
+      print_endline "No differences found.";
+      0)
+    else (
+      List.iter
+        (fun f -> Printf.printf "- %s\n" (Campion.Differ.finding_to_string f))
+        findings;
+      1)
+  in
+  let original =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"CISCO_ORIGINAL")
+  in
+  let translation =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"JUNOS_TRANSLATION")
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc:"Compare a Cisco original with a Juniper translation (Campion-style)")
+    Term.(const run $ original $ translation)
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let verify_cmd =
+  let run topo_file router config_file =
+    let json = Netcore.Json.of_string_exn (read_file topo_file) in
+    let ir, diags = Cisco.Parser.parse (read_file config_file) in
+    print_diags (List.filter Netcore.Diag.is_error diags);
+    match Topoverify.Verifier.check_from_json json ~router ir with
+    | Error e ->
+        prerr_endline e;
+        2
+    | Ok [] ->
+        print_endline "Configuration matches the topology.";
+        0
+    | Ok findings ->
+        List.iter
+          (fun f -> Printf.printf "- %s\n" f.Topoverify.Verifier.message)
+          findings;
+        1
+  in
+  let topo =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "t"; "topology" ] ~docv:"JSON" ~doc:"Topology dictionary (JSON).")
+  in
+  let router =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "r"; "router" ] ~docv:"NAME" ~doc:"Router name in the topology.")
+  in
+  let config = Arg.(required & pos 0 (some file) None & info [] ~docv:"CONFIG") in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Check a Cisco config against a JSON topology dictionary")
+    Term.(const run $ topo $ router $ config)
+
+(* ------------------------------------------------------------------ *)
+(* translate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let print_transcript (t : Cosynth.Driver.transcript) verbose =
+  if verbose then
+    List.iter
+      (fun (e : Cosynth.Driver.event) ->
+        let tag =
+          match e.Cosynth.Driver.origin with
+          | Cosynth.Driver.Auto -> "auto "
+          | Cosynth.Driver.Human -> "HUMAN"
+        in
+        let text = e.Cosynth.Driver.prompt in
+        let text =
+          if String.length text > 120 then String.sub text 0 117 ^ "..." else text
+        in
+        Printf.printf "[%s] %s\n" tag (String.map (fun c -> if c = '\n' then ' ' else c) text))
+      t.Cosynth.Driver.events;
+  Printf.printf
+    "\nprompts: %d automated, %d human; leverage %.1fx; converged: %b\n"
+    t.Cosynth.Driver.auto_prompts t.Cosynth.Driver.human_prompts
+    (Cosynth.Driver.leverage t) t.Cosynth.Driver.converged
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let translate_cmd =
+  let run file seed verbose show_config transcript_out =
+    let cisco_text = match file with Some f -> read_file f | None -> Cisco.Samples.border_router in
+    let r = Cosynth.Driver.run_translation ~seed ~cisco_text () in
+    print_transcript r.Cosynth.Driver.transcript verbose;
+    Printf.printf "verified: %b\n" r.Cosynth.Driver.verified;
+    (match transcript_out with
+    | Some path ->
+        write_file path
+          (Cosynth.Driver.transcript_to_markdown ~title:"Cisco to Juniper translation"
+             r.Cosynth.Driver.transcript);
+        Printf.printf "transcript written to %s\n" path
+    | None -> ());
+    if show_config then (
+      print_endline "\n--- final Juniper configuration ---";
+      print_string r.Cosynth.Driver.final_text);
+    if r.Cosynth.Driver.verified then 0 else 1
+  in
+  let file =
+    Arg.(
+      value
+      & pos 0 (some Arg.file) None
+      & info [] ~docv:"CISCO_CONFIG" ~doc:"Defaults to the bundled border router.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every prompt.") in
+  let show = Arg.(value & flag & info [ "show-config" ] ~doc:"Print the final config.") in
+  let transcript_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "transcript" ] ~docv:"FILE" ~doc:"Write the conversation as markdown.")
+  in
+  Cmd.v
+    (Cmd.info "translate"
+       ~doc:"Run the Cisco-to-Juniper translation VPP loop (use case 1)")
+    Term.(const run $ file $ seed $ verbose $ show $ transcript_out)
+
+(* ------------------------------------------------------------------ *)
+(* synth                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let synth_cmd =
+  let run n seed no_iips verbose outdir prove =
+    let final_check = if prove then Cosynth.Driver.Both else Cosynth.Driver.Simulate in
+    let r =
+      Cosynth.Driver.run_no_transit ~seed ~use_iips:(not no_iips) ~final_check ~routers:n ()
+    in
+    print_transcript r.Cosynth.Driver.transcript verbose;
+    Printf.printf "global no-transit policy holds: %b\n" r.Cosynth.Driver.global_ok;
+    (match r.Cosynth.Driver.proof with
+    | Some Cosynth.Lightyear.Proved ->
+        print_endline "modular proof: the local policies imply the global one"
+    | Some (Cosynth.Lightyear.Refuted ref_) ->
+        Printf.printf "modular proof REFUTED: %s -> %s\n" ref_.Cosynth.Lightyear.from_spoke
+          ref_.Cosynth.Lightyear.to_spoke
+    | Some (Cosynth.Lightyear.Inapplicable why) ->
+        Printf.printf "modular proof inapplicable: %s\n" why
+    | None -> ());
+    List.iter (fun v -> Printf.printf "violation: %s\n" v) r.Cosynth.Driver.global_violations;
+    (match outdir with
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter
+          (fun (name, ir) ->
+            let path = Filename.concat dir (name ^ ".cfg") in
+            let oc = open_out path in
+            output_string oc (Cisco.Printer.print ir);
+            close_out oc;
+            Printf.printf "wrote %s\n" path)
+          r.Cosynth.Driver.configs
+    | None -> ());
+    if r.Cosynth.Driver.global_ok then 0 else 1
+  in
+  let n = Arg.(value & opt int 7 & info [ "n"; "routers" ] ~docv:"N") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
+  let no_iips =
+    Arg.(value & flag & info [ "no-iips" ] ~doc:"Disable the Initial Instruction Prompts.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every prompt.") in
+  let outdir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Write the final .cfg files here.")
+  in
+  let prove =
+    Arg.(
+      value & flag
+      & info [ "prove" ]
+          ~doc:"Also run the Lightyear-style modular proof as the global check.")
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Run the no-transit synthesis VPP loop (use case 2)")
+    Term.(const run $ n $ seed $ no_iips $ verbose $ outdir $ prove)
+
+(* ------------------------------------------------------------------ *)
+(* sim                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sim_cmd =
+  let run topo_file dir router =
+    let json = Netcore.Json.of_string_exn (read_file topo_file) in
+    match Netcore.Topology.of_json json with
+    | Error e ->
+        prerr_endline e;
+        2
+    | Ok topology ->
+        let configs =
+          Sys.readdir dir |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".cfg")
+          |> List.map (fun f ->
+                 let name = Filename.chop_suffix f ".cfg" in
+                 let ir, diags = Cisco.Parser.parse (read_file (Filename.concat dir f)) in
+                 List.iter
+                   (fun d ->
+                     if Netcore.Diag.is_error d then
+                       Printf.eprintf "%s: %s
+" f (Netcore.Diag.to_string d))
+                   diags;
+                 (name, ir))
+        in
+        let ribs = Batfish.Bgp_sim.run { Batfish.Bgp_sim.topology; configs } in
+        let show name =
+          Printf.printf "== %s ==
+" name;
+          List.iter
+            (fun (e : Batfish.Bgp_sim.rib_entry) ->
+              Printf.printf "  %s%s
+"
+                (Netcore.Route.to_string e.Batfish.Bgp_sim.route)
+                (match e.Batfish.Bgp_sim.learned_from with
+                | Some n -> " (via " ^ n ^ ")"
+                | None -> " (local)"))
+            (Batfish.Bgp_sim.rib ribs name)
+        in
+        (match router with
+        | Some r -> show r
+        | None -> List.iter show (Batfish.Bgp_sim.routers ribs));
+        0
+  in
+  let topo =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "t"; "topology" ] ~docv:"JSON" ~doc:"Topology dictionary (JSON).")
+  in
+  let dir =
+    Arg.(
+      required
+      & opt (some dir) None
+      & info [ "c"; "configs" ] ~docv:"DIR" ~doc:"Directory of <router>.cfg files.")
+  in
+  let router =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "r"; "router" ] ~docv:"NAME" ~doc:"Show only this router's RIB.")
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Simulate BGP over a topology and print converged RIBs")
+    Term.(const run $ topo $ dir $ router)
+
+(* ------------------------------------------------------------------ *)
+(* prove                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let prove_cmd =
+  let run topo_file dir =
+    let json = Netcore.Json.of_string_exn (read_file topo_file) in
+    match Netcore.Topology.of_json json with
+    | Error e ->
+        prerr_endline e;
+        2
+    | Ok topology ->
+        (* The proof applies to star networks following the generator's
+           conventions: hub R1, spokes R2..Rn, customer network 10.0.0.0/24. *)
+        let star =
+          {
+            Netcore.Star.topology;
+            hub = "R1";
+            spokes =
+              List.filter_map
+                (fun (r : Netcore.Topology.router) ->
+                  if r.Netcore.Topology.name = "R1" then None
+                  else Some r.Netcore.Topology.name)
+                topology.Netcore.Topology.routers;
+            customer_prefix = Netcore.Prefix.of_string_exn "10.0.0.0/24";
+          }
+        in
+        let configs =
+          Sys.readdir dir |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".cfg")
+          |> List.map (fun f ->
+                 ( Filename.chop_suffix f ".cfg",
+                   fst (Cisco.Parser.parse (read_file (Filename.concat dir f))) ))
+        in
+        (match Cosynth.Lightyear.prove_no_transit star configs with
+        | Cosynth.Lightyear.Proved ->
+            print_endline "PROVED: the local policies imply the global no-transit policy.";
+            0
+        | Cosynth.Lightyear.Refuted r ->
+            Printf.printf "REFUTED: a route from %s can reach %s%s
+"
+              r.Cosynth.Lightyear.from_spoke r.Cosynth.Lightyear.to_spoke
+              (match r.Cosynth.Lightyear.example with
+              | Some e -> Printf.sprintf " (e.g. %s)" (Netcore.Route.to_string e)
+              | None -> "");
+            1
+        | Cosynth.Lightyear.Inapplicable why ->
+            Printf.printf "INAPPLICABLE: %s
+" why;
+            2)
+  in
+  let topo =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "t"; "topology" ] ~docv:"JSON" ~doc:"Star topology dictionary (JSON).")
+  in
+  let dir =
+    Arg.(
+      required
+      & opt (some dir) None
+      & info [ "c"; "configs" ] ~docv:"DIR" ~doc:"Directory of <router>.cfg files.")
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:"Prove no-transit from the local policies (Lightyear-style, no simulation)")
+    Term.(const run $ topo $ dir)
+
+(* ------------------------------------------------------------------ *)
+(* leverage                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let leverage_cmd =
+  let run use_case runs routers =
+    let s =
+      match use_case with
+      | `Translation ->
+          Cosynth.Metrics.translation_summary ~runs
+            ~cisco_text:Cisco.Samples.border_router ()
+      | `No_transit -> Cosynth.Metrics.no_transit_summary ~runs ~routers ()
+    in
+    Format.printf "%a@." Cosynth.Metrics.pp_summary s;
+    0
+  in
+  let use_case =
+    let c =
+      Arg.conv
+        ( (function
+          | "translation" -> Ok `Translation
+          | "no-transit" -> Ok `No_transit
+          | s -> Error (`Msg (Printf.sprintf "unknown use case %S" s))),
+          fun ppf c ->
+            Format.pp_print_string ppf
+              (match c with `Translation -> "translation" | `No_transit -> "no-transit") )
+    in
+    Arg.(
+      value
+      & opt c `Translation
+      & info [ "use-case" ] ~docv:"CASE" ~doc:"translation or no-transit.")
+  in
+  let runs = Arg.(value & opt int 20 & info [ "runs" ] ~docv:"N") in
+  let routers = Arg.(value & opt int 7 & info [ "routers" ] ~docv:"N") in
+  Cmd.v
+    (Cmd.info "leverage" ~doc:"Multi-seed leverage summary")
+    Term.(const run $ use_case $ runs $ routers)
+
+let () =
+  let doc =
+    "CoSynth: verified prompt programming for router configurations (HotNets 2023 \
+     reproduction)"
+  in
+  let info = Cmd.info "cosynth" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info
+         [
+           topology_cmd; parse_cmd; diff_cmd; verify_cmd; translate_cmd; synth_cmd;
+           sim_cmd; prove_cmd; leverage_cmd;
+         ]))

@@ -1,0 +1,1 @@
+examples/global_vs_local.ml: Cosynth Printf

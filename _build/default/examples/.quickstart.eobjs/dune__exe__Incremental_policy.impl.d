@@ -1,0 +1,1 @@
+examples/incremental_policy.ml: Cisco Config_ir Cosynth List Netcore Policy Printf String

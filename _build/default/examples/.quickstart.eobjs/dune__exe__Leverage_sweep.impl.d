@@ -1,0 +1,1 @@
+examples/leverage_sweep.ml: Cisco Cosynth Format List Printf

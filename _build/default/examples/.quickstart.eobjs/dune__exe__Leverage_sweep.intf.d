@@ -1,0 +1,1 @@
+examples/leverage_sweep.mli:

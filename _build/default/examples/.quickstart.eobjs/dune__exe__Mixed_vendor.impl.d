@@ -1,0 +1,1 @@
+examples/mixed_vendor.ml: Campion Cosynth Juniper List Llmsim Netcore Printf Star String

@@ -1,0 +1,1 @@
+examples/mixed_vendor.mli:

@@ -1,0 +1,1 @@
+examples/no_transit.ml: Batfish Cosynth Json List Netcore Printf Route Star String

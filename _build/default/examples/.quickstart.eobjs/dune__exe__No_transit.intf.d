@@ -1,0 +1,1 @@
+examples/no_transit.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Batfish Campion Cisco Config_ir Iface Juniper List Llmsim Netcore Policy Prefix Prefix_range Printf Route String Symbolic

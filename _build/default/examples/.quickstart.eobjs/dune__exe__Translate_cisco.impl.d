@@ -1,0 +1,1 @@
+examples/translate_cisco.ml: Cisco Cosynth List Llmsim Printf String

@@ -1,0 +1,1 @@
+examples/translate_cisco.mli:

@@ -1,0 +1,57 @@
+(* Use case 1 (Section 3): translating a Cisco configuration to Juniper with
+   Verified Prompt Programming.
+
+   This walks one full loop with the Table 2 error set pinned, printing every
+   humanized prompt as it is fed back to the (simulated) LLM, then the final
+   verified Juniper configuration.
+
+   Run with: dune exec examples/translate_cisco.exe *)
+
+let shorten s =
+  let s = String.map (fun c -> if c = '\n' then ' ' else c) s in
+  if String.length s > 110 then String.sub s 0 107 ^ "..." else s
+
+let () =
+  let cisco_text = Cisco.Samples.border_router in
+  print_endline "=== Original Cisco configuration ===";
+  print_string cisco_text;
+
+  let faults = Cosynth.Driver.table2_faults ~cisco_text in
+  Printf.printf "\n=== Injected GPT-4 error set (Table 2) ===\n";
+  List.iter (fun f -> Printf.printf "  %s\n" (Llmsim.Fault.to_string f)) faults;
+
+  let r =
+    Cosynth.Driver.run_translation ~seed:7 ~force_faults:faults ~suppress_random:true
+      ~cisco_text ()
+  in
+
+  print_endline "\n=== Conversation transcript ===";
+  List.iter
+    (fun (e : Cosynth.Driver.event) ->
+      let tag =
+        match e.Cosynth.Driver.origin with
+        | Cosynth.Driver.Auto -> "auto "
+        | Cosynth.Driver.Human -> "HUMAN"
+      in
+      Printf.printf "[%s] %s\n" tag (shorten e.Cosynth.Driver.prompt))
+    r.Cosynth.Driver.transcript.Cosynth.Driver.events;
+
+  Printf.printf "\n=== Outcome ===\n";
+  Printf.printf "verified: %b\n" r.Cosynth.Driver.verified;
+  Printf.printf "automated prompts: %d, human prompts: %d, leverage: %.1fx\n"
+    r.Cosynth.Driver.transcript.Cosynth.Driver.auto_prompts
+    r.Cosynth.Driver.transcript.Cosynth.Driver.human_prompts
+    (Cosynth.Driver.leverage r.Cosynth.Driver.transcript);
+
+  print_endline "\n=== Per-class outcomes (Table 2) ===";
+  List.iter
+    (fun (o : Cosynth.Driver.class_outcome) ->
+      match Llmsim.Error_class.table2_label o.Cosynth.Driver.class_ with
+      | Some label ->
+          Printf.printf "  %-42s fixed by generated prompt: %s\n" label
+            (if o.Cosynth.Driver.fixed_by_generated_prompt then "Yes" else "No")
+      | None -> ())
+    r.Cosynth.Driver.outcomes;
+
+  print_endline "\n=== Final verified Juniper configuration ===";
+  print_string r.Cosynth.Driver.final_text

@@ -1,0 +1,1 @@
+lib/batfish/bgp_sim.ml: As_path Community Config_ir Eval Format Hashtbl Ipv4 List Net Netcore Option Ospf_sim Policy Prefix Printf Route Topology

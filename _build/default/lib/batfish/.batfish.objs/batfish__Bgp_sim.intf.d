@@ -1,0 +1,1 @@
+lib/batfish/bgp_sim.mli: Config_ir Format Net Netcore Policy Prefix Route Topology

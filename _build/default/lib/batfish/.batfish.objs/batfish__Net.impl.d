@@ -1,0 +1,1 @@
+lib/batfish/net.ml: List Netcore Policy

@@ -1,0 +1,1 @@
+lib/batfish/net.mli: Netcore Policy

@@ -1,0 +1,1 @@
+lib/batfish/ospf_sim.ml: Config_ir Hashtbl Iface List Net Netcore Option Policy Prefix Topology

@@ -1,0 +1,1 @@
+lib/batfish/ospf_sim.mli: Net Netcore Prefix

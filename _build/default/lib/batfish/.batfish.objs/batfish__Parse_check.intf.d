@@ -1,0 +1,1 @@
+lib/batfish/parse_check.mli: Netcore Policy

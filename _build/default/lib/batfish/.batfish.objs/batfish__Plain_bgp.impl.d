@@ -1,0 +1,1 @@
+lib/batfish/plain_bgp.ml: Config_ir List Netcore Policy Prefix Topology

@@ -1,0 +1,1 @@
+lib/batfish/plain_bgp.mli: Netcore Policy

@@ -1,0 +1,1 @@
+lib/batfish/search_route_policies.ml: Action Community Config_ir Eval List Netcore Policy Printf Route String Symbolic

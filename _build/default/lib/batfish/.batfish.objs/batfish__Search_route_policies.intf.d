@@ -1,0 +1,1 @@
+lib/batfish/search_route_policies.mli: Action Community Config_ir Netcore Policy Route Symbolic

@@ -1,0 +1,17 @@
+type t = {
+  topology : Netcore.Topology.t;
+  configs : (string * Policy.Config_ir.t) list;
+}
+
+let config_of t name =
+  match List.assoc_opt name t.configs with
+  | Some c -> c
+  | None -> Policy.Config_ir.empty name
+
+let asn_of t name =
+  match (config_of t name).Policy.Config_ir.bgp with
+  | Some b when b.Policy.Config_ir.asn > 0 -> b.Policy.Config_ir.asn
+  | _ -> (
+      match Netcore.Topology.find_router t.topology name with
+      | Some r -> r.Netcore.Topology.asn
+      | None -> 0)

@@ -1,0 +1,13 @@
+(** A network under analysis: the topology plus each router's parsed
+    configuration. Shared by the OSPF and BGP simulators. *)
+
+type t = {
+  topology : Netcore.Topology.t;
+  configs : (string * Policy.Config_ir.t) list;
+}
+
+val config_of : t -> string -> Policy.Config_ir.t
+(** The router's configuration, or an empty one when absent. *)
+
+val asn_of : t -> string -> int
+(** The configured BGP AS, falling back to the topology's. *)

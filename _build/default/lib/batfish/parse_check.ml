@@ -1,0 +1,18 @@
+type dialect = Cisco_ios | Junos
+
+let dialect_name = function Cisco_ios -> "Cisco IOS" | Junos -> "Junos"
+
+let check dialect text =
+  match dialect with
+  | Cisco_ios ->
+      let ir, diags = Cisco.Parser.parse text in
+      (ir, diags @ Cisco.Lint.check ir)
+  | Junos ->
+      let ir, diags = Juniper.Parser.parse text in
+      (ir, diags @ Juniper.Lint.check ir)
+
+let errors_only diags = List.filter Netcore.Diag.is_error diags
+
+let syntax_ok dialect text =
+  let _, diags = check dialect text in
+  errors_only diags = []

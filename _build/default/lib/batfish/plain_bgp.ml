@@ -1,0 +1,37 @@
+open Netcore
+open Policy
+
+let configs (t : Topology.t) =
+  List.map
+    (fun (r : Topology.router) ->
+      let interfaces =
+        List.map
+          (fun (p : Topology.port) ->
+            Config_ir.interface
+              ~address:(p.Topology.addr, Prefix.len p.Topology.subnet)
+              p.Topology.iface)
+          r.Topology.ports
+      in
+      let neighbors =
+        List.map
+          (fun (s : Topology.session) ->
+            Config_ir.neighbor s.Topology.peer_addr ~remote_as:s.Topology.peer_asn)
+          (Topology.sessions_of t r.Topology.name)
+      in
+      let config =
+        {
+          (Config_ir.empty r.Topology.name) with
+          Config_ir.interfaces;
+          bgp =
+            Some
+              {
+                Config_ir.asn = r.Topology.asn;
+                router_id = Some r.Topology.router_id;
+                networks = Topology.networks_of t r.Topology.name;
+                neighbors;
+                redistributions = [];
+              };
+        }
+      in
+      (r.Topology.name, config))
+    t.Topology.routers

@@ -1,0 +1,5 @@
+(** Plain BGP configurations for an arbitrary topology: every router
+    announces its connected networks to every neighbor with no policies.
+    Used to exercise the simulator on chains and rings. *)
+
+val configs : Netcore.Topology.t -> (string * Policy.Config_ir.t) list

@@ -1,0 +1,1 @@
+lib/campion/differ.ml: Acl Action Config_ir Eval Format Iface Ipv4 Juniper List Netcore Option Packet Policy Prefix Printf Route Route_map String Symbolic

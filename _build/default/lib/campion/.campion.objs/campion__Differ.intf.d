@@ -1,0 +1,1 @@
+lib/campion/differ.mli: Action Config_ir Format Iface Ipv4 Netcore Packet Policy Prefix Route

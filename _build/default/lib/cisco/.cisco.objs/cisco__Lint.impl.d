@@ -1,0 +1,1 @@
+lib/cisco/lint.ml: As_path As_path_list Config_ir Diag Ipv4 List Netcore Option Policy Prefix Printf Route_map

@@ -1,0 +1,1 @@
+lib/cisco/lint.mli: Netcore Policy

@@ -1,0 +1,1 @@
+lib/cisco/netmask.ml: Ipv4 Netcore

@@ -1,0 +1,1 @@
+lib/cisco/netmask.mli: Ipv4 Netcore

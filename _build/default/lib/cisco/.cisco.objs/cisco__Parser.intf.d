@@ -1,0 +1,1 @@
+lib/cisco/parser.mli: Netcore Policy

@@ -1,0 +1,1 @@
+lib/cisco/printer.ml: Acl Action As_path_list Buffer Community Community_list Config_ir Iface Ipv4 List Netcore Netmask Packet Policy Prefix Prefix_list Prefix_range Printf Route Route_map String

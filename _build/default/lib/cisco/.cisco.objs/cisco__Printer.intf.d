@@ -1,0 +1,1 @@
+lib/cisco/printer.mli: Policy

@@ -1,0 +1,1 @@
+lib/cisco/samples.ml: String

@@ -1,0 +1,9 @@
+(** Semantic lint on a parsed IOS configuration: problems that are
+    syntactically well-formed but broken, reported in the same diagnostic
+    vocabulary as the parser. *)
+
+val check : Policy.Config_ir.t -> Netcore.Diag.t list
+(** Reports: dangling references (route maps, prefix/community/AS-path
+    lists), neighbors without remote-as, route maps attached to no neighbor
+    or redistribution, malformed AS-path regexes, and BGP networks with no
+    matching connected interface when interfaces are configured. *)

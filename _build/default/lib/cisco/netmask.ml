@@ -1,0 +1,14 @@
+open Netcore
+
+let mask_of_len = Ipv4.mask
+
+let len_of_mask m =
+  let rec go l = if l > 32 then None else if Ipv4.equal (Ipv4.mask l) m then Some l else go (l + 1) in
+  go 0
+
+let wildcard_of_len l = Ipv4.lognot (Ipv4.mask l)
+let len_of_wildcard w = len_of_mask (Ipv4.lognot w)
+
+let classful_len a =
+  let o1, _, _, _ = Ipv4.to_octets a in
+  if o1 < 128 then 8 else if o1 < 192 then 16 else if o1 < 224 then 24 else 32

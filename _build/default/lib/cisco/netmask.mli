@@ -1,0 +1,18 @@
+(** Netmask and wildcard-mask helpers for the IOS dialect. *)
+
+open Netcore
+
+val mask_of_len : int -> Ipv4.t
+(** E.g. [24 -> 255.255.255.0]. *)
+
+val len_of_mask : Ipv4.t -> int option
+(** [None] when the mask is not contiguous. *)
+
+val wildcard_of_len : int -> Ipv4.t
+(** Inverted mask, e.g. [24 -> 0.0.0.255]. *)
+
+val len_of_wildcard : Ipv4.t -> int option
+
+val classful_len : Ipv4.t -> int
+(** The historical class-based default length (A/8, B/16, C/24, otherwise
+    /32), used when a [network] statement omits its mask. *)

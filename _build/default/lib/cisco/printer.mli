@@ -1,0 +1,14 @@
+(** Rendering the vendor-neutral IR as Cisco IOS configuration text.
+
+    The output is canonical: parsing it back with {!Parser.parse} yields the
+    same IR and no diagnostics (a property the test suite enforces). *)
+
+val print : Policy.Config_ir.t -> string
+
+val print_route_map : Policy.Route_map.t -> string
+val print_acl : Policy.Acl.t -> string
+val print_prefix_list : Policy.Prefix_list.t -> string
+val print_community_list : Policy.Community_list.t -> string
+
+val match_cond_line : Policy.Route_map.match_cond -> string
+val set_action_line : Policy.Route_map.set_action -> string

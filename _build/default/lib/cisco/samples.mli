@@ -1,0 +1,19 @@
+(** Reference IOS configurations used by the examples, tests and benchmarks.
+
+    [border_router] is modelled on the Batfish example configuration the
+    paper's translation experiment uses: "short enough to fit within GPT-4
+    text input limits, but used non-trivial features including BGP, OSPF,
+    prefix lists, and route maps" — including the [ge 24] prefix-list bound
+    and the OSPF-into-BGP redistribution that drive Table 2's two hard
+    errors. *)
+
+val border_router : string
+
+val minimal : string
+(** A two-interface, one-neighbor config for quick tests. *)
+
+val edge_router : string
+(** A larger edge router: three eBGP neighbors (two providers, one peer),
+    AS-path filtering, static routes redistributed into BGP, an egress ACL,
+    and local-preference steering — used to check the translation loop
+    beyond the paper's single example config. *)

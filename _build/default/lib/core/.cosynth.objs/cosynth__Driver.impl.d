@@ -1,0 +1,1 @@
+lib/core/driver.ml: Batfish Buffer Campion Cisco Config_ir Humanizer Iip Juniper Lightyear List Llmsim Modularizer Netcore Option Policy Printf String Topoverify

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Config_ir Lightyear Llmsim Policy

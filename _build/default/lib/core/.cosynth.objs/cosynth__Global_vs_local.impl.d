@@ -1,0 +1,1 @@
+lib/core/global_vs_local.ml: Driver List Llmsim

@@ -1,0 +1,1 @@
+lib/core/humanizer.ml: Batfish Campion Community Diag Error_class Fault Iface Ipv4 List Llmsim Netcore Option Packet Policy Prefix Printf Route String Topoverify

@@ -1,0 +1,1 @@
+lib/core/humanizer.mli: Batfish Campion Diag Llmsim Netcore Topoverify

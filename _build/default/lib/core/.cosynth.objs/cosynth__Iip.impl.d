@@ -1,0 +1,1 @@
+lib/core/iip.ml: List String

@@ -1,0 +1,1 @@
+lib/core/lightyear.ml: Config_ir Eval List Netcore Option Policy Prefix Printf Route Star Symbolic Topology

@@ -1,0 +1,1 @@
+lib/core/lightyear.mli: Config_ir Netcore Policy Route Star

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Driver Format List

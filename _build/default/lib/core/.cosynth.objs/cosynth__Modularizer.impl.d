@@ -1,0 +1,1 @@
+lib/core/modularizer.ml: Action As_path_list Batfish Buffer Community Community_list Config_ir Iface Ipv4 List Netcore Option Policy Prefix Printf Route_map Star String Symbolic Topology

@@ -1,0 +1,1 @@
+lib/core/modularizer.mli: Batfish Config_ir Netcore Policy Star

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer List Printf String

@@ -1,0 +1,470 @@
+open Policy
+
+type origin = Auto | Human
+
+type event = { origin : origin; prompt : string; note : string }
+
+type transcript = {
+  events : event list;
+  human_prompts : int;
+  auto_prompts : int;
+  converged : bool;
+  rounds : int;
+}
+
+let leverage t =
+  if t.human_prompts = 0 then float_of_int t.auto_prompts
+  else float_of_int t.auto_prompts /. float_of_int t.human_prompts
+
+let transcript_to_markdown ~title t =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n\n" title);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "%d automated prompts, %d human prompts — leverage %.1fx; converged: %b\n\n"
+       t.auto_prompts t.human_prompts (leverage t) t.converged);
+  List.iteri
+    (fun i (e : event) ->
+      let who = match e.origin with Auto -> "automated" | Human -> "HUMAN" in
+      Buffer.add_string buf (Printf.sprintf "## %d. [%s] (%s)\n\n" (i + 1) who e.note);
+      Buffer.add_string buf (String.trim e.prompt);
+      Buffer.add_string buf "\n\n")
+    t.events;
+  Buffer.contents buf
+
+(* Mutable loop bookkeeping shared by both use cases. *)
+type loop_state = {
+  mutable events : event list;  (* reversed *)
+  mutable human : int;
+  mutable auto : int;
+  mutable rounds : int;
+  mutable stalls : (string * int) list;  (* prompt text -> attempts *)
+  max_prompts : int;
+  stall_threshold : int;
+}
+
+let new_loop ~max_prompts ~stall_threshold =
+  {
+    events = [];
+    human = 0;
+    auto = 0;
+    rounds = 0;
+    stalls = [];
+    max_prompts;
+    stall_threshold;
+  }
+
+let budget_left st = st.auto + st.human < st.max_prompts
+
+let record st origin prompt note =
+  st.events <- { origin; prompt; note } :: st.events;
+  match origin with Auto -> st.auto <- st.auto + 1 | Human -> st.human <- st.human + 1
+
+(* Send a humanized prompt; escalate to a human prompt after
+   [stall_threshold] automated attempts at the same prompt text. Returns the
+   origin used, or [None] when the finding has no actionable reference and
+   has stalled (the loop should give up on it). *)
+let send st (chat : Llmsim.Chat.t) (prompt : Humanizer.prompt) ~note =
+  let attempts = Option.value ~default:0 (List.assoc_opt prompt.Humanizer.text st.stalls) in
+  if attempts >= st.stall_threshold then
+    if prompt.Humanizer.refs = [] then None
+    else begin
+      let human_text = "[human] " ^ prompt.Humanizer.text in
+      Llmsim.Chat.respond chat
+        { Llmsim.Chat.text = human_text; refs = prompt.Humanizer.refs; strength = Llmsim.Chat.Human };
+      record st Human human_text note;
+      st.stalls <- List.remove_assoc prompt.Humanizer.text st.stalls;
+      Some Human
+    end
+  else begin
+    Llmsim.Chat.respond chat
+      {
+        Llmsim.Chat.text = prompt.Humanizer.text;
+        refs = prompt.Humanizer.refs;
+        strength = Llmsim.Chat.Auto;
+      };
+    record st Auto prompt.Humanizer.text note;
+    st.stalls <-
+      (prompt.Humanizer.text, attempts + 1) :: List.remove_assoc prompt.Humanizer.text st.stalls;
+    Some Auto
+  end
+
+let finish st converged =
+  {
+    events = List.rev st.events;
+    human_prompts = st.human;
+    auto_prompts = st.auto;
+    converged;
+    rounds = st.rounds;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Class outcome tracking (Table 2)                                    *)
+(* ------------------------------------------------------------------ *)
+
+type class_outcome = {
+  class_ : Llmsim.Error_class.t;
+  fixed_by_generated_prompt : bool;
+}
+
+type tracker = {
+  mutable seen : Llmsim.Error_class.t list;
+  mutable tainted : Llmsim.Error_class.t list;
+      (* needed a human prompt, or morphed into another class *)
+}
+
+let track_seen tr (chat : Llmsim.Chat.t) =
+  List.iter
+    (fun (f : Llmsim.Fault.t) ->
+      if not (List.mem f.Llmsim.Fault.class_ tr.seen) then
+        tr.seen <- tr.seen @ [ f.Llmsim.Fault.class_ ])
+    (Llmsim.Chat.live_faults chat)
+
+let taint tr cls = if not (List.mem cls tr.tainted) then tr.tainted <- tr.tainted @ [ cls ]
+
+let outcomes_of tr (chat : Llmsim.Chat.t) =
+  let still_live cls =
+    List.exists
+      (fun (f : Llmsim.Fault.t) -> Llmsim.Error_class.equal f.Llmsim.Fault.class_ cls)
+      (Llmsim.Chat.live_faults chat)
+  in
+  List.map
+    (fun cls ->
+      {
+        class_ = cls;
+        fixed_by_generated_prompt =
+          (not (List.mem cls tr.tainted))
+          && (Llmsim.Error_class.profile cls).Llmsim.Error_class.successor = None
+          && not (still_live cls);
+      })
+    tr.seen
+
+(* A morphing class (successor present) never counts as fixed by its own
+   generated prompt; mark it tainted as soon as it is seen. *)
+let pre_taint tr =
+  List.iter
+    (fun cls ->
+      if (Llmsim.Error_class.profile cls).Llmsim.Error_class.successor <> None then taint tr cls)
+    tr.seen
+
+(* ------------------------------------------------------------------ *)
+(* Use case 1: translation                                             *)
+(* ------------------------------------------------------------------ *)
+
+type translation_result = {
+  transcript : transcript;
+  final_text : string;
+  outcomes : class_outcome list;
+  verified : bool;
+}
+
+let first_error diags = List.find_opt Netcore.Diag.is_error diags
+
+let run_translation ?(seed = 42) ?(force_faults = []) ?(suppress_random = false)
+    ?(max_prompts = 200) ?(stall_threshold = 4) ?(quality = 0.0) ~cisco_text () =
+  let cisco_ir, _ = Cisco.Parser.parse cisco_text in
+  let correct = Juniper.Translate.of_cisco_ir cisco_ir in
+  let chat =
+    Llmsim.Chat.start ~seed ~force_faults ~suppress_random ~regression_rate:0.2 ~quality
+      Llmsim.Fault.Junos_cfg ~correct
+  in
+  let st = new_loop ~max_prompts ~stall_threshold in
+  let tr = { seen = []; tainted = [] } in
+  (* The initial task prompt ("translate the configuration into an
+     equivalent Juniper configuration") is the first human prompt. *)
+  record st Human "Translate the configuration into an equivalent Juniper configuration."
+    "initial task prompt";
+  track_seen tr chat;
+  let rec loop () =
+    st.rounds <- st.rounds + 1;
+    track_seen tr chat;
+    if not (budget_left st) then finish st false
+    else
+      let draft = Llmsim.Chat.draft chat in
+      let ir, diags = Batfish.Parse_check.check Batfish.Parse_check.Junos draft in
+      match first_error diags with
+      | Some diag -> (
+          let prompt = Humanizer.of_diag diag in
+          match send st chat prompt ~note:"syntax" with
+          | Some origin ->
+              List.iter
+                (fun (f : Llmsim.Fault.t) ->
+                  if origin = Human then taint tr f.Llmsim.Fault.class_)
+                prompt.Humanizer.refs;
+              loop ()
+          | None -> finish st false)
+      | None -> (
+          match Campion.Differ.compare ~original:cisco_ir ~translation:ir with
+          | [] -> finish st true
+          | finding :: _ -> (
+              let prompt = Humanizer.of_campion finding in
+              match send st chat prompt ~note:"campion" with
+              | Some origin ->
+                  List.iter
+                    (fun (f : Llmsim.Fault.t) ->
+                      if origin = Human then taint tr f.Llmsim.Fault.class_)
+                    prompt.Humanizer.refs;
+                  loop ()
+              | None -> finish st false))
+  in
+  let transcript = loop () in
+  pre_taint tr;
+  let final_text = Llmsim.Chat.draft chat in
+  let verified =
+    transcript.converged
+    &&
+    let ir, diags = Batfish.Parse_check.check Batfish.Parse_check.Junos final_text in
+    first_error diags = None && Campion.Differ.compare ~original:cisco_ir ~translation:ir = []
+  in
+  { transcript; final_text; outcomes = outcomes_of tr chat; verified }
+
+let table2_faults ~cisco_text =
+  let cisco_ir, _ = Cisco.Parser.parse cisco_text in
+  let correct = Juniper.Translate.of_cisco_ir cisco_ir in
+  let opportunities = Llmsim.Fault.opportunities Llmsim.Fault.Junos_cfg correct in
+  let first cls =
+    List.find_opt
+      (fun (f : Llmsim.Fault.t) -> Llmsim.Error_class.equal f.Llmsim.Fault.class_ cls)
+      opportunities
+  in
+  List.filter_map first
+    [
+      Llmsim.Error_class.Missing_local_as;
+      Llmsim.Error_class.Missing_import_policy;
+      Llmsim.Error_class.Missing_export_policy;
+      Llmsim.Error_class.Ospf_cost_wrong;
+      Llmsim.Error_class.Ospf_passive_wrong;
+      Llmsim.Error_class.Wrong_med;
+      Llmsim.Error_class.Prefix_range_dropped;
+      Llmsim.Error_class.Redistribution_unscoped;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Use case 2: no-transit synthesis                                    *)
+(* ------------------------------------------------------------------ *)
+
+type final_check = Simulate | Prove | Both
+
+type synthesis_result = {
+  transcript : transcript;
+  configs : (string * Config_ir.t) list;
+  per_router_verified : (string * bool) list;
+  global_ok : bool;
+  global_violations : string list;
+  proof : Lightyear.result option;
+}
+
+let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
+    ?(stall_threshold = 2) ?(final_check = Simulate) ~routers () =
+  let star = Netcore.Star.make ~routers in
+  let tasks = Modularizer.plan star in
+  let iips = if use_iips then Iip.ids Iip.defaults else [] in
+  let st = new_loop ~max_prompts ~stall_threshold in
+  record st Human
+    (Printf.sprintf
+       "Make a %d-router star network follow the no-transit policy: no two ISPs \
+        should be able to reach each other, but all ISPs should reach the \
+        CUSTOMER and vice versa."
+       routers)
+    "initial task prompt";
+  (* One local verification pass for a router: syntax, then topology, then
+     local policy semantics. *)
+  let local_loop (task : Modularizer.router_task) chat =
+    let rec loop () =
+      st.rounds <- st.rounds + 1;
+      if not (budget_left st) then (Llmsim.Chat.draft chat, false)
+      else
+        let draft = Llmsim.Chat.draft chat in
+        let ir, diags = Batfish.Parse_check.check Batfish.Parse_check.Cisco_ios draft in
+        match first_error diags with
+        | Some diag -> (
+            match send st chat (Humanizer.of_diag diag) ~note:"syntax" with
+            | Some _ -> loop ()
+            | None -> (draft, false))
+        | None -> (
+            match
+              Topoverify.Verifier.check star.Netcore.Star.topology
+                ~router:task.Modularizer.router ir
+            with
+            | finding :: _ -> (
+                match send st chat (Humanizer.of_topology finding) ~note:"topology" with
+                | Some _ -> loop ()
+                | None -> (draft, false))
+            | [] -> (
+                let violations =
+                  List.filter_map
+                    (fun (_, outcome) ->
+                      match outcome with
+                      | Batfish.Search_route_policies.Violated v -> Some v
+                      | Batfish.Search_route_policies.Holds
+                      | Batfish.Search_route_policies.Policy_missing ->
+                          None)
+                    (Batfish.Search_route_policies.check_all ir task.Modularizer.specs)
+                in
+                match violations with
+                | [] -> (draft, true)
+                | v :: _ -> (
+                    match send st chat (Humanizer.of_violation v) ~note:"semantic" with
+                    | Some _ -> loop ()
+                    | None -> (draft, false))))
+    in
+    loop ()
+  in
+  let synthesize_router idx (task : Modularizer.router_task) =
+    let chat =
+      Llmsim.Chat.start ~seed:(seed + (idx * 7919)) ~iips Llmsim.Fault.Cisco_cfg
+        ~correct:task.Modularizer.correct
+    in
+    (* The modularizer's per-router prompt is machine-generated: automated. *)
+    record st Auto task.Modularizer.prompt
+      (Printf.sprintf "modularizer prompt for %s" task.Modularizer.router);
+    let final_draft, ok = local_loop task chat in
+    let ir, _ = Cisco.Parser.parse final_draft in
+    (task.Modularizer.router, chat, ir, ok)
+  in
+  let results = List.mapi synthesize_router tasks in
+  let all_ok = List.for_all (fun (_, _, _, ok) -> ok) results in
+  let configs_of results = List.map (fun (name, _, ir, _) -> (name, ir)) results in
+  let check_global configs =
+    let sim () = Modularizer.no_transit_holds star configs in
+    let prove () = Lightyear.prove_no_transit star configs in
+    let describe = function
+      | Lightyear.Proved -> []
+      | Lightyear.Refuted r ->
+          [
+            Printf.sprintf "modular proof refuted: a route from %s can reach %s"
+              r.Lightyear.from_spoke r.Lightyear.to_spoke;
+          ]
+      | Lightyear.Inapplicable why -> [ "proof inapplicable: " ^ why ]
+    in
+    match final_check with
+    | Simulate -> (sim (), None)
+    | Prove ->
+        let p = prove () in
+        ((p = Lightyear.Proved, describe p), Some p)
+    | Both ->
+        let ok_sim, v_sim = sim () in
+        let p = prove () in
+        ((ok_sim && p = Lightyear.Proved, v_sim @ describe p), Some p)
+  in
+  (* Global phase: when every router verifies locally but the whole-network
+     check fails, feed the counterexample back to the hub conversation
+     (crossed attachments are the only fault that survives local
+     verification) and re-verify the hub locally after each prompt. *)
+  let rec global_phase results rounds =
+    let (ok, violations), proof = check_global (configs_of results) in
+    if ok || rounds = 0 || not (budget_left st) then (results, ok, violations, proof)
+    else
+      let hub_task = List.hd tasks in
+      match results with
+      | (hub_name, hub_chat, _, _) :: rest when hub_name = star.Netcore.Star.hub -> (
+          let prompt = Humanizer.of_global_violations ~hub:hub_name violations in
+          match send st hub_chat prompt ~note:"global" with
+          | None -> (results, ok, violations, proof)
+          | Some _ ->
+              let draft, local_ok = local_loop hub_task hub_chat in
+              let ir, _ = Cisco.Parser.parse draft in
+              global_phase ((hub_name, hub_chat, ir, local_ok) :: rest) (rounds - 1))
+      | _ -> (results, ok, violations, proof)
+  in
+  let results, global_ok, global_violations, proof =
+    if all_ok then global_phase results 12
+    else (results, false, [ "per-router verification incomplete" ], None)
+  in
+  let per_router_verified = List.map (fun (name, _, _, ok) -> (name, ok)) results in
+  {
+    transcript = finish st (List.for_all snd per_router_verified && global_ok);
+    configs = configs_of results;
+    per_router_verified;
+    global_ok;
+    global_violations;
+    proof;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Extension: incremental policy addition                              *)
+(* ------------------------------------------------------------------ *)
+
+type incremental_result = {
+  inc_transcript : transcript;
+  hub_config : Config_ir.t;
+  specs_hold : bool;
+  global_ok : bool;
+  interference_caught : bool;
+}
+
+let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
+    ?(target = "R2") ?(prepend = [ 1; 1 ]) ~routers () =
+  let star = Netcore.Star.make ~routers in
+  let task = Modularizer.prepend_task star ~target ~prepend in
+  let base_configs =
+    List.map
+      (fun (t : Modularizer.router_task) -> (t.Modularizer.router, t.Modularizer.correct))
+      (Modularizer.plan star)
+  in
+  let st = new_loop ~max_prompts ~stall_threshold in
+  let interference = ref false in
+  record st Human task.Modularizer.prompt "incremental task prompt";
+  (* The LLM edits an already-correct configuration: only the edit-related
+     mistake classes apply. *)
+  let edit_classes cls =
+    match cls with
+    | Llmsim.Error_class.Policy_inserted_early | Llmsim.Error_class.Wrong_policy_modified ->
+        true
+    | _ -> false
+  in
+  let chat =
+    Llmsim.Chat.start ~seed ~class_filter:edit_classes Llmsim.Fault.Cisco_cfg
+      ~correct:task.Modularizer.correct
+  in
+  let rec loop () =
+    st.rounds <- st.rounds + 1;
+    if not (budget_left st) then false
+    else
+      let draft = Llmsim.Chat.draft chat in
+      let ir, diags = Batfish.Parse_check.check Batfish.Parse_check.Cisco_ios draft in
+      match first_error diags with
+      | Some diag -> (
+          match send st chat (Humanizer.of_diag diag) ~note:"syntax" with
+          | Some _ -> loop ()
+          | None -> false)
+      | None -> (
+          let violations =
+            List.filter_map
+              (fun (_, outcome) ->
+                match outcome with
+                | Batfish.Search_route_policies.Violated v -> Some v
+                | Batfish.Search_route_policies.Holds
+                | Batfish.Search_route_policies.Policy_missing ->
+                    None)
+              (Batfish.Search_route_policies.check_all ir task.Modularizer.specs)
+          in
+          match violations with
+          | [] -> true
+          | v :: _ -> (
+              (match v.Batfish.Search_route_policies.spec.Batfish.Search_route_policies.requirement with
+              | Batfish.Search_route_policies.Denies
+              | Batfish.Search_route_policies.Permits
+              | Batfish.Search_route_policies.Adds_community _ ->
+                  (* A pre-existing local policy broke: the verifier caught
+                     interference with the verified configuration. *)
+                  interference := true
+              | Batfish.Search_route_policies.Prepends _ -> ());
+              match send st chat (Humanizer.of_violation v) ~note:"semantic" with
+              | Some _ -> loop ()
+              | None -> false))
+  in
+  let specs_hold = loop () in
+  let hub_config, _ = Cisco.Parser.parse (Llmsim.Chat.draft chat) in
+  let configs =
+    (star.Netcore.Star.hub, hub_config)
+    :: List.remove_assoc star.Netcore.Star.hub base_configs
+  in
+  let global_ok = specs_hold && fst (Modularizer.no_transit_holds star configs) in
+  {
+    inc_transcript = finish st (specs_hold && global_ok);
+    hub_config;
+    specs_hold;
+    global_ok;
+    interference_caught = !interference;
+  }

@@ -1,0 +1,129 @@
+(** The Verified Prompt Programming loops (Figure 3).
+
+    Both use cases share the shape: the LLM drafts, the verifier suite finds
+    problems in a fixed order (syntax, then structure/topology, then
+    semantics), the humanizer turns the first outstanding finding into an
+    automated prompt, and the loop repeats. A finding that survives
+    [stall_threshold] automated prompts escalates to a (simulated) human
+    prompt — the slow manual loop of Figure 2. Leverage is the ratio of
+    automated to human prompts. *)
+
+open Policy
+
+type origin = Auto | Human
+
+type event = { origin : origin; prompt : string; note : string }
+
+type transcript = {
+  events : event list;
+  human_prompts : int;  (** Includes the initial task prompt. *)
+  auto_prompts : int;
+  converged : bool;
+  rounds : int;  (** Verifier passes executed. *)
+}
+
+val leverage : transcript -> float
+(** [auto / human]; infinite leverage is reported as [auto] (never happens
+    with the initial prompt counted). *)
+
+val transcript_to_markdown : title:string -> transcript -> string
+(** The conversation as a markdown document: one section per prompt, tagged
+    automated/human with the verifier stage that produced it. *)
+
+(** {2 Use case 1: Cisco → Juniper translation} *)
+
+type class_outcome = {
+  class_ : Llmsim.Error_class.t;
+  fixed_by_generated_prompt : bool;
+      (** False when the class needed a human prompt or first morphed into a
+          different error (the paper's Table 2 "No" rows). *)
+}
+
+type translation_result = {
+  transcript : transcript;
+  final_text : string;  (** The last Juniper draft. *)
+  outcomes : class_outcome list;  (** Per error class seen during the run. *)
+  verified : bool;  (** Batfish and Campion both clean at the end. *)
+}
+
+val run_translation :
+  ?seed:int ->
+  ?force_faults:Llmsim.Fault.t list ->
+  ?suppress_random:bool ->
+  ?max_prompts:int ->
+  ?stall_threshold:int ->
+  ?quality:float ->
+  cisco_text:string ->
+  unit ->
+  translation_result
+(** [quality] (default 0) simulates a better future LLM; see
+    {!Llmsim.Chat.start}. *)
+
+val table2_faults : cisco_text:string -> Llmsim.Fault.t list
+(** One representative fault per Table 2 row, targeted at the reference
+    config — used to pin the Table 2 reproduction. *)
+
+(** {2 Use case 2: no-transit on a star network} *)
+
+type final_check = Simulate | Prove | Both
+(** How the global no-transit policy is checked once every router verifies
+    locally: the paper's whole-network BGP simulation, the Lightyear-style
+    modular proof, or both (they must agree — the proof is sound). *)
+
+type synthesis_result = {
+  transcript : transcript;
+  configs : (string * Config_ir.t) list;
+  per_router_verified : (string * bool) list;
+  global_ok : bool;
+  global_violations : string list;
+  proof : Lightyear.result option;  (** Set when [final_check] involves the proof. *)
+}
+
+val run_no_transit :
+  ?seed:int ->
+  ?use_iips:bool ->
+  ?max_prompts:int ->
+  ?stall_threshold:int ->
+  ?final_check:final_check ->
+  routers:int ->
+  unit ->
+  synthesis_result
+(** [use_iips] defaults to true (the paper supplies the IIPs); switching it
+    off is the S1 ablation. [final_check] defaults to [Simulate].
+
+    Faults that pass every local check (crossed policy attachments) surface
+    only here; the driver then feeds a whole-network counterexample prompt
+    back to the hub's chat — the "global feedback" the paper found far less
+    actionable than local findings — escalating to the human as usual. *)
+
+(** {2 Extension: incremental policy addition}
+
+    The paper's closing question: "Can GPT-4 add a new policy incrementally
+    without interfering with existing verified policy?" Starting from the
+    verified no-transit network, the hub is asked to prepend the AS path on
+    routes exported to one ISP; the simulated LLM's edit-specific mistakes
+    (inserting the new term before the verified deny stanzas, or editing the
+    wrong route map) are caught by the same local specs plus the new prepend
+    requirement. *)
+
+type incremental_result = {
+  inc_transcript : transcript;
+  hub_config : Config_ir.t;
+  specs_hold : bool;  (** Old specs and the new one, at the end. *)
+  global_ok : bool;  (** No-transit still holds network-wide. *)
+  interference_caught : bool;
+      (** A violation of the {e pre-existing} policy was raised (and
+          repaired) during the run — the verifier protecting the verified
+          configuration. *)
+}
+
+val run_incremental :
+  ?seed:int ->
+  ?max_prompts:int ->
+  ?stall_threshold:int ->
+  ?target:string ->
+  ?prepend:int list ->
+  routers:int ->
+  unit ->
+  incremental_result
+(** Defaults: [target] = "R2", [prepend] = the hub AS twice. *)

@@ -1,0 +1,32 @@
+(** The humanizer: "simple code ... that converts the feedback to natural
+    language prompts that are given to GPT-4".
+
+    Each verifier's findings are rendered with the formulaic templates of
+    Tables 1 and 3 (fixed text plus fields from the verifier), paired with
+    the structured fault reference the simulated LLM consumes. *)
+
+open Netcore
+
+type prompt = { text : string; refs : Llmsim.Fault.t list }
+
+val of_diag : Diag.t -> prompt
+(** Syntax errors: "There is a syntax error: '...'" with a class inferred
+    from the targeted parser messages. *)
+
+val of_campion : Campion.Differ.finding -> prompt
+(** Structural mismatch / attribute difference / policy behavior difference
+    templates of Table 1. *)
+
+val of_topology : Topoverify.Verifier.finding -> prompt
+(** Table 3 topology messages pass through with their location attached. *)
+
+val of_violation : Batfish.Search_route_policies.violation -> prompt
+(** Table 3 semantic template: "The route-map X permits routes that have the
+    community C. However, they should be denied." *)
+
+val of_global_violations : hub:string -> string list -> prompt
+(** A whole-network counterexample ("as would be provided by a 'global'
+    network verifier like Minesweeper") — the feedback the paper found
+    GPT-4 handles poorly. Carries a crossed-attachment reference since a
+    network whose routers all verify locally can only fail globally through
+    mis-attachment. *)

@@ -1,0 +1,68 @@
+type summary = {
+  runs : int;
+  converged : int;
+  mean_auto : float;
+  mean_human : float;
+  mean_leverage : float;
+  stddev_leverage : float;
+  min_leverage : float;
+  max_leverage : float;
+}
+
+let summarize transcripts =
+  let n = List.length transcripts in
+  if n = 0 then
+    {
+      runs = 0;
+      converged = 0;
+      mean_auto = 0.;
+      mean_human = 0.;
+      mean_leverage = 0.;
+      stddev_leverage = 0.;
+      min_leverage = 0.;
+      max_leverage = 0.;
+    }
+  else
+    let fn = float_of_int n in
+    let leverages = List.map Driver.leverage transcripts in
+    let mean_leverage = List.fold_left ( +. ) 0. leverages /. fn in
+    let stddev_leverage =
+      sqrt
+        (List.fold_left (fun acc l -> acc +. ((l -. mean_leverage) ** 2.)) 0. leverages
+        /. fn)
+    in
+    {
+      runs = n;
+      converged =
+        List.length (List.filter (fun (t : Driver.transcript) -> t.Driver.converged) transcripts);
+      mean_auto =
+        List.fold_left (fun acc (t : Driver.transcript) -> acc +. float_of_int t.Driver.auto_prompts) 0. transcripts
+        /. fn;
+      mean_human =
+        List.fold_left (fun acc (t : Driver.transcript) -> acc +. float_of_int t.Driver.human_prompts) 0. transcripts
+        /. fn;
+      mean_leverage;
+      stddev_leverage;
+      min_leverage = List.fold_left min infinity leverages;
+      max_leverage = List.fold_left max neg_infinity leverages;
+    }
+
+let translation_summary ?(runs = 20) ?(base_seed = 1000) ~cisco_text () =
+  let transcripts =
+    List.init runs (fun i ->
+        (Driver.run_translation ~seed:(base_seed + i) ~cisco_text ()).Driver.transcript)
+  in
+  summarize transcripts
+
+let no_transit_summary ?(runs = 20) ?(base_seed = 2000) ?(use_iips = true) ~routers () =
+  let transcripts =
+    List.init runs (fun i ->
+        (Driver.run_no_transit ~seed:(base_seed + i) ~use_iips ~routers ()).Driver.transcript)
+  in
+  summarize transcripts
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "runs=%d converged=%d auto=%.1f human=%.1f leverage=%.1fx +/- %.1f (min %.1f, max %.1f)"
+    s.runs s.converged s.mean_auto s.mean_human s.mean_leverage s.stddev_leverage
+    s.min_leverage s.max_leverage

@@ -1,0 +1,22 @@
+(** Leverage statistics over many seeded runs. *)
+
+type summary = {
+  runs : int;
+  converged : int;
+  mean_auto : float;
+  mean_human : float;
+  mean_leverage : float;
+  stddev_leverage : float;
+  min_leverage : float;
+  max_leverage : float;
+}
+
+val summarize : Driver.transcript list -> summary
+
+val translation_summary :
+  ?runs:int -> ?base_seed:int -> cisco_text:string -> unit -> summary
+
+val no_transit_summary :
+  ?runs:int -> ?base_seed:int -> ?use_iips:bool -> routers:int -> unit -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,36 @@
+let widths header rows =
+  let cols = List.length header in
+  let all = header :: rows in
+  List.init cols (fun i ->
+      List.fold_left
+        (fun acc row ->
+          match List.nth_opt row i with
+          | Some cell -> max acc (String.length cell)
+          | None -> acc)
+        0 all)
+
+let pad s w = s ^ String.make (max 0 (w - String.length s)) ' '
+
+let table ~title ~header rows =
+  let ws = widths header rows in
+  let line = String.concat "  " (List.map (fun w -> String.make w '-') ws) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (String.concat "  " (List.mapi (fun i c -> pad c (List.nth ws i)) header));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf line;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat "  " (List.mapi (fun i c -> pad c (List.nth ws i)) row));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let kv ~title pairs =
+  let w = List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (title ^ "\n");
+  List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %s : %s\n" (pad k w) v)) pairs;
+  Buffer.contents buf

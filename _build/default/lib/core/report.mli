@@ -1,0 +1,7 @@
+(** Plain-text table rendering for the benchmark harness and examples. *)
+
+val table : title:string -> header:string list -> string list list -> string
+(** Aligned columns, a rule under the header, the title above. *)
+
+val kv : title:string -> (string * string) list -> string
+(** A two-column key/value block. *)

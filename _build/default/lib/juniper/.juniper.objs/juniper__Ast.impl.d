@@ -1,0 +1,1 @@
+lib/juniper/ast.ml: Buffer Diag List Netcore Option Printf String

@@ -1,0 +1,1 @@
+lib/juniper/ast.mli: Netcore

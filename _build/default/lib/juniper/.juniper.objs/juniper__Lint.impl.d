@@ -1,0 +1,1 @@
+lib/juniper/lint.ml: Config_ir Diag Ipv4 List Netcore Policy Printf

@@ -1,0 +1,1 @@
+lib/juniper/lint.mli: Netcore Policy

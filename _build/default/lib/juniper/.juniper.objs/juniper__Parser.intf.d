@@ -1,0 +1,1 @@
+lib/juniper/parser.mli: Netcore Policy

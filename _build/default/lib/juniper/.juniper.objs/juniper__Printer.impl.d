@@ -1,0 +1,1 @@
+lib/juniper/printer.ml: Acl Action As_path_list Ast Community Community_list Config_ir Iface Int Ipv4 List Netcore Packet Policy Prefix Prefix_list Prefix_range Printf Route Route_map String Symbolic

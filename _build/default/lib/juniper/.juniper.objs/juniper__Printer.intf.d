@@ -1,0 +1,1 @@
+lib/juniper/printer.mli: Netcore Policy

@@ -1,0 +1,1 @@
+lib/juniper/translate.ml: Config_ir Iface List Netcore Option Policy Prefix Route Route_map String

@@ -1,0 +1,1 @@
+lib/juniper/translate.mli: Netcore Policy

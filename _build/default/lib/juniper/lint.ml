@@ -1,0 +1,22 @@
+open Netcore
+open Policy
+
+let check (c : Config_ir.t) =
+  let diags = ref [] in
+  let warn fmt = Printf.ksprintf (fun s -> diags := Diag.warning s :: !diags) fmt in
+  List.iter
+    (fun missing -> warn "reference to undefined %s" missing)
+    (Config_ir.undefined_references c);
+  (match c.bgp with
+  | None -> ()
+  | Some b ->
+      List.iter
+        (fun (n : Config_ir.neighbor) ->
+          if n.remote_as <= 0 then
+            warn "neighbor %s has no peer-as" (Ipv4.to_string n.addr))
+        b.neighbors;
+      if b.redistributions <> [] then
+        warn
+          "redistribution statements are not expressible in Junos; fold them into \
+           export policies (Translate.of_cisco_ir)");
+  List.rev !diags

@@ -1,0 +1,6 @@
+(** Semantic lint on a parsed Junos configuration. *)
+
+val check : Policy.Config_ir.t -> Netcore.Diag.t list
+(** Reports dangling references, neighbors without peer-as, policies
+    attached nowhere, and route maps containing redistribution statements
+    (inexpressible in this dialect — see {!Translate}). *)

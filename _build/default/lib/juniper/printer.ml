@@ -1,0 +1,367 @@
+open Netcore
+open Policy
+
+let leaf ?(line = 0) keywords = { Ast.keywords; children = None; line }
+let block ?(line = 0) keywords children = { Ast.keywords; children = Some children; line }
+
+(* ------------------------------------------------------------------ *)
+(* Prefix lists -> route-filter lines                                  *)
+(* ------------------------------------------------------------------ *)
+
+let is_exact_permit_list (l : Prefix_list.t) =
+  List.for_all
+    (fun (e : Prefix_list.entry) ->
+      e.action = Action.Permit && Prefix_range.is_exact e.range)
+    l.entries
+
+let len_runs lens =
+  let rec runs acc cur = function
+    | [] -> List.rev (match cur with None -> acc | Some r -> r :: acc)
+    | n :: rest -> (
+        match cur with
+        | Some (lo, hi) when n = hi + 1 -> runs acc (Some (lo, n)) rest
+        | Some r -> runs (r :: acc) (Some (n, n)) rest
+        | None -> runs acc (Some (n, n)) rest)
+  in
+  runs [] None (Symbolic.Len_set.to_list lens)
+
+let modifier_of_run ~base_len (lo, hi) =
+  if lo = base_len && hi = base_len then "exact"
+  else if lo = base_len && hi = 32 then "orlonger"
+  else if lo = base_len then Printf.sprintf "upto /%d" hi
+  else Printf.sprintf "prefix-length-range /%d-/%d" lo hi
+
+let route_filters_of_prefix_list l =
+  let space = Symbolic.Guard.compile_prefix_list l in
+  List.concat_map
+    (fun (a : Symbolic.Prefix_space.atom) ->
+      let base_len = Prefix.len a.base in
+      List.map
+        (fun run -> (Prefix.to_string a.base, modifier_of_run ~base_len run))
+        (len_runs a.lens))
+    (Symbolic.Prefix_space.atoms space)
+
+(* ------------------------------------------------------------------ *)
+(* Community names                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let community_def_name comms =
+  "COMM-"
+  ^ String.concat "-"
+      (List.map
+         (fun c ->
+           let s = Community.to_string c in
+           String.map (fun ch -> if ch = ':' then '-' else ch) s)
+         comms)
+
+(* ------------------------------------------------------------------ *)
+(* Policy statements                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type defs = {
+  mutable communities : (string * Community.t list) list;
+  mutable warnings : string list;
+}
+
+let register_community defs name members =
+  if not (List.mem_assoc name defs.communities) then
+    defs.communities <- defs.communities @ [ (name, members) ]
+
+let from_lines (c : Config_ir.t) defs = function
+  | Route_map.Match_prefix_list n -> (
+      match Config_ir.find_prefix_list c n with
+      | Some l when is_exact_permit_list l -> [ leaf [ "prefix-list"; n ] ]
+      | Some l ->
+          List.map
+            (fun (p, m) ->
+              leaf (("route-filter" :: p :: String.split_on_char ' ' m)))
+            (route_filters_of_prefix_list l)
+      | None -> [ leaf [ "prefix-list"; n ] ])
+  | Route_map.Match_community_list n -> (
+      match Config_ir.find_community_list c n with
+      | Some l -> (
+          match l.Community_list.entries with
+          | [ e ] when e.Community_list.action = Action.Permit ->
+              register_community defs n e.Community_list.communities;
+              [ leaf [ "community"; n ] ]
+          | entries ->
+              (* OR across entries: one named community per entry, all cited
+                 in a single bracketed from clause. *)
+              let names =
+                List.mapi
+                  (fun i (e : Community_list.entry) ->
+                    let name = Printf.sprintf "%s-%d" n (i + 1) in
+                    register_community defs name e.Community_list.communities;
+                    name)
+                  entries
+              in
+              [ leaf ("community" :: names) ])
+      | None -> [ leaf [ "community"; n ] ])
+  | Route_map.Match_as_path n -> [ leaf [ "as-path"; n ] ]
+  | Route_map.Match_source_protocol s ->
+      [ leaf [ "protocol"; Route.source_to_string s ] ]
+  | Route_map.Match_med m -> [ leaf [ "metric"; string_of_int m ] ]
+  | Route_map.Match_tag t -> [ leaf [ "tag"; string_of_int t ] ]
+
+let then_lines defs (e : Route_map.entry) =
+  let set_line = function
+    | Route_map.Set_med m -> [ leaf [ "metric"; string_of_int m ] ]
+    | Route_map.Set_local_pref p -> [ leaf [ "local-preference"; string_of_int p ] ]
+    | Route_map.Set_community { communities; additive } ->
+        let name = community_def_name communities in
+        register_community defs name communities;
+        [ leaf [ "community"; (if additive then "add" else "set"); name ] ]
+    | Route_map.Set_community_delete n -> [ leaf [ "community"; "delete"; n ] ]
+    | Route_map.Set_next_hop a -> [ leaf [ "next-hop"; Ipv4.to_string a ] ]
+    | Route_map.Set_as_path_prepend asns ->
+        [ leaf [ "as-path-prepend"; String.concat " " (List.map string_of_int asns) ] ]
+  in
+  List.concat_map set_line e.sets
+  @ [ leaf [ (match e.action with Action.Permit -> "accept" | Action.Deny -> "reject") ] ]
+
+let term_of_entry (c : Config_ir.t) defs (e : Route_map.entry) =
+  let froms = List.concat_map (from_lines c defs) e.matches in
+  let body =
+    (if froms = [] then [] else [ block [ "from" ] froms ])
+    @ [ block [ "then" ] (then_lines defs e) ]
+  in
+  block [ "term"; Printf.sprintf "t%d" e.seq ] body
+
+let policy_statement c defs (m : Route_map.t) =
+  block [ "policy-statement"; m.name ] (List.map (term_of_entry c defs) m.entries)
+
+(* ------------------------------------------------------------------ *)
+(* Top-level sections                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let firewall_section (c : Config_ir.t) =
+  if c.Config_ir.acls = [] then []
+  else
+    let term (e : Acl.entry) =
+      let froms =
+        (match e.Acl.proto with
+        | Acl.Any_proto -> []
+        | Acl.Proto p -> [ leaf [ "protocol"; Packet.proto_to_string p ] ])
+        @ (if Prefix.equal e.Acl.src Prefix.default then []
+           else [ leaf [ "source-address"; Prefix.to_string e.Acl.src ] ])
+        @ (if Prefix.equal e.Acl.dst Prefix.default then []
+           else [ leaf [ "destination-address"; Prefix.to_string e.Acl.dst ] ])
+        @
+        match e.Acl.dst_port with
+        | Acl.Any_port -> []
+        | Acl.Eq p -> [ leaf [ "destination-port"; string_of_int p ] ]
+        | Acl.Port_range (lo, hi) ->
+            [ leaf [ "destination-port"; Printf.sprintf "%d-%d" lo hi ] ]
+      in
+      let action =
+        match e.Acl.action with Action.Permit -> "accept" | Action.Deny -> "discard"
+      in
+      block
+        [ "term"; Printf.sprintf "t%d" e.Acl.seq ]
+        ((if froms = [] then [] else [ block [ "from" ] froms ])
+        @ [ block [ "then" ] [ leaf [ action ] ] ])
+    in
+    let filter (a : Acl.t) =
+      block [ "filter"; a.Acl.name ] (List.map term a.Acl.entries)
+    in
+    [ block [ "firewall" ] [ block [ "family"; "inet" ] (List.map filter c.Config_ir.acls) ] ]
+
+let interfaces_section (c : Config_ir.t) =
+  let iface_node (i : Config_ir.interface) =
+    let phys = Iface.junos_name i.iface in
+    let phys =
+      match String.index_opt phys '.' with
+      | Some idx -> String.sub phys 0 idx
+      | None -> phys
+    in
+    let filter_attach =
+      let ins = match i.acl_in with Some n -> [ leaf [ "input"; n ] ] | None -> [] in
+      let outs = match i.acl_out with Some n -> [ leaf [ "output"; n ] ] | None -> [] in
+      if ins = [] && outs = [] then [] else [ block [ "filter" ] (ins @ outs) ]
+    in
+    let family =
+      let addr =
+        match i.address with
+        | Some (a, len) ->
+            [ leaf [ "address"; Printf.sprintf "%s/%d" (Ipv4.to_string a) len ] ]
+        | None -> []
+      in
+      if addr = [] && filter_attach = [] then []
+      else [ block [ "family"; "inet" ] (filter_attach @ addr) ]
+    in
+    let unit = block [ "unit"; "0" ] family in
+    let body =
+      (match i.description with
+      | Some d -> [ leaf [ "description"; d ] ]
+      | None -> [])
+      @ (if i.shutdown then [ leaf [ "disable" ] ] else [])
+      @ [ unit ]
+    in
+    block [ phys ] body
+  in
+  if c.interfaces = [] then [] else [ block [ "interfaces" ] (List.map iface_node c.interfaces) ]
+
+let routing_options_section (c : Config_ir.t) =
+  let statics =
+    if c.statics = [] then []
+    else
+      [
+        block [ "static" ]
+          (List.map
+             (fun (r : Config_ir.static_route) ->
+               block
+                 [ "route"; Prefix.to_string r.Config_ir.destination ]
+                 [ leaf [ "next-hop"; Ipv4.to_string r.Config_ir.next_hop ] ])
+             c.statics);
+      ]
+  in
+  let body =
+    statics
+    @
+    (match c.bgp with
+    | Some b ->
+        (match b.router_id with
+        | Some r -> [ leaf [ "router-id"; Ipv4.to_string r ] ]
+        | None -> [])
+        @ (if b.asn > 0 then [ leaf [ "autonomous-system"; string_of_int b.asn ] ] else [])
+        @
+        if b.networks = [] then []
+        else
+          [
+            block [ "announce" ]
+              (List.map (fun p -> leaf [ Prefix.to_string p ]) b.networks);
+          ]
+    | None -> [])
+  in
+  if body = [] then [] else [ block [ "routing-options" ] body ]
+
+let bgp_section (c : Config_ir.t) =
+  match c.bgp with
+  | None -> []
+  | Some b ->
+      let group (n : Config_ir.neighbor) =
+        let name =
+          "PEER-"
+          ^ String.map (fun ch -> if ch = '.' then '-' else ch) (Ipv4.to_string n.addr)
+        in
+        let neighbor_body =
+          (if n.remote_as > 0 then [ leaf [ "peer-as"; string_of_int n.remote_as ] ] else [])
+          @ (match n.local_as with
+            | Some a -> [ leaf [ "local-as"; string_of_int a ] ]
+            | None -> [])
+          @ (match n.description with
+            | Some d -> [ leaf [ "description"; d ] ]
+            | None -> [])
+          @ (match n.import_policy with
+            | Some p -> [ leaf [ "import"; p ] ]
+            | None -> [])
+          @
+          match n.export_policy with
+          | Some p -> [ leaf [ "export"; p ] ]
+          | None -> []
+        in
+        block [ "group"; name ]
+          [
+            leaf [ "type"; "external" ];
+            block [ "neighbor"; Ipv4.to_string n.addr ] neighbor_body;
+          ]
+      in
+      [ block [ "bgp" ] (List.map group b.neighbors) ]
+
+let ospf_section (c : Config_ir.t) =
+  match c.ospf with
+  | None -> []
+  | Some o ->
+      let areas =
+        List.sort_uniq Int.compare
+          (List.map (fun (oi : Config_ir.ospf_interface) -> oi.area) o.interfaces)
+      in
+      let area_node area =
+        let ifaces =
+          List.filter (fun (oi : Config_ir.ospf_interface) -> oi.area = area) o.interfaces
+        in
+        let iface_node (oi : Config_ir.ospf_interface) =
+          let body =
+            (match oi.cost with
+            | Some m -> [ leaf [ "metric"; string_of_int m ] ]
+            | None -> [])
+            @ if oi.passive then [ leaf [ "passive" ] ] else []
+          in
+          block [ "interface"; Iface.junos_name oi.iface ] body
+        in
+        block [ "area"; Printf.sprintf "0.0.0.%d" area ] (List.map iface_node ifaces)
+      in
+      if areas = [] then [] else [ block [ "ospf" ] (List.map area_node areas) ]
+
+let policy_options_section (c : Config_ir.t) defs =
+  let prefix_lists =
+    List.filter_map
+      (fun (l : Prefix_list.t) ->
+        if is_exact_permit_list l then
+          Some
+            (block [ "prefix-list"; l.name ]
+               (List.map
+                  (fun (e : Prefix_list.entry) ->
+                    leaf [ Prefix.to_string (Prefix_range.base e.range) ])
+                  l.entries))
+        else None)
+      c.prefix_lists
+  in
+  let statements = List.map (policy_statement c defs) c.route_maps in
+  let communities =
+    List.map
+      (fun (name, members) ->
+        leaf
+          (("community" :: name :: "members"
+           :: List.map Community.to_string members)))
+      defs.communities
+  in
+  let as_paths =
+    List.concat_map
+      (fun (l : As_path_list.t) ->
+        match
+          List.find_opt (fun (e : As_path_list.entry) -> e.action = Action.Permit) l.entries
+        with
+        | Some e -> [ leaf [ "as-path"; l.name; e.regex ] ]
+        | None -> [])
+      c.as_path_lists
+  in
+  (* Definitions precede the statements that use them. *)
+  let body = prefix_lists @ communities @ as_paths @ statements in
+  if body = [] then [] else [ block [ "policy-options" ] body ]
+
+let print (c : Config_ir.t) =
+  let defs = { communities = []; warnings = [] } in
+  (* Pre-register named community lists referenced in delete actions. *)
+  List.iter
+    (fun (m : Route_map.t) ->
+      List.iter
+        (fun (e : Route_map.entry) ->
+          List.iter
+            (function
+              | Route_map.Set_community_delete n -> (
+                  match Config_ir.find_community_list c n with
+                  | Some { Community_list.entries = { Community_list.communities; _ } :: _; _ } ->
+                      register_community defs n communities
+                  | _ -> ())
+              | _ -> ())
+            e.Route_map.sets)
+        m.Route_map.entries)
+    c.route_maps;
+  let system = [ block [ "system" ] [ leaf [ "host-name"; c.hostname ] ] ] in
+  let policy = policy_options_section c defs in
+  let protocols =
+    let body = bgp_section c @ ospf_section c in
+    if body = [] then [] else [ block [ "protocols" ] body ]
+  in
+  let dropped =
+    match c.bgp with
+    | Some b when b.redistributions <> [] ->
+        "# note: redistributions are not expressible in this dialect; fold them \
+         into export policies with Translate.of_cisco_ir\n"
+    | _ -> ""
+  in
+  dropped
+  ^ Ast.render
+      (system @ interfaces_section c @ routing_options_section c @ firewall_section c
+      @ protocols @ policy)

@@ -1,0 +1,148 @@
+open Netcore
+open Policy
+
+let cisco_default_ospf_cost iface = if Iface.is_loopback iface then 1 else 10
+let junos_default_ospf_metric iface = if Iface.is_loopback iface then 0 else 1
+
+(* Scope every entry of a map with an extra condition, keeping actions and
+   sets; deny entries are scoped too (a deny about bgp routes must not
+   swallow ospf routes that Cisco would never have shown it). *)
+let scope_entries cond entries =
+  List.map
+    (fun (e : Route_map.entry) ->
+      { e with Route_map.matches = cond :: e.matches })
+    entries
+
+let renumber ~start entries =
+  List.mapi (fun i (e : Route_map.entry) -> { e with Route_map.seq = start + (i * 10) }) entries
+
+let fold_redistributions (c : Config_ir.t) (b : Config_ir.bgp) =
+  if b.redistributions = [] then (c, b)
+  else
+    let redistribution_entries =
+      List.concat_map
+        (fun (r : Config_ir.redistribution) ->
+          let scope = Route_map.Match_source_protocol r.from_protocol in
+          match r.policy with
+          | None -> [ Route_map.entry ~matches:[ scope ] 0 ]
+          | Some name -> (
+              match Config_ir.find_route_map c name with
+              | Some m -> scope_entries scope m.Route_map.entries
+              | None ->
+                  (* Dangling redistribution policy: redistribute nothing,
+                     matching IOS behaviour for an undefined route-map being
+                     treated as deny-all in redistribution context. *)
+                  []))
+        b.redistributions
+    in
+    let rewrite_export (m : Route_map.t) =
+      let scoped =
+        scope_entries (Route_map.Match_source_protocol Route.Bgp) m.Route_map.entries
+      in
+      let all = renumber ~start:10 (scoped @ redistribution_entries) in
+      Route_map.make m.Route_map.name all
+    in
+    let export_names =
+      List.filter_map (fun (n : Config_ir.neighbor) -> n.export_policy) b.neighbors
+      |> List.sort_uniq String.compare
+    in
+    let route_maps =
+      List.map
+        (fun (m : Route_map.t) ->
+          if List.mem m.Route_map.name export_names then rewrite_export m else m)
+        c.route_maps
+    in
+    (* Neighbors without an export policy still leak redistributed routes in
+       IOS; give them a synthesized export policy expressing that. *)
+    let needs_synth =
+      List.exists (fun (n : Config_ir.neighbor) -> n.export_policy = None) b.neighbors
+    in
+    let synth_name = "EXPORT-ALL" in
+    let route_maps =
+      if needs_synth then
+        route_maps
+        @ [
+            Route_map.make synth_name
+              (renumber ~start:10
+                 (Route_map.entry ~matches:[ Route_map.Match_source_protocol Route.Bgp ] 0
+                 :: redistribution_entries));
+          ]
+      else route_maps
+    in
+    let neighbors =
+      List.map
+        (fun (n : Config_ir.neighbor) ->
+          match n.export_policy with
+          | Some _ -> n
+          | None -> { n with Config_ir.export_policy = Some synth_name })
+        b.neighbors
+    in
+    ({ c with Config_ir.route_maps }, { b with Config_ir.neighbors; redistributions = [] })
+
+let translate_ospf (c : Config_ir.t) (o : Config_ir.ospf) =
+  (* An interface belongs to the area of the first network statement that
+     covers its address; interfaces covered by no statement stay out. *)
+  let area_of addr =
+    List.find_map
+      (fun (p, area) -> if Prefix.contains_addr p addr then Some area else None)
+      o.networks
+  in
+  let member_interfaces =
+    List.filter_map
+      (fun (i : Config_ir.interface) ->
+        match i.address with
+        | Some (addr, _) when not i.shutdown -> (
+            match area_of addr with
+            | Some area -> Some (i.iface, area)
+            | None -> None)
+        | _ -> None)
+      c.interfaces
+  in
+  let explicit iface =
+    List.find_opt
+      (fun (oi : Config_ir.ospf_interface) -> Iface.equal oi.iface iface)
+      o.interfaces
+  in
+  let interfaces =
+    List.map
+      (fun (iface, area) ->
+        let prior = explicit iface in
+        let cost =
+          match Option.bind prior (fun (oi : Config_ir.ospf_interface) -> oi.cost) with
+          | Some cost -> cost
+          | None -> cisco_default_ospf_cost iface
+        in
+        let passive =
+          match prior with Some oi -> oi.Config_ir.passive | None -> false
+        in
+        { Config_ir.iface; cost = Some cost; passive; area })
+      member_interfaces
+  in
+  let interfaces =
+    List.sort
+      (fun (a : Config_ir.ospf_interface) (b : Config_ir.ospf_interface) ->
+        Iface.compare a.iface b.iface)
+      interfaces
+  in
+  { o with Config_ir.networks = []; interfaces; redistributions = [] }
+
+let of_cisco_ir (c : Config_ir.t) =
+  let c, bgp =
+    match c.bgp with
+    | None -> (c, None)
+    | Some b ->
+        let c, b = fold_redistributions c b in
+        (* Per-neighbor local-as defaults to the process AS explicitly, the
+           attribute whose omission Batfish flags. *)
+        let neighbors =
+          List.map
+            (fun (n : Config_ir.neighbor) ->
+              match n.local_as with
+              | Some _ -> n
+              | None -> { n with Config_ir.local_as = Some b.asn })
+            b.neighbors
+        in
+        (c, Some { b with Config_ir.neighbors })
+  in
+  let ospf = Option.map (translate_ospf c) c.ospf in
+  { c with Config_ir.bgp = bgp; ospf }

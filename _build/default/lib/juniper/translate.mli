@@ -1,0 +1,25 @@
+(** The reference Cisco → Juniper translation at the IR level.
+
+    This is the "correct translation" oracle: the simulated GPT-4 starts
+    from its output and the fault model perturbs it. It performs the two
+    restructurings real Junos requires and the paper calls out:
+
+    - Redistribution into BGP is folded into the neighbors' export policies
+      ("Juniper typically does this using the same routing policies that
+      control importing and exporting BGP routes"): every original export
+      term is scoped with [from protocol bgp] and one term per
+      redistribution (carrying the redistribution route-map's entries scoped
+      to its source protocol) is appended.
+    - OSPF [network ... area] statements become per-interface area
+      memberships, with the effective link cost made explicit (Cisco and
+      Junos have different defaults, so leaving it implicit changes
+      behaviour — the Table 1 "OSPF link cost" example). *)
+
+val cisco_default_ospf_cost : Netcore.Iface.t -> int
+(** 1 for loopbacks, 10 for Ethernet-class interfaces. *)
+
+val junos_default_ospf_metric : Netcore.Iface.t -> int
+(** 0 for loopbacks, 1 otherwise. *)
+
+val of_cisco_ir : Policy.Config_ir.t -> Policy.Config_ir.t
+(** Total; configurations without BGP/OSPF pass through mostly unchanged. *)

@@ -1,0 +1,1 @@
+lib/llmsim/chat.ml: Config_ir Error_class Fault Float List Policy Rng

@@ -1,0 +1,1 @@
+lib/llmsim/chat.mli: Config_ir Error_class Fault Policy

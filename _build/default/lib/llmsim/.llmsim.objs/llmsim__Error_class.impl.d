@@ -1,0 +1,1 @@
+lib/llmsim/error_class.ml:

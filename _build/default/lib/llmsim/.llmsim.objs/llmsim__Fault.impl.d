@@ -1,0 +1,1 @@
+lib/llmsim/fault.ml: Acl Action Cisco Community Community_list Config_ir Error_class Iface Int Ipv4 Juniper List Netcore Option Policy Prefix Prefix_list Prefix_range Printf Route_map String

@@ -1,0 +1,1 @@
+lib/llmsim/fault.mli: Config_ir Error_class Iface Ipv4 Netcore Policy Prefix

@@ -1,0 +1,1 @@
+lib/llmsim/rng.ml: Int64 List

@@ -1,0 +1,188 @@
+type t =
+  | Missing_local_as
+  | Bad_prefix_list_syntax
+  | Missing_import_policy
+  | Missing_export_policy
+  | Ospf_cost_wrong
+  | Ospf_passive_wrong
+  | Wrong_med
+  | Prefix_range_dropped
+  | Redistribution_unscoped
+  | Cli_keywords
+  | Match_community_literal
+  | Community_not_additive
+  | Neighbor_outside_bgp
+  | And_or_confusion
+  | Wrong_interface_ip
+  | Wrong_local_as
+  | Wrong_router_id
+  | Missing_neighbor_decl
+  | Extra_neighbor_decl
+  | Missing_network_decl
+  | Extra_network_decl
+  | Crossed_policy_attachment
+  | Policy_inserted_early
+  | Wrong_policy_modified
+  | Acl_action_flipped
+  | Acl_entry_dropped
+  | Acl_wrong_port
+
+type category = Syntax | Structural | Attribute | Policy_behavior | Topology | Semantic
+
+type profile = {
+  category : category;
+  injection_rate : float;
+  auto_fix : float;
+  human_fix : float;
+  successor : t option;
+  iip : string option;
+}
+
+let all =
+  [
+    Missing_local_as;
+    Bad_prefix_list_syntax;
+    Missing_import_policy;
+    Missing_export_policy;
+    Ospf_cost_wrong;
+    Ospf_passive_wrong;
+    Wrong_med;
+    Prefix_range_dropped;
+    Redistribution_unscoped;
+    Cli_keywords;
+    Match_community_literal;
+    Community_not_additive;
+    Neighbor_outside_bgp;
+    And_or_confusion;
+    Wrong_interface_ip;
+    Wrong_local_as;
+    Wrong_router_id;
+    Missing_neighbor_decl;
+    Extra_neighbor_decl;
+    Missing_network_decl;
+    Extra_network_decl;
+    Crossed_policy_attachment;
+    Policy_inserted_early;
+    Wrong_policy_modified;
+    Acl_action_flipped;
+    Acl_entry_dropped;
+    Acl_wrong_port;
+  ]
+
+(* Calibration notes. Table 2 reports which translation errors GPT-4 fixed
+   from the generated prompt alone: everything except the prefix-length
+   match (which first morphs into the /24-32 syntax error and converges only
+   through that detour) and the redistribution scoping (which GPT-4 "usually
+   does nothing" about until a human asks directly). In the synthesis
+   experiment the AND/OR confusion and the misplaced neighbor command also
+   resisted automated prompts. *)
+let profile = function
+  | Missing_local_as ->
+      { category = Syntax; injection_rate = 0.9; auto_fix = 0.95; human_fix = 1.0; successor = None; iip = None }
+  | Bad_prefix_list_syntax ->
+      { category = Syntax; injection_rate = 0.0; auto_fix = 0.85; human_fix = 1.0; successor = None; iip = None }
+  | Missing_import_policy ->
+      { category = Structural; injection_rate = 0.7; auto_fix = 0.9; human_fix = 1.0; successor = None; iip = None }
+  | Missing_export_policy ->
+      { category = Structural; injection_rate = 0.7; auto_fix = 0.9; human_fix = 1.0; successor = None; iip = None }
+  | Ospf_cost_wrong ->
+      { category = Attribute; injection_rate = 0.8; auto_fix = 0.9; human_fix = 1.0; successor = None; iip = None }
+  | Ospf_passive_wrong ->
+      { category = Attribute; injection_rate = 0.7; auto_fix = 0.9; human_fix = 1.0; successor = None; iip = None }
+  | Wrong_med ->
+      { category = Policy_behavior; injection_rate = 0.8; auto_fix = 0.85; human_fix = 1.0; successor = None; iip = None }
+  | Prefix_range_dropped ->
+      { category = Policy_behavior; injection_rate = 0.9; auto_fix = 0.0; human_fix = 1.0;
+        successor = Some Bad_prefix_list_syntax; iip = None }
+  | Redistribution_unscoped ->
+      { category = Policy_behavior; injection_rate = 0.9; auto_fix = 0.0; human_fix = 1.0; successor = None; iip = None }
+  | Cli_keywords ->
+      { category = Syntax; injection_rate = 0.8; auto_fix = 0.9; human_fix = 1.0; successor = None; iip = Some "cfg-files-only" }
+  | Match_community_literal ->
+      { category = Syntax; injection_rate = 0.6; auto_fix = 0.85; human_fix = 1.0; successor = None; iip = Some "community-list-matching" }
+  | Community_not_additive ->
+      { category = Semantic; injection_rate = 0.6; auto_fix = 0.8; human_fix = 1.0; successor = None; iip = Some "additive-community" }
+  | Neighbor_outside_bgp ->
+      { category = Syntax; injection_rate = 0.03; auto_fix = 0.0; human_fix = 1.0; successor = None; iip = None }
+  | And_or_confusion ->
+      { category = Semantic; injection_rate = 0.2; auto_fix = 0.0; human_fix = 1.0; successor = None; iip = None }
+  | Wrong_interface_ip ->
+      { category = Topology; injection_rate = 0.03; auto_fix = 0.9; human_fix = 1.0; successor = None; iip = None }
+  | Wrong_local_as ->
+      { category = Topology; injection_rate = 0.06; auto_fix = 0.9; human_fix = 1.0; successor = None; iip = None }
+  | Wrong_router_id ->
+      { category = Topology; injection_rate = 0.06; auto_fix = 0.9; human_fix = 1.0; successor = None; iip = None }
+  | Missing_neighbor_decl ->
+      { category = Topology; injection_rate = 0.05; auto_fix = 0.9; human_fix = 1.0; successor = None; iip = None }
+  | Extra_neighbor_decl ->
+      { category = Topology; injection_rate = 0.04; auto_fix = 0.9; human_fix = 1.0; successor = None; iip = None }
+  | Missing_network_decl ->
+      { category = Topology; injection_rate = 0.03; auto_fix = 0.9; human_fix = 1.0; successor = None; iip = None }
+  | Extra_network_decl ->
+      { category = Topology; injection_rate = 0.03; auto_fix = 0.9; human_fix = 1.0; successor = None; iip = None }
+  | Crossed_policy_attachment ->
+      (* Only the whole-network check catches this, and its counterexamples
+         are the "global" feedback the paper says confused GPT-4. *)
+      { category = Semantic; injection_rate = 0.05; auto_fix = 0.25; human_fix = 1.0; successor = None; iip = None }
+  | Policy_inserted_early ->
+      (* Incremental edits: the new term is placed before the existing deny
+         stanzas, silently bypassing the verified policy. *)
+      { category = Semantic; injection_rate = 0.5; auto_fix = 0.7; human_fix = 1.0; successor = None; iip = None }
+  | Wrong_policy_modified ->
+      { category = Semantic; injection_rate = 0.25; auto_fix = 0.85; human_fix = 1.0; successor = None; iip = None }
+  | Acl_action_flipped ->
+      { category = Policy_behavior; injection_rate = 0.4; auto_fix = 0.85; human_fix = 1.0; successor = None; iip = None }
+  | Acl_entry_dropped ->
+      { category = Policy_behavior; injection_rate = 0.35; auto_fix = 0.9; human_fix = 1.0; successor = None; iip = None }
+  | Acl_wrong_port ->
+      { category = Policy_behavior; injection_rate = 0.35; auto_fix = 0.85; human_fix = 1.0; successor = None; iip = None }
+
+let category_to_string = function
+  | Syntax -> "syntax"
+  | Structural -> "structural"
+  | Attribute -> "attribute"
+  | Policy_behavior -> "policy behavior"
+  | Topology -> "topology"
+  | Semantic -> "semantic"
+
+let to_string = function
+  | Missing_local_as -> "missing-local-as"
+  | Bad_prefix_list_syntax -> "bad-prefix-list-syntax"
+  | Missing_import_policy -> "missing-import-policy"
+  | Missing_export_policy -> "missing-export-policy"
+  | Ospf_cost_wrong -> "ospf-cost-wrong"
+  | Ospf_passive_wrong -> "ospf-passive-wrong"
+  | Wrong_med -> "wrong-med"
+  | Prefix_range_dropped -> "prefix-range-dropped"
+  | Redistribution_unscoped -> "redistribution-unscoped"
+  | Cli_keywords -> "cli-keywords"
+  | Match_community_literal -> "match-community-literal"
+  | Community_not_additive -> "community-not-additive"
+  | Neighbor_outside_bgp -> "neighbor-outside-bgp"
+  | And_or_confusion -> "and-or-confusion"
+  | Wrong_interface_ip -> "wrong-interface-ip"
+  | Wrong_local_as -> "wrong-local-as"
+  | Wrong_router_id -> "wrong-router-id"
+  | Missing_neighbor_decl -> "missing-neighbor-decl"
+  | Extra_neighbor_decl -> "extra-neighbor-decl"
+  | Missing_network_decl -> "missing-network-decl"
+  | Extra_network_decl -> "extra-network-decl"
+  | Crossed_policy_attachment -> "crossed-policy-attachment"
+  | Policy_inserted_early -> "policy-inserted-early"
+  | Wrong_policy_modified -> "wrong-policy-modified"
+  | Acl_action_flipped -> "acl-action-flipped"
+  | Acl_entry_dropped -> "acl-entry-dropped"
+  | Acl_wrong_port -> "acl-wrong-port"
+
+let table2_label = function
+  | Missing_local_as -> Some "Missing BGP local-as attribute"
+  | Bad_prefix_list_syntax -> Some "Invalid syntax for prefix lists"
+  | Missing_import_policy | Missing_export_policy -> Some "Missing/extra BGP route policy"
+  | Ospf_cost_wrong -> Some "Different OSPF link cost"
+  | Ospf_passive_wrong -> Some "Different OSPF passive interface setting"
+  | Wrong_med -> Some "Setting wrong BGP MED value"
+  | Prefix_range_dropped -> Some "Different prefix lengths match in BGP"
+  | Redistribution_unscoped -> Some "Different redistribution into BGP"
+  | _ -> None
+
+let equal (a : t) b = a = b

@@ -1,0 +1,71 @@
+(** The error taxonomy of the simulated GPT-4.
+
+    One constructor per mistake class the paper reports (Table 2 for
+    translation, Section 4.2 for local synthesis), with a calibrated profile:
+    how often the class is injected into a fresh draft, how likely an
+    automated (humanizer-generated) prompt is to fix it, how likely a
+    targeted human prompt is, and whether an Initial Instruction Prompt
+    suppresses it altogether. *)
+
+type t =
+  (* Cisco -> Juniper translation (Table 2). *)
+  | Missing_local_as  (** Neither autonomous-system nor local-as emitted. *)
+  | Bad_prefix_list_syntax  (** The invalid [1.2.3.0/24-32] shorthand. *)
+  | Missing_import_policy
+  | Missing_export_policy
+  | Ospf_cost_wrong
+  | Ospf_passive_wrong
+  | Wrong_med  (** A route-map clause forgets to update the MED. *)
+  | Prefix_range_dropped  (** [ge]/[le] bounds silently dropped. *)
+  | Redistribution_unscoped
+      (** Export terms not scoped by source protocol: extra routes
+          redistributed into BGP. *)
+  (* Local synthesis (Section 4.2). *)
+  | Cli_keywords  (** [configure terminal] / [end] / [write] in the file. *)
+  | Match_community_literal  (** [match community 100:1]. *)
+  | Community_not_additive  (** [set community] without [additive]. *)
+  | Neighbor_outside_bgp  (** A neighbor command outside the router bgp block. *)
+  | And_or_confusion  (** All community matches in one stanza. *)
+  | Wrong_interface_ip
+  | Wrong_local_as
+  | Wrong_router_id
+  | Missing_neighbor_decl
+  | Extra_neighbor_decl
+  | Missing_network_decl
+  | Extra_network_decl
+  | Crossed_policy_attachment
+      (** Ingress policies attached to the wrong neighbors — caught only by
+          the whole-network check (simulation or modular proof). *)
+  | Policy_inserted_early
+      (** An incrementally added term placed before the existing deny
+          stanzas, bypassing the verified policy. *)
+  | Wrong_policy_modified
+      (** The incremental change landed in a different route map. *)
+  | Acl_action_flipped  (** A permit became a deny (or vice versa). *)
+  | Acl_entry_dropped  (** An access-list entry silently omitted. *)
+  | Acl_wrong_port  (** A port match translated to a different port. *)
+
+type category = Syntax | Structural | Attribute | Policy_behavior | Topology | Semantic
+
+type profile = {
+  category : category;
+  injection_rate : float;
+      (** P(injected) per opportunity in an initial draft. *)
+  auto_fix : float;  (** P(fixed) given the matching automated prompt. *)
+  human_fix : float;  (** P(fixed) given a targeted human prompt. *)
+  successor : t option;
+      (** Fixing sometimes morphs the error instead (the paper's
+          [ge 24] -> [/24-32] progression). Probability [1 - auto_fix] mass
+          goes to the successor when present, to "no change" otherwise. *)
+  iip : string option;  (** IIP id that suppresses injection. *)
+}
+
+val all : t list
+val profile : t -> profile
+val category_to_string : category -> string
+val to_string : t -> string
+val table2_label : t -> string option
+(** The row label in the paper's Table 2, for the eight translation
+    classes. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,20 @@
+(** Deterministic splittable RNG (splitmix64). All stochastic behaviour of
+    the simulated LLM flows from one seed, so every experiment is exactly
+    reproducible. *)
+
+type t
+
+val make : int -> t
+val split : t -> t * t
+(** Two independent streams. *)
+
+val next_int64 : t -> int64
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bernoulli : t -> float -> bool
+val int : t -> int -> int
+(** [int t bound] uniform in [0, bound); [bound > 0]. *)
+
+val choice : t -> 'a list -> 'a option
+(** Uniform element, [None] on the empty list. *)

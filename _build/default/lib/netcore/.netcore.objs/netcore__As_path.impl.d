@@ -1,0 +1,1 @@
+lib/netcore/as_path.ml: Buffer Format List Printf Re Stdlib String

@@ -1,0 +1,1 @@
+lib/netcore/as_path.mli: Format

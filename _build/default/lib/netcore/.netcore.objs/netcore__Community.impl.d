@@ -1,0 +1,1 @@
+lib/netcore/community.ml: Format Int List Printf Set String

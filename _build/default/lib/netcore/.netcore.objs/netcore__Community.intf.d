@@ -1,0 +1,1 @@
+lib/netcore/community.mli: Format Set

@@ -1,0 +1,1 @@
+lib/netcore/diag.ml: Format Int Printf Stdlib

@@ -1,0 +1,1 @@
+lib/netcore/diag.mli: Format

@@ -1,0 +1,1 @@
+lib/netcore/iface.ml: Format Map Option Printf Stdlib String

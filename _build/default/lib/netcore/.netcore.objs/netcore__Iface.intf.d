@@ -1,0 +1,1 @@
+lib/netcore/iface.mli: Format Map

@@ -1,0 +1,1 @@
+lib/netcore/ipv4.ml: Format Hashtbl Int Printf String

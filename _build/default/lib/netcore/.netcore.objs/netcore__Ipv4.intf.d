@@ -1,0 +1,1 @@
+lib/netcore/ipv4.mli: Format

@@ -1,0 +1,1 @@
+lib/netcore/json.ml: Buffer Char Float Format List Printf String

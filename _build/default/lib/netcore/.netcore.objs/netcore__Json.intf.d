@@ -1,0 +1,1 @@
+lib/netcore/json.mli: Format

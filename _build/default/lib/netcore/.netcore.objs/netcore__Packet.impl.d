@@ -1,0 +1,1 @@
+lib/netcore/packet.ml: Format Ipv4 Printf Stdlib

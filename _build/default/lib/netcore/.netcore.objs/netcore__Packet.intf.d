@@ -1,0 +1,1 @@
+lib/netcore/packet.mli: Format Ipv4

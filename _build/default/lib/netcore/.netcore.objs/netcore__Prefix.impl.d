@@ -1,0 +1,1 @@
+lib/netcore/prefix.ml: Format Int Ipv4 Map Option Printf Set String

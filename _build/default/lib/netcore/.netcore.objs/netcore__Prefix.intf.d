@@ -1,0 +1,1 @@
+lib/netcore/prefix.mli: Format Ipv4 Map Set

@@ -1,0 +1,1 @@
+lib/netcore/prefix_range.mli: Format Prefix

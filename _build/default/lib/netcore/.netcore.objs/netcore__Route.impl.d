@@ -1,0 +1,1 @@
+lib/netcore/route.ml: As_path Community Format Ipv4 Prefix Printf Stdlib

@@ -1,0 +1,1 @@
+lib/netcore/route.mli: As_path Community Format Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/netcore/star.ml: Buffer Community Iface Ipv4 List Option Prefix Printf String Topology

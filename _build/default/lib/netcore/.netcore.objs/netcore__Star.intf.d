@@ -1,0 +1,1 @@
+lib/netcore/star.mli: Community Json Prefix Topology

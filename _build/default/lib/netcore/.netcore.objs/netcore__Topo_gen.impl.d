@@ -1,0 +1,1 @@
+lib/netcore/topo_gen.ml: Iface Ipv4 List Prefix Printf String Topology

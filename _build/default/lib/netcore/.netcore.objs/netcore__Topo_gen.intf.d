@@ -1,0 +1,1 @@
+lib/netcore/topo_gen.mli: Topology

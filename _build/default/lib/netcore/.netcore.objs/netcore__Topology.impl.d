@@ -1,0 +1,1 @@
+lib/netcore/topology.ml: Buffer Format Iface Ipv4 Json List Option Prefix Printf Result String

@@ -1,0 +1,1 @@
+lib/netcore/topology.mli: Format Iface Ipv4 Json Prefix

@@ -1,0 +1,53 @@
+type t = int
+
+let max32 = 0xFFFFFFFF
+let zero = 0
+let broadcast_all = max32
+let of_int n = n land max32
+let to_int a = a
+
+let of_octets a b c d =
+  let check o =
+    if o < 0 || o > 255 then invalid_arg "Ipv4.of_octets: octet out of range"
+  in
+  check a;
+  check b;
+  check c;
+  check d;
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let to_octets a = ((a lsr 24) land 0xFF, (a lsr 16) land 0xFF, (a lsr 8) land 0xFF, a land 0xFF)
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      let octet x =
+        match int_of_string_opt x with
+        | Some v when v >= 0 && v <= 255 && String.length x > 0 -> Some v
+        | _ -> None
+      in
+      match (octet a, octet b, octet c, octet d) with
+      | Some a, Some b, Some c, Some d -> Some (of_octets a b c d)
+      | _ -> None)
+  | _ -> None
+
+let of_string_exn s =
+  match of_string s with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Ipv4.of_string_exn: %S" s)
+
+let to_string a =
+  let o1, o2, o3, o4 = to_octets a in
+  Printf.sprintf "%d.%d.%d.%d" o1 o2 o3 o4
+
+let compare = Int.compare
+let equal = Int.equal
+let hash a = Hashtbl.hash a
+let succ a = (a + 1) land max32
+let bit a i = (a lsr (31 - i)) land 1 = 1
+let mask n = if n <= 0 then 0 else (max32 lsl (32 - n)) land max32
+let logand a b = a land b
+let logor a b = a lor b
+let lognot a = lnot a land max32
+let network a len = a land mask len
+let pp ppf a = Format.pp_print_string ppf (to_string a)

@@ -1,0 +1,100 @@
+let name k = Printf.sprintf "R%d" k
+let stub_prefix k = Prefix.make (Ipv4.of_octets 10 k 0 0) 24
+let link_subnet k = Prefix.make (Ipv4.of_octets 172 16 k 0) 24
+
+(* The link [k] connects router [k] (at .1, on Ethernet0/1... on its "right"
+   port) to its successor (at .2, on its "left" port). *)
+let link ~idx ~left ~right ~left_port ~right_port =
+  {
+    Topology.a =
+      {
+        Topology.router = name left;
+        iface = Iface.ethernet ~slot:0 ~port:left_port;
+        addr = Prefix.nth_host (link_subnet idx) 1;
+      };
+    b =
+      {
+        Topology.router = name right;
+        iface = Iface.ethernet ~slot:0 ~port:right_port;
+        addr = Prefix.nth_host (link_subnet idx) 2;
+      };
+    subnet = link_subnet idx;
+  }
+
+let router k ~ports =
+  {
+    Topology.name = name k;
+    asn = k;
+    router_id = Ipv4.of_octets k k k k;
+    ports =
+      { Topology.iface = Iface.ethernet ~slot:0 ~port:0;
+        addr = Prefix.nth_host (stub_prefix k) 1;
+        subnet = stub_prefix k }
+      :: ports;
+    stub_networks = [ stub_prefix k ];
+  }
+
+let port_on_link ~idx ~side_a ~port =
+  {
+    Topology.iface = Iface.ethernet ~slot:0 ~port;
+    addr = Prefix.nth_host (link_subnet idx) (if side_a then 1 else 2);
+    subnet = link_subnet idx;
+  }
+
+let chain ~routers:n =
+  if n < 2 then invalid_arg "Topo_gen.chain: need at least 2 routers";
+  let routers =
+    List.init n (fun i ->
+        let k = i + 1 in
+        let left = if k > 1 then [ port_on_link ~idx:(k - 1) ~side_a:false ~port:1 ] else [] in
+        let right = if k < n then [ port_on_link ~idx:k ~side_a:true ~port:2 ] else [] in
+        router k ~ports:(left @ right))
+  in
+  let links =
+    List.init (n - 1) (fun i ->
+        let k = i + 1 in
+        link ~idx:k ~left:k ~right:(k + 1) ~left_port:2 ~right_port:1)
+  in
+  let t = { Topology.routers; links } in
+  match Topology.validate t with
+  | Ok () -> t
+  | Error errs -> invalid_arg ("Topo_gen.chain: " ^ String.concat "; " errs)
+
+let ring ~routers:n =
+  if n < 3 then invalid_arg "Topo_gen.ring: need at least 3 routers";
+  let routers =
+    List.init n (fun i ->
+        let k = i + 1 in
+        let left_idx = if k = 1 then n else k - 1 in
+        let left = [ port_on_link ~idx:left_idx ~side_a:(k = 1) ~port:1 ] in
+        let right = if k < n then [ port_on_link ~idx:k ~side_a:true ~port:2 ] else [] in
+        let right = if k = n then [ port_on_link ~idx:n ~side_a:false ~port:2 ] else right in
+        router k ~ports:(left @ right))
+  in
+  let links =
+    List.init (n - 1) (fun i ->
+        let k = i + 1 in
+        link ~idx:k ~left:k ~right:(k + 1) ~left_port:2 ~right_port:1)
+    @ [
+        (* Closing link: R1 side a (.1, port 1), Rn side b (.2, port 2). *)
+        {
+          Topology.a =
+            {
+              Topology.router = name 1;
+              iface = Iface.ethernet ~slot:0 ~port:1;
+              addr = Prefix.nth_host (link_subnet n) 1;
+            };
+          b =
+            {
+              Topology.router = name n;
+              iface = Iface.ethernet ~slot:0 ~port:2;
+              addr = Prefix.nth_host (link_subnet n) 2;
+            };
+          subnet = link_subnet n;
+        };
+      ]
+  in
+  let t = { Topology.routers; links } in
+  match Topology.validate t with
+  | Ok () -> t
+  | Error errs -> invalid_arg ("Topo_gen.ring: " ^ String.concat "; " errs)

@@ -1,0 +1,15 @@
+(** Additional topology generators beyond the paper's star: chains and
+    rings, used to exercise multi-hop BGP propagation and loop prevention
+    ("much further testing in more complex use cases is needed").
+
+    Addressing: router [Rk] owns AS [k] and loopback-style router id
+    [k.k.k.k]; the link between [Rk] and [Rk+1] uses subnet
+    [172.16.k.0/24] with [Rk] at [.1] and [Rk+1] at [.2]; every router
+    additionally owns the stub network [10.k.0.0/24] on [Ethernet0/0]. *)
+
+val chain : routers:int -> Topology.t
+(** [R1 - R2 - ... - Rn]; [routers >= 2]. *)
+
+val ring : routers:int -> Topology.t
+(** A chain plus a closing link between [Rn] and [R1] (on subnet
+    [172.16.n.0/24]); [routers >= 3]. *)

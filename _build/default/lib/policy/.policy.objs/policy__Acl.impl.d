@@ -1,0 +1,1 @@
+lib/policy/acl.ml: Action Format Int List Netcore Packet Prefix Printf

@@ -1,0 +1,1 @@
+lib/policy/acl.mli: Action Format Netcore Packet Prefix

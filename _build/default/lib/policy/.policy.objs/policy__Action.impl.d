@@ -1,0 +1,1 @@
+lib/policy/action.ml: Format

@@ -1,0 +1,1 @@
+lib/policy/action.mli: Format

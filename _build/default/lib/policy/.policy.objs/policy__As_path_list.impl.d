@@ -1,0 +1,1 @@
+lib/policy/as_path_list.ml: Action As_path Format List Netcore

@@ -1,0 +1,1 @@
+lib/policy/as_path_list.mli: Action As_path Format Netcore

@@ -1,0 +1,1 @@
+lib/policy/community_list.ml: Action Community Format List Netcore String

@@ -1,0 +1,1 @@
+lib/policy/community_list.mli: Action Community Format Netcore

@@ -1,0 +1,1 @@
+lib/policy/config_ir.ml: Acl As_path_list Community_list Format Iface Ipv4 List Netcore Option Prefix Prefix_list Printf Route Route_map String

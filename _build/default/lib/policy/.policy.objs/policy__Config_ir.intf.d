@@ -1,0 +1,1 @@
+lib/policy/config_ir.mli: Acl As_path_list Community_list Format Iface Ipv4 Netcore Prefix Prefix_list Route Route_map

@@ -1,0 +1,1 @@
+lib/policy/eval.ml: Action As_path As_path_list Community Community_list Config_ir Format List Netcore Prefix_list Route Route_map

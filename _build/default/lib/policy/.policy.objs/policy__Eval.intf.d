@@ -1,0 +1,1 @@
+lib/policy/eval.mli: Action As_path_list Community_list Config_ir Format Netcore Prefix_list Route Route_map

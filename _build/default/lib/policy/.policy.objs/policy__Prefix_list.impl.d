@@ -1,0 +1,1 @@
+lib/policy/prefix_list.ml: Action Format Int List Netcore Prefix_range Printf

@@ -1,0 +1,1 @@
+lib/policy/prefix_list.mli: Action Format Netcore Prefix Prefix_range

@@ -1,0 +1,1 @@
+lib/policy/route_map.ml: Action Community Format Int Ipv4 List Netcore Printf Route String

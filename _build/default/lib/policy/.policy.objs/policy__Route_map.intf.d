@@ -1,0 +1,1 @@
+lib/policy/route_map.mli: Action Community Format Ipv4 Netcore Route

@@ -1,0 +1,12 @@
+type t = Permit | Deny
+
+let to_string = function Permit -> "permit" | Deny -> "deny"
+
+let of_string = function
+  | "permit" -> Some Permit
+  | "deny" -> Some Deny
+  | _ -> None
+
+let flip = function Permit -> Deny | Deny -> Permit
+let equal a b = a = b
+let pp ppf a = Format.pp_print_string ppf (to_string a)

@@ -1,0 +1,9 @@
+(** Permit/deny actions shared by all policy structures. *)
+
+type t = Permit | Deny
+
+val to_string : t -> string
+val of_string : string -> t option
+val flip : t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

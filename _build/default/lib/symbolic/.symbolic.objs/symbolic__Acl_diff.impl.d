@@ -1,0 +1,1 @@
+lib/symbolic/acl_diff.ml: Acl Action Len_set List Netcore Option Packet Policy Port_set Prefix Prefix_space

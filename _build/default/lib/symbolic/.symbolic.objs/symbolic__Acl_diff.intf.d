@@ -1,0 +1,1 @@
+lib/symbolic/acl_diff.mli: Acl Action Netcore Packet Policy Port_set Prefix_space

@@ -1,0 +1,1 @@
+lib/symbolic/aspath_constr.ml: As_path As_path_list Format List Netcore Policy String

@@ -1,0 +1,1 @@
+lib/symbolic/aspath_constr.mli: As_path As_path_list Format Netcore Policy

@@ -1,0 +1,1 @@
+lib/symbolic/comm_constr.ml: Community Format List Netcore String

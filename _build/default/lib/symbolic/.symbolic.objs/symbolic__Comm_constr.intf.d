@@ -1,0 +1,1 @@
+lib/symbolic/comm_constr.mli: Community Format Netcore

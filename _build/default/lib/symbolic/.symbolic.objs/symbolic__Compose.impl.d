@@ -1,0 +1,1 @@
+lib/symbolic/compose.ml: Action Aspath_constr Comm_constr Community Cube Effects Int_constr List Netcore Policy Pred Route_map Transfer

@@ -1,0 +1,1 @@
+lib/symbolic/compose.mli: Cube Effects Eval Policy Pred Route_map

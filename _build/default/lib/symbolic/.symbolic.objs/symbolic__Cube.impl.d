@@ -1,0 +1,1 @@
+lib/symbolic/cube.ml: Aspath_constr Comm_constr Format Int_constr List Netcore Policy Prefix_space Printf Route Source_set

@@ -1,0 +1,1 @@
+lib/symbolic/cube.mli: As_path Aspath_constr Comm_constr Format Int_constr Netcore Policy Prefix_space Route Source_set

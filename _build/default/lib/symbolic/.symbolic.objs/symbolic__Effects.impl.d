@@ -1,0 +1,1 @@
+lib/symbolic/effects.ml: Community Format Ipv4 List Netcore Policy Printf Route_map String

@@ -1,0 +1,1 @@
+lib/symbolic/effects.mli: Community Format Ipv4 Netcore Policy

@@ -1,0 +1,1 @@
+lib/symbolic/guard.ml: Action As_path_list Aspath_constr Comm_constr Community_list Cube Eval Int_constr List Policy Pred Prefix_list Prefix_space Route_map Source_set

@@ -1,0 +1,1 @@
+lib/symbolic/guard.mli: Comm_constr Community_list Eval Policy Pred Prefix_list Prefix_space Route_map

@@ -1,0 +1,1 @@
+lib/symbolic/int_constr.mli: Format

@@ -1,0 +1,1 @@
+lib/symbolic/len_set.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/symbolic/len_set.mli: Format

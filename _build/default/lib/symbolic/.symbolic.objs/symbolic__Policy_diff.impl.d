@@ -1,0 +1,1 @@
+lib/symbolic/policy_diff.ml: Action Community Effects Eval Format List Netcore Option Policy Pred Printf Route String Transfer

@@ -1,0 +1,1 @@
+lib/symbolic/policy_diff.mli: Action As_path Eval Format Netcore Policy Pred Route Route_map

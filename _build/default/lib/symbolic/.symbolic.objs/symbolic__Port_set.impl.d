@@ -1,0 +1,1 @@
+lib/symbolic/port_set.ml: Format List Printf String

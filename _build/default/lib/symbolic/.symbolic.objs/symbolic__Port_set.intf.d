@@ -1,0 +1,1 @@
+lib/symbolic/port_set.mli: Format

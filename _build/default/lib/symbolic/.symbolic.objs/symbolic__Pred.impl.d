@@ -1,0 +1,1 @@
+lib/symbolic/pred.ml: As_path Cube Format List Netcore String

@@ -1,0 +1,1 @@
+lib/symbolic/pred.mli: As_path Cube Format Netcore Policy Route

@@ -1,0 +1,1 @@
+lib/symbolic/prefix_space.ml: Format Ipv4 Len_set List Netcore Prefix Prefix_range Printf String

@@ -1,0 +1,1 @@
+lib/symbolic/prefix_space.mli: Format Len_set Netcore

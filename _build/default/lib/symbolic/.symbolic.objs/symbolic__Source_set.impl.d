@@ -1,0 +1,1 @@
+lib/symbolic/source_set.ml: Format List Netcore Route String

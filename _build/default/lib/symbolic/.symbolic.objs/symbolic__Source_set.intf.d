@@ -1,0 +1,1 @@
+lib/symbolic/source_set.mli: Format Netcore

@@ -1,0 +1,1 @@
+lib/symbolic/transfer.ml: Action Effects Format Guard List Policy Pred Route_map

@@ -1,0 +1,1 @@
+lib/symbolic/transfer.mli: Action Effects Eval Format Policy Pred Route_map

@@ -1,0 +1,34 @@
+(** Symbolic composition of routing policies: the image of a route space
+    under a route map, and the chaining of two maps.
+
+    This is the machinery behind Lightyear-style modular proofs: to show
+    that "hub tags at ingress" plus "hub filters at egress" imply no
+    transit, compute the image of the full space under the ingress policy
+    and check the egress policy denies all of it.
+
+    Images are sound over-approximations: the [must] side of community
+    cubes is exact under additive sets, while replacements and deletions
+    lose the absence information they cannot represent; AS-path constraints
+    are reset when the effect prepends. Soundness here means every concrete
+    route that can come out of the policy is inside the computed image, so
+    "image ∩ bad = empty" is a valid proof of absence. *)
+
+open Policy
+
+val apply_effect : Effects.t -> Cube.t -> Cube.t
+(** The image of a cube under an effect (over-approximate, see above). *)
+
+val image : Eval.env -> Route_map.t -> Pred.t -> Pred.t
+(** Image of an input space: union over permit regions of
+    [apply_effect effect (region ∩ input)]. *)
+
+val chain_permits :
+  env_a:Eval.env ->
+  map_a:Route_map.t ->
+  env_b:Eval.env ->
+  map_b:Route_map.t ->
+  Pred.t ->
+  Pred.t
+(** The space that survives [map_a] then [map_b]: the image of the input
+    under [map_a], restricted to the permit regions of [map_b]. Empty means
+    nothing can pass through both policies. *)

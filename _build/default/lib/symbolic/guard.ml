@@ -1,0 +1,88 @@
+open Policy
+
+let compile_prefix_list (l : Prefix_list.t) =
+  let permitted, _remaining =
+    List.fold_left
+      (fun (permitted, remaining) (e : Prefix_list.entry) ->
+        let range_space = Prefix_space.of_range e.range in
+        let matched = Prefix_space.inter remaining range_space in
+        let permitted =
+          match e.action with
+          | Action.Permit -> Prefix_space.union permitted matched
+          | Action.Deny -> permitted
+        in
+        (permitted, Prefix_space.diff remaining range_space))
+      (Prefix_space.empty, Prefix_space.full)
+      l.entries
+  in
+  permitted
+
+(* Community-cube difference, used to thread first-match order through the
+   entries of a community list. *)
+let comm_diff (cubes : Comm_constr.t list) (g : Comm_constr.t) =
+  List.concat_map
+    (fun c ->
+      List.filter_map (fun piece -> Comm_constr.inter c piece) (Comm_constr.complement g))
+    cubes
+
+let compile_community_list (l : Community_list.t) =
+  let entry_cube (e : Community_list.entry) =
+    List.fold_left
+      (fun acc c ->
+        match acc with
+        | None -> None
+        | Some cube -> Comm_constr.inter cube (Comm_constr.require c))
+      (Some Comm_constr.top) e.communities
+  in
+  let permitted, _remaining =
+    List.fold_left
+      (fun (permitted, remaining) (e : Community_list.entry) ->
+        match entry_cube e with
+        | None -> (permitted, remaining)
+        | Some g ->
+            let matched = List.filter_map (fun c -> Comm_constr.inter c g) remaining in
+            let permitted =
+              match e.action with
+              | Action.Permit -> permitted @ matched
+              | Action.Deny -> permitted
+            in
+            (permitted, comm_diff remaining g))
+      ([], [ Comm_constr.top ])
+      l.entries
+  in
+  permitted
+
+let find_pl (env : Eval.env) n =
+  List.find_opt (fun (l : Prefix_list.t) -> l.name = n) env.prefix_lists
+
+let find_cl (env : Eval.env) n =
+  List.find_opt (fun (l : Community_list.t) -> l.name = n) env.community_lists
+
+let find_al (env : Eval.env) n =
+  List.find_opt (fun (l : As_path_list.t) -> l.name = n) env.as_path_lists
+
+let compile_match env cond =
+  match cond with
+  | Route_map.Match_prefix_list n -> (
+      match find_pl env n with
+      | None -> Pred.empty
+      | Some l -> Pred.of_cube (Cube.make ~prefixes:(compile_prefix_list l) ()))
+  | Route_map.Match_community_list n -> (
+      match find_cl env n with
+      | None -> Pred.empty
+      | Some l ->
+          Pred.of_cubes
+            (List.map (fun comms -> Cube.make ~comms ()) (compile_community_list l)))
+  | Route_map.Match_as_path n -> (
+      match find_al env n with
+      | None -> Pred.empty
+      | Some _ -> Pred.of_cube (Cube.make ~aspath:(Aspath_constr.require n) ()))
+  | Route_map.Match_source_protocol s ->
+      Pred.of_cube (Cube.make ~sources:(Source_set.singleton s) ())
+  | Route_map.Match_med m -> Pred.of_cube (Cube.make ~med:(Int_constr.eq m) ())
+  | Route_map.Match_tag _ -> Pred.empty
+
+let compile_entry_guard env (e : Route_map.entry) =
+  List.fold_left
+    (fun acc cond -> Pred.inter acc (compile_match env cond))
+    Pred.full e.matches

@@ -1,0 +1,47 @@
+(** Exact sets of IPv4 prefixes.
+
+    A prefix space is a finite union of atoms [(base, lens)], each denoting
+    "all prefixes subsumed by [base] whose length lies in [lens]". The
+    algebra (union, intersection, difference) is exact, which is what lets
+    the verifiers produce counterexample prefixes instead of approximations.
+    This mirrors the prefix-space representation used by Batfish and
+    Campion. *)
+
+type atom = private { base : Netcore.Prefix.t; lens : Len_set.t }
+(** Invariant: [lens] is non-empty and contains only lengths
+    [>= Prefix.len base]. *)
+
+type t
+(** A union of atoms. Atoms may overlap; all operations remain exact. *)
+
+val empty : t
+val full : t
+(** Every prefix: [0.0.0.0/0] with lengths 0..32. *)
+
+val atom : Netcore.Prefix.t -> Len_set.t -> t
+(** Drops lengths shorter than the base; empty result allowed. *)
+
+val exact : Netcore.Prefix.t -> t
+(** The space containing exactly one prefix. *)
+
+val of_range : Netcore.Prefix_range.t -> t
+val of_ranges : Netcore.Prefix_range.t list -> t
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val is_empty : t -> bool
+val mem : Netcore.Prefix.t -> t -> bool
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+
+val sample : t -> Netcore.Prefix.t option
+(** Some concrete prefix in the space, [None] when empty. Deterministic. *)
+
+val atoms : t -> atom list
+val size_hint : t -> int
+(** Number of atoms (a complexity measure for benchmarks). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,54 @@
+open Policy
+
+type region = {
+  space : Pred.t;
+  action : Action.t;
+  effect_ : Effects.t;
+  seq : int option;
+}
+
+let compile env (m : Route_map.t) =
+  let regions, remaining =
+    List.fold_left
+      (fun (regions, remaining) (e : Route_map.entry) ->
+        let guard = Guard.compile_entry_guard env e in
+        let matched = Pred.inter remaining guard in
+        let regions =
+          if Pred.is_empty matched then regions
+          else
+            {
+              space = matched;
+              action = e.action;
+              effect_ = Effects.of_sets e.sets;
+              seq = Some e.seq;
+            }
+            :: regions
+        in
+        (regions, Pred.diff remaining guard))
+      ([], Pred.full) m.entries
+  in
+  let implicit =
+    if Pred.is_empty remaining then []
+    else
+      [ { space = remaining; action = Action.Deny; effect_ = Effects.identity; seq = None } ]
+  in
+  List.rev regions @ implicit
+
+let compile_optional env = function
+  | None ->
+      [ { space = Pred.full; action = Action.Permit; effect_ = Effects.identity; seq = None } ]
+  | Some m -> compile env m
+
+let action_on env m query =
+  List.filter_map
+    (fun r ->
+      let s = Pred.inter r.space query in
+      if Pred.is_empty s then None else Some (r.action, { r with space = s }))
+    (compile env m)
+
+let pp_region ppf r =
+  Format.fprintf ppf "[seq %s] %s %s on %s"
+    (match r.seq with Some s -> string_of_int s | None -> "implicit")
+    (Action.to_string r.action)
+    (Effects.to_string r.effect_)
+    (Pred.to_string r.space)

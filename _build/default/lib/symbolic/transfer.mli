@@ -1,0 +1,24 @@
+(** Symbolic transfer function of a route map: a partition of the route
+    space into regions, each with the action and effect applied there. *)
+
+open Policy
+
+type region = {
+  space : Pred.t;
+  action : Action.t;
+  effect_ : Effects.t;
+  seq : int option;  (** [None] for the implicit-deny region. *)
+}
+
+val compile : Eval.env -> Route_map.t -> region list
+(** Regions are pairwise disjoint and cover the full space; the last region
+    is the implicit deny. Empty regions (shadowed entries) are dropped. *)
+
+val compile_optional : Eval.env -> Route_map.t option -> region list
+(** [None] (no policy attached) is a single permit-everything region. *)
+
+val action_on : Eval.env -> Route_map.t -> Pred.t -> (Action.t * region) list
+(** The regions intersecting a query space, with the intersection
+    restricted to it. *)
+
+val pp_region : Format.formatter -> region -> unit

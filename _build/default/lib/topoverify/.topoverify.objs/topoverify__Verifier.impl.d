@@ -1,0 +1,1 @@
+lib/topoverify/verifier.ml: Config_ir Format Iface Ipv4 List Netcore Policy Prefix Printf Topology

@@ -1,0 +1,1 @@
+lib/topoverify/verifier.mli: Format Iface Ipv4 Json Netcore Policy Prefix Topology

@@ -1,0 +1,1 @@
+test/test_acl.ml: Acl Action Alcotest Campion Cisco Config_ir Cosynth Iface Ipv4 Juniper List Llmsim Netcore Option Packet Policy Prefix Printf QCheck2 QCheck_alcotest String Symbolic

@@ -1,0 +1,1 @@
+test/test_cosynth.ml: Action Alcotest Batfish Campion Cisco Community Config_ir Cosynth Diag Iface Ipv4 List Llmsim Netcore Policy Prefix Printf Route Star String Symbolic Topoverify

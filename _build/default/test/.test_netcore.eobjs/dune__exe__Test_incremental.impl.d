@@ -1,0 +1,1 @@
+test/test_incremental.ml: Action Alcotest Batfish Cisco Config_ir Cosynth List Llmsim Netcore Option Policy Printf Route_map

@@ -1,0 +1,1 @@
+test/test_lightyear.ml: Action Alcotest Batfish Cisco Community Community_list Cosynth Eval Ipv4 List Llmsim Netcore Policy Prefix QCheck2 QCheck_alcotest Route Route_map Star Symbolic Topoverify

@@ -1,0 +1,1 @@
+test/test_llmsim.ml: Action Alcotest Batfish Cisco Config_ir Cosynth Diag Ipv4 Juniper List Llmsim Netcore Option Policy QCheck2 QCheck_alcotest Route_map Star String

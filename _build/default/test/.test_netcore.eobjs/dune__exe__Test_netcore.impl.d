@@ -1,0 +1,1 @@
+test/test_netcore.ml: Alcotest As_path Community Iface Ipv4 Json List Netcore Prefix Prefix_range QCheck2 QCheck_alcotest Result Star String Topology

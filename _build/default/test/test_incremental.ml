@@ -1,0 +1,132 @@
+(* Tests for the incremental-policy extension: the paper's closing question
+   about adding a policy without interfering with verified ones. *)
+
+open Policy
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let star = Netcore.Star.make ~routers:6
+let task = Cosynth.Modularizer.prepend_task star ~target:"R2" ~prepend:[ 1; 1 ]
+
+let test_task_correct_config_verifies () =
+  (* The oracle for the incremental task satisfies all old specs plus the
+     new prepend requirement. *)
+  List.iter
+    (fun (spec, outcome) ->
+      if outcome <> Batfish.Search_route_policies.Holds then
+        Alcotest.failf "spec '%s' does not hold"
+          spec.Batfish.Search_route_policies.description)
+    (Batfish.Search_route_policies.check_all task.Cosynth.Modularizer.correct
+       task.Cosynth.Modularizer.specs)
+
+let test_task_preserves_no_transit () =
+  let base =
+    List.map
+      (fun (t : Cosynth.Modularizer.router_task) ->
+        (t.Cosynth.Modularizer.router, t.Cosynth.Modularizer.correct))
+      (Cosynth.Modularizer.plan star)
+  in
+  let configs = ("R1", task.Cosynth.Modularizer.correct) :: List.remove_assoc "R1" base in
+  check bool_t "no-transit still holds" true
+    (fst (Cosynth.Modularizer.no_transit_holds star configs));
+  check bool_t "proof still goes through" true
+    (Cosynth.Lightyear.prove_no_transit star configs = Cosynth.Lightyear.Proved)
+
+let test_task_rejects_non_spoke () =
+  Alcotest.check_raises "hub is not a spoke"
+    (Invalid_argument "Modularizer.prepend_task: R1 is not a spoke") (fun () ->
+      ignore (Cosynth.Modularizer.prepend_task star ~target:"R1" ~prepend:[ 1 ]))
+
+let test_inserted_early_breaks_denies () =
+  (* The edit mistake: prepend term placed before the verified denies. The
+     old Denies specs must catch it. *)
+  let map = Cosynth.Modularizer.egress_map_name "R2" in
+  let text =
+    Llmsim.Fault.render Llmsim.Fault.Cisco_cfg task.Cosynth.Modularizer.correct
+      [ Llmsim.Fault.make Llmsim.Error_class.Policy_inserted_early (Llmsim.Fault.Policy map) ]
+  in
+  let ir, _ = Cisco.Parser.parse text in
+  let denies_violated =
+    List.exists
+      (fun (spec, outcome) ->
+        match (spec.Batfish.Search_route_policies.requirement, outcome) with
+        | Batfish.Search_route_policies.Denies, Batfish.Search_route_policies.Violated _ ->
+            spec.Batfish.Search_route_policies.policy = map
+        | _ -> false)
+      (Batfish.Search_route_policies.check_all ir task.Cosynth.Modularizer.specs)
+  in
+  check bool_t "deny spec violated" true denies_violated
+
+let test_wrong_map_breaks_prepend_spec () =
+  let map = Cosynth.Modularizer.egress_map_name "R2" in
+  let text =
+    Llmsim.Fault.render Llmsim.Fault.Cisco_cfg task.Cosynth.Modularizer.correct
+      [ Llmsim.Fault.make Llmsim.Error_class.Wrong_policy_modified (Llmsim.Fault.Policy map) ]
+  in
+  let ir, _ = Cisco.Parser.parse text in
+  let prepend_violated =
+    List.exists
+      (fun (spec, outcome) ->
+        match (spec.Batfish.Search_route_policies.requirement, outcome) with
+        | Batfish.Search_route_policies.Prepends _, Batfish.Search_route_policies.Violated _ ->
+            true
+        | _ -> false)
+      (Batfish.Search_route_policies.check_all ir task.Cosynth.Modularizer.specs)
+  in
+  check bool_t "prepend spec violated" true prepend_violated
+
+let test_incremental_loop_converges () =
+  List.iter
+    (fun seed ->
+      let r = Cosynth.Driver.run_incremental ~seed ~routers:6 () in
+      check bool_t (Printf.sprintf "seed %d specs hold" seed) true r.Cosynth.Driver.specs_hold;
+      check bool_t "global still ok" true r.Cosynth.Driver.global_ok;
+      (* And the final config actually prepends. *)
+      let map =
+        Option.get
+          (Config_ir.find_route_map r.Cosynth.Driver.hub_config
+             (Cosynth.Modularizer.egress_map_name "R2"))
+      in
+      let has_prepend =
+        List.exists
+          (fun (e : Route_map.entry) ->
+            e.Route_map.action = Action.Permit
+            && List.exists
+                 (function Route_map.Set_as_path_prepend _ -> true | _ -> false)
+                 e.Route_map.sets)
+          map.Route_map.entries
+      in
+      check bool_t "prepend present" true has_prepend)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_incremental_interference_is_caught_and_repaired () =
+  (* Across seeds, some runs inject the early-insert mistake; those must be
+     caught (interference_caught) and still end verified. *)
+  let results = List.init 25 (fun i -> Cosynth.Driver.run_incremental ~seed:(i * 31) ~routers:6 ()) in
+  check bool_t "some interference observed" true
+    (List.exists (fun r -> r.Cosynth.Driver.interference_caught) results);
+  check bool_t "all repaired" true (List.for_all (fun r -> r.Cosynth.Driver.global_ok) results)
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "task",
+        [
+          Alcotest.test_case "oracle verifies" `Quick test_task_correct_config_verifies;
+          Alcotest.test_case "preserves no-transit" `Quick test_task_preserves_no_transit;
+          Alcotest.test_case "rejects non-spoke" `Quick test_task_rejects_non_spoke;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "inserted early breaks denies" `Quick
+            test_inserted_early_breaks_denies;
+          Alcotest.test_case "wrong map breaks prepend" `Quick
+            test_wrong_map_breaks_prepend_spec;
+        ] );
+      ( "loop",
+        [
+          Alcotest.test_case "converges" `Slow test_incremental_loop_converges;
+          Alcotest.test_case "interference caught and repaired" `Slow
+            test_incremental_interference_is_caught_and_repaired;
+        ] );
+    ]

@@ -1,0 +1,370 @@
+(* Tests for the simulated GPT-4: RNG determinism, fault opportunities and
+   rendering, and the conversation dynamics. *)
+
+open Netcore
+open Policy
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Llmsim.Rng.make 7 and b = Llmsim.Rng.make 7 in
+  let seq r = List.init 20 (fun _ -> Llmsim.Rng.int r 1000) in
+  check bool_t "same seed same sequence" true (seq a = seq b);
+  let c = Llmsim.Rng.make 8 in
+  check bool_t "different seed different sequence" false (seq (Llmsim.Rng.make 7) = seq c)
+
+let test_rng_float_range () =
+  let r = Llmsim.Rng.make 1 in
+  for _ = 1 to 1000 do
+    let f = Llmsim.Rng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_rng_choice () =
+  let r = Llmsim.Rng.make 2 in
+  check bool_t "empty" true (Llmsim.Rng.choice r [] = None);
+  for _ = 1 to 100 do
+    match Llmsim.Rng.choice r [ 1; 2; 3 ] with
+    | Some x when x >= 1 && x <= 3 -> ()
+    | _ -> Alcotest.fail "choice outside list"
+  done
+
+let test_rng_split_independent () =
+  let r = Llmsim.Rng.make 3 in
+  let a, b = Llmsim.Rng.split r in
+  let seq r = List.init 10 (fun _ -> Llmsim.Rng.int r 1000) in
+  check bool_t "split streams differ" false (seq a = seq b)
+
+(* ------------------------------------------------------------------ *)
+(* Fault opportunities and rendering                                   *)
+(* ------------------------------------------------------------------ *)
+
+let border_ir = fst (Cisco.Parser.parse Cisco.Samples.border_router)
+let correct_junos = Juniper.Translate.of_cisco_ir border_ir
+
+let star = Star.make ~routers:4
+let hub_task = List.hd (Cosynth.Modularizer.plan star)
+let hub_correct = hub_task.Cosynth.Modularizer.correct
+
+let has_class cls faults =
+  List.exists
+    (fun (f : Llmsim.Fault.t) -> Llmsim.Error_class.equal f.Llmsim.Fault.class_ cls)
+    faults
+
+let test_junos_opportunities () =
+  let ops = Llmsim.Fault.opportunities Llmsim.Fault.Junos_cfg correct_junos in
+  List.iter
+    (fun cls ->
+      check bool_t (Llmsim.Error_class.to_string cls) true (has_class cls ops))
+    [
+      Llmsim.Error_class.Missing_local_as;
+      Llmsim.Error_class.Missing_import_policy;
+      Llmsim.Error_class.Missing_export_policy;
+      Llmsim.Error_class.Ospf_cost_wrong;
+      Llmsim.Error_class.Ospf_passive_wrong;
+      Llmsim.Error_class.Wrong_med;
+      Llmsim.Error_class.Prefix_range_dropped;
+      Llmsim.Error_class.Redistribution_unscoped;
+    ];
+  (* No synthesis-only classes in the translation artifact. *)
+  check bool_t "no cli keywords" false (has_class Llmsim.Error_class.Cli_keywords ops)
+
+let test_cisco_opportunities () =
+  let ops = Llmsim.Fault.opportunities Llmsim.Fault.Cisco_cfg hub_correct in
+  List.iter
+    (fun cls ->
+      check bool_t (Llmsim.Error_class.to_string cls) true (has_class cls ops))
+    [
+      Llmsim.Error_class.Cli_keywords;
+      Llmsim.Error_class.Match_community_literal;
+      Llmsim.Error_class.Community_not_additive;
+      Llmsim.Error_class.And_or_confusion;
+      Llmsim.Error_class.Wrong_local_as;
+      Llmsim.Error_class.Missing_neighbor_decl;
+      Llmsim.Error_class.Missing_network_decl;
+    ]
+
+let render_with cls target =
+  Llmsim.Fault.render Llmsim.Fault.Junos_cfg correct_junos [ Llmsim.Fault.make cls target ]
+
+let test_render_no_faults_is_clean () =
+  let text = Llmsim.Fault.render Llmsim.Fault.Junos_cfg correct_junos [] in
+  check bool_t "clean" true (Batfish.Parse_check.syntax_ok Batfish.Parse_check.Junos text)
+
+let test_render_missing_local_as () =
+  let text = render_with Llmsim.Error_class.Missing_local_as Llmsim.Fault.Whole_config in
+  check bool_t "no autonomous-system line" false (contains ~sub:"autonomous-system" text);
+  check bool_t "no local-as line" false (contains ~sub:"local-as" text);
+  check bool_t "syntax error detected" false
+    (Batfish.Parse_check.syntax_ok Batfish.Parse_check.Junos text)
+
+let test_render_bad_prefix_list () =
+  let text =
+    render_with Llmsim.Error_class.Bad_prefix_list_syntax
+      (Llmsim.Fault.Named_list "our-networks")
+  in
+  check bool_t "contains the /24-32 shorthand" true (contains ~sub:"1.2.3.0/24-32" text);
+  let _, diags = Batfish.Parse_check.check Batfish.Parse_check.Junos text in
+  check bool_t "targeted error" true
+    (List.exists
+       (fun d -> contains ~sub:"not valid Juniper syntax" (Diag.to_string d))
+       diags)
+
+let test_render_cli_keywords () =
+  let text =
+    Llmsim.Fault.render Llmsim.Fault.Cisco_cfg hub_correct
+      [ Llmsim.Fault.make Llmsim.Error_class.Cli_keywords Llmsim.Fault.Whole_config ]
+  in
+  check bool_t "has configure terminal" true (contains ~sub:"configure terminal" text);
+  let _, diags = Batfish.Parse_check.check Batfish.Parse_check.Cisco_ios text in
+  check bool_t "flagged" true
+    (List.exists (fun d -> contains ~sub:"CLI command" (Diag.to_string d)) diags)
+
+let test_render_neighbor_outside_bgp () =
+  let spoke_addr = Ipv4.of_string_exn "1.0.0.2" in
+  let text =
+    Llmsim.Fault.render Llmsim.Fault.Cisco_cfg hub_correct
+      [
+        Llmsim.Fault.make Llmsim.Error_class.Neighbor_outside_bgp
+          (Llmsim.Fault.Neighbor spoke_addr);
+      ]
+  in
+  let _, diags = Batfish.Parse_check.check Batfish.Parse_check.Cisco_ios text in
+  check bool_t "flagged misplaced" true
+    (List.exists
+       (fun d -> contains ~sub:"only valid inside a 'router bgp'" (Diag.to_string d))
+       diags)
+
+let test_render_and_or_confusion () =
+  let map = Cosynth.Modularizer.egress_map_name "R2" in
+  let text =
+    Llmsim.Fault.render Llmsim.Fault.Cisco_cfg hub_correct
+      [ Llmsim.Fault.make Llmsim.Error_class.And_or_confusion (Llmsim.Fault.Policy map) ]
+  in
+  let ir, diags = Cisco.Parser.parse text in
+  check int_t "still parses" 0 (List.length diags);
+  let m = Option.get (Config_ir.find_route_map ir map) in
+  (* All community matches merged into a single deny stanza. *)
+  let denies =
+    List.filter
+      (fun (e : Route_map.entry) -> e.Route_map.action = Action.Deny)
+      m.Route_map.entries
+  in
+  check int_t "one deny stanza" 1 (List.length denies);
+  check int_t "two matches in it (AND)" 2 (List.length (List.hd denies).Route_map.matches)
+
+let test_render_match_community_literal () =
+  let map = Cosynth.Modularizer.egress_map_name "R2" in
+  let text =
+    Llmsim.Fault.render Llmsim.Fault.Cisco_cfg hub_correct
+      [
+        Llmsim.Fault.make Llmsim.Error_class.Match_community_literal
+          (Llmsim.Fault.Policy_entry (map, 10));
+      ]
+  in
+  let _, diags = Batfish.Parse_check.check Batfish.Parse_check.Cisco_ios text in
+  check bool_t "literal flagged" true
+    (List.exists
+       (fun d -> contains ~sub:"'match community" (Diag.to_string d) && Diag.is_error d)
+       diags)
+
+let test_render_ir_fault_changes_semantics () =
+  let map_name = Cosynth.Modularizer.ingress_map_name "R2" in
+  let text =
+    Llmsim.Fault.render Llmsim.Fault.Cisco_cfg hub_correct
+      [
+        Llmsim.Fault.make Llmsim.Error_class.Community_not_additive
+          (Llmsim.Fault.Policy_entry (map_name, 10));
+      ]
+  in
+  let ir, _ = Cisco.Parser.parse text in
+  let m = Option.get (Config_ir.find_route_map ir map_name) in
+  match (List.hd m.Route_map.entries).Route_map.sets with
+  | [ Route_map.Set_community { additive; _ } ] -> check bool_t "not additive" false additive
+  | _ -> Alcotest.fail "expected one set community"
+
+(* ------------------------------------------------------------------ *)
+(* Chat dynamics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_chat_deterministic () =
+  let drafts seed =
+    let chat = Llmsim.Chat.start ~seed Llmsim.Fault.Junos_cfg ~correct:correct_junos in
+    Llmsim.Chat.draft chat
+  in
+  check bool_t "same seed same draft" true (drafts 5 = drafts 5)
+
+let test_chat_iip_suppression () =
+  let with_iip =
+    Llmsim.Chat.start ~seed:5
+      ~iips:[ "cfg-files-only"; "community-list-matching"; "additive-community" ]
+      Llmsim.Fault.Cisco_cfg ~correct:hub_correct
+  in
+  check bool_t "no suppressed classes live" true
+    (List.for_all
+       (fun (f : Llmsim.Fault.t) ->
+         match f.Llmsim.Fault.class_ with
+         | Llmsim.Error_class.Cli_keywords | Llmsim.Error_class.Match_community_literal
+         | Llmsim.Error_class.Community_not_additive ->
+             false
+         | _ -> true)
+       (Llmsim.Chat.live_faults with_iip))
+
+let test_chat_forced_faults_fixable () =
+  let f = Llmsim.Fault.make Llmsim.Error_class.Missing_local_as Llmsim.Fault.Whole_config in
+  let chat =
+    Llmsim.Chat.start ~seed:5 ~force_faults:[ f ] ~suppress_random:true
+      ~regression_rate:0.0 ~reintroduction_rate:0.0 Llmsim.Fault.Junos_cfg
+      ~correct:correct_junos
+  in
+  check int_t "one live fault" 1 (List.length (Llmsim.Chat.live_faults chat));
+  (* A human prompt always fixes (human_fix = 1.0). *)
+  Llmsim.Chat.respond chat (Llmsim.Chat.human_prompt f);
+  check int_t "fixed" 0 (List.length (Llmsim.Chat.live_faults chat));
+  check int_t "recorded as fixed" 1 (List.length (Llmsim.Chat.fixed_faults chat))
+
+let test_chat_auto_never_fixes_redistribution () =
+  let f =
+    Llmsim.Fault.make Llmsim.Error_class.Redistribution_unscoped Llmsim.Fault.Whole_config
+  in
+  let chat =
+    Llmsim.Chat.start ~seed:5 ~force_faults:[ f ] ~suppress_random:true
+      ~regression_rate:0.0 ~reintroduction_rate:0.0 Llmsim.Fault.Junos_cfg
+      ~correct:correct_junos
+  in
+  for _ = 1 to 20 do
+    Llmsim.Chat.respond chat (Llmsim.Chat.auto_prompt f)
+  done;
+  check int_t "still live after 20 auto prompts" 1
+    (List.length (Llmsim.Chat.live_faults chat));
+  Llmsim.Chat.respond chat (Llmsim.Chat.human_prompt f);
+  check int_t "human fixes" 0 (List.length (Llmsim.Chat.live_faults chat))
+
+let test_chat_prefix_range_morphs () =
+  let f =
+    Llmsim.Fault.make Llmsim.Error_class.Prefix_range_dropped
+      (Llmsim.Fault.Named_list "our-networks")
+  in
+  let chat =
+    Llmsim.Chat.start ~seed:5 ~force_faults:[ f ] ~suppress_random:true
+      ~regression_rate:0.0 ~reintroduction_rate:0.0 Llmsim.Fault.Junos_cfg
+      ~correct:correct_junos
+  in
+  (* Auto prompts never fix it directly; eventually it morphs into the bad
+     prefix-list syntax. *)
+  let rec poke n =
+    if n = 0 then Alcotest.fail "never morphed in 50 prompts"
+    else
+      match Llmsim.Chat.live_faults chat with
+      | [ f' ]
+        when Llmsim.Error_class.equal f'.Llmsim.Fault.class_
+               Llmsim.Error_class.Bad_prefix_list_syntax ->
+          ()
+      | _ ->
+          Llmsim.Chat.respond chat (Llmsim.Chat.auto_prompt f);
+          poke (n - 1)
+  in
+  poke 50;
+  check bool_t "target preserved" true
+    (match Llmsim.Chat.live_faults chat with
+    | [ f' ] -> f'.Llmsim.Fault.target = Llmsim.Fault.Named_list "our-networks"
+    | _ -> false)
+
+let test_chat_unmatched_prompt_is_noop () =
+  let f = Llmsim.Fault.make Llmsim.Error_class.Missing_local_as Llmsim.Fault.Whole_config in
+  let chat =
+    Llmsim.Chat.start ~seed:5 ~force_faults:[ f ] ~suppress_random:true
+      Llmsim.Fault.Junos_cfg ~correct:correct_junos
+  in
+  let other = Llmsim.Fault.make Llmsim.Error_class.Wrong_med (Llmsim.Fault.Policy "nope") in
+  Llmsim.Chat.respond chat (Llmsim.Chat.human_prompt other);
+  check int_t "fault survives unrelated prompt" 1
+    (List.length (Llmsim.Chat.live_faults chat))
+
+let test_chat_regression_possible () =
+  (* With regression rate 1.0, fixing a fault must introduce another. *)
+  let f = Llmsim.Fault.make Llmsim.Error_class.Missing_local_as Llmsim.Fault.Whole_config in
+  let chat =
+    Llmsim.Chat.start ~seed:5 ~force_faults:[ f ] ~suppress_random:true
+      ~regression_rate:1.0 ~reintroduction_rate:0.0 Llmsim.Fault.Junos_cfg
+      ~correct:correct_junos
+  in
+  Llmsim.Chat.respond chat (Llmsim.Chat.human_prompt f);
+  check bool_t "a new fault appeared" true (Llmsim.Chat.live_faults chat <> [])
+
+(* Property: rendering with any single fault still yields text the parser
+   survives (corrupted drafts never crash the verifiers). *)
+let prop_render_total =
+  let ops =
+    Llmsim.Fault.opportunities Llmsim.Fault.Junos_cfg correct_junos
+    @ [
+        Llmsim.Fault.make Llmsim.Error_class.Bad_prefix_list_syntax
+          (Llmsim.Fault.Named_list "our-networks");
+      ]
+  in
+  QCheck2.Test.make ~name:"junos render/parse total under any fault" ~count:100
+    (QCheck2.Gen.int_bound (List.length ops - 1)) (fun i ->
+      let f = List.nth ops i in
+      let text = Llmsim.Fault.render Llmsim.Fault.Junos_cfg correct_junos [ f ] in
+      let _, _ = Juniper.Parser.parse text in
+      true)
+
+let prop_render_cisco_total =
+  let ops = Llmsim.Fault.opportunities Llmsim.Fault.Cisco_cfg hub_correct in
+  QCheck2.Test.make ~name:"cisco render/parse total under any fault" ~count:100
+    (QCheck2.Gen.int_bound (List.length ops - 1)) (fun i ->
+      let f = List.nth ops i in
+      let text = Llmsim.Fault.render Llmsim.Fault.Cisco_cfg hub_correct [ f ] in
+      let _, _ = Cisco.Parser.parse text in
+      true)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_render_total; prop_render_cisco_total ]
+
+let () =
+  Alcotest.run "llmsim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "choice" `Quick test_rng_choice;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "junos opportunities" `Quick test_junos_opportunities;
+          Alcotest.test_case "cisco opportunities" `Quick test_cisco_opportunities;
+          Alcotest.test_case "clean render" `Quick test_render_no_faults_is_clean;
+          Alcotest.test_case "missing local-as" `Quick test_render_missing_local_as;
+          Alcotest.test_case "bad prefix list" `Quick test_render_bad_prefix_list;
+          Alcotest.test_case "cli keywords" `Quick test_render_cli_keywords;
+          Alcotest.test_case "neighbor outside bgp" `Quick test_render_neighbor_outside_bgp;
+          Alcotest.test_case "and/or confusion" `Quick test_render_and_or_confusion;
+          Alcotest.test_case "match community literal" `Quick
+            test_render_match_community_literal;
+          Alcotest.test_case "semantic fault" `Quick test_render_ir_fault_changes_semantics;
+        ] );
+      ( "chat",
+        [
+          Alcotest.test_case "deterministic" `Quick test_chat_deterministic;
+          Alcotest.test_case "iip suppression" `Quick test_chat_iip_suppression;
+          Alcotest.test_case "forced faults fixable" `Quick test_chat_forced_faults_fixable;
+          Alcotest.test_case "redistribution resists auto" `Quick
+            test_chat_auto_never_fixes_redistribution;
+          Alcotest.test_case "prefix range morphs" `Quick test_chat_prefix_range_morphs;
+          Alcotest.test_case "unmatched prompt noop" `Quick test_chat_unmatched_prompt_is_noop;
+          Alcotest.test_case "regression possible" `Quick test_chat_regression_possible;
+        ] );
+      ("properties", props);
+    ]
