@@ -1,0 +1,20 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Build + tests + one-seed smoke run of the bench harness (exercises the
+# parallel sweep plumbing end-to-end).
+check:
+	dune build @check
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -19,8 +19,58 @@ let cisco_text = Cisco.Samples.border_router
 let border_ir = fst (Cisco.Parser.parse cisco_text)
 let correct_junos = Juniper.Translate.of_cisco_ir border_ir
 
+(* --smoke: 1 seed per experiment and no Bechamel pass — a fast end-to-end
+   exercise of the sweep plumbing for the `check` alias / CI. *)
+let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
+let runs n = if smoke then 1 else n
+
+(* One worker pool for the whole harness; size comes from COSYNTH_POOL_SIZE
+   or the machine (Exec.Pool.default_size). *)
+let pool = Exec.Pool.create ()
+
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+
+let print_perf label (p : Cosynth.Metrics.perf) =
+  Printf.printf "  %-11s %s\n" label
+    (Format.asprintf "%a" Cosynth.Metrics.pp_perf p)
+
+(* Run a seeded sweep twice — sequentially and on the pool — check the
+   transcripts are byte-identical (determinism is the acceptance bar), and
+   report both timings. The memo cache is cleared before each pass so the
+   hit rates and wall clocks are comparable. *)
+let determinism_sweep ~seeds ~transcript_of run =
+  Exec.Memo.reset ();
+  let seq, seq_perf =
+    Cosynth.Metrics.measure (fun () ->
+        Exec.Sweep.run_seeds ~seeds (fun seed -> run ?pool:None seed))
+  in
+  Exec.Memo.reset ();
+  let par, par_perf =
+    Cosynth.Metrics.measure ~pool (fun () ->
+        Exec.Sweep.run_seeds ~pool ~seeds (fun seed -> run ?pool:(Some pool) seed))
+  in
+  let md (t : Cosynth.Driver.transcript) =
+    Cosynth.Driver.transcript_to_markdown ~title:"run" t
+  in
+  let identical =
+    List.for_all2
+      (fun a b ->
+        let ta = transcript_of a and tb = transcript_of b in
+        md ta = md tb
+        && Cosynth.Driver.leverage ta = Cosynth.Driver.leverage tb)
+      seq par
+  in
+  (par, identical, seq_perf, par_perf)
+
+let print_determinism identical (seq_perf : Cosynth.Metrics.perf)
+    (par_perf : Cosynth.Metrics.perf) =
+  Printf.printf "\n  parallel transcripts byte-identical to sequential: %b\n" identical;
+  print_perf "sequential:" seq_perf;
+  print_perf "parallel:" par_perf;
+  if par_perf.Cosynth.Metrics.wall_s > 0. then
+    Printf.printf "  %-11s %.2fx\n" "speedup:"
+      (seq_perf.Cosynth.Metrics.wall_s /. par_perf.Cosynth.Metrics.wall_s)
 
 (* ------------------------------------------------------------------ *)
 (* T1: Table 1 — rectification prompts for translation                 *)
@@ -111,9 +161,18 @@ let table_t2 () =
 
 let table_l1 () =
   section "L1 — Translation leverage (paper: ~20 automated, 2 human, 10x)";
-  let s = Cosynth.Metrics.translation_summary ~runs:30 ~cisco_text () in
+  let n = runs 30 in
+  let transcripts, identical, seq_perf, par_perf =
+    determinism_sweep
+      ~seeds:(Exec.Sweep.seeds ~base:1000 ~n)
+      ~transcript_of:(fun (t : Cosynth.Driver.transcript) -> t)
+      (fun ?pool:_ seed ->
+        (Cosynth.Driver.run_translation ~seed ~cisco_text ()).Cosynth.Driver.transcript)
+  in
+  let s = Cosynth.Metrics.summarize transcripts in
   print_string
-    (Cosynth.Report.kv ~title:"30 seeded runs of the translation VPP loop"
+    (Cosynth.Report.kv
+       ~title:(Printf.sprintf "%d seeded runs of the translation VPP loop" n)
        [
          ("converged", Printf.sprintf "%d/%d" s.Cosynth.Metrics.converged s.Cosynth.Metrics.runs);
          ("mean automated prompts", Printf.sprintf "%.1f (paper: ~20)" s.Cosynth.Metrics.mean_auto);
@@ -122,13 +181,29 @@ let table_l1 () =
            Printf.sprintf "%.1fx mean, %.1f-%.1f range (paper: 10x)"
              s.Cosynth.Metrics.mean_leverage s.Cosynth.Metrics.min_leverage
              s.Cosynth.Metrics.max_leverage );
-       ])
+       ]);
+  print_determinism identical seq_perf par_perf
 
 let table_l2 () =
   section "L2 — No-transit leverage (paper: 12 automated, 2 human, 6x)";
-  let s = Cosynth.Metrics.no_transit_summary ~runs:30 ~routers:7 () in
+  let n = runs 30 in
+  let results, identical, seq_perf, par_perf =
+    (* The pool is threaded into each run too: the per-router synthesis
+       tasks fan out across the same workers as the seeds (nested maps are
+       safe — the waiting caller helps drain the queue). *)
+    determinism_sweep
+      ~seeds:(Exec.Sweep.seeds ~base:2000 ~n)
+      ~transcript_of:(fun (r : Cosynth.Driver.synthesis_result) ->
+        r.Cosynth.Driver.transcript)
+      (fun ?pool seed -> Cosynth.Driver.run_no_transit ~seed ?pool ~routers:7 ())
+  in
+  let s =
+    Cosynth.Metrics.summarize
+      (List.map (fun (r : Cosynth.Driver.synthesis_result) -> r.Cosynth.Driver.transcript) results)
+  in
   print_string
-    (Cosynth.Report.kv ~title:"30 seeded runs of the 7-router no-transit VPP loop"
+    (Cosynth.Report.kv
+       ~title:(Printf.sprintf "%d seeded runs of the 7-router no-transit VPP loop" n)
        [
          ("converged", Printf.sprintf "%d/%d" s.Cosynth.Metrics.converged s.Cosynth.Metrics.runs);
          ("mean automated prompts", Printf.sprintf "%.1f (paper: 12)" s.Cosynth.Metrics.mean_auto);
@@ -137,7 +212,8 @@ let table_l2 () =
            Printf.sprintf "%.1fx mean, %.1f-%.1f range (paper: 6x)"
              s.Cosynth.Metrics.mean_leverage s.Cosynth.Metrics.min_leverage
              s.Cosynth.Metrics.max_leverage );
-       ])
+       ]);
+  print_determinism identical seq_perf par_perf
 
 (* ------------------------------------------------------------------ *)
 (* F4: Figure 4 — star topology                                        *)
@@ -231,9 +307,10 @@ let table_t3 () =
 
 let table_g1 () =
   section "G1 — Global vs local policy prompting (Section 4.1)";
-  let c = Cosynth.Global_vs_local.compare ~runs:20 ~routers:7 () in
+  let n = runs 20 in
+  let c = Cosynth.Global_vs_local.compare ~runs:n ~routers:7 () in
   print_string
-    (Cosynth.Report.table ~title:"20 runs each, 7-router star"
+    (Cosynth.Report.table ~title:(Printf.sprintf "%d runs each, 7-router star" n)
        ~header:[ "strategy"; "convergence"; "mean prompts"; "mean strategy switches" ]
        [
          [
@@ -255,9 +332,15 @@ let table_g1 () =
 (* ------------------------------------------------------------------ *)
 
 let table_s1a () =
-  section "S1a — Ablation: IIP database on/off (7-router no-transit, 15 runs)";
-  let with_iips = Cosynth.Metrics.no_transit_summary ~runs:15 ~routers:7 ~use_iips:true () in
-  let without = Cosynth.Metrics.no_transit_summary ~runs:15 ~routers:7 ~use_iips:false () in
+  section
+    (Printf.sprintf "S1a — Ablation: IIP database on/off (7-router no-transit, %d runs)"
+       (runs 15));
+  let with_iips =
+    Cosynth.Metrics.no_transit_summary ~runs:(runs 15) ~routers:7 ~use_iips:true ~pool ()
+  in
+  let without =
+    Cosynth.Metrics.no_transit_summary ~runs:(runs 15) ~routers:7 ~use_iips:false ~pool ()
+  in
   let row label (s : Cosynth.Metrics.summary) =
     [
       label;
@@ -273,11 +356,12 @@ let table_s1a () =
        [ row "with IIPs (paper setup)" with_iips; row "without IIPs" without ])
 
 let table_s1b () =
-  section "S1b — Ablation: leverage vs star size (10 runs per size)";
+  section
+    (Printf.sprintf "S1b — Ablation: leverage vs star size (%d runs per size)" (runs 10));
   let rows =
     List.map
       (fun routers ->
-        let s = Cosynth.Metrics.no_transit_summary ~runs:10 ~routers () in
+        let s = Cosynth.Metrics.no_transit_summary ~runs:(runs 10) ~routers ~pool () in
         [
           string_of_int routers;
           Printf.sprintf "%.1f" s.Cosynth.Metrics.mean_auto;
@@ -292,14 +376,17 @@ let table_s1b () =
        rows)
 
 let table_s1c () =
-  section "S1c — Ablation: translation leverage vs stall threshold (10 runs each)";
+  section
+    (Printf.sprintf "S1c — Ablation: translation leverage vs stall threshold (%d runs each)"
+       (runs 10));
   let rows =
     List.map
       (fun st ->
         let transcripts =
-          List.init 10 (fun i ->
-              (Cosynth.Driver.run_translation ~seed:(4000 + i) ~stall_threshold:st
-                 ~cisco_text ())
+          Exec.Sweep.run_seeds ~pool
+            ~seeds:(Exec.Sweep.seeds ~base:4000 ~n:(runs 10))
+            (fun seed ->
+              (Cosynth.Driver.run_translation ~seed ~stall_threshold:st ~cisco_text ())
                 .Cosynth.Driver.transcript)
         in
         let s = Cosynth.Metrics.summarize transcripts in
@@ -382,9 +469,11 @@ let table_s2 () =
 let table_s3 () =
   section
     "S3 — Extension: incremental policy addition (the paper's closing question)";
-  let runs = 25 in
+  let runs = runs 25 in
   let results =
-    List.init runs (fun i -> Cosynth.Driver.run_incremental ~seed:(i * 31) ~routers:7 ())
+    Exec.Sweep.run_seeds ~pool
+      ~seeds:(List.init runs (fun i -> i * 31))
+      (fun seed -> Cosynth.Driver.run_incremental ~seed ~routers:7 ())
   in
   let count f = List.length (List.filter f results) in
   let mean f =
@@ -393,8 +482,10 @@ let table_s3 () =
   print_string
     (Cosynth.Report.kv
        ~title:
-         "Prepend the AS path on exports to R2 without breaking the verified no-transit \
-          policy (25 seeded runs)"
+         (Printf.sprintf
+            "Prepend the AS path on exports to R2 without breaking the verified \
+             no-transit policy (%d seeded runs)"
+            runs)
        [
          ("converged, all specs hold", Printf.sprintf "%d/%d" (count (fun r -> r.Cosynth.Driver.specs_hold)) runs);
          ("no-transit preserved network-wide", Printf.sprintf "%d/%d" (count (fun r -> r.Cosynth.Driver.global_ok)) runs);
@@ -421,8 +512,10 @@ let table_s4 () =
     List.map
       (fun q ->
         let transcripts =
-          List.init 15 (fun i ->
-              (Cosynth.Driver.run_translation ~seed:(6000 + i) ~quality:q ~cisco_text ())
+          Exec.Sweep.run_seeds ~pool
+            ~seeds:(Exec.Sweep.seeds ~base:6000 ~n:(runs 15))
+            (fun seed ->
+              (Cosynth.Driver.run_translation ~seed ~quality:q ~cisco_text ())
                 .Cosynth.Driver.transcript)
         in
         let s = Cosynth.Metrics.summarize transcripts in
@@ -436,7 +529,8 @@ let table_s4 () =
       [ 0.0; 0.25; 0.5; 0.75; 0.95 ]
   in
   print_string
-    (Cosynth.Report.table ~title:"Translation loop, 15 runs per quality level"
+    (Cosynth.Report.table
+       ~title:(Printf.sprintf "Translation loop, %d runs per quality level" (runs 15))
        ~header:[ "model quality"; "auto"; "human"; "leverage"; "converged" ]
        rows)
 
@@ -544,6 +638,9 @@ let () =
   Printf.printf
     "CoSynth benchmark harness — reproduction of 'What do LLMs need to Synthesize \
      Correct Router Configurations?' (HotNets 2023)\n";
+  Printf.printf "mode: %s | worker pool: %d domain(s) (COSYNTH_POOL_SIZE to override)\n"
+    (if smoke then "smoke (1 seed per experiment)" else "full")
+    (Exec.Pool.size pool);
   table_t1 ();
   table_t2 ();
   table_l1 ();
@@ -557,5 +654,17 @@ let () =
   table_s2 ();
   table_s3 ();
   table_s4 ();
-  run_perf ();
+  if smoke then
+    Printf.printf "\n(smoke mode: skipping the Bechamel performance pass)\n"
+  else run_perf ();
+  let ps = Exec.Pool.stats pool in
+  let ms = Exec.Memo.stats () in
+  Printf.printf
+    "\npool: %d domain(s), %d jobs, %.1fs busy over %.1fs wall (utilization %.0f%%)\n"
+    ps.Exec.Pool.domains ps.Exec.Pool.jobs_completed ps.Exec.Pool.busy_s
+    ps.Exec.Pool.wall_s
+    (100. *. Exec.Pool.utilization ps);
+  Printf.printf "memo: %d hits / %d misses since last reset, %d entries cached\n"
+    ms.Exec.Memo.hits ms.Exec.Memo.misses ms.Exec.Memo.entries;
+  Exec.Pool.shutdown pool;
   Printf.printf "\nDone.\n"

@@ -403,15 +403,19 @@ let prove_cmd =
 (* ------------------------------------------------------------------ *)
 
 let leverage_cmd =
-  let run use_case runs routers =
-    let s =
-      match use_case with
-      | `Translation ->
-          Cosynth.Metrics.translation_summary ~runs
-            ~cisco_text:Cisco.Samples.border_router ()
-      | `No_transit -> Cosynth.Metrics.no_transit_summary ~runs ~routers ()
+  let run use_case runs routers jobs =
+    let pool = match jobs with Some d -> Exec.Pool.create ~domains:d () | None -> Exec.Pool.create () in
+    let s, perf =
+      Cosynth.Metrics.measure ~pool (fun () ->
+          match use_case with
+          | `Translation ->
+              Cosynth.Metrics.translation_summary ~runs ~pool
+                ~cisco_text:Cisco.Samples.border_router ()
+          | `No_transit -> Cosynth.Metrics.no_transit_summary ~runs ~routers ~pool ())
     in
     Format.printf "%a@." Cosynth.Metrics.pp_summary s;
+    Format.printf "%a@." Cosynth.Metrics.pp_perf perf;
+    Exec.Pool.shutdown pool;
     0
   in
   let use_case =
@@ -432,9 +436,18 @@ let leverage_cmd =
   in
   let runs = Arg.(value & opt int 20 & info [ "runs" ] ~docv:"N") in
   let routers = Arg.(value & opt int 7 & info [ "routers" ] ~docv:"N") in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the seeded sweep (default: COSYNTH_POOL_SIZE or the \
+             machine; 0 = sequential). Results are identical at any setting.")
+  in
   Cmd.v
     (Cmd.info "leverage" ~doc:"Multi-seed leverage summary")
-    Term.(const run $ use_case $ runs $ routers)
+    Term.(const run $ use_case $ runs $ routers $ jobs)
 
 let () =
   let doc =

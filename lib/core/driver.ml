@@ -12,8 +12,12 @@ type transcript = {
   rounds : int;
 }
 
+(* Zero human prompts is a genuinely different regime, not "one human
+   prompt": every automated prompt came for free. Report it as infinite
+   leverage (and 0 for an empty transcript) rather than conflating
+   "20 auto / 0 human" with "20 auto / 1 human". *)
 let leverage t =
-  if t.human_prompts = 0 then float_of_int t.auto_prompts
+  if t.human_prompts = 0 then if t.auto_prompts > 0 then Float.infinity else 0.
   else float_of_int t.auto_prompts /. float_of_int t.human_prompts
 
 let transcript_to_markdown ~title t =
@@ -55,6 +59,17 @@ let new_loop ~max_prompts ~stall_threshold =
   }
 
 let budget_left st = st.auto + st.human < st.max_prompts
+
+(* Fold a per-router loop state into the shared one. Both event lists are
+   reversed (newest first), so the sub-run's events go in front. Used when
+   the per-router synthesis tasks run independently (possibly on a pool)
+   and join back into the run-wide transcript. *)
+let absorb st sub =
+  st.events <- sub.events @ st.events;
+  st.human <- st.human + sub.human;
+  st.auto <- st.auto + sub.auto;
+  st.rounds <- st.rounds + sub.rounds;
+  st.stalls <- sub.stalls @ st.stalls
 
 let record st origin prompt note =
   st.events <- { origin; prompt; note } :: st.events;
@@ -181,7 +196,7 @@ let run_translation ?(seed = 42) ?(force_faults = []) ?(suppress_random = false)
     if not (budget_left st) then finish st false
     else
       let draft = Llmsim.Chat.draft chat in
-      let ir, diags = Batfish.Parse_check.check Batfish.Parse_check.Junos draft in
+      let ir, diags = Exec.Memo.check Batfish.Parse_check.Junos draft in
       match first_error diags with
       | Some diag -> (
           let prompt = Humanizer.of_diag diag in
@@ -213,7 +228,7 @@ let run_translation ?(seed = 42) ?(force_faults = []) ?(suppress_random = false)
   let verified =
     transcript.converged
     &&
-    let ir, diags = Batfish.Parse_check.check Batfish.Parse_check.Junos final_text in
+    let ir, diags = Exec.Memo.check Batfish.Parse_check.Junos final_text in
     first_error diags = None && Campion.Differ.compare ~original:cisco_ir ~translation:ir = []
   in
   { transcript; final_text; outcomes = outcomes_of tr chat; verified }
@@ -255,9 +270,12 @@ type synthesis_result = {
 }
 
 let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
-    ?(stall_threshold = 2) ?(final_check = Simulate) ~routers () =
+    ?(stall_threshold = 2) ?(final_check = Simulate) ?pool ?tasks:tasks_override
+    ?(force_hub_faults = []) ~routers () =
   let star = Netcore.Star.make ~routers in
-  let tasks = Modularizer.plan star in
+  let tasks =
+    match tasks_override with Some ts -> ts | None -> Modularizer.plan star
+  in
   let iips = if use_iips then Iip.ids Iip.defaults else [] in
   let st = new_loop ~max_prompts ~stall_threshold in
   record st Human
@@ -268,14 +286,17 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
        routers)
     "initial task prompt";
   (* One local verification pass for a router: syntax, then topology, then
-     local policy semantics. *)
-  let local_loop (task : Modularizer.router_task) chat =
+     local policy semantics. [st] is the loop state charged for the prompts:
+     the run-wide one during the global phase, a per-router one during the
+     fan-out (merged back on join so the accounting is identical whether
+     the routers run sequentially or on a pool). *)
+  let local_loop st (task : Modularizer.router_task) chat =
     let rec loop () =
       st.rounds <- st.rounds + 1;
       if not (budget_left st) then (Llmsim.Chat.draft chat, false)
       else
         let draft = Llmsim.Chat.draft chat in
-        let ir, diags = Batfish.Parse_check.check Batfish.Parse_check.Cisco_ios draft in
+        let ir, diags = Exec.Memo.check Batfish.Parse_check.Cisco_ios draft in
         match first_error diags with
         | Some diag -> (
             match send st chat (Humanizer.of_diag diag) ~note:"syntax" with
@@ -310,19 +331,38 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
     in
     loop ()
   in
-  let synthesize_router idx (task : Modularizer.router_task) =
+  (* Each router is an independent task: its own chat, its own derived seed,
+     its own loop state (budget = what is left after the initial prompt).
+     That makes the fan-out embarrassingly parallel — Lightyear's
+     observation about per-router checks — while the join below merges the
+     accounting in task order, so pool and sequential runs are
+     bit-identical. *)
+  let router_budget = max_prompts - (st.auto + st.human) in
+  let synthesize_router (idx, (task : Modularizer.router_task)) =
+    let sub = new_loop ~max_prompts:router_budget ~stall_threshold in
+    let force_faults =
+      if task.Modularizer.router = star.Netcore.Star.hub then force_hub_faults
+      else []
+    in
     let chat =
-      Llmsim.Chat.start ~seed:(seed + (idx * 7919)) ~iips Llmsim.Fault.Cisco_cfg
-        ~correct:task.Modularizer.correct
+      Llmsim.Chat.start ~seed:(seed + (idx * 7919)) ~iips ~force_faults
+        Llmsim.Fault.Cisco_cfg ~correct:task.Modularizer.correct
     in
     (* The modularizer's per-router prompt is machine-generated: automated. *)
-    record st Auto task.Modularizer.prompt
+    record sub Auto task.Modularizer.prompt
       (Printf.sprintf "modularizer prompt for %s" task.Modularizer.router);
-    let final_draft, ok = local_loop task chat in
+    let final_draft, ok = local_loop sub task chat in
     let ir, _ = Cisco.Parser.parse final_draft in
-    (task.Modularizer.router, chat, ir, ok)
+    (task.Modularizer.router, chat, ir, ok, sub)
   in
-  let results = List.mapi synthesize_router tasks in
+  let indexed = List.mapi (fun i t -> (i, t)) tasks in
+  let fanned =
+    match pool with
+    | Some p -> Exec.Pool.map p synthesize_router indexed
+    | None -> Exec.Pool.map_seq synthesize_router indexed
+  in
+  List.iter (fun (_, _, _, _, sub) -> absorb st sub) fanned;
+  let results = List.map (fun (name, chat, ir, ok, _) -> (name, chat, ir, ok)) fanned in
   let all_ok = List.for_all (fun (_, _, _, ok) -> ok) results in
   let configs_of results = List.map (fun (name, _, ir, _) -> (name, ir)) results in
   let check_global configs =
@@ -351,21 +391,50 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
      check fails, feed the counterexample back to the hub conversation
      (crossed attachments are the only fault that survives local
      verification) and re-verify the hub locally after each prompt. *)
+  (* The hub is looked up by name, not by position: the modularizer
+     currently plans it first, but the feedback must keep firing (and fail
+     loudly, not silently return) if the plan is ever reordered. *)
+  let hub_name = star.Netcore.Star.hub in
+  let hub_task_exn () =
+    match
+      List.find_opt
+        (fun (t : Modularizer.router_task) -> t.Modularizer.router = hub_name)
+        tasks
+    with
+    | Some t -> t
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Driver.run_no_transit: hub %s missing from the task plan"
+             hub_name)
+  in
+  let hub_chat_exn results =
+    match List.find_opt (fun (name, _, _, _) -> name = hub_name) results with
+    | Some (_, chat, _, _) -> chat
+    | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Driver.run_no_transit: hub %s missing from the synthesis results"
+             hub_name)
+  in
   let rec global_phase results rounds =
     let (ok, violations), proof = check_global (configs_of results) in
     if ok || rounds = 0 || not (budget_left st) then (results, ok, violations, proof)
     else
-      let hub_task = List.hd tasks in
-      match results with
-      | (hub_name, hub_chat, _, _) :: rest when hub_name = star.Netcore.Star.hub -> (
-          let prompt = Humanizer.of_global_violations ~hub:hub_name violations in
-          match send st hub_chat prompt ~note:"global" with
-          | None -> (results, ok, violations, proof)
-          | Some _ ->
-              let draft, local_ok = local_loop hub_task hub_chat in
-              let ir, _ = Cisco.Parser.parse draft in
-              global_phase ((hub_name, hub_chat, ir, local_ok) :: rest) (rounds - 1))
-      | _ -> (results, ok, violations, proof)
+      let hub_task = hub_task_exn () in
+      let hub_chat = hub_chat_exn results in
+      let prompt = Humanizer.of_global_violations ~hub:hub_name violations in
+      match send st hub_chat prompt ~note:"global" with
+      | None -> (results, ok, violations, proof)
+      | Some _ ->
+          let draft, local_ok = local_loop st hub_task hub_chat in
+          let ir, _ = Cisco.Parser.parse draft in
+          let results =
+            List.map
+              (fun ((name, chat, _, _) as r) ->
+                if name = hub_name then (name, chat, ir, local_ok) else r)
+              results
+          in
+          global_phase results (rounds - 1)
   in
   let results, global_ok, global_violations, proof =
     if all_ok then global_phase results 12
@@ -422,7 +491,7 @@ let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
     if not (budget_left st) then false
     else
       let draft = Llmsim.Chat.draft chat in
-      let ir, diags = Batfish.Parse_check.check Batfish.Parse_check.Cisco_ios draft in
+      let ir, diags = Exec.Memo.check Batfish.Parse_check.Cisco_ios draft in
       match first_error diags with
       | Some diag -> (
           match send st chat (Humanizer.of_diag diag) ~note:"syntax" with

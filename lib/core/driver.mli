@@ -23,8 +23,11 @@ type transcript = {
 }
 
 val leverage : transcript -> float
-(** [auto / human]; infinite leverage is reported as [auto] (never happens
-    with the initial prompt counted). *)
+(** [auto / human]. A transcript with zero human prompts has
+    [Float.infinity] leverage when any automated prompt was sent and [0.]
+    otherwise (it never happens in the standard loops, which count the
+    initial task prompt as human — but summaries must not silently absorb
+    the infinity; see {!Metrics.summarize}). *)
 
 val transcript_to_markdown : title:string -> transcript -> string
 (** The conversation as a markdown document: one section per prompt, tagged
@@ -85,16 +88,29 @@ val run_no_transit :
   ?max_prompts:int ->
   ?stall_threshold:int ->
   ?final_check:final_check ->
+  ?pool:Exec.Pool.t ->
+  ?tasks:Modularizer.router_task list ->
+  ?force_hub_faults:Llmsim.Fault.t list ->
   routers:int ->
   unit ->
   synthesis_result
 (** [use_iips] defaults to true (the paper supplies the IIPs); switching it
     off is the S1 ablation. [final_check] defaults to [Simulate].
 
+    Each router's synthesis is an independent task (own chat, own derived
+    seed, own prompt accounting merged back in task order), so passing
+    [pool] fans the routers across worker domains with bit-identical
+    results to the sequential run. [tasks] overrides the modularizer's plan
+    (testing/ablation hook — the driver locates the hub by name and raises
+    [Invalid_argument] if it is absent). [force_hub_faults] injects faults
+    into the hub's chat on top of the seeded sample, e.g. a crossed policy
+    attachment to deterministically exercise the global phase.
+
     Faults that pass every local check (crossed policy attachments) surface
-    only here; the driver then feeds a whole-network counterexample prompt
-    back to the hub's chat — the "global feedback" the paper found far less
-    actionable than local findings — escalating to the human as usual. *)
+    only in the global phase; the driver then feeds a whole-network
+    counterexample prompt back to the hub's chat — the "global feedback"
+    the paper found far less actionable than local findings — escalating to
+    the human as usual. *)
 
 (** {2 Extension: incremental policy addition}
 

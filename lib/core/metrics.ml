@@ -7,6 +7,7 @@ type summary = {
   stddev_leverage : float;
   min_leverage : float;
   max_leverage : float;
+  infinite_leverage : int;
 }
 
 let summarize transcripts =
@@ -21,15 +22,28 @@ let summarize transcripts =
       stddev_leverage = 0.;
       min_leverage = 0.;
       max_leverage = 0.;
+      infinite_leverage = 0;
     }
   else
     let fn = float_of_int n in
     let leverages = List.map Driver.leverage transcripts in
-    let mean_leverage = List.fold_left ( +. ) 0. leverages /. fn in
+    (* A zero-human transcript has infinite leverage (see
+       {!Driver.leverage}); the mean/stddev/range are over the finite runs
+       only, with the infinite ones counted separately rather than silently
+       turning every aggregate into nan/inf. *)
+    let finite = List.filter Float.is_finite leverages in
+    let n_finite = List.length finite in
+    let infinite_leverage = n - n_finite in
+    let mean_leverage =
+      if n_finite = 0 then 0.
+      else List.fold_left ( +. ) 0. finite /. float_of_int n_finite
+    in
     let stddev_leverage =
-      sqrt
-        (List.fold_left (fun acc l -> acc +. ((l -. mean_leverage) ** 2.)) 0. leverages
-        /. fn)
+      if n_finite = 0 then 0.
+      else
+        sqrt
+          (List.fold_left (fun acc l -> acc +. ((l -. mean_leverage) ** 2.)) 0. finite
+          /. float_of_int n_finite)
     in
     {
       runs = n;
@@ -43,21 +57,23 @@ let summarize transcripts =
         /. fn;
       mean_leverage;
       stddev_leverage;
-      min_leverage = List.fold_left min infinity leverages;
-      max_leverage = List.fold_left max neg_infinity leverages;
+      min_leverage = (if n_finite = 0 then 0. else List.fold_left min infinity finite);
+      max_leverage = (if n_finite = 0 then 0. else List.fold_left max neg_infinity finite);
+      infinite_leverage;
     }
 
-let translation_summary ?(runs = 20) ?(base_seed = 1000) ~cisco_text () =
+let translation_summary ?(runs = 20) ?(base_seed = 1000) ?pool ~cisco_text () =
   let transcripts =
-    List.init runs (fun i ->
-        (Driver.run_translation ~seed:(base_seed + i) ~cisco_text ()).Driver.transcript)
+    Exec.Sweep.run_seeds ?pool ~seeds:(Exec.Sweep.seeds ~base:base_seed ~n:runs)
+      (fun seed -> (Driver.run_translation ~seed ~cisco_text ()).Driver.transcript)
   in
   summarize transcripts
 
-let no_transit_summary ?(runs = 20) ?(base_seed = 2000) ?(use_iips = true) ~routers () =
+let no_transit_summary ?(runs = 20) ?(base_seed = 2000) ?(use_iips = true) ?pool
+    ~routers () =
   let transcripts =
-    List.init runs (fun i ->
-        (Driver.run_no_transit ~seed:(base_seed + i) ~use_iips ~routers ()).Driver.transcript)
+    Exec.Sweep.run_seeds ?pool ~seeds:(Exec.Sweep.seeds ~base:base_seed ~n:runs)
+      (fun seed -> (Driver.run_no_transit ~seed ~use_iips ~routers ()).Driver.transcript)
   in
   summarize transcripts
 
@@ -65,4 +81,51 @@ let pp_summary ppf s =
   Format.fprintf ppf
     "runs=%d converged=%d auto=%.1f human=%.1f leverage=%.1fx +/- %.1f (min %.1f, max %.1f)"
     s.runs s.converged s.mean_auto s.mean_human s.mean_leverage s.stddev_leverage
-    s.min_leverage s.max_leverage
+    s.min_leverage s.max_leverage;
+  if s.infinite_leverage > 0 then
+    Format.fprintf ppf " [%d runs with infinite leverage]" s.infinite_leverage
+
+(* ------------------------------------------------------------------ *)
+(* Performance instrumentation                                         *)
+(* ------------------------------------------------------------------ *)
+
+type perf = {
+  wall_s : float;
+  pool_size : int;
+  memo_hits : int;
+  memo_misses : int;
+  pool_utilization : float;
+}
+
+let memo_hit_rate p =
+  let total = p.memo_hits + p.memo_misses in
+  if total = 0 then 0. else float_of_int p.memo_hits /. float_of_int total
+
+let measure ?pool f =
+  let m0 = Exec.Memo.stats () in
+  let p0 = Option.map Exec.Pool.stats pool in
+  let r, wall_s = Exec.Sweep.timed f in
+  let m1 = Exec.Memo.stats () in
+  let utilization =
+    match (pool, p0) with
+    | Some p, Some s0 ->
+        let s1 = Exec.Pool.stats p in
+        let busy = s1.Exec.Pool.busy_s -. s0.Exec.Pool.busy_s in
+        let denom = wall_s *. float_of_int s1.Exec.Pool.domains in
+        if denom <= 0. then 0. else Float.min 1. (busy /. denom)
+    | _ -> 0.
+  in
+  ( r,
+    {
+      wall_s;
+      pool_size = (match pool with Some p -> Exec.Pool.size p | None -> 0);
+      memo_hits = m1.Exec.Memo.hits - m0.Exec.Memo.hits;
+      memo_misses = m1.Exec.Memo.misses - m0.Exec.Memo.misses;
+      pool_utilization = utilization;
+    } )
+
+let pp_perf ppf p =
+  Format.fprintf ppf
+    "wall %.3fs, pool size %d (utilization %.0f%%), memo %d hits / %d misses (%.0f%% hit rate)"
+    p.wall_s p.pool_size (100. *. p.pool_utilization) p.memo_hits p.memo_misses
+    (100. *. memo_hit_rate p)

@@ -1,22 +1,55 @@
-(** Leverage statistics over many seeded runs. *)
+(** Leverage statistics over many seeded runs, plus the performance
+    instrumentation (wall clock, verifier-memo hit rates, pool
+    utilization) the bench harness reports alongside them. *)
 
 type summary = {
   runs : int;
   converged : int;
   mean_auto : float;
   mean_human : float;
-  mean_leverage : float;
-  stddev_leverage : float;
+  mean_leverage : float;  (** Over the finite-leverage runs only. *)
+  stddev_leverage : float;  (** Over the finite-leverage runs only. *)
   min_leverage : float;
   max_leverage : float;
+  infinite_leverage : int;
+      (** Runs with zero human prompts ({!Driver.leverage} is infinite);
+          excluded from the mean/stddev/range instead of poisoning them. *)
 }
 
 val summarize : Driver.transcript list -> summary
 
 val translation_summary :
-  ?runs:int -> ?base_seed:int -> cisco_text:string -> unit -> summary
+  ?runs:int -> ?base_seed:int -> ?pool:Exec.Pool.t -> cisco_text:string -> unit -> summary
 
 val no_transit_summary :
-  ?runs:int -> ?base_seed:int -> ?use_iips:bool -> routers:int -> unit -> summary
+  ?runs:int ->
+  ?base_seed:int ->
+  ?use_iips:bool ->
+  ?pool:Exec.Pool.t ->
+  routers:int ->
+  unit ->
+  summary
+(** Both summaries fan their seeded runs across [pool] when given
+    ({!Exec.Sweep.run_seeds}); the seeds, and therefore the transcripts and
+    every statistic, are identical with or without the pool. *)
 
 val pp_summary : Format.formatter -> summary -> unit
+
+(** {2 Performance instrumentation} *)
+
+type perf = {
+  wall_s : float;  (** Wall-clock seconds for the measured section. *)
+  pool_size : int;  (** Worker domains used; 0 = sequential. *)
+  memo_hits : int;  (** {!Exec.Memo} hits during the section. *)
+  memo_misses : int;
+  pool_utilization : float;
+      (** Worker busy time / (wall * workers) during the section, in
+          [0, 1]; 0 when sequential. *)
+}
+
+val measure : ?pool:Exec.Pool.t -> (unit -> 'a) -> 'a * perf
+(** Run the thunk and capture wall clock plus memo/pool counter deltas. *)
+
+val memo_hit_rate : perf -> float
+
+val pp_perf : Format.formatter -> perf -> unit

@@ -1,0 +1,52 @@
+type stats = { hits : int; misses : int; entries : int }
+
+let lock = Mutex.create ()
+
+let table :
+    ( Batfish.Parse_check.dialect * string,
+      Policy.Config_ir.t * Netcore.Diag.t list )
+    Hashtbl.t =
+  Hashtbl.create 512
+
+let hits = ref 0
+let misses = ref 0
+
+(* Drafts are bounded in practice (a handful of live faults over one oracle
+   config), but a long sweep over many topologies could still accumulate;
+   cap the table rather than grow without bound. *)
+let max_entries = 16_384
+
+let check dialect text =
+  let key = (dialect, text) in
+  Mutex.lock lock;
+  match Hashtbl.find_opt table key with
+  | Some r ->
+      incr hits;
+      Mutex.unlock lock;
+      r
+  | None ->
+      incr misses;
+      Mutex.unlock lock;
+      let r = Batfish.Parse_check.check dialect text in
+      Mutex.lock lock;
+      if Hashtbl.length table >= max_entries then Hashtbl.reset table;
+      if not (Hashtbl.mem table key) then Hashtbl.add table key r;
+      Mutex.unlock lock;
+      r
+
+let stats () =
+  Mutex.lock lock;
+  let s = { hits = !hits; misses = !misses; entries = Hashtbl.length table } in
+  Mutex.unlock lock;
+  s
+
+let hit_rate s =
+  let total = s.hits + s.misses in
+  if total = 0 then 0. else float_of_int s.hits /. float_of_int total
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset table;
+  hits := 0;
+  misses := 0;
+  Mutex.unlock lock

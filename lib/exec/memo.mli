@@ -1,0 +1,27 @@
+(** A thread-safe memo cache for {!Batfish.Parse_check.check}.
+
+    The VPP loops re-verify the current draft after every prompt, and a
+    stalled prompt (the simulated LLM "usually does nothing when asked to
+    fix the error") leaves the draft byte-identical — so the same text is
+    parsed and linted again and again. Parsing is pure, so the result can
+    be memoized on [(dialect, text)]. The cache is shared across domains
+    and guarded by a mutex; parse work happens outside the lock (a
+    concurrent duplicate parse is harmless — both compute the same
+    value). *)
+
+val check :
+  Batfish.Parse_check.dialect ->
+  string ->
+  Policy.Config_ir.t * Netcore.Diag.t list
+(** Same contract as {!Batfish.Parse_check.check}, memoized. *)
+
+type stats = { hits : int; misses : int; entries : int }
+
+val stats : unit -> stats
+
+val hit_rate : stats -> float
+(** [hits / (hits + misses)]; 0 when the cache is untouched. *)
+
+val reset : unit -> unit
+(** Drop every entry and zero the counters (used between bench sections so
+    per-experiment hit rates are meaningful). *)

@@ -1,0 +1,56 @@
+(** A fixed-size Domain-based worker pool with deterministic result
+    ordering.
+
+    Jobs submitted through {!map} run on worker domains (OCaml 5 [Domain]s
+    coordinated with a [Mutex]/[Condition] work queue); results are
+    returned in submission order regardless of which worker finished
+    first, so a parallel map is observably identical to [List.map] as long
+    as the job function itself is deterministic and the jobs are
+    data-independent.
+
+    The caller of {!map} helps drain the queue while waiting, so nested
+    [map] calls from inside a job (e.g. a seeded sweep whose body
+    parallelizes per-router synthesis on the same pool) cannot deadlock
+    even when every worker is busy. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** Spawn a pool of [domains] workers (default {!default_size}). A pool
+    with [domains = 0] executes every job on the calling domain — the
+    sequential baseline with the same API. *)
+
+val default_size : unit -> int
+(** The [COSYNTH_POOL_SIZE] environment variable when set ([0] forces the
+    sequential pool), otherwise [Domain.recommended_domain_count () - 1]
+    clamped to [\[1, 8\]]. *)
+
+val size : t -> int
+(** Number of worker domains (0 for a sequential pool). *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] runs [f] on every element, in parallel up to [size t],
+    and returns the results in input order. The first job exception (in
+    input order) is re-raised after all jobs settle. *)
+
+val map_seq : ('a -> 'b) -> 'a list -> 'b list
+(** [List.map] with the same exception behavior as {!map}; the reference
+    implementation parallel runs must match bit-for-bit. *)
+
+(** {2 Utilization statistics} *)
+
+type stats = {
+  domains : int;  (** Worker count. *)
+  jobs_completed : int;  (** Jobs finished since creation (all maps). *)
+  busy_s : float;  (** Summed per-worker seconds spent inside jobs. *)
+  wall_s : float;  (** Seconds since the pool was created. *)
+}
+
+val stats : t -> stats
+
+val utilization : stats -> float
+(** [busy / (wall * domains)] in [0, 1]; 0 for a sequential pool. *)
+
+val shutdown : t -> unit
+(** Stop accepting work and join every worker. Idempotent; outstanding
+    jobs finish first. *)

@@ -1,0 +1,9 @@
+let seeds ~base ~n = List.init n (fun i -> base + i)
+
+let run_seeds ?pool ~seeds f =
+  match pool with None -> Pool.map_seq f seeds | Some p -> Pool.map p f seeds
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)

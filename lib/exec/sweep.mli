@@ -1,0 +1,19 @@
+(** Fan seeded runs across a {!Pool}.
+
+    The paper's headline numbers are means over 10–30 seeded VPP runs, and
+    every run is independent given its seed, so the sweep is embarrassingly
+    parallel (the same observation Lightyear makes for per-router checks).
+    [run_seeds] keeps the sequential semantics — results come back in seed
+    order, and a deterministic run function yields bit-identical output
+    with or without a pool. *)
+
+val seeds : base:int -> n:int -> int list
+(** [\[base; base + 1; ...; base + n - 1\]] — the seed convention used by
+    the bench harness and {!Cosynth.Metrics}. *)
+
+val run_seeds : ?pool:Pool.t -> seeds:int list -> (int -> 'a) -> 'a list
+(** [run_seeds ~seeds f] maps [f] over [seeds], on [pool] when given and
+    sequentially otherwise, returning results in seed order. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** Result and wall-clock seconds. *)

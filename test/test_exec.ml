@@ -1,0 +1,306 @@
+(* Tests for the parallel execution engine (lib/exec): pool determinism —
+   parallel sweeps must be bit-identical to sequential maps — memo-cache
+   correctness for the Batfish-style syntax check, and the driver fixes
+   that ride along (hub lookup by name in the global phase, infinite
+   leverage handling). *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let cisco_text = Cisco.Samples.border_router
+
+(* A shared pool for the whole file; 4 workers regardless of the machine so
+   the parallel path is exercised even on single-core CI. *)
+let pool = Exec.Pool.create ~domains:4 ()
+
+exception Boom of int
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_ordering () =
+  let xs = List.init 50 (fun i -> i) in
+  check (Alcotest.list int_t) "results in input order"
+    (List.map (fun x -> x * x) xs)
+    (Exec.Pool.map pool (fun x -> x * x) xs);
+  check (Alcotest.list int_t) "empty input" [] (Exec.Pool.map pool (fun x -> x) [])
+
+let test_pool_map_exception () =
+  match Exec.Pool.map pool (fun x -> if x = 3 then raise (Boom x) else x) [ 1; 2; 3; 4 ] with
+  | _ -> Alcotest.fail "expected the job exception to propagate"
+  | exception Boom 3 -> ()
+
+let test_pool_nested_map () =
+  (* A job that maps on the same pool must not deadlock (the waiting caller
+     helps drain the queue). *)
+  let inner n = Exec.Pool.map pool (fun i -> i + n) [ 1; 2; 3 ] in
+  let out = Exec.Pool.map pool (fun n -> List.fold_left ( + ) 0 (inner n)) [ 10; 20 ] in
+  check (Alcotest.list int_t) "nested results" [ 36; 66 ] out
+
+let test_pool_sequential_fallback () =
+  let p0 = Exec.Pool.create ~domains:0 () in
+  check int_t "size 0" 0 (Exec.Pool.size p0);
+  check (Alcotest.list int_t) "runs on caller" [ 2; 4 ] (Exec.Pool.map p0 (fun x -> 2 * x) [ 1; 2 ]);
+  Exec.Pool.shutdown p0
+
+let test_pool_stats () =
+  let p = Exec.Pool.create ~domains:2 () in
+  ignore (Exec.Pool.map p (fun x -> x + 1) (List.init 10 (fun i -> i)));
+  let s = Exec.Pool.stats p in
+  check int_t "domains" 2 s.Exec.Pool.domains;
+  check bool_t "jobs counted" true (s.Exec.Pool.jobs_completed >= 10);
+  check bool_t "utilization in range" true
+    (Exec.Pool.utilization s >= 0. && Exec.Pool.utilization s <= 1.);
+  Exec.Pool.shutdown p
+
+(* ------------------------------------------------------------------ *)
+(* Sweep determinism: parallel == sequential, bit for bit              *)
+(* ------------------------------------------------------------------ *)
+
+let md t = Cosynth.Driver.transcript_to_markdown ~title:"run" t
+
+let test_sweep_translation_deterministic () =
+  let seeds = Exec.Sweep.seeds ~base:100 ~n:12 in
+  let run seed =
+    (Cosynth.Driver.run_translation ~seed ~cisco_text ()).Cosynth.Driver.transcript
+  in
+  let seq = Exec.Sweep.run_seeds ~seeds run in
+  let par = Exec.Sweep.run_seeds ~pool ~seeds run in
+  check int_t "same length" (List.length seq) (List.length par);
+  List.iter2
+    (fun a b ->
+      check bool_t "transcript byte-identical" true (md a = md b);
+      check bool_t "leverage identical" true
+        (Cosynth.Driver.leverage a = Cosynth.Driver.leverage b))
+    seq par
+
+let test_sweep_no_transit_deterministic () =
+  let seeds = Exec.Sweep.seeds ~base:300 ~n:10 in
+  let run ?pool seed =
+    let r = Cosynth.Driver.run_no_transit ~seed ?pool ~routers:5 () in
+    (r.Cosynth.Driver.transcript, r.Cosynth.Driver.global_ok)
+  in
+  (* Fully sequential vs: seeds on the pool AND per-router fan-out on the
+     pool — the strongest form of the acceptance bar. *)
+  let seq = Exec.Sweep.run_seeds ~seeds (fun s -> run s) in
+  let par = Exec.Sweep.run_seeds ~pool ~seeds (fun s -> run ~pool s) in
+  List.iter2
+    (fun (ta, oka) (tb, okb) ->
+      check bool_t "transcript byte-identical" true (md ta = md tb);
+      check bool_t "global_ok identical" true (oka = okb))
+    seq par
+
+let test_run_no_transit_pool_equals_sequential () =
+  List.iter
+    (fun seed ->
+      let a = Cosynth.Driver.run_no_transit ~seed ~routers:7 () in
+      let b = Cosynth.Driver.run_no_transit ~seed ~pool ~routers:7 () in
+      check bool_t "transcript byte-identical" true
+        (md a.Cosynth.Driver.transcript = md b.Cosynth.Driver.transcript);
+      check bool_t "configs identical" true
+        (List.map fst a.Cosynth.Driver.configs = List.map fst b.Cosynth.Driver.configs);
+      check bool_t "verification identical" true
+        (a.Cosynth.Driver.per_router_verified = b.Cosynth.Driver.per_router_verified))
+    [ 1; 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Memo cache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let draft_corpus () =
+  let junos = Juniper.Printer.print (Juniper.Translate.of_cisco_ir (fst (Cisco.Parser.parse cisco_text))) in
+  let star = Netcore.Star.make ~routers:3 in
+  let hub = (List.hd (Cosynth.Modularizer.plan star)).Cosynth.Modularizer.correct in
+  let hub_text = Cisco.Printer.print hub in
+  let broken_cisco = "ip community-list standard CL permit .+\nrouter bgp\n" in
+  let broken_junos = "policy-options prefix-list p 1.2.3.0/24-32\n{{{\n" in
+  [
+    (Batfish.Parse_check.Junos, junos);
+    (Batfish.Parse_check.Cisco_ios, hub_text);
+    (Batfish.Parse_check.Cisco_ios, cisco_text);
+    (Batfish.Parse_check.Cisco_ios, broken_cisco);
+    (Batfish.Parse_check.Junos, broken_junos);
+    (Batfish.Parse_check.Cisco_ios, "");
+    (Batfish.Parse_check.Junos, "garbage in, diagnostics out");
+  ]
+
+let test_memo_matches_uncached () =
+  Exec.Memo.reset ();
+  List.iter
+    (fun (dialect, text) ->
+      let ir_m, diags_m = Exec.Memo.check dialect text in
+      let ir_u, diags_u = Batfish.Parse_check.check dialect text in
+      check bool_t "diagnostics identical" true (diags_m = diags_u);
+      let print ir =
+        match dialect with
+        | Batfish.Parse_check.Cisco_ios -> Cisco.Printer.print ir
+        | Batfish.Parse_check.Junos -> Juniper.Printer.print ir
+      in
+      check bool_t "IR identical" true (print ir_m = print ir_u))
+    (draft_corpus ())
+
+let test_memo_hits () =
+  Exec.Memo.reset ();
+  let corpus = draft_corpus () in
+  List.iter (fun (d, t) -> ignore (Exec.Memo.check d t)) corpus;
+  let s1 = Exec.Memo.stats () in
+  check int_t "all misses on first pass" (List.length corpus) s1.Exec.Memo.misses;
+  check int_t "no hits yet" 0 s1.Exec.Memo.hits;
+  List.iter (fun (d, t) -> ignore (Exec.Memo.check d t)) corpus;
+  let s2 = Exec.Memo.stats () in
+  check int_t "all hits on second pass" (List.length corpus) s2.Exec.Memo.hits;
+  check int_t "no new misses" s1.Exec.Memo.misses s2.Exec.Memo.misses;
+  check bool_t "hit rate 0.5" true (abs_float (Exec.Memo.hit_rate s2 -. 0.5) < 1e-9);
+  (* Same text under the other dialect is a distinct key. *)
+  let d, t = List.hd corpus in
+  let other =
+    match d with
+    | Batfish.Parse_check.Junos -> Batfish.Parse_check.Cisco_ios
+    | Batfish.Parse_check.Cisco_ios -> Batfish.Parse_check.Junos
+  in
+  ignore (Exec.Memo.check other t);
+  check int_t "dialect in the key" (s2.Exec.Memo.misses + 1) (Exec.Memo.stats ()).Exec.Memo.misses
+
+let test_memo_thread_safe () =
+  Exec.Memo.reset ();
+  let corpus = draft_corpus () in
+  let results =
+    Exec.Pool.map pool
+      (fun i ->
+        let d, t = List.nth corpus (i mod List.length corpus) in
+        snd (Exec.Memo.check d t))
+      (List.init 32 (fun i -> i))
+  in
+  List.iteri
+    (fun i diags ->
+      let d, t = List.nth corpus (i mod List.length corpus) in
+      check bool_t "concurrent result correct" true
+        (diags = snd (Batfish.Parse_check.check d t)))
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Global phase: hub looked up by name, not by position                *)
+(* ------------------------------------------------------------------ *)
+
+let crossed =
+  [
+    Llmsim.Fault.make Llmsim.Error_class.Crossed_policy_attachment
+      Llmsim.Fault.Whole_config;
+  ]
+
+let global_events (r : Cosynth.Driver.synthesis_result) =
+  List.filter
+    (fun (e : Cosynth.Driver.event) -> e.Cosynth.Driver.note = "global")
+    r.Cosynth.Driver.transcript.Cosynth.Driver.events
+
+let test_global_phase_fires () =
+  (* A crossed policy attachment survives every local check; the global
+     counterexample prompt must fire and eventually repair the hub. *)
+  let r = Cosynth.Driver.run_no_transit ~seed:5 ~force_hub_faults:crossed ~routers:5 () in
+  check bool_t "global feedback fired" true (global_events r <> []);
+  check bool_t "run converged" true r.Cosynth.Driver.global_ok
+
+let test_global_phase_reordered_tasks () =
+  (* Regression: with the hub at the END of the task list, the old
+     head-pattern match silently skipped the global phase — no prompt, no
+     convergence. The hub must be found by name. *)
+  let star = Netcore.Star.make ~routers:5 in
+  let tasks = List.rev (Cosynth.Modularizer.plan star) in
+  let r =
+    Cosynth.Driver.run_no_transit ~seed:5 ~tasks ~force_hub_faults:crossed ~routers:5 ()
+  in
+  check bool_t "global feedback fired with reordered tasks" true (global_events r <> []);
+  check bool_t "run converged" true r.Cosynth.Driver.global_ok;
+  check int_t "all five routers synthesized" 5 (List.length r.Cosynth.Driver.configs)
+
+let test_global_phase_missing_hub_fails_loudly () =
+  let star = Netcore.Star.make ~routers:4 in
+  let tasks = List.tl (Cosynth.Modularizer.plan star) in
+  match Cosynth.Driver.run_no_transit ~seed:1 ~tasks ~routers:4 () with
+  | _ -> Alcotest.fail "expected Invalid_argument for a plan without the hub"
+  | exception Invalid_argument msg ->
+      check bool_t "message names the hub" true
+        (let sub = "hub R1" in
+         let n = String.length msg and m = String.length sub in
+         let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+         go 0)
+
+(* ------------------------------------------------------------------ *)
+(* Leverage edge cases                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let transcript ~auto ~human =
+  {
+    Cosynth.Driver.events = [];
+    human_prompts = human;
+    auto_prompts = auto;
+    converged = true;
+    rounds = 0;
+  }
+
+let test_leverage_zero_human () =
+  check bool_t "auto>0, human=0 is infinite" true
+    (Cosynth.Driver.leverage (transcript ~auto:20 ~human:0) = Float.infinity);
+  check bool_t "empty transcript is 0" true
+    (Cosynth.Driver.leverage (transcript ~auto:0 ~human:0) = 0.);
+  check bool_t "normal ratio" true
+    (Cosynth.Driver.leverage (transcript ~auto:20 ~human:2) = 10.)
+
+let test_summarize_absorbs_infinity () =
+  let ts =
+    [ transcript ~auto:10 ~human:2; transcript ~auto:20 ~human:0; transcript ~auto:12 ~human:2 ]
+  in
+  let s = Cosynth.Metrics.summarize ts in
+  check int_t "runs" 3 s.Cosynth.Metrics.runs;
+  check int_t "infinite runs counted" 1 s.Cosynth.Metrics.infinite_leverage;
+  check bool_t "mean finite" true (Float.is_finite s.Cosynth.Metrics.mean_leverage);
+  check bool_t "stddev finite" true (Float.is_finite s.Cosynth.Metrics.stddev_leverage);
+  check bool_t "mean over finite runs" true
+    (abs_float (s.Cosynth.Metrics.mean_leverage -. 5.5) < 1e-9);
+  check bool_t "max finite" true (s.Cosynth.Metrics.max_leverage = 6.);
+  let all_inf = Cosynth.Metrics.summarize [ transcript ~auto:4 ~human:0 ] in
+  check bool_t "all-infinite mean is 0" true (all_inf.Cosynth.Metrics.mean_leverage = 0.);
+  check int_t "all-infinite counted" 1 all_inf.Cosynth.Metrics.infinite_leverage
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map ordering" `Quick test_pool_map_ordering;
+          Alcotest.test_case "map exception" `Quick test_pool_map_exception;
+          Alcotest.test_case "nested map" `Quick test_pool_nested_map;
+          Alcotest.test_case "sequential fallback" `Quick test_pool_sequential_fallback;
+          Alcotest.test_case "stats" `Quick test_pool_stats;
+        ] );
+      ( "sweep-determinism",
+        [
+          Alcotest.test_case "translation parallel == sequential" `Slow
+            test_sweep_translation_deterministic;
+          Alcotest.test_case "no-transit parallel == sequential" `Slow
+            test_sweep_no_transit_deterministic;
+          Alcotest.test_case "per-router fan-out == sequential" `Slow
+            test_run_no_transit_pool_equals_sequential;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "matches uncached" `Quick test_memo_matches_uncached;
+          Alcotest.test_case "hit accounting" `Quick test_memo_hits;
+          Alcotest.test_case "thread safe" `Quick test_memo_thread_safe;
+        ] );
+      ( "global-phase",
+        [
+          Alcotest.test_case "fires on crossed attachment" `Quick test_global_phase_fires;
+          Alcotest.test_case "reordered task list" `Quick test_global_phase_reordered_tasks;
+          Alcotest.test_case "missing hub fails loudly" `Quick
+            test_global_phase_missing_hub_fails_loudly;
+        ] );
+      ( "leverage",
+        [
+          Alcotest.test_case "zero human prompts" `Quick test_leverage_zero_human;
+          Alcotest.test_case "summarize absorbs infinity" `Quick
+            test_summarize_absorbs_infinity;
+        ] );
+    ]
