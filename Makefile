@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench chaos clean
 
 all: build
 
@@ -9,12 +9,19 @@ test:
 	dune runtest
 
 # Build + tests + one-seed smoke run of the bench harness (exercises the
-# parallel sweep plumbing end-to-end).
+# parallel sweep plumbing end-to-end) + the full-scale chaos sweep (the
+# check alias runs both bench modes).
 check:
 	dune build @check
 
 bench:
 	dune exec bench/main.exe
+
+# The resilience acceptance gate: 20 seeds x 4 fault schedules over both
+# VPP loops; fails on any uncaught exception, budget overrun, or rate-0
+# transcript drift.
+chaos:
+	dune exec bench/main.exe -- --chaos
 
 clean:
 	dune clean

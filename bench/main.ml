@@ -20,8 +20,11 @@ let border_ir = fst (Cisco.Parser.parse cisco_text)
 let correct_junos = Juniper.Translate.of_cisco_ir border_ir
 
 (* --smoke: 1 seed per experiment and no Bechamel pass — a fast end-to-end
-   exercise of the sweep plumbing for the `check` alias / CI. *)
+   exercise of the sweep plumbing for the `check` alias / CI.
+   --chaos: only the C1 chaos sweep, at full seed count regardless of
+   --smoke — the resilience layer's acceptance gate (`make chaos`). *)
 let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
+let chaos_only = Array.exists (fun a -> a = "--chaos") Sys.argv
 let runs n = if smoke then 1 else n
 
 (* One worker pool for the whole harness; size comes from COSYNTH_POOL_SIZE
@@ -535,6 +538,187 @@ let table_s4 () =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* C1: chaos sweep — the VPP loops under injected verifier faults      *)
+(* ------------------------------------------------------------------ *)
+
+(* Every schedule shares one chaos seed; the driver mixes the run seed in
+   as the salt, so a seed sweep explores distinct fault timelines under
+   each configuration. The all-zero schedule pins the pay-for-what-you-use
+   contract: arming it is a no-op. *)
+let chaos_schedules =
+  [
+    ("no faults", Resilience.Chaos.make ~seed:99 ());
+    ("crash 0.15", Resilience.Chaos.make ~crash_rate:0.15 ~seed:99 ());
+    ( "timeout 0.20 + flake 0.10",
+      Resilience.Chaos.make ~timeout_rate:0.2 ~flake_rate:0.1 ~seed:99 () );
+    ( "all faults 0.08",
+      Resilience.Chaos.make ~crash_rate:0.08 ~timeout_rate:0.08
+        ~flake_rate:0.08 ~truncate_rate:0.08 ~seed:99 () );
+  ]
+
+let table_c1 () =
+  section "C1 — Chaos sweep: the VPP loops under injected verifier faults";
+  let n = if chaos_only then 20 else if smoke then 5 else 20 in
+  let seeds = Exec.Sweep.seeds ~base:8000 ~n in
+  let trans_budget = 200 and synth_budget = 400 in
+  let violations = ref [] in
+  let violation fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  (* The two invariants under ANY fault schedule: the loop never raises,
+     and the merged transcript never exceeds its prompt budget. *)
+  let guarded label budget f =
+    match f () with
+    | (t : Cosynth.Driver.transcript) ->
+        let spent = t.Cosynth.Driver.auto_prompts + t.Cosynth.Driver.human_prompts in
+        if spent > budget then
+          violation "%s spent %d prompts (budget %d)" label spent budget;
+        Some t
+    | exception e -> violation "%s raised %s" label (Printexc.to_string e); None
+  in
+  let degraded_events ts =
+    List.fold_left
+      (fun acc (t : Cosynth.Driver.transcript) ->
+        acc
+        + List.length
+            (List.filter
+               (fun (e : Cosynth.Driver.event) ->
+                 e.Cosynth.Driver.origin = Cosynth.Driver.Degraded)
+               t.Cosynth.Driver.events))
+      0 ts
+  in
+  Exec.Memo.reset ();
+  let (rows, crash_rows, identical), perf =
+    Cosynth.Metrics.measure (fun () ->
+        let rows =
+          List.map
+            (fun (name, chaos) ->
+              let resilience = Resilience.Runtime.config ~chaos () in
+              let ts =
+                List.filter_map
+                  (fun seed ->
+                    guarded
+                      (Printf.sprintf "translation[%s seed %d]" name seed)
+                      trans_budget
+                      (fun () ->
+                        (Cosynth.Driver.run_translation ~seed ~resilience
+                           ~cisco_text ())
+                          .Cosynth.Driver.transcript))
+                  seeds
+              in
+              let ss =
+                List.filter_map
+                  (fun seed ->
+                    guarded
+                      (Printf.sprintf "no-transit[%s seed %d]" name seed)
+                      synth_budget
+                      (fun () ->
+                        (Cosynth.Driver.run_no_transit ~seed ~resilience
+                           ~routers:7 ())
+                          .Cosynth.Driver.transcript))
+                  seeds
+              in
+              let st = Cosynth.Metrics.summarize ts in
+              let sn = Cosynth.Metrics.summarize ss in
+              [
+                name;
+                Printf.sprintf "%d/%d" (st.Cosynth.Metrics.converged + sn.Cosynth.Metrics.converged)
+                  (st.Cosynth.Metrics.runs + sn.Cosynth.Metrics.runs);
+                Printf.sprintf "%.1fx" st.Cosynth.Metrics.mean_leverage;
+                Printf.sprintf "%.1fx" sn.Cosynth.Metrics.mean_leverage;
+                string_of_int (degraded_events ts + degraded_events ss);
+              ])
+            chaos_schedules
+        in
+        (* Leverage vs crash rate (no-transit): outages degrade stages to
+           the human path, so leverage falls as the crash rate rises. *)
+        let crash_rows =
+          List.map
+            (fun rate ->
+              let chaos = Resilience.Chaos.make ~crash_rate:rate ~seed:99 () in
+              let resilience = Resilience.Runtime.config ~chaos () in
+              let ss =
+                List.filter_map
+                  (fun seed ->
+                    guarded
+                      (Printf.sprintf "no-transit[crash %.2f seed %d]" rate seed)
+                      synth_budget
+                      (fun () ->
+                        (Cosynth.Driver.run_no_transit ~seed ~resilience
+                           ~routers:7 ())
+                          .Cosynth.Driver.transcript))
+                  seeds
+              in
+              let s = Cosynth.Metrics.summarize ss in
+              [
+                Printf.sprintf "%.2f" rate;
+                Printf.sprintf "%.1f" s.Cosynth.Metrics.mean_auto;
+                Printf.sprintf "%.1f" s.Cosynth.Metrics.mean_human;
+                Printf.sprintf "%.1fx" s.Cosynth.Metrics.mean_leverage;
+                Printf.sprintf "%d/%d" s.Cosynth.Metrics.converged s.Cosynth.Metrics.runs;
+                string_of_int (degraded_events ss);
+              ])
+            [ 0.0; 0.05; 0.15; 0.30 ]
+        in
+        (* Pay-for-what-you-use: with every rate 0 the wrapped loops must
+           produce byte-identical transcripts to the unwrapped ones. *)
+        let zero =
+          Resilience.Runtime.config ~chaos:(List.assoc "no faults" chaos_schedules) ()
+        in
+        let md t = Cosynth.Driver.transcript_to_markdown ~title:"run" t in
+        let identical =
+          List.for_all
+            (fun seed ->
+              md (Cosynth.Driver.run_translation ~seed ~resilience:zero ~cisco_text ())
+                   .Cosynth.Driver.transcript
+              = md (Cosynth.Driver.run_translation ~seed ~cisco_text ())
+                  .Cosynth.Driver.transcript
+              && md (Cosynth.Driver.run_no_transit ~seed ~resilience:zero ~routers:7 ())
+                      .Cosynth.Driver.transcript
+                 = md (Cosynth.Driver.run_no_transit ~seed ~routers:7 ())
+                     .Cosynth.Driver.transcript)
+            seeds
+        in
+        (rows, crash_rows, identical))
+  in
+  print_string
+    (Cosynth.Report.table
+       ~title:
+         (Printf.sprintf
+            "%d seeds per schedule, translation + 7-router no-transit" n)
+       ~header:
+         [ "fault schedule"; "converged"; "trans leverage"; "synth leverage"; "degraded" ]
+       rows);
+  print_newline ();
+  print_string
+    (Cosynth.Report.table
+       ~title:"No-transit leverage vs crash rate (outages -> human checks -> lower leverage)"
+       ~header:[ "crash rate"; "auto"; "human"; "leverage"; "converged"; "degraded" ]
+       crash_rows);
+  print_newline ();
+  let totals = Cosynth.Metrics.verifier_totals perf in
+  print_string
+    (Cosynth.Report.table ~title:"Per-verifier resilience counters (whole sweep)"
+       ~header:Cosynth.Metrics.verifier_header
+       (Cosynth.Metrics.verifier_rows perf)
+       ~footer:
+         [
+           "total";
+           string_of_int totals.Resilience.Stats.attempts;
+           string_of_int totals.Resilience.Stats.retries;
+           string_of_int totals.Resilience.Stats.failures;
+           string_of_int totals.Resilience.Stats.breaker_trips;
+           string_of_int totals.Resilience.Stats.degraded;
+         ]);
+  Printf.printf "\n  rate-0 transcripts byte-identical to the unwrapped loops: %b\n"
+    identical;
+  if not identical then violation "rate-0 chaos transcripts differ from the unwrapped loops";
+  Printf.printf "  invariant violations (uncaught exceptions / budget overruns): %d\n"
+    (List.length !violations);
+  List.iter (fun v -> Printf.printf "    VIOLATION: %s\n" v) (List.rev !violations);
+  if !violations <> [] then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Performance benchmarks (Bechamel)                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -639,8 +823,16 @@ let () =
     "CoSynth benchmark harness — reproduction of 'What do LLMs need to Synthesize \
      Correct Router Configurations?' (HotNets 2023)\n";
   Printf.printf "mode: %s | worker pool: %d domain(s) (COSYNTH_POOL_SIZE to override)\n"
-    (if smoke then "smoke (1 seed per experiment)" else "full")
+    (if chaos_only then "chaos sweep only (full seeds)"
+     else if smoke then "smoke (1 seed per experiment)"
+     else "full")
     (Exec.Pool.size pool);
+  if chaos_only then begin
+    table_c1 ();
+    Exec.Pool.shutdown pool;
+    Printf.printf "\nDone.\n";
+    exit 0
+  end;
   table_t1 ();
   table_t2 ();
   table_l1 ();
@@ -654,6 +846,7 @@ let () =
   table_s2 ();
   table_s3 ();
   table_s4 ();
+  table_c1 ();
   if smoke then
     Printf.printf "\n(smoke mode: skipping the Bechamel performance pass)\n"
   else run_perf ();

@@ -7,7 +7,8 @@
    - verify     run the topology verifier on a router's config
    - translate  run the translation VPP loop on a Cisco config
    - synth      run the no-transit VPP loop on an n-router star
-   - leverage   multi-seed leverage summaries for both use cases *)
+   - leverage   multi-seed leverage summaries for both use cases
+   - chaos      a seeded fault-injection sweep over either VPP loop *)
 
 open Cmdliner
 
@@ -150,6 +151,7 @@ let print_transcript (t : Cosynth.Driver.transcript) verbose =
           match e.Cosynth.Driver.origin with
           | Cosynth.Driver.Auto -> "auto "
           | Cosynth.Driver.Human -> "HUMAN"
+          | Cosynth.Driver.Degraded -> "degrd"
         in
         let text = e.Cosynth.Driver.prompt in
         let text =
@@ -416,7 +418,7 @@ let leverage_cmd =
     Format.printf "%a@." Cosynth.Metrics.pp_summary s;
     Format.printf "%a@." Cosynth.Metrics.pp_perf perf;
     Exec.Pool.shutdown pool;
-    0
+    if s.Cosynth.Metrics.converged < s.Cosynth.Metrics.runs then 1 else 0
   in
   let use_case =
     let c =
@@ -446,8 +448,135 @@ let leverage_cmd =
              machine; 0 = sequential). Results are identical at any setting.")
   in
   Cmd.v
-    (Cmd.info "leverage" ~doc:"Multi-seed leverage summary")
+    (Cmd.info "leverage"
+       ~doc:"Multi-seed leverage summary (exits nonzero unless every run converged)")
     Term.(const run $ use_case $ runs $ routers $ jobs)
+
+(* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let run use_case runs routers seed crash timeout flake truncate verbose =
+    let chaos =
+      Resilience.Chaos.make ~crash_rate:crash ~timeout_rate:timeout
+        ~flake_rate:flake ~truncate_rate:truncate ~seed ()
+    in
+    let resilience = Resilience.Runtime.config ~chaos () in
+    (* The driver defaults; the invariant under any schedule is that the
+       merged transcript stays within them and the loop never raises. *)
+    let budget = match use_case with `Translation -> 200 | `No_transit -> 400 in
+    let violations = ref [] in
+    let transcripts, perf =
+      Cosynth.Metrics.measure (fun () ->
+          List.filter_map
+            (fun run_seed ->
+              match
+                match use_case with
+                | `Translation ->
+                    (Cosynth.Driver.run_translation ~seed:run_seed ~resilience
+                       ~cisco_text:Cisco.Samples.border_router ())
+                      .Cosynth.Driver.transcript
+                | `No_transit ->
+                    (Cosynth.Driver.run_no_transit ~seed:run_seed ~resilience
+                       ~routers ())
+                      .Cosynth.Driver.transcript
+              with
+              | t ->
+                  let spent =
+                    t.Cosynth.Driver.auto_prompts + t.Cosynth.Driver.human_prompts
+                  in
+                  if spent > budget then
+                    violations :=
+                      Printf.sprintf "seed %d spent %d prompts (budget %d)"
+                        run_seed spent budget
+                      :: !violations;
+                  Some t
+              | exception e ->
+                  violations :=
+                    Printf.sprintf "seed %d raised %s" run_seed
+                      (Printexc.to_string e)
+                    :: !violations;
+                  None)
+            (List.init runs (fun i -> seed + i)))
+    in
+    let s = Cosynth.Metrics.summarize transcripts in
+    let degraded =
+      List.fold_left
+        (fun acc (t : Cosynth.Driver.transcript) ->
+          acc
+          + List.length
+              (List.filter
+                 (fun (e : Cosynth.Driver.event) ->
+                   e.Cosynth.Driver.origin = Cosynth.Driver.Degraded)
+                 t.Cosynth.Driver.events))
+        0 transcripts
+    in
+    Printf.printf "fault schedule: %s\n" (Resilience.Chaos.describe chaos);
+    Format.printf "%a@." Cosynth.Metrics.pp_summary s;
+    Printf.printf "degraded (hand-checked) verifier rounds: %d\n" degraded;
+    if verbose then begin
+      let totals = Cosynth.Metrics.verifier_totals perf in
+      print_string
+        (Cosynth.Report.table ~title:"per-verifier resilience counters"
+           ~header:Cosynth.Metrics.verifier_header
+           (Cosynth.Metrics.verifier_rows perf)
+           ~footer:
+             [
+               "total";
+               string_of_int totals.Resilience.Stats.attempts;
+               string_of_int totals.Resilience.Stats.retries;
+               string_of_int totals.Resilience.Stats.failures;
+               string_of_int totals.Resilience.Stats.breaker_trips;
+               string_of_int totals.Resilience.Stats.degraded;
+             ])
+    end;
+    List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) (List.rev !violations);
+    if !violations <> [] then 1 else 0
+  in
+  let use_case =
+    let c =
+      Arg.conv
+        ( (function
+          | "translation" -> Ok `Translation
+          | "no-transit" -> Ok `No_transit
+          | s -> Error (`Msg (Printf.sprintf "unknown use case %S" s))),
+          fun ppf c ->
+            Format.pp_print_string ppf
+              (match c with `Translation -> "translation" | `No_transit -> "no-transit") )
+    in
+    Arg.(
+      value
+      & opt c `No_transit
+      & info [ "use-case" ] ~docv:"CASE" ~doc:"translation or no-transit.")
+  in
+  let runs = Arg.(value & opt int 20 & info [ "runs" ] ~docv:"N") in
+  let routers = Arg.(value & opt int 7 & info [ "routers" ] ~docv:"N") in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Chaos stream seed and sweep base seed; the sweep is exactly \
+                reproducible from the seed and the rates.")
+  in
+  let rate name doc =
+    Arg.(value & opt float 0. & info [ name ] ~docv:"R" ~doc)
+  in
+  let crash = rate "crash-rate" "Per-call crash probability (outage window, feeds the breaker)." in
+  let timeout = rate "timeout-rate" "Per-call timeout probability (burns the round's tick budget)." in
+  let flake = rate "flake-rate" "Per-call transient-failure probability (a retry may succeed)." in
+  let truncate = rate "truncate-rate" "Per-call truncated-findings probability (discarded, never a pass)." in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the per-verifier counter table.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Fault-injection sweep over a VPP loop: every run must terminate within \
+          its prompt budget without an exception (exits nonzero otherwise)")
+    Term.(
+      const run $ use_case $ runs $ routers $ seed $ crash $ timeout $ flake
+      $ truncate $ verbose)
 
 let () =
   let doc =
@@ -458,5 +587,5 @@ let () =
   exit (Cmd.eval' (Cmd.group info
          [
            topology_cmd; parse_cmd; diff_cmd; verify_cmd; translate_cmd; synth_cmd;
-           sim_cmd; prove_cmd; leverage_cmd;
+           sim_cmd; prove_cmd; leverage_cmd; chaos_cmd;
          ]))

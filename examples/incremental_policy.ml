@@ -41,6 +41,7 @@ let () =
         match e.Cosynth.Driver.origin with
         | Cosynth.Driver.Auto -> "auto "
         | Cosynth.Driver.Human -> "HUMAN"
+        | Cosynth.Driver.Degraded -> "degrd"
       in
       Printf.printf "[%s] %s\n" tag (shorten e.Cosynth.Driver.prompt))
     interesting.Cosynth.Driver.inc_transcript.Cosynth.Driver.events;

@@ -43,6 +43,7 @@ let () =
         match e.Cosynth.Driver.origin with
         | Cosynth.Driver.Auto -> "auto "
         | Cosynth.Driver.Human -> "HUMAN"
+        | Cosynth.Driver.Degraded -> "degrd"
       in
       Printf.printf "[%s] (%s) %s\n" tag e.Cosynth.Driver.note (shorten e.Cosynth.Driver.prompt))
     r.Cosynth.Driver.transcript.Cosynth.Driver.events;

@@ -1,6 +1,6 @@
 open Policy
 
-type origin = Auto | Human
+type origin = Auto | Human | Degraded
 
 type event = { origin : origin; prompt : string; note : string }
 
@@ -29,7 +29,12 @@ let transcript_to_markdown ~title t =
        t.auto_prompts t.human_prompts (leverage t) t.converged);
   List.iteri
     (fun i (e : event) ->
-      let who = match e.origin with Auto -> "automated" | Human -> "HUMAN" in
+      let who =
+        match e.origin with
+        | Auto -> "automated"
+        | Human -> "HUMAN"
+        | Degraded -> "degraded"
+      in
       Buffer.add_string buf (Printf.sprintf "## %d. [%s] (%s)\n\n" (i + 1) who e.note);
       Buffer.add_string buf (String.trim e.prompt);
       Buffer.add_string buf "\n\n")
@@ -73,7 +78,10 @@ let absorb st sub =
 
 let record st origin prompt note =
   st.events <- { origin; prompt; note } :: st.events;
-  match origin with Auto -> st.auto <- st.auto + 1 | Human -> st.human <- st.human + 1
+  match origin with
+  | Auto -> st.auto <- st.auto + 1
+  | Human -> st.human <- st.human + 1
+  | Degraded -> ()  (* a transcript annotation, not a prompt *)
 
 (* Send a humanized prompt; escalate to a human prompt after
    [stall_threshold] automated attempts at the same prompt text. Returns the
@@ -103,6 +111,56 @@ let send st (chat : Llmsim.Chat.t) (prompt : Humanizer.prompt) ~note =
       (prompt.Humanizer.text, attempts + 1) :: List.remove_assoc prompt.Humanizer.text st.stalls;
     Some Auto
   end
+
+(* Send a finding straight to the (simulated) human — the escalation path
+   when a verifier stage has degraded and the human ran the check by hand.
+   No stall bookkeeping: the human prompt is authoritative. Returns [None]
+   when the finding carries no actionable reference (same give-up contract
+   as [send]). *)
+let send_human st (chat : Llmsim.Chat.t) (prompt : Humanizer.prompt) ~note =
+  if prompt.Humanizer.refs = [] then None
+  else begin
+    let human_text = "[human] " ^ prompt.Humanizer.text in
+    Llmsim.Chat.respond chat
+      { Llmsim.Chat.text = human_text; refs = prompt.Humanizer.refs; strength = Llmsim.Chat.Human };
+    record st Human human_text note;
+    st.stalls <- List.remove_assoc prompt.Humanizer.text st.stalls;
+    Some Human
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Resilient verifier stages                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One verifier stage run through the resilience runtime. [Checked] is the
+   normal automated path. When the call degrades (breaker open, retries
+   exhausted), a [Degraded] event lands in the transcript and the simulated
+   human runs the check by hand: [Hand_checked] carries the oracle's
+   answer, and the caller must escalate any finding to the human — a
+   verifier outage shows up as reduced leverage, not a hang or a crash. *)
+type 'a stage_result = Checked of 'a | Hand_checked of 'a
+
+let stage_value = function Checked v | Hand_checked v -> v
+let stage_degraded = function Checked _ -> false | Hand_checked _ -> true
+
+let run_stage st rt (v : _ Resilience.Verifier.t) input =
+  match Resilience.Runtime.call rt v input with
+  | Ok r -> Checked r
+  | Error { Resilience.Runtime.kind; reason } ->
+      record st Degraded
+        (Printf.sprintf
+           "[degraded] %s verifier unavailable: %s. The human operator runs this check \
+            by hand; its findings arrive as human prompts."
+           (Resilience.Verifier.kind_name kind)
+           reason)
+        "degraded";
+      Hand_checked (Resilience.Verifier.oracle v input)
+
+(* Deliver a finding down the channel the stage earned: the automated
+   prompt (with stall escalation) when the verifier answered, the human
+   directly when the stage was hand-checked. *)
+let dispatch st chat ~degraded prompt ~note =
+  if degraded then send_human st chat prompt ~note else send st chat prompt ~note
 
 let finish st converged =
   {
@@ -176,13 +234,16 @@ type translation_result = {
 let first_error diags = List.find_opt Netcore.Diag.is_error diags
 
 let run_translation ?(seed = 42) ?(force_faults = []) ?(suppress_random = false)
-    ?(max_prompts = 200) ?(stall_threshold = 4) ?(quality = 0.0) ~cisco_text () =
+    ?(max_prompts = 200) ?(stall_threshold = 4) ?(quality = 0.0)
+    ?(resilience = Resilience.Runtime.default_config) ~cisco_text () =
   let cisco_ir, _ = Cisco.Parser.parse cisco_text in
   let correct = Juniper.Translate.of_cisco_ir cisco_ir in
   let chat =
     Llmsim.Chat.start ~seed ~force_faults ~suppress_random ~regression_rate:0.2 ~quality
       Llmsim.Fault.Junos_cfg ~correct
   in
+  let rt = Resilience.Runtime.create ~salt:seed resilience in
+  let suite = Resilience.Suite.make rt in
   let st = new_loop ~max_prompts ~stall_threshold in
   let tr = { seen = []; tainted = [] } in
   (* The initial task prompt ("translate the configuration into an
@@ -190,37 +251,42 @@ let run_translation ?(seed = 42) ?(force_faults = []) ?(suppress_random = false)
   record st Human "Translate the configuration into an equivalent Juniper configuration."
     "initial task prompt";
   track_seen tr chat;
+  let taint_refs origin (prompt : Humanizer.prompt) =
+    List.iter
+      (fun (f : Llmsim.Fault.t) -> if origin = Human then taint tr f.Llmsim.Fault.class_)
+      prompt.Humanizer.refs
+  in
   let rec loop () =
     st.rounds <- st.rounds + 1;
     track_seen tr chat;
     if not (budget_left st) then finish st false
-    else
+    else begin
+      Resilience.Runtime.new_round rt;
       let draft = Llmsim.Chat.draft chat in
-      let ir, diags = Exec.Memo.check Batfish.Parse_check.Junos draft in
+      let parsed = run_stage st rt suite.Resilience.Suite.parse (Batfish.Parse_check.Junos, draft) in
+      let ir, diags = stage_value parsed in
       match first_error diags with
       | Some diag -> (
           let prompt = Humanizer.of_diag diag in
-          match send st chat prompt ~note:"syntax" with
+          match dispatch st chat ~degraded:(stage_degraded parsed) prompt ~note:"syntax" with
           | Some origin ->
-              List.iter
-                (fun (f : Llmsim.Fault.t) ->
-                  if origin = Human then taint tr f.Llmsim.Fault.class_)
-                prompt.Humanizer.refs;
+              taint_refs origin prompt;
               loop ()
           | None -> finish st false)
       | None -> (
-          match Campion.Differ.compare ~original:cisco_ir ~translation:ir with
+          let diffed = run_stage st rt suite.Resilience.Suite.campion (cisco_ir, ir) in
+          match stage_value diffed with
           | [] -> finish st true
           | finding :: _ -> (
               let prompt = Humanizer.of_campion finding in
-              match send st chat prompt ~note:"campion" with
+              match
+                dispatch st chat ~degraded:(stage_degraded diffed) prompt ~note:"campion"
+              with
               | Some origin ->
-                  List.iter
-                    (fun (f : Llmsim.Fault.t) ->
-                      if origin = Human then taint tr f.Llmsim.Fault.class_)
-                    prompt.Humanizer.refs;
+                  taint_refs origin prompt;
                   loop ()
               | None -> finish st false))
+    end
   in
   let transcript = loop () in
   pre_taint tr;
@@ -271,12 +337,15 @@ type synthesis_result = {
 
 let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
     ?(stall_threshold = 2) ?(final_check = Simulate) ?pool ?tasks:tasks_override
-    ?(force_hub_faults = []) ~routers () =
+    ?(force_hub_faults = []) ?(resilience = Resilience.Runtime.default_config) ~routers
+    () =
   let star = Netcore.Star.make ~routers in
   let tasks =
     match tasks_override with Some ts -> ts | None -> Modularizer.plan star
   in
   let iips = if use_iips then Iip.ids Iip.defaults else [] in
+  let rt_main = Resilience.Runtime.create ~salt:seed resilience in
+  let suite_main = Resilience.Suite.make rt_main in
   let st = new_loop ~max_prompts ~stall_threshold in
   record st Human
     (Printf.sprintf
@@ -290,28 +359,44 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
      the run-wide one during the global phase, a per-router one during the
      fan-out (merged back on join so the accounting is identical whether
      the routers run sequentially or on a pool). *)
-  let local_loop st (task : Modularizer.router_task) chat =
+  let local_loop st (suite : Resilience.Suite.t) (task : Modularizer.router_task) chat =
+    let rt = suite.Resilience.Suite.runtime in
     let rec loop () =
       st.rounds <- st.rounds + 1;
       if not (budget_left st) then (Llmsim.Chat.draft chat, false)
-      else
+      else begin
+        Resilience.Runtime.new_round rt;
         let draft = Llmsim.Chat.draft chat in
-        let ir, diags = Exec.Memo.check Batfish.Parse_check.Cisco_ios draft in
+        let parsed =
+          run_stage st rt suite.Resilience.Suite.parse (Batfish.Parse_check.Cisco_ios, draft)
+        in
+        let ir, diags = stage_value parsed in
         match first_error diags with
         | Some diag -> (
-            match send st chat (Humanizer.of_diag diag) ~note:"syntax" with
+            match
+              dispatch st chat ~degraded:(stage_degraded parsed) (Humanizer.of_diag diag)
+                ~note:"syntax"
+            with
             | Some _ -> loop ()
             | None -> (draft, false))
         | None -> (
-            match
-              Topoverify.Verifier.check star.Netcore.Star.topology
-                ~router:task.Modularizer.router ir
-            with
+            let topo =
+              run_stage st rt suite.Resilience.Suite.topology
+                (star.Netcore.Star.topology, task.Modularizer.router, ir)
+            in
+            match stage_value topo with
             | finding :: _ -> (
-                match send st chat (Humanizer.of_topology finding) ~note:"topology" with
+                match
+                  dispatch st chat ~degraded:(stage_degraded topo)
+                    (Humanizer.of_topology finding) ~note:"topology"
+                with
                 | Some _ -> loop ()
                 | None -> (draft, false))
             | [] -> (
+                let semantics =
+                  run_stage st rt suite.Resilience.Suite.route_policies
+                    (ir, task.Modularizer.specs)
+                in
                 let violations =
                   List.filter_map
                     (fun (_, outcome) ->
@@ -320,14 +405,18 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
                       | Batfish.Search_route_policies.Holds
                       | Batfish.Search_route_policies.Policy_missing ->
                           None)
-                    (Batfish.Search_route_policies.check_all ir task.Modularizer.specs)
+                    (stage_value semantics)
                 in
                 match violations with
                 | [] -> (draft, true)
                 | v :: _ -> (
-                    match send st chat (Humanizer.of_violation v) ~note:"semantic" with
+                    match
+                      dispatch st chat ~degraded:(stage_degraded semantics)
+                        (Humanizer.of_violation v) ~note:"semantic"
+                    with
                     | Some _ -> loop ()
                     | None -> (draft, false))))
+      end
     in
     loop ()
   in
@@ -337,7 +426,16 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
      observation about per-router checks — while the join below merges the
      accounting in task order, so pool and sequential runs are
      bit-identical. *)
-  let router_budget = max_prompts - (st.auto + st.human) in
+  (* The remaining budget is split evenly across the fan-out: each router
+     task loops against its own share, so even under an injected fault
+     schedule that burns prompts on every router the merged transcript can
+     never exceed [max_prompts] (the termination invariant the chaos sweep
+     enforces). In fault-free runs a share is an order of magnitude more
+     than any router uses, so transcripts are unchanged. *)
+  let router_budget =
+    if tasks = [] then 0
+    else max 0 ((max_prompts - (st.auto + st.human)) / List.length tasks)
+  in
   let synthesize_router (idx, (task : Modularizer.router_task)) =
     let sub = new_loop ~max_prompts:router_budget ~stall_threshold in
     let force_faults =
@@ -348,10 +446,17 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
       Llmsim.Chat.start ~seed:(seed + (idx * 7919)) ~iips ~force_faults
         Llmsim.Fault.Cisco_cfg ~correct:task.Modularizer.correct
     in
-    (* The modularizer's per-router prompt is machine-generated: automated. *)
-    record sub Auto task.Modularizer.prompt
-      (Printf.sprintf "modularizer prompt for %s" task.Modularizer.router);
-    let final_draft, ok = local_loop sub task chat in
+    (* Each task gets an independent derived resilience context (fresh
+       clock, breakers, fault streams) so the fan-out is deterministic on a
+       pool and one router's outage never trips a sibling's breaker. *)
+    let suite = Resilience.Suite.make (Resilience.Runtime.derive rt_main idx) in
+    (* The modularizer's per-router prompt is machine-generated: automated.
+       Recorded only while the share has budget, so a starved fan-out still
+       respects the run-wide prompt ceiling. *)
+    if budget_left sub then
+      record sub Auto task.Modularizer.prompt
+        (Printf.sprintf "modularizer prompt for %s" task.Modularizer.router);
+    let final_draft, ok = local_loop sub suite task chat in
     let ir, _ = Cisco.Parser.parse final_draft in
     (task.Modularizer.router, chat, ir, ok, sub)
   in
@@ -416,17 +521,28 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
              "Driver.run_no_transit: hub %s missing from the synthesis results"
              hub_name)
   in
+  (* The whole-network check (the paper's Minesweeper-style global
+     verifier) is itself wrapped: when it degrades, the human runs the
+     simulation by hand and the counterexample feedback arrives as a human
+     prompt. *)
+  let global_verifier =
+    Resilience.Runtime.arm rt_main (Resilience.Verifier.wrap Resilience.Verifier.Bgp_sim check_global)
+  in
   let rec global_phase results rounds =
-    let (ok, violations), proof = check_global (configs_of results) in
+    Resilience.Runtime.new_round rt_main;
+    let checked = run_stage st rt_main global_verifier (configs_of results) in
+    let (ok, violations), proof = stage_value checked in
     if ok || rounds = 0 || not (budget_left st) then (results, ok, violations, proof)
     else
       let hub_task = hub_task_exn () in
       let hub_chat = hub_chat_exn results in
       let prompt = Humanizer.of_global_violations ~hub:hub_name violations in
-      match send st hub_chat prompt ~note:"global" with
+      match
+        dispatch st hub_chat ~degraded:(stage_degraded checked) prompt ~note:"global"
+      with
       | None -> (results, ok, violations, proof)
       | Some _ ->
-          let draft, local_ok = local_loop st hub_task hub_chat in
+          let draft, local_ok = local_loop st suite_main hub_task hub_chat in
           let ir, _ = Cisco.Parser.parse draft in
           let results =
             List.map
@@ -463,8 +579,11 @@ type incremental_result = {
 }
 
 let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
-    ?(target = "R2") ?(prepend = [ 1; 1 ]) ~routers () =
+    ?(target = "R2") ?(prepend = [ 1; 1 ])
+    ?(resilience = Resilience.Runtime.default_config) ~routers () =
   let star = Netcore.Star.make ~routers in
+  let rt = Resilience.Runtime.create ~salt:seed resilience in
+  let suite = Resilience.Suite.make rt in
   let task = Modularizer.prepend_task star ~target ~prepend in
   let base_configs =
     List.map
@@ -489,15 +608,25 @@ let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
   let rec loop () =
     st.rounds <- st.rounds + 1;
     if not (budget_left st) then false
-    else
+    else begin
+      Resilience.Runtime.new_round rt;
       let draft = Llmsim.Chat.draft chat in
-      let ir, diags = Exec.Memo.check Batfish.Parse_check.Cisco_ios draft in
+      let parsed =
+        run_stage st rt suite.Resilience.Suite.parse (Batfish.Parse_check.Cisco_ios, draft)
+      in
+      let ir, diags = stage_value parsed in
       match first_error diags with
       | Some diag -> (
-          match send st chat (Humanizer.of_diag diag) ~note:"syntax" with
+          match
+            dispatch st chat ~degraded:(stage_degraded parsed) (Humanizer.of_diag diag)
+              ~note:"syntax"
+          with
           | Some _ -> loop ()
           | None -> false)
       | None -> (
+          let semantics =
+            run_stage st rt suite.Resilience.Suite.route_policies (ir, task.Modularizer.specs)
+          in
           let violations =
             List.filter_map
               (fun (_, outcome) ->
@@ -506,7 +635,7 @@ let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
                 | Batfish.Search_route_policies.Holds
                 | Batfish.Search_route_policies.Policy_missing ->
                     None)
-              (Batfish.Search_route_policies.check_all ir task.Modularizer.specs)
+              (stage_value semantics)
           in
           match violations with
           | [] -> true
@@ -519,9 +648,13 @@ let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
                      interference with the verified configuration. *)
                   interference := true
               | Batfish.Search_route_policies.Prepends _ -> ());
-              match send st chat (Humanizer.of_violation v) ~note:"semantic" with
+              match
+                dispatch st chat ~degraded:(stage_degraded semantics)
+                  (Humanizer.of_violation v) ~note:"semantic"
+              with
               | Some _ -> loop ()
               | None -> false))
+    end
   in
   let specs_hold = loop () in
   let hub_config, _ = Cisco.Parser.parse (Llmsim.Chat.draft chat) in

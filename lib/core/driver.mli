@@ -10,7 +10,13 @@
 
 open Policy
 
-type origin = Auto | Human
+type origin =
+  | Auto
+  | Human
+  | Degraded
+      (** Not a prompt: a transcript annotation that a verifier stage was
+          unavailable (breaker open or retries exhausted) and the human ran
+          the check by hand. Counts toward neither prompt total. *)
 
 type event = { origin : origin; prompt : string; note : string }
 
@@ -56,11 +62,22 @@ val run_translation :
   ?max_prompts:int ->
   ?stall_threshold:int ->
   ?quality:float ->
+  ?resilience:Resilience.Runtime.config ->
   cisco_text:string ->
   unit ->
   translation_result
 (** [quality] (default 0) simulates a better future LLM; see
-    {!Llmsim.Chat.start}. *)
+    {!Llmsim.Chat.start}.
+
+    [resilience] (default {!Resilience.Runtime.default_config}: no chaos)
+    drives every verifier call through retry/backoff, a per-verifier
+    circuit breaker and a per-round tick deadline. When a stage stays down,
+    the loop records a [Degraded] event and the simulated human runs the
+    check by hand, so its findings arrive as human prompts — an outage
+    shows up as reduced leverage, never as a hang or an exception. Under
+    any fault schedule the loop terminates with [converged = true] or an
+    explicit non-converged transcript within [max_prompts]. With every
+    chaos rate 0 the transcript is byte-identical to the unwrapped loop. *)
 
 val table2_faults : cisco_text:string -> Llmsim.Fault.t list
 (** One representative fault per Table 2 row, targeted at the reference
@@ -91,6 +108,7 @@ val run_no_transit :
   ?pool:Exec.Pool.t ->
   ?tasks:Modularizer.router_task list ->
   ?force_hub_faults:Llmsim.Fault.t list ->
+  ?resilience:Resilience.Runtime.config ->
   routers:int ->
   unit ->
   synthesis_result
@@ -110,7 +128,15 @@ val run_no_transit :
     only in the global phase; the driver then feeds a whole-network
     counterexample prompt back to the hub's chat — the "global feedback"
     the paper found far less actionable than local findings — escalating to
-    the human as usual. *)
+    the human as usual.
+
+    [resilience] wraps every checker (syntax, topology, route policies and
+    the whole-network check itself) as for {!run_translation}; each router
+    task runs under an independent derived context so pooled fan-out stays
+    bit-identical and one router's outage cannot trip a sibling's breaker.
+    The remaining prompt budget is split evenly across the fan-out, so even
+    a fault schedule that burns prompts on every router keeps the merged
+    transcript within [max_prompts]. *)
 
 (** {2 Extension: incremental policy addition}
 
@@ -139,7 +165,9 @@ val run_incremental :
   ?stall_threshold:int ->
   ?target:string ->
   ?prepend:int list ->
+  ?resilience:Resilience.Runtime.config ->
   routers:int ->
   unit ->
   incremental_result
-(** Defaults: [target] = "R2", [prepend] = the hub AS twice. *)
+(** Defaults: [target] = "R2", [prepend] = the hub AS twice. [resilience]
+    as for {!run_translation}. *)

@@ -95,7 +95,33 @@ type perf = {
   memo_hits : int;
   memo_misses : int;
   pool_utilization : float;
+  verifier : (Resilience.Verifier.kind * Resilience.Stats.counters) list;
 }
+
+let verifier_totals p =
+  List.fold_left
+    (fun acc (_, c) -> Resilience.Stats.add acc c)
+    Resilience.Stats.zero p.verifier
+
+let verifier_rows p =
+  List.filter_map
+    (fun ((k : Resilience.Verifier.kind), (c : Resilience.Stats.counters)) ->
+      if c.Resilience.Stats.attempts = 0 && c.Resilience.Stats.degraded = 0 then
+        None
+      else
+        Some
+          [
+            Resilience.Verifier.kind_name k;
+            string_of_int c.Resilience.Stats.attempts;
+            string_of_int c.Resilience.Stats.retries;
+            string_of_int c.Resilience.Stats.failures;
+            string_of_int c.Resilience.Stats.breaker_trips;
+            string_of_int c.Resilience.Stats.degraded;
+          ])
+    p.verifier
+
+let verifier_header =
+  [ "verifier"; "attempts"; "retries"; "failures"; "trips"; "degraded" ]
 
 let memo_hit_rate p =
   let total = p.memo_hits + p.memo_misses in
@@ -103,9 +129,11 @@ let memo_hit_rate p =
 
 let measure ?pool f =
   let m0 = Exec.Memo.stats () in
+  let v0 = Resilience.Stats.snapshot () in
   let p0 = Option.map Exec.Pool.stats pool in
   let r, wall_s = Exec.Sweep.timed f in
   let m1 = Exec.Memo.stats () in
+  let v1 = Resilience.Stats.snapshot () in
   let utilization =
     match (pool, p0) with
     | Some p, Some s0 ->
@@ -122,10 +150,17 @@ let measure ?pool f =
       memo_hits = m1.Exec.Memo.hits - m0.Exec.Memo.hits;
       memo_misses = m1.Exec.Memo.misses - m0.Exec.Memo.misses;
       pool_utilization = utilization;
+      verifier = Resilience.Stats.diff v0 v1;
     } )
 
 let pp_perf ppf p =
   Format.fprintf ppf
     "wall %.3fs, pool size %d (utilization %.0f%%), memo %d hits / %d misses (%.0f%% hit rate)"
     p.wall_s p.pool_size (100. *. p.pool_utilization) p.memo_hits p.memo_misses
-    (100. *. memo_hit_rate p)
+    (100. *. memo_hit_rate p);
+  let t = verifier_totals p in
+  if t.Resilience.Stats.attempts > 0 || t.Resilience.Stats.degraded > 0 then
+    Format.fprintf ppf
+      ", verifiers %d attempts / %d retries / %d trips / %d degraded"
+      t.Resilience.Stats.attempts t.Resilience.Stats.retries
+      t.Resilience.Stats.breaker_trips t.Resilience.Stats.degraded

@@ -45,11 +45,27 @@ type perf = {
   pool_utilization : float;
       (** Worker busy time / (wall * workers) during the section, in
           [0, 1]; 0 when sequential. *)
+  verifier : (Resilience.Verifier.kind * Resilience.Stats.counters) list;
+      (** Per-verifier resilience counter deltas ({!Resilience.Stats})
+          during the section, in {!Resilience.Verifier.all_kinds} order. *)
 }
 
 val measure : ?pool:Exec.Pool.t -> (unit -> 'a) -> 'a * perf
-(** Run the thunk and capture wall clock plus memo/pool counter deltas. *)
+(** Run the thunk and capture wall clock plus memo/pool/resilience counter
+    deltas. *)
 
 val memo_hit_rate : perf -> float
 
+val verifier_totals : perf -> Resilience.Stats.counters
+(** Sum of the per-verifier deltas. *)
+
+val verifier_rows : perf -> string list list
+(** Rows for {!Report.table} under {!verifier_header}, one per verifier
+    kind that saw any activity during the section (all-zero kinds are
+    dropped so a chaos-free run renders an empty table). *)
+
+val verifier_header : string list
+
 val pp_perf : Format.formatter -> perf -> unit
+(** One line; the verifier totals are appended only when any resilience
+    activity happened, so chaos-free output is unchanged. *)

@@ -11,21 +11,30 @@ let widths header rows =
 
 let pad s w = s ^ String.make (max 0 (w - String.length s)) ' '
 
-let table ~title ~header rows =
-  let ws = widths header rows in
+let table ?footer ~title ~header rows =
+  let ws = widths header (rows @ Option.to_list footer) in
   let line = String.concat "  " (List.map (fun w -> String.make w '-') ws) in
+  let render row =
+    String.concat "  " (List.mapi (fun i c -> pad c (List.nth ws i)) row)
+  in
   let buf = Buffer.create 256 in
   Buffer.add_string buf (title ^ "\n");
-  Buffer.add_string buf (String.concat "  " (List.mapi (fun i c -> pad c (List.nth ws i)) header));
+  Buffer.add_string buf (render header);
   Buffer.add_char buf '\n';
   Buffer.add_string buf line;
   Buffer.add_char buf '\n';
   List.iter
     (fun row ->
-      Buffer.add_string buf
-        (String.concat "  " (List.mapi (fun i c -> pad c (List.nth ws i)) row));
+      Buffer.add_string buf (render row);
       Buffer.add_char buf '\n')
     rows;
+  (match footer with
+  | None -> ()
+  | Some row ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (render row);
+      Buffer.add_char buf '\n');
   Buffer.contents buf
 
 let kv ~title pairs =

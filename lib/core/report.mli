@@ -1,7 +1,10 @@
 (** Plain-text table rendering for the benchmark harness and examples. *)
 
-val table : title:string -> header:string list -> string list list -> string
-(** Aligned columns, a rule under the header, the title above. *)
+val table :
+  ?footer:string list -> title:string -> header:string list ->
+  string list list -> string
+(** Aligned columns, a rule under the header, the title above. [footer]
+    (e.g. a totals row) is set off below the body by a second rule. *)
 
 val kv : title:string -> (string * string) list -> string
 (** A two-column key/value block. *)

@@ -16,23 +16,37 @@ let misses = ref 0
    cap the table rather than grow without bound. *)
 let max_entries = 16_384
 
-let check dialect text =
+(* The table is success-only: a result is cached only when [parse] returns
+   [Ok]. A verifier failure (a crash, a flake, a truncated response injected
+   by the resilience layer) bypasses the table entirely, so a transient
+   fault can never be memoized as truth. *)
+let check_result dialect text ~parse =
   let key = (dialect, text) in
   Mutex.lock lock;
   match Hashtbl.find_opt table key with
   | Some r ->
       incr hits;
       Mutex.unlock lock;
-      r
+      Ok r
   | None ->
       incr misses;
       Mutex.unlock lock;
-      let r = Batfish.Parse_check.check dialect text in
-      Mutex.lock lock;
-      if Hashtbl.length table >= max_entries then Hashtbl.reset table;
-      if not (Hashtbl.mem table key) then Hashtbl.add table key r;
-      Mutex.unlock lock;
-      r
+      (match parse () with
+      | Error _ as e -> e
+      | Ok r ->
+          Mutex.lock lock;
+          if Hashtbl.length table >= max_entries then Hashtbl.reset table;
+          if not (Hashtbl.mem table key) then Hashtbl.add table key r;
+          Mutex.unlock lock;
+          Ok r)
+
+let check dialect text =
+  match
+    check_result dialect text ~parse:(fun () ->
+        Ok (Batfish.Parse_check.check dialect text))
+  with
+  | Ok r -> r
+  | Error (_ : unit) -> assert false
 
 let stats () =
   Mutex.lock lock;

@@ -15,6 +15,18 @@ val check :
   Policy.Config_ir.t * Netcore.Diag.t list
 (** Same contract as {!Batfish.Parse_check.check}, memoized. *)
 
+val check_result :
+  Batfish.Parse_check.dialect ->
+  string ->
+  parse:(unit -> (Policy.Config_ir.t * Netcore.Diag.t list, 'e) result) ->
+  (Policy.Config_ir.t * Netcore.Diag.t list, 'e) result
+(** The failure-aware entry the resilience layer uses: consult the cache;
+    on a miss run [parse]. The table is {e success-only} — only [Ok]
+    results are cached, and an [Error] (a crashed, flaky or truncated
+    verifier call) bypasses the table untouched, so a transient fault can
+    never be memoized as truth. A bypassed failure still counts as a miss
+    in {!stats}. *)
+
 type stats = { hits : int; misses : int; entries : int }
 
 val stats : unit -> stats

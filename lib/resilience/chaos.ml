@@ -1,0 +1,76 @@
+type config = {
+  seed : int;
+  crash_rate : float;
+  timeout_rate : float;
+  flake_rate : float;
+  truncate_rate : float;
+}
+
+let none =
+  { seed = 0; crash_rate = 0.; timeout_rate = 0.; flake_rate = 0.; truncate_rate = 0. }
+
+let clamp r = Float.min 1. (Float.max 0. r)
+
+let make ?(crash_rate = 0.) ?(timeout_rate = 0.) ?(flake_rate = 0.) ?(truncate_rate = 0.)
+    ~seed () =
+  {
+    seed;
+    crash_rate = clamp crash_rate;
+    timeout_rate = clamp timeout_rate;
+    flake_rate = clamp flake_rate;
+    truncate_rate = clamp truncate_rate;
+  }
+
+let is_none c =
+  c.crash_rate = 0. && c.timeout_rate = 0. && c.flake_rate = 0. && c.truncate_rate = 0.
+
+let describe c =
+  if is_none c then "no faults"
+  else
+    let parts =
+      List.filter_map
+        (fun (name, r) -> if r > 0. then Some (Printf.sprintf "%s %.2f" name r) else None)
+        [
+          ("crash", c.crash_rate);
+          ("timeout", c.timeout_rate);
+          ("flake", c.flake_rate);
+          ("truncate", c.truncate_rate);
+        ]
+    in
+    Printf.sprintf "%s (seed %d)" (String.concat ", " parts) c.seed
+
+let timeout_ticks = 4
+
+(* Outage windows are drawn in [8, 24] ticks: long enough to outlast the
+   default retry backoff (so crashes trip the breaker) but short enough
+   that a breaker cooldown gives the verifier a realistic chance to have
+   restarted by half-open time. *)
+let outage rng = 8 + Llmsim.Rng.int rng 17
+
+(* Distinct large odd multipliers keep the (seed, salt, kind) streams
+   disjoint under splitmix64's additive-gamma construction. *)
+let stream_seed c ~salt kind =
+  c.seed + (salt * 1_000_003) + ((Verifier.kind_index kind + 1) * 7_368_787)
+
+let arm c ~salt ~clock v =
+  if is_none c then ()
+  else begin
+    let rng = Llmsim.Rng.make (stream_seed c ~salt (Verifier.kind v)) in
+    let down_until = ref 0 in
+    Verifier.install v (fun input ->
+        let now = Clock.now clock in
+        if now < !down_until then
+          Error (Verifier.Crashed { down_ticks = !down_until - now })
+        else if Llmsim.Rng.bernoulli rng c.crash_rate then begin
+          let d = outage rng in
+          down_until := now + d;
+          Error (Verifier.Crashed { down_ticks = d })
+        end
+        else if Llmsim.Rng.bernoulli rng c.timeout_rate then begin
+          Clock.advance clock timeout_ticks;
+          Error (Verifier.Timed_out { ticks = timeout_ticks })
+        end
+        else if Llmsim.Rng.bernoulli rng c.flake_rate then Error Verifier.Flaked
+        else if Llmsim.Rng.bernoulli rng c.truncate_rate then Error Verifier.Truncated
+        else Ok (Verifier.oracle v input))
+  end

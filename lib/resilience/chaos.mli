@@ -1,0 +1,53 @@
+(** The seeded, deterministic fault injector.
+
+    A chaos configuration is a set of per-call fault rates plus a seed. When
+    armed on a wrapped verifier it installs a fault schedule drawn from a
+    splitmix64 stream derived from [(seed, salt, verifier kind)] — so a
+    chaos run is exactly reproducible from its configuration, and two
+    verifiers (or two derived contexts) never share a stream.
+
+    Fault model, per call, drawn in this order:
+    - {b crash}: the verifier process dies and stays down for a drawn
+      outage window (8–24 ticks); every call inside the window fails too —
+      this is what gives the circuit breaker something to protect.
+    - {b timeout}: the call burns a timeout budget of ticks, then fails.
+    - {b flake}: a transient failure; an immediate retry may succeed.
+    - {b truncate}: the response arrives truncated and is discarded (a
+      truncated findings list must never read as a clean pass).
+
+    With every rate at 0 ({!is_none}) arming is a no-op: the verifier keeps
+    its fast [Ok (oracle input)] path and draws nothing. *)
+
+type config = {
+  seed : int;
+  crash_rate : float;
+  timeout_rate : float;
+  flake_rate : float;
+  truncate_rate : float;
+}
+
+val none : config
+(** All rates 0 — no schedule is ever installed. *)
+
+val make :
+  ?crash_rate:float ->
+  ?timeout_rate:float ->
+  ?flake_rate:float ->
+  ?truncate_rate:float ->
+  seed:int ->
+  unit ->
+  config
+(** Rates default to 0 and are clamped to [0, 1]. *)
+
+val is_none : config -> bool
+
+val describe : config -> string
+(** E.g. ["crash 0.10, timeout 0.05 (seed 7)"]; ["no faults"] for {!none}. *)
+
+val arm : config -> salt:int -> clock:Clock.t -> ('i, 'o) Verifier.t -> unit
+(** Install the fault schedule for this configuration on the verifier,
+    timing outages and timeouts against [clock]. No-op when {!is_none}. *)
+
+val timeout_ticks : int
+(** Ticks an injected timeout burns (also the cost reported in
+    {!Verifier.Timed_out}). *)

@@ -1,0 +1,5 @@
+type t = { mutable now : int }
+
+let create () = { now = 0 }
+let now t = t.now
+let advance t n = t.now <- t.now + max 0 n

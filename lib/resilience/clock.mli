@@ -1,0 +1,17 @@
+(** A simulated monotonic clock measured in abstract ticks.
+
+    All resilience timing — retry backoff, verifier timeouts, crash outage
+    windows, breaker cooldowns, per-round deadlines — is measured against
+    this clock, never against wall time, so chaos runs are bit-reproducible
+    like everything else in the repository. Each verifier invocation costs
+    one tick; injected timeouts and retry backoff cost more. *)
+
+type t
+
+val create : unit -> t
+(** A fresh clock at tick 0. *)
+
+val now : t -> int
+
+val advance : t -> int -> unit
+(** [advance t n] moves the clock forward [max 0 n] ticks. *)

@@ -1,0 +1,108 @@
+type config = {
+  chaos : Chaos.config;
+  retry : Retry.policy;
+  breaker : Breaker.policy;
+  round_budget : int;
+}
+
+let default_config =
+  { chaos = Chaos.none; retry = Retry.default; breaker = Breaker.default; round_budget = 64 }
+
+let config ?(chaos = Chaos.none) ?(retry = Retry.default) ?(breaker = Breaker.default)
+    ?(round_budget = 64) () =
+  { chaos; retry; breaker; round_budget }
+
+type t = {
+  cfg : config;
+  salt : int;
+  clock : Clock.t;
+  jitter_rng : Llmsim.Rng.t;
+  breakers : Breaker.t array;
+  mutable round_deadline : int;
+}
+
+let create ?(salt = 0) cfg =
+  let clock = Clock.create () in
+  {
+    cfg;
+    salt;
+    clock;
+    (* A stream disjoint from every Chaos.arm stream (kind multipliers
+       start at 1 * 7_368_787). *)
+    jitter_rng = Llmsim.Rng.make (cfg.chaos.Chaos.seed + (salt * 1_000_003) + 97);
+    breakers =
+      Array.init (List.length Verifier.all_kinds) (fun _ -> Breaker.create cfg.breaker);
+    round_deadline = Clock.now clock + cfg.round_budget;
+  }
+
+(* The child salt folds the sub-task index in on a distinct odd multiplier
+   so sibling tasks (and the parent) never collide. *)
+let derive t i = create ~salt:(t.salt + ((i + 1) * 524_287)) t.cfg
+
+let arm t v =
+  Chaos.arm t.cfg.chaos ~salt:t.salt ~clock:t.clock v;
+  v
+
+let new_round t = t.round_deadline <- Clock.now t.clock + t.cfg.round_budget
+
+type degraded = { kind : Verifier.kind; reason : string }
+
+let breaker_for t kind = t.breakers.(Verifier.kind_index kind)
+
+let call t v input =
+  let kind = Verifier.kind v in
+  let b = breaker_for t kind in
+  match Breaker.acquire b ~now:(Clock.now t.clock) with
+  | `Reject ->
+      Stats.record_failure kind;
+      Stats.record_degraded kind;
+      Error
+        {
+          kind;
+          reason =
+            Printf.sprintf "circuit open (%d ticks until half-open)"
+              (Breaker.cooldown_left b ~now:(Clock.now t.clock));
+        }
+  | `Proceed ->
+      let rec attempt failures =
+        Stats.record_attempt kind;
+        if failures > 0 then Stats.record_retry kind;
+        Clock.advance t.clock 1;
+        match Verifier.run v input with
+        | Ok o ->
+            Breaker.record_success b;
+            Ok o
+        | Error f ->
+            Stats.record_failure kind;
+            let now = Clock.now t.clock in
+            if Breaker.record_failure b ~now then Stats.record_trip kind;
+            let failures = failures + 1 in
+            let give_up reason =
+              Stats.record_degraded kind;
+              Error { kind; reason }
+            in
+            if failures >= t.cfg.retry.Retry.max_attempts then
+              give_up
+                (Printf.sprintf "%s; %d attempts exhausted"
+                   (Verifier.failure_to_string f) failures)
+            else if now >= t.round_deadline then
+              give_up
+                (Printf.sprintf "%s; round tick budget exhausted after %d attempts"
+                   (Verifier.failure_to_string f) failures)
+            else begin
+              match Breaker.acquire b ~now with
+              | `Reject ->
+                  give_up
+                    (Printf.sprintf "%s; breaker tripped after %d attempts"
+                       (Verifier.failure_to_string f) failures)
+              | `Proceed ->
+                  Clock.advance t.clock (Retry.backoff t.cfg.retry t.jitter_rng ~failures);
+                  attempt failures
+            end
+      in
+      attempt 0
+
+let clock t = t.clock
+let breaker_state t kind = Breaker.state (breaker_for t kind)
+let breaker_trips t kind = Breaker.trips (breaker_for t kind)
+let chaos_active t = not (Chaos.is_none t.cfg.chaos)

@@ -1,0 +1,68 @@
+type counters = {
+  attempts : int;
+  retries : int;
+  failures : int;
+  breaker_trips : int;
+  degraded : int;
+}
+
+let zero = { attempts = 0; retries = 0; failures = 0; breaker_trips = 0; degraded = 0 }
+
+let add a b =
+  {
+    attempts = a.attempts + b.attempts;
+    retries = a.retries + b.retries;
+    failures = a.failures + b.failures;
+    breaker_trips = a.breaker_trips + b.breaker_trips;
+    degraded = a.degraded + b.degraded;
+  }
+
+let n_kinds = List.length Verifier.all_kinds
+let cell () = Array.init n_kinds (fun _ -> Atomic.make 0)
+let attempts = cell ()
+let retries = cell ()
+let failures = cell ()
+let trips = cell ()
+let degraded = cell ()
+
+let bump arr kind = Atomic.incr arr.(Verifier.kind_index kind)
+
+let record_attempt = bump attempts
+let record_retry = bump retries
+let record_failure = bump failures
+let record_trip = bump trips
+let record_degraded = bump degraded
+
+let read kind =
+  let i = Verifier.kind_index kind in
+  {
+    attempts = Atomic.get attempts.(i);
+    retries = Atomic.get retries.(i);
+    failures = Atomic.get failures.(i);
+    breaker_trips = Atomic.get trips.(i);
+    degraded = Atomic.get degraded.(i);
+  }
+
+let snapshot () = List.map (fun k -> (k, read k)) Verifier.all_kinds
+
+let totals () =
+  List.fold_left (fun acc (_, c) -> add acc c) zero (snapshot ())
+
+let diff before after =
+  List.map
+    (fun (k, a) ->
+      let b = try List.assoc k before with Not_found -> zero in
+      ( k,
+        {
+          attempts = a.attempts - b.attempts;
+          retries = a.retries - b.retries;
+          failures = a.failures - b.failures;
+          breaker_trips = a.breaker_trips - b.breaker_trips;
+          degraded = a.degraded - b.degraded;
+        } ))
+    after
+
+let reset () =
+  List.iter
+    (fun arr -> Array.iter (fun a -> Atomic.set a 0) arr)
+    [ attempts; retries; failures; trips; degraded ]

@@ -1,0 +1,35 @@
+(** Process-wide per-verifier resilience counters.
+
+    Like {!Exec.Memo.stats}, these are global atomics: they aggregate across
+    every run (and every worker domain) since the last {!reset}, so a
+    parallel sweep reports the same totals as its sequential twin. They feed
+    {!Cosynth.Metrics.perf} and the bench report; they never influence
+    control flow, so transcripts stay bit-reproducible. *)
+
+type counters = {
+  attempts : int;  (** Verifier invocations, including retries. *)
+  retries : int;  (** Attempts after a failure (attempt 2 and later). *)
+  failures : int;  (** Failed attempts (injected or short-circuited). *)
+  breaker_trips : int;  (** Transitions to the open state. *)
+  degraded : int;  (** Calls that gave up and degraded to the human path. *)
+}
+
+val zero : counters
+val add : counters -> counters -> counters
+
+val record_attempt : Verifier.kind -> unit
+val record_retry : Verifier.kind -> unit
+val record_failure : Verifier.kind -> unit
+val record_trip : Verifier.kind -> unit
+val record_degraded : Verifier.kind -> unit
+
+val snapshot : unit -> (Verifier.kind * counters) list
+(** One row per kind, in {!Verifier.all_kinds} order. *)
+
+val totals : unit -> counters
+
+val diff : (Verifier.kind * counters) list -> (Verifier.kind * counters) list ->
+  (Verifier.kind * counters) list
+(** [diff before after]: per-kind deltas. *)
+
+val reset : unit -> unit

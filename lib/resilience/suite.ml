@@ -1,0 +1,34 @@
+type t = {
+  runtime : Runtime.t;
+  parse :
+    ( Batfish.Parse_check.dialect * string,
+      Policy.Config_ir.t * Netcore.Diag.t list )
+    Verifier.t;
+  campion :
+    (Policy.Config_ir.t * Policy.Config_ir.t, Campion.Differ.finding list) Verifier.t;
+  topology :
+    ( Netcore.Topology.t * string * Policy.Config_ir.t,
+      Topoverify.Verifier.finding list )
+    Verifier.t;
+  route_policies :
+    ( Policy.Config_ir.t * Batfish.Search_route_policies.spec list,
+      (Batfish.Search_route_policies.spec * Batfish.Search_route_policies.outcome) list
+    )
+    Verifier.t;
+}
+
+let make runtime =
+  let arm kind oracle = Runtime.arm runtime (Verifier.wrap kind oracle) in
+  {
+    runtime;
+    parse = arm Verifier.Parse_check (fun (dialect, text) -> Exec.Memo.check dialect text);
+    campion =
+      arm Verifier.Campion (fun (original, translation) ->
+          Campion.Differ.compare ~original ~translation);
+    topology =
+      arm Verifier.Topology (fun (topo, router, ir) ->
+          Topoverify.Verifier.check topo ~router ir);
+    route_policies =
+      arm Verifier.Route_policies (fun (ir, specs) ->
+          Batfish.Search_route_policies.check_all ir specs);
+  }

@@ -1,0 +1,44 @@
+type kind = Parse_check | Campion | Topology | Route_policies | Bgp_sim
+
+let all_kinds = [ Parse_check; Campion; Topology; Route_policies; Bgp_sim ]
+
+let kind_index = function
+  | Parse_check -> 0
+  | Campion -> 1
+  | Topology -> 2
+  | Route_policies -> 3
+  | Bgp_sim -> 4
+
+let kind_name = function
+  | Parse_check -> "parse-check"
+  | Campion -> "campion"
+  | Topology -> "topology"
+  | Route_policies -> "route-policies"
+  | Bgp_sim -> "bgp-sim"
+
+type failure =
+  | Crashed of { down_ticks : int }
+  | Timed_out of { ticks : int }
+  | Flaked
+  | Truncated
+
+let failure_to_string = function
+  | Crashed { down_ticks } -> Printf.sprintf "crashed (down for %d ticks)" down_ticks
+  | Timed_out { ticks } -> Printf.sprintf "timed out after %d ticks" ticks
+  | Flaked -> "transient failure"
+  | Truncated -> "truncated response discarded"
+
+type ('i, 'o) t = {
+  kind : kind;
+  oracle : 'i -> 'o;
+  mutable schedule : ('i -> ('o, failure) result) option;
+}
+
+let wrap kind oracle = { kind; oracle; schedule = None }
+let kind t = t.kind
+
+let run t input =
+  match t.schedule with None -> Ok (t.oracle input) | Some f -> f input
+
+let oracle t input = t.oracle input
+let install t f = t.schedule <- Some f

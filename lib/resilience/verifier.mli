@@ -1,0 +1,55 @@
+(** The unified verifier interface.
+
+    Every checker the VPP loop calls — the Batfish-style syntax check, the
+    Campion-style differ, the topology verifier, Search Route Policies, and
+    the whole-network BGP simulation — is wrapped as a [('input, 'output) t]
+    behind one {!run} entry point returning [(findings, failure) result].
+
+    In the paper's deployment these are external Java/Scala tools that
+    crash, time out and flake; here the wrapped [oracle] is a pure OCaml
+    function, and {!Chaos} can install a seeded fault schedule on top of it.
+    Without an installed schedule, {!run} is exactly [Ok (oracle input)] —
+    the resilience machinery is pay-for-what-you-use. *)
+
+type kind =
+  | Parse_check  (** {!Batfish.Parse_check} (via {!Exec.Memo}). *)
+  | Campion  (** {!Campion.Differ.compare}. *)
+  | Topology  (** {!Topoverify.Verifier.check}. *)
+  | Route_policies  (** {!Batfish.Search_route_policies.check_all}. *)
+  | Bgp_sim  (** The global no-transit check (simulation and/or proof). *)
+
+val all_kinds : kind list
+
+val kind_index : kind -> int
+(** Dense index, [0 .. length all_kinds - 1]. *)
+
+val kind_name : kind -> string
+
+type failure =
+  | Crashed of { down_ticks : int }
+      (** The verifier process died; it stays down for [down_ticks]. *)
+  | Timed_out of { ticks : int }
+      (** The call burned [ticks] waiting before giving up. *)
+  | Flaked  (** A transient error; an immediate retry may succeed. *)
+  | Truncated
+      (** The response arrived garbled/truncated and was discarded — a
+          truncated findings list must never be mistaken for a clean pass. *)
+
+val failure_to_string : failure -> string
+
+type ('i, 'o) t
+
+val wrap : kind -> ('i -> 'o) -> ('i, 'o) t
+
+val kind : ('i, 'o) t -> kind
+
+val run : ('i, 'o) t -> 'i -> ('o, failure) result
+(** The one entry point. [Ok (oracle input)] when no fault schedule is
+    installed; otherwise the schedule decides. *)
+
+val oracle : ('i, 'o) t -> 'i -> 'o
+(** The unperturbed checker — what the simulated human consults when the
+    automated path has degraded. *)
+
+val install : ('i, 'o) t -> ('i -> ('o, failure) result) -> unit
+(** Install a fault schedule (used by {!Chaos}). *)

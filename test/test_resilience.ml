@@ -1,0 +1,451 @@
+(* Tests for the resilience layer (lib/resilience): retry backoff, the
+   circuit breaker state machine, the seeded chaos injector, the runtime
+   call paths, and the driver-level guarantees — pay-for-what-you-use
+   (rate-0 transcripts identical to the unwrapped loops), chaos-run
+   determinism (including pooled fan-out), budget exhaustion, and the
+   success-only memo contract. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let cisco_text = Cisco.Samples.border_router
+
+(* ------------------------------------------------------------------ *)
+(* Retry                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_retry_deterministic () =
+  let seq seed =
+    let rng = Llmsim.Rng.make seed in
+    List.init 10 (fun i ->
+        Resilience.Retry.backoff Resilience.Retry.default rng ~failures:(i + 1))
+  in
+  check (Alcotest.list int_t) "same seed, same backoffs" (seq 7) (seq 7);
+  check bool_t "different seeds explore different jitter" true (seq 7 <> seq 8)
+
+let test_retry_bounds () =
+  let p = Resilience.Retry.default in
+  let rng = Llmsim.Rng.make 3 in
+  for failures = 1 to 12 do
+    let exp =
+      min p.Resilience.Retry.max_backoff
+        (p.Resilience.Retry.base_backoff * (1 lsl min (failures - 1) 20))
+    in
+    let cap =
+      exp + int_of_float (p.Resilience.Retry.jitter *. float_of_int exp)
+    in
+    let b = Resilience.Retry.backoff p rng ~failures in
+    if b < exp || b > cap then
+      Alcotest.failf "backoff %d out of [%d, %d] after %d failures" b exp cap
+        failures
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Breaker                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let breaker_policy = { Resilience.Breaker.failure_threshold = 3; cooldown = 10 }
+
+let state_t =
+  Alcotest.testable
+    (fun ppf s -> Format.pp_print_string ppf (Resilience.Breaker.state_to_string s))
+    ( = )
+
+let test_breaker_trips_and_recovers () =
+  let b = Resilience.Breaker.create breaker_policy in
+  check state_t "starts closed" Resilience.Breaker.Closed (Resilience.Breaker.state b);
+  check bool_t "failure 1" false (Resilience.Breaker.record_failure b ~now:0);
+  check bool_t "failure 2" false (Resilience.Breaker.record_failure b ~now:1);
+  check bool_t "failure 3 trips" true (Resilience.Breaker.record_failure b ~now:2);
+  check state_t "open" Resilience.Breaker.Open (Resilience.Breaker.state b);
+  check int_t "one trip" 1 (Resilience.Breaker.trips b);
+  (match Resilience.Breaker.acquire b ~now:5 with
+  | `Reject -> ()
+  | `Proceed -> Alcotest.fail "open breaker must reject inside the cooldown");
+  check bool_t "cooldown counts down" true
+    (Resilience.Breaker.cooldown_left b ~now:5 > 0);
+  (match Resilience.Breaker.acquire b ~now:12 with
+  | `Proceed -> ()
+  | `Reject -> Alcotest.fail "cooldown elapsed: must allow a half-open trial");
+  check state_t "half-open" Resilience.Breaker.Half_open (Resilience.Breaker.state b);
+  Resilience.Breaker.record_success b;
+  check state_t "success closes" Resilience.Breaker.Closed (Resilience.Breaker.state b);
+  check int_t "trips unchanged by recovery" 1 (Resilience.Breaker.trips b)
+
+let test_breaker_half_open_failure_retrips () =
+  let b = Resilience.Breaker.create breaker_policy in
+  for now = 0 to 2 do
+    ignore (Resilience.Breaker.record_failure b ~now)
+  done;
+  (match Resilience.Breaker.acquire b ~now:20 with
+  | `Proceed -> ()
+  | `Reject -> Alcotest.fail "expected a half-open trial");
+  check bool_t "half-open failure re-trips" true
+    (Resilience.Breaker.record_failure b ~now:20);
+  check state_t "open again" Resilience.Breaker.Open (Resilience.Breaker.state b);
+  check int_t "two trips" 2 (Resilience.Breaker.trips b)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let outcomes chaos ~salt ~n =
+  let clock = Resilience.Clock.create () in
+  let v = Resilience.Verifier.wrap Resilience.Verifier.Parse_check (fun x -> x * 2) in
+  Resilience.Chaos.arm chaos ~salt ~clock v;
+  List.init n (fun i ->
+      Resilience.Clock.advance clock 1;
+      match Resilience.Verifier.run v i with
+      | Ok o -> Printf.sprintf "ok %d" o
+      | Error f -> Resilience.Verifier.failure_to_string f)
+
+let test_chaos_deterministic () =
+  let chaos =
+    Resilience.Chaos.make ~crash_rate:0.2 ~timeout_rate:0.2 ~flake_rate:0.2 ~seed:11 ()
+  in
+  check (Alcotest.list Alcotest.string) "same (seed, salt): same schedule"
+    (outcomes chaos ~salt:5 ~n:60) (outcomes chaos ~salt:5 ~n:60);
+  check bool_t "different salts: different schedules" true
+    (outcomes chaos ~salt:5 ~n:60 <> outcomes chaos ~salt:6 ~n:60)
+
+let test_chaos_none_is_noop () =
+  let clock = Resilience.Clock.create () in
+  let v = Resilience.Verifier.wrap Resilience.Verifier.Campion (fun x -> x + 1) in
+  Resilience.Chaos.arm (Resilience.Chaos.make ~seed:3 ()) ~salt:0 ~clock v;
+  check bool_t "is_none" true (Resilience.Chaos.is_none (Resilience.Chaos.make ~seed:3 ()));
+  (match Resilience.Verifier.run v 41 with
+  | Ok 42 -> ()
+  | _ -> Alcotest.fail "all-zero chaos must leave the Ok-oracle fast path")
+
+let test_chaos_crash_window () =
+  let chaos = Resilience.Chaos.make ~crash_rate:1.0 ~seed:1 () in
+  let clock = Resilience.Clock.create () in
+  let v = Resilience.Verifier.wrap Resilience.Verifier.Topology (fun () -> ()) in
+  Resilience.Chaos.arm chaos ~salt:0 ~clock v;
+  (match Resilience.Verifier.run v () with
+  | Error (Resilience.Verifier.Crashed { down_ticks }) ->
+      check bool_t "outage window in [8, 24]" true (down_ticks >= 8 && down_ticks <= 24);
+      (* Inside the window every call keeps failing, and the remaining
+         window shrinks as the clock advances. *)
+      Resilience.Clock.advance clock 1;
+      (match Resilience.Verifier.run v () with
+      | Error (Resilience.Verifier.Crashed { down_ticks = left }) ->
+          check int_t "window shrinks with the clock" (down_ticks - 1) left
+      | _ -> Alcotest.fail "call inside the outage window must fail")
+  | _ -> Alcotest.fail "crash rate 1.0 must crash the first call")
+
+let test_chaos_truncate_never_passes () =
+  let chaos = Resilience.Chaos.make ~truncate_rate:1.0 ~seed:4 () in
+  let clock = Resilience.Clock.create () in
+  let v =
+    Resilience.Verifier.wrap Resilience.Verifier.Route_policies (fun () -> [ "finding" ])
+  in
+  Resilience.Chaos.arm chaos ~salt:0 ~clock v;
+  for _ = 1 to 20 do
+    match Resilience.Verifier.run v () with
+    | Error Resilience.Verifier.Truncated -> ()
+    | Ok _ -> Alcotest.fail "a truncated response must never read as a clean pass"
+    | Error f ->
+        Alcotest.failf "expected Truncated, got %s"
+          (Resilience.Verifier.failure_to_string f)
+  done;
+  check (Alcotest.list Alcotest.string) "the oracle stays reachable" [ "finding" ]
+    (Resilience.Verifier.oracle v ())
+
+(* ------------------------------------------------------------------ *)
+(* Runtime call paths                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rt () = Resilience.Runtime.create Resilience.Runtime.default_config
+
+let test_runtime_success_passthrough () =
+  let t = rt () in
+  let v = Resilience.Verifier.wrap Resilience.Verifier.Parse_check (fun x -> x * 3) in
+  match Resilience.Runtime.call t v 5 with
+  | Ok 15 -> ()
+  | _ -> Alcotest.fail "no faults: call must be Ok (oracle input)"
+
+let test_runtime_retries_transient () =
+  let t = rt () in
+  let v = Resilience.Verifier.wrap Resilience.Verifier.Campion (fun x -> x) in
+  let calls = ref 0 in
+  Resilience.Verifier.install v (fun x ->
+      incr calls;
+      if !calls = 1 then Error Resilience.Verifier.Flaked else Ok x);
+  (match Resilience.Runtime.call t v 9 with
+  | Ok 9 -> ()
+  | _ -> Alcotest.fail "a flake within the retry budget must recover");
+  check int_t "one retry" 2 !calls;
+  check state_t "breaker closed after recovery" Resilience.Breaker.Closed
+    (Resilience.Runtime.breaker_state t Resilience.Verifier.Campion)
+
+let test_runtime_exhaustion_degrades_and_trips () =
+  let t = rt () in
+  let v = Resilience.Verifier.wrap Resilience.Verifier.Topology (fun x -> x) in
+  Resilience.Verifier.install v (fun _ -> Error Resilience.Verifier.Flaked);
+  (match Resilience.Runtime.call t v 0 with
+  | Error { Resilience.Runtime.kind = Resilience.Verifier.Topology; _ } -> ()
+  | _ -> Alcotest.fail "a permanently failing verifier must degrade");
+  (* Three failed attempts (Retry.default) = Breaker.default's threshold. *)
+  check int_t "breaker tripped" 1
+    (Resilience.Runtime.breaker_trips t Resilience.Verifier.Topology);
+  match Resilience.Runtime.call t v 0 with
+  | Error { Resilience.Runtime.reason; _ } ->
+      check bool_t "short-circuited by the open breaker" true
+        (String.length reason >= 12 && String.sub reason 0 12 = "circuit open")
+  | Ok _ -> Alcotest.fail "the open breaker must reject without calling"
+
+let test_runtime_derive_is_independent () =
+  let t = rt () in
+  let v = Resilience.Verifier.wrap Resilience.Verifier.Bgp_sim (fun x -> x) in
+  Resilience.Verifier.install v (fun _ -> Error Resilience.Verifier.Flaked);
+  ignore (Resilience.Runtime.call t v 0);
+  check bool_t "parent breaker tripped" true
+    (Resilience.Runtime.breaker_trips t Resilience.Verifier.Bgp_sim > 0);
+  let child = Resilience.Runtime.derive t 0 in
+  check int_t "child breakers start fresh" 0
+    (Resilience.Runtime.breaker_trips child Resilience.Verifier.Bgp_sim);
+  check state_t "child closed" Resilience.Breaker.Closed
+    (Resilience.Runtime.breaker_state child Resilience.Verifier.Bgp_sim)
+
+(* ------------------------------------------------------------------ *)
+(* Driver: pay-for-what-you-use and chaos determinism                  *)
+(* ------------------------------------------------------------------ *)
+
+let md t = Cosynth.Driver.transcript_to_markdown ~title:"run" t
+
+let chaos_config ?(crash = 0.) ?(timeout = 0.) ?(flake = 0.) ?(truncate = 0.) seed =
+  Resilience.Runtime.config
+    ~chaos:
+      (Resilience.Chaos.make ~crash_rate:crash ~timeout_rate:timeout ~flake_rate:flake
+         ~truncate_rate:truncate ~seed ())
+    ()
+
+let test_rate0_translation_identical () =
+  let wrapped =
+    Cosynth.Driver.run_translation ~seed:42
+      ~resilience:Resilience.Runtime.default_config ~cisco_text ()
+  in
+  let plain = Cosynth.Driver.run_translation ~seed:42 ~cisco_text () in
+  check Alcotest.string "transcripts byte-identical"
+    (md plain.Cosynth.Driver.transcript)
+    (md wrapped.Cosynth.Driver.transcript);
+  check Alcotest.string "final configs byte-identical" plain.Cosynth.Driver.final_text
+    wrapped.Cosynth.Driver.final_text
+
+let test_rate0_no_transit_identical () =
+  let wrapped =
+    Cosynth.Driver.run_no_transit ~seed:42
+      ~resilience:Resilience.Runtime.default_config ~routers:5 ()
+  in
+  let plain = Cosynth.Driver.run_no_transit ~seed:42 ~routers:5 () in
+  check Alcotest.string "transcripts byte-identical"
+    (md plain.Cosynth.Driver.transcript)
+    (md wrapped.Cosynth.Driver.transcript)
+
+let test_chaos_run_deterministic () =
+  let resilience = chaos_config ~crash:0.2 ~timeout:0.1 ~flake:0.1 11 in
+  let run () =
+    md
+      (Cosynth.Driver.run_translation ~seed:5 ~resilience ~cisco_text ())
+        .Cosynth.Driver.transcript
+  in
+  check Alcotest.string "same chaos seed: same transcript" (run ()) (run ())
+
+let test_chaos_pool_equals_sequential () =
+  let resilience = chaos_config ~crash:0.2 ~flake:0.1 13 in
+  let seq = Cosynth.Driver.run_no_transit ~seed:9 ~resilience ~routers:5 () in
+  let pool = Exec.Pool.create ~domains:4 () in
+  let par = Cosynth.Driver.run_no_transit ~seed:9 ~resilience ~pool ~routers:5 () in
+  Exec.Pool.shutdown pool;
+  check Alcotest.string "pooled chaos run == sequential"
+    (md seq.Cosynth.Driver.transcript)
+    (md par.Cosynth.Driver.transcript)
+
+(* ------------------------------------------------------------------ *)
+(* Driver: degradation and budget exhaustion                           *)
+(* ------------------------------------------------------------------ *)
+
+let count_origin origin (t : Cosynth.Driver.transcript) =
+  List.length
+    (List.filter
+       (fun (e : Cosynth.Driver.event) -> e.Cosynth.Driver.origin = origin)
+       t.Cosynth.Driver.events)
+
+let assert_counts_accurate (t : Cosynth.Driver.transcript) =
+  check int_t "auto counter matches the events" t.Cosynth.Driver.auto_prompts
+    (count_origin Cosynth.Driver.Auto t);
+  check int_t "human counter matches the events" t.Cosynth.Driver.human_prompts
+    (count_origin Cosynth.Driver.Human t)
+
+let test_outage_degrades_not_crashes () =
+  (* Every verifier permanently down: the loop must still terminate, with
+     the stages hand-checked (Degraded events) and findings escalated to
+     the human — reduced leverage, never an exception. *)
+  let resilience = chaos_config ~crash:1.0 17 in
+  let r = Cosynth.Driver.run_translation ~seed:3 ~resilience ~cisco_text () in
+  let t = r.Cosynth.Driver.transcript in
+  check bool_t "degraded events recorded" true (count_origin Cosynth.Driver.Degraded t > 0);
+  assert_counts_accurate t;
+  let baseline =
+    Cosynth.Driver.leverage
+      (Cosynth.Driver.run_translation ~seed:3 ~cisco_text ()).Cosynth.Driver.transcript
+  in
+  check bool_t "outages reduce leverage" true (Cosynth.Driver.leverage t < baseline)
+
+let test_budget_exhaustion_translation () =
+  let resilience = chaos_config ~crash:1.0 19 in
+  let r =
+    Cosynth.Driver.run_translation ~seed:3 ~max_prompts:5 ~resilience ~cisco_text ()
+  in
+  let t = r.Cosynth.Driver.transcript in
+  check bool_t "does not converge on a starved budget" false t.Cosynth.Driver.converged;
+  check bool_t "stays within max_prompts" true
+    (t.Cosynth.Driver.auto_prompts + t.Cosynth.Driver.human_prompts <= 5);
+  assert_counts_accurate t
+
+let test_budget_exhaustion_no_transit () =
+  let resilience = chaos_config ~crash:1.0 23 in
+  let r =
+    Cosynth.Driver.run_no_transit ~seed:3 ~max_prompts:8 ~resilience ~routers:5 ()
+  in
+  let t = r.Cosynth.Driver.transcript in
+  check bool_t "does not converge on a starved budget" false t.Cosynth.Driver.converged;
+  check bool_t "stays within max_prompts" true
+    (t.Cosynth.Driver.auto_prompts + t.Cosynth.Driver.human_prompts <= 8);
+  assert_counts_accurate t
+
+(* ------------------------------------------------------------------ *)
+(* Memo: success-only caching                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_memo_failures_bypass_table () =
+  Exec.Memo.reset ();
+  (* A unique key so earlier tests cannot have primed the table. *)
+  let text = "hostname memo-success-only\n" in
+  let dialect = Batfish.Parse_check.Cisco_ios in
+  (match Exec.Memo.check_result dialect text ~parse:(fun () -> Error `Down) with
+  | Error `Down -> ()
+  | Ok _ -> Alcotest.fail "an injected failure must be surfaced, not swallowed");
+  let s1 = Exec.Memo.stats () in
+  check int_t "failure counted as a miss" 1 s1.Exec.Memo.misses;
+  check int_t "failure not cached" 0 s1.Exec.Memo.entries;
+  let parsed = ref 0 in
+  (match
+     Exec.Memo.check_result dialect text ~parse:(fun () ->
+         incr parsed;
+         Ok (Batfish.Parse_check.check dialect text))
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "a clean parse must succeed");
+  check int_t "failure did not poison the key: re-parsed" 1 !parsed;
+  (match
+     Exec.Memo.check_result dialect text ~parse:(fun () ->
+         Alcotest.fail "cached success must not re-parse")
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "expected the cached success");
+  let s3 = Exec.Memo.stats () in
+  check int_t "success cached" 1 s3.Exec.Memo.entries;
+  check int_t "third call is a hit" 1 s3.Exec.Memo.hits
+
+(* ------------------------------------------------------------------ *)
+(* Property: any fault schedule terminates within budget               *)
+(* ------------------------------------------------------------------ *)
+
+let rates_gen =
+  let open QCheck2.Gen in
+  let rate = map (fun n -> float_of_int n /. 20.) (int_range 0 10) in
+  tup2 (tup4 rate rate rate rate) (int_range 0 10_000)
+
+let rates_print ((c, t, f, tr), seed) =
+  Printf.sprintf "crash %.2f timeout %.2f flake %.2f truncate %.2f seed %d" c t f tr
+    seed
+
+let prop_translation_terminates_within_budget =
+  QCheck2.Test.make
+    ~name:"translation: any fault schedule terminates within max_prompts" ~count:15
+    ~print:rates_print rates_gen
+    (fun ((crash, timeout, flake, truncate), seed) ->
+      let resilience = chaos_config ~crash ~timeout ~flake ~truncate seed in
+      let r =
+        Cosynth.Driver.run_translation ~seed ~max_prompts:60 ~resilience ~cisco_text ()
+      in
+      let t = r.Cosynth.Driver.transcript in
+      t.Cosynth.Driver.auto_prompts + t.Cosynth.Driver.human_prompts <= 60
+      && t.Cosynth.Driver.auto_prompts = count_origin Cosynth.Driver.Auto t
+      && t.Cosynth.Driver.human_prompts = count_origin Cosynth.Driver.Human t)
+
+let prop_no_transit_terminates_within_budget =
+  QCheck2.Test.make
+    ~name:"no-transit: any fault schedule terminates within max_prompts" ~count:10
+    ~print:rates_print rates_gen
+    (fun ((crash, timeout, flake, truncate), seed) ->
+      let resilience = chaos_config ~crash ~timeout ~flake ~truncate seed in
+      let r =
+        Cosynth.Driver.run_no_transit ~seed ~max_prompts:120 ~resilience ~routers:5 ()
+      in
+      let t = r.Cosynth.Driver.transcript in
+      t.Cosynth.Driver.auto_prompts + t.Cosynth.Driver.human_prompts <= 120
+      && t.Cosynth.Driver.auto_prompts = count_origin Cosynth.Driver.Auto t
+      && t.Cosynth.Driver.human_prompts = count_origin Cosynth.Driver.Human t)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_translation_terminates_within_budget; prop_no_transit_terminates_within_budget ]
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "retry",
+        [
+          Alcotest.test_case "deterministic backoff" `Quick test_retry_deterministic;
+          Alcotest.test_case "backoff bounds" `Quick test_retry_bounds;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "trips and recovers" `Quick test_breaker_trips_and_recovers;
+          Alcotest.test_case "half-open failure re-trips" `Quick
+            test_breaker_half_open_failure_retrips;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "deterministic schedules" `Quick test_chaos_deterministic;
+          Alcotest.test_case "all-zero rates are a no-op" `Quick test_chaos_none_is_noop;
+          Alcotest.test_case "crash outage window" `Quick test_chaos_crash_window;
+          Alcotest.test_case "truncation never passes" `Quick
+            test_chaos_truncate_never_passes;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "success passthrough" `Quick test_runtime_success_passthrough;
+          Alcotest.test_case "retries a transient" `Quick test_runtime_retries_transient;
+          Alcotest.test_case "exhaustion degrades and trips" `Quick
+            test_runtime_exhaustion_degrades_and_trips;
+          Alcotest.test_case "derived contexts independent" `Quick
+            test_runtime_derive_is_independent;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "rate-0 translation identical" `Slow
+            test_rate0_translation_identical;
+          Alcotest.test_case "rate-0 no-transit identical" `Slow
+            test_rate0_no_transit_identical;
+          Alcotest.test_case "chaos run deterministic" `Slow test_chaos_run_deterministic;
+          Alcotest.test_case "chaos pool == sequential" `Slow
+            test_chaos_pool_equals_sequential;
+          Alcotest.test_case "outage degrades, never crashes" `Slow
+            test_outage_degrades_not_crashes;
+          Alcotest.test_case "budget exhaustion (translation)" `Quick
+            test_budget_exhaustion_translation;
+          Alcotest.test_case "budget exhaustion (no-transit)" `Quick
+            test_budget_exhaustion_no_transit;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "failures bypass the table" `Quick
+            test_memo_failures_bypass_table;
+        ] );
+      ("properties", props);
+    ]
