@@ -1,4 +1,4 @@
-.PHONY: all build test check bench chaos clean
+.PHONY: all build test check bench chaos resume-smoke clean
 
 all: build
 
@@ -17,11 +17,32 @@ check:
 bench:
 	dune exec bench/main.exe
 
-# The resilience acceptance gate: 20 seeds x 4 fault schedules over both
-# VPP loops; fails on any uncaught exception, budget overrun, or rate-0
-# transcript drift.
+# The resilience acceptance gate: C1 (20 seeds x 4 fault schedules over
+# both VPP loops; fails on any uncaught exception, budget overrun, or
+# rate-0 transcript drift) + C2 (supervised sweeps under worker-domain
+# loss: abandonment, checkpoint/resume, per-verifier policies).
 chaos:
 	dune exec bench/main.exe -- --chaos
+
+# Crash/resume end-to-end: run a journaled chaos sweep, kill it halfway
+# via --halt-after (exit 3 is the simulated crash), resume from the
+# journal, and demand stdout byte-identical to an uninterrupted sweep.
+RESUME_TMP := $(shell mktemp -d)
+resume-smoke: build
+	dune exec bin/cosynth_cli.exe -- chaos --use-case no-transit --runs 12 \
+	  --routers 5 --worker-loss-rate 0.15 --flake-rate 0.1 \
+	  > $(RESUME_TMP)/full.out
+	sh -c 'dune exec bin/cosynth_cli.exe -- chaos --use-case no-transit \
+	  --runs 12 --routers 5 --worker-loss-rate 0.15 --flake-rate 0.1 \
+	  --journal $(RESUME_TMP)/sweep.jsonl --halt-after 6 \
+	  > $(RESUME_TMP)/halted.out; test $$? -eq 3'
+	dune exec bin/cosynth_cli.exe -- chaos --use-case no-transit --runs 12 \
+	  --routers 5 --worker-loss-rate 0.15 --flake-rate 0.1 \
+	  --journal $(RESUME_TMP)/sweep.jsonl --resume \
+	  > $(RESUME_TMP)/resumed.out
+	cmp $(RESUME_TMP)/full.out $(RESUME_TMP)/resumed.out
+	@rm -rf $(RESUME_TMP)
+	@echo "resume-smoke: resumed sweep byte-identical to the uninterrupted one"
 
 clean:
 	dune clean

@@ -709,12 +709,235 @@ let table_c1 () =
            string_of_int totals.Resilience.Stats.failures;
            string_of_int totals.Resilience.Stats.breaker_trips;
            string_of_int totals.Resilience.Stats.degraded;
+           string_of_int totals.Resilience.Stats.max_attempts;
          ]);
   Printf.printf "\n  rate-0 transcripts byte-identical to the unwrapped loops: %b\n"
     identical;
   if not identical then violation "rate-0 chaos transcripts differ from the unwrapped loops";
   Printf.printf "  invariant violations (uncaught exceptions / budget overruns): %d\n"
     (List.length !violations);
+  List.iter (fun v -> Printf.printf "    VIOLATION: %s\n" v) (List.rev !violations);
+  if !violations <> [] then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* C2: supervised sweeps — worker loss, checkpoint/resume, policies    *)
+(* ------------------------------------------------------------------ *)
+
+(* The bench-side copy of the CLI's journal codec: the summary-relevant
+   projection of a supervised outcome, with placeholder [Degraded] events
+   so a replayed transcript summarizes identically. *)
+let c2_encode (o : Cosynth.Driver.transcript Exec.Supervisor.outcome) =
+  let degraded_rounds (t : Cosynth.Driver.transcript) =
+    List.length
+      (List.filter
+         (fun (e : Cosynth.Driver.event) ->
+           e.Cosynth.Driver.origin = Cosynth.Driver.Degraded)
+         t.Cosynth.Driver.events)
+  in
+  match o with
+  | Exec.Supervisor.Completed t ->
+      Netcore.Json.Obj
+        [
+          ("ok", Netcore.Json.Bool true);
+          ("auto", Netcore.Json.Int t.Cosynth.Driver.auto_prompts);
+          ("human", Netcore.Json.Int t.Cosynth.Driver.human_prompts);
+          ("converged", Netcore.Json.Bool t.Cosynth.Driver.converged);
+          ("rounds", Netcore.Json.Int t.Cosynth.Driver.rounds);
+          ("degraded", Netcore.Json.Int (degraded_rounds t));
+        ]
+  | Exec.Supervisor.Abandoned { attempts; reason } ->
+      Netcore.Json.Obj
+        [
+          ("ok", Netcore.Json.Bool false);
+          ("attempts", Netcore.Json.Int attempts);
+          ("reason", Netcore.Json.String reason);
+        ]
+
+let c2_decode json =
+  let mem f name = Option.bind (Netcore.Json.member name json) f in
+  match mem Netcore.Json.to_bool "ok" with
+  | Some true -> (
+      match
+        ( mem Netcore.Json.to_int "auto",
+          mem Netcore.Json.to_int "human",
+          mem Netcore.Json.to_bool "converged",
+          mem Netcore.Json.to_int "rounds",
+          mem Netcore.Json.to_int "degraded" )
+      with
+      | Some auto, Some human, Some converged, Some rounds, Some degraded ->
+          Some
+            (Exec.Supervisor.Completed
+               {
+                 Cosynth.Driver.events =
+                   List.init degraded (fun _ ->
+                       {
+                         Cosynth.Driver.origin = Cosynth.Driver.Degraded;
+                         prompt = "(replayed from journal)";
+                         note = "degraded";
+                       });
+                 human_prompts = human;
+                 auto_prompts = auto;
+                 converged;
+                 rounds;
+               })
+      | _ -> None)
+  | Some false -> (
+      match (mem Netcore.Json.to_int "attempts", mem Netcore.Json.to_str "reason") with
+      | Some attempts, Some reason ->
+          Some (Exec.Supervisor.Abandoned { attempts; reason })
+      | _ -> None)
+  | None -> None
+
+let table_c2 () =
+  section
+    "C2 — Supervised sweeps: worker-domain loss, checkpoint/resume, per-verifier \
+     policies";
+  let n = if chaos_only then 12 else if smoke then 4 else 12 in
+  let seeds = Exec.Sweep.seeds ~base:8800 ~n in
+  let violations = ref [] in
+  let violation fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  let run_seed resilience seed =
+    (Cosynth.Driver.run_no_transit ~seed ~resilience ~routers:5 ())
+      .Cosynth.Driver.transcript
+  in
+  let summary_line ts =
+    Format.asprintf "%a" Cosynth.Metrics.pp_summary (Cosynth.Metrics.summarize ts)
+  in
+  let md_concat ts =
+    String.concat "\n"
+      (List.map (Cosynth.Driver.transcript_to_markdown ~title:"run") ts)
+  in
+  (* The pre-supervisor reference: today's plain pooled sweep. The rate-0
+     supervised sweep below must reproduce it byte-for-byte. *)
+  let zero = Resilience.Runtime.default_config in
+  let baseline =
+    Exec.Sweep.run_seeds ~pool ~seeds (fun seed -> run_seed zero seed)
+  in
+  let baseline_md = md_concat baseline in
+  let baseline_table = summary_line baseline in
+  (* Kill-rate sweep: every task runs under the supervisor's boundary on
+     the shared pool; the loss plan is keyed on the seed itself. *)
+  let rows =
+    List.map
+      (fun rate ->
+        let chaos = Resilience.Chaos.make ~worker_loss_rate:rate ~seed:131 () in
+        let resilience = Resilience.Runtime.config ~chaos () in
+        let plan = Resilience.Chaos.worker_plan chaos ~salt:0 in
+        let p0 = Exec.Pool.stats pool in
+        let c0 = Exec.Supervisor.stats () in
+        let outcomes =
+          Exec.Supervisor.map ~pool ~plan
+            ~index_of:(fun s -> s)
+            (run_seed resilience) seeds
+        in
+        let c = Exec.Supervisor.diff c0 (Exec.Supervisor.stats ()) in
+        let restarts =
+          (Exec.Pool.stats pool).Exec.Pool.restarts - p0.Exec.Pool.restarts
+        in
+        let ts = List.filter_map Exec.Supervisor.completed outcomes in
+        let abandoned =
+          List.length (List.filter Exec.Supervisor.abandoned outcomes)
+        in
+        let table_equal = summary_line ts = baseline_table in
+        if rate = 0. && md_concat ts <> baseline_md then
+          violation
+            "rate-0 supervised sweep is not byte-identical to the plain pooled sweep";
+        (* The acceptance bar: modest loss rates must cost retries, never
+           results. *)
+        if rate <= 0.2 && abandoned > 0 then
+          violation "worker-loss rate %.2f abandoned %d seed(s)" rate abandoned;
+        if rate <= 0.2 && not table_equal then
+          violation "worker-loss rate %.2f drifted from the rate-0 table" rate;
+        [
+          Printf.sprintf "%.2f" rate;
+          Printf.sprintf "%d/%d" (List.length ts) n;
+          string_of_int abandoned;
+          string_of_int c.Exec.Supervisor.losses;
+          string_of_int c.Exec.Supervisor.requeues;
+          string_of_int restarts;
+          (if table_equal then "yes" else "DRIFT");
+        ])
+      [ 0.0; 0.05; 0.1; 0.2; 0.5 ]
+  in
+  print_string
+    (Cosynth.Report.table
+       ~title:
+         (Printf.sprintf
+            "%d-seed 5-router no-transit sweeps under worker-domain loss (budget %d \
+             attempts/task)"
+            n Exec.Supervisor.default_policy.Exec.Supervisor.max_attempts)
+       ~header:
+         [
+           "loss rate"; "completed"; "abandoned"; "losses"; "requeues"; "restarts";
+           "table = rate-0";
+         ]
+       rows);
+  (* Checkpoint/resume: journal the first half, "crash", resume over the
+     full seed list, and demand the identical table from the mix of
+     journaled and fresh runs. *)
+  let chaos = Resilience.Chaos.make ~worker_loss_rate:0.1 ~seed:131 () in
+  let resilience = Resilience.Runtime.config ~chaos () in
+  let plan = Resilience.Chaos.worker_plan chaos ~salt:0 in
+  let sup_seed seed =
+    Exec.Supervisor.run_one ~plan ~index:seed (fun () -> run_seed resilience seed)
+  in
+  let direct = List.map sup_seed seeds in
+  let journal_path = Filename.temp_file "cosynth_c2_" ".jsonl" in
+  let half = List.filteri (fun i _ -> i < n / 2) seeds in
+  let j1 =
+    Exec.Sweep.journal ~path:journal_path ~encode:c2_encode ~decode:c2_decode ()
+  in
+  ignore (Exec.Sweep.run_seeds ~journal:j1 ~seeds:half sup_seed);
+  Exec.Sweep.journal_close j1;
+  let j2 =
+    Exec.Sweep.journal ~resume:true ~path:journal_path ~encode:c2_encode
+      ~decode:c2_decode ()
+  in
+  let replayed = List.length (Exec.Sweep.journaled_seeds j2) in
+  let resumed = Exec.Sweep.run_seeds ~journal:j2 ~seeds sup_seed in
+  Exec.Sweep.journal_close j2;
+  Sys.remove journal_path;
+  let resumed_table =
+    summary_line (List.filter_map Exec.Supervisor.completed resumed)
+  in
+  let direct_table =
+    summary_line (List.filter_map Exec.Supervisor.completed direct)
+  in
+  let resume_ok = resumed_table = direct_table in
+  Printf.printf
+    "\n  resume: %d/%d seeds replayed from the journal; table identical to the \
+     uninterrupted sweep: %b\n"
+    replayed n resume_ok;
+  if not resume_ok then
+    violation "resumed sweep drifted from the uninterrupted sweep";
+  (* Per-verifier policies: under one flake rate the cheap parse check may
+     retry deeper than the expensive BGP sim ever can. *)
+  let flaky =
+    Resilience.Runtime.config
+      ~chaos:(Resilience.Chaos.make ~flake_rate:0.3 ~seed:7 ()) ()
+  in
+  let v0 = Resilience.Stats.snapshot () in
+  List.iter
+    (fun seed -> ignore (run_seed flaky seed))
+    (List.filteri (fun i _ -> i < 4) seeds);
+  let d = Resilience.Stats.diff v0 (Resilience.Stats.snapshot ()) in
+  let max_att k =
+    (List.assoc k d).Resilience.Stats.max_attempts
+  in
+  let parse_max = max_att Resilience.Verifier.Parse_check in
+  let bgp_max = max_att Resilience.Verifier.Bgp_sim in
+  Printf.printf
+    "  per-verifier policies under flake 0.30: parse-check max attempts %d, \
+     bgp-sim max attempts %d\n"
+    parse_max bgp_max;
+  if bgp_max >= parse_max then
+    violation
+      "per-kind policies not in effect: bgp-sim reached %d attempts vs \
+       parse-check's %d"
+      bgp_max parse_max;
+  Printf.printf "  invariant violations: %d\n" (List.length !violations);
   List.iter (fun v -> Printf.printf "    VIOLATION: %s\n" v) (List.rev !violations);
   if !violations <> [] then exit 1
 
@@ -829,6 +1052,7 @@ let () =
     (Exec.Pool.size pool);
   if chaos_only then begin
     table_c1 ();
+    table_c2 ();
     Exec.Pool.shutdown pool;
     Printf.printf "\nDone.\n";
     exit 0
@@ -847,16 +1071,19 @@ let () =
   table_s3 ();
   table_s4 ();
   table_c1 ();
+  table_c2 ();
   if smoke then
     Printf.printf "\n(smoke mode: skipping the Bechamel performance pass)\n"
   else run_perf ();
   let ps = Exec.Pool.stats pool in
   let ms = Exec.Memo.stats () in
   Printf.printf
-    "\npool: %d domain(s), %d jobs, %.1fs busy over %.1fs wall (utilization %.0f%%)\n"
+    "\npool: %d domain(s), %d jobs, %.1fs busy over %.1fs wall (utilization %.0f%%), \
+     %d worker restart(s)\n"
     ps.Exec.Pool.domains ps.Exec.Pool.jobs_completed ps.Exec.Pool.busy_s
     ps.Exec.Pool.wall_s
-    (100. *. Exec.Pool.utilization ps);
+    (100. *. Exec.Pool.utilization ps)
+    ps.Exec.Pool.restarts;
   Printf.printf "memo: %d hits / %d misses since last reset, %d entries cached\n"
     ms.Exec.Memo.hits ms.Exec.Memo.misses ms.Exec.Memo.entries;
   Exec.Pool.shutdown pool;

@@ -404,21 +404,50 @@ let prove_cmd =
 (* leverage                                                            *)
 (* ------------------------------------------------------------------ *)
 
+let verifier_stats_footer perf =
+  let totals = Cosynth.Metrics.verifier_totals perf in
+  Cosynth.Report.table ~title:"per-verifier resilience counters"
+    ~header:Cosynth.Metrics.verifier_header
+    (Cosynth.Metrics.verifier_rows perf)
+    ~footer:
+      [
+        "total";
+        string_of_int totals.Resilience.Stats.attempts;
+        string_of_int totals.Resilience.Stats.retries;
+        string_of_int totals.Resilience.Stats.failures;
+        string_of_int totals.Resilience.Stats.breaker_trips;
+        string_of_int totals.Resilience.Stats.degraded;
+        string_of_int totals.Resilience.Stats.max_attempts;
+      ]
+
 let leverage_cmd =
   let run use_case runs routers jobs =
     let pool = match jobs with Some d -> Exec.Pool.create ~domains:d () | None -> Exec.Pool.create () in
-    let s, perf =
+    (* The exception is trapped inside the measured thunk so the counter
+       deltas survive an abort: a sweep that dies halfway still reports
+       what its verifiers were doing when it died. *)
+    let outcome, perf =
       Cosynth.Metrics.measure ~pool (fun () ->
-          match use_case with
-          | `Translation ->
-              Cosynth.Metrics.translation_summary ~runs ~pool
-                ~cisco_text:Cisco.Samples.border_router ()
-          | `No_transit -> Cosynth.Metrics.no_transit_summary ~runs ~routers ~pool ())
+          try
+            Ok
+              (match use_case with
+              | `Translation ->
+                  Cosynth.Metrics.translation_summary ~runs ~pool
+                    ~cisco_text:Cisco.Samples.border_router ()
+              | `No_transit -> Cosynth.Metrics.no_transit_summary ~runs ~routers ~pool ())
+          with e -> Error e)
     in
-    Format.printf "%a@." Cosynth.Metrics.pp_summary s;
-    Format.printf "%a@." Cosynth.Metrics.pp_perf perf;
     Exec.Pool.shutdown pool;
-    if s.Cosynth.Metrics.converged < s.Cosynth.Metrics.runs then 1 else 0
+    match outcome with
+    | Ok s ->
+        Format.printf "%a@." Cosynth.Metrics.pp_summary s;
+        Format.printf "%a@." Cosynth.Metrics.pp_perf perf;
+        if s.Cosynth.Metrics.converged < s.Cosynth.Metrics.runs then 1 else 0
+    | Error e ->
+        Format.printf "%a@." Cosynth.Metrics.pp_perf perf;
+        print_string (verifier_stats_footer perf);
+        Printf.eprintf "error: sweep aborted: %s\n%!" (Printexc.to_string e);
+        1
   in
   let use_case =
     let c =
@@ -457,82 +486,185 @@ let leverage_cmd =
 (* ------------------------------------------------------------------ *)
 
 let chaos_cmd =
-  let run use_case runs routers seed crash timeout flake truncate verbose =
+  let run use_case runs routers seed crash timeout flake truncate worker_loss
+      journal_path resume halt_after verbose =
     let chaos =
       Resilience.Chaos.make ~crash_rate:crash ~timeout_rate:timeout
-        ~flake_rate:flake ~truncate_rate:truncate ~seed ()
+        ~flake_rate:flake ~truncate_rate:truncate ~worker_loss_rate:worker_loss
+        ~seed ()
     in
     let resilience = Resilience.Runtime.config ~chaos () in
+    let plan = Resilience.Chaos.worker_plan chaos ~salt:0 in
     (* The driver defaults; the invariant under any schedule is that the
        merged transcript stays within them and the loop never raises. *)
-    let budget = match use_case with `Translation -> 200 | `No_transit -> 400 in
-    let violations = ref [] in
-    let transcripts, perf =
+    let budget =
+      match use_case with
+      | `Translation -> 200
+      | `No_transit -> 400
+      | `Incremental -> 100
+    in
+    let degraded_rounds (t : Cosynth.Driver.transcript) =
+      List.length
+        (List.filter
+           (fun (e : Cosynth.Driver.event) ->
+             e.Cosynth.Driver.origin = Cosynth.Driver.Degraded)
+           t.Cosynth.Driver.events)
+    in
+    (* The journal codec keeps the summary-relevant projection of each
+       outcome. A replayed transcript gets placeholder [Degraded] events so
+       the degraded-rounds line reproduces exactly; everything else the
+       summary table reads is carried verbatim. *)
+    let encode (o : Cosynth.Driver.transcript Exec.Supervisor.outcome) =
+      match o with
+      | Exec.Supervisor.Completed t ->
+          Netcore.Json.Obj
+            [
+              ("ok", Netcore.Json.Bool true);
+              ("auto", Netcore.Json.Int t.Cosynth.Driver.auto_prompts);
+              ("human", Netcore.Json.Int t.Cosynth.Driver.human_prompts);
+              ("converged", Netcore.Json.Bool t.Cosynth.Driver.converged);
+              ("rounds", Netcore.Json.Int t.Cosynth.Driver.rounds);
+              ("degraded", Netcore.Json.Int (degraded_rounds t));
+            ]
+      | Exec.Supervisor.Abandoned { attempts; reason } ->
+          Netcore.Json.Obj
+            [
+              ("ok", Netcore.Json.Bool false);
+              ("attempts", Netcore.Json.Int attempts);
+              ("reason", Netcore.Json.String reason);
+            ]
+    in
+    let decode json =
+      let mem f name = Option.bind (Netcore.Json.member name json) f in
+      match mem Netcore.Json.to_bool "ok" with
+      | Some true -> (
+          match
+            ( mem Netcore.Json.to_int "auto",
+              mem Netcore.Json.to_int "human",
+              mem Netcore.Json.to_bool "converged",
+              mem Netcore.Json.to_int "rounds",
+              mem Netcore.Json.to_int "degraded" )
+          with
+          | Some auto, Some human, Some converged, Some rounds, Some degraded ->
+              Some
+                (Exec.Supervisor.Completed
+                   {
+                     Cosynth.Driver.events =
+                       List.init degraded (fun _ ->
+                           {
+                             Cosynth.Driver.origin = Cosynth.Driver.Degraded;
+                             prompt = "(replayed from journal)";
+                             note = "degraded";
+                           });
+                     human_prompts = human;
+                     auto_prompts = auto;
+                     converged;
+                     rounds;
+                   })
+          | _ -> None)
+      | Some false -> (
+          match
+            (mem Netcore.Json.to_int "attempts", mem Netcore.Json.to_str "reason")
+          with
+          | Some attempts, Some reason ->
+              Some (Exec.Supervisor.Abandoned { attempts; reason })
+          | _ -> None)
+      | None -> None
+    in
+    (* Journal notices go to stderr: the stdout of a resumed sweep must be
+       byte-identical to an uninterrupted one (make resume-smoke diffs it). *)
+    let journal =
+      match journal_path with
+      | None ->
+          if resume then begin
+            Printf.eprintf "error: --resume requires --journal FILE\n%!";
+            exit 2
+          end;
+          None
+      | Some path ->
+          let j = Exec.Sweep.journal ~resume ~path ~encode ~decode () in
+          (match Exec.Sweep.journaled_seeds j with
+          | [] -> Printf.eprintf "journal: recording to %s\n%!" path
+          | done_ ->
+              Printf.eprintf "journal: resuming %d completed seed(s) from %s\n%!"
+                (List.length done_) path);
+          Some j
+    in
+    let seeds = List.init runs (fun i -> seed + i) in
+    let fresh = ref 0 in
+    let run_seed run_seed =
+      (* Only fresh (non-journaled) seeds reach this function, so the halt
+         counter measures exactly the runs this process contributed. *)
+      (match halt_after with
+      | Some n when !fresh >= n ->
+          Printf.eprintf "journal: halting after %d fresh run(s) (simulated crash)\n%!" n;
+          exit 3
+      | _ -> ());
+      incr fresh;
+      Exec.Supervisor.run_one ~plan ~index:run_seed (fun () ->
+          match use_case with
+          | `Translation ->
+              (Cosynth.Driver.run_translation ~seed:run_seed ~resilience
+                 ~cisco_text:Cisco.Samples.border_router ())
+                .Cosynth.Driver.transcript
+          | `No_transit ->
+              (Cosynth.Driver.run_no_transit ~seed:run_seed ~resilience ~routers ())
+                .Cosynth.Driver.transcript
+          | `Incremental ->
+              (Cosynth.Driver.run_incremental ~seed:run_seed ~resilience ~routers ())
+                .Cosynth.Driver.inc_transcript)
+    in
+    (* The abort trap lives inside the measured thunk so the per-verifier
+       counter deltas survive: a sweep that dies halfway still reports what
+       its verifiers were doing when it died. *)
+    let (outcomes, aborted), perf =
       Cosynth.Metrics.measure (fun () ->
-          List.filter_map
-            (fun run_seed ->
-              match
-                match use_case with
-                | `Translation ->
-                    (Cosynth.Driver.run_translation ~seed:run_seed ~resilience
-                       ~cisco_text:Cisco.Samples.border_router ())
-                      .Cosynth.Driver.transcript
-                | `No_transit ->
-                    (Cosynth.Driver.run_no_transit ~seed:run_seed ~resilience
-                       ~routers ())
-                      .Cosynth.Driver.transcript
-              with
-              | t ->
-                  let spent =
-                    t.Cosynth.Driver.auto_prompts + t.Cosynth.Driver.human_prompts
-                  in
-                  if spent > budget then
-                    violations :=
-                      Printf.sprintf "seed %d spent %d prompts (budget %d)"
-                        run_seed spent budget
-                      :: !violations;
-                  Some t
-              | exception e ->
-                  violations :=
-                    Printf.sprintf "seed %d raised %s" run_seed
-                      (Printexc.to_string e)
-                    :: !violations;
-                  None)
-            (List.init runs (fun i -> seed + i)))
+          try (Exec.Sweep.run_seeds ?journal ~seeds run_seed, None)
+          with e -> ([], Some e))
     in
+    Option.iter Exec.Sweep.journal_close journal;
+    let seeded = if outcomes = [] then [] else List.combine seeds outcomes in
+    let transcripts = List.filter_map Exec.Supervisor.completed outcomes in
+    let abandoned =
+      List.filter_map
+        (fun (s, o) ->
+          match o with
+          | Exec.Supervisor.Abandoned { attempts; reason } -> Some (s, attempts, reason)
+          | Exec.Supervisor.Completed _ -> None)
+        seeded
+    in
+    let violations = ref [] in
+    List.iter
+      (fun (run_seed, o) ->
+        match o with
+        | Exec.Supervisor.Completed t ->
+            let spent =
+              t.Cosynth.Driver.auto_prompts + t.Cosynth.Driver.human_prompts
+            in
+            if spent > budget then
+              violations :=
+                Printf.sprintf "seed %d spent %d prompts (budget %d)" run_seed
+                  spent budget
+                :: !violations
+        | Exec.Supervisor.Abandoned _ -> ())
+      seeded;
     let s = Cosynth.Metrics.summarize transcripts in
-    let degraded =
-      List.fold_left
-        (fun acc (t : Cosynth.Driver.transcript) ->
-          acc
-          + List.length
-              (List.filter
-                 (fun (e : Cosynth.Driver.event) ->
-                   e.Cosynth.Driver.origin = Cosynth.Driver.Degraded)
-                 t.Cosynth.Driver.events))
-        0 transcripts
-    in
+    let degraded = List.fold_left (fun acc t -> acc + degraded_rounds t) 0 transcripts in
     Printf.printf "fault schedule: %s\n" (Resilience.Chaos.describe chaos);
     Format.printf "%a@." Cosynth.Metrics.pp_summary s;
     Printf.printf "degraded (hand-checked) verifier rounds: %d\n" degraded;
-    if verbose then begin
-      let totals = Cosynth.Metrics.verifier_totals perf in
-      print_string
-        (Cosynth.Report.table ~title:"per-verifier resilience counters"
-           ~header:Cosynth.Metrics.verifier_header
-           (Cosynth.Metrics.verifier_rows perf)
-           ~footer:
-             [
-               "total";
-               string_of_int totals.Resilience.Stats.attempts;
-               string_of_int totals.Resilience.Stats.retries;
-               string_of_int totals.Resilience.Stats.failures;
-               string_of_int totals.Resilience.Stats.breaker_trips;
-               string_of_int totals.Resilience.Stats.degraded;
-             ])
-    end;
+    List.iter
+      (fun (run_seed, attempts, reason) ->
+        Printf.printf "abandoned seed %d after %d attempt(s): %s\n" run_seed
+          attempts reason)
+      abandoned;
+    if verbose || aborted <> None then print_string (verifier_stats_footer perf);
     List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) (List.rev !violations);
-    if !violations <> [] then 1 else 0
+    match aborted with
+    | Some e ->
+        Printf.eprintf "error: sweep aborted: %s\n%!" (Printexc.to_string e);
+        1
+    | None -> if !violations <> [] then 1 else 0
   in
   let use_case =
     let c =
@@ -540,15 +672,20 @@ let chaos_cmd =
         ( (function
           | "translation" -> Ok `Translation
           | "no-transit" -> Ok `No_transit
+          | "incremental" -> Ok `Incremental
           | s -> Error (`Msg (Printf.sprintf "unknown use case %S" s))),
           fun ppf c ->
             Format.pp_print_string ppf
-              (match c with `Translation -> "translation" | `No_transit -> "no-transit") )
+              (match c with
+              | `Translation -> "translation"
+              | `No_transit -> "no-transit"
+              | `Incremental -> "incremental") )
     in
     Arg.(
       value
       & opt c `No_transit
-      & info [ "use-case" ] ~docv:"CASE" ~doc:"translation or no-transit.")
+      & info [ "use-case" ] ~docv:"CASE"
+          ~doc:"translation, no-transit or incremental.")
   in
   let runs = Arg.(value & opt int 20 & info [ "runs" ] ~docv:"N") in
   let routers = Arg.(value & opt int 7 & info [ "routers" ] ~docv:"N") in
@@ -566,6 +703,37 @@ let chaos_cmd =
   let timeout = rate "timeout-rate" "Per-call timeout probability (burns the round's tick budget)." in
   let flake = rate "flake-rate" "Per-call transient-failure probability (a retry may succeed)." in
   let truncate = rate "truncate-rate" "Per-call truncated-findings probability (discarded, never a pass)." in
+  let worker_loss =
+    rate "worker-loss-rate"
+      "Per-dispatch probability that the worker domain running a seed dies; \
+       the supervisor requeues the seed (bounded retries) and abandons it \
+       when the budget is spent."
+  in
+  let journal_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Record each completed seed to $(docv) (one fsync'd JSON line \
+                per run). Without $(b,--resume) an existing file is \
+                truncated.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Skip the seeds already recorded in $(b,--journal) and \
+                reproduce the identical final table from the mix of \
+                journaled and fresh runs.")
+  in
+  let halt_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "halt-after" ] ~docv:"N"
+          ~doc:"Exit with status 3 (a simulated crash) once $(docv) fresh \
+                runs have completed; used by $(b,make resume-smoke).")
+  in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the per-verifier counter table.")
   in
@@ -576,7 +744,7 @@ let chaos_cmd =
           its prompt budget without an exception (exits nonzero otherwise)")
     Term.(
       const run $ use_case $ runs $ routers $ seed $ crash $ timeout $ flake
-      $ truncate $ verbose)
+      $ truncate $ worker_loss $ journal_path $ resume $ halt_after $ verbose)
 
 let () =
   let doc =

@@ -662,7 +662,22 @@ let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
     (star.Netcore.Star.hub, hub_config)
     :: List.remove_assoc star.Netcore.Star.hub base_configs
   in
-  let global_ok = specs_hold && fst (Modularizer.no_transit_holds star configs) in
+  (* The closing whole-network check runs under the same resilience
+     boundary as the no-transit driver's global phase: a crashed BGP sim
+     degrades to the human running it by hand (a [Degraded] event), never
+     an unchecked exception. The short-circuit stays — when the specs
+     already failed there is nothing worth simulating. *)
+  let global_verifier =
+    Resilience.Runtime.arm rt
+      (Resilience.Verifier.wrap Resilience.Verifier.Bgp_sim (fun configs ->
+           Modularizer.no_transit_holds star configs))
+  in
+  let global_ok =
+    specs_hold
+    &&
+    (Resilience.Runtime.new_round rt;
+     fst (stage_value (run_stage st rt global_verifier configs)))
+  in
   {
     inc_transcript = finish st (specs_hold && global_ok);
     hub_config;

@@ -170,4 +170,7 @@ val run_incremental :
   unit ->
   incremental_result
 (** Defaults: [target] = "R2", [prepend] = the hub AS twice. [resilience]
-    as for {!run_translation}. *)
+    as for {!run_translation} — it covers every stage end to end, the
+    closing whole-network BGP check included: under chaos that check can
+    degrade to a hand-run simulation ([Degraded] event), never an
+    unchecked exception. *)

@@ -96,6 +96,7 @@ type perf = {
   memo_misses : int;
   pool_utilization : float;
   verifier : (Resilience.Verifier.kind * Resilience.Stats.counters) list;
+  supervisor : Exec.Supervisor.counters;
 }
 
 let verifier_totals p =
@@ -117,11 +118,12 @@ let verifier_rows p =
             string_of_int c.Resilience.Stats.failures;
             string_of_int c.Resilience.Stats.breaker_trips;
             string_of_int c.Resilience.Stats.degraded;
+            string_of_int c.Resilience.Stats.max_attempts;
           ])
     p.verifier
 
 let verifier_header =
-  [ "verifier"; "attempts"; "retries"; "failures"; "trips"; "degraded" ]
+  [ "verifier"; "attempts"; "retries"; "failures"; "trips"; "degraded"; "max att" ]
 
 let memo_hit_rate p =
   let total = p.memo_hits + p.memo_misses in
@@ -130,6 +132,7 @@ let memo_hit_rate p =
 let measure ?pool f =
   let m0 = Exec.Memo.stats () in
   let v0 = Resilience.Stats.snapshot () in
+  let s0 = Exec.Supervisor.stats () in
   let p0 = Option.map Exec.Pool.stats pool in
   let r, wall_s = Exec.Sweep.timed f in
   let m1 = Exec.Memo.stats () in
@@ -151,6 +154,7 @@ let measure ?pool f =
       memo_misses = m1.Exec.Memo.misses - m0.Exec.Memo.misses;
       pool_utilization = utilization;
       verifier = Resilience.Stats.diff v0 v1;
+      supervisor = Exec.Supervisor.diff s0 (Exec.Supervisor.stats ());
     } )
 
 let pp_perf ppf p =
@@ -163,4 +167,10 @@ let pp_perf ppf p =
     Format.fprintf ppf
       ", verifiers %d attempts / %d retries / %d trips / %d degraded"
       t.Resilience.Stats.attempts t.Resilience.Stats.retries
-      t.Resilience.Stats.breaker_trips t.Resilience.Stats.degraded
+      t.Resilience.Stats.breaker_trips t.Resilience.Stats.degraded;
+  let sup = p.supervisor in
+  if sup.Exec.Supervisor.losses > 0 || sup.Exec.Supervisor.abandoned > 0 then
+    Format.fprintf ppf
+      ", supervisor %d losses / %d requeues / %d abandoned"
+      sup.Exec.Supervisor.losses sup.Exec.Supervisor.requeues
+      sup.Exec.Supervisor.abandoned

@@ -48,6 +48,9 @@ type perf = {
   verifier : (Resilience.Verifier.kind * Resilience.Stats.counters) list;
       (** Per-verifier resilience counter deltas ({!Resilience.Stats})
           during the section, in {!Resilience.Verifier.all_kinds} order. *)
+  supervisor : Exec.Supervisor.counters;
+      (** Supervised-execution deltas (worker losses, requeues, abandoned
+          tasks) during the section; all zero without a supervisor. *)
 }
 
 val measure : ?pool:Exec.Pool.t -> (unit -> 'a) -> 'a * perf
@@ -67,5 +70,6 @@ val verifier_rows : perf -> string list list
 val verifier_header : string list
 
 val pp_perf : Format.formatter -> perf -> unit
-(** One line; the verifier totals are appended only when any resilience
-    activity happened, so chaos-free output is unchanged. *)
+(** One line; the verifier totals (and the supervisor's loss/requeue/
+    abandoned deltas) are appended only when any such activity happened,
+    so chaos-free output is unchanged. *)

@@ -1,0 +1,69 @@
+type t = {
+  oc : out_channel;
+  fd : Unix.file_descr;
+  m : Mutex.t;
+  mutable closed : bool;
+}
+
+let open_ ?(truncate = false) path =
+  let flags =
+    [ Open_wronly; Open_creat; (if truncate then Open_trunc else Open_append) ]
+  in
+  let oc = open_out_gen flags 0o644 path in
+  { oc; fd = Unix.descr_of_out_channel oc; m = Mutex.create (); closed = false }
+
+let record t ~seed payload =
+  let line =
+    Netcore.Json.to_string
+      (Netcore.Json.Obj [ ("seed", Netcore.Json.Int seed); ("summary", payload) ])
+  in
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      if t.closed then invalid_arg "Checkpoint.record: journal is closed";
+      output_string t.oc line;
+      output_char t.oc '\n';
+      flush t.oc;
+      (* The line is durable before the run counts as completed: a journal
+         replay after a crash only ever sees whole, fsync'd records. *)
+      Unix.fsync t.fd)
+
+let close t =
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        close_out t.oc
+      end)
+
+(* A journal written by a process that died mid-[record] can end in a
+   partial line; anything that fails to parse (or lacks the expected shape)
+   is skipped rather than poisoning the replay. Later records win so a
+   re-run that re-completed a seed supersedes the older line. *)
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let entries = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then
+           match Netcore.Json.of_string line with
+           | Error _ -> ()
+           | Ok json -> (
+               match
+                 ( Option.bind (Netcore.Json.member "seed" json) Netcore.Json.to_int,
+                   Netcore.Json.member "summary" json )
+               with
+               | Some seed, Some payload ->
+                   entries := (seed, payload) :: List.remove_assoc seed !entries
+               | _ -> ())
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !entries
+  end

@@ -1,0 +1,26 @@
+(** An fsync'd append-only journal of completed seeded runs.
+
+    One line per completed run — [{"seed": N, "summary": <json>}] — written
+    and [fsync]'d under a mutex before {!record} returns, so concurrent
+    writers never interleave within a line and a crash at any instant
+    leaves at most one partial trailing line. {!load} tolerates exactly that: unparseable or
+    wrong-shaped lines are skipped, and when a seed appears twice the later
+    record wins. *)
+
+type t
+
+val open_ : ?truncate:bool -> string -> t
+(** Open [path] for appending, creating it if needed. [~truncate:true]
+    discards any existing contents (a fresh, non-resumed sweep). *)
+
+val record : t -> seed:int -> Netcore.Json.t -> unit
+(** Append one journal line and [fsync] it. Thread-safe.
+    @raise Invalid_argument after {!close}. *)
+
+val load : string -> (int * Netcore.Json.t) list
+(** Replay a journal: [(seed, summary)] in first-completion order, partial
+    or malformed lines skipped, later duplicates superseding earlier ones.
+    A missing file is an empty journal. *)
+
+val close : t -> unit
+(** Flush and close the underlying channel. Idempotent. *)

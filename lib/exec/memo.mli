@@ -37,3 +37,18 @@ val hit_rate : stats -> float
 val reset : unit -> unit
 (** Drop every entry and zero the counters (used between bench sections so
     per-experiment hit rates are meaningful). *)
+
+val reset_stats : unit -> unit
+(** Zero the hit/miss counters but keep the table — per-phase hit rates
+    without sacrificing the warm cache (dropping it would also change the
+    phase's own hit rate). *)
+
+type scope
+(** A counter snapshot; the non-destructive alternative to {!reset_stats}
+    when phases can overlap (a bench section while a sweep is in flight). *)
+
+val scope : unit -> scope
+
+val scope_stats : scope -> stats
+(** Hits/misses accumulated since {!scope} (entries is the current table
+    size). *)

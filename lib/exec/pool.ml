@@ -7,6 +7,7 @@ type t = {
   domains : int;
   mutable jobs_completed : int;
   mutable busy_s : float;
+  mutable restarts : int;
   created_at : float;
 }
 
@@ -15,7 +16,15 @@ type stats = {
   jobs_completed : int;
   busy_s : float;
   wall_s : float;
+  restarts : int;
 }
+
+(* Set by [lose_current_worker] on the domain running the current job;
+   checked (and cleared) after every job. A flagged worker domain exits its
+   loop and a replacement is spawned — a genuine domain restart, not just a
+   counter. The flag is domain-local so a loss on one worker never leaks
+   into a sibling. *)
+let lost_flag : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
 
 let default_size () =
   match Sys.getenv_opt "COSYNTH_POOL_SIZE" with
@@ -37,12 +46,33 @@ let rec worker_loop (t : t) =
     let t0 = Unix.gettimeofday () in
     job ();
     let dt = Unix.gettimeofday () -. t0 in
+    let lost = Domain.DLS.get lost_flag in
+    let died = !lost in
+    lost := false;
     Mutex.lock t.m;
     t.jobs_completed <- t.jobs_completed + 1;
     t.busy_s <- t.busy_s +. dt;
+    if died then begin
+      t.restarts <- t.restarts + 1;
+      (* A replacement takes this worker's place unless the pool is already
+         shutting down; the dead domain's handle stays in [workers] so
+         [shutdown] still joins it (a finished domain joins instantly). *)
+      if not t.stopping then
+        t.workers <- Domain.spawn (fun () -> worker_loop t) :: t.workers
+    end;
     Mutex.unlock t.m;
-    worker_loop t
+    if not died then worker_loop t
   end
+
+let lose_current_worker (t : t) =
+  if t.domains = 0 then begin
+    (* A sequential pool has no worker domain to kill; the loss is absorbed
+       as an instantaneous restart so the counters still tell the story. *)
+    Mutex.lock t.m;
+    t.restarts <- t.restarts + 1;
+    Mutex.unlock t.m
+  end
+  else Domain.DLS.get lost_flag := true
 
 let create ?domains () =
   let domains = match domains with Some d -> Stdlib.max 0 d | None -> default_size () in
@@ -56,6 +86,7 @@ let create ?domains () =
       domains;
       jobs_completed = 0;
       busy_s = 0.;
+      restarts = 0;
       created_at = Unix.gettimeofday ();
     }
   in
@@ -114,8 +145,15 @@ let map (t : t) f xs =
             (match stolen with
             | Some job ->
                 job ();
+                (* The caller domain cannot be killed — it owns the map. A
+                   loss signalled from a stolen job is absorbed as an
+                   instant restart, mirroring the sequential pool. *)
+                let lost = Domain.DLS.get lost_flag in
+                let died = !lost in
+                lost := false;
                 Mutex.lock t.m;
                 t.jobs_completed <- t.jobs_completed + 1;
+                if died then t.restarts <- t.restarts + 1;
                 Mutex.unlock t.m
             | None ->
                 Mutex.lock done_m;
@@ -141,6 +179,7 @@ let stats (t : t) =
       jobs_completed = t.jobs_completed;
       busy_s = t.busy_s;
       wall_s = Unix.gettimeofday () -. t.created_at;
+      restarts = t.restarts;
     }
   in
   Mutex.unlock t.m;

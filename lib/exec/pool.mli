@@ -37,6 +37,16 @@ val map_seq : ('a -> 'b) -> 'a list -> 'b list
 (** [List.map] with the same exception behavior as {!map}; the reference
     implementation parallel runs must match bit-for-bit. *)
 
+val lose_current_worker : t -> unit
+(** Simulate the loss of the worker domain executing the current job (the
+    {!Supervisor}'s chaos hook). After the job settles, the flagged domain
+    exits its loop and a replacement is spawned in its place — a real
+    domain restart, counted in {!stats}. When the job ran on the calling
+    domain (a stolen job, or a sequential pool) the loss is absorbed as an
+    instantaneous restart: the caller owns the map and cannot die. Result
+    ordering and values are unaffected — only scheduling and the restart
+    counter observe the loss. *)
+
 (** {2 Utilization statistics} *)
 
 type stats = {
@@ -44,6 +54,8 @@ type stats = {
   jobs_completed : int;  (** Jobs finished since creation (all maps). *)
   busy_s : float;  (** Summed per-worker seconds spent inside jobs. *)
   wall_s : float;  (** Seconds since the pool was created. *)
+  restarts : int;
+      (** Worker domains lost and replaced ({!lose_current_worker}). *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,131 @@
+type 'b outcome =
+  | Completed of 'b
+  | Abandoned of { attempts : int; reason : string }
+
+let completed = function Completed v -> Some v | Abandoned _ -> None
+let abandoned = function Completed _ -> false | Abandoned _ -> true
+
+type policy = { max_attempts : int }
+
+let default_policy = { max_attempts = 4 }
+
+type plan = index:int -> attempt:int -> bool
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide counters (same discipline as Resilience.Stats: global   *)
+(* atomics that aggregate across every supervised map and every worker  *)
+(* domain; they feed the bench report and never influence control flow) *)
+(* ------------------------------------------------------------------ *)
+
+type counters = {
+  dispatched : int;
+  completed : int;
+  losses : int;
+  requeues : int;
+  task_exceptions : int;
+  abandoned : int;
+}
+
+let zero =
+  {
+    dispatched = 0;
+    completed = 0;
+    losses = 0;
+    requeues = 0;
+    task_exceptions = 0;
+    abandoned = 0;
+  }
+
+let c_dispatched = Atomic.make 0
+let c_completed = Atomic.make 0
+let c_losses = Atomic.make 0
+let c_requeues = Atomic.make 0
+let c_exceptions = Atomic.make 0
+let c_abandoned = Atomic.make 0
+
+let stats () =
+  {
+    dispatched = Atomic.get c_dispatched;
+    completed = Atomic.get c_completed;
+    losses = Atomic.get c_losses;
+    requeues = Atomic.get c_requeues;
+    task_exceptions = Atomic.get c_exceptions;
+    abandoned = Atomic.get c_abandoned;
+  }
+
+let diff a b =
+  {
+    dispatched = b.dispatched - a.dispatched;
+    completed = b.completed - a.completed;
+    losses = b.losses - a.losses;
+    requeues = b.requeues - a.requeues;
+    task_exceptions = b.task_exceptions - a.task_exceptions;
+    abandoned = b.abandoned - a.abandoned;
+  }
+
+let reset () =
+  List.iter
+    (fun c -> Atomic.set c 0)
+    [ c_dispatched; c_completed; c_losses; c_requeues; c_exceptions; c_abandoned ]
+
+(* ------------------------------------------------------------------ *)
+(* The supervision loop                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One task under the exception/chaos boundary. Attempts are numbered from
+   1. A drawn worker-domain loss burns the attempt without running the task
+   (the dispatch died with its domain) and — when a pool is present —
+   actually kills the worker via [Pool.lose_current_worker]; the retry is
+   what the replacement domain picks up. A task exception burns the attempt
+   too. Either way the task is re-dispatched until the budget is spent,
+   then recorded as [Abandoned] instead of re-raised. *)
+let run_one ?pool ?plan ?(policy = default_policy) ~index f =
+  let budget = Stdlib.max 1 policy.max_attempts in
+  let rec go attempt =
+    Atomic.incr c_dispatched;
+    let lost = match plan with Some p -> p ~index ~attempt | None -> false in
+    if lost then begin
+      Atomic.incr c_losses;
+      (match pool with Some p -> Pool.lose_current_worker p | None -> ());
+      if attempt >= budget then begin
+        Atomic.incr c_abandoned;
+        Abandoned
+          {
+            attempts = attempt;
+            reason =
+              Printf.sprintf "worker domain lost on every dispatch (%d attempts)"
+                attempt;
+          }
+      end
+      else begin
+        Atomic.incr c_requeues;
+        go (attempt + 1)
+      end
+    end
+    else
+      match f () with
+      | v ->
+          Atomic.incr c_completed;
+          Completed v
+      | exception e ->
+          Atomic.incr c_exceptions;
+          if attempt >= budget then begin
+            Atomic.incr c_abandoned;
+            Abandoned { attempts = attempt; reason = Printexc.to_string e }
+          end
+          else begin
+            Atomic.incr c_requeues;
+            go (attempt + 1)
+          end
+  in
+  go 1
+
+let map ?pool ?plan ?policy ?index_of f xs =
+  let task i x =
+    let index = match index_of with Some g -> g x | None -> i in
+    run_one ?pool ?plan ?policy ~index (fun () -> f x)
+  in
+  let indexed = List.mapi (fun i x -> (i, x)) xs in
+  match pool with
+  | Some p -> Pool.map p (fun (i, x) -> task i x) indexed
+  | None -> Pool.map_seq (fun (i, x) -> task i x) indexed

@@ -1,7 +1,44 @@
 let seeds ~base ~n = List.init n (fun i -> base + i)
 
-let run_seeds ?pool ~seeds f =
-  match pool with None -> Pool.map_seq f seeds | Some p -> Pool.map p f seeds
+type 'a journal = {
+  ck : Checkpoint.t;
+  encode : 'a -> Netcore.Json.t;
+  decode : Netcore.Json.t -> 'a option;
+  resumed : (int * Netcore.Json.t) list;
+}
+
+let journal ?(resume = false) ~path ~encode ~decode () =
+  let resumed = if resume then Checkpoint.load path else [] in
+  { ck = Checkpoint.open_ ~truncate:(not resume) path; encode; decode; resumed }
+
+let journaled_seeds j = List.map fst j.resumed
+let journal_close j = Checkpoint.close j.ck
+
+let run_seeds ?pool ?journal ~seeds f =
+  match journal with
+  | None -> (
+      match pool with None -> Pool.map_seq f seeds | Some p -> Pool.map p f seeds)
+  | Some j ->
+      (* Replayed seeds are decoded from their journal line instead of
+         re-run; a line that no longer decodes (stale codec) falls through
+         to a fresh run. Fresh runs journal their line (mutex-guarded,
+         fsync'd) the moment they complete, so an interrupt loses only the
+         runs still in flight. The result list is in seed order either
+         way, identical to the unjournaled sweep. *)
+      let run seed =
+        let cached =
+          Option.bind (List.assoc_opt seed j.resumed) (fun json -> j.decode json)
+        in
+        match cached with
+        | Some v -> v
+        | None ->
+            let v = f seed in
+            Checkpoint.record j.ck ~seed (j.encode v);
+            v
+      in
+      (match pool with
+      | None -> Pool.map_seq run seeds
+      | Some p -> Pool.map p run seeds)
 
 let timed f =
   let t0 = Unix.gettimeofday () in

@@ -1,19 +1,50 @@
-(** Fan seeded runs across a {!Pool}.
+(** Fan seeded runs across a {!Pool}, optionally checkpointed to a journal.
 
     The paper's headline numbers are means over 10–30 seeded VPP runs, and
     every run is independent given its seed, so the sweep is embarrassingly
     parallel (the same observation Lightyear makes for per-router checks).
     [run_seeds] keeps the sequential semantics — results come back in seed
     order, and a deterministic run function yields bit-identical output
-    with or without a pool. *)
+    with or without a pool, with or without a journal. *)
 
 val seeds : base:int -> n:int -> int list
 (** [\[base; base + 1; ...; base + n - 1\]] — the seed convention used by
     the bench harness and {!Cosynth.Metrics}. *)
 
-val run_seeds : ?pool:Pool.t -> seeds:int list -> (int -> 'a) -> 'a list
+(** {2 Checkpoint journal}
+
+    A sweep given a journal records each completed seed as one fsync'd
+    line ({!Checkpoint}); a sweep resumed from that journal decodes the
+    recorded seeds instead of re-running them and reproduces the identical
+    final result list from the mix of journaled and fresh runs. *)
+
+type 'a journal
+
+val journal :
+  ?resume:bool ->
+  path:string ->
+  encode:('a -> Netcore.Json.t) ->
+  decode:(Netcore.Json.t -> 'a option) ->
+  unit ->
+  'a journal
+(** Open a journal at [path]. Without [~resume:true] any existing file is
+    truncated (a fresh sweep); with it, previously recorded seeds are
+    loaded for replay and new completions are appended. [decode] returning
+    [None] (stale codec, hand-edited file) falls back to re-running that
+    seed. *)
+
+val journaled_seeds : 'a journal -> int list
+(** Seeds already recorded, in first-completion order. *)
+
+val journal_close : 'a journal -> unit
+
+val run_seeds :
+  ?pool:Pool.t -> ?journal:'a journal -> seeds:int list -> (int -> 'a) -> 'a list
 (** [run_seeds ~seeds f] maps [f] over [seeds], on [pool] when given and
-    sequentially otherwise, returning results in seed order. *)
+    sequentially otherwise, returning results in seed order. With
+    [?journal], seeds present in the journal are decoded instead of run,
+    and every fresh completion is durably recorded before the sweep
+    returns. *)
 
 val timed : (unit -> 'a) -> 'a * float
 (** Result and wall-clock seconds. *)

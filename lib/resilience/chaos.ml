@@ -4,25 +4,38 @@ type config = {
   timeout_rate : float;
   flake_rate : float;
   truncate_rate : float;
+  worker_loss_rate : float;
 }
 
 let none =
-  { seed = 0; crash_rate = 0.; timeout_rate = 0.; flake_rate = 0.; truncate_rate = 0. }
+  {
+    seed = 0;
+    crash_rate = 0.;
+    timeout_rate = 0.;
+    flake_rate = 0.;
+    truncate_rate = 0.;
+    worker_loss_rate = 0.;
+  }
 
 let clamp r = Float.min 1. (Float.max 0. r)
 
 let make ?(crash_rate = 0.) ?(timeout_rate = 0.) ?(flake_rate = 0.) ?(truncate_rate = 0.)
-    ~seed () =
+    ?(worker_loss_rate = 0.) ~seed () =
   {
     seed;
     crash_rate = clamp crash_rate;
     timeout_rate = clamp timeout_rate;
     flake_rate = clamp flake_rate;
     truncate_rate = clamp truncate_rate;
+    worker_loss_rate = clamp worker_loss_rate;
   }
 
-let is_none c =
+(* The verifier-level rates, which gate [arm]: a worker-loss-only config
+   must leave every verifier on its fast [Ok (oracle input)] path. *)
+let verifier_rates_zero c =
   c.crash_rate = 0. && c.timeout_rate = 0. && c.flake_rate = 0. && c.truncate_rate = 0.
+
+let is_none c = verifier_rates_zero c && c.worker_loss_rate = 0.
 
 let describe c =
   if is_none c then "no faults"
@@ -35,6 +48,7 @@ let describe c =
           ("timeout", c.timeout_rate);
           ("flake", c.flake_rate);
           ("truncate", c.truncate_rate);
+          ("worker-loss", c.worker_loss_rate);
         ]
     in
     Printf.sprintf "%s (seed %d)" (String.concat ", " parts) c.seed
@@ -53,7 +67,7 @@ let stream_seed c ~salt kind =
   c.seed + (salt * 1_000_003) + ((Verifier.kind_index kind + 1) * 7_368_787)
 
 let arm c ~salt ~clock v =
-  if is_none c then ()
+  if verifier_rates_zero c then ()
   else begin
     let rng = Llmsim.Rng.make (stream_seed c ~salt (Verifier.kind v)) in
     let down_until = ref 0 in
@@ -74,3 +88,19 @@ let arm c ~salt ~clock v =
         else if Llmsim.Rng.bernoulli rng c.truncate_rate then Error Verifier.Truncated
         else Ok (Verifier.oracle v input))
   end
+
+(* Worker losses must be drawn order-independently: the supervisor consults
+   the plan from whatever domain dispatches the task, so a sequential
+   stream would make the schedule depend on pool scheduling. Instead every
+   (task index, attempt) pair seeds its own one-draw splitmix64 stream,
+   disjoint from the verifier and jitter streams by its own pair of large
+   odd multipliers. *)
+let worker_plan c ~salt : Exec.Supervisor.plan =
+ fun ~index ~attempt ->
+  c.worker_loss_rate > 0.
+  &&
+  let rng =
+    Llmsim.Rng.make
+      (c.seed + (salt * 1_000_003) + (index * 9_368_843) + (attempt * 5_754_853))
+  in
+  Llmsim.Rng.bernoulli rng c.worker_loss_rate

@@ -15,7 +15,13 @@
     - {b truncate}: the response arrives truncated and is discarded (a
       truncated findings list must never read as a clean pass).
 
-    With every rate at 0 ({!is_none}) arming is a no-op: the verifier keeps
+    A fifth rate lives one level up from the verifiers: {b worker loss}
+    kills the pool domain dispatching a task (see
+    {!Exec.Supervisor} and {!worker_plan}) rather than failing a verifier
+    call. It never installs anything on a verifier, so a worker-loss-only
+    configuration keeps every verifier on its fast path.
+
+    With every verifier rate at 0 arming is a no-op: the verifier keeps
     its fast [Ok (oracle input)] path and draws nothing. *)
 
 type config = {
@@ -24,6 +30,8 @@ type config = {
   timeout_rate : float;
   flake_rate : float;
   truncate_rate : float;
+  worker_loss_rate : float;
+      (** Per-dispatch probability that the worker domain dies ({!worker_plan}). *)
 }
 
 val none : config
@@ -34,19 +42,31 @@ val make :
   ?timeout_rate:float ->
   ?flake_rate:float ->
   ?truncate_rate:float ->
+  ?worker_loss_rate:float ->
   seed:int ->
   unit ->
   config
 (** Rates default to 0 and are clamped to [0, 1]. *)
 
 val is_none : config -> bool
+(** Every rate is 0, worker loss included. *)
 
 val describe : config -> string
 (** E.g. ["crash 0.10, timeout 0.05 (seed 7)"]; ["no faults"] for {!none}. *)
 
 val arm : config -> salt:int -> clock:Clock.t -> ('i, 'o) Verifier.t -> unit
 (** Install the fault schedule for this configuration on the verifier,
-    timing outages and timeouts against [clock]. No-op when {!is_none}. *)
+    timing outages and timeouts against [clock]. No-op when every verifier
+    rate is 0 (the worker-loss rate does not count: it is not a verifier
+    fault). *)
+
+val worker_plan : config -> salt:int -> Exec.Supervisor.plan
+(** The worker-domain-loss schedule for {!Exec.Supervisor}: a pure,
+    order-independent plan drawing each [(index, attempt)] decision from
+    its own stream seeded by [(seed, salt, index, attempt)] — so the
+    schedule is identical however the pool interleaves tasks, and a
+    resumed sweep re-draws the same fate for the seeds it re-runs.
+    Always [false] when [worker_loss_rate = 0]. *)
 
 val timeout_ticks : int
 (** Ticks an injected timeout burns (also the cost reported in

@@ -1,16 +1,28 @@
 type config = {
   chaos : Chaos.config;
-  retry : Retry.policy;
-  breaker : Breaker.policy;
+  policies : Policies.table;
   round_budget : int;
 }
 
 let default_config =
-  { chaos = Chaos.none; retry = Retry.default; breaker = Breaker.default; round_budget = 64 }
+  { chaos = Chaos.none; policies = Policies.for_kind; round_budget = 64 }
 
-let config ?(chaos = Chaos.none) ?(retry = Retry.default) ?(breaker = Breaker.default)
+(* [?retry]/[?breaker] keep their historical "one knob for every verifier"
+   meaning: either override flattens that dimension of the table. *)
+let config ?(chaos = Chaos.none) ?(policies = Policies.for_kind) ?retry ?breaker
     ?(round_budget = 64) () =
-  { chaos; retry; breaker; round_budget }
+  let policies =
+    match (retry, breaker) with
+    | None, None -> policies
+    | _ ->
+        fun kind ->
+          let p = policies kind in
+          {
+            Policies.retry = Option.value retry ~default:p.Policies.retry;
+            breaker = Option.value breaker ~default:p.Policies.breaker;
+          }
+  in
+  { chaos; policies; round_budget }
 
 type t = {
   cfg : config;
@@ -31,7 +43,8 @@ let create ?(salt = 0) cfg =
        start at 1 * 7_368_787). *)
     jitter_rng = Llmsim.Rng.make (cfg.chaos.Chaos.seed + (salt * 1_000_003) + 97);
     breakers =
-      Array.init (List.length Verifier.all_kinds) (fun _ -> Breaker.create cfg.breaker);
+      (let kinds = Array.of_list Verifier.all_kinds in
+       Array.map (fun k -> Breaker.create (cfg.policies k).Policies.breaker) kinds);
     round_deadline = Clock.now clock + cfg.round_budget;
   }
 
@@ -64,6 +77,7 @@ let call t v input =
               (Breaker.cooldown_left b ~now:(Clock.now t.clock));
         }
   | `Proceed ->
+      let retry = (t.cfg.policies kind).Policies.retry in
       let rec attempt failures =
         Stats.record_attempt kind;
         if failures > 0 then Stats.record_retry kind;
@@ -71,6 +85,7 @@ let call t v input =
         match Verifier.run v input with
         | Ok o ->
             Breaker.record_success b;
+            Stats.record_call_attempts kind (failures + 1);
             Ok o
         | Error f ->
             Stats.record_failure kind;
@@ -79,9 +94,10 @@ let call t v input =
             let failures = failures + 1 in
             let give_up reason =
               Stats.record_degraded kind;
+              Stats.record_call_attempts kind failures;
               Error { kind; reason }
             in
-            if failures >= t.cfg.retry.Retry.max_attempts then
+            if failures >= retry.Retry.max_attempts then
               give_up
                 (Printf.sprintf "%s; %d attempts exhausted"
                    (Verifier.failure_to_string f) failures)
@@ -96,7 +112,7 @@ let call t v input =
                     (Printf.sprintf "%s; breaker tripped after %d attempts"
                        (Verifier.failure_to_string f) failures)
               | `Proceed ->
-                  Clock.advance t.clock (Retry.backoff t.cfg.retry t.jitter_rng ~failures);
+                  Clock.advance t.clock (Retry.backoff retry t.jitter_rng ~failures);
                   attempt failures
             end
       in

@@ -10,8 +10,9 @@
 
 type config = {
   chaos : Chaos.config;
-  retry : Retry.policy;
-  breaker : Breaker.policy;
+  policies : Policies.table;
+      (** Per-verifier-kind retry and breaker knobs; breakers are
+          instantiated from this table at context creation. *)
   round_budget : int;
       (** Tick deadline per VPP round: once a round has burned this many
           ticks (calls, timeouts, backoff), further retries are abandoned
@@ -19,16 +20,21 @@ type config = {
 }
 
 val default_config : config
-(** No chaos, {!Retry.default}, {!Breaker.default}, round budget 64. With
-    this config every {!call} is exactly [Ok (oracle input)]. *)
+(** No chaos, {!Policies.for_kind} (the expensive BGP sim gets fewer
+    retries and a slower breaker than the cheap parse check), round budget
+    64. With this config every {!call} is exactly [Ok (oracle input)]. *)
 
 val config :
   ?chaos:Chaos.config ->
+  ?policies:Policies.table ->
   ?retry:Retry.policy ->
   ?breaker:Breaker.policy ->
   ?round_budget:int ->
   unit ->
   config
+(** [?policies] defaults to {!Policies.for_kind}. [?retry]/[?breaker] keep
+    their historical uniform meaning: either one overrides that dimension
+    of the table for {e every} kind. *)
 
 type t
 

@@ -4,9 +4,18 @@ type counters = {
   failures : int;
   breaker_trips : int;
   degraded : int;
+  max_attempts : int;
 }
 
-let zero = { attempts = 0; retries = 0; failures = 0; breaker_trips = 0; degraded = 0 }
+let zero =
+  {
+    attempts = 0;
+    retries = 0;
+    failures = 0;
+    breaker_trips = 0;
+    degraded = 0;
+    max_attempts = 0;
+  }
 
 let add a b =
   {
@@ -15,6 +24,7 @@ let add a b =
     failures = a.failures + b.failures;
     breaker_trips = a.breaker_trips + b.breaker_trips;
     degraded = a.degraded + b.degraded;
+    max_attempts = Stdlib.max a.max_attempts b.max_attempts;
   }
 
 let n_kinds = List.length Verifier.all_kinds
@@ -24,6 +34,7 @@ let retries = cell ()
 let failures = cell ()
 let trips = cell ()
 let degraded = cell ()
+let max_att = cell ()
 
 let bump arr kind = Atomic.incr arr.(Verifier.kind_index kind)
 
@@ -33,6 +44,17 @@ let record_failure = bump failures
 let record_trip = bump trips
 let record_degraded = bump degraded
 
+(* A high-water gauge, not a counter: the deepest single call (in attempts)
+   seen for this kind since the last [reset]. CAS max keeps it exact under
+   parallel sweeps. *)
+let record_call_attempts kind n =
+  let a = max_att.(Verifier.kind_index kind) in
+  let rec update () =
+    let cur = Atomic.get a in
+    if n > cur && not (Atomic.compare_and_set a cur n) then update ()
+  in
+  update ()
+
 let read kind =
   let i = Verifier.kind_index kind in
   {
@@ -41,6 +63,7 @@ let read kind =
     failures = Atomic.get failures.(i);
     breaker_trips = Atomic.get trips.(i);
     degraded = Atomic.get degraded.(i);
+    max_attempts = Atomic.get max_att.(i);
   }
 
 let snapshot () = List.map (fun k -> (k, read k)) Verifier.all_kinds
@@ -59,10 +82,13 @@ let diff before after =
           failures = a.failures - b.failures;
           breaker_trips = a.breaker_trips - b.breaker_trips;
           degraded = a.degraded - b.degraded;
+          (* A gauge cannot be differenced; the section's high-water mark
+             is the global one whenever the section recorded anything. *)
+          max_attempts = (if a.attempts > b.attempts then a.max_attempts else 0);
         } ))
     after
 
 let reset () =
   List.iter
     (fun arr -> Array.iter (fun a -> Atomic.set a 0) arr)
-    [ attempts; retries; failures; trips; degraded ]
+    [ attempts; retries; failures; trips; degraded; max_att ]

@@ -12,6 +12,12 @@ type counters = {
   failures : int;  (** Failed attempts (injected or short-circuited). *)
   breaker_trips : int;  (** Transitions to the open state. *)
   degraded : int;  (** Calls that gave up and degraded to the human path. *)
+  max_attempts : int;
+      (** High-water gauge: the deepest single call, in attempts, since the
+          last {!reset} — the observable face of the per-kind retry caps
+          ({!Policies}). [add] and {!diff} treat it as a gauge: [add] takes
+          the max, [diff] reports the section's mark (the global mark when
+          the section recorded any attempt, 0 otherwise). *)
 }
 
 val zero : counters
@@ -22,6 +28,9 @@ val record_retry : Verifier.kind -> unit
 val record_failure : Verifier.kind -> unit
 val record_trip : Verifier.kind -> unit
 val record_degraded : Verifier.kind -> unit
+
+val record_call_attempts : Verifier.kind -> int -> unit
+(** Record that one {!Runtime.call} used this many attempts (CAS max). *)
 
 val snapshot : unit -> (Verifier.kind * counters) list
 (** One row per kind, in {!Verifier.all_kinds} order. *)

@@ -180,6 +180,214 @@ let test_memo_thread_safe () =
         (diags = snd (Batfish.Parse_check.check d t)))
     results
 
+let test_memo_scope () =
+  Exec.Memo.reset ();
+  let corpus = draft_corpus () in
+  List.iter (fun (d, t) -> ignore (Exec.Memo.check d t)) corpus;
+  (* A scope opened now must see only what happens after it — the warm
+     cache turns the replay into pure hits. *)
+  let sc = Exec.Memo.scope () in
+  List.iter (fun (d, t) -> ignore (Exec.Memo.check d t)) corpus;
+  let s = Exec.Memo.scope_stats sc in
+  check int_t "scope sees only its own hits" (List.length corpus) s.Exec.Memo.hits;
+  check int_t "scope sees no earlier misses" 0 s.Exec.Memo.misses;
+  (* reset_stats zeroes the counters but keeps the table warm. *)
+  Exec.Memo.reset_stats ();
+  let s0 = Exec.Memo.stats () in
+  check int_t "counters zeroed" 0 (s0.Exec.Memo.hits + s0.Exec.Memo.misses);
+  check bool_t "entries survive" true (s0.Exec.Memo.entries > 0);
+  ignore (Exec.Memo.check (fst (List.hd corpus)) (snd (List.hd corpus)));
+  check int_t "warm table still hits" 1 (Exec.Memo.stats ()).Exec.Memo.hits
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor: the exception/chaos boundary                            *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_t =
+  Alcotest.testable
+    (fun ppf (o : int Exec.Supervisor.outcome) ->
+      match o with
+      | Exec.Supervisor.Completed v -> Format.fprintf ppf "Completed %d" v
+      | Exec.Supervisor.Abandoned { attempts; reason } ->
+          Format.fprintf ppf "Abandoned (%d, %s)" attempts reason)
+    ( = )
+
+let test_supervisor_rate0_identity () =
+  let xs = List.init 40 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let expected = List.map (fun x -> Exec.Supervisor.Completed (f x)) xs in
+  check (Alcotest.list outcome_t) "no plan, sequential" expected
+    (Exec.Supervisor.map f xs);
+  check (Alcotest.list outcome_t) "no plan, pooled" expected
+    (Exec.Supervisor.map ~pool f xs);
+  (* A rate-0 plan draws and never loses. *)
+  let plan = Resilience.Chaos.worker_plan (Resilience.Chaos.make ~seed:9 ()) ~salt:0 in
+  check (Alcotest.list outcome_t) "rate-0 plan, pooled" expected
+    (Exec.Supervisor.map ~pool ~plan f xs)
+
+let test_supervisor_exception_boundary () =
+  let policy = { Exec.Supervisor.max_attempts = 3 } in
+  let out =
+    Exec.Supervisor.map ~pool ~policy
+      (fun x -> if x = 2 then raise (Boom x) else x * 10)
+      [ 0; 1; 2; 3 ]
+  in
+  (* The poisoned task is data, not a sweep-killing exception, and the
+     other results are all present and ordered. *)
+  check (Alcotest.list int_t) "survivors intact in order" [ 0; 10; 30 ]
+    (List.filter_map Exec.Supervisor.completed out);
+  match List.nth out 2 with
+  | Exec.Supervisor.Abandoned { attempts; reason } ->
+      check int_t "budget spent" 3 attempts;
+      check bool_t "reason carries the exception" true
+        (String.length reason > 0)
+  | Exec.Supervisor.Completed _ -> Alcotest.fail "task 2 must be abandoned"
+
+let test_supervisor_abandonment_deterministic () =
+  (* An always-lose plan abandons everything with the full budget spent,
+     and the losses never raise even without a pool. *)
+  let plan ~index:_ ~attempt:_ = true in
+  let out = Exec.Supervisor.map ~plan (fun x -> x) [ 1; 2; 3 ] in
+  check int_t "all abandoned" 3
+    (List.length (List.filter Exec.Supervisor.abandoned out));
+  List.iter
+    (function
+      | Exec.Supervisor.Abandoned { attempts; _ } ->
+          check int_t "default budget" 4 attempts
+      | Exec.Supervisor.Completed _ -> Alcotest.fail "impossible")
+    out;
+  (* The seeded plan is a pure function of (index, attempt): two sweeps
+     over the same indices draw identical schedules, pooled or not. *)
+  let chaos = Resilience.Chaos.make ~worker_loss_rate:0.5 ~seed:77 () in
+  let plan = Resilience.Chaos.worker_plan chaos ~salt:0 in
+  let xs = List.init 30 (fun i -> 500 + i) in
+  let a = Exec.Supervisor.map ~plan ~index_of:(fun x -> x) (fun x -> x) xs in
+  let b = Exec.Supervisor.map ~pool ~plan ~index_of:(fun x -> x) (fun x -> x) xs in
+  check (Alcotest.list outcome_t) "pooled == sequential under losses" a b;
+  check bool_t "a 0.5 loss rate actually loses something" true
+    (List.exists Exec.Supervisor.abandoned a
+    || List.length (List.filter_map Exec.Supervisor.completed a) < List.length xs
+    || (Exec.Supervisor.stats ()).Exec.Supervisor.losses > 0)
+
+let test_supervisor_restarts_worker () =
+  (* A private pool so the restart counter is ours alone. Losses on worker
+     domains really kill them; the pool replaces each one and the map
+     still returns every result in order. *)
+  let p = Exec.Pool.create ~domains:2 () in
+  let plan ~index ~attempt = index mod 3 = 0 && attempt = 1 in
+  let xs = List.init 12 (fun i -> i) in
+  let out = Exec.Supervisor.map ~pool:p ~plan (fun x -> x * 2) xs in
+  check (Alcotest.list int_t) "all complete despite losses"
+    (List.map (fun x -> x * 2) xs)
+    (List.filter_map Exec.Supervisor.completed out);
+  let s = Exec.Pool.stats p in
+  check bool_t "worker domains were restarted" true (s.Exec.Pool.restarts > 0);
+  (* The pool still works after the restarts. *)
+  check (Alcotest.list int_t) "pool alive after restarts" [ 2; 3 ]
+    (Exec.Pool.map p (fun x -> x + 1) [ 1; 2 ]);
+  Exec.Pool.shutdown p
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint journal + resumable sweeps                               *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp f =
+  let path = Filename.temp_file "cosynth_test_" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_checkpoint_roundtrip () =
+  with_temp (fun path ->
+      let ck = Exec.Checkpoint.open_ ~truncate:true path in
+      Exec.Checkpoint.record ck ~seed:7 (Netcore.Json.Int 70);
+      Exec.Checkpoint.record ck ~seed:9 (Netcore.Json.String "ninety");
+      (* A later record for the same seed supersedes the earlier one. *)
+      Exec.Checkpoint.record ck ~seed:7 (Netcore.Json.Int 71);
+      Exec.Checkpoint.close ck;
+      let entries = Exec.Checkpoint.load path in
+      check int_t "two distinct seeds" 2 (List.length entries);
+      check bool_t "latest record wins" true
+        (List.assoc 7 entries = Netcore.Json.Int 71);
+      check bool_t "other seed intact" true
+        (List.assoc 9 entries = Netcore.Json.String "ninety"))
+
+let test_checkpoint_partial_line_tolerated () =
+  with_temp (fun path ->
+      let ck = Exec.Checkpoint.open_ ~truncate:true path in
+      Exec.Checkpoint.record ck ~seed:1 (Netcore.Json.Int 10);
+      Exec.Checkpoint.record ck ~seed:2 (Netcore.Json.Int 20);
+      Exec.Checkpoint.close ck;
+      (* Simulate a crash mid-write: a truncated trailing line. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{\"seed\":3,\"summ";
+      close_out oc;
+      let entries = Exec.Checkpoint.load path in
+      check int_t "whole lines survive" 2 (List.length entries);
+      check bool_t "no seed 3" true (not (List.mem_assoc 3 entries));
+      check bool_t "missing file is empty" true
+        (Exec.Checkpoint.load (path ^ ".does-not-exist") = []))
+
+let test_sweep_journal_resume () =
+  with_temp (fun path ->
+      let encode v = Netcore.Json.Int v in
+      let decode = Netcore.Json.to_int in
+      let seeds = Exec.Sweep.seeds ~base:40 ~n:8 in
+      let calls = ref [] in
+      let f seed =
+        calls := seed :: !calls;
+        seed * 3
+      in
+      let expected = List.map (fun s -> s * 3) seeds in
+      (* First (interrupted) sweep: only half the seeds run. *)
+      let j1 = Exec.Sweep.journal ~path ~encode ~decode () in
+      let half = List.filteri (fun i _ -> i < 4) seeds in
+      check (Alcotest.list int_t) "first half computed"
+        (List.filteri (fun i _ -> i < 4) expected)
+        (Exec.Sweep.run_seeds ~journal:j1 ~seeds:half f);
+      Exec.Sweep.journal_close j1;
+      (* Resume: journaled seeds are decoded, not re-run; the final list is
+         identical to an uninterrupted sweep. *)
+      calls := [];
+      let j2 = Exec.Sweep.journal ~resume:true ~path ~encode ~decode () in
+      check (Alcotest.list int_t) "journaled seeds loaded" half
+        (Exec.Sweep.journaled_seeds j2);
+      check (Alcotest.list int_t) "resumed results identical" expected
+        (Exec.Sweep.run_seeds ~journal:j2 ~seeds f);
+      Exec.Sweep.journal_close j2;
+      check (Alcotest.list int_t) "only fresh seeds re-ran"
+        (List.filteri (fun i _ -> i >= 4) seeds)
+        (List.rev !calls);
+      (* Opening without resume truncates: a fresh sweep re-runs everything. *)
+      calls := [];
+      let j3 = Exec.Sweep.journal ~path ~encode ~decode () in
+      check (Alcotest.list int_t) "no seeds replayed after truncate" []
+        (Exec.Sweep.journaled_seeds j3);
+      ignore (Exec.Sweep.run_seeds ~journal:j3 ~seeds f);
+      Exec.Sweep.journal_close j3;
+      check int_t "every seed re-ran" (List.length seeds) (List.length !calls))
+
+let test_sweep_journal_stale_codec () =
+  with_temp (fun path ->
+      (* A journal line the decoder rejects falls back to a fresh run
+         instead of poisoning the sweep. *)
+      let ck = Exec.Checkpoint.open_ ~truncate:true path in
+      Exec.Checkpoint.record ck ~seed:1 (Netcore.Json.String "not an int");
+      Exec.Checkpoint.record ck ~seed:2 (Netcore.Json.Int 222);
+      Exec.Checkpoint.close ck;
+      let j =
+        Exec.Sweep.journal ~resume:true ~path ~encode:(fun v -> Netcore.Json.Int v)
+          ~decode:Netcore.Json.to_int ()
+      in
+      let ran = ref [] in
+      let f seed =
+        ran := seed :: !ran;
+        seed * 111
+      in
+      check (Alcotest.list int_t) "stale entry recomputed, good entry replayed"
+        [ 111; 222 ]
+        (Exec.Sweep.run_seeds ~journal:j ~seeds:[ 1; 2 ] f);
+      Exec.Sweep.journal_close j;
+      check (Alcotest.list int_t) "only the stale seed re-ran" [ 1 ] !ran)
+
 (* ------------------------------------------------------------------ *)
 (* Global phase: hub looked up by name, not by position                *)
 (* ------------------------------------------------------------------ *)
@@ -289,6 +497,26 @@ let () =
           Alcotest.test_case "matches uncached" `Quick test_memo_matches_uncached;
           Alcotest.test_case "hit accounting" `Quick test_memo_hits;
           Alcotest.test_case "thread safe" `Quick test_memo_thread_safe;
+          Alcotest.test_case "scoped stats" `Quick test_memo_scope;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "rate-0 identity" `Quick test_supervisor_rate0_identity;
+          Alcotest.test_case "exception boundary" `Quick
+            test_supervisor_exception_boundary;
+          Alcotest.test_case "deterministic abandonment" `Quick
+            test_supervisor_abandonment_deterministic;
+          Alcotest.test_case "worker domains restart" `Quick
+            test_supervisor_restarts_worker;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip, latest wins" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "partial line tolerated" `Quick
+            test_checkpoint_partial_line_tolerated;
+          Alcotest.test_case "sweep resume" `Quick test_sweep_journal_resume;
+          Alcotest.test_case "stale codec recomputes" `Quick
+            test_sweep_journal_stale_codec;
         ] );
       ( "global-phase",
         [

@@ -210,6 +210,61 @@ let test_runtime_derive_is_independent () =
     (Resilience.Runtime.breaker_state child Resilience.Verifier.Bgp_sim)
 
 (* ------------------------------------------------------------------ *)
+(* Per-verifier policies                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_policies_cost_scaled () =
+  let parse = Resilience.Policies.for_kind Resilience.Verifier.Parse_check in
+  let bgp = Resilience.Policies.for_kind Resilience.Verifier.Bgp_sim in
+  check bool_t "bgp-sim retries strictly fewer than parse-check" true
+    (bgp.Resilience.Policies.retry.Resilience.Retry.max_attempts
+    < parse.Resilience.Policies.retry.Resilience.Retry.max_attempts);
+  check bool_t "bgp-sim breaker trips on a shorter streak" true
+    (bgp.Resilience.Policies.breaker.Resilience.Breaker.failure_threshold
+    < parse.Resilience.Policies.breaker.Resilience.Breaker.failure_threshold);
+  check bool_t "bgp-sim breaker cools down longer" true
+    (bgp.Resilience.Policies.breaker.Resilience.Breaker.cooldown
+    > parse.Resilience.Policies.breaker.Resilience.Breaker.cooldown);
+  List.iter
+    (fun k ->
+      check bool_t "mid-cost kinds keep the default policy" true
+        (Resilience.Policies.for_kind k = Resilience.Policies.default))
+    [
+      Resilience.Verifier.Campion;
+      Resilience.Verifier.Topology;
+      Resilience.Verifier.Route_policies;
+    ];
+  List.iter
+    (fun k ->
+      check bool_t "uniform flattens the table" true
+        (Resilience.Policies.uniform Resilience.Policies.default k
+        = Resilience.Policies.default))
+    Resilience.Verifier.all_kinds
+
+(* A fresh runtime per kind so one kind's tripped breaker cannot leak into
+   the other's attempt count. *)
+let attempts_under_permafail kind =
+  let t = rt () in
+  let v = Resilience.Verifier.wrap kind (fun x -> x) in
+  let calls = ref 0 in
+  Resilience.Verifier.install v (fun _ ->
+      incr calls;
+      Error Resilience.Verifier.Flaked);
+  (match Resilience.Runtime.call t v 0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a permanently failing verifier must degrade");
+  !calls
+
+let test_runtime_honors_per_kind_caps () =
+  check int_t "parse-check exhausts its 4-attempt budget" 4
+    (attempts_under_permafail Resilience.Verifier.Parse_check);
+  check int_t "bgp-sim gives up after 2 attempts" 2
+    (attempts_under_permafail Resilience.Verifier.Bgp_sim);
+  check bool_t "the expensive verifier stops strictly sooner" true
+    (attempts_under_permafail Resilience.Verifier.Bgp_sim
+    < attempts_under_permafail Resilience.Verifier.Parse_check)
+
+(* ------------------------------------------------------------------ *)
 (* Driver: pay-for-what-you-use and chaos determinism                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -391,9 +446,142 @@ let prop_no_transit_terminates_within_budget =
       && t.Cosynth.Driver.auto_prompts = count_origin Cosynth.Driver.Auto t
       && t.Cosynth.Driver.human_prompts = count_origin Cosynth.Driver.Human t)
 
+(* ------------------------------------------------------------------ *)
+(* Property: retry backoff bounds under extreme policies and seeds     *)
+(* ------------------------------------------------------------------ *)
+
+let retry_extreme_gen =
+  let open QCheck2.Gen in
+  let policy =
+    map
+      (fun ((base, cap), jitter_q) ->
+        {
+          Resilience.Retry.max_attempts = 1;
+          base_backoff = base;
+          max_backoff = cap;
+          jitter = float_of_int jitter_q /. 4.;
+        })
+      (tup2 (tup2 (int_range 1 1_000_000) (int_range 1 1_000_000_000)) (int_range 0 16))
+  in
+  tup3 policy (int_range 1 100_000) int
+
+let retry_extreme_print (p, failures, seed) =
+  Printf.sprintf "base %d cap %d jitter %.2f failures %d seed %d"
+    p.Resilience.Retry.base_backoff p.Resilience.Retry.max_backoff
+    p.Resilience.Retry.jitter failures seed
+
+let prop_retry_backoff_bounds_extreme =
+  QCheck2.Test.make
+    ~name:"retry: backoff within [capped, capped + jitter*capped] for any policy"
+    ~count:500 ~print:retry_extreme_print retry_extreme_gen
+    (fun (p, failures, seed) ->
+      let rng = Llmsim.Rng.make seed in
+      (* Mirror of the documented bound: exponential on failures with the
+         shift capped (so huge failure counts cannot overflow), clamped to
+         max_backoff, plus jitter in [0, jitter * capped]. *)
+      let capped =
+        min p.Resilience.Retry.max_backoff
+          (p.Resilience.Retry.base_backoff * (1 lsl min (failures - 1) 20))
+      in
+      let hi =
+        capped
+        + int_of_float (p.Resilience.Retry.jitter *. float_of_int capped)
+      in
+      let b = Resilience.Retry.backoff p rng ~failures in
+      b >= capped && b <= hi)
+
+(* ------------------------------------------------------------------ *)
+(* Property: breaker half-open gating and re-trip timing               *)
+(* ------------------------------------------------------------------ *)
+
+let breaker_ops_gen =
+  let open QCheck2.Gen in
+  let policy =
+    map
+      (fun (th, cd) -> { Resilience.Breaker.failure_threshold = th; cooldown = cd })
+      (tup2 (int_range 1 5) (int_range 1 30))
+  in
+  let op =
+    frequency
+      [
+        (2, map (fun d -> `Advance d) (int_range 0 40));
+        (3, return `Fail);
+        (1, return `Succeed);
+        (3, return `Acquire);
+      ]
+  in
+  tup2 policy (list_size (int_range 1 80) op)
+
+let breaker_ops_print (p, ops) =
+  let op_str = function
+    | `Advance d -> Printf.sprintf "+%d" d
+    | `Fail -> "F"
+    | `Succeed -> "S"
+    | `Acquire -> "A"
+  in
+  Printf.sprintf "threshold %d cooldown %d: %s" p.Resilience.Breaker.failure_threshold
+    p.Resilience.Breaker.cooldown
+    (String.concat " " (List.map op_str ops))
+
+let prop_breaker_half_open_timing =
+  QCheck2.Test.make ~name:"breaker: half-open gating and re-trip timing" ~count:300
+    ~print:breaker_ops_print breaker_ops_gen
+    (fun (policy, ops) ->
+      let module B = Resilience.Breaker in
+      let b = B.create policy in
+      let now = ref 0 in
+      let opened_at = ref 0 in
+      let trips_seen = ref 0 in
+      let ok = ref true in
+      let expect c = if not c then ok := false in
+      List.iter
+        (fun op ->
+          if !ok then
+            match op with
+            | `Advance d -> now := !now + d
+            | `Succeed ->
+                B.record_success b;
+                expect (B.state b = B.Closed);
+                expect (B.cooldown_left b ~now:!now = 0)
+            | `Fail ->
+                let before = B.state b in
+                let tripped = B.record_failure b ~now:!now in
+                if tripped then begin
+                  incr trips_seen;
+                  opened_at := !now
+                end;
+                (* A trip always lands open; a failed half-open trial always
+                   re-trips; failing while already open never re-trips. *)
+                expect ((not tripped) || B.state b = B.Open);
+                expect (before <> B.Half_open || tripped);
+                expect (before <> B.Open || not tripped)
+            | `Acquire -> (
+                let before = B.state b in
+                let r = B.acquire b ~now:!now in
+                match before with
+                | B.Open ->
+                    if !now - !opened_at >= policy.B.cooldown then
+                      (* Cooldown elapsed: exactly one half-open trial. *)
+                      expect (r = `Proceed && B.state b = B.Half_open)
+                    else begin
+                      expect (r = `Reject && B.state b = B.Open);
+                      expect
+                        (B.cooldown_left b ~now:!now
+                        = policy.B.cooldown - (!now - !opened_at))
+                    end
+                | B.Closed | B.Half_open -> expect (r = `Proceed)))
+        ops;
+      expect (Resilience.Breaker.trips b = !trips_seen);
+      !ok)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_translation_terminates_within_budget; prop_no_transit_terminates_within_budget ]
+    [
+      prop_translation_terminates_within_budget;
+      prop_no_transit_terminates_within_budget;
+      prop_retry_backoff_bounds_extreme;
+      prop_breaker_half_open_timing;
+    ]
 
 let () =
   Alcotest.run "resilience"
@@ -425,6 +613,12 @@ let () =
             test_runtime_exhaustion_degrades_and_trips;
           Alcotest.test_case "derived contexts independent" `Quick
             test_runtime_derive_is_independent;
+        ] );
+      ( "policies",
+        [
+          Alcotest.test_case "cost-scaled per-kind knobs" `Quick test_policies_cost_scaled;
+          Alcotest.test_case "runtime honors per-kind caps" `Quick
+            test_runtime_honors_per_kind_caps;
         ] );
       ( "driver",
         [
