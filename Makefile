@@ -1,4 +1,4 @@
-.PHONY: all build test check bench chaos resume-smoke clean
+.PHONY: all build test check bench chaos fuzz resume-smoke clean
 
 all: build
 
@@ -9,8 +9,8 @@ test:
 	dune runtest
 
 # Build + tests + one-seed smoke run of the bench harness (exercises the
-# parallel sweep plumbing end-to-end) + the full-scale chaos sweep (the
-# check alias runs both bench modes).
+# parallel sweep plumbing end-to-end) + the full-scale chaos sweep + a
+# small-budget fuzz pass (the check alias runs all three bench modes).
 check:
 	dune build @check
 
@@ -23,6 +23,14 @@ bench:
 # loss: abandonment, checkpoint/resume, per-verifier policies).
 chaos:
 	dune exec bench/main.exe -- --chaos
+
+# The input-robustness gate: F1 (regression corpus replay, the planted-bug
+# canary, then >= 200 seeded deterministic mutations per dialect through
+# every pipeline stage behind the Guard firewall; exits nonzero on any
+# unguarded escape). COSYNTH_FUZZ_SEEDS / COSYNTH_FUZZ_MUTATIONS scale the
+# budget.
+fuzz:
+	dune exec bench/main.exe -- --fuzz
 
 # Crash/resume end-to-end: run a journaled chaos sweep, kill it halfway
 # via --halt-after (exit 3 is the simulated crash), resume from the

@@ -25,7 +25,63 @@ let correct_junos = Juniper.Translate.of_cisco_ir border_ir
    --smoke — the resilience layer's acceptance gate (`make chaos`). *)
 let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
 let chaos_only = Array.exists (fun a -> a = "--chaos") Sys.argv
+
+(* --fuzz: only the F1 totality-fuzzing gate (`make fuzz`) — corpus replay,
+   the planted-bug canary, then N seeds x M mutations per dialect; exits
+   nonzero on any escape. --smoke shrinks the budget for the check alias. *)
+let fuzz_only = Array.exists (fun a -> a = "--fuzz") Sys.argv
 let runs n = if smoke then 1 else n
+
+(* --journal DIR: checkpoint every seeded sweep (L1/L2/C1) to one journal
+   file per sweep under DIR; --resume replays the recorded seeds instead of
+   re-running them. Journal notices go to stderr so a resumed run's stdout
+   stays comparable to an uninterrupted one. *)
+let journal_dir =
+  let rec find = function
+    | "--journal" :: dir :: _ -> Some dir
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+let resume = Array.exists (fun a -> a = "--resume") Sys.argv
+
+let () =
+  if resume && journal_dir = None then begin
+    Printf.eprintf "error: --resume requires --journal DIR\n%!";
+    exit 2
+  end;
+  match journal_dir with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | _ -> ()
+
+(* One journal per sweep, named for the table cell that owns it. *)
+let journal_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '-')
+    name
+
+let open_journal dir name ~encode ~decode =
+  let safe = journal_name name in
+  let j =
+    Exec.Sweep.journal ~resume
+      ~path:(Filename.concat dir (safe ^ ".jsonl"))
+      ~encode ~decode ()
+  in
+  (match Exec.Sweep.journaled_seeds j with
+  | [] -> ()
+  | done_ ->
+      Printf.eprintf "journal: %s: resuming %d completed seed(s)\n%!" safe
+        (List.length done_));
+  j
+
+let transcript_journal dir name =
+  open_journal dir name ~encode:Cosynth.Driver.transcript_to_json
+    ~decode:(fun json ->
+      try Some (Cosynth.Driver.transcript_of_json json) with _ -> None)
 
 (* One worker pool for the whole harness; size comes from COSYNTH_POOL_SIZE
    or the machine (Exec.Pool.default_size). *)
@@ -38,42 +94,71 @@ let print_perf label (p : Cosynth.Metrics.perf) =
   Printf.printf "  %-11s %s\n" label
     (Format.asprintf "%a" Cosynth.Metrics.pp_perf p)
 
+type sweep_report =
+  | Two_pass of {
+      identical : bool;
+      seq_perf : Cosynth.Metrics.perf;
+      par_perf : Cosynth.Metrics.perf;
+    }
+  | Journaled of { replayed : int; fresh : int; perf : Cosynth.Metrics.perf }
+
 (* Run a seeded sweep twice — sequentially and on the pool — check the
    transcripts are byte-identical (determinism is the acceptance bar), and
    report both timings. The memo cache is cleared before each pass so the
-   hit rates and wall clocks are comparable. *)
-let determinism_sweep ~seeds ~transcript_of run =
-  Exec.Memo.reset ();
-  let seq, seq_perf =
-    Cosynth.Metrics.measure (fun () ->
-        Exec.Sweep.run_seeds ~seeds (fun seed -> run ?pool:None seed))
-  in
-  Exec.Memo.reset ();
-  let par, par_perf =
-    Cosynth.Metrics.measure ~pool (fun () ->
-        Exec.Sweep.run_seeds ~pool ~seeds (fun seed -> run ?pool:(Some pool) seed))
-  in
-  let md (t : Cosynth.Driver.transcript) =
-    Cosynth.Driver.transcript_to_markdown ~title:"run" t
-  in
-  let identical =
-    List.for_all2
-      (fun a b ->
-        let ta = transcript_of a and tb = transcript_of b in
-        md ta = md tb
-        && Cosynth.Driver.leverage ta = Cosynth.Driver.leverage tb)
-      seq par
-  in
-  (par, identical, seq_perf, par_perf)
+   hit rates and wall clocks are comparable.
 
-let print_determinism identical (seq_perf : Cosynth.Metrics.perf)
-    (par_perf : Cosynth.Metrics.perf) =
-  Printf.printf "\n  parallel transcripts byte-identical to sequential: %b\n" identical;
-  print_perf "sequential:" seq_perf;
-  print_perf "parallel:" par_perf;
-  if par_perf.Cosynth.Metrics.wall_s > 0. then
-    Printf.printf "  %-11s %.2fx\n" "speedup:"
-      (seq_perf.Cosynth.Metrics.wall_s /. par_perf.Cosynth.Metrics.wall_s)
+   Under --journal the sweep instead runs once, pooled, checkpointing each
+   completed seed to its own journal file (and replaying recorded seeds
+   under --resume); the cross-pass determinism check is the unjournaled
+   bench's job. *)
+let determinism_sweep ~name ~seeds run =
+  match journal_dir with
+  | Some dir ->
+      Exec.Memo.reset ();
+      let j = transcript_journal dir name in
+      let replayed = List.length (Exec.Sweep.journaled_seeds j) in
+      let ts, perf =
+        Cosynth.Metrics.measure ~pool (fun () ->
+            Exec.Sweep.run_seeds ~pool ~journal:j ~seeds (fun seed ->
+                run ?pool:(Some pool) seed))
+      in
+      Exec.Sweep.journal_close j;
+      (ts, Journaled { replayed; fresh = List.length seeds - replayed; perf })
+  | None ->
+      Exec.Memo.reset ();
+      let seq, seq_perf =
+        Cosynth.Metrics.measure (fun () ->
+            Exec.Sweep.run_seeds ~seeds (fun seed -> run ?pool:None seed))
+      in
+      Exec.Memo.reset ();
+      let par, par_perf =
+        Cosynth.Metrics.measure ~pool (fun () ->
+            Exec.Sweep.run_seeds ~pool ~seeds (fun seed -> run ?pool:(Some pool) seed))
+      in
+      let md (t : Cosynth.Driver.transcript) =
+        Cosynth.Driver.transcript_to_markdown ~title:"run" t
+      in
+      let identical =
+        List.for_all2
+          (fun a b ->
+            md a = md b && Cosynth.Driver.leverage a = Cosynth.Driver.leverage b)
+          seq par
+      in
+      (par, Two_pass { identical; seq_perf; par_perf })
+
+let print_determinism = function
+  | Two_pass { identical; seq_perf; par_perf } ->
+      Printf.printf "\n  parallel transcripts byte-identical to sequential: %b\n"
+        identical;
+      print_perf "sequential:" seq_perf;
+      print_perf "parallel:" par_perf;
+      if par_perf.Cosynth.Metrics.wall_s > 0. then
+        Printf.printf "  %-11s %.2fx\n" "speedup:"
+          (seq_perf.Cosynth.Metrics.wall_s /. par_perf.Cosynth.Metrics.wall_s)
+  | Journaled { replayed; fresh; perf } ->
+      Printf.printf "\n  journaled sweep: %d seed(s) replayed, %d run fresh\n"
+        replayed fresh;
+      print_perf "wall:" perf
 
 (* ------------------------------------------------------------------ *)
 (* T1: Table 1 — rectification prompts for translation                 *)
@@ -165,10 +250,9 @@ let table_t2 () =
 let table_l1 () =
   section "L1 — Translation leverage (paper: ~20 automated, 2 human, 10x)";
   let n = runs 30 in
-  let transcripts, identical, seq_perf, par_perf =
-    determinism_sweep
+  let transcripts, report =
+    determinism_sweep ~name:"l1-translation"
       ~seeds:(Exec.Sweep.seeds ~base:1000 ~n)
-      ~transcript_of:(fun (t : Cosynth.Driver.transcript) -> t)
       (fun ?pool:_ seed ->
         (Cosynth.Driver.run_translation ~seed ~cisco_text ()).Cosynth.Driver.transcript)
   in
@@ -185,25 +269,22 @@ let table_l1 () =
              s.Cosynth.Metrics.mean_leverage s.Cosynth.Metrics.min_leverage
              s.Cosynth.Metrics.max_leverage );
        ]);
-  print_determinism identical seq_perf par_perf
+  print_determinism report
 
 let table_l2 () =
   section "L2 — No-transit leverage (paper: 12 automated, 2 human, 6x)";
   let n = runs 30 in
-  let results, identical, seq_perf, par_perf =
+  let transcripts, report =
     (* The pool is threaded into each run too: the per-router synthesis
        tasks fan out across the same workers as the seeds (nested maps are
        safe — the waiting caller helps drain the queue). *)
-    determinism_sweep
+    determinism_sweep ~name:"l2-no-transit"
       ~seeds:(Exec.Sweep.seeds ~base:2000 ~n)
-      ~transcript_of:(fun (r : Cosynth.Driver.synthesis_result) ->
-        r.Cosynth.Driver.transcript)
-      (fun ?pool seed -> Cosynth.Driver.run_no_transit ~seed ?pool ~routers:7 ())
+      (fun ?pool seed ->
+        (Cosynth.Driver.run_no_transit ~seed ?pool ~routers:7 ())
+          .Cosynth.Driver.transcript)
   in
-  let s =
-    Cosynth.Metrics.summarize
-      (List.map (fun (r : Cosynth.Driver.synthesis_result) -> r.Cosynth.Driver.transcript) results)
-  in
+  let s = Cosynth.Metrics.summarize transcripts in
   print_string
     (Cosynth.Report.kv
        ~title:(Printf.sprintf "%d seeded runs of the 7-router no-transit VPP loop" n)
@@ -216,7 +297,7 @@ let table_l2 () =
              s.Cosynth.Metrics.mean_leverage s.Cosynth.Metrics.min_leverage
              s.Cosynth.Metrics.max_leverage );
        ]);
-  print_determinism identical seq_perf par_perf
+  print_determinism report
 
 (* ------------------------------------------------------------------ *)
 (* F4: Figure 4 — star topology                                        *)
@@ -587,6 +668,28 @@ let table_c1 () =
                t.Cosynth.Driver.events))
       0 ts
   in
+  (* Journal-aware [List.filter_map f seeds]: under --journal each C1 cell
+     checkpoints its per-seed outcome to its own file ([Null] = the
+     budget/raise gate dropped the run) and --resume replays it. *)
+  let c1_sweep name f =
+    match journal_dir with
+    | None -> List.filter_map f seeds
+    | Some dir ->
+        let j =
+          open_journal dir ("c1-" ^ name)
+            ~encode:(function
+              | Some t -> Cosynth.Driver.transcript_to_json t
+              | None -> Netcore.Json.Null)
+            ~decode:(function
+              | Netcore.Json.Null -> Some None
+              | json -> (
+                  try Some (Some (Cosynth.Driver.transcript_of_json json))
+                  with _ -> None))
+        in
+        let out = Exec.Sweep.run_seeds ~journal:j ~seeds f in
+        Exec.Sweep.journal_close j;
+        List.filter_map Fun.id out
+  in
   Exec.Memo.reset ();
   let (rows, crash_rows, identical), perf =
     Cosynth.Metrics.measure (fun () ->
@@ -595,7 +698,8 @@ let table_c1 () =
             (fun (name, chaos) ->
               let resilience = Resilience.Runtime.config ~chaos () in
               let ts =
-                List.filter_map
+                c1_sweep
+                  (Printf.sprintf "translation-%s" name)
                   (fun seed ->
                     guarded
                       (Printf.sprintf "translation[%s seed %d]" name seed)
@@ -604,10 +708,10 @@ let table_c1 () =
                         (Cosynth.Driver.run_translation ~seed ~resilience
                            ~cisco_text ())
                           .Cosynth.Driver.transcript))
-                  seeds
               in
               let ss =
-                List.filter_map
+                c1_sweep
+                  (Printf.sprintf "no-transit-%s" name)
                   (fun seed ->
                     guarded
                       (Printf.sprintf "no-transit[%s seed %d]" name seed)
@@ -616,7 +720,6 @@ let table_c1 () =
                         (Cosynth.Driver.run_no_transit ~seed ~resilience
                            ~routers:7 ())
                           .Cosynth.Driver.transcript))
-                  seeds
               in
               let st = Cosynth.Metrics.summarize ts in
               let sn = Cosynth.Metrics.summarize ss in
@@ -638,7 +741,8 @@ let table_c1 () =
               let chaos = Resilience.Chaos.make ~crash_rate:rate ~seed:99 () in
               let resilience = Resilience.Runtime.config ~chaos () in
               let ss =
-                List.filter_map
+                c1_sweep
+                  (Printf.sprintf "crash-%.2f" rate)
                   (fun seed ->
                     guarded
                       (Printf.sprintf "no-transit[crash %.2f seed %d]" rate seed)
@@ -647,7 +751,6 @@ let table_c1 () =
                         (Cosynth.Driver.run_no_transit ~seed ~resilience
                            ~routers:7 ())
                           .Cosynth.Driver.transcript))
-                  seeds
               in
               let s = Cosynth.Metrics.summarize ss in
               [
@@ -824,7 +927,11 @@ let table_c2 () =
       (fun rate ->
         let chaos = Resilience.Chaos.make ~worker_loss_rate:rate ~seed:131 () in
         let resilience = Resilience.Runtime.config ~chaos () in
-        let plan = Resilience.Chaos.worker_plan chaos ~salt:0 in
+        (* Half the losses strike mid-task: the seed runs and is thrown
+           away, exercising the at-least-once path. The loss schedule —
+           and therefore every row — is identical to an all-at-dispatch
+           plan; only the wasted work differs. *)
+        let plan = Resilience.Chaos.worker_plan ~in_flight:0.5 chaos ~salt:0 in
         let p0 = Exec.Pool.stats pool in
         let c0 = Exec.Supervisor.stats () in
         let outcomes =
@@ -1041,15 +1148,115 @@ let run_perf () =
        ~header:[ "benchmark"; "time/run" ]
        (List.map (fun (n, ns) -> [ n; human ns ]) rows))
 
+(* ------------------------------------------------------------------ *)
+(* F1: the fuzzing gate — totality of every pipeline stage             *)
+(* ------------------------------------------------------------------ *)
+
+(* Found relative to wherever the harness runs: the repo root (`make
+   fuzz`) or _build/default/bench (the check-alias rule). *)
+let corpus_dir () =
+  List.find_opt
+    (fun d -> Sys.file_exists d && Sys.is_directory d)
+    [ "test/corpus"; "../test/corpus"; "../../test/corpus" ]
+
+let table_f1 () =
+  section "F1 — fuzz gate: every stage total on mutated config text";
+  Resilience.Guard.reset ();
+  let violations = ref [] in
+  (* 1. Regression corpus: every previously found crasher stays fixed. *)
+  let replayed =
+    match corpus_dir () with
+    | None ->
+        Printf.printf "  regression corpus: not found (run from the repo root)\n";
+        []
+    | Some dir -> Fuzz.Props.replay_dir dir
+  in
+  List.iter
+    (fun (file, escapes) ->
+      List.iter
+        (fun e ->
+          violations := Printf.sprintf "corpus %s: %s" file (Fuzz.Props.escape_to_string e) :: !violations)
+        escapes)
+    replayed;
+  Printf.printf "  regression corpus: %d file(s) replayed, %d escape(s)\n"
+    (List.length replayed)
+    (List.fold_left (fun acc (_, es) -> acc + List.length es) 0 replayed);
+  (* 2. The planted-bug canary: a deliberately buggy parser must be found,
+     minimized and attributed. *)
+  (match Fuzz.Props.canary ~max_rounds:(if smoke then 500 else 2000) () with
+  | Ok e ->
+      Printf.printf
+        "  canary: planted parser bug caught at seed=%d round=%d, minimized %dB -> %dB\n\
+        \          reported as stage=%s constructor=%s fingerprint=%s\n"
+        e.Fuzz.Props.seed e.Fuzz.Props.round
+        (String.length e.Fuzz.Props.input)
+        (String.length e.Fuzz.Props.minimized)
+        e.Fuzz.Props.violation.Fuzz.Props.stage
+        e.Fuzz.Props.violation.Fuzz.Props.constructor e.Fuzz.Props.fingerprint
+  | Error why -> violations := ("canary: " ^ why) :: !violations);
+  (* 3. The seeded mutation sweep over both dialects. COSYNTH_FUZZ_SEEDS /
+     COSYNTH_FUZZ_MUTATIONS override the budget for deeper hunts. *)
+  let env_int name =
+    match Sys.getenv_opt name with
+    | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> Some n | _ -> None)
+    | None -> None
+  in
+  let seeds =
+    match env_int "COSYNTH_FUZZ_SEEDS" with
+    | Some n -> List.init n (fun i -> i + 1)
+    | None -> if smoke then [ 1; 2 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  let mutations =
+    match env_int "COSYNTH_FUZZ_MUTATIONS" with
+    | Some n -> n
+    | None -> if smoke then 30 else 40
+  in
+  List.iter
+    (fun dialect ->
+      let r = Fuzz.Props.run dialect ~seeds ~mutations in
+      Printf.printf "  %s: %d mutated input(s), %d escape(s)\n"
+        (Fuzz.Corpus.dialect_name dialect)
+        r.Fuzz.Props.inputs
+        (List.length r.Fuzz.Props.escapes);
+      List.iter
+        (fun e -> violations := Fuzz.Props.escape_to_string e :: !violations)
+        r.Fuzz.Props.escapes)
+    [ Fuzz.Corpus.Cisco; Fuzz.Corpus.Junos ];
+  (* 4. Crash buckets: everything Guard caught during the gate, by stage
+     and constructor (the canary's bucket demonstrates the accounting). *)
+  (match Resilience.Guard.crashes () with
+  | [] -> Printf.printf "\n  guarded crashes: none\n"
+  | rows ->
+      print_string
+        (Cosynth.Report.table ~title:"guarded crashes by stage/constructor"
+           ~header:[ "stage"; "constructor"; "count" ]
+           (List.map
+              (fun (stage, ctor, n) -> [ stage; ctor; string_of_int n ])
+              rows)));
+  match List.rev !violations with
+  | [] -> Printf.printf "\n  F1: zero unguarded escapes\n"
+  | vs ->
+      Printf.printf "\n  F1 GATE FAILED: %d escape(s)\n" (List.length vs);
+      List.iter (fun v -> Printf.printf "  ESCAPE %s\n" v) vs;
+      exit 1
+
 let () =
   Printf.printf
     "CoSynth benchmark harness — reproduction of 'What do LLMs need to Synthesize \
      Correct Router Configurations?' (HotNets 2023)\n";
   Printf.printf "mode: %s | worker pool: %d domain(s) (COSYNTH_POOL_SIZE to override)\n"
-    (if chaos_only then "chaos sweep only (full seeds)"
+    (if fuzz_only then
+       if smoke then "fuzz gate (smoke budget)" else "fuzz gate (full budget)"
+     else if chaos_only then "chaos sweep only (full seeds)"
      else if smoke then "smoke (1 seed per experiment)"
      else "full")
     (Exec.Pool.size pool);
+  if fuzz_only then begin
+    table_f1 ();
+    Exec.Pool.shutdown pool;
+    Printf.printf "\nDone.\n";
+    exit 0
+  end;
   if chaos_only then begin
     table_c1 ();
     table_c2 ();

@@ -487,14 +487,16 @@ let leverage_cmd =
 
 let chaos_cmd =
   let run use_case runs routers seed crash timeout flake truncate worker_loss
-      journal_path resume halt_after verbose =
+      worker_loss_in_flight journal_path resume compact_journal halt_after verbose =
     let chaos =
       Resilience.Chaos.make ~crash_rate:crash ~timeout_rate:timeout
         ~flake_rate:flake ~truncate_rate:truncate ~worker_loss_rate:worker_loss
         ~seed ()
     in
     let resilience = Resilience.Runtime.config ~chaos () in
-    let plan = Resilience.Chaos.worker_plan chaos ~salt:0 in
+    let plan =
+      Resilience.Chaos.worker_plan ~in_flight:worker_loss_in_flight chaos ~salt:0
+    in
     (* The driver defaults; the invariant under any schedule is that the
        merged transcript stays within them and the loop never raises. *)
     let budget =
@@ -623,6 +625,16 @@ let chaos_cmd =
           with e -> ([], Some e))
     in
     Option.iter Exec.Sweep.journal_close journal;
+    (match journal_path with
+    | Some path when compact_journal ->
+        let dropped, kept = Exec.Checkpoint.compact path in
+        Printf.eprintf "journal: compacted %s (%d line(s) dropped, %d kept)\n%!"
+          path dropped kept
+    | Some _ | None ->
+        if compact_journal then begin
+          Printf.eprintf "error: --compact-journal requires --journal FILE\n%!";
+          exit 2
+        end);
     let seeded = if outcomes = [] then [] else List.combine seeds outcomes in
     let transcripts = List.filter_map Exec.Supervisor.completed outcomes in
     let abandoned =
@@ -709,6 +721,13 @@ let chaos_cmd =
        the supervisor requeues the seed (bounded retries) and abandons it \
        when the budget is spent."
   in
+  let worker_loss_in_flight =
+    rate "worker-loss-in-flight"
+      "Fraction of worker losses that strike mid-task instead of at \
+       dispatch: the seed runs to completion but its result dies with the \
+       domain, so the retry repeats work that already happened. Varying \
+       this never changes which dispatches are lost."
+  in
   let journal_path =
     Arg.(
       value
@@ -725,6 +744,14 @@ let chaos_cmd =
           ~doc:"Skip the seeds already recorded in $(b,--journal) and \
                 reproduce the identical final table from the mix of \
                 journaled and fresh runs.")
+  in
+  let compact_journal =
+    Arg.(
+      value & flag
+      & info [ "compact-journal" ]
+          ~doc:"After the sweep, rewrite $(b,--journal) keeping only the \
+                surviving line per seed (retries and malformed lines \
+                dropped) via an atomic temp-file rename.")
   in
   let halt_after =
     Arg.(
@@ -744,7 +771,8 @@ let chaos_cmd =
           its prompt budget without an exception (exits nonzero otherwise)")
     Term.(
       const run $ use_case $ runs $ routers $ seed $ crash $ timeout $ flake
-      $ truncate $ worker_loss $ journal_path $ resume $ halt_after $ verbose)
+      $ truncate $ worker_loss $ worker_loss_in_flight $ journal_path $ resume
+      $ compact_journal $ halt_after $ verbose)
 
 let () =
   let doc =

@@ -41,6 +41,57 @@ let transcript_to_markdown ~title t =
     t.events;
   Buffer.contents buf
 
+(* Full-fidelity transcript (de)serialization, for journaled bench sweeps:
+   a resumed sweep must reprint the replayed transcript byte-identically,
+   so every event field round-trips. *)
+let origin_to_string = function Auto -> "auto" | Human -> "human" | Degraded -> "degraded"
+
+let origin_of_string = function
+  | "auto" -> Auto
+  | "human" -> Human
+  | "degraded" -> Degraded
+  | s -> invalid_arg ("Driver.origin_of_string: " ^ s)
+
+let transcript_to_json t =
+  Netcore.Json.Obj
+    [
+      ("human", Netcore.Json.Int t.human_prompts);
+      ("auto", Netcore.Json.Int t.auto_prompts);
+      ("converged", Netcore.Json.Bool t.converged);
+      ("rounds", Netcore.Json.Int t.rounds);
+      ( "events",
+        Netcore.Json.List
+          (List.map
+             (fun e ->
+               Netcore.Json.Obj
+                 [
+                   ("o", Netcore.Json.String (origin_to_string e.origin));
+                   ("p", Netcore.Json.String e.prompt);
+                   ("n", Netcore.Json.String e.note);
+                 ])
+             t.events) );
+    ]
+
+let transcript_of_json j =
+  let open Netcore.Json in
+  {
+    human_prompts = int_exn (member_exn "human" j);
+    auto_prompts = int_exn (member_exn "auto" j);
+    converged = (match to_bool (member_exn "converged" j) with
+      | Some b -> b
+      | None -> invalid_arg "Driver.transcript_of_json: converged");
+    rounds = int_exn (member_exn "rounds" j);
+    events =
+      List.map
+        (fun e ->
+          {
+            origin = origin_of_string (str_exn (member_exn "o" e));
+            prompt = str_exn (member_exn "p" e);
+            note = str_exn (member_exn "n" e);
+          })
+        (list_exn (member_exn "events" j));
+  }
+
 (* Mutable loop bookkeeping shared by both use cases. *)
 type loop_state = {
   mutable events : event list;  (* reversed *)
@@ -137,16 +188,28 @@ let send_human st (chat : Llmsim.Chat.t) (prompt : Humanizer.prompt) ~note =
    exhausted), a [Degraded] event lands in the transcript and the simulated
    human runs the check by hand: [Hand_checked] carries the oracle's
    answer, and the caller must escalate any finding to the human — a
-   verifier outage shows up as reduced leverage, not a hang or a crash. *)
-type 'a stage_result = Checked of 'a | Hand_checked of 'a
+   verifier outage shows up as reduced leverage, not a hang or a crash.
+   [Crashed_stage] is the third outcome: the oracle itself raised on this
+   input (caught by the {!Resilience.Guard} firewall even when the human
+   re-ran it by hand), so there is no answer at all — the caller must turn
+   the crash into a rewrite prompt and move on. *)
+type 'a stage_result =
+  | Checked of 'a
+  | Hand_checked of 'a
+  | Crashed_stage of Resilience.Guard.crash
 
-let stage_value = function Checked v | Hand_checked v -> v
-let stage_degraded = function Checked _ -> false | Hand_checked _ -> true
+let stage_value = function
+  | Checked v | Hand_checked v -> v
+  | Crashed_stage c ->
+      invalid_arg
+        ("Driver.stage_value: crashed stage " ^ Resilience.Guard.crash_to_string c)
+
+let stage_degraded = function Checked _ -> false | Hand_checked _ | Crashed_stage _ -> true
 
 let run_stage st rt (v : _ Resilience.Verifier.t) input =
   match Resilience.Runtime.call rt v input with
   | Ok r -> Checked r
-  | Error { Resilience.Runtime.kind; reason } ->
+  | Error { Resilience.Runtime.kind; reason } -> (
       record st Degraded
         (Printf.sprintf
            "[degraded] %s verifier unavailable: %s. The human operator runs this check \
@@ -154,13 +217,33 @@ let run_stage st rt (v : _ Resilience.Verifier.t) input =
            (Resilience.Verifier.kind_name kind)
            reason)
         "degraded";
-      Hand_checked (Resilience.Verifier.oracle v input)
+      (* The hand check consults the raw oracle, which on an adversarial
+         draft can raise the very exception that degraded the automated
+         path; the firewall keeps the loop alive either way. *)
+      match
+        Resilience.Guard.run
+          ~label:(Resilience.Verifier.kind_name kind ^ "/hand-check")
+          ~fingerprint:(Resilience.Guard.fingerprint_value input)
+          (fun () -> Resilience.Verifier.oracle v input)
+      with
+      | Ok r -> Hand_checked r
+      | Error crash -> Crashed_stage crash)
 
 (* Deliver a finding down the channel the stage earned: the automated
    prompt (with stall escalation) when the verifier answered, the human
    directly when the stage was hand-checked. *)
 let dispatch st chat ~degraded prompt ~note =
   if degraded then send_human st chat prompt ~note else send st chat prompt ~note
+
+(* A crashed stage yields no finding, only a rewrite instruction. [k]
+   continues the loop once the prompt is delivered; [stop] ends it when the
+   crasher has stalled out (the prompt carries no refs, so [send] gives up
+   after [stall_threshold] identical attempts — a persistent crasher bounds
+   the transcript instead of spinning). *)
+let on_crash st chat crash ~k ~stop =
+  match send st chat (Humanizer.of_crash crash) ~note:"crash" with
+  | Some _ -> k ()
+  | None -> stop ()
 
 let finish st converged =
   {
@@ -263,29 +346,34 @@ let run_translation ?(seed = 42) ?(force_faults = []) ?(suppress_random = false)
     else begin
       Resilience.Runtime.new_round rt;
       let draft = Llmsim.Chat.draft chat in
-      let parsed = run_stage st rt suite.Resilience.Suite.parse (Batfish.Parse_check.Junos, draft) in
-      let ir, diags = stage_value parsed in
-      match first_error diags with
-      | Some diag -> (
-          let prompt = Humanizer.of_diag diag in
-          match dispatch st chat ~degraded:(stage_degraded parsed) prompt ~note:"syntax" with
-          | Some origin ->
-              taint_refs origin prompt;
-              loop ()
-          | None -> finish st false)
-      | None -> (
-          let diffed = run_stage st rt suite.Resilience.Suite.campion (cisco_ir, ir) in
-          match stage_value diffed with
-          | [] -> finish st true
-          | finding :: _ -> (
-              let prompt = Humanizer.of_campion finding in
-              match
-                dispatch st chat ~degraded:(stage_degraded diffed) prompt ~note:"campion"
-              with
+      let give_up () = finish st false in
+      match run_stage st rt suite.Resilience.Suite.parse (Batfish.Parse_check.Junos, draft) with
+      | Crashed_stage crash -> on_crash st chat crash ~k:loop ~stop:give_up
+      | (Checked _ | Hand_checked _) as parsed -> (
+          let ir, diags = stage_value parsed in
+          match first_error diags with
+          | Some diag -> (
+              let prompt = Humanizer.of_diag diag in
+              match dispatch st chat ~degraded:(stage_degraded parsed) prompt ~note:"syntax" with
               | Some origin ->
                   taint_refs origin prompt;
                   loop ()
-              | None -> finish st false))
+              | None -> finish st false)
+          | None -> (
+              match run_stage st rt suite.Resilience.Suite.campion (cisco_ir, ir) with
+              | Crashed_stage crash -> on_crash st chat crash ~k:loop ~stop:give_up
+              | (Checked _ | Hand_checked _) as diffed -> (
+                  match stage_value diffed with
+                  | [] -> finish st true
+                  | finding :: _ -> (
+                      let prompt = Humanizer.of_campion finding in
+                      match
+                        dispatch st chat ~degraded:(stage_degraded diffed) prompt ~note:"campion"
+                      with
+                      | Some origin ->
+                          taint_refs origin prompt;
+                          loop ()
+                      | None -> finish st false))))
     end
   in
   let transcript = loop () in
@@ -367,55 +455,62 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
       else begin
         Resilience.Runtime.new_round rt;
         let draft = Llmsim.Chat.draft chat in
-        let parsed =
+        let give_up () = (draft, false) in
+        match
           run_stage st rt suite.Resilience.Suite.parse (Batfish.Parse_check.Cisco_ios, draft)
-        in
-        let ir, diags = stage_value parsed in
-        match first_error diags with
-        | Some diag -> (
-            match
-              dispatch st chat ~degraded:(stage_degraded parsed) (Humanizer.of_diag diag)
-                ~note:"syntax"
-            with
-            | Some _ -> loop ()
-            | None -> (draft, false))
-        | None -> (
-            let topo =
-              run_stage st rt suite.Resilience.Suite.topology
-                (star.Netcore.Star.topology, task.Modularizer.router, ir)
-            in
-            match stage_value topo with
-            | finding :: _ -> (
+        with
+        | Crashed_stage crash -> on_crash st chat crash ~k:loop ~stop:give_up
+        | (Checked _ | Hand_checked _) as parsed -> (
+            let ir, diags = stage_value parsed in
+            match first_error diags with
+            | Some diag -> (
                 match
-                  dispatch st chat ~degraded:(stage_degraded topo)
-                    (Humanizer.of_topology finding) ~note:"topology"
+                  dispatch st chat ~degraded:(stage_degraded parsed) (Humanizer.of_diag diag)
+                    ~note:"syntax"
                 with
                 | Some _ -> loop ()
                 | None -> (draft, false))
-            | [] -> (
-                let semantics =
-                  run_stage st rt suite.Resilience.Suite.route_policies
-                    (ir, task.Modularizer.specs)
-                in
-                let violations =
-                  List.filter_map
-                    (fun (_, outcome) ->
-                      match outcome with
-                      | Batfish.Search_route_policies.Violated v -> Some v
-                      | Batfish.Search_route_policies.Holds
-                      | Batfish.Search_route_policies.Policy_missing ->
-                          None)
-                    (stage_value semantics)
-                in
-                match violations with
-                | [] -> (draft, true)
-                | v :: _ -> (
-                    match
-                      dispatch st chat ~degraded:(stage_degraded semantics)
-                        (Humanizer.of_violation v) ~note:"semantic"
-                    with
-                    | Some _ -> loop ()
-                    | None -> (draft, false))))
+            | None -> (
+                match
+                  run_stage st rt suite.Resilience.Suite.topology
+                    (star.Netcore.Star.topology, task.Modularizer.router, ir)
+                with
+                | Crashed_stage crash -> on_crash st chat crash ~k:loop ~stop:give_up
+                | (Checked _ | Hand_checked _) as topo -> (
+                    match stage_value topo with
+                    | finding :: _ -> (
+                        match
+                          dispatch st chat ~degraded:(stage_degraded topo)
+                            (Humanizer.of_topology finding) ~note:"topology"
+                        with
+                        | Some _ -> loop ()
+                        | None -> (draft, false))
+                    | [] -> (
+                        match
+                          run_stage st rt suite.Resilience.Suite.route_policies
+                            (ir, task.Modularizer.specs)
+                        with
+                        | Crashed_stage crash -> on_crash st chat crash ~k:loop ~stop:give_up
+                        | (Checked _ | Hand_checked _) as semantics -> (
+                            let violations =
+                              List.filter_map
+                                (fun (_, outcome) ->
+                                  match outcome with
+                                  | Batfish.Search_route_policies.Violated v -> Some v
+                                  | Batfish.Search_route_policies.Holds
+                                  | Batfish.Search_route_policies.Policy_missing ->
+                                      None)
+                                (stage_value semantics)
+                            in
+                            match violations with
+                            | [] -> (draft, true)
+                            | v :: _ -> (
+                                match
+                                  dispatch st chat ~degraded:(stage_degraded semantics)
+                                    (Humanizer.of_violation v) ~note:"semantic"
+                                with
+                                | Some _ -> loop ()
+                                | None -> (draft, false)))))))
       end
     in
     loop ()
@@ -530,7 +625,20 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
   in
   let rec global_phase results rounds =
     Resilience.Runtime.new_round rt_main;
-    let checked = run_stage st rt_main global_verifier (configs_of results) in
+    match run_stage st rt_main global_verifier (configs_of results) with
+    | Crashed_stage crash ->
+        (* The whole-network check aborted on these configs: surface the
+           crash to the hub conversation as a rewrite prompt and re-check,
+           within the same round bound as ordinary counterexamples. *)
+        let crashed () =
+          (results, false, [ Resilience.Guard.crash_to_string crash ], None)
+        in
+        if rounds = 0 || not (budget_left st) then crashed ()
+        else
+          on_crash st (hub_chat_exn results) crash
+            ~k:(fun () -> global_phase results (rounds - 1))
+            ~stop:crashed
+    | (Checked _ | Hand_checked _) as checked -> (
     let (ok, violations), proof = stage_value checked in
     if ok || rounds = 0 || not (budget_left st) then (results, ok, violations, proof)
     else
@@ -550,7 +658,7 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
                 if name = hub_name then (name, chat, ir, local_ok) else r)
               results
           in
-          global_phase results (rounds - 1)
+          global_phase results (rounds - 1))
   in
   let results, global_ok, global_violations, proof =
     if all_ok then global_phase results 12
@@ -611,9 +719,12 @@ let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
     else begin
       Resilience.Runtime.new_round rt;
       let draft = Llmsim.Chat.draft chat in
-      let parsed =
+      let give_up () = false in
+      match
         run_stage st rt suite.Resilience.Suite.parse (Batfish.Parse_check.Cisco_ios, draft)
-      in
+      with
+      | Crashed_stage crash -> on_crash st chat crash ~k:loop ~stop:give_up
+      | (Checked _ | Hand_checked _) as parsed -> (
       let ir, diags = stage_value parsed in
       match first_error diags with
       | Some diag -> (
@@ -624,9 +735,11 @@ let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
           | Some _ -> loop ()
           | None -> false)
       | None -> (
-          let semantics =
+          match
             run_stage st rt suite.Resilience.Suite.route_policies (ir, task.Modularizer.specs)
-          in
+          with
+          | Crashed_stage crash -> on_crash st chat crash ~k:loop ~stop:give_up
+          | (Checked _ | Hand_checked _) as semantics -> (
           let violations =
             List.filter_map
               (fun (_, outcome) ->
@@ -653,7 +766,7 @@ let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
                   (Humanizer.of_violation v) ~note:"semantic"
               with
               | Some _ -> loop ()
-              | None -> false))
+              | None -> false))))
     end
   in
   let specs_hold = loop () in
@@ -676,7 +789,13 @@ let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
     specs_hold
     &&
     (Resilience.Runtime.new_round rt;
-     fst (stage_value (run_stage st rt global_verifier configs)))
+     match run_stage st rt global_verifier configs with
+     | Crashed_stage crash ->
+         (* No re-synthesis loop here: the closing check aborting on these
+            configs is a failed verification, recorded as such. *)
+         ignore (send st chat (Humanizer.of_crash crash) ~note:"crash");
+         false
+     | (Checked _ | Hand_checked _) as checked -> fst (stage_value checked))
   in
   {
     inc_transcript = finish st (specs_hold && global_ok);

@@ -39,6 +39,13 @@ val transcript_to_markdown : title:string -> transcript -> string
 (** The conversation as a markdown document: one section per prompt, tagged
     automated/human with the verifier stage that produced it. *)
 
+val transcript_to_json : transcript -> Netcore.Json.t
+
+val transcript_of_json : Netcore.Json.t -> transcript
+(** Full-fidelity inverse of {!transcript_to_json} (every event field
+    round-trips, so a journaled bench sweep reprints replayed transcripts
+    byte-identically). Raises [Invalid_argument] on shape mismatch. *)
+
 (** {2 Use case 1: Cisco → Juniper translation} *)
 
 type class_outcome = {

@@ -340,6 +340,24 @@ let of_violation (v : Batfish.Search_route_policies.violation) =
 (* Whole-network counterexamples                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* A guarded pipeline crash: the stage aborted on the draft itself (the
+   parser, differ or sim raised), so there is no structured finding to
+   template — the only sensible instruction is a rewrite. No fault refs:
+   after [stall_threshold] identical attempts the loop gives up, so a
+   persistent crasher bounds the transcript instead of spinning. *)
+let of_crash (c : Resilience.Guard.crash) =
+  {
+    text =
+      Printf.sprintf
+        "The %s check could not process this configuration at all (internal \
+         %s on input %s). The draft is malformed beyond analysis; discard it \
+         and rewrite the configuration from scratch, keeping only well-formed \
+         stanzas."
+        c.Resilience.Guard.stage c.Resilience.Guard.constructor
+        c.Resilience.Guard.fingerprint;
+    refs = [];
+  }
+
 let of_global_violations ~hub violations =
   let open Llmsim in
   let detail = match violations with v :: _ -> v | [] -> "the global policy fails" in

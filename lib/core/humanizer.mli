@@ -24,6 +24,13 @@ val of_violation : Batfish.Search_route_policies.violation -> prompt
 (** Table 3 semantic template: "The route-map X permits routes that have the
     community C. However, they should be denied." *)
 
+val of_crash : Resilience.Guard.crash -> prompt
+(** A stage that crashed outright (the {!Resilience.Guard} firewall caught
+    an exception from a parser/differ/sim): a rewrite-from-scratch
+    instruction naming the stage, exception constructor and input
+    fingerprint. Carries no fault refs, so a persistent crasher stalls out
+    and bounds the loop rather than spinning. *)
+
 val of_global_violations : hub:string -> string list -> prompt
 (** A whole-network counterexample ("as would be provided by a 'global'
     network verifier like Minesweeper") — the feedback the paper found

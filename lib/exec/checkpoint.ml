@@ -67,3 +67,30 @@ let load path =
     close_in ic;
     List.rev !entries
   end
+
+(* Compaction is load + rewrite: the surviving lines are written to a
+   sibling temp file, fsync'd, then renamed over the original — the journal
+   is never in a half-rewritten state, a crash leaves either the old file
+   or the new one. *)
+let compact path =
+  let entries = load path in
+  let kept = List.length entries in
+  let before =
+    if Sys.file_exists path then
+      let ic = open_in_bin path in
+      let n = ref 0 in
+      (try
+         while true do
+           if String.trim (input_line ic) <> "" then incr n
+         done
+       with End_of_file -> ());
+      close_in ic;
+      !n
+    else 0
+  in
+  let tmp = path ^ ".compact.tmp" in
+  let t = open_ ~truncate:true tmp in
+  List.iter (fun (seed, payload) -> record t ~seed payload) entries;
+  close t;
+  Sys.rename tmp path;
+  (before - kept, kept)

@@ -24,3 +24,10 @@ val load : string -> (int * Netcore.Json.t) list
 
 val close : t -> unit
 (** Flush and close the underlying channel. Idempotent. *)
+
+val compact : string -> int * int
+(** Rewrite a journal keeping only the lines {!load} would return: the
+    last record per seed, malformed and partial lines dropped. Crash-safe —
+    the survivors are written to a temp file and atomically renamed over
+    the original. Returns [(dropped, kept)] line counts. A missing file
+    compacts to an empty journal (0 dropped, 0 kept). *)

@@ -9,7 +9,8 @@ type policy = { max_attempts : int }
 
 let default_policy = { max_attempts = 4 }
 
-type plan = index:int -> attempt:int -> bool
+type loss = At_dispatch | In_flight
+type plan = index:int -> attempt:int -> loss option
 
 (* ------------------------------------------------------------------ *)
 (* Process-wide counters (same discipline as Resilience.Stats: global   *)
@@ -73,18 +74,26 @@ let reset () =
 (* ------------------------------------------------------------------ *)
 
 (* One task under the exception/chaos boundary. Attempts are numbered from
-   1. A drawn worker-domain loss burns the attempt without running the task
-   (the dispatch died with its domain) and — when a pool is present —
-   actually kills the worker via [Pool.lose_current_worker]; the retry is
-   what the replacement domain picks up. A task exception burns the attempt
-   too. Either way the task is re-dispatched until the budget is spent,
-   then recorded as [Abandoned] instead of re-raised. *)
+   1. A drawn worker-domain loss burns the attempt: [At_dispatch] losses
+   die before the task body runs, [In_flight] losses run the body to
+   completion (side effects and all) and lose only the result with the
+   domain. Either way — when a pool is present — the loss actually kills
+   the worker via [Pool.lose_current_worker]; the retry is what the
+   replacement domain picks up. A task exception burns the attempt too.
+   The task is re-dispatched until the budget is spent, then recorded as
+   [Abandoned] instead of re-raised. *)
 let run_one ?pool ?plan ?(policy = default_policy) ~index f =
   let budget = Stdlib.max 1 policy.max_attempts in
   let rec go attempt =
     Atomic.incr c_dispatched;
-    let lost = match plan with Some p -> p ~index ~attempt | None -> false in
-    if lost then begin
+    let lost = match plan with Some p -> p ~index ~attempt | None -> None in
+    match lost with
+    | Some mode ->
+      (* An in-flight loss means the work happened but the result never
+         made it back: run the body for its side effects and discard the
+         value — and a body that raises changes nothing, the domain was
+         dying anyway. *)
+      (if mode = In_flight then try ignore (f ()) with _ -> ());
       Atomic.incr c_losses;
       (match pool with Some p -> Pool.lose_current_worker p | None -> ());
       if attempt >= budget then begin
@@ -101,8 +110,7 @@ let run_one ?pool ?plan ?(policy = default_policy) ~index f =
         Atomic.incr c_requeues;
         go (attempt + 1)
       end
-    end
-    else
+    | None -> (
       match f () with
       | v ->
           Atomic.incr c_completed;
@@ -116,7 +124,7 @@ let run_one ?pool ?plan ?(policy = default_policy) ~index f =
           else begin
             Atomic.incr c_requeues;
             go (attempt + 1)
-          end
+          end)
   in
   go 1
 

@@ -8,9 +8,10 @@
     budget:
 
     - a {e worker-domain loss} (drawn from a seeded, deterministic [plan] —
-      see [Resilience.Chaos.worker_plan]) burns the attempt without running
-      the task, really kills the worker domain when a pool is present
-      ({!Pool.lose_current_worker}; a replacement is spawned), and
+      see [Resilience.Chaos.worker_plan]) burns the attempt — before the
+      body runs ({!At_dispatch}) or after it, losing only the result
+      ({!In_flight}) — really kills the worker domain when a pool is
+      present ({!Pool.lose_current_worker}; a replacement is spawned), and
       re-dispatches the task;
     - a {e task exception} is caught at the boundary and the task is
       re-dispatched;
@@ -40,11 +41,22 @@ val default_policy : policy
     at the C2 acceptance rate (0.2 per dispatch) makes abandonment a
     sub-percent event per task. *)
 
-type plan = index:int -> attempt:int -> bool
-(** [plan ~index ~attempt] decides whether the worker domain dispatching
-    attempt [attempt] (1-based) of task [index] is lost. Must be pure and
-    order-independent — it is consulted from worker domains in whatever
-    order the pool schedules. *)
+type loss =
+  | At_dispatch
+      (** The domain dies before the task body runs: the attempt costs
+          nothing but the dispatch. *)
+  | In_flight
+      (** The domain dies mid-task: the body runs to completion (side
+          effects included, exceptions swallowed) but its result is lost
+          with the domain. The retry re-runs work that already happened —
+          the at-least-once delivery case every checkpoint codec must
+          tolerate. *)
+
+type plan = index:int -> attempt:int -> loss option
+(** [plan ~index ~attempt] decides whether — and how — the worker domain
+    dispatching attempt [attempt] (1-based) of task [index] is lost
+    ([None] = survives). Must be pure and order-independent — it is
+    consulted from worker domains in whatever order the pool schedules. *)
 
 val run_one :
   ?pool:Pool.t -> ?plan:plan -> ?policy:policy -> index:int -> (unit -> 'b) ->

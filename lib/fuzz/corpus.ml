@@ -1,0 +1,40 @@
+(* The seed corpus: well-formed configurations in both dialects plus the
+   llmsim's faulty drafts — the realistic starting points an LLM actually
+   emits, which the mutator then pushes into adversarial territory. *)
+
+type dialect = Cisco | Junos
+
+let dialect_name = function Cisco -> "cisco" | Junos -> "junos"
+
+let border_ir = lazy (fst (Cisco.Parser.parse Cisco.Samples.border_router))
+let junos_ir = lazy (Juniper.Translate.of_cisco_ir (Lazy.force border_ir))
+
+(* One faulty draft per fault opportunity, capped: each is the correct
+   artifact with exactly one of the llmsim's Table 2 mistakes applied. *)
+let faulty_drafts fault_dialect ir ~cap =
+  let opportunities = Llmsim.Fault.opportunities fault_dialect ir in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | f :: rest -> Llmsim.Fault.render fault_dialect ir [ f ] :: take (n - 1) rest
+  in
+  take cap opportunities
+
+let cisco_texts =
+  lazy
+    ([ Cisco.Samples.border_router; Cisco.Samples.minimal; Cisco.Samples.edge_router ]
+    @ faulty_drafts Llmsim.Fault.Cisco_cfg (Lazy.force border_ir) ~cap:8)
+
+let junos_texts =
+  lazy
+    (Juniper.Printer.print (Lazy.force junos_ir)
+     :: faulty_drafts Llmsim.Fault.Junos_cfg (Lazy.force junos_ir) ~cap:8)
+
+let texts = function
+  | Cisco -> Lazy.force cisco_texts
+  | Junos -> Lazy.force junos_texts
+
+(* Stock reference IRs the property driver diffs fuzzed parses against. *)
+let reference_ir = function
+  | Cisco -> Lazy.force border_ir
+  | Junos -> Lazy.force junos_ir

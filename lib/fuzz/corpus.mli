@@ -1,0 +1,15 @@
+(** The fuzz seed corpus: sample configurations and llmsim faulty drafts in
+    both dialects. *)
+
+type dialect = Cisco | Junos
+
+val dialect_name : dialect -> string
+
+val texts : dialect -> string list
+(** The seed texts for a dialect: the committed samples (Cisco) or the
+    printed reference translation (Junos), plus up to eight single-fault
+    llmsim drafts each. *)
+
+val reference_ir : dialect -> Policy.Config_ir.t
+(** The stock parsed reference the property driver diffs fuzzed parses
+    against. *)

@@ -1,0 +1,19 @@
+(** Seeded deterministic mutation over config text.
+
+    Every mutant is a pure function of [(seed, round, corpus)]: the fuzzer
+    reports crashes as two integers, and replaying them regenerates the
+    exact input. Operators model realistic LLM damage (truncation,
+    duplicated/dropped lines, swapped lines, interleaved prose/CLI noise,
+    pathological numbers, cross-config splices) plus raw bitflips. *)
+
+val max_mutant_bytes : int
+(** Mutants are clipped to this size so a runaway splice chain cannot turn
+    the fuzz budget into an allocation benchmark. *)
+
+val mutate : Llmsim.Rng.t -> corpus:string list -> string -> string
+(** Apply one randomly chosen operator. Total: never raises, any input. *)
+
+val mutant : seed:int -> round:int -> corpus:string list -> string
+(** The deterministic entry point: pick a corpus base and apply 1–4
+    operators, all drawn from the [(seed, round)] stream (disjoint by
+    construction from every {!Resilience.Chaos} stream). *)

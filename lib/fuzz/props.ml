@@ -1,0 +1,232 @@
+(* The totality properties: every stage of the pipeline, run on arbitrary
+   mutated config text behind the Guard firewall. Any [Error] from Guard —
+   or a broken print/parse fixpoint — is an escape the F1 gate fails on. *)
+
+type violation = {
+  property : string;
+  stage : string;
+  constructor : string;
+  detail : string;
+}
+
+type escape = {
+  dialect : Corpus.dialect;
+  violation : violation;
+  fingerprint : string;
+  seed : int;  (** [-1] for corpus replays. *)
+  round : int;
+  input : string;
+  minimized : string;
+}
+
+let escape_to_string e =
+  Printf.sprintf "[%s] %s: %s in %s (%s) seed=%d round=%d input=%s (%dB, min %dB)"
+    (Corpus.dialect_name e.dialect)
+    e.violation.property e.violation.constructor e.violation.stage
+    e.violation.detail e.seed e.round e.fingerprint (String.length e.input)
+    (String.length e.minimized)
+
+let parse_fn = function
+  | Corpus.Cisco -> Cisco.Parser.parse
+  | Corpus.Junos -> Juniper.Parser.parse
+
+let print_fn = function
+  | Corpus.Cisco -> Cisco.Printer.print
+  | Corpus.Junos -> Juniper.Printer.print
+
+let guard ~label ~input f =
+  Resilience.Guard.run ~label
+    ~fingerprint:(Resilience.Guard.fingerprint_string input)
+    f
+
+(* The sims run the fuzzed parse as one spoke of a 3-router star, with the
+   stock reference as the hub — arbitrary configs inside a well-formed
+   topology, which is exactly what the VPP global phase feeds them. *)
+let sim_net ir =
+  let star = Netcore.Star.make ~routers:3 in
+  {
+    Batfish.Net.topology = star.Netcore.Star.topology;
+    configs = [ (star.Netcore.Star.hub, Corpus.reference_ir Corpus.Cisco); ("R2", ir) ];
+  }
+
+let check dialect s =
+  let dname = Corpus.dialect_name dialect in
+  let violations = ref [] in
+  let fail property stage constructor detail =
+    violations := { property; stage; constructor; detail } :: !violations
+  in
+  let crash property (c : Resilience.Guard.crash) =
+    fail property c.Resilience.Guard.stage c.Resilience.Guard.constructor
+      c.Resilience.Guard.message
+  in
+  (match guard ~label:(dname ^ "-parse") ~input:s (fun () -> parse_fn dialect s) with
+  | Error c -> crash "total-parse" c
+  | Ok (ir, diags) ->
+      (* Round trip: print the parse, reparse, reprint — the two printed
+         forms must agree when the first parse was clean (parse∘print is a
+         fixpoint on the parser's own output). *)
+      (if not (List.exists Netcore.Diag.is_error diags) then
+         match guard ~label:(dname ^ "-print") ~input:s (fun () -> print_fn dialect ir) with
+         | Error c -> crash "total-print" c
+         | Ok printed -> (
+             match
+               guard ~label:(dname ^ "-reparse") ~input:printed (fun () ->
+                   parse_fn dialect printed)
+             with
+             | Error c -> crash "print-reparse" c
+             | Ok (ir2, _) -> (
+                 match
+                   guard ~label:(dname ^ "-reprint") ~input:printed (fun () ->
+                       print_fn dialect ir2)
+                 with
+                 | Error c -> crash "print-reparse" c
+                 | Ok printed2 ->
+                     if printed2 <> printed then
+                       fail "print-fixpoint" (dname ^ "-print") "Fixpoint_violation"
+                         (Printf.sprintf
+                            "print/reparse/print drifted (%dB vs %dB)"
+                            (String.length printed) (String.length printed2)))));
+      (* The differ must accept any guarded parse on either side. *)
+      let reference = Corpus.reference_ir dialect in
+      (match
+         guard ~label:"campion-diff" ~input:s (fun () ->
+             ignore (Campion.Differ.compare ~original:reference ~translation:ir);
+             ignore (Campion.Differ.compare ~original:ir ~translation:reference))
+       with
+      | Error c -> crash "total-differ" c
+      | Ok () -> ());
+      (* Both sims must converge (or reject structurally) on any guarded
+         parse placed into a well-formed topology. *)
+      let net = sim_net ir in
+      (match guard ~label:"bgp-sim" ~input:s (fun () -> ignore (Batfish.Bgp_sim.run net)) with
+      | Error c -> crash "total-bgp-sim" c
+      | Ok () -> ());
+      match guard ~label:"ospf-sim" ~input:s (fun () -> ignore (Batfish.Ospf_sim.run net)) with
+      | Error c -> crash "total-ospf-sim" c
+      | Ok () -> ());
+  List.rev !violations
+
+(* Minimize against "the same property still fails at the same stage". *)
+let still_failing_pred dialect (v : violation) s =
+  List.exists
+    (fun v' -> v'.property = v.property && v'.stage = v.stage)
+    (check dialect s)
+
+let finalize ?(minimize = true) ?(max_checks = 800) dialect ~seed ~round input v =
+  {
+    dialect;
+    violation = v;
+    fingerprint = Resilience.Guard.fingerprint_string input;
+    seed;
+    round;
+    input;
+    minimized =
+      (if minimize then
+         Shrink.minimize ~max_checks ~still_failing:(still_failing_pred dialect v) input
+       else input);
+  }
+
+type report = { dialect : Corpus.dialect; inputs : int; escapes : escape list }
+
+(* Only the first few escapes get the (expensive) minimizer; the rest are
+   reported raw — by then the gate has already failed. *)
+let minimize_cap = 5
+
+let run dialect ~seeds ~mutations =
+  let corpus = Corpus.texts dialect in
+  let inputs = ref 0 and escapes = ref [] and minimized = ref 0 in
+  List.iter
+    (fun seed ->
+      for round = 0 to mutations - 1 do
+        incr inputs;
+        let m = Mutator.mutant ~seed ~round ~corpus in
+        List.iter
+          (fun v ->
+            let do_min = !minimized < minimize_cap in
+            if do_min then incr minimized;
+            escapes := finalize ~minimize:do_min dialect ~seed ~round m v :: !escapes)
+          (check dialect m)
+      done)
+    seeds;
+  { dialect; inputs = !inputs; escapes = List.rev !escapes }
+
+(* ------------------------------------------------------------------ *)
+(* Regression corpus replay                                            *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let dialect_of_filename name =
+  if String.length name >= 6 && String.sub name 0 6 = "junos-" then Corpus.Junos
+  else Corpus.Cisco
+
+let replay_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.filter (fun f -> Filename.check_suffix f ".txt")
+    |> List.map (fun f ->
+           let s = read_file (Filename.concat dir f) in
+           let dialect = dialect_of_filename f in
+           let escapes =
+             List.map
+               (fun v -> finalize ~minimize:false dialect ~seed:(-1) ~round:(-1) s v)
+               (check dialect s)
+           in
+           (f, escapes))
+
+(* ------------------------------------------------------------------ *)
+(* The planted-bug canary                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A deliberately buggy parser front end: raises on any non-ASCII byte.
+   The fuzzer must find it, the shrinker must reduce the trigger to a
+   handful of bytes, and the report must carry stage + constructor +
+   fingerprint — the end-to-end demonstration that a real parser bug
+   cannot hide. *)
+let planted_parse s =
+  if String.exists (fun c -> Char.code c >= 0x80) s then
+    failwith "planted parser bug: choked on a non-ASCII byte"
+  else ignore (Cisco.Parser.parse s)
+
+let canary ?(max_rounds = 2000) () =
+  let corpus = Corpus.texts Corpus.Cisco in
+  let crashes s =
+    match
+      guard ~label:"cisco-parse/planted" ~input:s (fun () -> planted_parse s)
+    with
+    | Ok () -> None
+    | Error c -> Some c
+  in
+  let rec hunt round =
+    if round >= max_rounds then None
+    else
+      let m = Mutator.mutant ~seed:1 ~round ~corpus in
+      match crashes m with Some c -> Some (round, m, c) | None -> hunt (round + 1)
+  in
+  match hunt 0 with
+  | None -> Error "canary: planted bug never triggered within the budget"
+  | Some (round, input, c) ->
+      let minimized =
+        Shrink.minimize ~still_failing:(fun s -> crashes s <> None) input
+      in
+      Ok
+        {
+          dialect = Corpus.Cisco;
+          violation =
+            {
+              property = "canary";
+              stage = c.Resilience.Guard.stage;
+              constructor = c.Resilience.Guard.constructor;
+              detail = c.Resilience.Guard.message;
+            };
+          fingerprint = c.Resilience.Guard.fingerprint;
+          seed = 1;
+          round;
+          input;
+          minimized;
+        }

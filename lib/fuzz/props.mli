@@ -1,0 +1,51 @@
+(** The fuzz property drivers: totality of every pipeline stage on
+    arbitrary mutated config text, checked behind the {!Resilience.Guard}
+    firewall. *)
+
+type violation = {
+  property : string;
+      (** Which property broke: ["total-parse"], ["total-print"],
+          ["print-reparse"], ["print-fixpoint"], ["total-differ"],
+          ["total-bgp-sim"], ["total-ospf-sim"], or ["canary"]. *)
+  stage : string;  (** The Guard label of the crashing stage. *)
+  constructor : string;  (** Exception constructor (or synthetic tag). *)
+  detail : string;
+}
+
+type escape = {
+  dialect : Corpus.dialect;
+  violation : violation;
+  fingerprint : string;
+  seed : int;  (** [-1] for corpus replays. *)
+  round : int;
+  input : string;
+  minimized : string;  (** Shrunk trigger (or [input] when not minimized). *)
+}
+
+val escape_to_string : escape -> string
+
+val check : Corpus.dialect -> string -> violation list
+(** Run every property on one input: guarded parse; guarded
+    print → reparse → reprint with the printed forms compared (the
+    parse∘print fixpoint, checked only when the first parse is clean);
+    guarded differ against the stock reference in both directions; guarded
+    BGP and OSPF simulation with the parse embedded in a well-formed
+    3-router star. Empty list = all properties hold. *)
+
+type report = { dialect : Corpus.dialect; inputs : int; escapes : escape list }
+
+val run : Corpus.dialect -> seeds:int list -> mutations:int -> report
+(** The fuzz loop: for every seed, [mutations] deterministic mutants of the
+    dialect corpus, each run through {!check}. The first few escapes are
+    minimized by {!Shrink.minimize}. *)
+
+val replay_dir : string -> (string * escape list) list
+(** Replay every [*.txt] file in a regression-corpus directory (files named
+    [junos-*] are parsed as Junos, everything else as Cisco), sorted by
+    filename. Missing directory = empty list. *)
+
+val canary : ?max_rounds:int -> unit -> (escape, string) result
+(** Fuzz a deliberately planted parser bug (raises on non-ASCII bytes)
+    until the mutator triggers it, then minimize the crasher — the
+    demonstration that the pipeline catches, shrinks and attributes a real
+    bug. [Error] only if the budget (default 2000 rounds) never hits it. *)

@@ -1,0 +1,65 @@
+(* Greedy delta-debugging minimizer: remove ever-smaller chunks (lines
+   first, then characters) while the caller's predicate still fails. The
+   predicate runs the crashing pipeline stage, so every probe is bounded by
+   [max_checks] — minimization must never cost more than the fuzz run that
+   found the crash. *)
+
+let remove_slice l start len =
+  List.filteri (fun i _ -> i < start || i >= start + len) l
+
+(* One granularity pass: try deleting each chunk of [chunk] units, keeping
+   any deletion under which the input still fails. Returns the reduced list
+   and whether anything was removed. *)
+let pass budget still_failing join units chunk =
+  let removed = ref false in
+  let rec go units start =
+    if start >= List.length units || !budget <= 0 then units
+    else begin
+      let candidate = remove_slice units start chunk in
+      decr budget;
+      if candidate <> [] && still_failing (join candidate) then begin
+        removed := true;
+        (* The chunk at [start] is now different material; retry in place. *)
+        go candidate start
+      end
+      else go units (start + chunk)
+    end
+  in
+  let units = go units 0 in
+  (units, !removed)
+
+let shrink_units budget still_failing join units =
+  let rec at_granularity units chunk =
+    if chunk < 1 || !budget <= 0 then units
+    else
+      let units, removed = pass budget still_failing join units chunk in
+      if removed then at_granularity units chunk
+      else at_granularity units (chunk / 2)
+  in
+  let n = List.length units in
+  if n <= 1 then units else at_granularity units (max 1 (n / 2))
+
+let explode s = List.init (String.length s) (String.get s)
+
+let implode cs =
+  let b = Buffer.create (List.length cs) in
+  List.iter (Buffer.add_char b) cs;
+  Buffer.contents b
+
+(* Character-level shrinking is quadratic in the candidate length; past
+   this size the line-level result is already the useful artifact. *)
+let char_stage_max = 4096
+
+let minimize ?(max_checks = 2000) ~still_failing input =
+  if not (still_failing input) then input
+  else begin
+    let budget = ref max_checks in
+    let ls =
+      shrink_units budget still_failing
+        (String.concat "\n")
+        (String.split_on_char '\n' input)
+    in
+    let by_lines = String.concat "\n" ls in
+    if String.length by_lines > char_stage_max then by_lines
+    else implode (shrink_units budget still_failing implode (explode by_lines))
+  end

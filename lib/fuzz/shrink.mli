@@ -1,0 +1,9 @@
+(** Greedy delta-debugging minimizer for failing fuzz inputs. *)
+
+val minimize : ?max_checks:int -> still_failing:(string -> bool) -> string -> string
+(** [minimize ~still_failing input] removes ever-smaller chunks (whole
+    lines, then characters) while [still_failing] holds, calling the
+    predicate at most [max_checks] (default 2000) times. The result is
+    1-minimal at the character level when the budget suffices: removing any
+    single remaining character makes the failure disappear. Returns [input]
+    unchanged if it does not fail to begin with. *)

@@ -43,6 +43,21 @@ let fresh () =
 let warn st ~line fmt = Printf.ksprintf (fun s -> st.diags <- Diag.warning ~line s :: st.diags) fmt
 let err st ~line fmt = Printf.ksprintf (fun s -> st.diags <- Diag.error ~line s :: st.diags) fmt
 
+(* LLM (and fuzzed) text routinely repeats a term or stanza verbatim; the
+   IR constructors reject duplicate sequence numbers, so bump collisions to
+   the next free number (preserving order) rather than raise. *)
+let resequence ~seq_of ~with_seq entries =
+  let seen = Hashtbl.create 8 in
+  List.map
+    (fun e ->
+      let seq = ref (seq_of e) in
+      while Hashtbl.mem seen !seq do
+        incr seq
+      done;
+      Hashtbl.add seen !seq ();
+      with_seq e !seq)
+    entries
+
 let find_community_list st n =
   List.find_opt (fun (l : Community_list.t) -> l.name = n) st.community_lists
 
@@ -416,21 +431,25 @@ let resolve_community_match st ~line names =
   | [ n ] -> Some (Route_map.Match_community_list n)
   | _ :: _ ->
       let combined_name = "or-" ^ String.concat "-" names in
-      if find_community_list st combined_name = None then begin
-        let entries =
-          List.concat_map
-            (fun n ->
-              match find_community_list st n with
-              | Some l -> l.Community_list.entries
-              | None ->
-                  warn st ~line "community '%s' referenced before definition" n;
-                  [])
-            names
-        in
-        st.community_lists <-
-          st.community_lists @ [ Community_list.make combined_name entries ]
-      end;
-      Some (Route_map.Match_community_list combined_name)
+      (if find_community_list st combined_name = None then
+         let entries =
+           List.concat_map
+             (fun n ->
+               match find_community_list st n with
+               | Some l -> l.Community_list.entries
+               | None ->
+                   warn st ~line "community '%s' referenced before definition" n;
+                   [])
+             names
+         in
+         if entries <> [] then
+           st.community_lists <-
+             st.community_lists @ [ Community_list.make combined_name entries ]);
+      (* If nothing resolved there is no list to cite: an empty combined
+         list would print as a bare [community;] leaf that cannot reparse,
+         so the match is dropped (the warnings above already flag it). *)
+      if find_community_list st combined_name = None then None
+      else Some (Route_map.Match_community_list combined_name)
   | [] ->
       err st ~line "from community needs at least one name";
       None
@@ -568,17 +587,10 @@ let parse_term st policy_name idx (n : Ast.node) =
 
 let parse_policy_statement st (n : Ast.node) name =
   let entries = List.mapi (fun i t -> parse_term st name i t) (Ast.children n) in
-  (* Re-sequence on collision rather than fail. *)
   let entries =
-    let seen = Hashtbl.create 8 in
-    List.map
-      (fun (e : Route_map.entry) ->
-        let seq = ref e.seq in
-        while Hashtbl.mem seen !seq do
-          incr seq
-        done;
-        Hashtbl.add seen !seq ();
-        { e with Route_map.seq = !seq })
+    resequence
+      ~seq_of:(fun (e : Route_map.entry) -> e.seq)
+      ~with_seq:(fun (e : Route_map.entry) seq -> { e with Route_map.seq })
       entries
   in
   st.route_maps <- st.route_maps @ [ Route_map.make name entries ]
@@ -673,7 +685,13 @@ let parse_firewall st node =
             warn st ~line:t.line "ignoring filter statement '%s'"
               (String.concat " " t.keywords))
       (Ast.children f);
-    st.acls <- st.acls @ [ Acl.make name !entries ]
+    let entries =
+      resequence
+        ~seq_of:(fun (e : Acl.entry) -> e.seq)
+        ~with_seq:(fun (e : Acl.entry) seq -> { e with Acl.seq })
+        !entries
+    in
+    st.acls <- st.acls @ [ Acl.make name entries ]
   in
   List.iter
     (fun (fam : Ast.node) ->

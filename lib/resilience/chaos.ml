@@ -86,7 +86,7 @@ let arm c ~salt ~clock v =
         end
         else if Llmsim.Rng.bernoulli rng c.flake_rate then Error Verifier.Flaked
         else if Llmsim.Rng.bernoulli rng c.truncate_rate then Error Verifier.Truncated
-        else Ok (Verifier.oracle v input))
+        else Verifier.run_oracle v input)
   end
 
 (* Worker losses must be drawn order-independently: the supervisor consults
@@ -95,12 +95,18 @@ let arm c ~salt ~clock v =
    (task index, attempt) pair seeds its own one-draw splitmix64 stream,
    disjoint from the verifier and jitter streams by its own pair of large
    odd multipliers. *)
-let worker_plan c ~salt : Exec.Supervisor.plan =
- fun ~index ~attempt ->
-  c.worker_loss_rate > 0.
-  &&
-  let rng =
-    Llmsim.Rng.make
-      (c.seed + (salt * 1_000_003) + (index * 9_368_843) + (attempt * 5_754_853))
-  in
-  Llmsim.Rng.bernoulli rng c.worker_loss_rate
+let worker_plan ?(in_flight = 0.) c ~salt : Exec.Supervisor.plan =
+  let in_flight = Float.min 1. (Float.max 0. in_flight) in
+  fun ~index ~attempt ->
+    if c.worker_loss_rate <= 0. then None
+    else
+      let rng =
+        Llmsim.Rng.make
+          (c.seed + (salt * 1_000_003) + (index * 9_368_843) + (attempt * 5_754_853))
+      in
+      if not (Llmsim.Rng.bernoulli rng c.worker_loss_rate) then None
+        (* The mode draw comes from the same stream, after the loss draw —
+           it never perturbs the loss schedule itself. *)
+      else if in_flight > 0. && Llmsim.Rng.bernoulli rng in_flight then
+        Some Exec.Supervisor.In_flight
+      else Some Exec.Supervisor.At_dispatch

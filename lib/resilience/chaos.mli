@@ -60,13 +60,17 @@ val arm : config -> salt:int -> clock:Clock.t -> ('i, 'o) Verifier.t -> unit
     rate is 0 (the worker-loss rate does not count: it is not a verifier
     fault). *)
 
-val worker_plan : config -> salt:int -> Exec.Supervisor.plan
+val worker_plan : ?in_flight:float -> config -> salt:int -> Exec.Supervisor.plan
 (** The worker-domain-loss schedule for {!Exec.Supervisor}: a pure,
     order-independent plan drawing each [(index, attempt)] decision from
     its own stream seeded by [(seed, salt, index, attempt)] — so the
     schedule is identical however the pool interleaves tasks, and a
     resumed sweep re-draws the same fate for the seeds it re-runs.
-    Always [false] when [worker_loss_rate = 0]. *)
+    [in_flight] (default 0, clamped to [0, 1]) is the fraction of losses
+    that strike mid-task ([Exec.Supervisor.In_flight]) rather than at
+    dispatch; the mode draw follows the loss draw on the same stream, so
+    varying it never changes {e which} dispatches are lost. Always [None]
+    when [worker_loss_rate = 0]. *)
 
 val timeout_ticks : int
 (** Ticks an injected timeout burns (also the cost reported in

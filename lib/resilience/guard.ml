@@ -1,0 +1,102 @@
+(* The exception firewall: one total boundary between the pipeline and any
+   OCaml code that may raise. *)
+
+type crash = {
+  stage : string;
+  constructor : string;
+  message : string;
+  backtrace_digest : string;
+  fingerprint : string;
+}
+
+exception Stage_timeout of int
+
+(* Backtrace recording must be on for the digest to carry information; the
+   runtime flag only affects exception-raise bookkeeping, never output. *)
+let () = Printexc.record_backtrace true
+
+let crash_to_string c =
+  Printf.sprintf "%s raised %s (%s) [bt %s, input %s]" c.stage c.constructor
+    c.message c.backtrace_digest c.fingerprint
+
+(* Global crash registry: (stage, constructor) -> count.  Mutex-guarded so
+   pooled domains can record concurrently; read out for report footers. *)
+let registry : (string * string, int) Hashtbl.t = Hashtbl.create 16
+let registry_mutex = Mutex.create ()
+
+let record c =
+  Mutex.lock registry_mutex;
+  let key = (c.stage, c.constructor) in
+  let n = try Hashtbl.find registry key with Not_found -> 0 in
+  Hashtbl.replace registry key (n + 1);
+  Mutex.unlock registry_mutex
+
+let crashes () =
+  Mutex.lock registry_mutex;
+  let rows = Hashtbl.fold (fun (s, c) n acc -> (s, c, n) :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  List.sort compare rows
+
+let total () = List.fold_left (fun acc (_, _, n) -> acc + n) 0 (crashes ())
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Hashtbl.reset registry;
+  Mutex.unlock registry_mutex
+
+let short_digest s = String.sub (Digest.to_hex (Digest.string s)) 0 8
+let fingerprint_string s = short_digest s
+let fingerprint_value v = Printf.sprintf "%08x" (Hashtbl.hash v)
+
+let constructor_of exn =
+  match exn with
+  | Stage_timeout _ -> "Stage_timeout"
+  | Failure _ -> "Failure"
+  | Invalid_argument _ -> "Invalid_argument"
+  | Not_found -> "Not_found"
+  | _ -> (
+      try Printexc.exn_slot_name exn
+      with _ -> (
+        (* exn_slot_name can itself misbehave on exotic extension
+           constructors; fall back to the printed form's head word. *)
+        match String.split_on_char ' ' (Printexc.to_string exn) with
+        | head :: _ -> head
+        | [] -> "<unknown>"))
+
+(* Wall-clock watchdog, used by the fuzz drivers (the driver-loop watchdog is
+   tick-based and lives in Runtime).  SIGALRM-based, so only one may be armed
+   at a time; fuzzing is single-threaded so that is fine. *)
+let with_timeout_ms ms f =
+  let old =
+    Sys.signal Sys.sigalrm
+      (Sys.Signal_handle (fun _ -> raise (Stage_timeout ms)))
+  in
+  let disarm () =
+    ignore
+      (Unix.setitimer Unix.ITIMER_REAL
+         { Unix.it_interval = 0.; it_value = 0. });
+    Sys.set_signal Sys.sigalrm old
+  in
+  ignore
+    (Unix.setitimer Unix.ITIMER_REAL
+       { Unix.it_interval = 0.; it_value = float_of_int ms /. 1000. });
+  Fun.protect ~finally:disarm f
+
+let run ?timeout_ms ?fingerprint ~label f =
+  let body () = match timeout_ms with None -> f () | Some ms -> with_timeout_ms ms f in
+  match body () with
+  | v -> Ok v
+  | exception exn ->
+      let raw_backtrace = Printexc.get_backtrace () in
+      let c =
+        {
+          stage = label;
+          constructor = constructor_of exn;
+          message = Printexc.to_string exn;
+          backtrace_digest = short_digest raw_backtrace;
+          fingerprint =
+            (match fingerprint with Some fp -> fp | None -> "-");
+        }
+      in
+      record c;
+      Error c

@@ -1,0 +1,53 @@
+(** The exception firewall.
+
+    The paper's premise is that the LLM emits arbitrary, frequently broken
+    config text; every parser, printer, differ and sim the VPP loop consults
+    must therefore be {e total} — malformed input yields structured findings
+    or a structured {!crash}, never a process abort.  [Guard.run] is the one
+    boundary enforcing that: any exception escaping the thunk becomes a
+    {!crash} record (stage label, exception constructor, backtrace digest,
+    input fingerprint), is counted in a global registry, and is returned as
+    [Error] for the caller to surface — in the driver it becomes a
+    {!Verifier.failure} and ultimately a humanized correction prompt. *)
+
+type crash = {
+  stage : string;  (** Which pipeline stage raised (e.g. ["cisco-parse"]). *)
+  constructor : string;  (** Exception constructor name ([Failure], ...). *)
+  message : string;  (** [Printexc.to_string] of the exception. *)
+  backtrace_digest : string;  (** Short digest of the raw backtrace. *)
+  fingerprint : string;  (** Short fingerprint of the offending input. *)
+}
+
+exception Stage_timeout of int
+(** Raised inside the thunk when the optional wall-clock watchdog fires;
+    caught by [run] itself, so callers only ever see it as a [crash] with
+    constructor ["Stage_timeout"]. *)
+
+val run :
+  ?timeout_ms:int ->
+  ?fingerprint:string ->
+  label:string ->
+  (unit -> 'a) ->
+  ('a, crash) result
+(** [run ~label f] is [Ok (f ())] unless [f] raises, in which case the
+    exception is converted to a [crash], recorded in the registry, and
+    returned as [Error].  [?timeout_ms] arms a SIGALRM wall-clock watchdog
+    around the call (used by the fuzz drivers; single-threaded use only —
+    the driver loop's watchdog is the tick-based one in {!Runtime}).
+    [?fingerprint] identifies the offending input (default ["-"]). *)
+
+val crash_to_string : crash -> string
+
+val fingerprint_string : string -> string
+(** Short (8 hex chars) content digest of an input string. *)
+
+val fingerprint_value : 'a -> string
+(** Short structural-hash fingerprint for non-string inputs. *)
+
+val crashes : unit -> (string * string * int) list
+(** Registry contents as sorted [(stage, constructor, count)] rows. *)
+
+val total : unit -> int
+(** Sum of all registry counts. *)
+
+val reset : unit -> unit

@@ -2,15 +2,21 @@ type config = {
   chaos : Chaos.config;
   policies : Policies.table;
   round_budget : int;
+  stage_budget : int;
 }
 
 let default_config =
-  { chaos = Chaos.none; policies = Policies.for_kind; round_budget = 64 }
+  {
+    chaos = Chaos.none;
+    policies = Policies.for_kind;
+    round_budget = 64;
+    stage_budget = 32;
+  }
 
 (* [?retry]/[?breaker] keep their historical "one knob for every verifier"
    meaning: either override flattens that dimension of the table. *)
 let config ?(chaos = Chaos.none) ?(policies = Policies.for_kind) ?retry ?breaker
-    ?(round_budget = 64) () =
+    ?(round_budget = 64) ?(stage_budget = 32) () =
   let policies =
     match (retry, breaker) with
     | None, None -> policies
@@ -22,7 +28,7 @@ let config ?(chaos = Chaos.none) ?(policies = Policies.for_kind) ?retry ?breaker
             breaker = Option.value breaker ~default:p.Policies.breaker;
           }
   in
-  { chaos; policies; round_budget }
+  { chaos; policies; round_budget; stage_budget }
 
 type t = {
   cfg : config;
@@ -78,6 +84,7 @@ let call t v input =
         }
   | `Proceed ->
       let retry = (t.cfg.policies kind).Policies.retry in
+      let stage_start = Clock.now t.clock in
       let rec attempt failures =
         Stats.record_attempt kind;
         if failures > 0 then Stats.record_retry kind;
@@ -101,6 +108,13 @@ let call t v input =
               give_up
                 (Printf.sprintf "%s; %d attempts exhausted"
                    (Verifier.failure_to_string f) failures)
+            else if now - stage_start >= t.cfg.stage_budget then
+              give_up
+                (Printf.sprintf
+                   "%s; stage watchdog: %d ticks in one stage (budget %d) \
+                    after %d attempts"
+                   (Verifier.failure_to_string f) (now - stage_start)
+                   t.cfg.stage_budget failures)
             else if now >= t.round_deadline then
               give_up
                 (Printf.sprintf "%s; round tick budget exhausted after %d attempts"

@@ -17,12 +17,18 @@ type config = {
       (** Tick deadline per VPP round: once a round has burned this many
           ticks (calls, timeouts, backoff), further retries are abandoned
           and the stage degrades. *)
+  stage_budget : int;
+      (** Per-{e stage} tick watchdog: one {!call} may burn at most this
+          many ticks across its own attempts before the stage is cancelled
+          and degraded, even when the round as a whole still has budget —
+          a single hung verifier can no longer eat the entire round. *)
 }
 
 val default_config : config
 (** No chaos, {!Policies.for_kind} (the expensive BGP sim gets fewer
     retries and a slower breaker than the cheap parse check), round budget
-    64. With this config every {!call} is exactly [Ok (oracle input)]. *)
+    64, stage budget 32. With this config every {!call} is exactly
+    [Ok (oracle input)]. *)
 
 val config :
   ?chaos:Chaos.config ->
@@ -30,6 +36,7 @@ val config :
   ?retry:Retry.policy ->
   ?breaker:Breaker.policy ->
   ?round_budget:int ->
+  ?stage_budget:int ->
   unit ->
   config
 (** [?policies] defaults to {!Policies.for_kind}. [?retry]/[?breaker] keep

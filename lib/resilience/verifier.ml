@@ -21,12 +21,16 @@ type failure =
   | Timed_out of { ticks : int }
   | Flaked
   | Truncated
+  | Faulted of Guard.crash
 
 let failure_to_string = function
   | Crashed { down_ticks } -> Printf.sprintf "crashed (down for %d ticks)" down_ticks
   | Timed_out { ticks } -> Printf.sprintf "timed out after %d ticks" ticks
   | Flaked -> "transient failure"
   | Truncated -> "truncated response discarded"
+  | Faulted c ->
+      Printf.sprintf "stage %s aborted on %s (input %s)" c.Guard.stage
+        c.Guard.constructor c.Guard.fingerprint
 
 type ('i, 'o) t = {
   kind : kind;
@@ -37,8 +41,16 @@ type ('i, 'o) t = {
 let wrap kind oracle = { kind; oracle; schedule = None }
 let kind t = t.kind
 
+let run_oracle t input =
+  match
+    Guard.run ~label:(kind_name t.kind)
+      ~fingerprint:(Guard.fingerprint_value input) (fun () -> t.oracle input)
+  with
+  | Ok v -> Ok v
+  | Error crash -> Error (Faulted crash)
+
 let run t input =
-  match t.schedule with None -> Ok (t.oracle input) | Some f -> f input
+  match t.schedule with None -> run_oracle t input | Some f -> f input
 
 let oracle t input = t.oracle input
 let install t f = t.schedule <- Some f

@@ -34,6 +34,10 @@ type failure =
   | Truncated
       (** The response arrived garbled/truncated and was discarded — a
           truncated findings list must never be mistaken for a clean pass. *)
+  | Faulted of Guard.crash
+      (** A {e real} exception escaped the oracle and was converted by the
+          {!Guard} firewall — unlike the injected variants above, this one
+          reports an actual pipeline bug or adversarial input. *)
 
 val failure_to_string : failure -> string
 
@@ -44,8 +48,13 @@ val wrap : kind -> ('i -> 'o) -> ('i, 'o) t
 val kind : ('i, 'o) t -> kind
 
 val run : ('i, 'o) t -> 'i -> ('o, failure) result
-(** The one entry point. [Ok (oracle input)] when no fault schedule is
-    installed; otherwise the schedule decides. *)
+(** The one entry point. [run_oracle t input] when no fault schedule is
+    installed; otherwise the schedule decides (with {!run_oracle} as its
+    success path, so the firewall also backs chaos runs). *)
+
+val run_oracle : ('i, 'o) t -> 'i -> ('o, failure) result
+(** The oracle behind the {!Guard} firewall: [Ok (oracle input)] unless the
+    oracle raises, in which case the escape is [Error (Faulted crash)]. *)
 
 val oracle : ('i, 'o) t -> 'i -> 'o
 (** The unperturbed checker — what the simulated human consults when the

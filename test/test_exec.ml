@@ -246,7 +246,7 @@ let test_supervisor_exception_boundary () =
 let test_supervisor_abandonment_deterministic () =
   (* An always-lose plan abandons everything with the full budget spent,
      and the losses never raise even without a pool. *)
-  let plan ~index:_ ~attempt:_ = true in
+  let plan ~index:_ ~attempt:_ = Some Exec.Supervisor.At_dispatch in
   let out = Exec.Supervisor.map ~plan (fun x -> x) [ 1; 2; 3 ] in
   check int_t "all abandoned" 3
     (List.length (List.filter Exec.Supervisor.abandoned out));
@@ -274,7 +274,10 @@ let test_supervisor_restarts_worker () =
      domains really kill them; the pool replaces each one and the map
      still returns every result in order. *)
   let p = Exec.Pool.create ~domains:2 () in
-  let plan ~index ~attempt = index mod 3 = 0 && attempt = 1 in
+  let plan ~index ~attempt =
+    if index mod 3 = 0 && attempt = 1 then Some Exec.Supervisor.At_dispatch
+    else None
+  in
   let xs = List.init 12 (fun i -> i) in
   let out = Exec.Supervisor.map ~pool:p ~plan (fun x -> x * 2) xs in
   check (Alcotest.list int_t) "all complete despite losses"
@@ -286,6 +289,55 @@ let test_supervisor_restarts_worker () =
   check (Alcotest.list int_t) "pool alive after restarts" [ 2; 3 ]
     (Exec.Pool.map p (fun x -> x + 1) [ 1; 2 ]);
   Exec.Pool.shutdown p
+
+let test_supervisor_in_flight_loss () =
+  (* An in-flight loss runs the task body and throws the result away: the
+     retry completes normally, so the sweep result is unchanged but the
+     body observably ran once more than the task count. *)
+  let ran = Atomic.make 0 in
+  let plan ~index ~attempt =
+    if index = 1 && attempt = 1 then Some Exec.Supervisor.In_flight else None
+  in
+  let c0 = Exec.Supervisor.stats () in
+  let out =
+    Exec.Supervisor.map ~plan
+      (fun x ->
+        Atomic.incr ran;
+        x * 2)
+      [ 0; 1; 2 ]
+  in
+  check (Alcotest.list int_t) "every task completes after the in-flight loss"
+    [ 0; 2; 4 ]
+    (List.filter_map Exec.Supervisor.completed out);
+  check int_t "the lost dispatch really ran the body" 4 (Atomic.get ran);
+  let c = Exec.Supervisor.diff c0 (Exec.Supervisor.stats ()) in
+  check int_t "one loss drawn" 1 c.Exec.Supervisor.losses;
+  check int_t "one requeue" 1 c.Exec.Supervisor.requeues;
+  (* A body that raises during the doomed dispatch changes nothing: the
+     domain was dying anyway, the exception dies with it. *)
+  let first = Atomic.make true in
+  let out =
+    Exec.Supervisor.run_one ~plan ~index:1 (fun () ->
+        if Atomic.exchange first false then failwith "died mid-task" else 7)
+  in
+  check int_t "exception during an in-flight loss is just a loss" 7
+    (match out with
+    | Exec.Supervisor.Completed v -> v
+    | Exec.Supervisor.Abandoned _ -> -1);
+  (* Chaos mode split: the loss schedule is identical whatever the
+     in-flight fraction — only the mode of each drawn loss varies. *)
+  let chaos = Resilience.Chaos.make ~worker_loss_rate:0.4 ~seed:21 () in
+  let p0 = Resilience.Chaos.worker_plan chaos ~salt:0 in
+  let p1 = Resilience.Chaos.worker_plan ~in_flight:1.0 chaos ~salt:0 in
+  for index = 0 to 50 do
+    let a = p0 ~index ~attempt:1 and b = p1 ~index ~attempt:1 in
+    check bool_t "same dispatches lost at any in-flight fraction" true
+      ((a = None) = (b = None));
+    check bool_t "fraction 0 losses are at dispatch" true
+      (a = None || a = Some Exec.Supervisor.At_dispatch);
+    check bool_t "fraction 1 losses are in flight" true
+      (b = None || b = Some Exec.Supervisor.In_flight)
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint journal + resumable sweeps                               *)
@@ -325,6 +377,29 @@ let test_checkpoint_partial_line_tolerated () =
       check bool_t "no seed 3" true (not (List.mem_assoc 3 entries));
       check bool_t "missing file is empty" true
         (Exec.Checkpoint.load (path ^ ".does-not-exist") = []))
+
+let test_checkpoint_compact () =
+  with_temp (fun path ->
+      let ck = Exec.Checkpoint.open_ ~truncate:true path in
+      Exec.Checkpoint.record ck ~seed:1 (Netcore.Json.Int 10);
+      Exec.Checkpoint.record ck ~seed:2 (Netcore.Json.Int 20);
+      Exec.Checkpoint.record ck ~seed:1 (Netcore.Json.Int 11);
+      Exec.Checkpoint.record ck ~seed:1 (Netcore.Json.Int 12);
+      Exec.Checkpoint.close ck;
+      (* A crash-truncated trailing line is dropped by compaction too. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{\"seed\":3,\"summ";
+      close_out oc;
+      let before = Exec.Checkpoint.load path in
+      let dropped, kept = Exec.Checkpoint.compact path in
+      check int_t "superseded + partial lines dropped" 3 dropped;
+      check int_t "one line per surviving seed" 2 kept;
+      (* Compaction must be invisible to load. *)
+      check bool_t "load unchanged by compaction" true
+        (Exec.Checkpoint.load path = before);
+      (* And idempotent. *)
+      check bool_t "second compaction drops nothing" true
+        (Exec.Checkpoint.compact path = (0, 2)))
 
 let test_sweep_journal_resume () =
   with_temp (fun path ->
@@ -508,12 +583,14 @@ let () =
             test_supervisor_abandonment_deterministic;
           Alcotest.test_case "worker domains restart" `Quick
             test_supervisor_restarts_worker;
+          Alcotest.test_case "in-flight loss" `Quick test_supervisor_in_flight_loss;
         ] );
       ( "checkpoint",
         [
           Alcotest.test_case "roundtrip, latest wins" `Quick test_checkpoint_roundtrip;
           Alcotest.test_case "partial line tolerated" `Quick
             test_checkpoint_partial_line_tolerated;
+          Alcotest.test_case "compaction" `Quick test_checkpoint_compact;
           Alcotest.test_case "sweep resume" `Quick test_sweep_journal_resume;
           Alcotest.test_case "stale codec recomputes" `Quick
             test_sweep_journal_stale_codec;

@@ -1,0 +1,154 @@
+(* Tests for the fuzzing subsystem (lib/fuzz): mutant determinism, the
+   ddmin shrinker, the totality properties as a qcheck over random mutant
+   streams, and the regression-corpus replay that tier-1 pins. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let string_t = Alcotest.string
+
+let cisco_corpus = Fuzz.Corpus.texts Fuzz.Corpus.Cisco
+let junos_corpus = Fuzz.Corpus.texts Fuzz.Corpus.Junos
+
+(* ------------------------------------------------------------------ *)
+(* Mutator                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_mutator_deterministic () =
+  (* The mutant is a pure function of (seed, round, corpus): regenerating
+     it — in another process, after a crash, on another machine — yields
+     byte-identical input, which is what makes every escape replayable. *)
+  List.iter
+    (fun (seed, round) ->
+      check string_t
+        (Printf.sprintf "mutant (%d, %d) reproducible" seed round)
+        (Fuzz.Mutator.mutant ~seed ~round ~corpus:cisco_corpus)
+        (Fuzz.Mutator.mutant ~seed ~round ~corpus:cisco_corpus))
+    [ (1, 0); (1, 39); (7, 12); (999, 3) ];
+  (* Distinct rounds explore distinct inputs (not all, but most). *)
+  let distinct =
+    List.sort_uniq compare
+      (List.init 50 (fun round ->
+           Fuzz.Mutator.mutant ~seed:1 ~round ~corpus:cisco_corpus))
+  in
+  check bool_t "rounds diversify" true (List.length distinct > 25)
+
+let test_mutator_bounded () =
+  for round = 0 to 99 do
+    let m = Fuzz.Mutator.mutant ~seed:3 ~round ~corpus:junos_corpus in
+    if String.length m > Fuzz.Mutator.max_mutant_bytes then
+      Alcotest.failf "round %d mutant is %dB (cap %dB)" round (String.length m)
+        Fuzz.Mutator.max_mutant_bytes
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_shrink_minimal () =
+  let input =
+    "hostname router1\ninterface Loopback0\n ip address Z 10.0.0.1\n\
+     router bgp 65000\n neighbor 1.2.3.4 remote-as 65001\n"
+  in
+  let still_failing s = String.contains s 'Z' in
+  let m = Fuzz.Shrink.minimize ~still_failing input in
+  (* Line pass isolates the poisoned line, char pass strips it to the
+     single byte the predicate needs. *)
+  check string_t "1-byte trigger" "Z" m
+
+let test_shrink_result_still_fails () =
+  let still_failing s =
+    String.length s >= 3 && String.contains s '{' && String.contains s '}'
+  in
+  let input = String.concat "\n" (List.init 40 (fun i -> Printf.sprintf "line%d { x; }" i)) in
+  let m = Fuzz.Shrink.minimize ~still_failing input in
+  check bool_t "minimized input still fails" true (still_failing m);
+  check bool_t "and shrank" true (String.length m < String.length input)
+
+let test_shrink_passing_input_untouched () =
+  let input = "nothing wrong here" in
+  check string_t "non-failing input returned unchanged" input
+    (Fuzz.Shrink.minimize ~still_failing:(fun _ -> false) input)
+
+(* ------------------------------------------------------------------ *)
+(* Totality as a qcheck property                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Any (seed, round) mutant of either corpus must satisfy every pipeline
+   property — guarded parse, print/reparse/reprint fixpoint, differ, both
+   sims. This is the F1 gate's core restated over a random sample of the
+   mutant space instead of a fixed sweep. *)
+let prop_pipeline_total =
+  QCheck2.Test.make ~name:"fuzz: every pipeline stage total on mutants" ~count:40
+    ~print:(fun (seed, round, junos) ->
+      Printf.sprintf "seed=%d round=%d dialect=%s" seed round
+        (if junos then "junos" else "cisco"))
+    QCheck2.Gen.(tup3 (int_range 1 10_000) (int_range 0 200) bool)
+    (fun (seed, round, junos) ->
+      let dialect = if junos then Fuzz.Corpus.Junos else Fuzz.Corpus.Cisco in
+      let corpus = Fuzz.Corpus.texts dialect in
+      let m = Fuzz.Mutator.mutant ~seed ~round ~corpus in
+      Fuzz.Props.check dialect m = [])
+
+(* ------------------------------------------------------------------ *)
+(* Regression corpus                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_corpus_replay_clean () =
+  (* dune runtest materializes test/corpus next to the executable; a bare
+     `dune exec test/test_fuzz.exe` runs from the project root instead. *)
+  let dir =
+    List.find_opt
+      (fun d -> Sys.file_exists d && Sys.is_directory d)
+      [ "corpus"; "test/corpus"; "../test/corpus" ]
+  in
+  let results = Fuzz.Props.replay_dir (Option.value dir ~default:"corpus") in
+  check bool_t "corpus present (dune copies test/corpus)" true
+    (List.length results >= 6);
+  List.iter
+    (fun (file, escapes) ->
+      List.iter
+        (fun e ->
+          Alcotest.failf "regression crasher %s escaped: %s" file
+            (Fuzz.Props.escape_to_string e))
+        escapes)
+    results
+
+let test_canary_caught_and_minimized () =
+  Resilience.Guard.reset ();
+  match Fuzz.Props.canary ~max_rounds:200 () with
+  | Error msg -> Alcotest.fail msg
+  | Ok e ->
+      check string_t "attributed to the planted stage" "cisco-parse/planted"
+        e.Fuzz.Props.violation.Fuzz.Props.stage;
+      check string_t "constructor recovered" "Failure"
+        e.Fuzz.Props.violation.Fuzz.Props.constructor;
+      check bool_t "shrunk to a handful of bytes" true
+        (String.length e.Fuzz.Props.minimized <= 4);
+      check bool_t "fingerprint present" true
+        (String.length e.Fuzz.Props.fingerprint > 0)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_pipeline_total ]
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "mutator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_mutator_deterministic;
+          Alcotest.test_case "size bounded" `Quick test_mutator_bounded;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "minimal trigger" `Quick test_shrink_minimal;
+          Alcotest.test_case "result still fails" `Quick test_shrink_result_still_fails;
+          Alcotest.test_case "passing input untouched" `Quick
+            test_shrink_passing_input_untouched;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "regression replay clean" `Quick test_corpus_replay_clean;
+          Alcotest.test_case "canary caught + minimized" `Slow
+            test_canary_caught_and_minimized;
+        ] );
+      ("properties", props);
+    ]

@@ -583,6 +583,116 @@ let props =
       prop_breaker_half_open_timing;
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Guard: the exception firewall                                       *)
+(* ------------------------------------------------------------------ *)
+
+exception Kaboom of string
+
+let test_guard_passthrough () =
+  Resilience.Guard.reset ();
+  (match Resilience.Guard.run ~label:"ok-stage" (fun () -> 6 * 7) with
+  | Ok 42 -> ()
+  | _ -> Alcotest.fail "a returning thunk must pass through untouched");
+  check int_t "no registry entries on success" 0 (Resilience.Guard.total ())
+
+let test_guard_maps_exceptions () =
+  Resilience.Guard.reset ();
+  let crash_of f =
+    match Resilience.Guard.run ~label:"boom-stage" ~fingerprint:"cafe1234" f with
+    | Error c -> c
+    | Ok _ -> Alcotest.fail "a raising thunk must be Error"
+  in
+  let c = crash_of (fun () -> failwith "nope") in
+  check Alcotest.string "Failure constructor" "Failure"
+    c.Resilience.Guard.constructor;
+  check Alcotest.string "stage label carried" "boom-stage" c.Resilience.Guard.stage;
+  check Alcotest.string "fingerprint carried" "cafe1234"
+    c.Resilience.Guard.fingerprint;
+  check bool_t "message keeps the payload" true
+    (String.length c.Resilience.Guard.message > 0);
+  let c = crash_of (fun () -> invalid_arg "bad") in
+  check Alcotest.string "Invalid_argument constructor" "Invalid_argument"
+    c.Resilience.Guard.constructor;
+  let c = crash_of (fun () -> raise Not_found) in
+  check Alcotest.string "Not_found constructor" "Not_found"
+    c.Resilience.Guard.constructor;
+  let c = crash_of (fun () -> raise (Kaboom "custom")) in
+  check bool_t "custom constructor resolved" true
+    (String.length c.Resilience.Guard.constructor > 0
+    && c.Resilience.Guard.constructor <> "Failure");
+  (* Every crash landed in the registry, bucketed by (stage, constructor). *)
+  check int_t "registry counted each crash" 4 (Resilience.Guard.total ());
+  check bool_t "buckets keyed by constructor" true
+    (List.exists
+       (fun (s, k, n) -> s = "boom-stage" && k = "Failure" && n = 1)
+       (Resilience.Guard.crashes ()))
+
+let test_guard_wall_clock_watchdog () =
+  Resilience.Guard.reset ();
+  match
+    Resilience.Guard.run ~timeout_ms:100 ~label:"spin-stage" (fun () ->
+        while true do
+          ignore (Sys.opaque_identity (ref 0))
+        done)
+  with
+  | Error c ->
+      check Alcotest.string "timeout constructor" "Stage_timeout"
+        c.Resilience.Guard.constructor
+  | Ok _ -> Alcotest.fail "an infinite loop must be cut by the watchdog"
+
+let test_guard_verifier_faulted () =
+  Resilience.Guard.reset ();
+  let v =
+    Resilience.Verifier.wrap Resilience.Verifier.Parse_check (fun _ ->
+        raise (Kaboom "verifier blew up"))
+  in
+  (match Resilience.Verifier.run v 5 with
+  | Error (Resilience.Verifier.Faulted c) ->
+      check Alcotest.string "stage is the verifier kind" "parse-check"
+        c.Resilience.Guard.stage;
+      check bool_t "humanizable failure text" true
+        (let s =
+           Resilience.Verifier.failure_to_string (Resilience.Verifier.Faulted c)
+         in
+         String.length s > 0)
+  | _ -> Alcotest.fail "a raising oracle must surface as Faulted");
+  (* And a healthy oracle through the same boundary is untouched. *)
+  let v = Resilience.Verifier.wrap Resilience.Verifier.Parse_check (fun x -> x + 1) in
+  match Resilience.Verifier.run v 5 with
+  | Ok 6 -> ()
+  | _ -> Alcotest.fail "the guard must be invisible on the success path"
+
+let test_runtime_stage_watchdog () =
+  (* Big retry budget, huge round budget, tiny stage budget: the tick
+     watchdog — not attempts exhaustion, not the round deadline — is what
+     cancels the stage. *)
+  let cfg =
+    Resilience.Runtime.config
+      ~retry:
+        { Resilience.Retry.max_attempts = 50; base_backoff = 4; max_backoff = 8;
+          jitter = 0. }
+      ~breaker:{ Resilience.Breaker.failure_threshold = 1000; cooldown = 1 }
+      ~round_budget:10_000 ~stage_budget:16 ()
+  in
+  let t = Resilience.Runtime.create cfg in
+  let v = Resilience.Verifier.wrap Resilience.Verifier.Topology (fun x -> x) in
+  let calls = ref 0 in
+  Resilience.Verifier.install v (fun _ ->
+      incr calls;
+      Error Resilience.Verifier.Flaked);
+  match Resilience.Runtime.call t v 0 with
+  | Error { Resilience.Runtime.reason; _ } ->
+      let has_needle =
+        let needle = "stage watchdog" in
+        let n = String.length needle and l = String.length reason in
+        let rec at i = i + n <= l && (String.sub reason i n = needle || at (i + 1)) in
+        at 0
+      in
+      check bool_t "degraded by the stage watchdog" true has_needle;
+      check bool_t "watchdog fired mid-retry, not at exhaustion" true (!calls < 50)
+  | Ok _ -> Alcotest.fail "a hung stage must be cancelled"
+
 let () =
   Alcotest.run "resilience"
     [
@@ -590,6 +700,18 @@ let () =
         [
           Alcotest.test_case "deterministic backoff" `Quick test_retry_deterministic;
           Alcotest.test_case "backoff bounds" `Quick test_retry_bounds;
+        ] );
+      ( "guard",
+        [
+          Alcotest.test_case "pass-through" `Quick test_guard_passthrough;
+          Alcotest.test_case "exception -> crash mapping" `Quick
+            test_guard_maps_exceptions;
+          Alcotest.test_case "wall-clock watchdog" `Quick
+            test_guard_wall_clock_watchdog;
+          Alcotest.test_case "raising oracle becomes Faulted" `Quick
+            test_guard_verifier_faulted;
+          Alcotest.test_case "runtime stage watchdog" `Quick
+            test_runtime_stage_watchdog;
         ] );
       ( "breaker",
         [
