@@ -1,4 +1,4 @@
-.PHONY: all build test check bench chaos fuzz resume-smoke clean
+.PHONY: all build test check bench chaos fuzz adversary resume-smoke clean
 
 all: build
 
@@ -10,7 +10,8 @@ test:
 
 # Build + tests + one-seed smoke run of the bench harness (exercises the
 # parallel sweep plumbing end-to-end) + the full-scale chaos sweep + a
-# small-budget fuzz pass (the check alias runs all three bench modes).
+# small-budget fuzz pass + a smoke-budget adversary gate (the check alias
+# runs all four bench modes).
 check:
 	dune build @check
 
@@ -31,6 +32,14 @@ chaos:
 # budget.
 fuzz:
 	dune exec bench/main.exe -- --fuzz
+
+# The Byzantine-robustness gate: A1 (rate-0 byte-identity against the
+# unhardened driver, then a leverage/convergence sweep over every
+# adversary mode x injection rate with per-run budget and certificate
+# checks, >= 200 corrupted-findings cases per feedback mode, and
+# loop-level fuzzing of every LLM mode; exits nonzero on any violation).
+adversary:
+	dune exec bench/main.exe -- --adversary
 
 # Crash/resume end-to-end: run a journaled chaos sweep, kill it halfway
 # via --halt-after (exit 3 is the simulated crash), resume from the

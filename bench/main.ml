@@ -30,6 +30,12 @@ let chaos_only = Array.exists (fun a -> a = "--chaos") Sys.argv
    the planted-bug canary, then N seeds x M mutations per dialect; exits
    nonzero on any escape. --smoke shrinks the budget for the check alias. *)
 let fuzz_only = Array.exists (fun a -> a = "--fuzz") Sys.argv
+
+(* --adversary: only the A1 Byzantine-robustness gate (`make adversary`) —
+   leverage vs adversary rate x mode, the rate-0 identity pin, certificate
+   presence, and the loop-level fuzzers; exits nonzero on any violation.
+   --smoke shrinks the seed and fuzz budgets for the check alias. *)
+let adversary_only = Array.exists (fun a -> a = "--adversary") Sys.argv
 let runs n = if smoke then 1 else n
 
 (* --journal DIR: checkpoint every seeded sweep (L1/L2/C1) to one journal
@@ -882,6 +888,7 @@ let c2_decode json =
                  auto_prompts = auto;
                  converged;
                  rounds;
+                 certificate = None;
                })
       | _ -> None)
   | Some false -> (
@@ -1222,6 +1229,36 @@ let table_f1 () =
         (fun e -> violations := Fuzz.Props.escape_to_string e :: !violations)
         r.Fuzz.Props.escapes)
     [ Fuzz.Corpus.Cisco; Fuzz.Corpus.Junos ];
+  (* 3b. Structured-text targets: the topology verifier on mutated JSON
+     dictionaries and the policy parser + semantic check on mutated policy
+     fragments, both under the weighted (coverage-guided) schedule. *)
+  List.iter
+    (fun (name, run_target) ->
+      let schedule = Fuzz.Mutator.history () in
+      let r = run_target ~schedule ~seeds ~mutations () in
+      let hot =
+        List.filter
+          (fun (_, s) -> s > 0)
+          (List.init Fuzz.Mutator.n_ops (fun op ->
+               (Fuzz.Mutator.op_name op, Fuzz.Mutator.score schedule ~op)))
+      in
+      Printf.printf "  %s: %d mutated input(s), %d escape(s)%s\n" name
+        r.Fuzz.Props.inputs
+        (List.length r.Fuzz.Props.escapes)
+        (match hot with
+        | [] -> ""
+        | _ ->
+            Printf.sprintf " (op scores: %s)"
+              (String.concat ", "
+                 (List.map (fun (n, s) -> Printf.sprintf "%s=%d" n s) hot)));
+      List.iter
+        (fun e ->
+          violations := Printf.sprintf "%s: %s" name (Fuzz.Props.escape_to_string e) :: !violations)
+        r.Fuzz.Props.escapes)
+    [
+      ("topology", fun ~schedule -> Fuzz.Props.run_topology ~schedule);
+      ("policy", fun ~schedule -> Fuzz.Props.run_policy ~schedule);
+    ];
   (* 4. Crash buckets: everything Guard caught during the gate, by stage
      and constructor (the canary's bucket demonstrates the accounting). *)
   (match Resilience.Guard.crashes () with
@@ -1240,6 +1277,175 @@ let table_f1 () =
       List.iter (fun v -> Printf.printf "  ESCAPE %s\n" v) vs;
       exit 1
 
+(* ------------------------------------------------------------------ *)
+(* A1: the adversarial-robustness gate                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Every adversary dimension, Byzantine-LLM and feedback-corruption alike,
+   as (spec builder, row label) pairs for the leverage table. *)
+let a1_dimensions =
+  List.map
+    (fun m ->
+      ( (fun rate ->
+          Adversary.Spec.make
+            ~llm:(Adversary.Llm.with_rate (Adversary.Llm.make ()) m rate)
+            ()),
+        "llm:" ^ Adversary.Llm.mode_name m ))
+    Adversary.Llm.all_modes
+  @ List.map
+      (fun m ->
+        ( (fun rate ->
+            Adversary.Spec.make
+              ~findings:
+                (Adversary.Findings.with_rate
+                   (Adversary.Findings.make ()) m rate)
+              ()),
+          "feedback:" ^ Adversary.Findings.mode_name m ))
+      Adversary.Findings.all_modes
+
+let a1_rates = [ 0.0; 0.15; 0.4 ]
+let a1_budget = 40
+
+let table_a1 () =
+  section "A1 — adversarial robustness: leverage vs adversary rate x mode";
+  let violations = ref [] in
+  let violation fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  let n = if smoke then 4 else 20 in
+  let seeds = Exec.Sweep.seeds ~base:9900 ~n in
+  (* 1. The rate-0 identity pin: a spec with every rate 0 must leave both
+     renderings of the transcript byte-identical to a run with no spec at
+     all. *)
+  List.iter
+    (fun seed ->
+      let t spec =
+        (Cosynth.Driver.run_translation ~seed ?adversary:spec ~cisco_text ())
+          .Cosynth.Driver.transcript
+      in
+      let plain = t None and zero = t (Some Adversary.Spec.none) in
+      if
+        Cosynth.Driver.transcript_to_markdown ~title:"A1" plain
+        <> Cosynth.Driver.transcript_to_markdown ~title:"A1" zero
+      then violation "rate-0 markdown identity broken at seed %d" seed;
+      if
+        Netcore.Json.to_string (Cosynth.Driver.transcript_to_json plain)
+        <> Netcore.Json.to_string (Cosynth.Driver.transcript_to_json zero)
+      then violation "rate-0 JSON identity broken at seed %d" seed)
+    seeds;
+  Printf.printf "  rate-0 identity: %d seed(s), markdown and JSON byte-identical\n"
+    (List.length seeds);
+  (* 2. The leverage table: one sweep per (mode, rate) cell. Each hardened
+     transcript must stay within budget and carry a certificate; a rate-0
+     spec must carry none. *)
+  let sweep spec_opt =
+    List.map
+      (fun seed ->
+        (Cosynth.Driver.run_translation ~seed ?adversary:spec_opt
+           ~max_prompts:a1_budget ~cisco_text ())
+          .Cosynth.Driver.transcript)
+      seeds
+  in
+  let fmt_cell s =
+    Printf.sprintf "%5.1fx%s %d/%d" s.Cosynth.Metrics.mean_leverage
+      (if s.Cosynth.Metrics.infinite_leverage > 0 then "*" else " ")
+      s.Cosynth.Metrics.converged s.Cosynth.Metrics.runs
+  in
+  let all_certs = ref [] in
+  let rows =
+    List.map
+      (fun (spec_of_rate, label) ->
+        let cells =
+          List.map
+            (fun rate ->
+              let spec = spec_of_rate rate in
+              let hardened = not (Adversary.Spec.is_none spec) in
+              let ts = sweep (Some spec) in
+              List.iter2
+                (fun seed (t : Cosynth.Driver.transcript) ->
+                  let prompts = t.Cosynth.Driver.auto_prompts + t.Cosynth.Driver.human_prompts in
+                  if prompts > a1_budget then
+                    violation "%s rate %.2f seed %d: %d prompts exceed budget %d"
+                      label rate seed prompts a1_budget;
+                  match (hardened, t.Cosynth.Driver.certificate) with
+                  | true, None ->
+                      violation "%s rate %.2f seed %d: hardened run without certificate"
+                        label rate seed
+                  | false, Some _ ->
+                      violation "%s rate %.2f seed %d: rate-0 run carries a certificate"
+                        label rate seed
+                  | _ -> ())
+                seeds ts;
+              if hardened then all_certs := !all_certs @ ts;
+              Cosynth.Metrics.summarize ts)
+            a1_rates
+        in
+        (* Monotonic-ish degradation: an adversary can inflate raw leverage
+           (it manufactures automated busywork) and can even cut prompt
+           counts (the watchdog ends a hopeless run early), so the gate pins
+           the one quantity an adversary can only hurt — the heaviest rate
+           must not converge more often than the clean loop. *)
+        (match (cells, List.rev cells) with
+        | base :: _, worst :: _ ->
+            if worst.Cosynth.Metrics.converged > base.Cosynth.Metrics.converged then
+              violation "%s: attack improved convergence (%d/%d -> %d/%d)" label
+                base.Cosynth.Metrics.converged base.Cosynth.Metrics.runs
+                worst.Cosynth.Metrics.converged worst.Cosynth.Metrics.runs
+        | _ -> ());
+        label :: List.map fmt_cell cells)
+      a1_dimensions
+  in
+  print_string
+    (Cosynth.Report.table
+       ~title:
+         (Printf.sprintf
+            "mean leverage and converged/runs, %d seed(s) per cell (* = some runs \
+             with no human prompt)"
+            n)
+       ~header:("adversary mode" :: List.map (Printf.sprintf "rate %.2f") a1_rates)
+       rows);
+  print_string
+    (Cosynth.Report.counts ~title:"convergence certificates (hardened cells)"
+       (Cosynth.Metrics.certificates !all_certs));
+  (* 3. Loop-level fuzzers: the corrupted-findings feedback path at rate 1
+     per corruption mode, and the full loop under each Byzantine-LLM mode. *)
+  let cases = if smoke then 60 else 250 in
+  List.iter
+    (fun mode ->
+      let vs = Fuzz.Props.fuzz_corrupted_findings ~mode ~seed:7 ~cases in
+      Printf.printf "  corrupted-findings fuzz [%s]: %d case(s), %d escape(s)\n"
+        (Adversary.Findings.mode_name mode)
+        cases (List.length vs);
+      List.iter
+        (fun (v : Fuzz.Props.violation) ->
+          violation "corrupted-findings [%s]: %s in %s (%s)"
+            (Adversary.Findings.mode_name mode)
+            v.Fuzz.Props.constructor v.Fuzz.Props.stage v.Fuzz.Props.detail)
+        vs)
+    Adversary.Findings.all_modes;
+  let loop_seeds = if smoke then [ 11 ] else [ 11; 12; 13; 14 ] in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun (v : Fuzz.Props.violation) ->
+              violation "loop fuzz [%s] seed %d: %s (%s)"
+                (Adversary.Llm.mode_name mode)
+                seed v.Fuzz.Props.property v.Fuzz.Props.detail)
+            (Fuzz.Props.fuzz_loop ~mode ~seed ~rate:0.35))
+        loop_seeds)
+    Adversary.Llm.all_modes;
+  Printf.printf "  loop fuzz: %d mode(s) x %d seed(s) at rate 0.35, all within budget\n"
+    (List.length Adversary.Llm.all_modes)
+    (List.length loop_seeds);
+  match List.rev !violations with
+  | [] -> Printf.printf "\n  A1: all invariants hold\n"
+  | vs ->
+      Printf.printf "\n  A1 GATE FAILED: %d violation(s)\n" (List.length vs);
+      List.iter (fun v -> Printf.printf "  VIOLATION %s\n" v) vs;
+      exit 1
+
 let () =
   Printf.printf
     "CoSynth benchmark harness — reproduction of 'What do LLMs need to Synthesize \
@@ -1247,12 +1453,20 @@ let () =
   Printf.printf "mode: %s | worker pool: %d domain(s) (COSYNTH_POOL_SIZE to override)\n"
     (if fuzz_only then
        if smoke then "fuzz gate (smoke budget)" else "fuzz gate (full budget)"
+     else if adversary_only then
+       if smoke then "adversary gate (smoke budget)" else "adversary gate (full budget)"
      else if chaos_only then "chaos sweep only (full seeds)"
      else if smoke then "smoke (1 seed per experiment)"
      else "full")
     (Exec.Pool.size pool);
   if fuzz_only then begin
     table_f1 ();
+    Exec.Pool.shutdown pool;
+    Printf.printf "\nDone.\n";
+    exit 0
+  end;
+  if adversary_only then begin
+    table_a1 ();
     Exec.Pool.shutdown pool;
     Printf.printf "\nDone.\n";
     exit 0

@@ -152,6 +152,7 @@ let print_transcript (t : Cosynth.Driver.transcript) verbose =
           | Cosynth.Driver.Auto -> "auto "
           | Cosynth.Driver.Human -> "HUMAN"
           | Cosynth.Driver.Degraded -> "degrd"
+          | Cosynth.Driver.Stalled -> "STALL"
         in
         let text = e.Cosynth.Driver.prompt in
         let text =
@@ -162,7 +163,11 @@ let print_transcript (t : Cosynth.Driver.transcript) verbose =
   Printf.printf
     "\nprompts: %d automated, %d human; leverage %.1fx; converged: %b\n"
     t.Cosynth.Driver.auto_prompts t.Cosynth.Driver.human_prompts
-    (Cosynth.Driver.leverage t) t.Cosynth.Driver.converged
+    (Cosynth.Driver.leverage t) t.Cosynth.Driver.converged;
+  match t.Cosynth.Driver.certificate with
+  | None -> ()
+  | Some c ->
+      Printf.printf "certificate: %s\n" (Cosynth.Driver.certificate_to_string c)
 
 let write_file path contents =
   let oc = open_out path in
@@ -487,7 +492,9 @@ let leverage_cmd =
 
 let chaos_cmd =
   let run use_case runs routers seed crash timeout flake truncate worker_loss
-      worker_loss_in_flight journal_path resume compact_journal halt_after verbose =
+      worker_loss_in_flight journal_path resume compact_journal halt_after
+      triage_path verbose =
+    if triage_path <> None then Resilience.Guard.reset ();
     let chaos =
       Resilience.Chaos.make ~crash_rate:crash ~timeout_rate:timeout
         ~flake_rate:flake ~truncate_rate:truncate ~worker_loss_rate:worker_loss
@@ -562,6 +569,7 @@ let chaos_cmd =
                      auto_prompts = auto;
                      converged;
                      rounds;
+                     certificate = None;
                    })
           | _ -> None)
       | Some false -> (
@@ -671,6 +679,13 @@ let chaos_cmd =
           attempts reason)
       abandoned;
     if verbose || aborted <> None then print_string (verifier_stats_footer perf);
+    (match triage_path with
+    | Some path ->
+        Resilience.Triage.record ~path ~seed;
+        Printf.printf "triage: %d crash bucket(s) appended to %s\n"
+          (List.length (Resilience.Guard.crashes ()))
+          path
+    | None -> ());
     List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) (List.rev !violations);
     match aborted with
     | Some e ->
@@ -761,6 +776,15 @@ let chaos_cmd =
           ~doc:"Exit with status 3 (a simulated crash) once $(docv) fresh \
                 runs have completed; used by $(b,make resume-smoke).")
   in
+  let triage_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "triage" ] ~docv:"FILE"
+          ~doc:"Append every Guard crash bucket from this sweep to $(docv) \
+                (JSONL; read back with $(b,cosynth triage)). Resets the \
+                in-process registry first so the rows cover this sweep only.")
+  in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the per-verifier counter table.")
   in
@@ -772,7 +796,253 @@ let chaos_cmd =
     Term.(
       const run $ use_case $ runs $ routers $ seed $ crash $ timeout $ flake
       $ truncate $ worker_loss $ worker_loss_in_flight $ journal_path $ resume
-      $ compact_journal $ halt_after $ verbose)
+      $ compact_journal $ halt_after $ triage_path $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* adversary                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let adversary_cmd =
+  let run use_case runs routers seed truncated wrong_dialect stale partial_fix
+      off_topic dropped duplicated misattributed garbled triage_path verbose =
+    Resilience.Guard.reset ();
+    let llm =
+      Adversary.Llm.make ~truncated ~wrong_dialect ~stale ~partial_fix ~off_topic
+        ~seed ()
+    in
+    let findings =
+      Adversary.Findings.make ~dropped ~duplicated ~misattributed ~garbled ~seed ()
+    in
+    let spec = Adversary.Spec.make ~llm ~findings () in
+    let hardened = not (Adversary.Spec.is_none spec) in
+    (* The driver defaults; the invariant under any rates in [0, 1] is that
+       every run stays within them, never raises, and carries a convergence
+       certificate exactly when the spec is non-trivial. *)
+    let budget =
+      match use_case with
+      | `Translation -> 200
+      | `No_transit -> 400
+      | `Incremental -> 100
+    in
+    let seeds = List.init runs (fun i -> seed + i) in
+    let violations = ref [] in
+    let violation fmt =
+      Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+    in
+    let seeded =
+      List.filter_map
+        (fun run_seed ->
+          match
+            Resilience.Guard.run ~label:"vpp-loop"
+              ~fingerprint:(string_of_int run_seed) (fun () ->
+                match use_case with
+                | `Translation ->
+                    (Cosynth.Driver.run_translation ~seed:run_seed ~adversary:spec
+                       ~cisco_text:Cisco.Samples.border_router ())
+                      .Cosynth.Driver.transcript
+                | `No_transit ->
+                    (Cosynth.Driver.run_no_transit ~seed:run_seed ~adversary:spec
+                       ~routers ())
+                      .Cosynth.Driver.transcript
+                | `Incremental ->
+                    (Cosynth.Driver.run_incremental ~seed:run_seed ~adversary:spec
+                       ~routers ())
+                      .Cosynth.Driver.inc_transcript)
+          with
+          | Error c ->
+              violation "seed %d raised: %s" run_seed
+                (Resilience.Guard.crash_to_string c);
+              None
+          | Ok t ->
+              let spent =
+                t.Cosynth.Driver.auto_prompts + t.Cosynth.Driver.human_prompts
+              in
+              if spent > budget then
+                violation "seed %d spent %d prompts (budget %d)" run_seed spent
+                  budget;
+              (match (hardened, t.Cosynth.Driver.certificate) with
+              | true, None -> violation "seed %d: no convergence certificate" run_seed
+              | false, Some _ ->
+                  violation "seed %d: rate-0 run carries a certificate" run_seed
+              | _ -> ());
+              Some (run_seed, t))
+        seeds
+    in
+    let transcripts = List.map snd seeded in
+    Printf.printf "adversary: %s\n" (Adversary.Spec.describe spec);
+    Format.printf "%a@." Cosynth.Metrics.pp_summary
+      (Cosynth.Metrics.summarize transcripts);
+    if hardened then
+      print_string
+        (Cosynth.Report.counts ~title:"convergence certificates"
+           (Cosynth.Metrics.certificates transcripts));
+    if verbose then
+      List.iter
+        (fun (run_seed, (t : Cosynth.Driver.transcript)) ->
+          Printf.printf "  seed %d: %s\n" run_seed
+            (match t.Cosynth.Driver.certificate with
+            | Some c -> Cosynth.Driver.certificate_to_string c
+            | None -> "(plain run)"))
+        seeded;
+    (match triage_path with
+    | Some path ->
+        Resilience.Triage.record ~path ~seed;
+        Printf.printf "triage: %d crash bucket(s) appended to %s\n"
+          (List.length (Resilience.Guard.crashes ()))
+          path
+    | None -> ());
+    List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) (List.rev !violations);
+    if !violations <> [] then 1 else 0
+  in
+  let use_case =
+    let c =
+      Arg.conv
+        ( (function
+          | "translation" -> Ok `Translation
+          | "no-transit" -> Ok `No_transit
+          | "incremental" -> Ok `Incremental
+          | s -> Error (`Msg (Printf.sprintf "unknown use case %S" s))),
+          fun ppf c ->
+            Format.pp_print_string ppf
+              (match c with
+              | `Translation -> "translation"
+              | `No_transit -> "no-transit"
+              | `Incremental -> "incremental") )
+    in
+    Arg.(
+      value
+      & opt c `Translation
+      & info [ "use-case" ] ~docv:"CASE"
+          ~doc:"translation, no-transit or incremental.")
+  in
+  let runs = Arg.(value & opt int 20 & info [ "runs" ] ~docv:"N") in
+  let routers = Arg.(value & opt int 5 & info [ "routers" ] ~docv:"N") in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Adversary stream seed and sweep base seed; the sweep is \
+                exactly reproducible from the seed and the rates.")
+  in
+  let rate name doc = Arg.(value & opt float 0. & info [ name ] ~docv:"R" ~doc) in
+  let truncated = rate "truncated" "Per-draft probability of a truncated reply." in
+  let wrong_dialect =
+    rate "wrong-dialect" "Per-draft probability of rendering the other dialect."
+  in
+  let stale =
+    rate "stale" "Per-response probability of ignoring the prompt (stale draft)."
+  in
+  let partial_fix =
+    rate "partial-fix" "Per-response probability of applying only the first fix."
+  in
+  let off_topic = rate "off-topic" "Per-draft probability of prose filler." in
+  let dropped = rate "dropped" "Per-finding probability of silently dropping it." in
+  let duplicated = rate "duplicated" "Per-finding probability of double delivery." in
+  let misattributed =
+    rate "misattributed" "Per-finding probability of mis-attributed references."
+  in
+  let garbled = rate "garbled" "Per-finding probability of garbled text, refs lost." in
+  let triage_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "triage" ] ~docv:"FILE"
+          ~doc:"Append every Guard crash bucket from this sweep to $(docv) \
+                (JSONL; read back with $(b,cosynth triage)).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print each run's certificate.")
+  in
+  Cmd.v
+    (Cmd.info "adversary"
+       ~doc:
+         "Byzantine-LLM sweep over a VPP loop: seeded misbehaviour and feedback \
+          corruption at the given per-mode rates; every run must terminate within \
+          its prompt budget with a convergence certificate (exits nonzero \
+          otherwise)")
+    Term.(
+      const run $ use_case $ runs $ routers $ seed $ truncated $ wrong_dialect
+      $ stale $ partial_fix $ off_topic $ dropped $ duplicated $ misattributed
+      $ garbled $ triage_path $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* fuzz / triage                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let run seeds_n mutations seed triage_path =
+    Resilience.Guard.reset ();
+    let seeds = List.init seeds_n (fun i -> seed + i) in
+    let escapes = ref 0 in
+    let report name (r : Fuzz.Props.report) =
+      Printf.printf "%s: %d mutated input(s), %d escape(s)\n" name r.Fuzz.Props.inputs
+        (List.length r.Fuzz.Props.escapes);
+      List.iter
+        (fun e ->
+          incr escapes;
+          Printf.printf "ESCAPE %s\n" (Fuzz.Props.escape_to_string e))
+        r.Fuzz.Props.escapes
+    in
+    report "cisco" (Fuzz.Props.run Fuzz.Corpus.Cisco ~seeds ~mutations);
+    report "junos" (Fuzz.Props.run Fuzz.Corpus.Junos ~seeds ~mutations);
+    report "topology" (Fuzz.Props.run_topology ~seeds ~mutations ());
+    report "policy" (Fuzz.Props.run_policy ~seeds ~mutations ());
+    (match triage_path with
+    | Some path ->
+        Resilience.Triage.record ~path ~seed;
+        Printf.printf "triage: %d crash bucket(s) appended to %s\n"
+          (List.length (Resilience.Guard.crashes ()))
+          path
+    | None -> ());
+    if !escapes > 0 then 1 else 0
+  in
+  let seeds_n = Arg.(value & opt int 4 & info [ "seeds" ] ~docv:"N") in
+  let mutations = Arg.(value & opt int 40 & info [ "mutations" ] ~docv:"M") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Base seed.") in
+  let triage_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "triage" ] ~docv:"FILE"
+          ~doc:"Append every Guard crash bucket from this campaign to $(docv) \
+                (JSONL; read back with $(b,cosynth triage)).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Mutation-fuzz every pipeline stage (config dialects, topology \
+          dictionaries, policy fragments); exits nonzero on any escape past the \
+          Guard firewall")
+    Term.(const run $ seeds_n $ mutations $ seed $ triage_path)
+
+let triage_cmd =
+  let run file =
+    match Resilience.Triage.load file with
+    | [] ->
+        Printf.printf "no crash buckets recorded in %s\n" file;
+        0
+    | rows ->
+        print_string
+          (Cosynth.Report.table ~title:("crash buckets in " ^ file)
+             ~header:[ "stage"; "constructor"; "count"; "first seed"; "last seed" ]
+             (List.map
+                (fun (r : Resilience.Triage.row) ->
+                  [
+                    r.Resilience.Triage.stage;
+                    r.Resilience.Triage.constructor;
+                    string_of_int r.Resilience.Triage.count;
+                    string_of_int r.Resilience.Triage.first_seed;
+                    string_of_int r.Resilience.Triage.last_seed;
+                  ])
+                rows));
+        0
+  in
+  Cmd.v
+    (Cmd.info "triage"
+       ~doc:
+         "Print the merged stage x constructor crash-bucket table from a \
+          $(b,--triage) JSONL journal (counts summed, first/last-seen seeds)")
+    Term.(const run $ Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"))
 
 let () =
   let doc =
@@ -783,5 +1053,6 @@ let () =
   exit (Cmd.eval' (Cmd.group info
          [
            topology_cmd; parse_cmd; diff_cmd; verify_cmd; translate_cmd; synth_cmd;
-           sim_cmd; prove_cmd; leverage_cmd; chaos_cmd;
+           sim_cmd; prove_cmd; leverage_cmd; chaos_cmd; adversary_cmd; fuzz_cmd;
+           triage_cmd;
          ]))

@@ -42,6 +42,7 @@ let () =
         | Cosynth.Driver.Auto -> "auto "
         | Cosynth.Driver.Human -> "HUMAN"
         | Cosynth.Driver.Degraded -> "degrd"
+        | Cosynth.Driver.Stalled -> "stall"
       in
       Printf.printf "[%s] %s\n" tag (shorten e.Cosynth.Driver.prompt))
     interesting.Cosynth.Driver.inc_transcript.Cosynth.Driver.events;

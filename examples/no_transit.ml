@@ -44,6 +44,7 @@ let () =
         | Cosynth.Driver.Auto -> "auto "
         | Cosynth.Driver.Human -> "HUMAN"
         | Cosynth.Driver.Degraded -> "degrd"
+        | Cosynth.Driver.Stalled -> "stall"
       in
       Printf.printf "[%s] (%s) %s\n" tag e.Cosynth.Driver.note (shorten e.Cosynth.Driver.prompt))
     r.Cosynth.Driver.transcript.Cosynth.Driver.events;

@@ -1,0 +1,27 @@
+(* The combined adversary specification the driver accepts: Byzantine-LLM
+   rates, findings-corruption rates, and the convergence-hardening knobs.
+   [is_none] is the byte-identity switch: an all-zero spec means the driver
+   runs the exact unhardened code path, so `?adversary:(Some zero)` and
+   `?adversary:None` produce identical transcripts. *)
+
+type t = {
+  llm : Llm.config;
+  findings : Findings.config;
+  osc_repeat : int;
+  watchdog_rounds : int;
+}
+
+let default_osc_repeat = 6
+let default_watchdog_rounds = 12
+
+let make ?(llm = Llm.none) ?(findings = Findings.none)
+    ?(osc_repeat = default_osc_repeat) ?(watchdog_rounds = default_watchdog_rounds) () =
+  { llm; findings; osc_repeat; watchdog_rounds }
+
+let none = make ()
+
+let is_none t = Llm.is_none t.llm && Findings.is_none t.findings
+
+let describe t =
+  Printf.sprintf "llm: %s; findings: %s; osc-repeat %d; watchdog %d rounds"
+    (Llm.describe t.llm) (Findings.describe t.findings) t.osc_repeat t.watchdog_rounds

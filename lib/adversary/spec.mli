@@ -1,0 +1,30 @@
+(** The combined adversary specification accepted by [Driver.run_* ?adversary]:
+    Byzantine-LLM rates ({!Llm.config}), feedback-corruption rates
+    ({!Findings.config}) and the convergence-hardening knobs. *)
+
+type t = {
+  llm : Llm.config;
+  findings : Findings.config;
+  osc_repeat : int;  (** Oscillation detector threshold ({!Watch.osc}). *)
+  watchdog_rounds : int;  (** Progress watchdog K ({!Watch.progress}). *)
+}
+
+val default_osc_repeat : int
+val default_watchdog_rounds : int
+
+val make :
+  ?llm:Llm.config ->
+  ?findings:Findings.config ->
+  ?osc_repeat:int ->
+  ?watchdog_rounds:int ->
+  unit ->
+  t
+
+val none : t
+
+val is_none : t -> bool
+(** Every rate is 0. The driver treats such a spec exactly like no spec at
+    all — the unhardened code path runs and transcripts stay byte-identical
+    (the rate-0 invariant the A1 gate pins). *)
+
+val describe : t -> string

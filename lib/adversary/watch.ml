@@ -1,0 +1,80 @@
+(* Convergence instrumentation for the driver loop: a draft-digest
+   oscillation detector and a finding-count progress watchdog. Both are
+   pure state machines over what the loop already computes — no RNG, no
+   clock — so their verdicts are deterministic and the loop's behaviour
+   with them disabled is untouched. *)
+
+(* ------------------------------------------------------------------ *)
+(* Oscillation detector                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A short digest is all we keep per draft: the detector compares equality,
+   never content, so collisions only ever cost a spurious escalation. *)
+let digest s = Printf.sprintf "%08x" (Hashtbl.hash s land 0xffffffff)
+
+type osc = {
+  repeat_threshold : int;
+  mutable history : string list;  (* newest first, bounded *)
+}
+
+let osc ~repeat_threshold = { repeat_threshold = max 2 repeat_threshold; history = [] }
+
+let take n l =
+  let rec go n = function x :: rest when n > 0 -> x :: go (n - 1) rest | _ -> [] in
+  go n l
+
+let all_equal = function
+  | [] -> false
+  | x :: rest -> List.for_all (String.equal x) rest
+
+let observe o draft =
+  let d = digest draft in
+  o.history <- take (o.repeat_threshold + 2) (d :: o.history);
+  let verdict =
+    (* Period 1: the same draft [repeat_threshold] times in a row. *)
+    if
+      List.length o.history >= o.repeat_threshold
+      && all_equal (take o.repeat_threshold o.history)
+    then Some 1
+    else
+      (* Period 2: an A/B/A/B tail (two full periods) with A <> B. *)
+      match o.history with
+      | a :: b :: a' :: b' :: _ when a = a' && b = b' && a <> b -> Some 2
+      | _ -> None
+  in
+  (* Re-arm on detection so the caller escalates once per episode instead
+     of on every subsequent round of the same cycle. *)
+  if verdict <> None then o.history <- [];
+  verdict
+
+(* ------------------------------------------------------------------ *)
+(* Progress watchdog                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Progress means some stage's finding count reached a new minimum (or a
+   stage was observed for the first time). Each per-stage best is a
+   non-negative integer that strictly decreases on progress, and there are
+   finitely many stages, so progress events are bounded: once they dry up,
+   the watchdog fires within [limit] rounds — the loop's termination
+   argument when corrupted findings stop consuming prompt budget. *)
+type progress = {
+  limit : int;
+  mutable best : (string * int) list;  (* stage -> smallest count seen *)
+  mutable streak : int;  (* consecutive rounds without progress *)
+}
+
+let progress ~rounds = { limit = max 1 rounds; best = []; streak = 0 }
+
+let step p ~stage ~findings =
+  let improved =
+    match List.assoc_opt stage p.best with None -> true | Some b -> findings < b
+  in
+  if improved then begin
+    p.best <- (stage, findings) :: List.remove_assoc stage p.best;
+    p.streak <- 0;
+    false
+  end
+  else begin
+    p.streak <- p.streak + 1;
+    p.streak >= p.limit
+  end

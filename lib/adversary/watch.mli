@@ -1,0 +1,42 @@
+(** Convergence instrumentation for the driver loop: pure, deterministic
+    state machines the hardened loop consults each round. *)
+
+(** {2 Oscillation detector}
+
+    Keeps a short history of draft digests. A draft repeated
+    [repeat_threshold] times in a row is a period-1 cycle; an A/B/A/B tail
+    (two full periods, A ≠ B) is a period-2 cycle. Either verdict means the
+    conversation is burning budget without moving. *)
+
+type osc
+
+val osc : repeat_threshold:int -> osc
+(** [repeat_threshold] is clamped to at least 2. *)
+
+val observe : osc -> string -> int option
+(** Record one draft; [Some period] when a cycle completed on this
+    observation. Detection clears the history, so the same episode is
+    reported once and the detector re-arms. *)
+
+val digest : string -> string
+(** The 8-hex-digit digest the detector compares (exposed for tests). *)
+
+(** {2 Progress watchdog}
+
+    Fires after [rounds] consecutive observations in which no verifier
+    stage's finding count reached a new minimum. Per-stage minima are
+    non-negative and strictly decrease on progress, so with finitely many
+    stages the watchdog bounds any loop whose findings stop shrinking —
+    including one whose prompts are being dropped by a Byzantine layer and
+    therefore never consume prompt budget. *)
+
+type progress
+
+val progress : rounds:int -> progress
+(** [rounds] is clamped to at least 1. *)
+
+val step : progress -> stage:string -> findings:int -> bool
+(** Record one round's outstanding finding count for the stage that
+    produced it. [true] = the watchdog fired: [rounds] consecutive
+    non-improving rounds. The first observation of a stage counts as
+    progress. *)

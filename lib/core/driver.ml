@@ -1,6 +1,11 @@
 open Policy
 
-type origin = Auto | Human | Degraded
+type origin = Auto | Human | Degraded | Stalled
+
+(* The convergence certificate a hardened (adversary-on) run attaches to
+   its transcript. [None] on the unhardened path, so plain runs serialize
+   and render byte-identically to before the certificate existed. *)
+type certificate = Converged | Stalled_out of string | Oscillating of int
 
 type event = { origin : origin; prompt : string; note : string }
 
@@ -10,7 +15,13 @@ type transcript = {
   auto_prompts : int;
   converged : bool;
   rounds : int;
+  certificate : certificate option;
 }
+
+let certificate_to_string = function
+  | Converged -> "converged"
+  | Stalled_out reason -> "stalled: " ^ reason
+  | Oscillating period -> Printf.sprintf "oscillating (period %d)" period
 
 (* Zero human prompts is a genuinely different regime, not "one human
    prompt": every automated prompt came for free. Report it as infinite
@@ -27,6 +38,13 @@ let transcript_to_markdown ~title t =
     (Printf.sprintf
        "%d automated prompts, %d human prompts — leverage %.1fx; converged: %b\n\n"
        t.auto_prompts t.human_prompts (leverage t) t.converged);
+  (* Certificate line only when present, so unhardened transcripts stay
+     byte-identical to the pre-certificate format. *)
+  (match t.certificate with
+  | None -> ()
+  | Some c ->
+      Buffer.add_string buf
+        (Printf.sprintf "convergence certificate: %s\n\n" (certificate_to_string c)));
   List.iteri
     (fun i (e : event) ->
       let who =
@@ -34,6 +52,7 @@ let transcript_to_markdown ~title t =
         | Auto -> "automated"
         | Human -> "HUMAN"
         | Degraded -> "degraded"
+        | Stalled -> "STALLED"
       in
       Buffer.add_string buf (Printf.sprintf "## %d. [%s] (%s)\n\n" (i + 1) who e.note);
       Buffer.add_string buf (String.trim e.prompt);
@@ -44,21 +63,50 @@ let transcript_to_markdown ~title t =
 (* Full-fidelity transcript (de)serialization, for journaled bench sweeps:
    a resumed sweep must reprint the replayed transcript byte-identically,
    so every event field round-trips. *)
-let origin_to_string = function Auto -> "auto" | Human -> "human" | Degraded -> "degraded"
+let origin_to_string = function
+  | Auto -> "auto"
+  | Human -> "human"
+  | Degraded -> "degraded"
+  | Stalled -> "stalled"
 
 let origin_of_string = function
   | "auto" -> Auto
   | "human" -> Human
   | "degraded" -> Degraded
+  | "stalled" -> Stalled
   | s -> invalid_arg ("Driver.origin_of_string: " ^ s)
+
+let certificate_to_json = function
+  | Converged -> Netcore.Json.Obj [ ("k", Netcore.Json.String "converged") ]
+  | Stalled_out reason ->
+      Netcore.Json.Obj
+        [ ("k", Netcore.Json.String "stalled"); ("reason", Netcore.Json.String reason) ]
+  | Oscillating period ->
+      Netcore.Json.Obj
+        [ ("k", Netcore.Json.String "oscillating"); ("period", Netcore.Json.Int period) ]
+
+let certificate_of_json j =
+  let open Netcore.Json in
+  match str_exn (member_exn "k" j) with
+  | "converged" -> Converged
+  | "stalled" -> Stalled_out (str_exn (member_exn "reason" j))
+  | "oscillating" -> Oscillating (int_exn (member_exn "period" j))
+  | s -> invalid_arg ("Driver.certificate_of_json: " ^ s)
 
 let transcript_to_json t =
   Netcore.Json.Obj
-    [
-      ("human", Netcore.Json.Int t.human_prompts);
-      ("auto", Netcore.Json.Int t.auto_prompts);
-      ("converged", Netcore.Json.Bool t.converged);
-      ("rounds", Netcore.Json.Int t.rounds);
+    ([
+       ("human", Netcore.Json.Int t.human_prompts);
+       ("auto", Netcore.Json.Int t.auto_prompts);
+       ("converged", Netcore.Json.Bool t.converged);
+       ("rounds", Netcore.Json.Int t.rounds);
+     ]
+    (* The field is emitted only when present: unhardened journals keep the
+       exact pre-certificate shape, and old journals decode to [None]. *)
+    @ (match t.certificate with
+      | None -> []
+      | Some c -> [ ("cert", certificate_to_json c) ])
+    @ [
       ( "events",
         Netcore.Json.List
           (List.map
@@ -70,7 +118,7 @@ let transcript_to_json t =
                    ("n", Netcore.Json.String e.note);
                  ])
              t.events) );
-    ]
+    ])
 
 let transcript_of_json j =
   let open Netcore.Json in
@@ -81,6 +129,7 @@ let transcript_of_json j =
       | Some b -> b
       | None -> invalid_arg "Driver.transcript_of_json: converged");
     rounds = int_exn (member_exn "rounds" j);
+    certificate = Option.map certificate_of_json (member "cert" j);
     events =
       List.map
         (fun e ->
@@ -92,6 +141,20 @@ let transcript_of_json j =
         (list_exn (member_exn "events" j));
   }
 
+(* Per-loop adversary state: the Byzantine-LLM wrapper, the findings
+   corruption layer, and the two convergence monitors. Present only when a
+   non-trivial spec was passed — every [None] check below is the rate-0
+   byte-identity switch. *)
+type adv = {
+  spec : Adversary.Spec.t;
+  llm : Adversary.Llm.t;
+  corruption : Adversary.Findings.t;
+  osc : Adversary.Watch.osc;
+  prog : Adversary.Watch.progress;
+  mutable escalate : int option;  (* pending oscillation period *)
+  mutable escalations : int;
+}
+
 (* Mutable loop bookkeeping shared by both use cases. *)
 type loop_state = {
   mutable events : event list;  (* reversed *)
@@ -101,9 +164,43 @@ type loop_state = {
   mutable stalls : (string * int) list;  (* prompt text -> attempts *)
   max_prompts : int;
   stall_threshold : int;
+  mutable certificate : certificate option;
+  adversary : adv option;
 }
 
-let new_loop ~max_prompts ~stall_threshold =
+let adv_of_spec ?(salt = 0) spec =
+  match spec with
+  | None -> None
+  | Some s when Adversary.Spec.is_none s -> None
+  | Some s ->
+      Some
+        {
+          spec = s;
+          llm = Adversary.Llm.create ~salt s.Adversary.Spec.llm;
+          corruption = Adversary.Findings.create ~salt s.Adversary.Spec.findings;
+          osc = Adversary.Watch.osc ~repeat_threshold:s.Adversary.Spec.osc_repeat;
+          prog = Adversary.Watch.progress ~rounds:s.Adversary.Spec.watchdog_rounds;
+          escalate = None;
+          escalations = 0;
+        }
+
+(* An independent adversary state for fan-out task [idx], mirroring
+   [Resilience.Runtime.derive]: disjoint streams, fresh monitors. *)
+let adv_derive adversary idx =
+  Option.map
+    (fun a ->
+      {
+        a with
+        llm = Adversary.Llm.derive a.llm idx;
+        corruption = Adversary.Findings.derive a.corruption idx;
+        osc = Adversary.Watch.osc ~repeat_threshold:a.spec.Adversary.Spec.osc_repeat;
+        prog = Adversary.Watch.progress ~rounds:a.spec.Adversary.Spec.watchdog_rounds;
+        escalate = None;
+        escalations = 0;
+      })
+    adversary
+
+let new_loop ?adversary ~max_prompts ~stall_threshold () =
   {
     events = [];
     human = 0;
@@ -112,6 +209,8 @@ let new_loop ~max_prompts ~stall_threshold =
     stalls = [];
     max_prompts;
     stall_threshold;
+    certificate = None;
+    adversary = (match adversary with Some a -> a | None -> None);
   }
 
 let budget_left st = st.auto + st.human < st.max_prompts
@@ -125,14 +224,32 @@ let absorb st sub =
   st.human <- st.human + sub.human;
   st.auto <- st.auto + sub.auto;
   st.rounds <- st.rounds + sub.rounds;
-  st.stalls <- sub.stalls @ st.stalls
+  st.stalls <- sub.stalls @ st.stalls;
+  (* The first non-converged sub-certificate wins: one stalled router is
+     enough to disqualify the merged run's convergence. *)
+  (match (st.certificate, sub.certificate) with
+  | None, Some _ | Some Converged, Some (Stalled_out _ | Oscillating _) ->
+      st.certificate <- sub.certificate
+  | _ -> ())
 
 let record st origin prompt note =
   st.events <- { origin; prompt; note } :: st.events;
   match origin with
   | Auto -> st.auto <- st.auto + 1
   | Human -> st.human <- st.human + 1
-  | Degraded -> ()  (* a transcript annotation, not a prompt *)
+  | Degraded | Stalled -> ()  (* transcript annotations, not prompts *)
+
+(* Chat access routed through the Byzantine wrapper when one is armed; the
+   [None] arms are exactly the pre-adversary code path. *)
+let adv_draft st chat =
+  match st.adversary with
+  | None -> Llmsim.Chat.draft chat
+  | Some a -> Adversary.Llm.draft a.llm chat
+
+let adv_respond st chat prompt =
+  match st.adversary with
+  | None -> Llmsim.Chat.respond chat prompt
+  | Some a -> Adversary.Llm.respond a.llm chat prompt
 
 (* Send a humanized prompt; escalate to a human prompt after
    [stall_threshold] automated attempts at the same prompt text. Returns the
@@ -144,14 +261,14 @@ let send st (chat : Llmsim.Chat.t) (prompt : Humanizer.prompt) ~note =
     if prompt.Humanizer.refs = [] then None
     else begin
       let human_text = "[human] " ^ prompt.Humanizer.text in
-      Llmsim.Chat.respond chat
+      adv_respond st chat
         { Llmsim.Chat.text = human_text; refs = prompt.Humanizer.refs; strength = Llmsim.Chat.Human };
       record st Human human_text note;
       st.stalls <- List.remove_assoc prompt.Humanizer.text st.stalls;
       Some Human
     end
   else begin
-    Llmsim.Chat.respond chat
+    adv_respond st chat
       {
         Llmsim.Chat.text = prompt.Humanizer.text;
         refs = prompt.Humanizer.refs;
@@ -172,7 +289,7 @@ let send_human st (chat : Llmsim.Chat.t) (prompt : Humanizer.prompt) ~note =
   if prompt.Humanizer.refs = [] then None
   else begin
     let human_text = "[human] " ^ prompt.Humanizer.text in
-    Llmsim.Chat.respond chat
+    adv_respond st chat
       { Llmsim.Chat.text = human_text; refs = prompt.Humanizer.refs; strength = Llmsim.Chat.Human };
     record st Human human_text note;
     st.stalls <- List.remove_assoc prompt.Humanizer.text st.stalls;
@@ -235,6 +352,101 @@ let run_stage st rt (v : _ Resilience.Verifier.t) input =
 let dispatch st chat ~degraded prompt ~note =
   if degraded then send_human st chat prompt ~note else send st chat prompt ~note
 
+(* ------------------------------------------------------------------ *)
+(* Convergence hardening (adversary-on runs only)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Observe the round's draft. [true] = the oscillation detector has fired
+   more times than the escalation allowance: the loop must end with an
+   [Oscillating] certificate instead of burning more budget. A first or
+   second detection instead arms [escalate], which forces the next finding
+   down the human path. *)
+let max_oscillation_escalations = 2
+
+let observe_draft st draft =
+  match st.adversary with
+  | None -> false
+  | Some a -> (
+      match Adversary.Watch.observe a.osc draft with
+      | None -> false
+      | Some period ->
+          if a.escalations >= max_oscillation_escalations then begin
+            st.certificate <- Some (Oscillating period);
+            record st Stalled
+              (Printf.sprintf
+                 "[oscillation] the drafts cycle with period %d despite human \
+                  escalation; ending the loop with an oscillation verdict."
+                 period)
+              "oscillation";
+            true
+          end
+          else begin
+            a.escalations <- a.escalations + 1;
+            a.escalate <- Some period;
+            false
+          end)
+
+(* Observe the round's outstanding finding count for the stage that
+   produced it. [true] = the progress watchdog fired: K consecutive rounds
+   without a shrinking finding set — the loop must end with a [Stalled_out]
+   certificate rather than an uncaught budget exhaustion. *)
+let observe_findings st ~stage ~findings =
+  match st.adversary with
+  | None -> false
+  | Some a ->
+      if Adversary.Watch.step a.prog ~stage ~findings then begin
+        st.certificate <-
+          Some
+            (Stalled_out
+               (Printf.sprintf "no progress for %d rounds (last stage: %s, %d findings)"
+                  a.spec.Adversary.Spec.watchdog_rounds stage findings));
+        record st Stalled
+          (Printf.sprintf
+             "[watchdog] %d consecutive rounds without a shrinking finding set at \
+              the %s stage; ending the loop with a stalled verdict."
+             a.spec.Adversary.Spec.watchdog_rounds stage)
+          "watchdog";
+        true
+      end
+      else false
+
+(* Deliver a finding through the (possibly corrupted) feedback channel.
+   [`Sent] — at least one prompt went out, continue the loop. [`Dropped] —
+   the corruption swallowed the finding; the loop continues and the
+   watchdog bounds repeated drops (they consume no prompt budget).
+   [`Gave_up] — every delivery stalled out with no actionable reference. *)
+let deliver st chat ~degraded (prompt : Humanizer.prompt) ~note =
+  match st.adversary with
+  | None -> (
+      match dispatch st chat ~degraded prompt ~note with
+      | Some origin -> `Sent origin
+      | None -> `Gave_up)
+  | Some a -> (
+      match a.escalate with
+      | Some period -> (
+          (* A detected oscillation bypasses stall bookkeeping and the
+             corruption layer: the human breaks the cycle directly. *)
+          a.escalate <- None;
+          match
+            send_human st chat (Humanizer.of_oscillation ~period prompt) ~note:"oscillation"
+          with
+          | Some origin -> `Sent origin
+          | None -> `Gave_up)
+      | None -> (
+          match
+            Adversary.Findings.corrupt a.corruption ~text:prompt.Humanizer.text
+              ~refs:prompt.Humanizer.refs
+          with
+          | [] -> `Dropped
+          | pieces -> (
+              let sent =
+                List.filter_map
+                  (fun (text, refs) ->
+                    dispatch st chat ~degraded { Humanizer.text; refs } ~note)
+                  pieces
+              in
+              match sent with [] -> `Gave_up | origin :: _ -> `Sent origin)))
+
 (* A crashed stage yields no finding, only a rewrite instruction. [k]
    continues the loop once the prompt is delivered; [stop] ends it when the
    crasher has stalled out (the prompt carries no refs, so [send] gives up
@@ -246,12 +458,24 @@ let on_crash st chat crash ~k ~stop =
   | None -> stop ()
 
 let finish st converged =
+  (* A hardened run always carries a verdict; the unhardened path carries
+     none (and therefore serializes byte-identically to before). *)
+  (match (st.adversary, st.certificate) with
+  | Some _, None ->
+      st.certificate <-
+        Some
+          (if converged then Converged
+           else if budget_left st then
+             Stalled_out "gave up: finding with no actionable reference"
+           else Stalled_out "prompt budget exhausted")
+  | _ -> ());
   {
     events = List.rev st.events;
     human_prompts = st.human;
     auto_prompts = st.auto;
     converged;
     rounds = st.rounds;
+    certificate = st.certificate;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -318,7 +542,7 @@ let first_error diags = List.find_opt Netcore.Diag.is_error diags
 
 let run_translation ?(seed = 42) ?(force_faults = []) ?(suppress_random = false)
     ?(max_prompts = 200) ?(stall_threshold = 4) ?(quality = 0.0)
-    ?(resilience = Resilience.Runtime.default_config) ~cisco_text () =
+    ?(resilience = Resilience.Runtime.default_config) ?adversary ~cisco_text () =
   let cisco_ir, _ = Cisco.Parser.parse cisco_text in
   let correct = Juniper.Translate.of_cisco_ir cisco_ir in
   let chat =
@@ -327,7 +551,7 @@ let run_translation ?(seed = 42) ?(force_faults = []) ?(suppress_random = false)
   in
   let rt = Resilience.Runtime.create ~salt:seed resilience in
   let suite = Resilience.Suite.make rt in
-  let st = new_loop ~max_prompts ~stall_threshold in
+  let st = new_loop ~adversary:(adv_of_spec adversary) ~max_prompts ~stall_threshold () in
   let tr = { seen = []; tainted = [] } in
   (* The initial task prompt ("translate the configuration into an
      equivalent Juniper configuration") is the first human prompt. *)
@@ -345,35 +569,48 @@ let run_translation ?(seed = 42) ?(force_faults = []) ?(suppress_random = false)
     if not (budget_left st) then finish st false
     else begin
       Resilience.Runtime.new_round rt;
-      let draft = Llmsim.Chat.draft chat in
+      let draft = adv_draft st chat in
       let give_up () = finish st false in
+      if observe_draft st draft then finish st false
+      else
       match run_stage st rt suite.Resilience.Suite.parse (Batfish.Parse_check.Junos, draft) with
       | Crashed_stage crash -> on_crash st chat crash ~k:loop ~stop:give_up
       | (Checked _ | Hand_checked _) as parsed -> (
           let ir, diags = stage_value parsed in
           match first_error diags with
-          | Some diag -> (
-              let prompt = Humanizer.of_diag diag in
-              match dispatch st chat ~degraded:(stage_degraded parsed) prompt ~note:"syntax" with
-              | Some origin ->
-                  taint_refs origin prompt;
-                  loop ()
-              | None -> finish st false)
+          | Some diag ->
+              let n_errors = List.length (List.filter Netcore.Diag.is_error diags) in
+              if observe_findings st ~stage:"syntax" ~findings:n_errors then finish st false
+              else
+                let prompt = Humanizer.of_diag diag in
+                (match deliver st chat ~degraded:(stage_degraded parsed) prompt ~note:"syntax" with
+                | `Sent origin ->
+                    taint_refs origin prompt;
+                    loop ()
+                | `Dropped -> loop ()
+                | `Gave_up -> finish st false)
           | None -> (
               match run_stage st rt suite.Resilience.Suite.campion (cisco_ir, ir) with
               | Crashed_stage crash -> on_crash st chat crash ~k:loop ~stop:give_up
               | (Checked _ | Hand_checked _) as diffed -> (
                   match stage_value diffed with
                   | [] -> finish st true
-                  | finding :: _ -> (
-                      let prompt = Humanizer.of_campion finding in
-                      match
-                        dispatch st chat ~degraded:(stage_degraded diffed) prompt ~note:"campion"
-                      with
-                      | Some origin ->
-                          taint_refs origin prompt;
-                          loop ()
-                      | None -> finish st false))))
+                  | finding :: _ as findings ->
+                      if
+                        observe_findings st ~stage:"campion"
+                          ~findings:(List.length findings)
+                      then finish st false
+                      else
+                        let prompt = Humanizer.of_campion finding in
+                        (match
+                           deliver st chat ~degraded:(stage_degraded diffed) prompt
+                             ~note:"campion"
+                         with
+                        | `Sent origin ->
+                            taint_refs origin prompt;
+                            loop ()
+                        | `Dropped -> loop ()
+                        | `Gave_up -> finish st false))))
     end
   in
   let transcript = loop () in
@@ -425,8 +662,8 @@ type synthesis_result = {
 
 let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
     ?(stall_threshold = 2) ?(final_check = Simulate) ?pool ?tasks:tasks_override
-    ?(force_hub_faults = []) ?(resilience = Resilience.Runtime.default_config) ~routers
-    () =
+    ?(force_hub_faults = []) ?(resilience = Resilience.Runtime.default_config)
+    ?adversary ~routers () =
   let star = Netcore.Star.make ~routers in
   let tasks =
     match tasks_override with Some ts -> ts | None -> Modularizer.plan star
@@ -434,7 +671,8 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
   let iips = if use_iips then Iip.ids Iip.defaults else [] in
   let rt_main = Resilience.Runtime.create ~salt:seed resilience in
   let suite_main = Resilience.Suite.make rt_main in
-  let st = new_loop ~max_prompts ~stall_threshold in
+  let adv_main = adv_of_spec adversary in
+  let st = new_loop ~adversary:adv_main ~max_prompts ~stall_threshold () in
   record st Human
     (Printf.sprintf
        "Make a %d-router star network follow the no-transit policy: no two ISPs \
@@ -454,8 +692,10 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
       if not (budget_left st) then (Llmsim.Chat.draft chat, false)
       else begin
         Resilience.Runtime.new_round rt;
-        let draft = Llmsim.Chat.draft chat in
+        let draft = adv_draft st chat in
         let give_up () = (draft, false) in
+        if observe_draft st draft then (draft, false)
+        else
         match
           run_stage st rt suite.Resilience.Suite.parse (Batfish.Parse_check.Cisco_ios, draft)
         with
@@ -463,13 +703,16 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
         | (Checked _ | Hand_checked _) as parsed -> (
             let ir, diags = stage_value parsed in
             match first_error diags with
-            | Some diag -> (
-                match
-                  dispatch st chat ~degraded:(stage_degraded parsed) (Humanizer.of_diag diag)
-                    ~note:"syntax"
-                with
-                | Some _ -> loop ()
-                | None -> (draft, false))
+            | Some diag ->
+                let n_errors = List.length (List.filter Netcore.Diag.is_error diags) in
+                if observe_findings st ~stage:"syntax" ~findings:n_errors then (draft, false)
+                else (
+                  match
+                    deliver st chat ~degraded:(stage_degraded parsed) (Humanizer.of_diag diag)
+                      ~note:"syntax"
+                  with
+                  | `Sent _ | `Dropped -> loop ()
+                  | `Gave_up -> (draft, false))
             | None -> (
                 match
                   run_stage st rt suite.Resilience.Suite.topology
@@ -478,13 +721,18 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
                 | Crashed_stage crash -> on_crash st chat crash ~k:loop ~stop:give_up
                 | (Checked _ | Hand_checked _) as topo -> (
                     match stage_value topo with
-                    | finding :: _ -> (
-                        match
-                          dispatch st chat ~degraded:(stage_degraded topo)
-                            (Humanizer.of_topology finding) ~note:"topology"
-                        with
-                        | Some _ -> loop ()
-                        | None -> (draft, false))
+                    | finding :: _ as findings ->
+                        if
+                          observe_findings st ~stage:"topology"
+                            ~findings:(List.length findings)
+                        then (draft, false)
+                        else (
+                          match
+                            deliver st chat ~degraded:(stage_degraded topo)
+                              (Humanizer.of_topology finding) ~note:"topology"
+                          with
+                          | `Sent _ | `Dropped -> loop ()
+                          | `Gave_up -> (draft, false))
                     | [] -> (
                         match
                           run_stage st rt suite.Resilience.Suite.route_policies
@@ -504,13 +752,18 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
                             in
                             match violations with
                             | [] -> (draft, true)
-                            | v :: _ -> (
-                                match
-                                  dispatch st chat ~degraded:(stage_degraded semantics)
-                                    (Humanizer.of_violation v) ~note:"semantic"
-                                with
-                                | Some _ -> loop ()
-                                | None -> (draft, false)))))))
+                            | v :: _ ->
+                                if
+                                  observe_findings st ~stage:"semantic"
+                                    ~findings:(List.length violations)
+                                then (draft, false)
+                                else (
+                                  match
+                                    deliver st chat ~degraded:(stage_degraded semantics)
+                                      (Humanizer.of_violation v) ~note:"semantic"
+                                  with
+                                  | `Sent _ | `Dropped -> loop ()
+                                  | `Gave_up -> (draft, false)))))))
       end
     in
     loop ()
@@ -532,7 +785,11 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
     else max 0 ((max_prompts - (st.auto + st.human)) / List.length tasks)
   in
   let synthesize_router (idx, (task : Modularizer.router_task)) =
-    let sub = new_loop ~max_prompts:router_budget ~stall_threshold in
+    let sub =
+      new_loop
+        ~adversary:(adv_derive adv_main idx)
+        ~max_prompts:router_budget ~stall_threshold ()
+    in
     let force_faults =
       if task.Modularizer.router = star.Netcore.Star.hub then force_hub_faults
       else []
@@ -641,23 +898,31 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
     | (Checked _ | Hand_checked _) as checked -> (
     let (ok, violations), proof = stage_value checked in
     if ok || rounds = 0 || not (budget_left st) then (results, ok, violations, proof)
+    else if observe_findings st ~stage:"global" ~findings:(List.length violations) then
+      (results, ok, violations, proof)
     else
       let hub_task = hub_task_exn () in
       let hub_chat = hub_chat_exn results in
       let prompt = Humanizer.of_global_violations ~hub:hub_name violations in
+      let resynthesize () =
+        let draft, local_ok = local_loop st suite_main hub_task hub_chat in
+        let ir, _ = Cisco.Parser.parse draft in
+        let results =
+          List.map
+            (fun ((name, chat, _, _) as r) ->
+              if name = hub_name then (name, chat, ir, local_ok) else r)
+            results
+        in
+        global_phase results (rounds - 1)
+      in
       match
-        dispatch st hub_chat ~degraded:(stage_degraded checked) prompt ~note:"global"
+        deliver st hub_chat ~degraded:(stage_degraded checked) prompt ~note:"global"
       with
-      | None -> (results, ok, violations, proof)
-      | Some _ ->
-          let draft, local_ok = local_loop st suite_main hub_task hub_chat in
-          let ir, _ = Cisco.Parser.parse draft in
-          let results =
-            List.map
-              (fun ((name, chat, _, _) as r) ->
-                if name = hub_name then (name, chat, ir, local_ok) else r)
-              results
-          in
+      | `Gave_up -> (results, ok, violations, proof)
+      | `Sent _ -> resynthesize ()
+      | `Dropped ->
+          (* The counterexample never reached the hub: nothing changed, so
+             re-checking without re-synthesis just burns a round. *)
           global_phase results (rounds - 1))
   in
   let results, global_ok, global_violations, proof =
@@ -688,7 +953,7 @@ type incremental_result = {
 
 let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
     ?(target = "R2") ?(prepend = [ 1; 1 ])
-    ?(resilience = Resilience.Runtime.default_config) ~routers () =
+    ?(resilience = Resilience.Runtime.default_config) ?adversary ~routers () =
   let star = Netcore.Star.make ~routers in
   let rt = Resilience.Runtime.create ~salt:seed resilience in
   let suite = Resilience.Suite.make rt in
@@ -698,7 +963,7 @@ let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
       (fun (t : Modularizer.router_task) -> (t.Modularizer.router, t.Modularizer.correct))
       (Modularizer.plan star)
   in
-  let st = new_loop ~max_prompts ~stall_threshold in
+  let st = new_loop ~adversary:(adv_of_spec adversary) ~max_prompts ~stall_threshold () in
   let interference = ref false in
   record st Human task.Modularizer.prompt "incremental task prompt";
   (* The LLM edits an already-correct configuration: only the edit-related
@@ -718,8 +983,10 @@ let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
     if not (budget_left st) then false
     else begin
       Resilience.Runtime.new_round rt;
-      let draft = Llmsim.Chat.draft chat in
+      let draft = adv_draft st chat in
       let give_up () = false in
+      if observe_draft st draft then false
+      else
       match
         run_stage st rt suite.Resilience.Suite.parse (Batfish.Parse_check.Cisco_ios, draft)
       with
@@ -727,13 +994,16 @@ let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
       | (Checked _ | Hand_checked _) as parsed -> (
       let ir, diags = stage_value parsed in
       match first_error diags with
-      | Some diag -> (
-          match
-            dispatch st chat ~degraded:(stage_degraded parsed) (Humanizer.of_diag diag)
-              ~note:"syntax"
-          with
-          | Some _ -> loop ()
-          | None -> false)
+      | Some diag ->
+          let n_errors = List.length (List.filter Netcore.Diag.is_error diags) in
+          if observe_findings st ~stage:"syntax" ~findings:n_errors then false
+          else (
+            match
+              deliver st chat ~degraded:(stage_degraded parsed) (Humanizer.of_diag diag)
+                ~note:"syntax"
+            with
+            | `Sent _ | `Dropped -> loop ()
+            | `Gave_up -> false)
       | None -> (
           match
             run_stage st rt suite.Resilience.Suite.route_policies (ir, task.Modularizer.specs)
@@ -752,7 +1022,7 @@ let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
           in
           match violations with
           | [] -> true
-          | v :: _ -> (
+          | v :: _ ->
               (match v.Batfish.Search_route_policies.spec.Batfish.Search_route_policies.requirement with
               | Batfish.Search_route_policies.Denies
               | Batfish.Search_route_policies.Permits
@@ -761,12 +1031,15 @@ let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
                      interference with the verified configuration. *)
                   interference := true
               | Batfish.Search_route_policies.Prepends _ -> ());
-              match
-                dispatch st chat ~degraded:(stage_degraded semantics)
-                  (Humanizer.of_violation v) ~note:"semantic"
-              with
-              | Some _ -> loop ()
-              | None -> false))))
+              if observe_findings st ~stage:"semantic" ~findings:(List.length violations)
+              then false
+              else (
+                match
+                  deliver st chat ~degraded:(stage_degraded semantics)
+                    (Humanizer.of_violation v) ~note:"semantic"
+                with
+                | `Sent _ | `Dropped -> loop ()
+                | `Gave_up -> false))))
     end
   in
   let specs_hold = loop () in

@@ -17,6 +17,18 @@ type origin =
       (** Not a prompt: a transcript annotation that a verifier stage was
           unavailable (breaker open or retries exhausted) and the human ran
           the check by hand. Counts toward neither prompt total. *)
+  | Stalled
+      (** Not a prompt: a transcript annotation that the hardened loop's
+          progress watchdog or oscillation detector ended the run. Counts
+          toward neither prompt total; only emitted on adversary-on runs. *)
+
+(** The convergence verdict a hardened run attaches to its transcript:
+    the loop converged, stalled (watchdog fired, budget exhausted, or it
+    gave up on an unactionable finding — the reason says which), or was
+    caught cycling with the given period. *)
+type certificate = Converged | Stalled_out of string | Oscillating of int
+
+val certificate_to_string : certificate -> string
 
 type event = { origin : origin; prompt : string; note : string }
 
@@ -26,6 +38,11 @@ type transcript = {
   auto_prompts : int;
   converged : bool;
   rounds : int;  (** Verifier passes executed. *)
+  certificate : certificate option;
+      (** [Some] exactly when the run was hardened (a non-trivial
+          [?adversary] spec was passed); [None] keeps plain transcripts —
+          markdown and JSON — byte-identical to the pre-certificate
+          format. *)
 }
 
 val leverage : transcript -> float
@@ -70,6 +87,7 @@ val run_translation :
   ?stall_threshold:int ->
   ?quality:float ->
   ?resilience:Resilience.Runtime.config ->
+  ?adversary:Adversary.Spec.t ->
   cisco_text:string ->
   unit ->
   translation_result
@@ -84,7 +102,17 @@ val run_translation :
     shows up as reduced leverage, never as a hang or an exception. Under
     any fault schedule the loop terminates with [converged = true] or an
     explicit non-converged transcript within [max_prompts]. With every
-    chaos rate 0 the transcript is byte-identical to the unwrapped loop. *)
+    chaos rate 0 the transcript is byte-identical to the unwrapped loop.
+
+    [adversary] (default: none) arms the Byzantine layer: the LLM's drafts
+    and responses pass through {!Adversary.Llm}, verifier findings pass
+    through {!Adversary.Findings}, and the loop is hardened with an
+    oscillation detector (a detected cycle escalates to a human prompt,
+    repeated cycles end the run), a progress watchdog (K rounds with no
+    shrinking finding set end the run) and a convergence {!certificate} on
+    the transcript. Under any adversary rates in [0, 1] the loop terminates
+    within [max_prompts]; a spec with every rate 0 is treated exactly like
+    no spec, keeping transcripts byte-identical. *)
 
 val table2_faults : cisco_text:string -> Llmsim.Fault.t list
 (** One representative fault per Table 2 row, targeted at the reference
@@ -116,6 +144,7 @@ val run_no_transit :
   ?tasks:Modularizer.router_task list ->
   ?force_hub_faults:Llmsim.Fault.t list ->
   ?resilience:Resilience.Runtime.config ->
+  ?adversary:Adversary.Spec.t ->
   routers:int ->
   unit ->
   synthesis_result
@@ -173,6 +202,7 @@ val run_incremental :
   ?target:string ->
   ?prepend:int list ->
   ?resilience:Resilience.Runtime.config ->
+  ?adversary:Adversary.Spec.t ->
   routers:int ->
   unit ->
   incremental_result

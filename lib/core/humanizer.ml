@@ -358,6 +358,22 @@ let of_crash (c : Resilience.Guard.crash) =
     refs = [];
   }
 
+(* An oscillation escalation: the driver detected that the drafts are
+   cycling and routes the current finding straight to the human, framed so
+   the (simulated) operator breaks the cycle rather than replaying the
+   same automated template. The original refs are kept — the cycle is the
+   LLM's, not the finding's. *)
+let of_oscillation ~period (p : prompt) =
+  {
+    text =
+      Printf.sprintf
+        "The conversation is going in circles: the last drafts repeat with \
+         period %d instead of converging. Do not regenerate the previous \
+         configuration; address this finding directly: %s"
+        period p.text;
+    refs = p.refs;
+  }
+
 let of_global_violations ~hub violations =
   let open Llmsim in
   let detail = match violations with v :: _ -> v | [] -> "the global policy fails" in

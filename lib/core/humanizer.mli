@@ -31,6 +31,12 @@ val of_crash : Resilience.Guard.crash -> prompt
     fingerprint. Carries no fault refs, so a persistent crasher stalls out
     and bounds the loop rather than spinning. *)
 
+val of_oscillation : period:int -> prompt -> prompt
+(** Reframe a finding for the human after the driver's oscillation detector
+    fired: the drafts are cycling with the given period, so the automated
+    template is replaced by a break-the-cycle instruction carrying the same
+    fault refs. *)
+
 val of_global_violations : hub:string -> string list -> prompt
 (** A whole-network counterexample ("as would be provided by a 'global'
     network verifier like Minesweeper") — the feedback the paper found

@@ -8,6 +8,8 @@ type summary = {
   min_leverage : float;
   max_leverage : float;
   infinite_leverage : int;
+  stalled : int;
+  oscillating : int;
 }
 
 let summarize transcripts =
@@ -23,6 +25,8 @@ let summarize transcripts =
       min_leverage = 0.;
       max_leverage = 0.;
       infinite_leverage = 0;
+      stalled = 0;
+      oscillating = 0;
     }
   else
     let fn = float_of_int n in
@@ -60,6 +64,22 @@ let summarize transcripts =
       min_leverage = (if n_finite = 0 then 0. else List.fold_left min infinity finite);
       max_leverage = (if n_finite = 0 then 0. else List.fold_left max neg_infinity finite);
       infinite_leverage;
+      stalled =
+        List.length
+          (List.filter
+             (fun (t : Driver.transcript) ->
+               match t.Driver.certificate with
+               | Some (Driver.Stalled_out _) -> true
+               | _ -> false)
+             transcripts);
+      oscillating =
+        List.length
+          (List.filter
+             (fun (t : Driver.transcript) ->
+               match t.Driver.certificate with
+               | Some (Driver.Oscillating _) -> true
+               | _ -> false)
+             transcripts);
     }
 
 let translation_summary ?(runs = 20) ?(base_seed = 1000) ?pool ~cisco_text () =
@@ -83,7 +103,28 @@ let pp_summary ppf s =
     s.runs s.converged s.mean_auto s.mean_human s.mean_leverage s.stddev_leverage
     s.min_leverage s.max_leverage;
   if s.infinite_leverage > 0 then
-    Format.fprintf ppf " [%d runs with infinite leverage]" s.infinite_leverage
+    Format.fprintf ppf " [%d runs with infinite leverage]" s.infinite_leverage;
+  if s.stalled > 0 then Format.fprintf ppf " [%d stalled]" s.stalled;
+  if s.oscillating > 0 then Format.fprintf ppf " [%d oscillating]" s.oscillating
+
+(* Tally of convergence certificates over a hardened sweep, for the A1
+   bench table: one row per distinct certificate string, counted, in
+   first-seen order. Plain transcripts (no certificate) tally under
+   "(none)". *)
+let certificates transcripts =
+  let order = ref [] in
+  let counts = Hashtbl.create 7 in
+  List.iter
+    (fun (t : Driver.transcript) ->
+      let key =
+        match t.Driver.certificate with
+        | None -> "(none)"
+        | Some c -> Driver.certificate_to_string c
+      in
+      if not (Hashtbl.mem counts key) then order := key :: !order;
+      Hashtbl.replace counts key (1 + try Hashtbl.find counts key with Not_found -> 0))
+    transcripts;
+  List.rev_map (fun key -> (key, Hashtbl.find counts key)) !order
 
 (* ------------------------------------------------------------------ *)
 (* Performance instrumentation                                         *)

@@ -14,6 +14,12 @@ type summary = {
   infinite_leverage : int;
       (** Runs with zero human prompts ({!Driver.leverage} is infinite);
           excluded from the mean/stddev/range instead of poisoning them. *)
+  stalled : int;
+      (** Hardened runs whose certificate is [Stalled_out] (watchdog,
+          budget or give-up); 0 on plain sweeps. *)
+  oscillating : int;
+      (** Hardened runs whose certificate is [Oscillating]; 0 on plain
+          sweeps. *)
 }
 
 val summarize : Driver.transcript list -> summary
@@ -34,6 +40,12 @@ val no_transit_summary :
     every statistic, are identical with or without the pool. *)
 
 val pp_summary : Format.formatter -> summary -> unit
+(** One line; stalled/oscillating counts are appended only when nonzero, so
+    plain-sweep output is unchanged from the pre-adversary format. *)
+
+val certificates : Driver.transcript list -> (string * int) list
+(** Tally of {!Driver.certificate_to_string} over a sweep, first-seen
+    order; transcripts without a certificate count under ["(none)"]. *)
 
 (** {2 Performance instrumentation} *)
 

@@ -43,3 +43,6 @@ let kv ~title pairs =
   Buffer.add_string buf (title ^ "\n");
   List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %s : %s\n" (pad k w) v)) pairs;
   Buffer.contents buf
+
+let counts ~title pairs =
+  kv ~title (List.map (fun (k, n) -> (k, string_of_int n)) pairs)

@@ -8,3 +8,6 @@ val table :
 
 val kv : title:string -> (string * string) list -> string
 (** A two-column key/value block. *)
+
+val counts : title:string -> (string * int) list -> string
+(** {!kv} with integer values — e.g. a {!Metrics.certificates} tally. *)

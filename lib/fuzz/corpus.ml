@@ -38,3 +38,57 @@ let texts = function
 let reference_ir = function
   | Cisco -> Lazy.force border_ir
   | Junos -> Lazy.force junos_ir
+
+(* Topology dictionaries: the JSON the topology verifier consumes. Seeds
+   are well-formed (the star generator at two sizes, one empty dictionary,
+   one compact hand-written single-router file) — the mutator supplies the
+   damage, starting from text a user or LLM could plausibly have
+   produced. *)
+let topology_texts =
+  lazy
+    (let star n =
+       Netcore.Json.to_string ~pretty:true
+         (Netcore.Star.to_json (Netcore.Star.make ~routers:n))
+     in
+     [
+       star 3;
+       star 5;
+       {|{"routers":[],"links":[]}|};
+       {|{"routers":[{"name":"R1","as":65001,"router_id":"10.0.0.1","interfaces":[{"interface":"GigabitEthernet0/0","address":"10.0.12.1","subnet":"10.0.12.0/30"}],"stub_networks":["10.1.0.0/16"]}],"links":[]}|};
+     ])
+
+(* Local-policy fragments: route maps with their prefix/community lists in
+   the Cisco dialect, the text the semantic verifier's specs are written
+   against. Kept fragment-sized so a 1–4-op mutation lands inside the
+   policy rather than in unrelated stanzas. *)
+let policy_texts =
+  lazy
+    [
+      String.concat "\n"
+        [
+          "ip prefix-list private-ips seq 5 permit 10.0.0.0/8 le 32";
+          "ip prefix-list our-networks seq 5 permit 1.2.3.0/24 ge 24";
+          "route-map from_customer deny 100";
+          " match ip address prefix-list private-ips";
+          "route-map from_customer permit 200";
+          " match ip address prefix-list our-networks";
+        ];
+      String.concat "\n"
+        [
+          "ip community-list standard cust-comm permit 100:1";
+          "route-map to_provider permit 100";
+          " match community cust-comm";
+          " set community 100:2 additive";
+          "route-map to_provider deny 200";
+        ];
+      String.concat "\n"
+        [
+          "ip prefix-list default-route seq 5 permit 0.0.0.0/0";
+          "route-map from_provider permit 100";
+          " match ip address prefix-list default-route";
+          " set local-preference 90";
+        ];
+    ]
+
+let topology_seeds () = Lazy.force topology_texts
+let policy_seeds () = Lazy.force policy_texts

@@ -13,3 +13,11 @@ val texts : dialect -> string list
 val reference_ir : dialect -> Policy.Config_ir.t
 (** The stock parsed reference the property driver diffs fuzzed parses
     against. *)
+
+val topology_seeds : unit -> string list
+(** Topology-dictionary JSON seed texts for fuzzing the topology verifier:
+    the star generator at two sizes plus hand-written minimal files. *)
+
+val policy_seeds : unit -> string list
+(** Cisco local-policy fragments (route maps with their prefix/community
+    lists) for fuzzing the policy parser and semantic checker. *)

@@ -132,10 +132,22 @@ let num_extreme rng s =
 let ops =
   [ bitflip; truncate; dup_line; del_line; token_swap; insert_noise; num_extreme ]
 
-let mutate rng ~corpus s =
-  let n = List.length ops + 1 in
-  let k = Llmsim.Rng.int rng n in
+(* The splice operator lives at index [List.length ops] — it has a
+   different shape (needs the corpus), so it sits past the plain ops. *)
+let n_ops = List.length ops + 1
+
+let op_names =
+  [|
+    "bitflip"; "truncate"; "dup-line"; "del-line"; "token-swap"; "insert-noise";
+    "num-extreme"; "splice";
+  |]
+
+let op_name k = if k >= 0 && k < n_ops then op_names.(k) else "?"
+
+let apply rng ~corpus k s =
   clip (if k = List.length ops then splice rng ~corpus s else (List.nth ops k) rng s)
+
+let mutate rng ~corpus s = apply rng ~corpus (Llmsim.Rng.int rng n_ops) s
 
 (* The (seed, round) stream: a distinct odd multiplier pair keeps it
    disjoint from every chaos/jitter/worker stream in Resilience.Chaos. *)
@@ -150,3 +162,48 @@ let mutant ~seed ~round ~corpus =
       let n_ops = 1 + Llmsim.Rng.int rng 4 in
       let rec go n s = if n = 0 then s else go (n - 1) (mutate rng ~corpus s) in
       go n_ops base
+
+(* ------------------------------------------------------------------ *)
+(* Weighted scheduling                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Coverage-guided operator bias: the campaign keeps a score per operator,
+   bumped when an operator participated in a crashing input (more for one
+   that opened a previously unseen crash bucket). Operator k is drawn with
+   weight [1 + score k] — the +1 floor keeps every operator live, so the
+   bias can never starve an operator out of the schedule entirely.
+
+   The draws still come from the same [(seed, round)] stream, so a mutant
+   is a pure function of (seed, round, corpus, history-so-far): replaying a
+   campaign from its seed list regenerates the identical inputs, scores and
+   crashes. *)
+
+type history = { scores : int array }
+
+let history () = { scores = Array.make n_ops 0 }
+let reward h ~op points = if op >= 0 && op < n_ops then h.scores.(op) <- h.scores.(op) + points
+let score h ~op = if op >= 0 && op < n_ops then h.scores.(op) else 0
+
+let weighted_pick rng h =
+  let total = Array.fold_left (fun acc s -> acc + 1 + s) 0 h.scores in
+  let r = Llmsim.Rng.int rng total in
+  let rec go k acc =
+    let acc = acc + 1 + h.scores.(k) in
+    if r < acc || k = n_ops - 1 then k else go (k + 1) acc
+  in
+  go 0 0
+
+let weighted_mutant ~seed ~round ~corpus ~history =
+  let rng = Llmsim.Rng.make (stream_seed ~seed ~round) in
+  match corpus with
+  | [] -> ("", [])
+  | _ ->
+      let base = List.nth corpus (pick rng (List.length corpus)) in
+      let rounds = 1 + Llmsim.Rng.int rng 4 in
+      let rec go n s applied =
+        if n = 0 then (s, List.rev applied)
+        else
+          let k = weighted_pick rng history in
+          go (n - 1) (apply rng ~corpus k s) (k :: applied)
+      in
+      go rounds base []

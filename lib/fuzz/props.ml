@@ -132,23 +132,238 @@ type report = { dialect : Corpus.dialect; inputs : int; escapes : escape list }
    reported raw — by then the gate has already failed. *)
 let minimize_cap = 5
 
-let run dialect ~seeds ~mutations =
-  let corpus = Corpus.texts dialect in
+(* The campaign loop, generic over the checker and corpus so the topology
+   and policy targets reuse it. With [?schedule] the mutants come from the
+   weighted schedule and each crashing input pays its operators: 1 point
+   each, 2 when the input opened a (stage, constructor) bucket this
+   campaign had not seen. Without a schedule the loop is exactly the
+   uniform fuzzer. *)
+let run_campaign ?schedule dialect ~checker ~corpus ~seeds ~mutations =
   let inputs = ref 0 and escapes = ref [] and minimized = ref 0 in
+  let seen_buckets = Hashtbl.create 16 in
+  let still_failing (v : violation) s =
+    List.exists (fun v' -> v'.property = v.property && v'.stage = v.stage) (checker s)
+  in
+  let finalize_v ~seed ~round m v =
+    let do_min = !minimized < minimize_cap in
+    if do_min then incr minimized;
+    {
+      dialect;
+      violation = v;
+      fingerprint = Resilience.Guard.fingerprint_string m;
+      seed;
+      round;
+      input = m;
+      minimized =
+        (if do_min then Shrink.minimize ~max_checks:800 ~still_failing:(still_failing v) m
+         else m);
+    }
+  in
   List.iter
     (fun seed ->
       for round = 0 to mutations - 1 do
         incr inputs;
-        let m = Mutator.mutant ~seed ~round ~corpus in
-        List.iter
-          (fun v ->
-            let do_min = !minimized < minimize_cap in
-            if do_min then incr minimized;
-            escapes := finalize ~minimize:do_min dialect ~seed ~round m v :: !escapes)
-          (check dialect m)
+        let m, ops_used =
+          match schedule with
+          | None -> (Mutator.mutant ~seed ~round ~corpus, [])
+          | Some h -> Mutator.weighted_mutant ~seed ~round ~corpus ~history:h
+        in
+        let vs = checker m in
+        (match (schedule, vs) with
+        | Some h, _ :: _ ->
+            let fresh =
+              List.exists
+                (fun (v : violation) ->
+                  let key = (v.stage, v.constructor) in
+                  if Hashtbl.mem seen_buckets key then false
+                  else begin
+                    Hashtbl.replace seen_buckets key ();
+                    true
+                  end)
+                vs
+            in
+            List.iter (fun op -> Mutator.reward h ~op (if fresh then 2 else 1)) ops_used
+        | _ -> ());
+        List.iter (fun v -> escapes := finalize_v ~seed ~round m v :: !escapes) vs
       done)
     seeds;
   { dialect; inputs = !inputs; escapes = List.rev !escapes }
+
+let run ?schedule dialect ~seeds ~mutations =
+  run_campaign ?schedule dialect ~checker:(check dialect) ~corpus:(Corpus.texts dialect)
+    ~seeds ~mutations
+
+(* ------------------------------------------------------------------ *)
+(* Structured-text targets: topology dictionaries, policy fragments     *)
+(* ------------------------------------------------------------------ *)
+
+let crash_violation property (c : Resilience.Guard.crash) =
+  {
+    property;
+    stage = c.Resilience.Guard.stage;
+    constructor = c.Resilience.Guard.constructor;
+    detail = c.Resilience.Guard.message;
+  }
+
+(* The topology verifier consumes an arbitrary JSON text: a parse failure
+   must come back as [Error], a parseable dictionary must verify (or
+   structurally reject) any router against any config, and neither step may
+   raise. *)
+let check_topology s =
+  let violations = ref [] in
+  let crash property c = violations := crash_violation property c :: !violations in
+  (match guard ~label:"topology-json" ~input:s (fun () -> Netcore.Json.of_string s) with
+  | Error c -> crash "total-topology-json" c
+  | Ok (Error _) -> ()
+  | Ok (Ok json) -> (
+      let ir = Corpus.reference_ir Corpus.Cisco in
+      match
+        guard ~label:"topology-verify" ~input:s (fun () ->
+            ignore (Topoverify.Verifier.check_from_json json ~router:"R1" ir);
+            ignore (Topoverify.Verifier.check_from_json json ~router:"R9" ir))
+      with
+      | Error c -> crash "total-topoverify" c
+      | Ok () -> ()));
+  List.rev !violations
+
+(* Specs for the policy target: written against the route maps in
+   {!Corpus.policy_seeds}, but total against whatever the mutant actually
+   parses to — a renamed map is just [Policy_missing]. *)
+let policy_specs =
+  lazy
+    (List.map
+       (fun (policy, requirement) ->
+         {
+           Batfish.Search_route_policies.policy;
+           space = Symbolic.Pred.full;
+           requirement;
+           description = "any route";
+         })
+       [
+         ("from_customer", Batfish.Search_route_policies.Permits);
+         ("to_provider", Batfish.Search_route_policies.Denies);
+         ("from_provider", Batfish.Search_route_policies.Permits);
+       ])
+
+let check_policy s =
+  let violations = ref [] in
+  let crash property c = violations := crash_violation property c :: !violations in
+  (match guard ~label:"policy-parse" ~input:s (fun () -> Cisco.Parser.parse s) with
+  | Error c -> crash "total-policy-parse" c
+  | Ok (ir, _) -> (
+      match
+        guard ~label:"policy-check" ~input:s (fun () ->
+            ignore (Batfish.Search_route_policies.check_all ir (Lazy.force policy_specs)))
+      with
+      | Error c -> crash "total-policy-check" c
+      | Ok () -> ()));
+  List.rev !violations
+
+let run_topology ?schedule ~seeds ~mutations () =
+  run_campaign ?schedule Corpus.Cisco ~checker:check_topology
+    ~corpus:(Corpus.topology_seeds ()) ~seeds ~mutations
+
+let run_policy ?schedule ~seeds ~mutations () =
+  run_campaign ?schedule Corpus.Cisco ~checker:check_policy
+    ~corpus:(Corpus.policy_seeds ()) ~seeds ~mutations
+
+(* ------------------------------------------------------------------ *)
+(* Loop-level totality: corrupted findings, the full loop under attack  *)
+(* ------------------------------------------------------------------ *)
+
+(* Realistic humanizer outputs the corruption layer then mangles — the
+   mutator starts from text shaped like what the drivers actually emit. *)
+let finding_messages =
+  [
+    "There is a syntax error: 'route-map from_customer permit'";
+    "The route-map to_provider permits routes that have the community 100:1. \
+     However, they should be denied.";
+    "The interface GigabitEthernet0/0 has address 10.0.12.1 but the topology \
+     dictionary specifies 10.0.12.2.";
+    "The neighbor 10.0.12.2 is missing from the BGP configuration.";
+    "[human] Rewrite the to_provider route map from scratch.";
+  ]
+
+let fuzz_corrupted_findings ~mode ~seed ~cases =
+  let config =
+    Adversary.Findings.with_rate (Adversary.Findings.make ~seed ()) mode 1.0
+  in
+  let fsim = Adversary.Findings.create config in
+  let junos_ir = Corpus.reference_ir Corpus.Junos in
+  let refs =
+    match Llmsim.Fault.opportunities Llmsim.Fault.Junos_cfg junos_ir with
+    | [] -> []
+    | f :: _ -> [ f ]
+  in
+  let violations = ref [] in
+  let crash property c = violations := crash_violation property c :: !violations in
+  for round = 0 to cases - 1 do
+    let text = Mutator.mutant ~seed ~round ~corpus:finding_messages in
+    let pairs =
+      match
+        guard ~label:"findings-corrupt" ~input:text (fun () ->
+            Adversary.Findings.corrupt fsim ~text ~refs)
+      with
+      | Error c ->
+          crash "total-corrupt" c;
+          []
+      | Ok pairs -> pairs
+    in
+    List.iter
+      (fun (text', refs') ->
+        (* The humanizer templates must accept a garbled diagnostic. *)
+        (match
+           guard ~label:"humanizer-of-diag" ~input:text' (fun () ->
+               ignore (Cosynth.Humanizer.of_diag (Netcore.Diag.error text')))
+         with
+        | Error c -> crash "total-humanizer" c
+        | Ok () -> ());
+        (* And the chat (the loop's consumer) must absorb the corrupted
+           prompt without raising. *)
+        match
+          guard ~label:"chat-respond" ~input:text' (fun () ->
+              let chat =
+                Llmsim.Chat.start ~seed Llmsim.Fault.Junos_cfg ~correct:junos_ir
+              in
+              Llmsim.Chat.respond chat
+                { Llmsim.Chat.text = text'; refs = refs'; strength = Llmsim.Chat.Auto })
+        with
+        | Error c -> crash "total-chat-respond" c
+        | Ok () -> ())
+      pairs
+  done;
+  List.rev !violations
+
+let loop_budget = 40
+
+let fuzz_loop ~mode ~seed ~rate =
+  let llm = Adversary.Llm.with_rate (Adversary.Llm.make ~seed ()) mode rate in
+  let adversary = Adversary.Spec.make ~llm () in
+  match
+    Resilience.Guard.run ~label:"vpp-loop" ~fingerprint:(string_of_int seed) (fun () ->
+        Cosynth.Driver.run_translation ~seed ~max_prompts:loop_budget ~adversary
+          ~cisco_text:Cisco.Samples.border_router ())
+  with
+  | Error c -> [ crash_violation "total-loop" c ]
+  | Ok r ->
+      let t = r.Cosynth.Driver.transcript in
+      let violations = ref [] in
+      let fail property detail =
+        violations :=
+          { property; stage = "vpp-loop"; constructor = "Invariant"; detail }
+          :: !violations
+      in
+      let prompts = t.Cosynth.Driver.auto_prompts + t.Cosynth.Driver.human_prompts in
+      if prompts > loop_budget then
+        fail "loop-budget"
+          (Printf.sprintf "%d prompts exceed max_prompts=%d" prompts loop_budget);
+      (match (Adversary.Spec.is_none adversary, t.Cosynth.Driver.certificate) with
+      | false, None ->
+          fail "loop-certificate" "hardened run produced no convergence certificate"
+      | true, Some _ ->
+          fail "loop-certificate" "rate-0 run produced a certificate (identity broken)"
+      | _ -> ());
+      List.rev !violations
 
 (* ------------------------------------------------------------------ *)
 (* Regression corpus replay                                            *)

@@ -34,10 +34,45 @@ val check : Corpus.dialect -> string -> violation list
 
 type report = { dialect : Corpus.dialect; inputs : int; escapes : escape list }
 
-val run : Corpus.dialect -> seeds:int list -> mutations:int -> report
+val run : ?schedule:Mutator.history -> Corpus.dialect -> seeds:int list -> mutations:int -> report
 (** The fuzz loop: for every seed, [mutations] deterministic mutants of the
     dialect corpus, each run through {!check}. The first few escapes are
-    minimized by {!Shrink.minimize}. *)
+    minimized by {!Shrink.minimize}. With [schedule] the mutants come from
+    {!Mutator.weighted_mutant} and crashing inputs reward their operators
+    (1 point each, 2 when the input opened an unseen (stage, constructor)
+    bucket), biasing later rounds toward productive operators. *)
+
+val check_topology : string -> violation list
+(** Totality of the topology verifier on an arbitrary JSON text: parse
+    failures must be structured [Error]s, a parseable dictionary must
+    verify (or structurally reject) any router without raising. *)
+
+val check_policy : string -> violation list
+(** Totality of the Cisco parse + semantic route-policy check
+    ({!Batfish.Search_route_policies.check_all} against the full symbolic
+    space) on an arbitrary policy fragment. *)
+
+val run_topology :
+  ?schedule:Mutator.history -> seeds:int list -> mutations:int -> unit -> report
+(** {!run} over {!Corpus.topology_seeds} with {!check_topology}. The
+    report's [dialect] is [Cisco] (the field keys replay only). *)
+
+val run_policy :
+  ?schedule:Mutator.history -> seeds:int list -> mutations:int -> unit -> report
+(** {!run} over {!Corpus.policy_seeds} with {!check_policy}. *)
+
+val fuzz_corrupted_findings :
+  mode:Adversary.Findings.mode -> seed:int -> cases:int -> violation list
+(** Loop-level totality of the feedback path: mutate realistic finding
+    texts, pass each through {!Adversary.Findings.corrupt} at rate 1 for
+    the given mode, and require the humanizer and the chat's prompt
+    consumer to absorb every corrupted delivery without raising. *)
+
+val fuzz_loop : mode:Adversary.Llm.mode -> seed:int -> rate:float -> violation list
+(** One full translation loop under the given Byzantine-LLM mode at the
+    given rate, behind the Guard firewall. Violations: the loop raised, the
+    transcript exceeded its prompt budget, a hardened run carried no
+    convergence certificate, or a rate-0 run carried one. *)
 
 val replay_dir : string -> (string * escape list) list
 (** Replay every [*.txt] file in a regression-corpus directory (files named

@@ -66,6 +66,7 @@ let start ?(seed = 42) ?(iips = []) ?(regression_rate = 0.12)
   t
 
 let draft t = Fault.render t.dialect_ t.correct t.live
+let correct t = t.correct
 let live_faults t = t.live
 let fixed_faults t = t.fixed
 let dialect t = t.dialect_

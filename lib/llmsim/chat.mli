@@ -47,6 +47,10 @@ val start :
 val draft : t -> string
 (** Current rendering of the draft configuration. *)
 
+val correct : t -> Config_ir.t
+(** The task's oracle artifact (used by adversarial wrappers that re-render
+    the draft, e.g. in the wrong dialect). *)
+
 val live_faults : t -> Fault.t list
 val fixed_faults : t -> Fault.t list
 val dialect : t -> Fault.dialect

@@ -1,0 +1,90 @@
+(* Persistent crash triage: the Guard registry, journaled across runs.
+
+   Each [append] writes one JSON object per (stage, constructor) bucket on
+   its own line — append-only, so concurrent tools never corrupt earlier
+   rows and a crashed run still leaves everything it observed. [load]
+   re-merges the history; malformed lines are skipped rather than fatal
+   (the file may end mid-line if the writer died). *)
+
+open Netcore
+
+type row = {
+  stage : string;
+  constructor : string;
+  count : int;
+  first_seed : int;  (* seed of the earliest line mentioning this bucket *)
+  last_seed : int;  (* seed of the latest line mentioning this bucket *)
+}
+
+let encode_line ~seed (stage, constructor, count) =
+  Json.to_string
+    (Json.Obj
+       [
+         ("stage", Json.String stage);
+         ("ctor", Json.String constructor);
+         ("count", Json.Int count);
+         ("seed", Json.Int seed);
+       ])
+
+let append ~path ~seed crashes =
+  if crashes <> [] then begin
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        List.iter
+          (fun bucket ->
+            output_string oc (encode_line ~seed bucket);
+            output_char oc '\n')
+          crashes)
+  end
+
+let decode_line line =
+  match Json.of_string line with
+  | Error _ -> None
+  | Ok j -> (
+      let mem f name = Option.bind (Json.member name j) f in
+      match
+        ( mem Json.to_str "stage",
+          mem Json.to_str "ctor",
+          mem Json.to_int "count",
+          mem Json.to_int "seed" )
+      with
+      | Some stage, Some constructor, Some count, Some seed ->
+          Some (stage, constructor, count, seed)
+      | _ -> None)
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let order = ref [] in
+    let merged = Hashtbl.create 16 in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          while true do
+            match decode_line (input_line ic) with
+            | None -> ()
+            | Some (stage, constructor, count, seed) ->
+                let key = (stage, constructor) in
+                (match Hashtbl.find_opt merged key with
+                | None ->
+                    order := key :: !order;
+                    Hashtbl.replace merged key
+                      { stage; constructor; count; first_seed = seed; last_seed = seed }
+                | Some r ->
+                    Hashtbl.replace merged key
+                      { r with count = r.count + count; last_seed = seed })
+          done
+        with End_of_file -> ());
+    List.rev_map (fun key -> Hashtbl.find merged key) !order
+    |> List.sort (fun a b ->
+           match compare a.stage b.stage with
+           | 0 -> compare a.constructor b.constructor
+           | c -> c)
+  end
+
+let record ~path ~seed =
+  append ~path ~seed (Guard.crashes ())

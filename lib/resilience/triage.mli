@@ -1,0 +1,31 @@
+(** Persistent crash triage.
+
+    The {!Guard} registry is per-process; fuzzing and chaos campaigns want
+    crash buckets that survive across runs so a rare crasher seen once last
+    week is not forgotten. [append] journals registry rows to an
+    append-only JSONL file (one object per (stage, constructor) bucket per
+    call, tagged with the run's seed); [load] merges the whole history back
+    into per-bucket rows with counts summed and the first/last seed that
+    observed each bucket. The format is line-oriented on purpose: a writer
+    that dies mid-line loses only that line, and [load] skips anything
+    malformed instead of failing. *)
+
+type row = {
+  stage : string;
+  constructor : string;
+  count : int;  (** Total across every journaled run. *)
+  first_seed : int;  (** Seed of the earliest run that hit this bucket. *)
+  last_seed : int;  (** Seed of the latest run that hit this bucket. *)
+}
+
+val append : path:string -> seed:int -> (string * string * int) list -> unit
+(** Journal [(stage, constructor, count)] rows (the {!Guard.crashes} shape)
+    under the given seed. A no-op on an empty list — a clean run leaves the
+    file untouched (and uncreated). *)
+
+val record : path:string -> seed:int -> unit
+(** [append] the current {!Guard.crashes} registry. *)
+
+val load : string -> row list
+(** Merged history, sorted by stage then constructor. A missing file is an
+    empty history; malformed lines are skipped. *)

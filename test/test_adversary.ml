@@ -1,0 +1,301 @@
+(* Tests for the adversary layer (lib/adversary) and the driver-loop
+   hardening it drives: the oscillation detector on a planted A/B/A cycle,
+   the progress watchdog at exactly K rounds, per-mode seed determinism of
+   the Byzantine wrappers, the rate-0 identity, and a qcheck that the
+   hardened loop terminates with a certificate for arbitrary rates in
+   [0, 1]. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Watch: oscillation detector                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_osc_period1 () =
+  let o = Adversary.Watch.osc ~repeat_threshold:3 in
+  check bool_t "first A" true (Adversary.Watch.observe o "A" = None);
+  check bool_t "second A" true (Adversary.Watch.observe o "A" = None);
+  (* Third identical draft completes a period-1 cycle. *)
+  check bool_t "third A fires period 1" true (Adversary.Watch.observe o "A" = Some 1);
+  (* Detection cleared the history: the same episode is not re-reported. *)
+  check bool_t "re-armed" true (Adversary.Watch.observe o "A" = None)
+
+let test_osc_planted_aba () =
+  let o = Adversary.Watch.osc ~repeat_threshold:3 in
+  let feed s = Adversary.Watch.observe o s in
+  (* A planted A/B/A/B alternation: two full periods complete the cycle. *)
+  check bool_t "A" true (feed "draft A" = None);
+  check bool_t "B" true (feed "draft B" = None);
+  check bool_t "A again" true (feed "draft A" = None);
+  check int_t "B again fires period 2" 2
+    (Option.value ~default:0 (feed "draft B"));
+  (* Converging drafts never fire. *)
+  let o2 = Adversary.Watch.osc ~repeat_threshold:3 in
+  List.iteri
+    (fun i s ->
+      if Adversary.Watch.observe o2 s <> None then
+        Alcotest.failf "distinct draft %d reported as a cycle" i)
+    [ "v1"; "v2"; "v3"; "v4"; "v5" ]
+
+(* ------------------------------------------------------------------ *)
+(* Watch: progress watchdog                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_watchdog_fires_at_exactly_k () =
+  let k = 5 in
+  let p = Adversary.Watch.progress ~rounds:k in
+  (* First observation of the stage counts as progress. *)
+  check bool_t "round 0 is progress" false
+    (Adversary.Watch.step p ~stage:"syntax" ~findings:4);
+  (* K - 1 flat rounds: armed but silent. *)
+  for i = 1 to k - 1 do
+    if Adversary.Watch.step p ~stage:"syntax" ~findings:4 then
+      Alcotest.failf "watchdog fired early at flat round %d (limit %d)" i k
+  done;
+  (* The K-th consecutive non-improving round fires. *)
+  check bool_t "fires at exactly K" true
+    (Adversary.Watch.step p ~stage:"syntax" ~findings:4)
+
+let test_watchdog_reset_on_progress () =
+  let k = 4 in
+  let p = Adversary.Watch.progress ~rounds:k in
+  ignore (Adversary.Watch.step p ~stage:"syntax" ~findings:6);
+  for _ = 1 to k - 1 do
+    ignore (Adversary.Watch.step p ~stage:"syntax" ~findings:6)
+  done;
+  (* A shrinking finding set resets the streak... *)
+  check bool_t "improvement is progress" false
+    (Adversary.Watch.step p ~stage:"syntax" ~findings:5);
+  (* ...so the next K - 1 flat rounds stay silent again. *)
+  for i = 1 to k - 1 do
+    if Adversary.Watch.step p ~stage:"syntax" ~findings:5 then
+      Alcotest.failf "watchdog fired %d round(s) after progress (limit %d)" i k
+  done;
+  check bool_t "then fires" true (Adversary.Watch.step p ~stage:"syntax" ~findings:5)
+
+(* ------------------------------------------------------------------ *)
+(* Per-mode seed determinism                                           *)
+(* ------------------------------------------------------------------ *)
+
+let translate ?adversary seed =
+  (Cosynth.Driver.run_translation ~seed ?adversary
+     ~cisco_text:Cisco.Samples.border_router ())
+    .Cosynth.Driver.transcript
+
+let transcript_fingerprint t =
+  Netcore.Json.to_string (Cosynth.Driver.transcript_to_json t)
+
+let test_llm_modes_deterministic () =
+  List.iter
+    (fun mode ->
+      let spec =
+        Adversary.Spec.make
+          ~llm:(Adversary.Llm.with_rate (Adversary.Llm.make ~seed:9 ()) mode 0.5)
+          ()
+      in
+      check string_t
+        (Printf.sprintf "llm mode %s reproducible in seed"
+           (Adversary.Llm.mode_name mode))
+        (transcript_fingerprint (translate ~adversary:spec 31))
+        (transcript_fingerprint (translate ~adversary:spec 31)))
+    Adversary.Llm.all_modes
+
+let test_findings_modes_deterministic () =
+  List.iter
+    (fun mode ->
+      let spec =
+        Adversary.Spec.make
+          ~findings:
+            (Adversary.Findings.with_rate (Adversary.Findings.make ~seed:9 ()) mode 0.5)
+          ()
+      in
+      check string_t
+        (Printf.sprintf "findings mode %s reproducible in seed"
+           (Adversary.Findings.mode_name mode))
+        (transcript_fingerprint (translate ~adversary:spec 31))
+        (transcript_fingerprint (translate ~adversary:spec 31)))
+    Adversary.Findings.all_modes
+
+let test_modes_distinct_streams () =
+  (* Different modes at the same seed draw from disjoint streams, so they
+     corrupt different rounds — the transcripts must not all coincide. *)
+  let prints =
+    List.map
+      (fun mode ->
+        let spec =
+          Adversary.Spec.make
+            ~llm:(Adversary.Llm.with_rate (Adversary.Llm.make ~seed:9 ()) mode 0.6)
+            ()
+        in
+        transcript_fingerprint (translate ~adversary:spec 31))
+      Adversary.Llm.all_modes
+  in
+  check bool_t "modes diverge" true (List.length (List.sort_uniq compare prints) > 1)
+
+(* ------------------------------------------------------------------ *)
+(* Rate-0 identity and certificates                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_rate0_identity () =
+  List.iter
+    (fun seed ->
+      let plain = translate seed in
+      let zero = translate ~adversary:Adversary.Spec.none seed in
+      check string_t
+        (Printf.sprintf "rate-0 JSON identical (seed %d)" seed)
+        (transcript_fingerprint plain) (transcript_fingerprint zero);
+      check string_t
+        (Printf.sprintf "rate-0 markdown identical (seed %d)" seed)
+        (Cosynth.Driver.transcript_to_markdown ~title:"t" plain)
+        (Cosynth.Driver.transcript_to_markdown ~title:"t" zero);
+      check bool_t "plain run carries no certificate" true
+        (plain.Cosynth.Driver.certificate = None))
+    [ 1; 5; 42 ]
+
+let test_certificate_roundtrip () =
+  List.iter
+    (fun cert ->
+      let t =
+        {
+          Cosynth.Driver.events = [];
+          human_prompts = 1;
+          auto_prompts = 3;
+          converged = false;
+          rounds = 4;
+          certificate = cert;
+        }
+      in
+      let t' = Cosynth.Driver.transcript_of_json (Cosynth.Driver.transcript_to_json t) in
+      check bool_t "certificate round-trips" true
+        (t'.Cosynth.Driver.certificate = cert))
+    [
+      None;
+      Some Cosynth.Driver.Converged;
+      Some (Cosynth.Driver.Stalled_out "watchdog");
+      Some (Cosynth.Driver.Oscillating 2);
+    ]
+
+let test_hardened_run_certified () =
+  let spec =
+    Adversary.Spec.make
+      ~llm:(Adversary.Llm.make ~truncated:0.4 ~seed:3 ())
+      ~findings:(Adversary.Findings.make ~garbled:0.3 ~seed:3 ())
+      ()
+  in
+  List.iter
+    (fun seed ->
+      let t = translate ~adversary:spec seed in
+      match t.Cosynth.Driver.certificate with
+      | Some _ -> ()
+      | None -> Alcotest.failf "hardened run (seed %d) has no certificate" seed)
+    [ 1; 2; 3; 4; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Triage persistence                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_triage_roundtrip () =
+  let path = Filename.temp_file "cosynth-triage" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Resilience.Triage.append ~path ~seed:7
+        [ ("cisco-parse", "Failure", 3); ("bgp-sim", "Invalid_argument", 1) ];
+      Resilience.Triage.append ~path ~seed:9 [ ("cisco-parse", "Failure", 2) ];
+      (* A torn final line (writer died mid-write) must be skipped. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{\"stage\":\"trunc";
+      close_out oc;
+      match Resilience.Triage.load path with
+      | [ bgp; cisco ] ->
+          check string_t "sorted by stage" "bgp-sim" bgp.Resilience.Triage.stage;
+          check int_t "counts summed" 5 cisco.Resilience.Triage.count;
+          check int_t "first seed" 7 cisco.Resilience.Triage.first_seed;
+          check int_t "last seed" 9 cisco.Resilience.Triage.last_seed
+      | rows -> Alcotest.failf "expected 2 merged rows, got %d" (List.length rows))
+
+let test_triage_missing_file () =
+  check int_t "missing file is empty history" 0
+    (List.length (Resilience.Triage.load "/nonexistent/cosynth-triage.jsonl"))
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: termination with certificate for arbitrary rates            *)
+(* ------------------------------------------------------------------ *)
+
+let rate_gen = QCheck2.Gen.float_bound_inclusive 1.0
+
+let spec_gen =
+  QCheck2.Gen.map
+    (fun ((truncated, wrong_dialect, stale), (partial_fix, off_topic), (dropped, garbled)) ->
+      Adversary.Spec.make
+        ~llm:
+          (Adversary.Llm.make ~truncated ~wrong_dialect ~stale ~partial_fix
+             ~off_topic ~seed:5 ())
+        ~findings:(Adversary.Findings.make ~dropped ~garbled ~seed:5 ())
+        ())
+    (QCheck2.Gen.triple
+       (QCheck2.Gen.triple rate_gen rate_gen rate_gen)
+       (QCheck2.Gen.pair rate_gen rate_gen)
+       (QCheck2.Gen.pair rate_gen rate_gen))
+
+let max_prompts = 30
+
+let prop_loop_terminates_certified =
+  QCheck2.Test.make ~name:"hardened loop terminates with a certificate for any rates"
+    ~count:30 spec_gen (fun spec ->
+      let t =
+        (Cosynth.Driver.run_translation ~seed:11 ~max_prompts ~adversary:spec
+           ~cisco_text:Cisco.Samples.border_router ())
+          .Cosynth.Driver.transcript
+      in
+      let within_budget =
+        t.Cosynth.Driver.auto_prompts + t.Cosynth.Driver.human_prompts <= max_prompts
+      in
+      let certified =
+        if Adversary.Spec.is_none spec then t.Cosynth.Driver.certificate = None
+        else t.Cosynth.Driver.certificate <> None
+      in
+      within_budget && certified)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "adversary"
+    [
+      ( "watch",
+        [
+          Alcotest.test_case "period-1 cycle detected" `Quick test_osc_period1;
+          Alcotest.test_case "planted A/B/A cycle detected" `Quick test_osc_planted_aba;
+          Alcotest.test_case "watchdog fires at exactly K" `Quick
+            test_watchdog_fires_at_exactly_k;
+          Alcotest.test_case "watchdog resets on progress" `Quick
+            test_watchdog_reset_on_progress;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "llm modes reproducible in seed" `Quick
+            test_llm_modes_deterministic;
+          Alcotest.test_case "findings modes reproducible in seed" `Quick
+            test_findings_modes_deterministic;
+          Alcotest.test_case "modes draw disjoint streams" `Quick
+            test_modes_distinct_streams;
+        ] );
+      ( "certificates",
+        [
+          Alcotest.test_case "rate-0 identity" `Quick test_rate0_identity;
+          Alcotest.test_case "certificate JSON round-trip" `Quick
+            test_certificate_roundtrip;
+          Alcotest.test_case "hardened runs certified" `Quick
+            test_hardened_run_certified;
+        ] );
+      ( "triage",
+        [
+          Alcotest.test_case "append/load round-trip" `Quick test_triage_roundtrip;
+          Alcotest.test_case "missing file" `Quick test_triage_missing_file;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_loop_terminates_certified ] );
+    ]

@@ -521,6 +521,7 @@ let transcript ~auto ~human =
     auto_prompts = auto;
     converged = true;
     rounds = 0;
+    certificate = None;
   }
 
 let test_leverage_zero_human () =

@@ -5,6 +5,7 @@
 let check = Alcotest.check
 let bool_t = Alcotest.bool
 let string_t = Alcotest.string
+let int_t = Alcotest.int
 
 let cisco_corpus = Fuzz.Corpus.texts Fuzz.Corpus.Cisco
 let junos_corpus = Fuzz.Corpus.texts Fuzz.Corpus.Junos
@@ -39,6 +40,55 @@ let test_mutator_bounded () =
       Alcotest.failf "round %d mutant is %dB (cap %dB)" round (String.length m)
         Fuzz.Mutator.max_mutant_bytes
   done
+
+let test_weighted_deterministic_given_history () =
+  (* Two campaigns that paid the same rewards draw identical mutants: the
+     schedule changes which operators are picked, never the stream. *)
+  let campaign () =
+    let h = Fuzz.Mutator.history () in
+    Fuzz.Mutator.reward h ~op:0 3;
+    Fuzz.Mutator.reward h ~op:5 7;
+    List.init 20 (fun round ->
+        Fuzz.Mutator.weighted_mutant ~seed:4 ~round ~corpus:cisco_corpus ~history:h)
+  in
+  check bool_t "weighted campaign reproducible" true (campaign () = campaign ());
+  (* With an all-zero history the weighted schedule is uniform over ops, so
+     it reports 1–4 applied operator indices per mutant. *)
+  let h = Fuzz.Mutator.history () in
+  List.iter
+    (fun round ->
+      let _, ops =
+        Fuzz.Mutator.weighted_mutant ~seed:4 ~round ~corpus:cisco_corpus ~history:h
+      in
+      let n = List.length ops in
+      if n < 1 || n > 4 then Alcotest.failf "round %d applied %d ops" round n;
+      List.iter
+        (fun op ->
+          if op < 0 || op >= Fuzz.Mutator.n_ops then
+            Alcotest.failf "round %d reported op %d" round op)
+        ops)
+    [ 0; 1; 2; 3; 4 ]
+
+let test_weighted_bias () =
+  (* A heavily rewarded operator dominates the schedule. *)
+  let h = Fuzz.Mutator.history () in
+  Fuzz.Mutator.reward h ~op:1 1000;
+  let hits = ref 0 and total = ref 0 in
+  for round = 0 to 49 do
+    let _, ops =
+      Fuzz.Mutator.weighted_mutant ~seed:8 ~round ~corpus:cisco_corpus ~history:h
+    in
+    List.iter
+      (fun op ->
+        incr total;
+        if op = 1 then incr hits)
+      ops
+  done;
+  check bool_t
+    (Printf.sprintf "rewarded op dominates (%d/%d draws)" !hits !total)
+    true
+    (!hits * 10 > !total * 9);
+  check int_t "score readable" 1000 (Fuzz.Mutator.score h ~op:1)
 
 (* ------------------------------------------------------------------ *)
 (* Shrinker                                                            *)
@@ -136,6 +186,10 @@ let () =
         [
           Alcotest.test_case "deterministic" `Quick test_mutator_deterministic;
           Alcotest.test_case "size bounded" `Quick test_mutator_bounded;
+          Alcotest.test_case "weighted schedule deterministic" `Quick
+            test_weighted_deterministic_given_history;
+          Alcotest.test_case "weighted schedule biased by reward" `Quick
+            test_weighted_bias;
         ] );
       ( "shrink",
         [
