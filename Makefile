@@ -1,4 +1,4 @@
-.PHONY: all build test check bench chaos fuzz adversary resume-smoke clean
+.PHONY: all build test check bench chaos fuzz adversary serve-bench resume-smoke shard-smoke serve-smoke clean
 
 all: build
 
@@ -10,9 +10,10 @@ test:
 
 # Build + tests + one-seed smoke run of the bench harness (exercises the
 # parallel sweep plumbing end-to-end) + the full-scale chaos sweep + a
-# small-budget fuzz pass + a smoke-budget adversary gate (the check alias
-# runs all four bench modes).
-check:
+# small-budget fuzz pass + smoke-budget adversary and serve gates (the
+# check alias runs all five bench modes) + the shard and serve
+# end-to-end smokes.
+check: shard-smoke serve-smoke
 	dune build @check
 
 bench:
@@ -41,6 +42,12 @@ fuzz:
 adversary:
 	dune exec bench/main.exe -- --adversary
 
+# The service-mode gate: S1 (the same synthesis jobs through a warm
+# in-process `serve` daemon vs cold per-job pool + memo startup; fails on
+# any result drift, a cold warm cache, or a daemon slower than cold).
+serve-bench:
+	dune exec bench/main.exe -- --serve
+
 # Crash/resume end-to-end: run a journaled chaos sweep, kill it halfway
 # via --halt-after (exit 3 is the simulated crash), resume from the
 # journal, and demand stdout byte-identical to an uninterrupted sweep.
@@ -60,6 +67,42 @@ resume-smoke: build
 	cmp $(RESUME_TMP)/full.out $(RESUME_TMP)/resumed.out
 	@rm -rf $(RESUME_TMP)
 	@echo "resume-smoke: resumed sweep byte-identical to the uninterrupted one"
+
+# Sharded sweep end-to-end: 2 worker processes (shard 0 killed mid-slice
+# via --halt-first and recovered from its journal) vs the sequential run;
+# the coordinator's stdout AND the merged journal must both be
+# byte-identical to the unsharded sweep.
+SHARD_TMP := $(shell mktemp -d)
+shard-smoke: build
+	dune exec bin/cosynth_cli.exe -- chaos --use-case no-transit --runs 8 \
+	  --routers 5 --flake-rate 0.1 --journal $(SHARD_TMP)/seq.jsonl \
+	  > $(SHARD_TMP)/seq.out 2>/dev/null
+	dune exec bin/cosynth_cli.exe -- shard --shards 2 --use-case no-transit \
+	  --runs 8 --routers 5 --flake-rate 0.1 --halt-first 2 \
+	  --journal-dir $(SHARD_TMP)/shards > $(SHARD_TMP)/shard.out
+	cmp $(SHARD_TMP)/seq.jsonl $(SHARD_TMP)/shards/merged.jsonl
+	cmp $(SHARD_TMP)/seq.out $(SHARD_TMP)/shard.out
+	@rm -rf $(SHARD_TMP)
+	@echo "shard-smoke: 2-shard sweep (with a worker death) byte-identical to sequential"
+
+# Service mode end-to-end: start the daemon, drive every job kind through
+# the client over one socket, shut it down cleanly. The built binary is
+# invoked directly: a backgrounded `dune exec` would hold the dune lock
+# for the daemon's whole lifetime and deadlock the client invocations.
+SERVE_TMP := $(shell mktemp -d)
+CLI := ./_build/default/bin/cosynth_cli.exe
+serve-smoke: build
+	$(CLI) serve --socket $(SERVE_TMP)/cosynth.sock -j 2 \
+	  > $(SERVE_TMP)/serve.out & \
+	$(CLI) client --socket $(SERVE_TMP)/cosynth.sock ping && \
+	$(CLI) client --socket $(SERVE_TMP)/cosynth.sock synth --seed 42 --routers 5 --count 2 && \
+	$(CLI) client --socket $(SERVE_TMP)/cosynth.sock translate && \
+	$(CLI) client --socket $(SERVE_TMP)/cosynth.sock repair && \
+	$(CLI) client --socket $(SERVE_TMP)/cosynth.sock stats && \
+	$(CLI) client --socket $(SERVE_TMP)/cosynth.sock shutdown && \
+	wait
+	@rm -rf $(SERVE_TMP)
+	@echo "serve-smoke: daemon served every job kind and shut down cleanly"
 
 clean:
 	dune clean

@@ -10,7 +10,8 @@
    - T3  Table 3: sample rectification prompts for local synthesis
    - L2  Section 4.2: no-transit leverage (paper: 2 human, 12 automated, 6x)
    - G1  Section 4.1: global vs local policy prompting
-   - S1  Ablations: IIPs on/off, leverage vs network size, stall threshold *)
+   - AB1 Ablations: IIPs on/off, leverage vs network size, stall threshold
+   - S1  Service mode: warm `cosynth serve` daemon vs cold per-job startup *)
 
 open Netcore
 open Policy
@@ -36,6 +37,12 @@ let fuzz_only = Array.exists (fun a -> a = "--fuzz") Sys.argv
    presence, and the loop-level fuzzers; exits nonzero on any violation.
    --smoke shrinks the seed and fuzz budgets for the check alias. *)
 let adversary_only = Array.exists (fun a -> a = "--adversary") Sys.argv
+
+(* --serve: only the S1 service-mode gate (`make serve-bench`) — the same
+   synthesis jobs through a warm in-process daemon vs cold per-job startup;
+   exits nonzero when the daemon loses results, state, or throughput.
+   --smoke shrinks the job count for the check alias. *)
+let serve_only = Array.exists (fun a -> a = "--serve") Sys.argv
 let runs n = if smoke then 1 else n
 
 (* --journal DIR: checkpoint every seeded sweep (L1/L2/C1) to one journal
@@ -418,12 +425,12 @@ let table_g1 () =
        ])
 
 (* ------------------------------------------------------------------ *)
-(* S1: ablations                                                       *)
+(* AB1: ablations                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let table_s1a () =
+let table_ab1a () =
   section
-    (Printf.sprintf "S1a — Ablation: IIP database on/off (7-router no-transit, %d runs)"
+    (Printf.sprintf "AB1a — Ablation: IIP database on/off (7-router no-transit, %d runs)"
        (runs 15));
   let with_iips =
     Cosynth.Metrics.no_transit_summary ~runs:(runs 15) ~routers:7 ~use_iips:true ~pool ()
@@ -445,9 +452,9 @@ let table_s1a () =
        ~header:[ "configuration"; "auto"; "human"; "leverage"; "converged" ]
        [ row "with IIPs (paper setup)" with_iips; row "without IIPs" without ])
 
-let table_s1b () =
+let table_ab1b () =
   section
-    (Printf.sprintf "S1b — Ablation: leverage vs star size (%d runs per size)" (runs 10));
+    (Printf.sprintf "AB1b — Ablation: leverage vs star size (%d runs per size)" (runs 10));
   let rows =
     List.map
       (fun routers ->
@@ -465,9 +472,9 @@ let table_s1b () =
        ~header:[ "routers"; "auto"; "human"; "leverage" ]
        rows)
 
-let table_s1c () =
+let table_ab1c () =
   section
-    (Printf.sprintf "S1c — Ablation: translation leverage vs stall threshold (%d runs each)"
+    (Printf.sprintf "AB1c — Ablation: translation leverage vs stall threshold (%d runs each)"
        (runs 10));
   let rows =
     List.map
@@ -1056,6 +1063,147 @@ let table_c2 () =
   if !violations <> [] then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* S1: service mode — warm daemon vs cold per-job startup              *)
+(* ------------------------------------------------------------------ *)
+
+let table_s1 () =
+  section "S1 — Service mode: warm `serve` daemon vs cold per-job startup";
+  let module J = Json in
+  let n = if smoke then 4 else 16 in
+  let violations = ref [] in
+  let violation fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  let seeds = Exec.Sweep.seeds ~base:12000 ~n in
+  let fingerprint (t : Cosynth.Driver.transcript) =
+    (t.Cosynth.Driver.auto_prompts, t.Cosynth.Driver.human_prompts,
+     t.Cosynth.Driver.converged, t.Cosynth.Driver.rounds)
+  in
+  (* Cold: what per-job CLI invocations cost — every request pays for its
+     own worker pool and starts with an empty parse memo. *)
+  let cold, cold_perf =
+    Cosynth.Metrics.measure (fun () ->
+        List.map
+          (fun seed ->
+            Exec.Memo.reset ();
+            let p = Exec.Pool.create ~domains:2 () in
+            let r = Cosynth.Driver.run_no_transit ~seed ~pool:p ~routers:5 () in
+            Exec.Pool.shutdown p;
+            fingerprint r.Cosynth.Driver.transcript)
+          seeds)
+  in
+  (* Warm: the same jobs through an in-process Exec.Serve daemon on a real
+     Unix socket — one shared pool, one persistent memo, one connection. *)
+  Exec.Memo.reset ();
+  let dir = Filename.temp_file "cosynth_s1_" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let socket_path = Filename.concat dir "s1.sock" in
+  let shared = Exec.Pool.create ~domains:2 () in
+  let handle ~client:_ req =
+    match Option.bind (J.member "job" req) J.to_str with
+    | Some "synth" ->
+        let seed =
+          Option.value ~default:0 (Option.bind (J.member "seed" req) J.to_int)
+        in
+        let r = Cosynth.Driver.run_no_transit ~seed ~pool:shared ~routers:5 () in
+        let t = r.Cosynth.Driver.transcript in
+        Exec.Serve.Reply
+          (J.Obj
+             [
+               ("ok", J.Bool true);
+               ("auto", J.Int t.Cosynth.Driver.auto_prompts);
+               ("human", J.Int t.Cosynth.Driver.human_prompts);
+               ("converged", J.Bool t.Cosynth.Driver.converged);
+               ("rounds", J.Int t.Cosynth.Driver.rounds);
+             ])
+    | Some "stop" -> Exec.Serve.Final (J.Obj [ ("ok", J.Bool true) ])
+    | _ -> Exec.Serve.Reply (J.Obj [ ("ok", J.Bool false) ])
+  in
+  let server =
+    Thread.create (fun () -> Exec.Serve.serve ~socket_path ~handle ()) ()
+  in
+  let warm, warm_perf =
+    Cosynth.Metrics.measure (fun () ->
+        Exec.Serve.with_connection ~socket_path (fun fd ->
+            List.map
+              (fun seed ->
+                Exec.Serve.request fd
+                  (J.Obj [ ("job", J.String "synth"); ("seed", J.Int seed) ]))
+              seeds))
+  in
+  let memo_after = Exec.Memo.stats () in
+  Exec.Serve.with_connection ~socket_path (fun fd ->
+      ignore (Exec.Serve.request fd (J.Obj [ ("job", J.String "stop") ])));
+  Thread.join server;
+  Exec.Pool.shutdown shared;
+  (try Sys.rmdir dir with _ -> ());
+  (* Gate 1: the daemon returns the exact transcripts the cold runs
+     computed — service mode is a perf story, never a semantics story. *)
+  List.iteri
+    (fun i reply ->
+      let seed = List.nth seeds i in
+      let field f conv = Option.bind (J.member f reply) conv in
+      let got =
+        match
+          ( field "auto" J.to_int, field "human" J.to_int,
+            field "converged" J.to_bool, field "rounds" J.to_int )
+        with
+        | Some a, Some h, Some c, Some r -> Some (a, h, c, r)
+        | _ -> None
+      in
+      if field "ok" J.to_bool <> Some true then
+        violation "seed %d: daemon reply not ok" seed
+      else if got <> Some (List.nth cold i) then
+        violation "seed %d: warm result differs from the cold run" seed)
+    warm;
+  (* Gate 2: the daemon's state really is warm — the persistent memo must
+     serve hits across requests (each cold job starts from 0%). *)
+  if memo_after.Exec.Memo.hits = 0 then
+    violation "warm daemon served %d jobs without a single memo hit" n;
+  let throughput (p : Cosynth.Metrics.perf) =
+    float_of_int n /. Float.max p.Cosynth.Metrics.wall_s 1e-9
+  in
+  print_string
+    (Cosynth.Report.table
+       ~title:(Printf.sprintf "%d 5-router no-transit jobs per mode" n)
+       ~header:[ "mode"; "wall"; "jobs/s"; "memo hit rate" ]
+       [
+         [
+           "cold (pool + memo per job)";
+           Printf.sprintf "%.2fs" cold_perf.Cosynth.Metrics.wall_s;
+           Printf.sprintf "%.1f" (throughput cold_perf);
+           "0% at job start";
+         ];
+         [
+           "warm (serve daemon)";
+           Printf.sprintf "%.2fs" warm_perf.Cosynth.Metrics.wall_s;
+           Printf.sprintf "%.1f" (throughput warm_perf);
+           Printf.sprintf "%.0f%%" (100. *. Exec.Memo.hit_rate memo_after);
+         ];
+       ]);
+  Printf.printf "\n  warm/cold speedup: %.2fx\n"
+    (cold_perf.Cosynth.Metrics.wall_s
+    /. Float.max warm_perf.Cosynth.Metrics.wall_s 1e-9);
+  (* Gate 3: warm must never be meaningfully slower than cold. Enforced
+     only at full budget — at smoke budget the walls are tens of
+     milliseconds and the check alias runs the bench rules in parallel, so
+     scheduler noise dominates; gates 1–2 are the deterministic smoke
+     invariants. *)
+  if
+    (not smoke)
+    && warm_perf.Cosynth.Metrics.wall_s > 1.25 *. cold_perf.Cosynth.Metrics.wall_s
+  then
+    violation "warm daemon slower than cold startup (%.2fs vs %.2fs)"
+      warm_perf.Cosynth.Metrics.wall_s cold_perf.Cosynth.Metrics.wall_s;
+  match List.rev !violations with
+  | [] -> Printf.printf "  S1: all invariants hold\n"
+  | vs ->
+      Printf.printf "\n  S1 GATE FAILED: %d violation(s)\n" (List.length vs);
+      List.iter (fun v -> Printf.printf "  VIOLATION %s\n" v) vs;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Performance benchmarks (Bechamel)                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1455,6 +1603,8 @@ let () =
        if smoke then "fuzz gate (smoke budget)" else "fuzz gate (full budget)"
      else if adversary_only then
        if smoke then "adversary gate (smoke budget)" else "adversary gate (full budget)"
+     else if serve_only then
+       if smoke then "serve gate (smoke budget)" else "serve gate (full budget)"
      else if chaos_only then "chaos sweep only (full seeds)"
      else if smoke then "smoke (1 seed per experiment)"
      else "full")
@@ -1467,6 +1617,12 @@ let () =
   end;
   if adversary_only then begin
     table_a1 ();
+    Exec.Pool.shutdown pool;
+    Printf.printf "\nDone.\n";
+    exit 0
+  end;
+  if serve_only then begin
+    table_s1 ();
     Exec.Pool.shutdown pool;
     Printf.printf "\nDone.\n";
     exit 0
@@ -1485,14 +1641,15 @@ let () =
   table_t3 ();
   table_l2 ();
   table_g1 ();
-  table_s1a ();
-  table_s1b ();
-  table_s1c ();
+  table_ab1a ();
+  table_ab1b ();
+  table_ab1c ();
   table_s2 ();
   table_s3 ();
   table_s4 ();
   table_c1 ();
   table_c2 ();
+  table_s1 ();
   if smoke then
     Printf.printf "\n(smoke mode: skipping the Bechamel performance pass)\n"
   else run_perf ();

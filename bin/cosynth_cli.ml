@@ -425,6 +425,158 @@ let verifier_stats_footer perf =
         string_of_int totals.Resilience.Stats.max_attempts;
       ]
 
+(* ------------------------------------------------------------------ *)
+(* shared sweep plumbing (chaos / shard / adversary)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The three seeded-sweep subcommands share the use-case vocabulary; only
+   the default differs. *)
+let use_case_conv ~default names =
+  let c =
+    Arg.conv
+      ( (function
+        | "translation" -> Ok `Translation
+        | "no-transit" -> Ok `No_transit
+        | "incremental" -> Ok `Incremental
+        | s -> Error (`Msg (Printf.sprintf "unknown use case %S" s))),
+        fun ppf c -> Format.pp_print_string ppf (match c with
+          | `Translation -> "translation"
+          | `No_transit -> "no-transit"
+          | `Incremental -> "incremental") )
+  in
+  Arg.(
+    value & opt c default
+    & info names ~docv:"CASE" ~doc:"translation, no-transit or incremental.")
+
+let use_case_name = function
+  | `Translation -> "translation"
+  | `No_transit -> "no-transit"
+  | `Incremental -> "incremental"
+
+(* The driver defaults; the invariant under any schedule is that the
+   merged transcript stays within them and the loop never raises. *)
+let use_case_budget = function
+  | `Translation -> 200
+  | `No_transit -> 400
+  | `Incremental -> 100
+
+let degraded_rounds (t : Cosynth.Driver.transcript) =
+  List.length
+    (List.filter
+       (fun (e : Cosynth.Driver.event) ->
+         e.Cosynth.Driver.origin = Cosynth.Driver.Degraded)
+       t.Cosynth.Driver.events)
+
+(* The chaos-sweep journal codec keeps the summary-relevant projection of
+   each outcome. A replayed transcript gets placeholder [Degraded] events
+   so the degraded-rounds line reproduces exactly; everything else the
+   summary table reads is carried verbatim. Shared by `cosynth chaos`
+   (which writes and resumes journals) and `cosynth shard` (whose
+   coordinator decodes the merged per-shard journals to reprint the same
+   summary block a sequential sweep prints). *)
+let chaos_encode (o : Cosynth.Driver.transcript Exec.Supervisor.outcome) =
+  match o with
+  | Exec.Supervisor.Completed t ->
+      Netcore.Json.Obj
+        [
+          ("ok", Netcore.Json.Bool true);
+          ("auto", Netcore.Json.Int t.Cosynth.Driver.auto_prompts);
+          ("human", Netcore.Json.Int t.Cosynth.Driver.human_prompts);
+          ("converged", Netcore.Json.Bool t.Cosynth.Driver.converged);
+          ("rounds", Netcore.Json.Int t.Cosynth.Driver.rounds);
+          ("degraded", Netcore.Json.Int (degraded_rounds t));
+        ]
+  | Exec.Supervisor.Abandoned { attempts; reason } ->
+      Netcore.Json.Obj
+        [
+          ("ok", Netcore.Json.Bool false);
+          ("attempts", Netcore.Json.Int attempts);
+          ("reason", Netcore.Json.String reason);
+        ]
+
+let chaos_decode json =
+  let mem f name = Option.bind (Netcore.Json.member name json) f in
+  match mem Netcore.Json.to_bool "ok" with
+  | Some true -> (
+      match
+        ( mem Netcore.Json.to_int "auto",
+          mem Netcore.Json.to_int "human",
+          mem Netcore.Json.to_bool "converged",
+          mem Netcore.Json.to_int "rounds",
+          mem Netcore.Json.to_int "degraded" )
+      with
+      | Some auto, Some human, Some converged, Some rounds, Some degraded ->
+          Some
+            (Exec.Supervisor.Completed
+               {
+                 Cosynth.Driver.events =
+                   List.init degraded (fun _ ->
+                       {
+                         Cosynth.Driver.origin = Cosynth.Driver.Degraded;
+                         prompt = "(replayed from journal)";
+                         note = "degraded";
+                       });
+                 human_prompts = human;
+                 auto_prompts = auto;
+                 converged;
+                 rounds;
+                 certificate = None;
+               })
+      | _ -> None)
+  | Some false -> (
+      match
+        (mem Netcore.Json.to_int "attempts", mem Netcore.Json.to_str "reason")
+      with
+      | Some attempts, Some reason ->
+          Some (Exec.Supervisor.Abandoned { attempts; reason })
+      | _ -> None)
+  | None -> None
+
+(* Print the block a chaos-style sweep ends with — fault schedule, leverage
+   summary, degraded-round count, abandoned seeds — and return the budget
+   violations in seed order. `cosynth shard` reprints this from the merged
+   journals, so its stdout is byte-comparable to the sequential sweep's. *)
+let print_sweep_summary ~chaos ~budget seeded =
+  let outcomes = List.map snd seeded in
+  let transcripts = List.filter_map Exec.Supervisor.completed outcomes in
+  let abandoned =
+    List.filter_map
+      (fun (s, o) ->
+        match o with
+        | Exec.Supervisor.Abandoned { attempts; reason } -> Some (s, attempts, reason)
+        | Exec.Supervisor.Completed _ -> None)
+      seeded
+  in
+  let violations =
+    List.filter_map
+      (fun (run_seed, o) ->
+        match o with
+        | Exec.Supervisor.Completed t ->
+            let spent =
+              t.Cosynth.Driver.auto_prompts + t.Cosynth.Driver.human_prompts
+            in
+            if spent > budget then
+              Some
+                (Printf.sprintf "seed %d spent %d prompts (budget %d)" run_seed
+                   spent budget)
+            else None
+        | Exec.Supervisor.Abandoned _ -> None)
+      seeded
+  in
+  let degraded =
+    List.fold_left (fun acc t -> acc + degraded_rounds t) 0 transcripts
+  in
+  Printf.printf "fault schedule: %s\n" (Resilience.Chaos.describe chaos);
+  Format.printf "%a@." Cosynth.Metrics.pp_summary
+    (Cosynth.Metrics.summarize transcripts);
+  Printf.printf "degraded (hand-checked) verifier rounds: %d\n" degraded;
+  List.iter
+    (fun (run_seed, attempts, reason) ->
+      Printf.printf "abandoned seed %d after %d attempt(s): %s\n" run_seed
+        attempts reason)
+    abandoned;
+  violations
+
 let leverage_cmd =
   let run use_case runs routers jobs =
     let pool = match jobs with Some d -> Exec.Pool.create ~domains:d () | None -> Exec.Pool.create () in
@@ -491,96 +643,31 @@ let leverage_cmd =
 (* ------------------------------------------------------------------ *)
 
 let chaos_cmd =
-  let run use_case runs routers seed crash timeout flake truncate worker_loss
-      worker_loss_in_flight journal_path resume compact_journal halt_after
-      triage_path verbose =
+  let run use_case runs routers seed chaos_seed crash timeout flake truncate
+      worker_loss worker_loss_in_flight journal_path resume compact_journal
+      halt_after triage_path verbose =
     if triage_path <> None then Resilience.Guard.reset ();
+    if compact_journal && journal_path = None then begin
+      (* Validated before the sweep runs: discovering a flag error only
+         after a multi-hour sweep would be its own kind of fault. *)
+      Printf.eprintf "error: --compact-journal requires --journal FILE\n%!";
+      exit 2
+    end;
+    (* The fault streams are keyed on --chaos-seed (default: --seed) so a
+       shard worker owning the slice starting at seed 57 can still draw the
+       same schedule as the seed-42-based sequential sweep it is a slice
+       of. *)
     let chaos =
       Resilience.Chaos.make ~crash_rate:crash ~timeout_rate:timeout
         ~flake_rate:flake ~truncate_rate:truncate ~worker_loss_rate:worker_loss
-        ~seed ()
+        ~seed:(Option.value chaos_seed ~default:seed)
+        ()
     in
     let resilience = Resilience.Runtime.config ~chaos () in
     let plan =
       Resilience.Chaos.worker_plan ~in_flight:worker_loss_in_flight chaos ~salt:0
     in
-    (* The driver defaults; the invariant under any schedule is that the
-       merged transcript stays within them and the loop never raises. *)
-    let budget =
-      match use_case with
-      | `Translation -> 200
-      | `No_transit -> 400
-      | `Incremental -> 100
-    in
-    let degraded_rounds (t : Cosynth.Driver.transcript) =
-      List.length
-        (List.filter
-           (fun (e : Cosynth.Driver.event) ->
-             e.Cosynth.Driver.origin = Cosynth.Driver.Degraded)
-           t.Cosynth.Driver.events)
-    in
-    (* The journal codec keeps the summary-relevant projection of each
-       outcome. A replayed transcript gets placeholder [Degraded] events so
-       the degraded-rounds line reproduces exactly; everything else the
-       summary table reads is carried verbatim. *)
-    let encode (o : Cosynth.Driver.transcript Exec.Supervisor.outcome) =
-      match o with
-      | Exec.Supervisor.Completed t ->
-          Netcore.Json.Obj
-            [
-              ("ok", Netcore.Json.Bool true);
-              ("auto", Netcore.Json.Int t.Cosynth.Driver.auto_prompts);
-              ("human", Netcore.Json.Int t.Cosynth.Driver.human_prompts);
-              ("converged", Netcore.Json.Bool t.Cosynth.Driver.converged);
-              ("rounds", Netcore.Json.Int t.Cosynth.Driver.rounds);
-              ("degraded", Netcore.Json.Int (degraded_rounds t));
-            ]
-      | Exec.Supervisor.Abandoned { attempts; reason } ->
-          Netcore.Json.Obj
-            [
-              ("ok", Netcore.Json.Bool false);
-              ("attempts", Netcore.Json.Int attempts);
-              ("reason", Netcore.Json.String reason);
-            ]
-    in
-    let decode json =
-      let mem f name = Option.bind (Netcore.Json.member name json) f in
-      match mem Netcore.Json.to_bool "ok" with
-      | Some true -> (
-          match
-            ( mem Netcore.Json.to_int "auto",
-              mem Netcore.Json.to_int "human",
-              mem Netcore.Json.to_bool "converged",
-              mem Netcore.Json.to_int "rounds",
-              mem Netcore.Json.to_int "degraded" )
-          with
-          | Some auto, Some human, Some converged, Some rounds, Some degraded ->
-              Some
-                (Exec.Supervisor.Completed
-                   {
-                     Cosynth.Driver.events =
-                       List.init degraded (fun _ ->
-                           {
-                             Cosynth.Driver.origin = Cosynth.Driver.Degraded;
-                             prompt = "(replayed from journal)";
-                             note = "degraded";
-                           });
-                     human_prompts = human;
-                     auto_prompts = auto;
-                     converged;
-                     rounds;
-                     certificate = None;
-                   })
-          | _ -> None)
-      | Some false -> (
-          match
-            (mem Netcore.Json.to_int "attempts", mem Netcore.Json.to_str "reason")
-          with
-          | Some attempts, Some reason ->
-              Some (Exec.Supervisor.Abandoned { attempts; reason })
-          | _ -> None)
-      | None -> None
-    in
+    let budget = use_case_budget use_case in
     (* Journal notices go to stderr: the stdout of a resumed sweep must be
        byte-identical to an uninterrupted one (make resume-smoke diffs it). *)
     let journal =
@@ -592,7 +679,10 @@ let chaos_cmd =
           end;
           None
       | Some path ->
-          let j = Exec.Sweep.journal ~resume ~path ~encode ~decode () in
+          let j =
+            Exec.Sweep.journal ~resume ~path ~encode:chaos_encode
+              ~decode:chaos_decode ()
+          in
           (match Exec.Sweep.journaled_seeds j with
           | [] -> Printf.eprintf "journal: recording to %s\n%!" path
           | done_ ->
@@ -608,6 +698,9 @@ let chaos_cmd =
       (match halt_after with
       | Some n when !fresh >= n ->
           Printf.eprintf "journal: halting after %d fresh run(s) (simulated crash)\n%!" n;
+          (* Every completed record is already fsync'd, but close anyway so
+             even the simulated crash leaves no open handle behind. *)
+          Option.iter Exec.Sweep.journal_close journal;
           exit 3
       | _ -> ());
       incr fresh;
@@ -626,58 +719,25 @@ let chaos_cmd =
     in
     (* The abort trap lives inside the measured thunk so the per-verifier
        counter deltas survive: a sweep that dies halfway still reports what
-       its verifiers were doing when it died. *)
+       its verifiers were doing when it died. The journal is closed on the
+       error path too, so the final record of an aborted sweep is never
+       left in an unflushed channel. *)
     let (outcomes, aborted), perf =
-      Cosynth.Metrics.measure (fun () ->
-          try (Exec.Sweep.run_seeds ?journal ~seeds run_seed, None)
-          with e -> ([], Some e))
+      Fun.protect
+        ~finally:(fun () -> Option.iter Exec.Sweep.journal_close journal)
+        (fun () ->
+          Cosynth.Metrics.measure (fun () ->
+              try (Exec.Sweep.run_seeds ?journal ~seeds run_seed, None)
+              with e -> ([], Some e)))
     in
-    Option.iter Exec.Sweep.journal_close journal;
     (match journal_path with
     | Some path when compact_journal ->
         let dropped, kept = Exec.Checkpoint.compact path in
         Printf.eprintf "journal: compacted %s (%d line(s) dropped, %d kept)\n%!"
           path dropped kept
-    | Some _ | None ->
-        if compact_journal then begin
-          Printf.eprintf "error: --compact-journal requires --journal FILE\n%!";
-          exit 2
-        end);
+    | Some _ | None -> ());
     let seeded = if outcomes = [] then [] else List.combine seeds outcomes in
-    let transcripts = List.filter_map Exec.Supervisor.completed outcomes in
-    let abandoned =
-      List.filter_map
-        (fun (s, o) ->
-          match o with
-          | Exec.Supervisor.Abandoned { attempts; reason } -> Some (s, attempts, reason)
-          | Exec.Supervisor.Completed _ -> None)
-        seeded
-    in
-    let violations = ref [] in
-    List.iter
-      (fun (run_seed, o) ->
-        match o with
-        | Exec.Supervisor.Completed t ->
-            let spent =
-              t.Cosynth.Driver.auto_prompts + t.Cosynth.Driver.human_prompts
-            in
-            if spent > budget then
-              violations :=
-                Printf.sprintf "seed %d spent %d prompts (budget %d)" run_seed
-                  spent budget
-                :: !violations
-        | Exec.Supervisor.Abandoned _ -> ())
-      seeded;
-    let s = Cosynth.Metrics.summarize transcripts in
-    let degraded = List.fold_left (fun acc t -> acc + degraded_rounds t) 0 transcripts in
-    Printf.printf "fault schedule: %s\n" (Resilience.Chaos.describe chaos);
-    Format.printf "%a@." Cosynth.Metrics.pp_summary s;
-    Printf.printf "degraded (hand-checked) verifier rounds: %d\n" degraded;
-    List.iter
-      (fun (run_seed, attempts, reason) ->
-        Printf.printf "abandoned seed %d after %d attempt(s): %s\n" run_seed
-          attempts reason)
-      abandoned;
+    let violations = print_sweep_summary ~chaos ~budget seeded in
     if verbose || aborted <> None then print_string (verifier_stats_footer perf);
     (match triage_path with
     | Some path ->
@@ -686,34 +746,14 @@ let chaos_cmd =
           (List.length (Resilience.Guard.crashes ()))
           path
     | None -> ());
-    List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) (List.rev !violations);
+    List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) violations;
     match aborted with
     | Some e ->
         Printf.eprintf "error: sweep aborted: %s\n%!" (Printexc.to_string e);
         1
-    | None -> if !violations <> [] then 1 else 0
+    | None -> if violations <> [] then 1 else 0
   in
-  let use_case =
-    let c =
-      Arg.conv
-        ( (function
-          | "translation" -> Ok `Translation
-          | "no-transit" -> Ok `No_transit
-          | "incremental" -> Ok `Incremental
-          | s -> Error (`Msg (Printf.sprintf "unknown use case %S" s))),
-          fun ppf c ->
-            Format.pp_print_string ppf
-              (match c with
-              | `Translation -> "translation"
-              | `No_transit -> "no-transit"
-              | `Incremental -> "incremental") )
-    in
-    Arg.(
-      value
-      & opt c `No_transit
-      & info [ "use-case" ] ~docv:"CASE"
-          ~doc:"translation, no-transit or incremental.")
-  in
+  let use_case = use_case_conv ~default:`No_transit [ "use-case" ] in
   let runs = Arg.(value & opt int 20 & info [ "runs" ] ~docv:"N") in
   let routers = Arg.(value & opt int 7 & info [ "routers" ] ~docv:"N") in
   let seed =
@@ -722,6 +762,16 @@ let chaos_cmd =
       & info [ "seed" ] ~docv:"N"
           ~doc:"Chaos stream seed and sweep base seed; the sweep is exactly \
                 reproducible from the seed and the rates.")
+  in
+  let chaos_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-seed" ] ~docv:"N"
+          ~doc:"Key the fault streams on $(docv) instead of $(b,--seed). A \
+                shard worker sweeping a seed slice passes the coordinator's \
+                base seed here so the sliced sweep draws exactly the \
+                schedule of the equivalent sequential one.")
   in
   let rate name doc =
     Arg.(value & opt float 0. & info [ name ] ~docv:"R" ~doc)
@@ -794,9 +844,10 @@ let chaos_cmd =
          "Fault-injection sweep over a VPP loop: every run must terminate within \
           its prompt budget without an exception (exits nonzero otherwise)")
     Term.(
-      const run $ use_case $ runs $ routers $ seed $ crash $ timeout $ flake
-      $ truncate $ worker_loss $ worker_loss_in_flight $ journal_path $ resume
-      $ compact_journal $ halt_after $ triage_path $ verbose)
+      const run $ use_case $ runs $ routers $ seed $ chaos_seed $ crash
+      $ timeout $ flake $ truncate $ worker_loss $ worker_loss_in_flight
+      $ journal_path $ resume $ compact_journal $ halt_after $ triage_path
+      $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* adversary                                                           *)
@@ -804,7 +855,8 @@ let chaos_cmd =
 
 let adversary_cmd =
   let run use_case runs routers seed truncated wrong_dialect stale partial_fix
-      off_topic dropped duplicated misattributed garbled triage_path verbose =
+      off_topic dropped duplicated misattributed garbled journal_path resume
+      triage_path verbose =
     Resilience.Guard.reset ();
     let llm =
       Adversary.Llm.make ~truncated ~wrong_dialect ~stale ~partial_fix ~off_topic
@@ -818,40 +870,98 @@ let adversary_cmd =
     (* The driver defaults; the invariant under any rates in [0, 1] is that
        every run stays within them, never raises, and carries a convergence
        certificate exactly when the spec is non-trivial. *)
-    let budget =
-      match use_case with
-      | `Translation -> 200
-      | `No_transit -> 400
-      | `Incremental -> 100
-    in
+    let budget = use_case_budget use_case in
     let seeds = List.init runs (fun i -> seed + i) in
     let violations = ref [] in
     let violation fmt =
       Printf.ksprintf (fun s -> violations := s :: !violations) fmt
     in
+    (* One journal record per seed: the full transcript of a completed run
+       (the Driver JSON codec round-trips every field, so the budget and
+       certificate checks recompute identically on replay) or the crash
+       string for a run the Guard caught (stored verbatim so a resumed
+       sweep reprints the same violation). *)
+    let encode = function
+      | Ok t ->
+          Netcore.Json.Obj
+            [
+              ("ok", Netcore.Json.Bool true);
+              ("t", Cosynth.Driver.transcript_to_json t);
+            ]
+      | Error msg ->
+          Netcore.Json.Obj
+            [
+              ("ok", Netcore.Json.Bool false);
+              ("crash", Netcore.Json.String msg);
+            ]
+    in
+    let decode json =
+      let mem f name = Option.bind (Netcore.Json.member name json) f in
+      match mem Netcore.Json.to_bool "ok" with
+      | Some true ->
+          Option.bind (Netcore.Json.member "t" json) (fun tj ->
+              try Some (Ok (Cosynth.Driver.transcript_of_json tj))
+              with _ -> None)
+      | Some false -> Option.map (fun m -> Error m) (mem Netcore.Json.to_str "crash")
+      | None -> None
+    in
+    (* Journal notices to stderr, same discipline as `cosynth chaos`: a
+       resumed sweep's stdout must be byte-identical to an uninterrupted
+       one. --resume without --journal is refused loudly — silently
+       starting a fresh sweep would truncate nothing here, but it would
+       quietly re-run every seed the caller believed was safe. *)
+    let journal =
+      match journal_path with
+      | None ->
+          if resume then begin
+            Printf.eprintf "error: --resume requires --journal FILE\n%!";
+            exit 2
+          end;
+          None
+      | Some path ->
+          let j = Exec.Sweep.journal ~resume ~path ~encode ~decode () in
+          (match Exec.Sweep.journaled_seeds j with
+          | [] -> Printf.eprintf "journal: recording to %s\n%!" path
+          | done_ ->
+              Printf.eprintf "journal: resuming %d completed seed(s) from %s\n%!"
+                (List.length done_) path);
+          Some j
+    in
+    let run_seed run_seed =
+      match
+        Resilience.Guard.run ~label:"vpp-loop"
+          ~fingerprint:(string_of_int run_seed) (fun () ->
+            match use_case with
+            | `Translation ->
+                (Cosynth.Driver.run_translation ~seed:run_seed ~adversary:spec
+                   ~cisco_text:Cisco.Samples.border_router ())
+                  .Cosynth.Driver.transcript
+            | `No_transit ->
+                (Cosynth.Driver.run_no_transit ~seed:run_seed ~adversary:spec
+                   ~routers ())
+                  .Cosynth.Driver.transcript
+            | `Incremental ->
+                (Cosynth.Driver.run_incremental ~seed:run_seed ~adversary:spec
+                   ~routers ())
+                  .Cosynth.Driver.inc_transcript)
+      with
+      | Error c -> Error (Resilience.Guard.crash_to_string c)
+      | Ok t -> Ok t
+    in
+    (* The journal is closed even when a seed's Guard boundary is breached
+       by something unguardable — the finally runs on every exit path, so
+       the last fsync'd record is never stranded in an open channel. *)
+    let recs =
+      Fun.protect
+        ~finally:(fun () -> Option.iter Exec.Sweep.journal_close journal)
+        (fun () -> Exec.Sweep.run_seeds ?journal ~seeds run_seed)
+    in
     let seeded =
       List.filter_map
-        (fun run_seed ->
-          match
-            Resilience.Guard.run ~label:"vpp-loop"
-              ~fingerprint:(string_of_int run_seed) (fun () ->
-                match use_case with
-                | `Translation ->
-                    (Cosynth.Driver.run_translation ~seed:run_seed ~adversary:spec
-                       ~cisco_text:Cisco.Samples.border_router ())
-                      .Cosynth.Driver.transcript
-                | `No_transit ->
-                    (Cosynth.Driver.run_no_transit ~seed:run_seed ~adversary:spec
-                       ~routers ())
-                      .Cosynth.Driver.transcript
-                | `Incremental ->
-                    (Cosynth.Driver.run_incremental ~seed:run_seed ~adversary:spec
-                       ~routers ())
-                      .Cosynth.Driver.inc_transcript)
-          with
-          | Error c ->
-              violation "seed %d raised: %s" run_seed
-                (Resilience.Guard.crash_to_string c);
+        (fun (run_seed, r) ->
+          match r with
+          | Error msg ->
+              violation "seed %d raised: %s" run_seed msg;
               None
           | Ok t ->
               let spent =
@@ -866,7 +976,7 @@ let adversary_cmd =
                   violation "seed %d: rate-0 run carries a certificate" run_seed
               | _ -> ());
               Some (run_seed, t))
-        seeds
+        (List.combine seeds recs)
     in
     let transcripts = List.map snd seeded in
     Printf.printf "adversary: %s\n" (Adversary.Spec.describe spec);
@@ -894,27 +1004,7 @@ let adversary_cmd =
     List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) (List.rev !violations);
     if !violations <> [] then 1 else 0
   in
-  let use_case =
-    let c =
-      Arg.conv
-        ( (function
-          | "translation" -> Ok `Translation
-          | "no-transit" -> Ok `No_transit
-          | "incremental" -> Ok `Incremental
-          | s -> Error (`Msg (Printf.sprintf "unknown use case %S" s))),
-          fun ppf c ->
-            Format.pp_print_string ppf
-              (match c with
-              | `Translation -> "translation"
-              | `No_transit -> "no-transit"
-              | `Incremental -> "incremental") )
-    in
-    Arg.(
-      value
-      & opt c `Translation
-      & info [ "use-case" ] ~docv:"CASE"
-          ~doc:"translation, no-transit or incremental.")
-  in
+  let use_case = use_case_conv ~default:`Translation [ "use-case" ] in
   let runs = Arg.(value & opt int 20 & info [ "runs" ] ~docv:"N") in
   let routers = Arg.(value & opt int 5 & info [ "routers" ] ~docv:"N") in
   let seed =
@@ -942,6 +1032,23 @@ let adversary_cmd =
     rate "misattributed" "Per-finding probability of mis-attributed references."
   in
   let garbled = rate "garbled" "Per-finding probability of garbled text, refs lost." in
+  let journal_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Record each completed seed to $(docv) (one fsync'd JSON line \
+                per run, full transcript fidelity). Without $(b,--resume) an \
+                existing file is truncated.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Skip the seeds already recorded in $(b,--journal) and \
+                reproduce the identical output from the mix of journaled \
+                and fresh runs. Refused without $(b,--journal).")
+  in
   let triage_path =
     Arg.(
       value
@@ -963,7 +1070,498 @@ let adversary_cmd =
     Term.(
       const run $ use_case $ runs $ routers $ seed $ truncated $ wrong_dialect
       $ stale $ partial_fix $ off_topic $ dropped $ duplicated $ misattributed
-      $ garbled $ triage_path $ verbose)
+      $ garbled $ journal_path $ resume $ triage_path $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* shard                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let shard_cmd =
+  let run shards use_case runs routers seed crash timeout flake truncate
+      worker_loss worker_loss_in_flight dir out max_respawns halt_first =
+    if shards < 1 then begin
+      Printf.eprintf "error: --shards must be >= 1\n%!";
+      exit 2
+    end;
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let chaos =
+      Resilience.Chaos.make ~crash_rate:crash ~timeout_rate:timeout
+        ~flake_rate:flake ~truncate_rate:truncate ~worker_loss_rate:worker_loss
+        ~seed ()
+    in
+    let budget = use_case_budget use_case in
+    let seeds = List.init runs (fun i -> seed + i) in
+    let slices =
+      List.filter (fun s -> s <> []) (Exec.Shard.slices ~seeds ~shards)
+    in
+    (* Each worker is this very binary re-invoked as `cosynth chaos` on a
+       contiguous seed slice, journaling to its own per-shard file. The
+       fault streams are pinned to the coordinator's base seed via
+       --chaos-seed so slicing never changes the schedule; the resume argv
+       is the same command plus --resume, which is exactly the recovery
+       story a died worker needs (only its unjournaled seeds re-run). *)
+    let exe = Sys.executable_name in
+    let rate_args =
+      List.concat_map
+        (fun (flag, v) -> if v = 0. then [] else [ flag; string_of_float v ])
+        [
+          ("--crash-rate", crash);
+          ("--timeout-rate", timeout);
+          ("--flake-rate", flake);
+          ("--truncate-rate", truncate);
+          ("--worker-loss-rate", worker_loss);
+          ("--worker-loss-in-flight", worker_loss_in_flight);
+        ]
+    in
+    let workers =
+      List.mapi
+        (fun i slice ->
+          let journal = Filename.concat dir (Printf.sprintf "shard-%d.jsonl" i) in
+          let common =
+            [
+              "chaos";
+              "--use-case";
+              use_case_name use_case;
+              "--runs";
+              string_of_int (List.length slice);
+              "--seed";
+              string_of_int (List.hd slice);
+              "--chaos-seed";
+              string_of_int seed;
+              "--routers";
+              string_of_int routers;
+            ]
+            @ rate_args
+            @ [ "--journal"; journal ]
+          in
+          let fresh =
+            common
+            @
+            match halt_first with
+            | Some n when i = 0 -> [ "--halt-after"; string_of_int n ]
+            | _ -> []
+          in
+          {
+            Exec.Shard.argv = Array.of_list (exe :: fresh);
+            resume_argv = Array.of_list ((exe :: common) @ [ "--resume" ]);
+            journal;
+            seeds = slice;
+          })
+        slices
+    in
+    Printf.eprintf "shard: %d worker(s) over %d seed(s), %s sweep\n%!"
+      (List.length workers) runs (use_case_name use_case);
+    match Exec.Shard.run ~max_respawns ~workers () with
+    | Error e ->
+        Printf.eprintf "error: %s\n%!" e;
+        1
+    | Ok report ->
+        List.iter
+          (fun (r : Exec.Shard.shard_report) ->
+            Printf.eprintf "shard %d: %d seed(s), %d launch(es)%s\n%!"
+              r.Exec.Shard.shard r.Exec.Shard.owned r.Exec.Shard.launches
+              (match r.Exec.Shard.recovered with
+              | [] -> ""
+              | rs ->
+                  Printf.sprintf ", %d re-run after a worker death"
+                    (List.length rs)))
+          report.Exec.Shard.shards;
+        let out =
+          match out with Some o -> o | None -> Filename.concat dir "merged.jsonl"
+        in
+        Exec.Shard.write_merged ~path:out report.Exec.Shard.merged;
+        Printf.eprintf "shard: merged journal written to %s\n%!" out;
+        (* Reprint the sequential sweep's summary block from the merged
+           records: the coordinator's stdout (and the merged journal's
+           bytes) must be indistinguishable from `cosynth chaos` run
+           unsharded — make shard-smoke and the S1 gate cmp both. *)
+        let outcomes =
+          List.map
+            (fun (s, payload) ->
+              match chaos_decode payload with
+              | Some o -> (s, o)
+              | None ->
+                  ( s,
+                    Exec.Supervisor.Abandoned
+                      { attempts = 0; reason = "undecodable journal record" } ))
+            report.Exec.Shard.merged
+        in
+        let violations = print_sweep_summary ~chaos ~budget outcomes in
+        List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) violations;
+        if violations <> [] then 1 else 0
+  in
+  let shards =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"N" ~doc:"Worker processes to partition the seed range across.")
+  in
+  let use_case = use_case_conv ~default:`No_transit [ "use-case" ] in
+  let runs = Arg.(value & opt int 20 & info [ "runs" ] ~docv:"N") in
+  let routers = Arg.(value & opt int 7 & info [ "routers" ] ~docv:"N") in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Sweep base seed; also the fault-stream seed every worker is \
+                pinned to, so the sharded sweep equals the sequential one.")
+  in
+  let rate name doc = Arg.(value & opt float 0. & info [ name ] ~docv:"R" ~doc) in
+  let crash = rate "crash-rate" "Per-call crash probability, forwarded to every worker." in
+  let timeout = rate "timeout-rate" "Per-call timeout probability, forwarded to every worker." in
+  let flake = rate "flake-rate" "Per-call transient-failure probability, forwarded to every worker." in
+  let truncate = rate "truncate-rate" "Per-call truncated-findings probability, forwarded to every worker." in
+  let worker_loss = rate "worker-loss-rate" "Per-dispatch worker-domain-loss probability, forwarded to every worker." in
+  let worker_loss_in_flight =
+    rate "worker-loss-in-flight" "Fraction of domain losses striking mid-task, forwarded to every worker."
+  in
+  let dir =
+    Arg.(
+      value
+      & opt string "shards"
+      & info [ "journal-dir" ] ~docv:"DIR"
+          ~doc:"Per-shard journals land here as shard-K.jsonl (created if missing).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Merged journal path (default: $(b,--journal-dir)/merged.jsonl). \
+                Byte-identical to the journal of the sequential sweep.")
+  in
+  let max_respawns =
+    Arg.(
+      value & opt int 2
+      & info [ "max-respawns" ] ~docv:"N"
+          ~doc:"Re-spawn budget per shard; a dead worker is resumed from its \
+                journal so only unjournaled seeds re-run.")
+  in
+  let halt_first =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "halt-first" ] ~docv:"N"
+          ~doc:"Kill shard 0's first launch after $(docv) fresh runs (a \
+                simulated worker crash; used by $(b,make shard-smoke) to \
+                exercise recovery).")
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Shard a seeded chaos sweep across worker processes: spawn one \
+          `cosynth chaos` per contiguous seed slice, recover dead shards from \
+          their journals, merge in seed order, and print the sequential \
+          sweep's summary (exits nonzero on violations or unrecovered shards)")
+    Term.(
+      const run $ shards $ use_case $ runs $ routers $ seed $ crash $ timeout
+      $ flake $ truncate $ worker_loss $ worker_loss_in_flight $ dir $ out
+      $ max_respawns $ halt_first)
+
+(* ------------------------------------------------------------------ *)
+(* serve / client                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run socket jobs round_budget_cap stage_budget_cap =
+    let module J = Netcore.Json in
+    (* The whole point of the daemon: pay for domain spawn once, then keep
+       the pool, the parse-check memo and the verifier machinery warm
+       across every request of every client. *)
+    let pool =
+      match jobs with
+      | Some d -> Exec.Pool.create ~domains:d ()
+      | None -> Exec.Pool.create ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let served = ref 0 in
+    let served_m = Mutex.create () in
+    let ok fields = J.Obj (("ok", J.Bool true) :: fields) in
+    let fail msg = J.Obj [ ("ok", J.Bool false); ("error", J.String msg) ] in
+    let jstr name req = Option.bind (J.member name req) J.to_str in
+    let jint name req = Option.bind (J.member name req) J.to_int in
+    (* Per-client tick budgets: a request may lower the resilience round /
+       stage budget below the server's cap, never raise it — one greedy
+       client cannot buy itself an unbounded verifier loop. *)
+    let resilience_of req =
+      let rb =
+        match jint "budget" req with
+        | Some b -> max 1 (min b round_budget_cap)
+        | None -> round_budget_cap
+      in
+      Resilience.Runtime.config ~round_budget:rb
+        ~stage_budget:(min stage_budget_cap rb) ()
+    in
+    let handle ~client req =
+      Mutex.lock served_m;
+      incr served;
+      Mutex.unlock served_m;
+      let job = Option.value ~default:"" (jstr "job" req) in
+      match job with
+      | "ping" ->
+          Exec.Serve.Reply (ok [ ("pong", J.Bool true); ("client", J.Int client) ])
+      | "shutdown" -> Exec.Serve.Final (ok [ ("served", J.Int !served) ])
+      | "stats" ->
+          let m = Exec.Memo.stats () in
+          let p = Exec.Pool.stats pool in
+          Exec.Serve.Reply
+            (ok
+               [
+                 ("served", J.Int !served);
+                 ("uptime_s", J.Float (Unix.gettimeofday () -. t0));
+                 ( "memo",
+                   J.Obj
+                     [
+                       ("hits", J.Int m.Exec.Memo.hits);
+                       ("misses", J.Int m.Exec.Memo.misses);
+                       ("entries", J.Int m.Exec.Memo.entries);
+                       ("evictions", J.Int m.Exec.Memo.evictions);
+                       ("hit_rate", J.Float (Exec.Memo.hit_rate m));
+                     ] );
+                 ( "pool",
+                   J.Obj
+                     [
+                       ("domains", J.Int p.Exec.Pool.domains);
+                       ("jobs_completed", J.Int p.Exec.Pool.jobs_completed);
+                       ("restarts", J.Int p.Exec.Pool.restarts);
+                     ] );
+               ])
+      | "parse" | "translate" | "synth" | "repair" -> (
+          let work () =
+            match job with
+            | "parse" ->
+                let dialect =
+                  match jstr "dialect" req with
+                  | Some ("junos" | "juniper") -> Batfish.Parse_check.Junos
+                  | _ -> Batfish.Parse_check.Cisco_ios
+                in
+                let text = Option.value ~default:"" (jstr "text" req) in
+                let _, diags = Exec.Memo.check dialect text in
+                [
+                  ( "errors",
+                    J.Int (List.length (List.filter Netcore.Diag.is_error diags)) );
+                  ( "diags",
+                    J.List
+                      (List.map (fun d -> J.String (Netcore.Diag.to_string d)) diags)
+                  );
+                ]
+            | "translate" ->
+                let seed = Option.value ~default:42 (jint "seed" req) in
+                let text =
+                  Option.value ~default:Cisco.Samples.border_router (jstr "text" req)
+                in
+                let r =
+                  Cosynth.Driver.run_translation ~seed
+                    ~resilience:(resilience_of req) ~cisco_text:text ()
+                in
+                let t = r.Cosynth.Driver.transcript in
+                [
+                  ("auto", J.Int t.Cosynth.Driver.auto_prompts);
+                  ("human", J.Int t.Cosynth.Driver.human_prompts);
+                  ("rounds", J.Int t.Cosynth.Driver.rounds);
+                  ("converged", J.Bool t.Cosynth.Driver.converged);
+                  ("verified", J.Bool r.Cosynth.Driver.verified);
+                ]
+            | "synth" ->
+                let seed = Option.value ~default:42 (jint "seed" req) in
+                let routers = Option.value ~default:7 (jint "routers" req) in
+                let r =
+                  Cosynth.Driver.run_no_transit ~seed ~pool
+                    ~resilience:(resilience_of req) ~routers ()
+                in
+                let t = r.Cosynth.Driver.transcript in
+                [
+                  ("auto", J.Int t.Cosynth.Driver.auto_prompts);
+                  ("human", J.Int t.Cosynth.Driver.human_prompts);
+                  ("rounds", J.Int t.Cosynth.Driver.rounds);
+                  ("converged", J.Bool t.Cosynth.Driver.converged);
+                  ("global_ok", J.Bool r.Cosynth.Driver.global_ok);
+                ]
+            | _ ->
+                (* repair: the incremental policy-addition loop — start from
+                   the verified network, add the prepend policy, repair any
+                   interference the verifiers catch. *)
+                let seed = Option.value ~default:42 (jint "seed" req) in
+                let routers = Option.value ~default:5 (jint "routers" req) in
+                let r =
+                  Cosynth.Driver.run_incremental ~seed
+                    ~resilience:(resilience_of req) ~routers ()
+                in
+                let t = r.Cosynth.Driver.inc_transcript in
+                [
+                  ("auto", J.Int t.Cosynth.Driver.auto_prompts);
+                  ("human", J.Int t.Cosynth.Driver.human_prompts);
+                  ("rounds", J.Int t.Cosynth.Driver.rounds);
+                  ("converged", J.Bool t.Cosynth.Driver.converged);
+                  ("specs_hold", J.Bool r.Cosynth.Driver.specs_hold);
+                  ("global_ok", J.Bool r.Cosynth.Driver.global_ok);
+                  ( "interference_caught",
+                    J.Bool r.Cosynth.Driver.interference_caught );
+                ]
+          in
+          (* The Guard is the crash boundary: a bug anywhere in the loop
+             answers this one request with an error frame; the daemon and
+             its warm state survive. *)
+          match
+            Resilience.Guard.run
+              ~label:("serve:" ^ job)
+              ~fingerprint:(string_of_int client) work
+          with
+          | Ok fields -> Exec.Serve.Reply (ok fields)
+          | Error c -> Exec.Serve.Reply (fail (Resilience.Guard.crash_to_string c)))
+      | "" -> Exec.Serve.Reply (fail "missing \"job\" field")
+      | other -> Exec.Serve.Reply (fail (Printf.sprintf "unknown job %S" other))
+    in
+    Exec.Serve.serve ~socket_path:socket ~handle
+      ~on_ready:(fun () ->
+        Printf.printf "cosynth serve: listening on %s (pool: %d domain(s))\n%!"
+          socket (Exec.Pool.size pool))
+      ();
+    Exec.Pool.shutdown pool;
+    Printf.printf "cosynth serve: %d request(s) served, shut down cleanly\n%!"
+      !served;
+    0
+  in
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket to listen on (a stale file is replaced).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains for the shared pool (default: \
+                COSYNTH_POOL_SIZE or the machine; 0 = sequential).")
+  in
+  let round_budget =
+    Arg.(
+      value & opt int 64
+      & info [ "round-budget" ] ~docv:"T"
+          ~doc:"Cap on the per-round verifier tick budget a request may ask \
+                for (the per-client budget).")
+  in
+  let stage_budget =
+    Arg.(
+      value & opt int 32
+      & info [ "stage-budget" ] ~docv:"T"
+          ~doc:"Per-stage tick watchdog for every request.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Persistent synthesis daemon: accept synthesis / translation / \
+          repair / parse jobs over a Unix-domain socket (length-prefixed \
+          JSON), keeping worker domains, the parse memo and verifier state \
+          warm across requests; the Guard firewall answers crashes as error \
+          replies and per-client tick budgets bound every job")
+    Term.(const run $ socket $ jobs $ round_budget $ stage_budget)
+
+let client_cmd =
+  let known_jobs = [ "ping"; "stats"; "parse"; "translate"; "synth"; "repair"; "shutdown" ] in
+  let run socket job seed routers count budget dialect file =
+    let module J = Netcore.Json in
+    if not (List.mem job known_jobs) then begin
+      Printf.eprintf "error: unknown job %S (%s)\n%!" job
+        (String.concat "|" known_jobs);
+      exit 2
+    end;
+    let text = Option.map read_file file in
+    let opt_budget =
+      match budget with Some b -> [ ("budget", J.Int b) ] | None -> []
+    in
+    let reqs =
+      match job with
+      | "translate" ->
+          List.init count (fun i ->
+              J.Obj
+                ([ ("job", J.String job); ("seed", J.Int (seed + i)) ]
+                @ opt_budget
+                @ match text with Some t -> [ ("text", J.String t) ] | None -> []))
+      | "synth" | "repair" ->
+          List.init count (fun i ->
+              J.Obj
+                ([
+                   ("job", J.String job);
+                   ("seed", J.Int (seed + i));
+                   ("routers", J.Int routers);
+                 ]
+                @ opt_budget))
+      | "parse" ->
+          let t = match text with Some t -> t | None -> Cisco.Samples.border_router in
+          List.init count (fun _ ->
+              J.Obj
+                [
+                  ("job", J.String job);
+                  ("dialect", J.String dialect);
+                  ("text", J.String t);
+                ])
+      | _ -> [ J.Obj [ ("job", J.String job) ] ]
+    in
+    let t0 = Unix.gettimeofday () in
+    let replies =
+      Exec.Serve.with_connection ~socket_path:socket (fun fd ->
+          List.map (Exec.Serve.request fd) reqs)
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    List.iter (fun r -> print_endline (J.to_string r)) replies;
+    (* Timing to stderr so stdout stays a clean JSON-lines stream. *)
+    Printf.eprintf "client: %d request(s) in %.3fs (%.1f req/s)\n%!"
+      (List.length replies) dt
+      (float_of_int (List.length replies) /. Float.max dt 1e-9);
+    if
+      List.for_all
+        (fun r -> Option.bind (J.member "ok" r) J.to_bool = Some true)
+        replies
+    then 0
+    else 1
+  in
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"The daemon's Unix-domain socket.")
+  in
+  let job =
+    Arg.(
+      value
+      & pos 0 string "ping"
+      & info [] ~docv:"JOB" ~doc:"ping|stats|parse|translate|synth|repair|shutdown.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
+  let routers = Arg.(value & opt int 5 & info [ "routers" ] ~docv:"N") in
+  let count =
+    Arg.(
+      value & opt int 1
+      & info [ "count" ] ~docv:"K"
+          ~doc:"Send $(docv) requests on one connection (seeded jobs use \
+                consecutive seeds) — the warm-throughput probe.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"T"
+          ~doc:"Per-round verifier tick budget to request (the server caps it).")
+  in
+  let dialect =
+    Arg.(value & opt string "cisco" & info [ "dialect" ] ~docv:"D" ~doc:"For parse jobs.")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some Arg.file) None
+      & info [ "file" ] ~docv:"CONFIG" ~doc:"Config text for parse/translate jobs.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Drive a running `cosynth serve` daemon: send one or more jobs over \
+          the socket and print each JSON reply (exits nonzero unless every \
+          reply is ok)")
+    Term.(const run $ socket $ job $ seed $ routers $ count $ budget $ dialect $ file)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz / triage                                                       *)
@@ -1053,6 +1651,6 @@ let () =
   exit (Cmd.eval' (Cmd.group info
          [
            topology_cmd; parse_cmd; diff_cmd; verify_cmd; translate_cmd; synth_cmd;
-           sim_cmd; prove_cmd; leverage_cmd; chaos_cmd; adversary_cmd; fuzz_cmd;
-           triage_cmd;
+           sim_cmd; prove_cmd; leverage_cmd; chaos_cmd; adversary_cmd; shard_cmd;
+           serve_cmd; client_cmd; fuzz_cmd; triage_cmd;
          ]))

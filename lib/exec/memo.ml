@@ -1,4 +1,4 @@
-type stats = { hits : int; misses : int; entries : int }
+type stats = { hits : int; misses : int; entries : int; evictions : int }
 
 let lock = Mutex.create ()
 
@@ -8,13 +8,34 @@ let table :
     Hashtbl.t =
   Hashtbl.create 512
 
+(* Insertion order of the live keys, oldest first — the eviction queue. An
+   entry is only ever removed by eviction or [reset], so the queue and the
+   table stay in lockstep (every queued key is live, every live key queued
+   exactly once). *)
+let order : (Batfish.Parse_check.dialect * string) Queue.t = Queue.create ()
 let hits = ref 0
 let misses = ref 0
+let evictions = ref 0
 
 (* Drafts are bounded in practice (a handful of live faults over one oracle
    config), but a long sweep over many topologies could still accumulate;
    cap the table rather than grow without bound. *)
 let max_entries = 16_384
+
+(* When the cap is hit, drop the oldest eighth of the table instead of the
+   whole thing: a full [Hashtbl.reset] craters the hit rate mid-sweep (and
+   would do so repeatedly in a warm long-lived server), while a bounded
+   batch keeps the ~recent 7/8 of the working set hot. Batch size >= 1 so
+   the insert below always fits. Caller holds [lock]. *)
+let evict_batch () =
+  let batch = max 1 (max_entries / 8) in
+  for _ = 1 to batch do
+    match Queue.take_opt order with
+    | None -> ()
+    | Some k ->
+        Hashtbl.remove table k;
+        incr evictions
+  done
 
 (* The table is success-only: a result is cached only when [parse] returns
    [Ok]. A verifier failure (a crash, a flake, a truncated response injected
@@ -35,8 +56,11 @@ let check_result dialect text ~parse =
       | Error _ as e -> e
       | Ok r ->
           Mutex.lock lock;
-          if Hashtbl.length table >= max_entries then Hashtbl.reset table;
-          if not (Hashtbl.mem table key) then Hashtbl.add table key r;
+          if not (Hashtbl.mem table key) then begin
+            if Hashtbl.length table >= max_entries then evict_batch ();
+            Hashtbl.add table key r;
+            Queue.push key order
+          end;
           Mutex.unlock lock;
           Ok r)
 
@@ -50,7 +74,14 @@ let check dialect text =
 
 let stats () =
   Mutex.lock lock;
-  let s = { hits = !hits; misses = !misses; entries = Hashtbl.length table } in
+  let s =
+    {
+      hits = !hits;
+      misses = !misses;
+      entries = Hashtbl.length table;
+      evictions = !evictions;
+    }
+  in
   Mutex.unlock lock;
   s
 
@@ -61,8 +92,10 @@ let hit_rate s =
 let reset () =
   Mutex.lock lock;
   Hashtbl.reset table;
+  Queue.clear order;
   hits := 0;
   misses := 0;
+  evictions := 0;
   Mutex.unlock lock
 
 let reset_stats () =
@@ -82,4 +115,4 @@ let scope () =
 
 let scope_stats sc =
   let s = stats () in
-  { hits = s.hits - sc.hits0; misses = s.misses - sc.misses0; entries = s.entries }
+  { s with hits = s.hits - sc.hits0; misses = s.misses - sc.misses0 }

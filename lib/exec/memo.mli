@@ -27,7 +27,18 @@ val check_result :
     never be memoized as truth. A bypassed failure still counts as a miss
     in {!stats}. *)
 
-type stats = { hits : int; misses : int; entries : int }
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  evictions : int;
+      (** Entries dropped by the bounded cap. When the table reaches its
+          cap, the {e oldest eighth} of the entries is evicted (FIFO batch)
+          rather than the whole table — a long-lived warm process (a
+          multi-day sweep, the [cosynth serve] daemon) keeps most of its
+          working set hot across the boundary instead of restarting from a
+          0% hit rate. *)
+}
 
 val stats : unit -> stats
 

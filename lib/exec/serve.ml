@@ -1,0 +1,168 @@
+let max_frame_bytes = 16 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd buf =
+  let len = Bytes.length buf in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd buf !off (len - !off)
+  done
+
+(* Read exactly [len] bytes; [`Eof] only when the stream ends before the
+   first byte — an end-of-stream mid-buffer is a truncated frame. *)
+let read_exactly fd len =
+  let buf = Bytes.create len in
+  let off = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !off < len do
+    match Unix.read fd buf !off (len - !off) with
+    | 0 -> eof := true
+    | n -> off := !off + n
+  done;
+  if !off = len then `Ok buf else if !off = 0 then `Eof else `Truncated !off
+
+let write_frame fd json =
+  let payload = Bytes.of_string (Netcore.Json.to_string json) in
+  let len = Bytes.length payload in
+  let header = Bytes.create 4 in
+  Bytes.set_uint8 header 0 ((len lsr 24) land 0xff);
+  Bytes.set_uint8 header 1 ((len lsr 16) land 0xff);
+  Bytes.set_uint8 header 2 ((len lsr 8) land 0xff);
+  Bytes.set_uint8 header 3 (len land 0xff);
+  write_all fd header;
+  write_all fd payload
+
+let read_frame fd =
+  match read_exactly fd 4 with
+  | `Eof -> None
+  | `Truncated n -> failwith (Printf.sprintf "truncated frame header (%d/4 bytes)" n)
+  | `Ok header -> (
+      let len =
+        (Bytes.get_uint8 header 0 lsl 24)
+        lor (Bytes.get_uint8 header 1 lsl 16)
+        lor (Bytes.get_uint8 header 2 lsl 8)
+        lor Bytes.get_uint8 header 3
+      in
+      if len > max_frame_bytes then
+        failwith (Printf.sprintf "frame of %d bytes exceeds the %d-byte cap" len max_frame_bytes);
+      match read_exactly fd len with
+      | `Eof | `Truncated _ -> failwith "truncated frame payload"
+      | `Ok payload -> (
+          match Netcore.Json.of_string (Bytes.to_string payload) with
+          | Ok json -> Some json
+          | Error e -> failwith ("malformed frame payload: " ^ e)))
+
+(* ------------------------------------------------------------------ *)
+(* Server loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type reply = Reply of Netcore.Json.t | Final of Netcore.Json.t
+
+let serve ~socket_path ~handle ?(backlog = 16) ?(on_ready = fun () -> ()) () =
+  if Sys.file_exists socket_path then Unix.unlink socket_path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
+  Unix.listen listen_fd backlog;
+  (* [stop] is flipped by the client thread that handled the [Final]
+     request; closing the listening socket is what actually breaks the
+     blocked [accept] on the main thread. *)
+  let stop = ref false in
+  let stop_m = Mutex.create () in
+  let request_stop () =
+    Mutex.lock stop_m;
+    let first = not !stop in
+    stop := true;
+    Mutex.unlock stop_m;
+    if first then (try Unix.shutdown listen_fd Unix.SHUTDOWN_ALL with _ -> ())
+  in
+  let threads = ref [] in
+  let threads_m = Mutex.create () in
+  let next_client = ref 0 in
+  let client_loop client fd =
+    let continue = ref true in
+    (try
+       while !continue do
+         match read_frame fd with
+         | None -> continue := false
+         | Some req -> (
+             let reply =
+               try handle ~client req
+               with e ->
+                 (* The handler is supposed to be total (the CLI wraps it
+                    in Resilience.Guard); this is the transport's own last
+                    line — a handler bug answers as an error frame instead
+                    of hanging the client. *)
+                 Reply
+                   (Netcore.Json.Obj
+                      [
+                        ("ok", Netcore.Json.Bool false);
+                        ("error", Netcore.Json.String (Printexc.to_string e));
+                      ])
+             in
+             match reply with
+             | Reply json -> write_frame fd json
+             | Final json ->
+                 write_frame fd json;
+                 continue := false;
+                 request_stop ())
+       done
+     with _ -> ());
+    (* A framing error or a peer that vanished drops this client only. *)
+    try Unix.close fd with _ -> ()
+  in
+  on_ready ();
+  (try
+     while not !stop do
+       let fd, _ = Unix.accept listen_fd in
+       let client = !next_client in
+       incr next_client;
+       let t = Thread.create (fun () -> client_loop client fd) () in
+       Mutex.lock threads_m;
+       threads := t :: !threads;
+       Mutex.unlock threads_m
+     done
+   with Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _) ->
+     (* The listening socket was shut down under us: the stop path. *)
+     ());
+  Mutex.lock threads_m;
+  let ts = !threads in
+  Mutex.unlock threads_m;
+  List.iter Thread.join ts;
+  (try Unix.close listen_fd with _ -> ());
+  if Sys.file_exists socket_path then Unix.unlink socket_path
+
+(* ------------------------------------------------------------------ *)
+(* Client side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let connect ?(retries = 50) ~socket_path () =
+  let rec go attempt =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when attempt < retries ->
+        (try Unix.close fd with _ -> ());
+        (* The daemon may still be binding its socket. *)
+        Unix.sleepf 0.02;
+        go (attempt + 1)
+    | exception e ->
+        (try Unix.close fd with _ -> ());
+        raise e
+  in
+  try go 0
+  with Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+    failwith (Printf.sprintf "no server listening on %s" socket_path)
+
+let request fd json =
+  write_frame fd json;
+  match read_frame fd with
+  | Some reply -> reply
+  | None -> failwith "server closed the connection without replying"
+
+let with_connection ?retries ~socket_path f =
+  let fd = connect ?retries ~socket_path () in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) (fun () -> f fd)

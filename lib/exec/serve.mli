@@ -1,0 +1,70 @@
+(** Length-prefixed JSON framing and a Unix-domain-socket server loop — the
+    transport under [cosynth serve].
+
+    The batch bench pays the whole warm-up bill (domain spawn, memo fill,
+    verifier state) on every invocation; a persistent daemon pays it once
+    and amortizes it across every job a client submits. This module is
+    deliberately policy-free: it knows how to frame JSON values over a
+    local socket and how to run one handler thread per client — what a
+    request {e means} (synthesis, translation, repair) is the caller's
+    handler, which keeps the exec library independent of the driver.
+
+    Framing: each message is a 4-byte big-endian byte length followed by
+    exactly that many bytes of compact JSON. Length-prefixing (rather than
+    newline-delimiting) lets request and response bodies contain anything —
+    embedded newlines in config text included. *)
+
+val max_frame_bytes : int
+(** Hard cap (16 MiB) on a single frame; a peer announcing more is treated
+    as malformed and its connection dropped. *)
+
+val write_frame : Unix.file_descr -> Netcore.Json.t -> unit
+(** Serialize compactly and write header + payload (handles short
+    writes). *)
+
+val read_frame : Unix.file_descr -> Netcore.Json.t option
+(** [None] on a clean end-of-stream at a frame boundary.
+    @raise Failure on a truncated frame, an oversized announced length, or
+    a payload that is not valid JSON. *)
+
+(** What the handler wants done with its reply. *)
+type reply =
+  | Reply of Netcore.Json.t  (** Send and keep serving. *)
+  | Final of Netcore.Json.t
+      (** Send, then shut the whole server down (the [shutdown] job). *)
+
+val serve :
+  socket_path:string ->
+  handle:(client:int -> Netcore.Json.t -> reply) ->
+  ?backlog:int ->
+  ?on_ready:(unit -> unit) ->
+  unit ->
+  unit
+(** Bind [socket_path] (unlinking any stale socket file first), listen, and
+    accept until a handler returns [Final]. Every accepted connection gets
+    its own thread; requests {e within} one connection are handled
+    sequentially in arrival order, while distinct clients proceed
+    concurrently — so the handler must be thread-safe (the warm state it
+    shares, [Exec.Memo] and [Exec.Pool], already is). A handler exception
+    is answered with an [{"ok": false, "error": ...}] frame rather than
+    killing the connection; a framing error drops only that client.
+    [on_ready] runs once the socket is listening (the CLI prints its
+    "listening" line there; tests use it to know when to connect). Returns
+    after the [Final] reply is flushed, every client thread has been
+    joined, and the socket file is unlinked. *)
+
+(** {2 Client side} *)
+
+val connect : ?retries:int -> socket_path:string -> unit -> Unix.file_descr
+(** Connect to the daemon. [retries] (default 50) polls at 20 ms intervals
+    while the socket file does not exist yet or refuses connections — the
+    daemon may still be starting.
+    @raise Failure when the budget is exhausted. *)
+
+val request : Unix.file_descr -> Netcore.Json.t -> Netcore.Json.t
+(** One round trip: {!write_frame} then {!read_frame}.
+    @raise Failure if the server closed the stream instead of replying. *)
+
+val with_connection :
+  ?retries:int -> socket_path:string -> (Unix.file_descr -> 'a) -> 'a
+(** {!connect}, run, close (also on exception). *)

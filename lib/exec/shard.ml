@@ -1,0 +1,166 @@
+let slices ~seeds ~shards =
+  if shards < 1 then invalid_arg "Shard.slices: shards must be >= 1";
+  let n = List.length seeds in
+  let base = n / shards and extra = n mod shards in
+  (* Contiguous slices, sizes differing by at most one: slice i gets
+     [base + 1] seeds while [i < extra]. Contiguity is what lets a worker
+     be launched as "--seed <first> --runs <len>". *)
+  let rec take k xs =
+    if k = 0 then ([], xs)
+    else
+      match xs with
+      | [] -> ([], [])
+      | x :: rest ->
+          let hd, tl = take (k - 1) rest in
+          (x :: hd, tl)
+  in
+  let rec go i xs =
+    if i = shards then []
+    else
+      let k = base + if i < extra then 1 else 0 in
+      let slice, rest = take k xs in
+      slice :: go (i + 1) rest
+  in
+  go 0 seeds
+
+type worker = {
+  argv : string array;
+  resume_argv : string array;
+  journal : string;
+  seeds : int list;
+}
+
+type shard_report = {
+  shard : int;
+  owned : int;
+  launches : int;
+  recovered : int list;
+}
+
+type report = {
+  shards : shard_report list;
+  merged : (int * Netcore.Json.t) list;
+}
+
+(* Worker stdout is discarded: the journal is the data channel, and letting
+   N workers interleave progress lines into the coordinator's stdout would
+   destroy the byte-identity the merge is meant to guarantee. *)
+let spawn argv =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close devnull)
+    (fun () -> Unix.create_process argv.(0) argv Unix.stdin devnull Unix.stderr)
+
+let status_to_string = function
+  | Unix.WEXITED n -> Printf.sprintf "exited %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "killed by signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "stopped by signal %d" n
+
+let journaled_seeds w =
+  List.filter_map
+    (fun (seed, _) -> if List.mem seed w.seeds then Some seed else None)
+    (Checkpoint.load w.journal)
+
+let run ?(max_respawns = 2) ~workers () =
+  let workers = Array.of_list workers in
+  let launches = Array.make (Array.length workers) 0 in
+  let recovered = Array.make (Array.length workers) [] in
+  (* One launch round: spawn every pending shard, wait for all of them,
+     return the ones that died. Waiting for the whole round before
+     re-spawning keeps the process count bounded by the shard count. *)
+  let launch_round pending =
+    let pids =
+      List.map
+        (fun (i, argv) ->
+          launches.(i) <- launches.(i) + 1;
+          (i, spawn argv))
+        pending
+    in
+    List.filter_map
+      (fun (i, pid) ->
+        let _, st = Unix.waitpid [] pid in
+        match st with Unix.WEXITED 0 -> None | st -> Some (i, st))
+      pids
+  in
+  let rec rounds attempt pending =
+    match launch_round pending with
+    | [] -> Ok ()
+    | failed when attempt >= max_respawns ->
+        Error
+          (String.concat "; "
+             (List.map
+                (fun (i, st) ->
+                  Printf.sprintf "shard %d still failing after %d launch(es): %s"
+                    i launches.(i) (status_to_string st))
+                failed))
+    | failed ->
+        let respawn =
+          List.map
+            (fun (i, st) ->
+              let w = workers.(i) in
+              let done_ = journaled_seeds w in
+              let missing =
+                List.filter (fun s -> not (List.mem s done_)) w.seeds
+              in
+              Printf.eprintf
+                "shard %d: worker %s with %d/%d seed(s) journaled; re-running %d\n%!"
+                i (status_to_string st) (List.length done_) (List.length w.seeds)
+                (List.length missing);
+              recovered.(i) <-
+                List.sort_uniq compare (recovered.(i) @ missing);
+              (i, w.resume_argv))
+            failed
+        in
+        rounds (attempt + 1) respawn
+  in
+  let fresh =
+    Array.to_list (Array.mapi (fun i w -> (i, w.argv)) workers)
+  in
+  match rounds 0 fresh with
+  | Error e -> Error e
+  | Ok () -> (
+      (* Merge: per-shard last-write-wins load, restricted to the seeds the
+         shard owns (a record for a foreign seed would be a worker bug and
+         must not shadow the owner's result), then a global seed-order
+         sort. *)
+      let merged =
+        Array.to_list workers
+        |> List.concat_map (fun w ->
+               List.filter
+                 (fun (seed, _) -> List.mem seed w.seeds)
+                 (Checkpoint.load w.journal))
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let expected =
+        List.sort compare (List.concat_map (fun w -> w.seeds) (Array.to_list workers))
+      in
+      let missing =
+        List.filter (fun s -> not (List.mem_assoc s merged)) expected
+      in
+      match missing with
+      | _ :: _ ->
+          Error
+            (Printf.sprintf "merged journals are missing %d seed(s): %s"
+               (List.length missing)
+               (String.concat ", " (List.map string_of_int missing)))
+      | [] ->
+          let shards =
+            Array.to_list
+              (Array.mapi
+                 (fun i w ->
+                   {
+                     shard = i;
+                     owned = List.length w.seeds;
+                     launches = launches.(i);
+                     recovered = recovered.(i);
+                   })
+                 workers)
+          in
+          Ok { shards; merged })
+
+let write_merged ~path records =
+  let t = Checkpoint.open_ ~truncate:true path in
+  Fun.protect
+    ~finally:(fun () -> Checkpoint.close t)
+    (fun () ->
+      List.iter (fun (seed, payload) -> Checkpoint.record t ~seed payload) records)

@@ -1,0 +1,64 @@
+(** Shard a seeded sweep across OS processes and merge the journals.
+
+    {!Pool} parallelizes within one process; a shard coordinator goes one
+    level up: it partitions a seed range into contiguous slices, spawns one
+    worker {e process} per slice, and lets each worker append completed
+    seeds to its own {!Checkpoint} journal. The journal format is
+    process-neutral JSON lines, so the coordinator's merge is pure file
+    work: load every shard journal (last-write-wins, like any resume),
+    check the union covers every expected seed, and rewrite the records in
+    seed order — which makes the merged journal byte-identical to the one
+    a sequential single-process sweep would have written, the property the
+    S1 bench gate pins.
+
+    Fault story: a worker that exits nonzero (crash, kill, simulated
+    [--halt-after]) has already fsync'd one line per completed seed, so the
+    coordinator re-spawns it with its {e resume} command line and only the
+    unjournaled seeds are re-run — the same at-least-once discipline as
+    {!Supervisor}, at process granularity.
+
+    The module is CLI-agnostic: a worker is just an argv (plus the resume
+    argv and the journal path); the [cosynth shard] subcommand builds argvs
+    that re-invoke [cosynth chaos] on a seed slice. *)
+
+val slices : seeds:int list -> shards:int -> int list list
+(** Partition [seeds] into exactly [shards] contiguous slices, in order,
+    sizes differing by at most one (later slices may be empty when
+    [shards > length seeds]).
+    @raise Invalid_argument when [shards < 1]. *)
+
+type worker = {
+  argv : string array;  (** Fresh launch; must write [journal]. *)
+  resume_argv : string array;
+      (** Re-launch after a death; must skip the seeds already in
+          [journal] (e.g. the same command plus [--resume]). *)
+  journal : string;  (** The shard's own journal path. *)
+  seeds : int list;  (** The slice this worker owns. *)
+}
+
+type shard_report = {
+  shard : int;
+  owned : int;  (** Seeds in the slice. *)
+  launches : int;  (** 1 + re-spawns. *)
+  recovered : int list;
+      (** Seeds that were unjournaled at a worker death and re-run by a
+          re-spawn (empty for a clean shard). *)
+}
+
+type report = {
+  shards : shard_report list;
+  merged : (int * Netcore.Json.t) list;  (** One record per seed, seed order. *)
+}
+
+val run : ?max_respawns:int -> workers:worker list -> unit -> (report, string) result
+(** Launch every worker, wait for all of them, re-spawn dead shards (at
+    most [max_respawns] times each, default 2) with their resume argv, then
+    merge. [Error] when a shard still exits nonzero with its budget spent,
+    or when the merged journals do not cover every owned seed. Worker
+    stdout is discarded (the journal is the data channel); stderr is
+    inherited so journal notices and crash reports stay visible. *)
+
+val write_merged : path:string -> (int * Netcore.Json.t) list -> unit
+(** Write merged records as a fresh journal at [path] — the same line
+    format the workers wrote, so [cmp] against a sequential run's journal
+    is a meaningful byte-identity check. *)

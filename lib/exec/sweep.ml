@@ -7,8 +7,23 @@ type 'a journal = {
   resumed : (int * Netcore.Json.t) list;
 }
 
+(* Replay resolution is last-write-wins, enforced here as well as in
+   [Checkpoint.load]: a resumed sweep that re-ran a seed (stale codec,
+   mid-write crash) appends a superseding line, and [run_seeds]'s
+   [List.assoc_opt] lookup must never see the stale first line — that would
+   re-pick the stale record on every resume, re-run the seed, and append
+   yet another line: a journal that grows forever and a resume that never
+   converges. Deduping the loaded list keeps the invariant local to the
+   sweep instead of an implicit contract with the loader. *)
+let dedupe_last entries =
+  List.rev
+    (List.fold_left
+       (fun acc (seed, payload) ->
+         (seed, payload) :: List.remove_assoc seed acc)
+       [] entries)
+
 let journal ?(resume = false) ~path ~encode ~decode () =
-  let resumed = if resume then Checkpoint.load path else [] in
+  let resumed = if resume then dedupe_last (Checkpoint.load path) else [] in
   { ck = Checkpoint.open_ ~truncate:(not resume) path; encode; decode; resumed }
 
 let journaled_seeds j = List.map fst j.resumed
@@ -21,10 +36,14 @@ let run_seeds ?pool ?journal ~seeds f =
   | Some j ->
       (* Replayed seeds are decoded from their journal line instead of
          re-run; a line that no longer decodes (stale codec) falls through
-         to a fresh run. Fresh runs journal their line (mutex-guarded,
-         fsync'd) the moment they complete, so an interrupt loses only the
-         runs still in flight. The result list is in seed order either
-         way, identical to the unjournaled sweep. *)
+         to a fresh run whose record is appended and — because replay is
+         last-write-wins — supersedes the stale line on every later resume,
+         so the seed is re-run exactly once and the journal size is stable
+         from then on ([Checkpoint.compact] reclaims the dead line). Fresh
+         runs journal their line (mutex-guarded, fsync'd) the moment they
+         complete, so an interrupt loses only the runs still in flight. The
+         result list is in seed order either way, identical to the
+         unjournaled sweep. *)
       let run seed =
         let cached =
           Option.bind (List.assoc_opt seed j.resumed) (fun json -> j.decode json)

@@ -29,9 +29,13 @@ val journal :
   'a journal
 (** Open a journal at [path]. Without [~resume:true] any existing file is
     truncated (a fresh sweep); with it, previously recorded seeds are
-    loaded for replay and new completions are appended. [decode] returning
-    [None] (stale codec, hand-edited file) falls back to re-running that
-    seed. *)
+    loaded for replay and new completions are appended. Replay is
+    {e last-write-wins}: when a seed appears on several lines (it was
+    re-run after a stale-codec fallback or a mid-write crash) only the
+    latest record is consulted, so a re-run converges in one resume
+    instead of re-running the seed forever. [decode] returning [None]
+    (stale codec, hand-edited file) falls back to re-running that seed,
+    whose fresh record then supersedes the stale line. *)
 
 val journaled_seeds : 'a journal -> int list
 (** Seeds already recorded, in first-completion order. *)

@@ -463,6 +463,303 @@ let test_sweep_journal_stale_codec () =
       Exec.Sweep.journal_close j;
       check (Alcotest.list int_t) "only the stale seed re-ran" [ 1 ] !ran)
 
+let count_lines path =
+  let ic = open_in path in
+  let n = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr n
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !n
+
+let test_sweep_journal_lww () =
+  with_temp (fun path ->
+      (* The bug this pins: a journal holding several lines for one seed
+         (an interrupted sweep re-completed it) must replay the LATEST
+         line, re-run at most once when that line is stale, and not grow
+         without bound across resume cycles. *)
+      let ck = Exec.Checkpoint.open_ ~truncate:true path in
+      Exec.Checkpoint.record ck ~seed:10 (Netcore.Json.Int 999);
+      Exec.Checkpoint.record ck ~seed:11 (Netcore.Json.Int 33);
+      (* The latest record for seed 10 is stale (undecodable). *)
+      Exec.Checkpoint.record ck ~seed:10 (Netcore.Json.String "stale");
+      Exec.Checkpoint.close ck;
+      let encode v = Netcore.Json.Int v in
+      let decode = Netcore.Json.to_int in
+      let ran = ref [] in
+      let f seed =
+        ran := seed :: !ran;
+        seed * 3
+      in
+      let j = Exec.Sweep.journal ~resume:true ~path ~encode ~decode () in
+      check (Alcotest.list int_t) "latest line wins, stale one re-runs once"
+        [ 30; 33 ]
+        (Exec.Sweep.run_seeds ~journal:j ~seeds:[ 10; 11 ] f);
+      Exec.Sweep.journal_close j;
+      check (Alcotest.list int_t) "exactly one re-run" [ 10 ] !ran;
+      (* The re-run appended its superseding record: 3 old lines + 1. *)
+      check int_t "journal grew by the one re-run" 4 (count_lines path);
+      (* Second resume: the superseding record decodes, nothing re-runs,
+         and the journal size is stable. *)
+      ran := [];
+      let j = Exec.Sweep.journal ~resume:true ~path ~encode ~decode () in
+      check (Alcotest.list int_t) "stable replay" [ 30; 33 ]
+        (Exec.Sweep.run_seeds ~journal:j ~seeds:[ 10; 11 ] f);
+      Exec.Sweep.journal_close j;
+      check (Alcotest.list int_t) "no re-runs on the second resume" [] !ran;
+      check int_t "journal size stable across resumes" 4 (count_lines path);
+      (* Compaction drops the two superseded lines for seed 10. *)
+      check bool_t "compact drops superseded lines" true
+        (Exec.Checkpoint.compact path = (2, 2));
+      check int_t "one line per seed after compaction" 2 (count_lines path))
+
+(* ------------------------------------------------------------------ *)
+(* Memo eviction: bounded, FIFO, warm across the cap                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_memo_eviction () =
+  Exec.Memo.reset ();
+  (* One real parse result reused as the payload for thousands of synthetic
+     keys — the test drives the CAP, not the parser. *)
+  let ir, diags = Batfish.Parse_check.check Batfish.Parse_check.Cisco_ios "" in
+  let payload = Ok (ir, diags) in
+  let n = 17_000 in
+  for i = 0 to n - 1 do
+    ignore
+      (Exec.Memo.check_result Batfish.Parse_check.Cisco_ios
+         (Printf.sprintf "synthetic key %d" i)
+         ~parse:(fun () -> payload))
+  done;
+  let s = Exec.Memo.stats () in
+  check bool_t "cap enforced: table smaller than the insert count" true
+    (s.Exec.Memo.entries < n);
+  check bool_t "evictions counted" true (s.Exec.Memo.evictions > 0);
+  check int_t "entries + evictions = inserts" n
+    (s.Exec.Memo.entries + s.Exec.Memo.evictions);
+  (* The killer property the old Hashtbl.reset lacked: recent keys are
+     still warm after the cap fired. *)
+  let ran = ref false in
+  (match
+     Exec.Memo.check_result Batfish.Parse_check.Cisco_ios
+       (Printf.sprintf "synthetic key %d" (n - 1))
+       ~parse:(fun () ->
+         ran := true;
+         payload)
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "cached Ok expected");
+  check bool_t "recent key survives the cap (no re-parse)" false !ran;
+  check bool_t "hit rate > 0 across the cap" true
+    (Exec.Memo.hit_rate (Exec.Memo.stats ()) > 0.);
+  (* And the oldest keys are the ones that went (FIFO). *)
+  let ran0 = ref false in
+  ignore
+    (Exec.Memo.check_result Batfish.Parse_check.Cisco_ios "synthetic key 0"
+       ~parse:(fun () ->
+         ran0 := true;
+         payload));
+  check bool_t "oldest key was evicted" true !ran0;
+  Exec.Memo.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Shard: slices, merge determinism, worker recovery                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_shard_slices () =
+  let seeds = List.init 10 (fun i -> 100 + i) in
+  List.iter
+    (fun shards ->
+      let ss = Exec.Shard.slices ~seeds ~shards in
+      check int_t "one slice per shard" shards (List.length ss);
+      check (Alcotest.list int_t) "concatenation is the input" seeds
+        (List.concat ss);
+      let sizes = List.map List.length ss in
+      check bool_t "balanced within one" true
+        (List.fold_left max 0 sizes - List.fold_left min max_int sizes <= 1))
+    [ 1; 2; 3; 4; 10 ];
+  (* More shards than seeds: trailing slices are empty, nothing is lost. *)
+  let ss = Exec.Shard.slices ~seeds:[ 1; 2 ] ~shards:5 in
+  check (Alcotest.list int_t) "short input still covered" [ 1; 2 ] (List.concat ss);
+  match Exec.Shard.slices ~seeds ~shards:0 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "cosynth_shard_" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> try Sys.remove (Filename.concat dir e) with _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with _ -> ())
+    (fun () -> f dir)
+
+(* Fake workers: the journals are pre-written by the test and the argv is
+   /bin/true, so Shard.run's spawn/wait/merge machinery runs for real while
+   the "sweep" is deterministic file content. *)
+let prewritten_worker dir i slice =
+  let journal = Filename.concat dir (Printf.sprintf "shard-%d.jsonl" i) in
+  let ck = Exec.Checkpoint.open_ ~truncate:true journal in
+  List.iter (fun s -> Exec.Checkpoint.record ck ~seed:s (Netcore.Json.Int (s * 7))) slice;
+  Exec.Checkpoint.close ck;
+  {
+    Exec.Shard.argv = [| "/bin/true" |];
+    resume_argv = [| "/bin/true" |];
+    journal;
+    seeds = slice;
+  }
+
+let test_shard_merge_deterministic () =
+  let seeds = List.init 12 (fun i -> 200 + i) in
+  let merged_file n dir =
+    let slices =
+      List.filter (fun s -> s <> []) (Exec.Shard.slices ~seeds ~shards:n)
+    in
+    let workers = List.mapi (prewritten_worker dir) slices in
+    match Exec.Shard.run ~workers () with
+    | Error e -> Alcotest.fail e
+    | Ok report ->
+        let out = Filename.concat dir "merged.jsonl" in
+        Exec.Shard.write_merged ~path:out report.Exec.Shard.merged;
+        let ic = open_in_bin out in
+        let len = in_channel_length ic in
+        let bytes = really_input_string ic len in
+        close_in ic;
+        bytes
+  in
+  let runs =
+    List.map (fun n -> with_temp_dir (fun dir -> merged_file n dir)) [ 1; 2; 4 ]
+  in
+  match runs with
+  | [ one; two; four ] ->
+      check bool_t "2 shards == 1 shard, byte for byte" true (one = two);
+      check bool_t "4 shards == 1 shard, byte for byte" true (one = four);
+      check bool_t "merged journal is non-trivial" true (String.length one > 0)
+  | _ -> Alcotest.fail "impossible"
+
+let test_shard_recovery () =
+  with_temp_dir (fun dir ->
+      (* Shard 0's fresh launch journals one seed then dies; its resume argv
+         completes the slice. Shard 1 is clean. Shard.run must re-spawn only
+         shard 0 and still produce full coverage. *)
+      let j0 = Filename.concat dir "shard-0.jsonl" in
+      let line s v = Printf.sprintf "{\"seed\":%d,\"summary\":%d}" s v in
+      let sh fmt = Printf.sprintf fmt in
+      let w0 =
+        {
+          Exec.Shard.argv =
+            [| "/bin/sh"; "-c"; sh "echo '%s' >> %s; exit 1" (line 1 7) j0 |];
+          resume_argv =
+            [| "/bin/sh"; "-c"; sh "echo '%s' >> %s" (line 2 14) j0 |];
+          journal = j0;
+          seeds = [ 1; 2 ];
+        }
+      in
+      let w1 = prewritten_worker dir 1 [ 3; 4 ] in
+      match Exec.Shard.run ~workers:[ w0; w1 ] () with
+      | Error e -> Alcotest.fail e
+      | Ok report -> (
+          check (Alcotest.list int_t) "merged covers every seed in order"
+            [ 1; 2; 3; 4 ]
+            (List.map fst report.Exec.Shard.merged);
+          match report.Exec.Shard.shards with
+          | [ r0; r1 ] ->
+              check int_t "dead shard launched twice" 2 r0.Exec.Shard.launches;
+              check (Alcotest.list int_t) "only the unjournaled seed re-ran"
+                [ 2 ] r0.Exec.Shard.recovered;
+              check int_t "clean shard launched once" 1 r1.Exec.Shard.launches;
+              check (Alcotest.list int_t) "clean shard recovered nothing" []
+                r1.Exec.Shard.recovered
+          | _ -> Alcotest.fail "two shard reports expected");
+      (* A worker that NEVER succeeds exhausts its budget and errors out. *)
+      let dead =
+        {
+          Exec.Shard.argv = [| "/bin/sh"; "-c"; "exit 1" |];
+          resume_argv = [| "/bin/sh"; "-c"; "exit 1" |];
+          journal = Filename.concat dir "dead.jsonl";
+          seeds = [ 9 ];
+        }
+      in
+      match Exec.Shard.run ~max_respawns:1 ~workers:[ dead ] () with
+      | Ok _ -> Alcotest.fail "an always-failing worker must be an Error"
+      | Error msg ->
+          check bool_t "error names the failing shard" true
+            (String.length msg > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Serve: length-prefixed JSON over a Unix-domain socket               *)
+(* ------------------------------------------------------------------ *)
+
+let test_serve_roundtrip () =
+  let dir = Filename.temp_file "cosynth_serve_" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let socket_path = Filename.concat dir "test.sock" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove socket_path with _ -> ());
+      try Sys.rmdir dir with _ -> ())
+    (fun () ->
+      let module J = Netcore.Json in
+      let handle ~client req =
+        match Option.bind (J.member "job" req) J.to_str with
+        | Some "echo" ->
+            Exec.Serve.Reply
+              (J.Obj
+                 [
+                   ("ok", J.Bool true);
+                   ("client", J.Int client);
+                   ("payload", Option.value ~default:J.Null (J.member "payload" req));
+                 ])
+        | Some "boom" -> failwith "handler exploded"
+        | Some "stop" -> Exec.Serve.Final (J.Obj [ ("ok", J.Bool true) ])
+        | _ -> Exec.Serve.Reply (J.Obj [ ("ok", J.Bool false) ])
+      in
+      let server =
+        Thread.create (fun () -> Exec.Serve.serve ~socket_path ~handle ()) ()
+      in
+      let ok r = Option.bind (J.member "ok" r) J.to_bool = Some true in
+      (* Several requests on one connection; a big payload crosses any
+         single read(2) boundary so the framing is really exercised. *)
+      let big = String.make 100_000 'x' in
+      Exec.Serve.with_connection ~socket_path (fun fd ->
+          let r1 =
+            Exec.Serve.request fd
+              (J.Obj [ ("job", J.String "echo"); ("payload", J.Int 42) ])
+          in
+          check bool_t "echo ok" true (ok r1);
+          check bool_t "payload round-trips" true
+            (J.member "payload" r1 = Some (J.Int 42));
+          let r2 =
+            Exec.Serve.request fd
+              (J.Obj [ ("job", J.String "echo"); ("payload", J.String big) ])
+          in
+          check bool_t "100kB payload round-trips" true
+            (J.member "payload" r2 = Some (J.String big));
+          (* A handler crash answers THIS request as an error frame and the
+             connection keeps working. *)
+          let r3 = Exec.Serve.request fd (J.Obj [ ("job", J.String "boom") ]) in
+          check bool_t "handler crash becomes an error reply" true (not (ok r3));
+          let r4 =
+            Exec.Serve.request fd
+              (J.Obj [ ("job", J.String "echo"); ("payload", J.Bool true) ])
+          in
+          check bool_t "connection alive after the crash" true (ok r4));
+      (* A second client gets a distinct id, then stops the server. *)
+      Exec.Serve.with_connection ~socket_path (fun fd ->
+          let r = Exec.Serve.request fd (J.Obj [ ("job", J.String "echo") ]) in
+          check bool_t "second client has a new id" true
+            (J.member "client" r = Some (J.Int 1));
+          let r = Exec.Serve.request fd (J.Obj [ ("job", J.String "stop") ]) in
+          check bool_t "final reply delivered" true (ok r));
+      Thread.join server;
+      check bool_t "socket file removed on shutdown" true
+        (not (Sys.file_exists socket_path)))
+
 (* ------------------------------------------------------------------ *)
 (* Global phase: hub looked up by name, not by position                *)
 (* ------------------------------------------------------------------ *)
@@ -574,6 +871,8 @@ let () =
           Alcotest.test_case "hit accounting" `Quick test_memo_hits;
           Alcotest.test_case "thread safe" `Quick test_memo_thread_safe;
           Alcotest.test_case "scoped stats" `Quick test_memo_scope;
+          Alcotest.test_case "bounded eviction keeps the cache warm" `Quick
+            test_memo_eviction;
         ] );
       ( "supervisor",
         [
@@ -595,6 +894,20 @@ let () =
           Alcotest.test_case "sweep resume" `Quick test_sweep_journal_resume;
           Alcotest.test_case "stale codec recomputes" `Quick
             test_sweep_journal_stale_codec;
+          Alcotest.test_case "last write wins across resumes" `Quick
+            test_sweep_journal_lww;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "slices partition" `Quick test_shard_slices;
+          Alcotest.test_case "merge deterministic for 1/2/4 shards" `Quick
+            test_shard_merge_deterministic;
+          Alcotest.test_case "dead worker recovered from its journal" `Quick
+            test_shard_recovery;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "socket round-trip" `Quick test_serve_roundtrip;
         ] );
       ( "global-phase",
         [
