@@ -1,4 +1,4 @@
-.PHONY: all build test check bench chaos fuzz adversary serve-bench resume-smoke shard-smoke serve-smoke clean
+.PHONY: all build test check bench chaos fuzz adversary serve-bench resume-smoke shard-smoke serve-smoke serve-overload-smoke clean
 
 all: build
 
@@ -10,10 +10,10 @@ test:
 
 # Build + tests + one-seed smoke run of the bench harness (exercises the
 # parallel sweep plumbing end-to-end) + the full-scale chaos sweep + a
-# small-budget fuzz pass + smoke-budget adversary and serve gates (the
-# check alias runs all five bench modes) + the shard and serve
-# end-to-end smokes.
-check: shard-smoke serve-smoke
+# small-budget fuzz pass + smoke-budget adversary, serve and
+# serve-overload gates (the check alias runs all six bench modes) + the
+# shard, serve and serve-overload end-to-end smokes.
+check: shard-smoke serve-smoke serve-overload-smoke
 	dune build @check
 
 bench:
@@ -103,6 +103,33 @@ serve-smoke: build
 	wait
 	@rm -rf $(SERVE_TMP)
 	@echo "serve-smoke: daemon served every job kind and shut down cleanly"
+
+# Service hardening end-to-end: the S2 overload gate (admission, deadline,
+# drain invariants against the in-process daemon) followed by the
+# supervisor smoke — crash the daemon via the debug `crash` job, let the
+# supervisor respawn it, confirm the restart count in `health`, then drain
+# and demand the socket gone. Same direct-binary discipline as
+# serve-smoke: a backgrounded `dune exec` would hold the dune lock.
+OVERLOAD_TMP := $(shell mktemp -d)
+serve-overload-smoke: build
+	dune exec bench/main.exe -- --serve-overload --smoke
+	$(CLI) serve --socket $(OVERLOAD_TMP)/cosynth.sock --supervise \
+	  --debug-jobs --triage $(OVERLOAD_TMP)/triage.jsonl \
+	  > $(OVERLOAD_TMP)/serve.out 2>&1 & \
+	$(CLI) client --socket $(OVERLOAD_TMP)/cosynth.sock --connect-budget-ms 5000 ping && \
+	$(CLI) client --socket $(OVERLOAD_TMP)/cosynth.sock crash && \
+	sleep 1 && \
+	$(CLI) client --socket $(OVERLOAD_TMP)/cosynth.sock --connect-budget-ms 5000 health \
+	  | grep -q '"restarts":1' && \
+	$(CLI) client --socket $(OVERLOAD_TMP)/cosynth.sock sleep --ms 600 --deadline-ms 100; \
+	test $$? -eq 1 && \
+	$(CLI) client --socket $(OVERLOAD_TMP)/cosynth.sock drain && \
+	sleep 1 && \
+	test ! -e $(OVERLOAD_TMP)/cosynth.sock && \
+	$(CLI) triage $(OVERLOAD_TMP)/triage.jsonl | grep -q Deadline_exceeded && \
+	wait
+	@rm -rf $(OVERLOAD_TMP)
+	@echo "serve-overload-smoke: overload gate, crash/respawn, deadline, drain all clean"
 
 clean:
 	dune clean

@@ -11,7 +11,10 @@
    - L2  Section 4.2: no-transit leverage (paper: 2 human, 12 automated, 6x)
    - G1  Section 4.1: global vs local policy prompting
    - AB1 Ablations: IIPs on/off, leverage vs network size, stall threshold
-   - S1  Service mode: warm `cosynth serve` daemon vs cold per-job startup *)
+   - E1-E3 Extensions: modular proof, incremental addition, model quality
+     (renamed from S2-S4 when service mode claimed the S prefix)
+   - S1  Service mode: warm `cosynth serve` daemon vs cold per-job startup
+   - S2  Service hardening: admission, deadlines and drain under overload *)
 
 open Netcore
 open Policy
@@ -43,6 +46,14 @@ let adversary_only = Array.exists (fun a -> a = "--adversary") Sys.argv
    exits nonzero when the daemon loses results, state, or throughput.
    --smoke shrinks the job count for the check alias. *)
 let serve_only = Array.exists (fun a -> a = "--serve") Sys.argv
+
+(* --serve-overload: only the S2 service-hardening gate (`make
+   serve-overload-smoke`) — the hardened Cosynth.Service daemon under a
+   2x-capacity burst: unloaded replies byte-identical to the unhardened
+   daemon, shed requests carry structured retry frames and succeed on
+   retry, expired deadlines answer timeout frames instead of hanging, and
+   a mid-burst drain loses zero admitted jobs. --smoke shrinks the burst. *)
+let serve_overload_only = Array.exists (fun a -> a = "--serve-overload") Sys.argv
 let runs n = if smoke then 1 else n
 
 (* --journal DIR: checkpoint every seeded sweep (L1/L2/C1) to one journal
@@ -504,11 +515,11 @@ let table_ab1c () =
        rows)
 
 (* ------------------------------------------------------------------ *)
-(* S2: simulation vs modular proof as the global check                 *)
+(* E1: simulation vs modular proof as the global check                 *)
 (* ------------------------------------------------------------------ *)
 
-let table_s2 () =
-  section "S2 — Extension: whole-network simulation vs Lightyear-style modular proof";
+let table_e1 () =
+  section "E1 — Extension: whole-network simulation vs Lightyear-style modular proof";
   let star = Star.make ~routers:7 in
   let configs =
     List.map
@@ -560,12 +571,12 @@ let table_s2 () =
        ])
 
 (* ------------------------------------------------------------------ *)
-(* S3: incremental policy addition                                     *)
+(* E2: incremental policy addition                                     *)
 (* ------------------------------------------------------------------ *)
 
-let table_s3 () =
+let table_e2 () =
   section
-    "S3 — Extension: incremental policy addition (the paper's closing question)";
+    "E2 — Extension: incremental policy addition (the paper's closing question)";
   let runs = runs 25 in
   let results =
     Exec.Sweep.run_seeds ~pool
@@ -595,11 +606,11 @@ let table_s3 () =
        ])
 
 (* ------------------------------------------------------------------ *)
-(* S4: leverage vs model quality                                       *)
+(* E3: leverage vs model quality                                       *)
 (* ------------------------------------------------------------------ *)
 
-let table_s4 () =
-  section "S4 — Extension: leverage vs simulated model quality";
+let table_e3 () =
+  section "E3 — Extension: leverage vs simulated model quality";
   Printf.printf
     "The paper predicts: \"If a future LLM, say GPT-6, produces near-perfect\n\
      configurations, leverage will decrease as there is less need for automatic\n\
@@ -1204,6 +1215,329 @@ let table_s1 () =
       exit 1
 
 (* ------------------------------------------------------------------ *)
+(* S2: service hardening — admission, deadlines, drain under overload  *)
+(* ------------------------------------------------------------------ *)
+
+(* The gate runs the exact Cosynth.Service handler the CLI ships, as an
+   in-process daemon on a real Unix socket, and drives it through one
+   lifetime: unloaded byte-identity first (hardening must cost nothing on
+   the happy path), then deadline expiry, the per-client cap, a
+   2x-capacity burst, and finally a drain fired mid-burst. *)
+let table_s2 () =
+  section "S2 — Service hardening: admission, deadlines and drain under overload";
+  let module J = Json in
+  let violations = ref [] in
+  let violation fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  let dir = Filename.temp_file "cosynth_s2_" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let socket_path = Filename.concat dir "s2.sock" in
+  let cap = if smoke then 2 else 4 in
+  let queue = 2 in
+  let cfg =
+    {
+      Cosynth.Service.default_config with
+      Cosynth.Service.domains = Some 1;
+      debug_jobs = true;
+      drain_grace_ms = 1_000;
+      admission =
+        {
+          Resilience.Admission.max_in_flight = cap;
+          max_queue = queue;
+          max_per_client = 2;
+          max_deadline_ms = 10_000;
+          retry_after_ms = 20;
+        };
+    }
+  in
+  let summary = ref None in
+  let server =
+    Thread.create
+      (fun () -> summary := Some (Cosynth.Service.serve ~socket_path cfg))
+      ()
+  in
+  let with_conn f =
+    Exec.Serve.with_connection ~total_budget_ms:5_000 ~socket_path f
+  in
+  let sleep_req ?(ms = 150) ?(deadline = 5_000) client =
+    J.Obj
+      [
+        ("job", J.String "sleep");
+        ("ms", J.Int ms);
+        ("deadline_ms", J.Int deadline);
+        ("client", J.String client);
+      ]
+  in
+  (* Gate 1: unloaded byte-identity. The very first connection (client
+     counter 0) sends the pre-hardening job set; every reply must be
+     byte-identical to the frame the unhardened daemon would have written —
+     computed here from direct driver/memo calls with the same budget
+     clamping. Admission and deadlines may only add frames on the overload
+     and expiry paths, never fields on this one. *)
+  let synth_seed = 12345 in
+  let expected_unloaded =
+    let r =
+      Cosynth.Driver.run_no_transit ~seed:synth_seed ~pool
+        ~resilience:
+          (Resilience.Runtime.config ~round_budget:64 ~stage_budget:32 ())
+        ~routers:5 ()
+    in
+    let t = r.Cosynth.Driver.transcript in
+    let _, diags = Exec.Memo.check Batfish.Parse_check.Cisco_ios cisco_text in
+    [
+      J.Obj [ ("ok", J.Bool true); ("pong", J.Bool true); ("client", J.Int 0) ];
+      J.Obj
+        [
+          ("ok", J.Bool true);
+          ("errors", J.Int (List.length (List.filter Diag.is_error diags)));
+          ("diags", J.List (List.map (fun d -> J.String (Diag.to_string d)) diags));
+        ];
+      J.Obj
+        [
+          ("ok", J.Bool true);
+          ("auto", J.Int t.Cosynth.Driver.auto_prompts);
+          ("human", J.Int t.Cosynth.Driver.human_prompts);
+          ("rounds", J.Int t.Cosynth.Driver.rounds);
+          ("converged", J.Bool t.Cosynth.Driver.converged);
+          ("global_ok", J.Bool r.Cosynth.Driver.global_ok);
+        ];
+    ]
+  in
+  let unloaded_reqs =
+    [
+      J.Obj [ ("job", J.String "ping") ];
+      J.Obj [ ("job", J.String "parse"); ("text", J.String cisco_text) ];
+      J.Obj
+        [
+          ("job", J.String "synth");
+          ("seed", J.Int synth_seed);
+          ("routers", J.Int 5);
+        ];
+    ]
+  in
+  let unloaded =
+    with_conn (fun fd -> List.map (Exec.Serve.request fd) unloaded_reqs)
+  in
+  List.iteri
+    (fun i got ->
+      let want = List.nth expected_unloaded i in
+      if J.to_string got <> J.to_string want then
+        violation "unloaded reply %d not byte-identical: got %s, want %s" i
+          (J.to_string got) (J.to_string want))
+    (if List.length unloaded = List.length expected_unloaded then unloaded
+     else begin
+       violation "unloaded: %d replies for %d requests" (List.length unloaded)
+         (List.length expected_unloaded);
+       []
+     end);
+  (* Gate 2: deadline expiry. A sleep longer than its deadline must answer
+     a structured timeout frame near the deadline — not after the full
+     sleep, and never a hung connection — and the connection stays usable. *)
+  let deadline_wall, timeout_ok, conn_alive =
+    with_conn (fun fd ->
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Exec.Serve.request fd (sleep_req ~ms:1_500 ~deadline:100 "deadline")
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        let timeout_ok =
+          Option.bind (J.member "timeout" r) J.to_bool = Some true
+          && Option.bind (J.member "ok" r) J.to_bool = Some false
+          && Option.bind (J.member "deadline_ms" r) J.to_int = Some 100
+        in
+        let p = Exec.Serve.request fd (J.Obj [ ("job", J.String "ping") ]) in
+        (wall, timeout_ok, Option.bind (J.member "ok" p) J.to_bool = Some true))
+  in
+  if not timeout_ok then violation "deadline expiry did not answer a timeout frame";
+  if deadline_wall > 1.0 then
+    violation "deadline-expired request took %.2fs (deadline 0.1s)" deadline_wall;
+  if not conn_alive then violation "connection dead after a deadline expiry";
+  (* Gate 3: the per-client cap. One identity flooding the daemon is shed
+     with per-client frames even though global capacity remains. *)
+  let greedy_outcomes = Array.make (cap + 2) `Pending in
+  let greedy =
+    List.init (cap + 2) (fun i ->
+        Thread.create
+          (fun () ->
+            greedy_outcomes.(i) <-
+              (try
+                 with_conn (fun fd ->
+                     match Exec.Serve.request fd (sleep_req ~ms:200 "greedy") with
+                     | r
+                       when Option.bind (J.member "ok" r) J.to_bool = Some true
+                       ->
+                         `Ok
+                     | _ -> `Other
+                     | exception Exec.Serve.Server_overloaded _ -> `Shed)
+               with e -> ignore e; `Other))
+          ())
+  in
+  List.iter Thread.join greedy;
+  let count tag arr =
+    Array.fold_left (fun acc o -> if o = tag then acc + 1 else acc) 0 arr
+  in
+  if count `Shed greedy_outcomes = 0 then
+    violation "per-client cap never shed (%d concurrent jobs, cap 2)" (cap + 2);
+  if count `Ok greedy_outcomes = 0 then
+    violation "per-client flood: no job admitted at all";
+  (* Gate 4: a 2x-capacity burst of distinct clients. Shed requests carry
+     the structured retry frame and — because the frame is flow control,
+     not failure — succeed on retry; nothing hangs past its deadline. *)
+  let burst_n = 2 * (cap + queue) in
+  let sheds = ref 0 in
+  let sheds_m = Mutex.create () in
+  let burst_outcomes = Array.make burst_n `Pending in
+  let burst_walls = Array.make burst_n 0. in
+  let burst_thread i =
+    let t0 = Unix.gettimeofday () in
+    let outcome =
+      try
+        with_conn (fun fd ->
+            let req =
+              sleep_req ~ms:(if smoke then 120 else 200)
+                (Printf.sprintf "burst-%d" i)
+            in
+            let rec go tries =
+              match Exec.Serve.request fd req with
+              | r when Option.bind (J.member "ok" r) J.to_bool = Some true ->
+                  `Ok
+              | r
+                when Option.bind (J.member "draining" r) J.to_bool = Some true
+                ->
+                  `Draining
+              | _ -> `Other
+              | exception Exec.Serve.Server_overloaded { retry_after_ms } ->
+                  Mutex.lock sheds_m;
+                  incr sheds;
+                  Mutex.unlock sheds_m;
+                  if tries >= 100 then `Shed_exhausted
+                  else begin
+                    Thread.delay (float_of_int (max 1 retry_after_ms) /. 1000.);
+                    go (tries + 1)
+                  end
+            in
+            go 0)
+      with e -> ignore e; `Other
+    in
+    burst_outcomes.(i) <- outcome;
+    burst_walls.(i) <- Unix.gettimeofday () -. t0
+  in
+  let burst = List.init burst_n (fun i -> Thread.create burst_thread i) in
+  List.iter Thread.join burst;
+  if !sheds = 0 then
+    violation "2x-capacity burst (%d jobs, capacity %d+%d) never shed" burst_n
+      cap queue;
+  if count `Ok burst_outcomes <> burst_n then
+    violation "burst: %d/%d requests did not complete ok on retry"
+      (burst_n - count `Ok burst_outcomes)
+      burst_n;
+  Array.iteri
+    (fun i w ->
+      if w > 15. then violation "burst request %d took %.1fs (hang?)" i w)
+    burst_walls;
+  (* Gate 5: drain mid-burst. Fire a second burst, then drain while it is
+     in flight: every admitted job still answers, requests arriving after
+     the drain get the structured draining reject (including on
+     connections that were already open), the server thread returns with
+     drained=true, and the socket is unlinked. Zero admitted jobs lost =
+     every thread ends in a terminal frame, none hangs or errors. *)
+  let drain_n = cap + queue in
+  let drain_outcomes = Array.make drain_n `Pending in
+  let drain_burst =
+    List.init drain_n (fun i ->
+        Thread.create
+          (fun () ->
+            drain_outcomes.(i) <-
+              (try
+                 with_conn (fun fd ->
+                     let req =
+                       sleep_req ~ms:400 (Printf.sprintf "drain-%d" i)
+                     in
+                     match Exec.Serve.request fd req with
+                     | r
+                       when Option.bind (J.member "ok" r) J.to_bool = Some true
+                       ->
+                         `Ok
+                     | r
+                       when Option.bind (J.member "draining" r) J.to_bool
+                            = Some true ->
+                         `Draining
+                     | r
+                       when Option.bind (J.member "timeout" r) J.to_bool
+                            = Some true ->
+                         `Timeout
+                     | _ -> `Other
+                     | exception Exec.Serve.Server_overloaded _ -> `Shed)
+               with e -> ignore e; `Error))
+          ())
+  in
+  let late_reject =
+    with_conn (fun fd ->
+        (* Opened before the drain lands; its post-drain request must get
+           the structured reject, not a closed socket. *)
+        Thread.delay 0.1;
+        let d =
+          with_conn (fun dfd ->
+              Exec.Serve.request dfd (J.Obj [ ("job", J.String "drain") ]))
+        in
+        if Option.bind (J.member "draining" d) J.to_bool <> Some true then
+          violation "drain job did not ack with draining:true";
+        match Exec.Serve.request fd (J.Obj [ ("job", J.String "ping") ]) with
+        | r -> Option.bind (J.member "draining" r) J.to_bool = Some true
+        | exception _ -> false)
+  in
+  if not late_reject then
+    violation "post-drain request on a live connection got no draining reject";
+  List.iter Thread.join drain_burst;
+  let terminal = function
+    | `Ok | `Draining | `Timeout | `Shed -> true
+    | _ -> false
+  in
+  Array.iteri
+    (fun i o ->
+      if not (terminal o) then
+        violation "drain burst request %d lost (no terminal reply)" i)
+    drain_outcomes;
+  if count `Ok drain_outcomes = 0 then
+    violation "drain mid-burst: no admitted job completed";
+  Thread.join server;
+  if Sys.file_exists socket_path then
+    violation "socket %s still exists after drain" socket_path;
+  (try Sys.rmdir dir with _ -> ());
+  (match !summary with
+  | None -> violation "server thread returned no summary"
+  | Some s ->
+      if not s.Cosynth.Service.drained then
+        violation "summary says the daemon did not drain";
+      if s.Cosynth.Service.shed = 0 then
+        violation "summary counted no shed requests";
+      if s.Cosynth.Service.timed_out = 0 then
+        violation "summary counted no deadline expiries");
+  print_string
+    (Cosynth.Report.counts
+       ~title:
+         (Printf.sprintf
+            "one daemon lifetime: capacity %d + queue %d, burst %d, drain \
+             mid-burst"
+            cap queue burst_n)
+       [
+         ("unloaded byte-identical replies", List.length expected_unloaded);
+         ("shed then completed on retry", count `Ok burst_outcomes);
+         ("sheds observed", !sheds);
+         ("admitted jobs answered under drain", count `Ok drain_outcomes);
+         ( "draining rejects under drain",
+           count `Draining drain_outcomes + if late_reject then 1 else 0 );
+       ]);
+  match List.rev !violations with
+  | [] -> Printf.printf "\n  S2: all invariants hold\n"
+  | vs ->
+      Printf.printf "\n  S2 GATE FAILED: %d violation(s)\n" (List.length vs);
+      List.iter (fun v -> Printf.printf "  VIOLATION %s\n" v) vs;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Performance benchmarks (Bechamel)                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1605,6 +1939,9 @@ let () =
        if smoke then "adversary gate (smoke budget)" else "adversary gate (full budget)"
      else if serve_only then
        if smoke then "serve gate (smoke budget)" else "serve gate (full budget)"
+     else if serve_overload_only then
+       if smoke then "serve overload gate (smoke budget)"
+       else "serve overload gate (full budget)"
      else if chaos_only then "chaos sweep only (full seeds)"
      else if smoke then "smoke (1 seed per experiment)"
      else "full")
@@ -1627,6 +1964,12 @@ let () =
     Printf.printf "\nDone.\n";
     exit 0
   end;
+  if serve_overload_only then begin
+    table_s2 ();
+    Exec.Pool.shutdown pool;
+    Printf.printf "\nDone.\n";
+    exit 0
+  end;
   if chaos_only then begin
     table_c1 ();
     table_c2 ();
@@ -1644,12 +1987,13 @@ let () =
   table_ab1a ();
   table_ab1b ();
   table_ab1c ();
-  table_s2 ();
-  table_s3 ();
-  table_s4 ();
+  table_e1 ();
+  table_e2 ();
+  table_e3 ();
   table_c1 ();
   table_c2 ();
   table_s1 ();
+  table_s2 ();
   if smoke then
     Printf.printf "\n(smoke mode: skipping the Bechamel performance pass)\n"
   else run_perf ();

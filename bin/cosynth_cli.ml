@@ -741,7 +741,7 @@ let chaos_cmd =
     if verbose || aborted <> None then print_string (verifier_stats_footer perf);
     (match triage_path with
     | Some path ->
-        Resilience.Triage.record ~path ~seed;
+        Resilience.Triage.record ~path ~seed ();
         Printf.printf "triage: %d crash bucket(s) appended to %s\n"
           (List.length (Resilience.Guard.crashes ()))
           path
@@ -856,8 +856,17 @@ let chaos_cmd =
 let adversary_cmd =
   let run use_case runs routers seed truncated wrong_dialect stale partial_fix
       off_topic dropped duplicated misattributed garbled journal_path resume
-      triage_path verbose =
+      sweep_budget triage_path verbose =
     Resilience.Guard.reset ();
+    (* A budgeted sweep's per-seed allocations depend on what earlier seeds
+       spent, while journal replay assumes a seed's run is a function of its
+       seed alone — mixing them would replay records produced under
+       different allocations. Refuse loudly rather than resume wrongly. *)
+    (match (sweep_budget, journal_path) with
+    | Some _, Some _ ->
+        Printf.eprintf "error: --sweep-budget cannot be combined with --journal\n%!";
+        exit 2
+    | _ -> ());
     let llm =
       Adversary.Llm.make ~truncated ~wrong_dialect ~stale ~partial_fix ~off_topic
         ~seed ()
@@ -927,22 +936,22 @@ let adversary_cmd =
                 (List.length done_) path);
           Some j
     in
-    let run_seed run_seed =
+    let run_seed ?max_prompts run_seed =
       match
         Resilience.Guard.run ~label:"vpp-loop"
           ~fingerprint:(string_of_int run_seed) (fun () ->
             match use_case with
             | `Translation ->
-                (Cosynth.Driver.run_translation ~seed:run_seed ~adversary:spec
-                   ~cisco_text:Cisco.Samples.border_router ())
+                (Cosynth.Driver.run_translation ~seed:run_seed ?max_prompts
+                   ~adversary:spec ~cisco_text:Cisco.Samples.border_router ())
                   .Cosynth.Driver.transcript
             | `No_transit ->
-                (Cosynth.Driver.run_no_transit ~seed:run_seed ~adversary:spec
-                   ~routers ())
+                (Cosynth.Driver.run_no_transit ~seed:run_seed ?max_prompts
+                   ~adversary:spec ~routers ())
                   .Cosynth.Driver.transcript
             | `Incremental ->
-                (Cosynth.Driver.run_incremental ~seed:run_seed ~adversary:spec
-                   ~routers ())
+                (Cosynth.Driver.run_incremental ~seed:run_seed ?max_prompts
+                   ~adversary:spec ~routers ())
                   .Cosynth.Driver.inc_transcript)
       with
       | Error c -> Error (Resilience.Guard.crash_to_string c)
@@ -951,10 +960,44 @@ let adversary_cmd =
     (* The journal is closed even when a seed's Guard boundary is breached
        by something unguardable — the finally runs on every exit path, so
        the last fsync'd record is never stranded in an open channel. *)
+    let budget_stats = ref None in
     let recs =
-      Fun.protect
-        ~finally:(fun () -> Option.iter Exec.Sweep.journal_close journal)
-        (fun () -> Exec.Sweep.run_seeds ?journal ~seeds run_seed)
+      match sweep_budget with
+      | Some total ->
+          (* Certificate-aware scheduling: each seed gets a fair share of
+             what's left; a run that stalls out ([Stalled_out] certificate —
+             the watchdog or budget firing, not mere non-convergence) is
+             abandoned at whatever it actually spent and the rest of its
+             allocation flows to later seeds. A crash forfeits its whole
+             allocation — there is no transcript to read a spend from. *)
+          let out, stats =
+            Exec.Sweep.run_seeds_budgeted ~budget:total ~seeds
+              (fun ~seed:s ~max_prompts ->
+                let r = run_seed ~max_prompts s in
+                let outcome =
+                  match r with
+                  | Error _ ->
+                      { Exec.Sweep.spent = max_prompts; abandoned = false }
+                  | Ok t ->
+                      {
+                        Exec.Sweep.spent =
+                          t.Cosynth.Driver.auto_prompts
+                          + t.Cosynth.Driver.human_prompts;
+                        abandoned =
+                          (match t.Cosynth.Driver.certificate with
+                          | Some (Cosynth.Driver.Stalled_out _) -> true
+                          | _ -> false);
+                      }
+                in
+                (r, outcome))
+          in
+          budget_stats := Some stats;
+          out
+      | None ->
+          Fun.protect
+            ~finally:(fun () -> Option.iter Exec.Sweep.journal_close journal)
+            (fun () ->
+              Exec.Sweep.run_seeds ?journal ~seeds (fun s -> run_seed s))
     in
     let seeded =
       List.filter_map
@@ -967,7 +1010,10 @@ let adversary_cmd =
               let spent =
                 t.Cosynth.Driver.auto_prompts + t.Cosynth.Driver.human_prompts
               in
-              if spent > budget then
+              (* Under --sweep-budget the per-seed cap is the dynamic
+                 allocation, not the use-case budget; the total check below
+                 covers the whole schedule instead. *)
+              if sweep_budget = None && spent > budget then
                 violation "seed %d spent %d prompts (budget %d)" run_seed spent
                   budget;
               (match (hardened, t.Cosynth.Driver.certificate) with
@@ -986,6 +1032,26 @@ let adversary_cmd =
       print_string
         (Cosynth.Report.counts ~title:"convergence certificates"
            (Cosynth.Metrics.certificates transcripts));
+    (match !budget_stats with
+    | Some (st : Exec.Sweep.budget_stats) ->
+        let total_spent =
+          List.fold_left
+            (fun acc (_, (t : Cosynth.Driver.transcript)) ->
+              acc + t.Cosynth.Driver.auto_prompts + t.Cosynth.Driver.human_prompts)
+            0 seeded
+        in
+        if total_spent > st.Exec.Sweep.budget then
+          violation "sweep spent %d prompts (sweep budget %d)" total_spent
+            st.Exec.Sweep.budget;
+        print_string
+          (Cosynth.Report.counts ~title:"budgeted schedule"
+             [
+               ("sweep budget", st.Exec.Sweep.budget);
+               ("spent", st.Exec.Sweep.spent);
+               ("abandoned early", st.Exec.Sweep.abandoned_early);
+               ("reclaimed", st.Exec.Sweep.reclaimed);
+             ])
+    | None -> ());
     if verbose then
       List.iter
         (fun (run_seed, (t : Cosynth.Driver.transcript)) ->
@@ -996,7 +1062,7 @@ let adversary_cmd =
         seeded;
     (match triage_path with
     | Some path ->
-        Resilience.Triage.record ~path ~seed;
+        Resilience.Triage.record ~path ~seed ();
         Printf.printf "triage: %d crash bucket(s) appended to %s\n"
           (List.length (Resilience.Guard.crashes ()))
           path
@@ -1049,6 +1115,17 @@ let adversary_cmd =
                 reproduce the identical output from the mix of journaled \
                 and fresh runs. Refused without $(b,--journal).")
   in
+  let sweep_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sweep-budget" ] ~docv:"T"
+          ~doc:"Certificate-aware scheduling: share a total prompt budget of \
+                $(docv) across the sweep (fair-share per remaining seed). A \
+                run that stalls out is abandoned early and its unspent \
+                allocation is reclaimed for later seeds. Incompatible with \
+                $(b,--journal).")
+  in
   let triage_path =
     Arg.(
       value
@@ -1070,7 +1147,7 @@ let adversary_cmd =
     Term.(
       const run $ use_case $ runs $ routers $ seed $ truncated $ wrong_dialect
       $ stale $ partial_fix $ off_topic $ dropped $ duplicated $ misattributed
-      $ garbled $ journal_path $ resume $ triage_path $ verbose)
+      $ garbled $ journal_path $ resume $ sweep_budget $ triage_path $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* shard                                                               *)
@@ -1151,20 +1228,43 @@ let shard_cmd =
     in
     Printf.eprintf "shard: %d worker(s) over %d seed(s), %s sweep\n%!"
       (List.length workers) runs (use_case_name use_case);
-    match Exec.Shard.run ~max_respawns ~workers () with
+    (* Early-abandoned classification for the per-shard counter: a record
+       the supervisor gave up on (ok=false), or a completed run whose
+       certificate says it stalled out — both handed budget back early.
+       Stderr-only bookkeeping: the coordinator's stdout stays
+       byte-identical to the sequential sweep. *)
+    let abandoned payload =
+      let mem f name = Option.bind (Netcore.Json.member name payload) f in
+      match mem Netcore.Json.to_bool "ok" with
+      | Some false -> true
+      | _ -> (
+          match
+            Option.bind
+              (Netcore.Json.member "certificate" payload)
+              (fun c ->
+                Option.bind (Netcore.Json.member "kind" c) Netcore.Json.to_str)
+          with
+          | Some "stalled" -> true
+          | _ -> false)
+    in
+    match Exec.Shard.run ~max_respawns ~abandoned ~workers () with
     | Error e ->
         Printf.eprintf "error: %s\n%!" e;
         1
     | Ok report ->
         List.iter
           (fun (r : Exec.Shard.shard_report) ->
-            Printf.eprintf "shard %d: %d seed(s), %d launch(es)%s\n%!"
+            Printf.eprintf "shard %d: %d seed(s), %d launch(es)%s%s\n%!"
               r.Exec.Shard.shard r.Exec.Shard.owned r.Exec.Shard.launches
               (match r.Exec.Shard.recovered with
               | [] -> ""
               | rs ->
                   Printf.sprintf ", %d re-run after a worker death"
-                    (List.length rs)))
+                    (List.length rs))
+              (if r.Exec.Shard.abandoned_early = 0 then ""
+               else
+                 Printf.sprintf ", %d abandoned early"
+                   r.Exec.Shard.abandoned_early))
           report.Exec.Shard.shards;
         let out =
           match out with Some o -> o | None -> Filename.concat dir "merged.jsonl"
@@ -1262,164 +1362,134 @@ let shard_cmd =
 (* ------------------------------------------------------------------ *)
 
 let serve_cmd =
-  let run socket jobs round_budget_cap stage_budget_cap =
-    let module J = Netcore.Json in
-    (* The whole point of the daemon: pay for domain spawn once, then keep
-       the pool, the parse-check memo and the verifier machinery warm
-       across every request of every client. *)
-    let pool =
-      match jobs with
-      | Some d -> Exec.Pool.create ~domains:d ()
-      | None -> Exec.Pool.create ()
-    in
-    let t0 = Unix.gettimeofday () in
-    let served = ref 0 in
-    let served_m = Mutex.create () in
-    let ok fields = J.Obj (("ok", J.Bool true) :: fields) in
-    let fail msg = J.Obj [ ("ok", J.Bool false); ("error", J.String msg) ] in
-    let jstr name req = Option.bind (J.member name req) J.to_str in
-    let jint name req = Option.bind (J.member name req) J.to_int in
-    (* Per-client tick budgets: a request may lower the resilience round /
-       stage budget below the server's cap, never raise it — one greedy
-       client cannot buy itself an unbounded verifier loop. *)
-    let resilience_of req =
-      let rb =
-        match jint "budget" req with
-        | Some b -> max 1 (min b round_budget_cap)
-        | None -> round_budget_cap
+  let run socket jobs round_budget_cap stage_budget_cap max_in_flight max_queue
+      max_per_client max_deadline_ms retry_after_ms io_timeout_ms drain_grace_ms
+      triage_path debug_jobs supervise max_restarts =
+    if supervise then begin
+      (* Supervisor mode: respawn a crashed daemon (nonzero exit or fatal
+         signal) with a bounded budget; a clean exit 0 — shutdown or drain
+         — ends the loop. The restart count rides down in the environment
+         so the child reports it in stats/health. *)
+      let exe = Sys.executable_name in
+      let child_argv =
+        Array.of_list
+          ([ exe; "serve"; "--socket"; socket ]
+          @ (match jobs with Some j -> [ "-j"; string_of_int j ] | None -> [])
+          @ [
+              "--round-budget"; string_of_int round_budget_cap;
+              "--stage-budget"; string_of_int stage_budget_cap;
+              "--max-in-flight"; string_of_int max_in_flight;
+              "--max-queue"; string_of_int max_queue;
+              "--max-per-client"; string_of_int max_per_client;
+              "--max-deadline-ms"; string_of_int max_deadline_ms;
+              "--retry-after-ms"; string_of_int retry_after_ms;
+              "--io-timeout-ms"; string_of_int io_timeout_ms;
+              "--drain-grace-ms"; string_of_int drain_grace_ms;
+            ]
+          @ (if debug_jobs then [ "--debug-jobs" ] else [])
+          @ (match triage_path with Some p -> [ "--triage"; p ] | None -> []))
       in
-      Resilience.Runtime.config ~round_budget:rb
-        ~stage_budget:(min stage_budget_cap rb) ()
-    in
-    let handle ~client req =
-      Mutex.lock served_m;
-      incr served;
-      Mutex.unlock served_m;
-      let job = Option.value ~default:"" (jstr "job" req) in
-      match job with
-      | "ping" ->
-          Exec.Serve.Reply (ok [ ("pong", J.Bool true); ("client", J.Int client) ])
-      | "shutdown" -> Exec.Serve.Final (ok [ ("served", J.Int !served) ])
-      | "stats" ->
-          let m = Exec.Memo.stats () in
-          let p = Exec.Pool.stats pool in
-          Exec.Serve.Reply
-            (ok
-               [
-                 ("served", J.Int !served);
-                 ("uptime_s", J.Float (Unix.gettimeofday () -. t0));
-                 ( "memo",
-                   J.Obj
-                     [
-                       ("hits", J.Int m.Exec.Memo.hits);
-                       ("misses", J.Int m.Exec.Memo.misses);
-                       ("entries", J.Int m.Exec.Memo.entries);
-                       ("evictions", J.Int m.Exec.Memo.evictions);
-                       ("hit_rate", J.Float (Exec.Memo.hit_rate m));
-                     ] );
-                 ( "pool",
-                   J.Obj
-                     [
-                       ("domains", J.Int p.Exec.Pool.domains);
-                       ("jobs_completed", J.Int p.Exec.Pool.jobs_completed);
-                       ("restarts", J.Int p.Exec.Pool.restarts);
-                     ] );
-               ])
-      | "parse" | "translate" | "synth" | "repair" -> (
-          let work () =
-            match job with
-            | "parse" ->
-                let dialect =
-                  match jstr "dialect" req with
-                  | Some ("junos" | "juniper") -> Batfish.Parse_check.Junos
-                  | _ -> Batfish.Parse_check.Cisco_ios
-                in
-                let text = Option.value ~default:"" (jstr "text" req) in
-                let _, diags = Exec.Memo.check dialect text in
-                [
-                  ( "errors",
-                    J.Int (List.length (List.filter Netcore.Diag.is_error diags)) );
-                  ( "diags",
-                    J.List
-                      (List.map (fun d -> J.String (Netcore.Diag.to_string d)) diags)
-                  );
-                ]
-            | "translate" ->
-                let seed = Option.value ~default:42 (jint "seed" req) in
-                let text =
-                  Option.value ~default:Cisco.Samples.border_router (jstr "text" req)
-                in
-                let r =
-                  Cosynth.Driver.run_translation ~seed
-                    ~resilience:(resilience_of req) ~cisco_text:text ()
-                in
-                let t = r.Cosynth.Driver.transcript in
-                [
-                  ("auto", J.Int t.Cosynth.Driver.auto_prompts);
-                  ("human", J.Int t.Cosynth.Driver.human_prompts);
-                  ("rounds", J.Int t.Cosynth.Driver.rounds);
-                  ("converged", J.Bool t.Cosynth.Driver.converged);
-                  ("verified", J.Bool r.Cosynth.Driver.verified);
-                ]
-            | "synth" ->
-                let seed = Option.value ~default:42 (jint "seed" req) in
-                let routers = Option.value ~default:7 (jint "routers" req) in
-                let r =
-                  Cosynth.Driver.run_no_transit ~seed ~pool
-                    ~resilience:(resilience_of req) ~routers ()
-                in
-                let t = r.Cosynth.Driver.transcript in
-                [
-                  ("auto", J.Int t.Cosynth.Driver.auto_prompts);
-                  ("human", J.Int t.Cosynth.Driver.human_prompts);
-                  ("rounds", J.Int t.Cosynth.Driver.rounds);
-                  ("converged", J.Bool t.Cosynth.Driver.converged);
-                  ("global_ok", J.Bool r.Cosynth.Driver.global_ok);
-                ]
-            | _ ->
-                (* repair: the incremental policy-addition loop — start from
-                   the verified network, add the prepend policy, repair any
-                   interference the verifiers catch. *)
-                let seed = Option.value ~default:42 (jint "seed" req) in
-                let routers = Option.value ~default:5 (jint "routers" req) in
-                let r =
-                  Cosynth.Driver.run_incremental ~seed
-                    ~resilience:(resilience_of req) ~routers ()
-                in
-                let t = r.Cosynth.Driver.inc_transcript in
-                [
-                  ("auto", J.Int t.Cosynth.Driver.auto_prompts);
-                  ("human", J.Int t.Cosynth.Driver.human_prompts);
-                  ("rounds", J.Int t.Cosynth.Driver.rounds);
-                  ("converged", J.Bool t.Cosynth.Driver.converged);
-                  ("specs_hold", J.Bool r.Cosynth.Driver.specs_hold);
-                  ("global_ok", J.Bool r.Cosynth.Driver.global_ok);
-                  ( "interference_caught",
-                    J.Bool r.Cosynth.Driver.interference_caught );
-                ]
-          in
-          (* The Guard is the crash boundary: a bug anywhere in the loop
-             answers this one request with an error frame; the daemon and
-             its warm state survive. *)
-          match
-            Resilience.Guard.run
-              ~label:("serve:" ^ job)
-              ~fingerprint:(string_of_int client) work
-          with
-          | Ok fields -> Exec.Serve.Reply (ok fields)
-          | Error c -> Exec.Serve.Reply (fail (Resilience.Guard.crash_to_string c)))
-      | "" -> Exec.Serve.Reply (fail "missing \"job\" field")
-      | other -> Exec.Serve.Reply (fail (Printf.sprintf "unknown job %S" other))
-    in
-    Exec.Serve.serve ~socket_path:socket ~handle
-      ~on_ready:(fun () ->
-        Printf.printf "cosynth serve: listening on %s (pool: %d domain(s))\n%!"
-          socket (Exec.Pool.size pool))
-      ();
-    Exec.Pool.shutdown pool;
-    Printf.printf "cosynth serve: %d request(s) served, shut down cleanly\n%!"
-      !served;
-    0
+      let restarts = ref 0 in
+      let child = ref None in
+      (* Forward TERM/INT so killing the supervisor drains the daemon
+         instead of orphaning it; the child's clean exit then ends us. *)
+      List.iter
+        (fun s ->
+          Sys.set_signal s
+            (Sys.Signal_handle
+               (fun _ ->
+                 match !child with
+                 | Some pid -> ( try Unix.kill pid s with _ -> ())
+                 | None -> ())))
+        [ Sys.sigterm; Sys.sigint ];
+      let env_for n =
+        let keep =
+          List.filter
+            (fun s ->
+              not (String.starts_with ~prefix:"COSYNTH_SERVE_RESTARTS=" s))
+            (Array.to_list (Unix.environment ()))
+        in
+        Array.of_list (keep @ [ Printf.sprintf "COSYNTH_SERVE_RESTARTS=%d" n ])
+      in
+      let rec waitpid pid =
+        try snd (Unix.waitpid [] pid)
+        with Unix.Unix_error (Unix.EINTR, _, _) -> waitpid pid
+      in
+      let status_to_string = function
+        | Unix.WEXITED n -> Printf.sprintf "exited %d" n
+        | Unix.WSIGNALED n -> Printf.sprintf "killed by signal %d" n
+        | Unix.WSTOPPED n -> Printf.sprintf "stopped by signal %d" n
+      in
+      let rec loop () =
+        let pid =
+          Unix.create_process_env exe child_argv (env_for !restarts) Unix.stdin
+            Unix.stdout Unix.stderr
+        in
+        child := Some pid;
+        let st = waitpid pid in
+        child := None;
+        match st with
+        | Unix.WEXITED 0 -> 0
+        | st when !restarts >= max_restarts ->
+            Printf.eprintf
+              "cosynth serve: supervisor: daemon %s; restart budget (%d) spent\n%!"
+              (status_to_string st) max_restarts;
+            1
+        | st ->
+            incr restarts;
+            Printf.eprintf
+              "cosynth serve: supervisor: daemon %s; restart %d/%d\n%!"
+              (status_to_string st) !restarts max_restarts;
+            loop ()
+      in
+      loop ()
+    end
+    else begin
+      let restarts =
+        match Sys.getenv_opt "COSYNTH_SERVE_RESTARTS" with
+        | Some s -> ( try int_of_string s with _ -> 0)
+        | None -> 0
+      in
+      let cfg =
+        {
+          Cosynth.Service.domains = jobs;
+          round_budget_cap;
+          stage_budget_cap;
+          admission =
+            {
+              Resilience.Admission.max_in_flight;
+              max_queue;
+              max_per_client;
+              max_deadline_ms;
+              retry_after_ms;
+            };
+          io_timeout_ms;
+          drain_grace_ms;
+          handle_signals = true;
+          debug_jobs;
+          triage = triage_path;
+          restarts;
+        }
+      in
+      let summary =
+        Cosynth.Service.serve
+          ~on_ready:(fun ~domains ->
+            Printf.printf "cosynth serve: listening on %s (pool: %d domain(s))\n%!"
+              socket domains)
+          ~socket_path:socket cfg
+      in
+      if summary.Cosynth.Service.drained then
+        Printf.printf
+          "cosynth serve: %d request(s) served, drained (%d shed, %d timed out)\n%!"
+          summary.Cosynth.Service.served summary.Cosynth.Service.shed
+          summary.Cosynth.Service.timed_out
+      else
+        (* The shutdown-path line is pinned: an unloaded single-client
+           session must remain byte-identical to the pre-hardening daemon. *)
+        Printf.printf "cosynth serve: %d request(s) served, shut down cleanly\n%!"
+          summary.Cosynth.Service.served;
+      0
+    end
   in
   let socket =
     Arg.(
@@ -1449,19 +1519,112 @@ let serve_cmd =
       & info [ "stage-budget" ] ~docv:"T"
           ~doc:"Per-stage tick watchdog for every request.")
   in
+  let dflt = Resilience.Admission.default_config in
+  let max_in_flight =
+    Arg.(
+      value & opt int dflt.Resilience.Admission.max_in_flight
+      & info [ "max-in-flight" ] ~docv:"N"
+          ~doc:"Work jobs running concurrently; beyond it requests queue.")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int dflt.Resilience.Admission.max_queue
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"Requests allowed to wait for a slot; one more is shed with \
+                a structured retry-after frame instead of queueing forever.")
+  in
+  let max_per_client =
+    Arg.(
+      value & opt int dflt.Resilience.Admission.max_per_client
+      & info [ "max-per-client" ] ~docv:"N"
+          ~doc:"Concurrent work jobs per client identity (the request's \
+                $(b,client) field, defaulting to its connection).")
+  in
+  let max_deadline_ms =
+    Arg.(
+      value & opt int dflt.Resilience.Admission.max_deadline_ms
+      & info [ "max-deadline-ms" ] ~docv:"MS"
+          ~doc:"Server cap a request's $(b,deadline_ms) is clamped to; an \
+                expired job answers with a structured timeout frame.")
+  in
+  let retry_after_ms =
+    Arg.(
+      value & opt int dflt.Resilience.Admission.retry_after_ms
+      & info [ "retry-after-ms" ] ~docv:"MS"
+          ~doc:"Back-off hint carried in shed frames.")
+  in
+  let io_timeout_ms =
+    Arg.(
+      value & opt int 30_000
+      & info [ "io-timeout-ms" ] ~docv:"MS"
+          ~doc:"Socket read/write timeout: a peer stalling mid-frame drops \
+                its own connection instead of pinning a handler thread \
+                (0 disables).")
+  in
+  let drain_grace_ms =
+    Arg.(
+      value & opt int 1_000
+      & info [ "drain-grace-ms" ] ~docv:"MS"
+          ~doc:"After a drain begins (a $(b,drain) job or SIGTERM/SIGINT), \
+                requests on live connections are rejected with a structured \
+                frame for $(docv) before connections close.")
+  in
+  let triage_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "triage" ] ~docv:"FILE"
+          ~doc:"Append every Guard crash bucket from this daemon run \
+                (deadline expiries included) to $(docv) at drain/shutdown \
+                (JSONL; read back with $(b,cosynth triage)).")
+  in
+  let debug_jobs =
+    Arg.(
+      value & flag
+      & info [ "debug-jobs" ]
+          ~doc:"Enable the $(b,sleep) and $(b,crash) harness jobs (the \
+                overload gate's load generator and the supervisor smoke's \
+                crash trigger).")
+  in
+  let supervise =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:"Run as a supervisor: spawn the daemon as a child process and \
+                respawn it after a crash (bounded by $(b,--max-restarts)); \
+                restart counts surface in the daemon's $(b,stats)/$(b,health).")
+  in
+  let max_restarts =
+    Arg.(
+      value & opt int 3
+      & info [ "max-restarts" ] ~docv:"N"
+          ~doc:"Respawn budget under $(b,--supervise).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Persistent synthesis daemon: accept synthesis / translation / \
           repair / parse jobs over a Unix-domain socket (length-prefixed \
           JSON), keeping worker domains, the parse memo and verifier state \
-          warm across requests; the Guard firewall answers crashes as error \
-          replies and per-client tick budgets bound every job")
-    Term.(const run $ socket $ jobs $ round_budget $ stage_budget)
+          warm across requests. Hardened for production traffic: bounded \
+          admission with load shedding, per-request deadlines, slow-client \
+          io timeouts, graceful drain on SIGTERM/SIGINT or the $(b,drain) \
+          job, and a $(b,--supervise) mode that respawns a crashed daemon")
+    Term.(
+      const run $ socket $ jobs $ round_budget $ stage_budget $ max_in_flight
+      $ max_queue $ max_per_client $ max_deadline_ms $ retry_after_ms
+      $ io_timeout_ms $ drain_grace_ms $ triage_path $ debug_jobs $ supervise
+      $ max_restarts)
 
 let client_cmd =
-  let known_jobs = [ "ping"; "stats"; "parse"; "translate"; "synth"; "repair"; "shutdown" ] in
-  let run socket job seed routers count budget dialect file =
+  let known_jobs =
+    [
+      "ping"; "stats"; "health"; "parse"; "translate"; "synth"; "repair";
+      "sleep"; "crash"; "drain"; "shutdown";
+    ]
+  in
+  let run socket job seed routers count budget dialect file deadline_ms client_id
+      sleep_ms retry_overloaded connect_budget_ms =
     let module J = Netcore.Json in
     if not (List.mem job known_jobs) then begin
       Printf.eprintf "error: unknown job %S (%s)\n%!" job
@@ -1472,13 +1635,22 @@ let client_cmd =
     let opt_budget =
       match budget with Some b -> [ ("budget", J.Int b) ] | None -> []
     in
+    let opt_common =
+      (match deadline_ms with
+      | Some d -> [ ("deadline_ms", J.Int d) ]
+      | None -> [])
+      @
+      match client_id with
+      | Some c -> [ ("client", J.String c) ]
+      | None -> []
+    in
     let reqs =
       match job with
       | "translate" ->
           List.init count (fun i ->
               J.Obj
                 ([ ("job", J.String job); ("seed", J.Int (seed + i)) ]
-                @ opt_budget
+                @ opt_budget @ opt_common
                 @ match text with Some t -> [ ("text", J.String t) ] | None -> []))
       | "synth" | "repair" ->
           List.init count (fun i ->
@@ -1488,22 +1660,51 @@ let client_cmd =
                    ("seed", J.Int (seed + i));
                    ("routers", J.Int routers);
                  ]
-                @ opt_budget))
+                @ opt_budget @ opt_common))
       | "parse" ->
           let t = match text with Some t -> t | None -> Cisco.Samples.border_router in
           List.init count (fun _ ->
               J.Obj
-                [
-                  ("job", J.String job);
-                  ("dialect", J.String dialect);
-                  ("text", J.String t);
-                ])
+                ([
+                   ("job", J.String job);
+                   ("dialect", J.String dialect);
+                   ("text", J.String t);
+                 ]
+                @ opt_common))
+      | "sleep" ->
+          List.init count (fun _ ->
+              J.Obj
+                ([ ("job", J.String job); ("ms", J.Int sleep_ms) ] @ opt_common))
       | _ -> [ J.Obj [ ("job", J.String job) ] ]
+    in
+    (* A shed frame is flow control, not failure: honor its retry_after_ms
+       hint up to --retry-overloaded times, and only then surface the shed
+       frame itself (so the exit code and JSON stream still tell the truth
+       when the server stays saturated). *)
+    let shed_retries = ref 0 in
+    let rec send fd req attempts_left =
+      match Exec.Serve.request fd req with
+      | reply -> reply
+      | exception Exec.Serve.Server_overloaded { retry_after_ms } ->
+          if attempts_left <= 0 then
+            J.Obj
+              [
+                ("ok", J.Bool false);
+                ("error", J.String "overloaded: retries exhausted");
+                ("shed", J.Bool true);
+                ("retry_after_ms", J.Int retry_after_ms);
+              ]
+          else begin
+            incr shed_retries;
+            Thread.delay (float_of_int (max 0 retry_after_ms) /. 1000.);
+            send fd req (attempts_left - 1)
+          end
     in
     let t0 = Unix.gettimeofday () in
     let replies =
-      Exec.Serve.with_connection ~socket_path:socket (fun fd ->
-          List.map (Exec.Serve.request fd) reqs)
+      Exec.Serve.with_connection ~total_budget_ms:connect_budget_ms
+        ~socket_path:socket (fun fd ->
+          List.map (fun req -> send fd req retry_overloaded) reqs)
     in
     let dt = Unix.gettimeofday () -. t0 in
     List.iter (fun r -> print_endline (J.to_string r)) replies;
@@ -1511,6 +1712,8 @@ let client_cmd =
     Printf.eprintf "client: %d request(s) in %.3fs (%.1f req/s)\n%!"
       (List.length replies) dt
       (float_of_int (List.length replies) /. Float.max dt 1e-9);
+    if !shed_retries > 0 then
+      Printf.eprintf "client: %d shed retry(ies)\n%!" !shed_retries;
     if
       List.for_all
         (fun r -> Option.bind (J.member "ok" r) J.to_bool = Some true)
@@ -1528,7 +1731,10 @@ let client_cmd =
     Arg.(
       value
       & pos 0 string "ping"
-      & info [] ~docv:"JOB" ~doc:"ping|stats|parse|translate|synth|repair|shutdown.")
+      & info [] ~docv:"JOB"
+          ~doc:
+            "ping|stats|health|parse|translate|synth|repair|sleep|crash|drain|\
+             shutdown (sleep/crash need a $(b,--debug-jobs) daemon).")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
   let routers = Arg.(value & opt int 5 & info [ "routers" ] ~docv:"N") in
@@ -1555,13 +1761,53 @@ let client_cmd =
       & opt (some Arg.file) None
       & info [ "file" ] ~docv:"CONFIG" ~doc:"Config text for parse/translate jobs.")
   in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-request deadline to ask for (the server clamps it to its \
+                $(b,--max-deadline-ms); an expired job answers a structured \
+                timeout frame).")
+  in
+  let client_id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "client" ] ~docv:"NAME"
+          ~doc:"Client identity for the server's per-client admission cap \
+                (defaults server-side to the connection).")
+  in
+  let sleep_ms =
+    Arg.(
+      value & opt int 100
+      & info [ "ms" ] ~docv:"MS" ~doc:"Duration for $(b,sleep) jobs.")
+  in
+  let retry_overloaded =
+    Arg.(
+      value & opt int 0
+      & info [ "retry-overloaded" ] ~docv:"N"
+          ~doc:"Retry a shed request up to $(docv) times, honoring each shed \
+                frame's $(b,retry_after_ms) hint between attempts.")
+  in
+  let connect_budget_ms =
+    Arg.(
+      value & opt int 1_000
+      & info [ "connect-budget-ms" ] ~docv:"MS"
+          ~doc:"Total time to keep retrying the initial connection with \
+                exponential backoff (covers daemon startup and supervised \
+                respawns).")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Drive a running `cosynth serve` daemon: send one or more jobs over \
           the socket and print each JSON reply (exits nonzero unless every \
           reply is ok)")
-    Term.(const run $ socket $ job $ seed $ routers $ count $ budget $ dialect $ file)
+    Term.(
+      const run $ socket $ job $ seed $ routers $ count $ budget $ dialect
+      $ file $ deadline_ms $ client_id $ sleep_ms $ retry_overloaded
+      $ connect_budget_ms)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz / triage                                                       *)
@@ -1587,7 +1833,7 @@ let fuzz_cmd =
     report "policy" (Fuzz.Props.run_policy ~seeds ~mutations ());
     (match triage_path with
     | Some path ->
-        Resilience.Triage.record ~path ~seed;
+        Resilience.Triage.record ~path ~seed ();
         Printf.printf "triage: %d crash bucket(s) appended to %s\n"
           (List.length (Resilience.Guard.crashes ()))
           path
@@ -1620,9 +1866,23 @@ let triage_cmd =
         Printf.printf "no crash buckets recorded in %s\n" file;
         0
     | rows ->
+        (* UTC so the column is stable across operator timezones; "-" for
+           rows journaled by seeded (untimestamped) campaigns. *)
+        let fmt_ts = function
+          | None -> "-"
+          | Some t ->
+              let tm = Unix.gmtime t in
+              Printf.sprintf "%04d-%02d-%02d %02d:%02dZ" (tm.Unix.tm_year + 1900)
+                (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour
+                tm.Unix.tm_min
+        in
         print_string
           (Cosynth.Report.table ~title:("crash buckets in " ^ file)
-             ~header:[ "stage"; "constructor"; "count"; "first seed"; "last seed" ]
+             ~header:
+               [
+                 "stage"; "constructor"; "count"; "first seed"; "last seed";
+                 "first seen"; "last seen";
+               ]
              (List.map
                 (fun (r : Resilience.Triage.row) ->
                   [
@@ -1631,6 +1891,8 @@ let triage_cmd =
                     string_of_int r.Resilience.Triage.count;
                     string_of_int r.Resilience.Triage.first_seed;
                     string_of_int r.Resilience.Triage.last_seed;
+                    fmt_ts r.Resilience.Triage.first_ts;
+                    fmt_ts r.Resilience.Triage.last_ts;
                   ])
                 rows));
         0

@@ -14,10 +14,12 @@ let digest s = Printf.sprintf "%08x" (Hashtbl.hash s land 0xffffffff)
 
 type osc = {
   repeat_threshold : int;
+  window : int;
   mutable history : string list;  (* newest first, bounded *)
 }
 
-let osc ~repeat_threshold = { repeat_threshold = max 2 repeat_threshold; history = [] }
+let osc ?(window = 8) ~repeat_threshold () =
+  { repeat_threshold = max 2 repeat_threshold; window = max 0 window; history = [] }
 
 let take n l =
   let rec go n = function x :: rest when n > 0 -> x :: go (n - 1) rest | _ -> [] in
@@ -27,9 +29,20 @@ let all_equal = function
   | [] -> false
   | x :: rest -> List.for_all (String.equal x) rest
 
+(* Distance (1-based) to the nearest earlier occurrence of [d] in the
+   digest history tail. Distance 1 is a consecutive repeat (the period-1
+   rule's territory) and distance 2 belongs to the A/B/A/B rule, so the
+   windowed revisit check below only acts on distances >= 3. *)
+let revisit_distance d tail =
+  let rec go i = function
+    | [] -> None
+    | x :: rest -> if String.equal x d then Some i else go (i + 1) rest
+  in
+  go 1 tail
+
 let observe o draft =
   let d = digest draft in
-  o.history <- take (o.repeat_threshold + 2) (d :: o.history);
+  o.history <- take (max (o.repeat_threshold + 2) (o.window + 1)) (d :: o.history);
   let verdict =
     (* Period 1: the same draft [repeat_threshold] times in a row. *)
     if
@@ -40,7 +53,19 @@ let observe o draft =
       (* Period 2: an A/B/A/B tail (two full periods) with A <> B. *)
       match o.history with
       | a :: b :: a' :: b' :: _ when a = a' && b = b' && a <> b -> Some 2
-      | _ -> None
+      | _ -> (
+          (* Longer cycles: any draft revisited within the window is a
+             cycle of that period — one sighting is enough, because a
+             deterministic loop that reproduced a draft verbatim will
+             reproduce the steps that follow it too. Distances 1 and 2 are
+             left to the stricter rules above, so rate-0 behavior and the
+             pinned period-1/2 detection timings are untouched. *)
+          match o.history with
+          | d :: tail when o.window >= 3 -> (
+              match revisit_distance d tail with
+              | Some k when k >= 3 && k <= o.window -> Some k
+              | _ -> None)
+          | _ -> None)
   in
   (* Re-arm on detection so the caller escalates once per episode instead
      of on every subsequent round of the same cycle. *)

@@ -3,15 +3,20 @@
 
 (** {2 Oscillation detector}
 
-    Keeps a short history of draft digests. A draft repeated
+    Keeps a bounded history of draft digests. A draft repeated
     [repeat_threshold] times in a row is a period-1 cycle; an A/B/A/B tail
-    (two full periods, A ≠ B) is a period-2 cycle. Either verdict means the
+    (two full periods, A ≠ B) is a period-2 cycle; and any draft revisited
+    at a distance of 3 to [window] rounds is a cycle of that period — one
+    sighting suffices there, since a loop that reproduced a draft verbatim
+    will reproduce what followed it too. Any verdict means the
     conversation is burning budget without moving. *)
 
 type osc
 
-val osc : repeat_threshold:int -> osc
-(** [repeat_threshold] is clamped to at least 2. *)
+val osc : ?window:int -> repeat_threshold:int -> unit -> osc
+(** [repeat_threshold] is clamped to at least 2. [window] (default 8)
+    bounds the revisit search for periods ≥ 3; anything below 3 disables
+    that check, leaving exactly the period-1/2 detector. *)
 
 val observe : osc -> string -> int option
 (** Record one draft; [Some period] when a cycle completed on this

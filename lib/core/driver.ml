@@ -178,7 +178,7 @@ let adv_of_spec ?(salt = 0) spec =
           spec = s;
           llm = Adversary.Llm.create ~salt s.Adversary.Spec.llm;
           corruption = Adversary.Findings.create ~salt s.Adversary.Spec.findings;
-          osc = Adversary.Watch.osc ~repeat_threshold:s.Adversary.Spec.osc_repeat;
+          osc = Adversary.Watch.osc ~repeat_threshold:s.Adversary.Spec.osc_repeat ();
           prog = Adversary.Watch.progress ~rounds:s.Adversary.Spec.watchdog_rounds;
           escalate = None;
           escalations = 0;
@@ -193,7 +193,7 @@ let adv_derive adversary idx =
         a with
         llm = Adversary.Llm.derive a.llm idx;
         corruption = Adversary.Findings.derive a.corruption idx;
-        osc = Adversary.Watch.osc ~repeat_threshold:a.spec.Adversary.Spec.osc_repeat;
+        osc = Adversary.Watch.osc ~repeat_threshold:a.spec.Adversary.Spec.osc_repeat ();
         prog = Adversary.Watch.progress ~rounds:a.spec.Adversary.Spec.watchdog_rounds;
         escalate = None;
         escalations = 0;

@@ -1,0 +1,333 @@
+(* The hardened daemon behind `cosynth serve`: Exec.Serve supplies the
+   transport and lifecycle mechanics; this module supplies the policy —
+   job dispatch, admission, deadlines, budget clamping, health/triage.
+   The CLI, the S2 overload bench gate and the drain tests all run this
+   exact handler, so the hardening that CI gates is the hardening that
+   ships. *)
+
+module J = Netcore.Json
+
+type config = {
+  domains : int option;
+  round_budget_cap : int;
+  stage_budget_cap : int;
+  admission : Resilience.Admission.config;
+  io_timeout_ms : int;
+  drain_grace_ms : int;
+  handle_signals : bool;
+  debug_jobs : bool;
+  triage : string option;
+  restarts : int;
+}
+
+let default_config =
+  {
+    domains = None;
+    round_budget_cap = 64;
+    stage_budget_cap = 32;
+    admission = Resilience.Admission.default_config;
+    io_timeout_ms = 30_000;
+    drain_grace_ms = 1_000;
+    handle_signals = false;
+    debug_jobs = false;
+    triage = None;
+    restarts = 0;
+  }
+
+type summary = { served : int; shed : int; timed_out : int; drained : bool }
+
+let ok fields = J.Obj (("ok", J.Bool true) :: fields)
+let fail msg = J.Obj [ ("ok", J.Bool false); ("error", J.String msg) ]
+let jstr name req = Option.bind (J.member name req) J.to_str
+let jint name req = Option.bind (J.member name req) J.to_int
+
+let shed_frame ~retry_after_ms ~reason =
+  J.Obj
+    [
+      ("ok", J.Bool false);
+      ( "error",
+        J.String ("overloaded: " ^ Resilience.Admission.reason_to_string reason)
+      );
+      ("shed", J.Bool true);
+      ("retry_after_ms", J.Int retry_after_ms);
+    ]
+
+let timeout_frame ~deadline_ms crash =
+  J.Obj
+    [
+      ("ok", J.Bool false);
+      ("error", J.String (Resilience.Guard.crash_to_string crash));
+      ("timeout", J.Bool true);
+      ("deadline_ms", J.Int deadline_ms);
+    ]
+
+let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
+  if cfg.triage <> None then Resilience.Guard.reset ();
+  (* The whole point of the daemon: pay for domain spawn once, then keep
+     the pool, the parse-check memo and the verifier machinery warm across
+     every request of every client. *)
+  let pool =
+    match cfg.domains with
+    | Some d -> Exec.Pool.create ~domains:d ()
+    | None -> Exec.Pool.create ()
+  in
+  let adm = Resilience.Admission.create cfg.admission in
+  let t0 = Unix.gettimeofday () in
+  let m = Mutex.create () in
+  let served = ref 0 in
+  let timed_out = ref 0 in
+  let accepting = ref true in
+  let drained = ref false in
+  let locked f =
+    Mutex.lock m;
+    let v = f () in
+    Mutex.unlock m;
+    v
+  in
+  (* Per-client tick budgets: a request may lower the resilience round /
+     stage budget below the server's cap, never raise it — one greedy
+     client cannot buy itself an unbounded verifier loop. *)
+  let resilience_of req =
+    let rb =
+      match jint "budget" req with
+      | Some b -> max 1 (min b cfg.round_budget_cap)
+      | None -> cfg.round_budget_cap
+    in
+    Resilience.Runtime.config ~round_budget:rb
+      ~stage_budget:(min cfg.stage_budget_cap rb) ()
+  in
+  let work_fields job req =
+    match job with
+    | "sleep" ->
+        (* Debug-only: an admitted, deadline-bounded delay — the load the
+           overload gate and the drain tests saturate the daemon with. *)
+        let ms = Option.value ~default:100 (jint "ms" req) in
+        Thread.delay (float_of_int (max 0 ms) /. 1000.);
+        [ ("slept_ms", J.Int ms) ]
+    | "parse" ->
+        let dialect =
+          match jstr "dialect" req with
+          | Some ("junos" | "juniper") -> Batfish.Parse_check.Junos
+          | _ -> Batfish.Parse_check.Cisco_ios
+        in
+        let text = Option.value ~default:"" (jstr "text" req) in
+        let _, diags = Exec.Memo.check dialect text in
+        [
+          ( "errors",
+            J.Int (List.length (List.filter Netcore.Diag.is_error diags)) );
+          ( "diags",
+            J.List (List.map (fun d -> J.String (Netcore.Diag.to_string d)) diags)
+          );
+        ]
+    | "translate" ->
+        let seed = Option.value ~default:42 (jint "seed" req) in
+        let text =
+          Option.value ~default:Cisco.Samples.border_router (jstr "text" req)
+        in
+        let r =
+          Driver.run_translation ~seed ~resilience:(resilience_of req)
+            ~cisco_text:text ()
+        in
+        let t = r.Driver.transcript in
+        [
+          ("auto", J.Int t.Driver.auto_prompts);
+          ("human", J.Int t.Driver.human_prompts);
+          ("rounds", J.Int t.Driver.rounds);
+          ("converged", J.Bool t.Driver.converged);
+          ("verified", J.Bool r.Driver.verified);
+        ]
+    | "synth" ->
+        let seed = Option.value ~default:42 (jint "seed" req) in
+        let routers = Option.value ~default:7 (jint "routers" req) in
+        let r =
+          Driver.run_no_transit ~seed ~pool ~resilience:(resilience_of req)
+            ~routers ()
+        in
+        let t = r.Driver.transcript in
+        [
+          ("auto", J.Int t.Driver.auto_prompts);
+          ("human", J.Int t.Driver.human_prompts);
+          ("rounds", J.Int t.Driver.rounds);
+          ("converged", J.Bool t.Driver.converged);
+          ("global_ok", J.Bool r.Driver.global_ok);
+        ]
+    | _ ->
+        (* repair: the incremental policy-addition loop — start from the
+           verified network, add the prepend policy, repair any
+           interference the verifiers catch. *)
+        let seed = Option.value ~default:42 (jint "seed" req) in
+        let routers = Option.value ~default:5 (jint "routers" req) in
+        let r =
+          Driver.run_incremental ~seed ~resilience:(resilience_of req) ~routers
+            ()
+        in
+        let t = r.Driver.inc_transcript in
+        [
+          ("auto", J.Int t.Driver.auto_prompts);
+          ("human", J.Int t.Driver.human_prompts);
+          ("rounds", J.Int t.Driver.rounds);
+          ("converged", J.Bool t.Driver.converged);
+          ("specs_hold", J.Bool r.Driver.specs_hold);
+          ("global_ok", J.Bool r.Driver.global_ok);
+          ("interference_caught", J.Bool r.Driver.interference_caught);
+        ]
+  in
+  let admitted_work ~client job req =
+    let name =
+      match jstr "client" req with
+      | Some c -> c
+      | None -> "conn-" ^ string_of_int client
+    in
+    match Resilience.Admission.admit adm ~client:name with
+    | Resilience.Admission.Shed { retry_after_ms; reason } ->
+        Exec.Serve.Reply (shed_frame ~retry_after_ms ~reason)
+    | Resilience.Admission.Admitted ticket -> (
+        let deadline_ms =
+          Resilience.Admission.clamp_deadline cfg.admission
+            (jint "deadline_ms" req)
+        in
+        (* The Guard is the crash boundary and the deadline is enforced on
+           its watchdog: a bug or an overrun anywhere in the loop answers
+           this one request with an error/timeout frame; the daemon and
+           its warm state survive. The admission slot is released in
+           [on_settled] — the only point that is reached exactly once
+           whether the job completed in time or was abandoned past its
+           deadline. *)
+        match
+          Resilience.Guard.run_deadline ~deadline_ms ~fingerprint:name
+            ~on_settled:(fun () -> Resilience.Admission.release adm ticket)
+            ~label:("serve:" ^ job)
+            (fun () -> work_fields job req)
+        with
+        | Ok fields -> Exec.Serve.Reply (ok fields)
+        | Error c when c.Resilience.Guard.constructor = "Deadline_exceeded" ->
+            locked (fun () -> incr timed_out);
+            Exec.Serve.Reply (timeout_frame ~deadline_ms c)
+        | Error c -> Exec.Serve.Reply (fail (Resilience.Guard.crash_to_string c)))
+  in
+  let handle ~client req =
+    locked (fun () -> incr served);
+    let job = Option.value ~default:"" (jstr "job" req) in
+    match job with
+    | "ping" ->
+        Exec.Serve.Reply (ok [ ("pong", J.Bool true); ("client", J.Int client) ])
+    | "shutdown" ->
+        Exec.Serve.Final (ok [ ("served", J.Int (locked (fun () -> !served))) ])
+    | "drain" ->
+        Exec.Serve.Drain
+          (ok
+             [
+               ("draining", J.Bool true);
+               ("served", J.Int (locked (fun () -> !served)));
+             ])
+    | "health" ->
+        let a = Resilience.Admission.stats adm in
+        Exec.Serve.Reply
+          (ok
+             [
+               ("accepting", J.Bool (locked (fun () -> !accepting)));
+               ("in_flight", J.Int a.Resilience.Admission.in_flight);
+               ("queued", J.Int a.Resilience.Admission.queued);
+               ( "shed",
+                 J.Int
+                   (a.Resilience.Admission.shed_capacity
+                   + a.Resilience.Admission.shed_per_client) );
+               ("timed_out", J.Int (locked (fun () -> !timed_out)));
+               ("served", J.Int (locked (fun () -> !served)));
+               ("restarts", J.Int cfg.restarts);
+             ])
+    | "stats" ->
+        let mm = Exec.Memo.stats () in
+        let p = Exec.Pool.stats pool in
+        let a = Resilience.Admission.stats adm in
+        Exec.Serve.Reply
+          (ok
+             [
+               ("served", J.Int (locked (fun () -> !served)));
+               ("uptime_s", J.Float (Unix.gettimeofday () -. t0));
+               ( "memo",
+                 J.Obj
+                   [
+                     ("hits", J.Int mm.Exec.Memo.hits);
+                     ("misses", J.Int mm.Exec.Memo.misses);
+                     ("entries", J.Int mm.Exec.Memo.entries);
+                     ("evictions", J.Int mm.Exec.Memo.evictions);
+                     ("hit_rate", J.Float (Exec.Memo.hit_rate mm));
+                   ] );
+               ( "pool",
+                 J.Obj
+                   [
+                     ("domains", J.Int p.Exec.Pool.domains);
+                     ("jobs_completed", J.Int p.Exec.Pool.jobs_completed);
+                     ("restarts", J.Int p.Exec.Pool.restarts);
+                   ] );
+               ( "admission",
+                 J.Obj
+                   [
+                     ("admitted", J.Int a.Resilience.Admission.admitted);
+                     ("released", J.Int a.Resilience.Admission.released);
+                     ( "shed_capacity",
+                       J.Int a.Resilience.Admission.shed_capacity );
+                     ( "shed_per_client",
+                       J.Int a.Resilience.Admission.shed_per_client );
+                     ("in_flight", J.Int a.Resilience.Admission.in_flight);
+                     ("queued", J.Int a.Resilience.Admission.queued);
+                     ( "peak_in_flight",
+                       J.Int a.Resilience.Admission.peak_in_flight );
+                     ("peak_queued", J.Int a.Resilience.Admission.peak_queued);
+                   ] );
+               ("timed_out", J.Int (locked (fun () -> !timed_out)));
+               ("restarts", J.Int cfg.restarts);
+               ("crashes", J.Int (Resilience.Guard.total ()));
+             ])
+    | "crash" when cfg.debug_jobs ->
+        (* Ack first, then die from a detached thread: the supervisor
+           smoke needs the reply flushed before the process vanishes. *)
+        ignore
+          (Thread.create
+             (fun () ->
+               Thread.delay 0.05;
+               exit 70)
+             ()
+            : Thread.t);
+        Exec.Serve.Reply (ok [ ("crashing", J.Bool true) ])
+    | "parse" | "translate" | "synth" | "repair" -> admitted_work ~client job req
+    | "sleep" when cfg.debug_jobs -> admitted_work ~client job req
+    | "" -> Exec.Serve.Reply (fail "missing \"job\" field")
+    | other -> Exec.Serve.Reply (fail (Printf.sprintf "unknown job %S" other))
+  in
+  let drain_reject _req =
+    J.Obj
+      [
+        ("ok", J.Bool false);
+        ("error", J.String "server draining");
+        ("draining", J.Bool true);
+        ("retry_after_ms", J.Int cfg.admission.Resilience.Admission.retry_after_ms);
+      ]
+  in
+  let was_drain =
+    Exec.Serve.serve ~socket_path ~handle ~io_timeout_ms:cfg.io_timeout_ms
+      ~drain_grace_ms:cfg.drain_grace_ms ~drain_reject
+      ~handle_signals:cfg.handle_signals
+      ~on_drain:(fun () ->
+        locked (fun () ->
+            accepting := false;
+            drained := true))
+      ~on_ready:(fun () -> on_ready ~domains:(Exec.Pool.size pool))
+      ()
+  in
+  Exec.Pool.shutdown pool;
+  (match cfg.triage with
+  | Some path ->
+      Resilience.Triage.record ~ts:(Unix.gettimeofday ()) ~path
+        ~seed:cfg.restarts ()
+  | None -> ());
+  let a = Resilience.Admission.stats adm in
+  {
+    served = locked (fun () -> !served);
+    shed =
+      a.Resilience.Admission.shed_capacity
+      + a.Resilience.Admission.shed_per_client;
+    timed_out = locked (fun () -> !timed_out);
+    drained = was_drain || locked (fun () -> !drained);
+  }

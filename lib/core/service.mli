@@ -1,0 +1,69 @@
+(** The hardened synthesis daemon: admission control, per-request
+    deadlines, graceful drain, and health reporting over the
+    {!Exec.Serve} transport.
+
+    {!Exec.Serve} is deliberately policy-free; this module is the policy —
+    one shared implementation of the daemon's job handler used by the
+    [cosynth serve] CLI, the S2 overload bench gate, and the drain-path
+    tests, so what CI exercises is byte-for-byte what the CLI ships.
+
+    Jobs: [ping], [stats], [health], [drain], [shutdown] are control-plane
+    and always answered immediately. [parse], [translate], [synth],
+    [repair] are work jobs: each must win an {!Resilience.Admission}
+    ticket (or is shed with a structured
+    [{"ok": false, "shed": true, "retry_after_ms": ...}] frame) and runs
+    under a wall-clock deadline — the client's [deadline_ms] clamped to
+    the server cap — enforced by {!Resilience.Guard.run_deadline}, so an
+    expired job answers with a structured
+    [{"ok": false, "timeout": true, ...}] frame, never a hung connection.
+    With [debug_jobs] two more are enabled for harness use: [sleep]
+    (an admitted, deadline-bounded delay — the load generator) and
+    [crash] (ack, then [exit 70] — the supervisor's test subject).
+
+    The unloaded single-client contract: with no concurrent load, every
+    reply of the PR 6 job set ([ping]/[parse]/[translate]/[synth]/
+    [repair]/[stats]/[shutdown]) is byte-identical to the pre-hardening
+    daemon's — admission and deadlines only add frames on the overload and
+    expiry paths, never fields on the happy path. *)
+
+type config = {
+  domains : int option;
+      (** Pool size ([None] = [Exec.Pool.create]'s default). *)
+  round_budget_cap : int;  (** Cap on the per-request verifier budget. *)
+  stage_budget_cap : int;  (** Per-stage tick watchdog. *)
+  admission : Resilience.Admission.config;
+  io_timeout_ms : int;  (** Socket read/write timeout; [0] disables. *)
+  drain_grace_ms : int;  (** Reject window between drain and close. *)
+  handle_signals : bool;  (** SIGTERM/SIGINT trigger a drain. *)
+  debug_jobs : bool;  (** Enable [sleep] and [crash]. *)
+  triage : string option;
+      (** Append Guard crash buckets (timeouts included) to this JSONL
+          file at drain/shutdown, timestamped for [cosynth triage]'s
+          first/last-seen columns. Resets the Guard registry at startup so
+          the rows cover this daemon run only. *)
+  restarts : int;
+      (** How often a supervisor has respawned this daemon; reported in
+          [stats] and [health]. *)
+}
+
+val default_config : config
+(** PR 6's budget caps (64/32), {!Resilience.Admission.default_config},
+    30 s io timeout, 1 s drain grace, no signal handling, no debug jobs,
+    no triage, 0 restarts. *)
+
+type summary = {
+  served : int;  (** Requests answered (rejects and sheds included). *)
+  shed : int;  (** Admission rejections (capacity + per-client). *)
+  timed_out : int;  (** Work jobs that hit their deadline. *)
+  drained : bool;  (** Wound down via drain rather than [shutdown]. *)
+}
+
+val serve :
+  ?on_ready:(domains:int -> unit) ->
+  socket_path:string ->
+  config ->
+  summary
+(** Run the daemon until a [shutdown] job, a [drain] job, or (with
+    [handle_signals]) a SIGTERM/SIGINT. Owns the worker pool for its whole
+    lifetime (created before binding, shut down after the socket is
+    unlinked). [on_ready] fires once listening, with the pool size. *)

@@ -59,110 +59,240 @@ let read_frame fd =
 (* Server loop                                                         *)
 (* ------------------------------------------------------------------ *)
 
-type reply = Reply of Netcore.Json.t | Final of Netcore.Json.t
+type reply =
+  | Reply of Netcore.Json.t
+  | Drain of Netcore.Json.t
+  | Final of Netcore.Json.t
 
-let serve ~socket_path ~handle ?(backlog = 16) ?(on_ready = fun () -> ()) () =
+let default_drain_reject _req =
+  Netcore.Json.Obj
+    [
+      ("ok", Netcore.Json.Bool false);
+      ("error", Netcore.Json.String "server draining");
+      ("draining", Netcore.Json.Bool true);
+    ]
+
+let serve ~socket_path ~handle ?(backlog = 16) ?(io_timeout_ms = 30_000)
+    ?(drain_grace_ms = 1_000) ?(drain_reject = default_drain_reject)
+    ?(handle_signals = false) ?(on_drain = fun () -> ())
+    ?(on_ready = fun () -> ()) () =
   if Sys.file_exists socket_path then Unix.unlink socket_path;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
   Unix.listen listen_fd backlog;
-  (* [stop] is flipped by the client thread that handled the [Final]
-     request; closing the listening socket is what actually breaks the
-     blocked [accept] on the main thread. *)
-  let stop = ref false in
-  let stop_m = Mutex.create () in
+  (* Lifecycle state. [draining] stops accepting but keeps answering
+     already-connected clients (with reject frames) for the grace window;
+     [stopping] (the [Final] path) ends client loops at their next slice.
+     Either way, shutting the listening socket down is what breaks the
+     blocked [accept] on the main thread — including when the flip happens
+     inside a signal handler. *)
+  let state_m = Mutex.create () in
+  let draining = ref false in
+  let stopping = ref false in
+  let drain_started = ref None in
+  let locked f =
+    Mutex.lock state_m;
+    let v = f () in
+    Mutex.unlock state_m;
+    v
+  in
+  let request_drain () =
+    let first =
+      locked (fun () ->
+          let first = (not !draining) && not !stopping in
+          if first then begin
+            draining := true;
+            drain_started := Some (Unix.gettimeofday ())
+          end;
+          first)
+    in
+    if first then begin
+      (try Unix.shutdown listen_fd Unix.SHUTDOWN_ALL with _ -> ());
+      on_drain ()
+    end
+  in
   let request_stop () =
-    Mutex.lock stop_m;
-    let first = not !stop in
-    stop := true;
-    Mutex.unlock stop_m;
+    let first =
+      locked (fun () ->
+          let first = not !stopping in
+          stopping := true;
+          if !drain_started = None then
+            drain_started := Some (Unix.gettimeofday ());
+          first)
+    in
     if first then (try Unix.shutdown listen_fd Unix.SHUTDOWN_ALL with _ -> ())
   in
   let threads = ref [] in
   let threads_m = Mutex.create () in
   let next_client = ref 0 in
   let client_loop client fd =
+    (* Slow-peer protection: a peer that stalls mid-frame, or never drains
+       our writes, cannot pin this thread past the io timeout. *)
+    if io_timeout_ms > 0 then begin
+      let s = float_of_int io_timeout_ms /. 1000. in
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s with _ -> ());
+      (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO s with _ -> ())
+    end;
     let continue = ref true in
     (try
        while !continue do
-         match read_frame fd with
-         | None -> continue := false
-         | Some req -> (
-             let reply =
-               try handle ~client req
-               with e ->
-                 (* The handler is supposed to be total (the CLI wraps it
-                    in Resilience.Guard); this is the transport's own last
-                    line — a handler bug answers as an error frame instead
-                    of hanging the client. *)
-                 Reply
-                   (Netcore.Json.Obj
-                      [
-                        ("ok", Netcore.Json.Bool false);
-                        ("error", Netcore.Json.String (Printexc.to_string e));
-                      ])
-             in
-             match reply with
-             | Reply json -> write_frame fd json
-             | Final json ->
-                 write_frame fd json;
-                 continue := false;
-                 request_stop ())
+         (* Wait for readability in short slices so a drain or stop begun
+            while this client sits idle closes the connection at the grace
+            deadline instead of stranding a blocked read forever. *)
+         let readable =
+           try
+             match Unix.select [ fd ] [] [] 0.05 with
+             | [], _, _ -> false
+             | _ -> true
+           with Unix.Unix_error (Unix.EINTR, _, _) -> false
+         in
+         let close_now =
+           locked (fun () ->
+               !stopping
+               ||
+               match !drain_started with
+               | None -> false
+               | Some t0 ->
+                   Unix.gettimeofday () -. t0
+                   >= float_of_int drain_grace_ms /. 1000.)
+         in
+         if close_now then continue := false
+         else if readable then begin
+           match read_frame fd with
+           | None -> continue := false
+           | Some req ->
+               if locked (fun () -> !draining) then
+                 (* Mid-drain requests get a structured reject until the
+                    grace window ends — never a hang, never a bare close
+                    with a request outstanding. *)
+                 write_frame fd (drain_reject req)
+               else (
+                 let reply =
+                   try handle ~client req
+                   with e ->
+                     (* The handler is supposed to be total (the service
+                        layer wraps it in Resilience.Guard); this is the
+                        transport's own last line — a handler bug answers
+                        as an error frame instead of hanging the client. *)
+                     Reply
+                       (Netcore.Json.Obj
+                          [
+                            ("ok", Netcore.Json.Bool false);
+                            ("error", Netcore.Json.String (Printexc.to_string e));
+                          ])
+                 in
+                 match reply with
+                 | Reply json -> write_frame fd json
+                 | Drain json ->
+                     write_frame fd json;
+                     request_drain ()
+                 | Final json ->
+                     write_frame fd json;
+                     continue := false;
+                     request_stop ())
+         end
        done
      with _ -> ());
     (* A framing error or a peer that vanished drops this client only. *)
     try Unix.close fd with _ -> ()
   in
+  let old_handlers =
+    if handle_signals then
+      List.map
+        (fun s ->
+          (s, Sys.signal s (Sys.Signal_handle (fun _ -> request_drain ()))))
+        [ Sys.sigterm; Sys.sigint ]
+    else []
+  in
   on_ready ();
   (try
-     while not !stop do
-       let fd, _ = Unix.accept listen_fd in
-       let client = !next_client in
-       incr next_client;
-       let t = Thread.create (fun () -> client_loop client fd) () in
-       Mutex.lock threads_m;
-       threads := t :: !threads;
-       Mutex.unlock threads_m
+     while not (locked (fun () -> !draining || !stopping)) do
+       match Unix.accept listen_fd with
+       | fd, _ ->
+           let client = !next_client in
+           incr next_client;
+           let t = Thread.create (fun () -> client_loop client fd) () in
+           Mutex.lock threads_m;
+           threads := t :: !threads;
+           Mutex.unlock threads_m
+       | exception
+           Unix.Unix_error
+             ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED | Unix.EINTR), _, _)
+         ->
+           (* The listening socket was shut down under us (the drain/stop
+              path), or a signal landed on this thread; the loop condition
+              decides. *)
+           ()
      done
    with Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _) ->
-     (* The listening socket was shut down under us: the stop path. *)
      ());
   Mutex.lock threads_m;
   let ts = !threads in
   Mutex.unlock threads_m;
   List.iter Thread.join ts;
+  List.iter (fun (s, h) -> try Sys.set_signal s h with _ -> ()) old_handlers;
   (try Unix.close listen_fd with _ -> ());
-  if Sys.file_exists socket_path then Unix.unlink socket_path
+  if Sys.file_exists socket_path then Unix.unlink socket_path;
+  locked (fun () -> !draining && not !stopping)
 
 (* ------------------------------------------------------------------ *)
 (* Client side                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let connect ?(retries = 50) ~socket_path () =
-  let rec go attempt =
+exception Server_overloaded of { retry_after_ms : int }
+
+let () =
+  Printexc.register_printer (function
+    | Server_overloaded { retry_after_ms } ->
+        Some
+          (Printf.sprintf "Server_overloaded (retry_after_ms %d)" retry_after_ms)
+    | _ -> None)
+
+let connect ?(total_budget_ms = 1_000) ~socket_path () =
+  let deadline =
+    Unix.gettimeofday () +. (float_of_int (max 0 total_budget_ms) /. 1000.)
+  in
+  (* Exponential backoff from 1 ms, capped at 200 ms per sleep: a daemon
+     that binds quickly is caught within a few milliseconds, while a slow
+     one (supervisor respawn, cold pool spawn) is polled gently instead of
+     50 times at a fixed cadence. *)
+  let rec go delay_ms =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
     | () -> fd
     | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
-      when attempt < retries ->
+      when Unix.gettimeofday () < deadline ->
         (try Unix.close fd with _ -> ());
-        (* The daemon may still be binding its socket. *)
-        Unix.sleepf 0.02;
-        go (attempt + 1)
+        let remaining = deadline -. Unix.gettimeofday () in
+        Unix.sleepf
+          (Float.min (float_of_int delay_ms /. 1000.) (Float.max remaining 0.001));
+        go (min (delay_ms * 2) 200)
     | exception e ->
         (try Unix.close fd with _ -> ());
         raise e
   in
-  try go 0
+  try go 1
   with Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
     failwith (Printf.sprintf "no server listening on %s" socket_path)
 
 let request fd json =
   write_frame fd json;
   match read_frame fd with
-  | Some reply -> reply
   | None -> failwith "server closed the connection without replying"
+  | Some reply -> (
+      match
+        Option.bind (Netcore.Json.member "shed" reply) Netcore.Json.to_bool
+      with
+      | Some true ->
+          let retry_after_ms =
+            Option.value ~default:0
+              (Option.bind
+                 (Netcore.Json.member "retry_after_ms" reply)
+                 Netcore.Json.to_int)
+          in
+          raise (Server_overloaded { retry_after_ms })
+      | _ -> reply)
 
-let with_connection ?retries ~socket_path f =
-  let fd = connect ?retries ~socket_path () in
+let with_connection ?total_budget_ms ~socket_path f =
+  let fd = connect ?total_budget_ms ~socket_path () in
   Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) (fun () -> f fd)

@@ -5,9 +5,11 @@
     verifier state) on every invocation; a persistent daemon pays it once
     and amortizes it across every job a client submits. This module is
     deliberately policy-free: it knows how to frame JSON values over a
-    local socket and how to run one handler thread per client — what a
-    request {e means} (synthesis, translation, repair) is the caller's
-    handler, which keeps the exec library independent of the driver.
+    local socket, how to run one handler thread per client, and how to
+    wind the loop down (drain or stop) without stranding a peer — what a
+    request {e means} (synthesis, admission, deadlines) is the caller's
+    handler, which keeps the exec library independent of the driver; the
+    hardened policy layer is {!Cosynth.Service}.
 
     Framing: each message is a 4-byte big-endian byte length followed by
     exactly that many bytes of compact JSON. Length-prefixing (rather than
@@ -30,41 +32,84 @@ val read_frame : Unix.file_descr -> Netcore.Json.t option
 (** What the handler wants done with its reply. *)
 type reply =
   | Reply of Netcore.Json.t  (** Send and keep serving. *)
+  | Drain of Netcore.Json.t
+      (** Send, then begin a graceful drain: stop accepting, answer
+          further requests with the reject frame for the grace window,
+          then close every connection (the [drain] job). *)
   | Final of Netcore.Json.t
       (** Send, then shut the whole server down (the [shutdown] job). *)
+
+val default_drain_reject : Netcore.Json.t -> Netcore.Json.t
+(** [{"ok": false, "error": "server draining", "draining": true}]. *)
 
 val serve :
   socket_path:string ->
   handle:(client:int -> Netcore.Json.t -> reply) ->
   ?backlog:int ->
+  ?io_timeout_ms:int ->
+  ?drain_grace_ms:int ->
+  ?drain_reject:(Netcore.Json.t -> Netcore.Json.t) ->
+  ?handle_signals:bool ->
+  ?on_drain:(unit -> unit) ->
   ?on_ready:(unit -> unit) ->
   unit ->
-  unit
+  bool
 (** Bind [socket_path] (unlinking any stale socket file first), listen, and
-    accept until a handler returns [Final]. Every accepted connection gets
-    its own thread; requests {e within} one connection are handled
-    sequentially in arrival order, while distinct clients proceed
-    concurrently — so the handler must be thread-safe (the warm state it
-    shares, [Exec.Memo] and [Exec.Pool], already is). A handler exception
-    is answered with an [{"ok": false, "error": ...}] frame rather than
-    killing the connection; a framing error drops only that client.
+    accept until a handler returns [Final] or a drain begins. Every
+    accepted connection gets its own thread; requests {e within} one
+    connection are handled sequentially in arrival order, while distinct
+    clients proceed concurrently — so the handler must be thread-safe (the
+    warm state it shares, [Exec.Memo] and [Exec.Pool], already is). A
+    handler exception is answered with an [{"ok": false, "error": ...}]
+    frame rather than killing the connection; a framing error drops only
+    that client.
+
+    Robustness knobs:
+    {ul
+    {- [io_timeout_ms] (default 30 000; [0] disables) arms [SO_RCVTIMEO] /
+       [SO_SNDTIMEO] on every accepted socket, so a peer stalling mid-frame
+       or refusing to drain our writes drops its own connection instead of
+       pinning a handler thread.}
+    {- A drain (a [Drain] reply, or SIGTERM/SIGINT with
+       [handle_signals:true]) stops accepting at once; requests arriving on
+       live connections during the next [drain_grace_ms] (default 1 000)
+       are answered with [drain_reject] applied to the request (default
+       {!default_drain_reject}), in-flight handlers finish and their
+       replies are flushed, and then every connection is closed.
+       [on_drain] runs once when the drain begins.}
+    {- [handle_signals] installs SIGTERM/SIGINT handlers for the server's
+       lifetime (restored before returning); each signal triggers the same
+       drain path, so a supervisor's TERM is indistinguishable from a
+       [drain] job.}}
+
     [on_ready] runs once the socket is listening (the CLI prints its
     "listening" line there; tests use it to know when to connect). Returns
-    after the [Final] reply is flushed, every client thread has been
-    joined, and the socket file is unlinked. *)
+    after every client thread has been joined and the socket file is
+    unlinked; the result is [true] when the server wound down via a drain
+    and [false] on the [Final] (shutdown) path. *)
 
 (** {2 Client side} *)
 
-val connect : ?retries:int -> socket_path:string -> unit -> Unix.file_descr
-(** Connect to the daemon. [retries] (default 50) polls at 20 ms intervals
-    while the socket file does not exist yet or refuses connections — the
-    daemon may still be starting.
+exception Server_overloaded of { retry_after_ms : int }
+(** Raised by {!request} on a shed frame ([{"shed": true, ...}]): the
+    daemon refused the job at admission. Distinct from [Failure] so
+    clients and tests can catch it and retry deliberately after
+    [retry_after_ms]. *)
+
+val connect :
+  ?total_budget_ms:int -> socket_path:string -> unit -> Unix.file_descr
+(** Connect to the daemon, retrying with exponential backoff (1 ms
+    doubling to a 200 ms cap) while the socket file does not exist yet or
+    refuses connections — the daemon may still be binding, or a supervisor
+    may be respawning it. [total_budget_ms] (default 1 000) bounds the
+    whole attempt in wall-clock time.
     @raise Failure when the budget is exhausted. *)
 
 val request : Unix.file_descr -> Netcore.Json.t -> Netcore.Json.t
 (** One round trip: {!write_frame} then {!read_frame}.
+    @raise Server_overloaded on a shed frame.
     @raise Failure if the server closed the stream instead of replying. *)
 
 val with_connection :
-  ?retries:int -> socket_path:string -> (Unix.file_descr -> 'a) -> 'a
+  ?total_budget_ms:int -> socket_path:string -> (Unix.file_descr -> 'a) -> 'a
 (** {!connect}, run, close (also on exception). *)

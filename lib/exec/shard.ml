@@ -35,6 +35,7 @@ type shard_report = {
   owned : int;
   launches : int;
   recovered : int list;
+  abandoned_early : int;
 }
 
 type report = {
@@ -61,7 +62,7 @@ let journaled_seeds w =
     (fun (seed, _) -> if List.mem seed w.seeds then Some seed else None)
     (Checkpoint.load w.journal)
 
-let run ?(max_respawns = 2) ~workers () =
+let run ?(max_respawns = 2) ?(abandoned = fun _ -> false) ~workers () =
   let workers = Array.of_list workers in
   let launches = Array.make (Array.length workers) 0 in
   let recovered = Array.make (Array.length workers) [] in
@@ -148,11 +149,22 @@ let run ?(max_respawns = 2) ~workers () =
             Array.to_list
               (Array.mapi
                  (fun i w ->
+                   (* Counted over the merged (last-write-wins) records the
+                      shard owns, so a seed re-run by a respawn is judged
+                      by its surviving record only. *)
+                   let abandoned_early =
+                     List.length
+                       (List.filter
+                          (fun (seed, payload) ->
+                            List.mem seed w.seeds && abandoned payload)
+                          merged)
+                   in
                    {
                      shard = i;
                      owned = List.length w.seeds;
                      launches = launches.(i);
                      recovered = recovered.(i);
+                     abandoned_early;
                    })
                  workers)
           in

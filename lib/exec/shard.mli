@@ -43,6 +43,10 @@ type shard_report = {
   recovered : int list;
       (** Seeds that were unjournaled at a worker death and re-run by a
           re-spawn (empty for a clean shard). *)
+  abandoned_early : int;
+      (** Merged records of this shard matching [run]'s [?abandoned]
+          predicate — seeds whose run gave up early (stalled-out
+          certificate, supervisor abandonment) and handed budget back. *)
 }
 
 type report = {
@@ -50,13 +54,21 @@ type report = {
   merged : (int * Netcore.Json.t) list;  (** One record per seed, seed order. *)
 }
 
-val run : ?max_respawns:int -> workers:worker list -> unit -> (report, string) result
+val run :
+  ?max_respawns:int ->
+  ?abandoned:(Netcore.Json.t -> bool) ->
+  workers:worker list ->
+  unit ->
+  (report, string) result
 (** Launch every worker, wait for all of them, re-spawn dead shards (at
     most [max_respawns] times each, default 2) with their resume argv, then
     merge. [Error] when a shard still exits nonzero with its budget spent,
     or when the merged journals do not cover every owned seed. Worker
     stdout is discarded (the journal is the data channel); stderr is
-    inherited so journal notices and crash reports stay visible. *)
+    inherited so journal notices and crash reports stay visible.
+    [?abandoned] classifies a merged journal record as an early-abandoned
+    run for the per-shard [abandoned_early] counter (default: none are) —
+    the module stays CLI-agnostic by not knowing the record codec. *)
 
 val write_merged : path:string -> (int * Netcore.Json.t) list -> unit
 (** Write merged records as a fresh journal at [path] — the same line

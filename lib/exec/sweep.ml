@@ -59,6 +59,55 @@ let run_seeds ?pool ?journal ~seeds f =
       | None -> Pool.map_seq run seeds
       | Some p -> Pool.map p run seeds)
 
+(* ------------------------------------------------------------------ *)
+(* Certificate-aware budgeted scheduling                               *)
+(* ------------------------------------------------------------------ *)
+
+type budget_outcome = { spent : int; abandoned : bool }
+
+type budget_stats = {
+  budget : int;
+  spent : int;
+  abandoned_early : int;
+  reclaimed : int;
+}
+
+(* Sequential by construction: seed k's allocation depends on what seeds
+   0..k-1 actually spent, so there is no pool variant — the point is
+   budget reuse, not wall-clock. Fair-share allocation (remaining budget
+   over remaining seeds) with a floor of 1 keeps every seed runnable even
+   after earlier seeds overspent their share. *)
+let run_seeds_budgeted ~budget ~seeds f =
+  let budget = max 0 budget in
+  let remaining = ref budget in
+  let spent_total = ref 0 in
+  let abandoned_early = ref 0 in
+  let reclaimed = ref 0 in
+  let rec go k acc = function
+    | [] -> List.rev acc
+    | seed :: rest ->
+        let alloc = max 1 (!remaining / k) in
+        let v, (o : budget_outcome) = f ~seed ~max_prompts:alloc in
+        (* Clamp: a run reporting more than its allocation (a driver bug)
+           must not push [remaining] negative and starve later seeds. *)
+        let spent = min (max 0 o.spent) alloc in
+        remaining := !remaining - spent;
+        spent_total := !spent_total + spent;
+        if o.abandoned then begin
+          incr abandoned_early;
+          reclaimed := !reclaimed + (alloc - spent)
+        end;
+        go (k - 1) (v :: acc) rest
+  in
+  let out = go (List.length seeds) [] seeds in
+  ( out,
+    {
+      budget;
+      spent = !spent_total;
+      abandoned_early = !abandoned_early;
+      reclaimed = !reclaimed;
+    } )
+
 let timed f =
   let t0 = Unix.gettimeofday () in
   let r = f () in

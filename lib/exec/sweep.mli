@@ -50,5 +50,41 @@ val run_seeds :
     and every fresh completion is durably recorded before the sweep
     returns. *)
 
+(** {2 Certificate-aware budgeted scheduling}
+
+    A fixed-allocation sweep wastes the budget a hopeless seed burns to
+    exhaustion: a run that stalls out (its convergence certificate says no
+    further prompt will help) should surrender what it did not spend to
+    the seeds still waiting. [run_seeds_budgeted] implements that:
+    fair-share allocation — remaining budget over remaining seeds, floor
+    1 — recomputed after every run, so an early abandonment automatically
+    raises every later seed's allowance. *)
+
+type budget_outcome = {
+  spent : int;  (** Prompts the run actually consumed. *)
+  abandoned : bool;
+      (** The run gave up early (e.g. a [Stalled_out] certificate) — its
+          unspent allocation counts as reclaimed. *)
+}
+
+type budget_stats = {
+  budget : int;  (** The total handed to the scheduler. *)
+  spent : int;  (** Sum of per-run spend. *)
+  abandoned_early : int;  (** Runs that reported [abandoned]. *)
+  reclaimed : int;
+      (** Allocation the abandoned runs returned to the pool — budget that
+          a fixed per-seed split would have burned to exhaustion. *)
+}
+
+val run_seeds_budgeted :
+  budget:int ->
+  seeds:int list ->
+  (seed:int -> max_prompts:int -> 'a * budget_outcome) ->
+  'a list * budget_stats
+(** Run [f] over [seeds] in order (sequentially — each allocation depends
+    on every earlier run's spend), passing each run its fair-share prompt
+    allocation. [f] reports what it spent and whether it abandoned early;
+    over-reports are clamped to the allocation. Results in seed order. *)
+
 val timed : (unit -> 'a) -> 'a * float
 (** Result and wall-clock seconds. *)

@@ -1,0 +1,170 @@
+(* Bounded admission: one mutex + condvar guarding an in-flight count, a
+   wait-queue count, and a per-client table. Shedding decisions are made
+   under the lock so the counters in [stats] are exact, never sampled. *)
+
+type config = {
+  max_in_flight : int;
+  max_queue : int;
+  max_per_client : int;
+  max_deadline_ms : int;
+  retry_after_ms : int;
+}
+
+let default_config =
+  {
+    max_in_flight = 8;
+    max_queue = 16;
+    max_per_client = 4;
+    max_deadline_ms = 60_000;
+    retry_after_ms = 50;
+  }
+
+type shed_reason = Capacity | Per_client
+
+let reason_to_string = function
+  | Capacity -> "capacity"
+  | Per_client -> "per-client cap"
+
+type ticket = { t_client : string; mutable t_released : bool }
+
+type t = {
+  cfg : config;
+  m : Mutex.t;
+  cv : Condition.t;
+  per_client : (string, int) Hashtbl.t;
+      (* running + queued jobs per client identity *)
+  mutable in_flight : int;
+  mutable queued : int;
+  mutable admitted : int;
+  mutable released : int;
+  mutable shed_capacity : int;
+  mutable shed_per_client : int;
+  mutable peak_in_flight : int;
+  mutable peak_queued : int;
+}
+
+let create cfg =
+  let cfg =
+    {
+      max_in_flight = max 1 cfg.max_in_flight;
+      max_queue = max 0 cfg.max_queue;
+      max_per_client = max 1 cfg.max_per_client;
+      max_deadline_ms = max 1 cfg.max_deadline_ms;
+      retry_after_ms = max 0 cfg.retry_after_ms;
+    }
+  in
+  {
+    cfg;
+    m = Mutex.create ();
+    cv = Condition.create ();
+    per_client = Hashtbl.create 16;
+    in_flight = 0;
+    queued = 0;
+    admitted = 0;
+    released = 0;
+    shed_capacity = 0;
+    shed_per_client = 0;
+    peak_in_flight = 0;
+    peak_queued = 0;
+  }
+
+type decision =
+  | Admitted of ticket
+  | Shed of { retry_after_ms : int; reason : shed_reason }
+
+let per_count t client =
+  Option.value ~default:0 (Hashtbl.find_opt t.per_client client)
+
+let per_incr t client = Hashtbl.replace t.per_client client (per_count t client + 1)
+
+let per_decr t client =
+  match per_count t client with
+  | n when n <= 1 -> Hashtbl.remove t.per_client client
+  | n -> Hashtbl.replace t.per_client client (n - 1)
+
+let admit t ~client =
+  Mutex.lock t.m;
+  (* The per-client count includes this request's own queue slot, so the cap
+     is re-checked on every wake: a client whose other requests were
+     admitted while this one waited can still be shed here. *)
+  let queued_here = ref false in
+  let leave_queue () =
+    if !queued_here then begin
+      t.queued <- t.queued - 1;
+      queued_here := false
+    end
+  in
+  let shed reason =
+    leave_queue ();
+    (match reason with
+    | Capacity -> t.shed_capacity <- t.shed_capacity + 1
+    | Per_client -> t.shed_per_client <- t.shed_per_client + 1);
+    Shed { retry_after_ms = t.cfg.retry_after_ms; reason }
+  in
+  let rec go () =
+    if per_count t client >= t.cfg.max_per_client then shed Per_client
+    else if t.in_flight < t.cfg.max_in_flight then begin
+      leave_queue ();
+      t.in_flight <- t.in_flight + 1;
+      t.peak_in_flight <- max t.peak_in_flight t.in_flight;
+      per_incr t client;
+      t.admitted <- t.admitted + 1;
+      Admitted { t_client = client; t_released = false }
+    end
+    else if (not !queued_here) && t.queued >= t.cfg.max_queue then shed Capacity
+    else begin
+      if not !queued_here then begin
+        queued_here := true;
+        t.queued <- t.queued + 1;
+        t.peak_queued <- max t.peak_queued t.queued
+      end;
+      Condition.wait t.cv t.m;
+      go ()
+    end
+  in
+  let decision = go () in
+  Mutex.unlock t.m;
+  decision
+
+let release t ticket =
+  Mutex.lock t.m;
+  if not ticket.t_released then begin
+    ticket.t_released <- true;
+    t.in_flight <- t.in_flight - 1;
+    t.released <- t.released + 1;
+    per_decr t ticket.t_client;
+    Condition.broadcast t.cv
+  end;
+  Mutex.unlock t.m
+
+let clamp_deadline cfg = function
+  | None -> max 1 cfg.max_deadline_ms
+  | Some ms -> max 1 (min ms (max 1 cfg.max_deadline_ms))
+
+type stats = {
+  admitted : int;
+  released : int;
+  shed_capacity : int;
+  shed_per_client : int;
+  in_flight : int;
+  queued : int;
+  peak_in_flight : int;
+  peak_queued : int;
+}
+
+let stats t =
+  Mutex.lock t.m;
+  let s =
+    {
+      admitted = t.admitted;
+      released = t.released;
+      shed_capacity = t.shed_capacity;
+      shed_per_client = t.shed_per_client;
+      in_flight = t.in_flight;
+      queued = t.queued;
+      peak_in_flight = t.peak_in_flight;
+      peak_queued = t.peak_queued;
+    }
+  in
+  Mutex.unlock t.m;
+  s

@@ -1,0 +1,76 @@
+(** Admission control for the service daemon: bounded in-flight work,
+    a bounded wait queue, and per-client concurrency caps.
+
+    The daemon's whole value is warm state amortized across requests — but
+    an unbounded accept policy converts an overload into unbounded queueing,
+    and every queued request eventually times out at once (the
+    leverage-is-not-health lesson from the adversary sweeps, applied to
+    capacity). This module makes saturation a {e structured} outcome
+    instead: a request either gets an admission ticket (possibly after a
+    bounded wait behind the in-flight limit) or is {e shed} immediately
+    with a retry hint, so the client can back off deliberately rather than
+    hang. All state is one mutex + condition variable; [admit]/[release]
+    are safe from any number of handler threads. *)
+
+type config = {
+  max_in_flight : int;  (** Jobs running concurrently (clamped to >= 1). *)
+  max_queue : int;
+      (** Requests allowed to wait for a slot; one more is shed
+          (clamped to >= 0). *)
+  max_per_client : int;
+      (** Concurrent jobs (running or queued) per client identity; beyond
+          it the request is shed without queueing (clamped to >= 1). *)
+  max_deadline_ms : int;
+      (** Server-side cap a request's [deadline_ms] is clamped to. *)
+  retry_after_ms : int;  (** Back-off hint carried in shed frames. *)
+}
+
+val default_config : config
+(** 8 in flight, 16 queued, 4 per client, 60 s deadline cap, 50 ms retry
+    hint. *)
+
+type t
+
+val create : config -> t
+
+type shed_reason =
+  | Capacity  (** In-flight and queue limits both full. *)
+  | Per_client  (** This client alone is at its concurrency cap. *)
+
+val reason_to_string : shed_reason -> string
+
+type ticket
+(** Proof of admission. Hold it for the duration of the job and
+    {!release} it exactly once ([release] is idempotent, so releasing on
+    both the completion and the abandonment path is safe). *)
+
+type decision =
+  | Admitted of ticket
+  | Shed of { retry_after_ms : int; reason : shed_reason }
+
+val admit : t -> client:string -> decision
+(** Try to start a job on behalf of [client]. Per-client cap violations
+    shed immediately; at global capacity the caller waits (blocking its
+    handler thread — requests on one connection are serial anyway) while
+    the queue has room, and is shed once the queue is full too. *)
+
+val release : t -> ticket -> unit
+(** Return the slot and wake queued waiters. Idempotent. *)
+
+val clamp_deadline : config -> int option -> int
+(** The effective deadline for a request: the client's ask clamped to
+    [1 .. max_deadline_ms], or the cap itself when the client sent none. *)
+
+type stats = {
+  admitted : int;  (** Tickets ever issued. *)
+  released : int;
+  shed_capacity : int;
+  shed_per_client : int;
+  in_flight : int;  (** Right now. *)
+  queued : int;  (** Right now. *)
+  peak_in_flight : int;
+  peak_queued : int;
+}
+
+val stats : t -> stats
+(** A consistent snapshot (taken under the lock). *)

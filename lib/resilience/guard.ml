@@ -100,3 +100,52 @@ let run ?timeout_ms ?fingerprint ~label f =
       in
       record c;
       Error c
+
+(* Thread-based deadline, for the multi-threaded daemon where the SIGALRM
+   watchdog above is off limits. OCaml threads cannot be killed, so an
+   expired thunk is *abandoned*, not stopped: the caller gets its timeout
+   crash immediately while the worker thread runs to completion in the
+   background and then fires [on_settled] — which is why resources the
+   thunk holds (an admission slot, say) must be released there, not on the
+   caller's return path. *)
+let run_deadline ~deadline_ms ?(poll_ms = 5) ?fingerprint
+    ?(on_settled = fun () -> ()) ~label f =
+  let cell_m = Mutex.create () in
+  let cell = ref None in
+  let worker () =
+    let r = run ?fingerprint ~label f in
+    Mutex.lock cell_m;
+    cell := Some r;
+    Mutex.unlock cell_m;
+    on_settled ()
+  in
+  ignore (Thread.create worker () : Thread.t);
+  let deadline =
+    Unix.gettimeofday () +. (float_of_int (max 1 deadline_ms) /. 1000.)
+  in
+  let rec wait () =
+    Mutex.lock cell_m;
+    let r = !cell in
+    Mutex.unlock cell_m;
+    match r with
+    | Some r -> r
+    | None ->
+        if Unix.gettimeofday () >= deadline then begin
+          let c =
+            {
+              stage = label;
+              constructor = "Deadline_exceeded";
+              message = Printf.sprintf "deadline of %d ms exceeded" deadline_ms;
+              backtrace_digest = "-";
+              fingerprint = (match fingerprint with Some fp -> fp | None -> "-");
+            }
+          in
+          record c;
+          Error c
+        end
+        else begin
+          Thread.delay (float_of_int (max 1 poll_ms) /. 1000.);
+          wait ()
+        end
+  in
+  wait ()

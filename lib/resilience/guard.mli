@@ -36,6 +36,26 @@ val run :
     the driver loop's watchdog is the tick-based one in {!Runtime}).
     [?fingerprint] identifies the offending input (default ["-"]). *)
 
+val run_deadline :
+  deadline_ms:int ->
+  ?poll_ms:int ->
+  ?fingerprint:string ->
+  ?on_settled:(unit -> unit) ->
+  label:string ->
+  (unit -> 'a) ->
+  ('a, crash) result
+(** Like {!run}, but bounded by a wall-clock deadline and safe in a
+    multi-threaded process (the daemon): the thunk runs on a fresh thread
+    while the caller polls (every [poll_ms], default 5). Past the deadline
+    the caller gets [Error] with constructor ["Deadline_exceeded"]
+    (recorded in the registry like any crash) — but since OCaml threads
+    cannot be killed, the thunk is {e abandoned}, not stopped: it keeps
+    running and [on_settled] fires (on the worker thread) when it actually
+    finishes, whether that is before or after the deadline. Release any
+    resource the job holds — e.g. its {!Admission} ticket — in
+    [on_settled], never on the caller's return path, or an abandoned job
+    would leak its slot. *)
+
 val crash_to_string : crash -> string
 
 val fingerprint_string : string -> string

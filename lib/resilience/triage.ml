@@ -14,19 +14,22 @@ type row = {
   count : int;
   first_seed : int;  (* seed of the earliest line mentioning this bucket *)
   last_seed : int;  (* seed of the latest line mentioning this bucket *)
+  first_ts : float option;  (* wall-clock of the earliest timestamped line *)
+  last_ts : float option;  (* wall-clock of the latest timestamped line *)
 }
 
-let encode_line ~seed (stage, constructor, count) =
+let encode_line ~seed ~ts (stage, constructor, count) =
   Json.to_string
     (Json.Obj
-       [
-         ("stage", Json.String stage);
-         ("ctor", Json.String constructor);
-         ("count", Json.Int count);
-         ("seed", Json.Int seed);
-       ])
+       ([
+          ("stage", Json.String stage);
+          ("ctor", Json.String constructor);
+          ("count", Json.Int count);
+          ("seed", Json.Int seed);
+        ]
+       @ match ts with None -> [] | Some t -> [ ("ts", Json.Float t) ]))
 
-let append ~path ~seed crashes =
+let append ?ts ~path ~seed crashes =
   if crashes <> [] then begin
     let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
     Fun.protect
@@ -34,7 +37,7 @@ let append ~path ~seed crashes =
       (fun () ->
         List.iter
           (fun bucket ->
-            output_string oc (encode_line ~seed bucket);
+            output_string oc (encode_line ~seed ~ts bucket);
             output_char oc '\n')
           crashes)
   end
@@ -51,7 +54,9 @@ let decode_line line =
           mem Json.to_int "seed" )
       with
       | Some stage, Some constructor, Some count, Some seed ->
-          Some (stage, constructor, count, seed)
+          (* [ts] is optional: rows journaled before timestamps existed
+             load fine and simply show "-" in the triage table. *)
+          Some (stage, constructor, count, seed, mem Json.to_float "ts")
       | _ -> None)
 
 let load path =
@@ -67,16 +72,36 @@ let load path =
           while true do
             match decode_line (input_line ic) with
             | None -> ()
-            | Some (stage, constructor, count, seed) ->
+            | Some (stage, constructor, count, seed, ts) ->
                 let key = (stage, constructor) in
                 (match Hashtbl.find_opt merged key with
                 | None ->
                     order := key :: !order;
                     Hashtbl.replace merged key
-                      { stage; constructor; count; first_seed = seed; last_seed = seed }
+                      {
+                        stage;
+                        constructor;
+                        count;
+                        first_seed = seed;
+                        last_seed = seed;
+                        first_ts = ts;
+                        last_ts = ts;
+                      }
                 | Some r ->
+                    let first_ts =
+                      match r.first_ts with None -> ts | some -> some
+                    in
+                    let last_ts =
+                      match ts with None -> r.last_ts | some -> some
+                    in
                     Hashtbl.replace merged key
-                      { r with count = r.count + count; last_seed = seed })
+                      {
+                        r with
+                        count = r.count + count;
+                        last_seed = seed;
+                        first_ts;
+                        last_ts;
+                      })
           done
         with End_of_file -> ());
     List.rev_map (fun key -> Hashtbl.find merged key) !order
@@ -86,5 +111,4 @@ let load path =
            | c -> c)
   end
 
-let record ~path ~seed =
-  append ~path ~seed (Guard.crashes ())
+let record ?ts ~path ~seed () = append ?ts ~path ~seed (Guard.crashes ())

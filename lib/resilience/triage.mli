@@ -16,14 +16,21 @@ type row = {
   count : int;  (** Total across every journaled run. *)
   first_seed : int;  (** Seed of the earliest run that hit this bucket. *)
   last_seed : int;  (** Seed of the latest run that hit this bucket. *)
+  first_ts : float option;
+      (** Wall clock of the earliest {e timestamped} line for this bucket
+          ([None] when every line predates timestamps). *)
+  last_ts : float option;  (** Wall clock of the latest timestamped line. *)
 }
 
-val append : path:string -> seed:int -> (string * string * int) list -> unit
+val append :
+  ?ts:float -> path:string -> seed:int -> (string * string * int) list -> unit
 (** Journal [(stage, constructor, count)] rows (the {!Guard.crashes} shape)
-    under the given seed. A no-op on an empty list — a clean run leaves the
-    file untouched (and uncreated). *)
+    under the given seed, optionally stamped with a wall-clock time (the
+    daemon passes one so `cosynth triage` can show first/last-seen; the
+    seeded sweeps stay deterministic by omitting it). A no-op on an empty
+    list — a clean run leaves the file untouched (and uncreated). *)
 
-val record : path:string -> seed:int -> unit
+val record : ?ts:float -> path:string -> seed:int -> unit -> unit
 (** [append] the current {!Guard.crashes} registry. *)
 
 val load : string -> row list

@@ -15,7 +15,7 @@ let string_t = Alcotest.string
 (* ------------------------------------------------------------------ *)
 
 let test_osc_period1 () =
-  let o = Adversary.Watch.osc ~repeat_threshold:3 in
+  let o = Adversary.Watch.osc ~repeat_threshold:3 () in
   check bool_t "first A" true (Adversary.Watch.observe o "A" = None);
   check bool_t "second A" true (Adversary.Watch.observe o "A" = None);
   (* Third identical draft completes a period-1 cycle. *)
@@ -24,7 +24,7 @@ let test_osc_period1 () =
   check bool_t "re-armed" true (Adversary.Watch.observe o "A" = None)
 
 let test_osc_planted_aba () =
-  let o = Adversary.Watch.osc ~repeat_threshold:3 in
+  let o = Adversary.Watch.osc ~repeat_threshold:3 () in
   let feed s = Adversary.Watch.observe o s in
   (* A planted A/B/A/B alternation: two full periods complete the cycle. *)
   check bool_t "A" true (feed "draft A" = None);
@@ -33,12 +33,41 @@ let test_osc_planted_aba () =
   check int_t "B again fires period 2" 2
     (Option.value ~default:0 (feed "draft B"));
   (* Converging drafts never fire. *)
-  let o2 = Adversary.Watch.osc ~repeat_threshold:3 in
+  let o2 = Adversary.Watch.osc ~repeat_threshold:3 () in
   List.iteri
     (fun i s ->
       if Adversary.Watch.observe o2 s <> None then
         Alcotest.failf "distinct draft %d reported as a cycle" i)
     [ "v1"; "v2"; "v3"; "v4"; "v5" ]
+
+let test_osc_window_period3 () =
+  (* An A/B/C/A revisit at distance 3: one sighting suffices within the
+     window — a deterministic loop that reproduced a draft verbatim will
+     reproduce what followed it too. *)
+  let o = Adversary.Watch.osc ~repeat_threshold:3 () in
+  let feed s = Adversary.Watch.observe o s in
+  check bool_t "A" true (feed "draft A" = None);
+  check bool_t "B" true (feed "draft B" = None);
+  check bool_t "C" true (feed "draft C" = None);
+  check int_t "revisiting A fires period 3" 3
+    (Option.value ~default:0 (feed "draft A"));
+  (* Detection cleared the history: the detector re-arms. *)
+  check bool_t "re-armed" true (feed "draft B" = None)
+
+let test_osc_window_bound () =
+  (* A revisit farther back than the window is not reported — the bound is
+     what keeps a long, genuinely-progressing conversation from tripping
+     on a coincidental digest reappearance. *)
+  let o = Adversary.Watch.osc ~window:4 ~repeat_threshold:3 () in
+  let feed s = Adversary.Watch.observe o s in
+  List.iter (fun s -> ignore (feed s)) [ "A"; "B"; "C"; "D"; "E" ];
+  check bool_t "revisit at distance 5 > window 4 ignored" true (feed "A" = None);
+  (* window < 3 disables the long-period check entirely, leaving exactly
+     the period-1/2 detector. *)
+  let o2 = Adversary.Watch.osc ~window:0 ~repeat_threshold:3 () in
+  List.iter (fun s -> ignore (Adversary.Watch.observe o2 s)) [ "A"; "B"; "C" ];
+  check bool_t "window 0 never fires on a distance-3 revisit" true
+    (Adversary.Watch.observe o2 "A" = None)
 
 (* ------------------------------------------------------------------ *)
 (* Watch: progress watchdog                                            *)
@@ -221,6 +250,32 @@ let test_triage_missing_file () =
   check int_t "missing file is empty history" 0
     (List.length (Resilience.Triage.load "/nonexistent/cosynth-triage.jsonl"))
 
+let test_triage_timestamps () =
+  (* Timestamped lines (the daemon's) merge with untimestamped ones (the
+     seeded sweeps'): first/last_ts cover only the stamped sightings, and
+     a bucket never stamped loads as None — old journals stay readable. *)
+  let path = Filename.temp_file "cosynth-triage-ts" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Resilience.Triage.append ~path ~seed:1 [ ("serve:sleep", "Deadline_exceeded", 1) ];
+      Resilience.Triage.append ~ts:100. ~path ~seed:2
+        [ ("serve:sleep", "Deadline_exceeded", 2) ];
+      Resilience.Triage.append ~ts:250. ~path ~seed:3
+        [ ("serve:sleep", "Deadline_exceeded", 1); ("vpp-loop", "Failure", 1) ];
+      match Resilience.Triage.load path with
+      | [ sleep; vpp ] ->
+          check int_t "counts summed across stamped and unstamped" 4
+            sleep.Resilience.Triage.count;
+          check bool_t "first_ts is the earliest stamped line" true
+            (sleep.Resilience.Triage.first_ts = Some 100.);
+          check bool_t "last_ts is the latest stamped line" true
+            (sleep.Resilience.Triage.last_ts = Some 250.);
+          check bool_t "single sighting: first = last" true
+            (vpp.Resilience.Triage.first_ts = Some 250.
+            && vpp.Resilience.Triage.last_ts = Some 250.)
+      | rows -> Alcotest.failf "expected 2 merged rows, got %d" (List.length rows))
+
 (* ------------------------------------------------------------------ *)
 (* qcheck: termination with certificate for arbitrary rates            *)
 (* ------------------------------------------------------------------ *)
@@ -260,6 +315,31 @@ let prop_loop_terminates_certified =
       in
       within_budget && certified)
 
+(* The windowed revisit detector must stay silent on any all-distinct
+   draft stream, for any window — escalations on converging conversations
+   would burn human prompts for nothing. The drafts are fixed strings, so
+   a digest collision (the only benign false positive) would be
+   deterministic, not flaky. *)
+let prop_distinct_drafts_never_fire =
+  QCheck2.Test.make ~name:"distinct drafts never fire the windowed detector"
+    ~count:100
+    (QCheck2.Gen.pair (QCheck2.Gen.int_bound 12) (QCheck2.Gen.int_bound 20))
+    (fun (window, n) ->
+      let o = Adversary.Watch.osc ~window ~repeat_threshold:3 () in
+      List.for_all
+        (fun i -> Adversary.Watch.observe o (Printf.sprintf "draft %d" i) = None)
+        (List.init n (fun i -> i)))
+
+(* Beyond-period-2 detection must not move rate-0 behavior: a run with no
+   adversary and a run with an all-zero spec stay byte-identical for any
+   seed (the hardened machinery, detector window included, arms only when
+   some rate is nonzero). *)
+let prop_rate0_identity_any_seed =
+  QCheck2.Test.make ~name:"rate-0 transcript identical to plain for any seed"
+    ~count:15 (QCheck2.Gen.int_bound 10_000) (fun seed ->
+      transcript_fingerprint (translate seed)
+      = transcript_fingerprint (translate ~adversary:Adversary.Spec.none seed))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -269,6 +349,10 @@ let () =
         [
           Alcotest.test_case "period-1 cycle detected" `Quick test_osc_period1;
           Alcotest.test_case "planted A/B/A cycle detected" `Quick test_osc_planted_aba;
+          Alcotest.test_case "window revisit fires period 3" `Quick
+            test_osc_window_period3;
+          Alcotest.test_case "window bounds the revisit search" `Quick
+            test_osc_window_bound;
           Alcotest.test_case "watchdog fires at exactly K" `Quick
             test_watchdog_fires_at_exactly_k;
           Alcotest.test_case "watchdog resets on progress" `Quick
@@ -295,7 +379,13 @@ let () =
         [
           Alcotest.test_case "append/load round-trip" `Quick test_triage_roundtrip;
           Alcotest.test_case "missing file" `Quick test_triage_missing_file;
+          Alcotest.test_case "timestamps merge with unstamped lines" `Quick
+            test_triage_timestamps;
         ] );
       ( "properties",
-        [ QCheck_alcotest.to_alcotest prop_loop_terminates_certified ] );
+        [
+          QCheck_alcotest.to_alcotest prop_loop_terminates_certified;
+          QCheck_alcotest.to_alcotest prop_distinct_drafts_never_fire;
+          QCheck_alcotest.to_alcotest prop_rate0_identity_any_seed;
+        ] );
     ]

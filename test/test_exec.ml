@@ -760,6 +760,212 @@ let test_serve_roundtrip () =
       check bool_t "socket file removed on shutdown" true
         (not (Sys.file_exists socket_path)))
 
+(* Shared scaffolding for the lifecycle tests: a temp socket dir and a
+   handler with an `echo` job, a `slow` job (the in-flight work a drain
+   must not lose) and a `drain` job. *)
+let with_serve_dir f =
+  let dir = Filename.temp_file "cosynth_serve_" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let socket_path = Filename.concat dir "test.sock" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove socket_path with _ -> ());
+      try Sys.rmdir dir with _ -> ())
+    (fun () -> f socket_path)
+
+let lifecycle_handle ~client:_ req =
+  let module J = Netcore.Json in
+  match Option.bind (J.member "job" req) J.to_str with
+  | Some "echo" -> Exec.Serve.Reply (J.Obj [ ("ok", J.Bool true) ])
+  | Some "slow" ->
+      Thread.delay 0.3;
+      Exec.Serve.Reply (J.Obj [ ("ok", J.Bool true); ("slow", J.Bool true) ])
+  | Some "drain" ->
+      Exec.Serve.Drain (J.Obj [ ("ok", J.Bool true); ("draining", J.Bool true) ])
+  | _ -> Exec.Serve.Reply (J.Obj [ ("ok", J.Bool false) ])
+
+let test_serve_drain () =
+  with_serve_dir (fun socket_path ->
+      let module J = Netcore.Json in
+      let drained = ref false in
+      let server =
+        Thread.create
+          (fun () ->
+            drained :=
+              Exec.Serve.serve ~socket_path ~handle:lifecycle_handle
+                ~drain_grace_ms:1_000 ())
+          ()
+      in
+      (* A slow job is in flight when the drain lands; its reply must
+         still arrive — drain stops NEW work, never accepted work. *)
+      let slow_reply = ref None in
+      let slow_client =
+        Thread.create
+          (fun () ->
+            slow_reply :=
+              Some
+                (Exec.Serve.with_connection ~socket_path (fun fd ->
+                     Exec.Serve.request fd (J.Obj [ ("job", J.String "slow") ]))))
+          ()
+      in
+      Thread.delay 0.05;
+      Exec.Serve.with_connection ~socket_path (fun fd ->
+          let d = Exec.Serve.request fd (J.Obj [ ("job", J.String "drain") ]) in
+          check bool_t "drain job acks with draining:true" true
+            (Option.bind (J.member "draining" d) J.to_bool = Some true);
+          (* The same connection is still open, but the server is now
+             draining: the next request gets the structured reject, not a
+             hang or a slammed socket. *)
+          let r = Exec.Serve.request fd (J.Obj [ ("job", J.String "echo") ]) in
+          check bool_t "mid-drain request rejected with a structured frame"
+            true
+            (Option.bind (J.member "ok" r) J.to_bool = Some false
+            && Option.bind (J.member "draining" r) J.to_bool = Some true));
+      Thread.join slow_client;
+      (match !slow_reply with
+      | Some r ->
+          check bool_t "in-flight job completed across the drain" true
+            (Option.bind (J.member "slow" r) J.to_bool = Some true)
+      | None -> Alcotest.fail "in-flight job lost its reply");
+      Thread.join server;
+      check bool_t "serve returned drained=true" true !drained;
+      check bool_t "socket unlinked after drain" true
+        (not (Sys.file_exists socket_path)))
+
+let test_serve_sigterm_drain () =
+  with_serve_dir (fun socket_path ->
+      let module J = Netcore.Json in
+      let drained = ref false in
+      let server =
+        Thread.create
+          (fun () ->
+            drained :=
+              Exec.Serve.serve ~socket_path ~handle:lifecycle_handle
+                ~handle_signals:true ~drain_grace_ms:300 ())
+          ()
+      in
+      Exec.Serve.with_connection ~socket_path (fun fd ->
+          let r = Exec.Serve.request fd (J.Obj [ ("job", J.String "echo") ]) in
+          check bool_t "server up before the signal" true
+            (Option.bind (J.member "ok" r) J.to_bool = Some true));
+      (* SIGTERM from outside the accept loop: the handler must break the
+         blocked accept and start a drain, exactly like `kill <daemon>`. *)
+      Unix.kill (Unix.getpid ()) Sys.sigterm;
+      Thread.join server;
+      check bool_t "SIGTERM drained the server" true !drained;
+      check bool_t "socket unlinked after SIGTERM" true
+        (not (Sys.file_exists socket_path)))
+
+let test_serve_connect_backoff () =
+  with_serve_dir (fun socket_path ->
+      let module J = Netcore.Json in
+      (* No server: the budget bounds the retry loop. *)
+      let t0 = Unix.gettimeofday () in
+      (match Exec.Serve.connect ~total_budget_ms:200 ~socket_path () with
+      | fd ->
+          Unix.close fd;
+          Alcotest.fail "connect succeeded with no server listening"
+      | exception Failure _ -> ());
+      let waited = Unix.gettimeofday () -. t0 in
+      check bool_t "gave up within ~2x the budget" true (waited < 2.0);
+      check bool_t "kept retrying for most of the budget" true (waited > 0.1);
+      (* Server appears mid-budget: backoff rides it out and connects —
+         the startup race a supervised respawn makes routine. *)
+      let server =
+        Thread.create
+          (fun () ->
+            Thread.delay 0.2;
+            ignore
+              (Exec.Serve.serve ~socket_path ~handle:lifecycle_handle ()
+                : bool))
+          ()
+      in
+      Exec.Serve.with_connection ~total_budget_ms:3_000 ~socket_path (fun fd ->
+          let r = Exec.Serve.request fd (J.Obj [ ("job", J.String "echo") ]) in
+          check bool_t "connected once the server came up" true
+            (Option.bind (J.member "ok" r) J.to_bool = Some true);
+          ignore
+            (Exec.Serve.request fd (J.Obj [ ("job", J.String "drain") ])
+              : J.t));
+      Thread.join server)
+
+let test_serve_overloaded_raises () =
+  with_serve_dir (fun socket_path ->
+      let module J = Netcore.Json in
+      let handle ~client:_ req =
+        match Option.bind (J.member "job" req) J.to_str with
+        | Some "drain" -> Exec.Serve.Drain (J.Obj [ ("ok", J.Bool true) ])
+        | _ ->
+            Exec.Serve.Reply
+              (J.Obj
+                 [
+                   ("ok", J.Bool false);
+                   ("error", J.String "overloaded: capacity");
+                   ("shed", J.Bool true);
+                   ("retry_after_ms", J.Int 75);
+                 ])
+      in
+      let server =
+        Thread.create
+          (fun () -> ignore (Exec.Serve.serve ~socket_path ~handle () : bool))
+          ()
+      in
+      Exec.Serve.with_connection ~socket_path (fun fd ->
+          (match Exec.Serve.request fd (J.Obj [ ("job", J.String "work") ]) with
+          | _ -> Alcotest.fail "shed frame did not raise Server_overloaded"
+          | exception Exec.Serve.Server_overloaded { retry_after_ms } ->
+              check int_t "retry hint decoded" 75 retry_after_ms);
+          ignore
+            (Exec.Serve.request fd (J.Obj [ ("job", J.String "drain") ]) : J.t));
+      Thread.join server)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep: certificate-aware budgeted scheduling                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_sweep_budgeted () =
+  (* 4 seeds sharing 20 prompts. Fair share starts at 5; seed 11 abandons
+     after spending 2, so its unspent 3 flow forward and seed 12's share
+     rises to 6. The spend log pins the whole allocation schedule. *)
+  let log = ref [] in
+  let behave = [ (10, (5, false)); (11, (2, true)); (12, (6, false)); (13, (4, false)) ] in
+  let results, stats =
+    Exec.Sweep.run_seeds_budgeted ~budget:20 ~seeds:[ 10; 11; 12; 13 ]
+      (fun ~seed ~max_prompts ->
+        log := (seed, max_prompts) :: !log;
+        let want, abandoned = List.assoc seed behave in
+        let spent = min want max_prompts in
+        (seed * 2, { Exec.Sweep.spent; abandoned }))
+  in
+  check (Alcotest.list int_t) "results in seed order" [ 20; 22; 24; 26 ] results;
+  check
+    (Alcotest.list (Alcotest.pair int_t int_t))
+    "fair-share allocations reflect the reclaim"
+    [ (10, 5); (11, 5); (12, 6); (13, 7) ]
+    (List.rev !log);
+  check int_t "spent sums the actual spends" 17 stats.Exec.Sweep.spent;
+  check int_t "one run abandoned early" 1 stats.Exec.Sweep.abandoned_early;
+  check int_t "its unspent allocation was reclaimed" 3 stats.Exec.Sweep.reclaimed;
+  check int_t "budget echoed" 20 stats.Exec.Sweep.budget
+
+let test_sweep_budgeted_overspend_clamped () =
+  (* A run reporting more than its allocation (a driver bug) must not
+     starve later seeds: the recorded spend is clamped to the allocation
+     and every seed still gets at least 1 prompt. *)
+  let allocs = ref [] in
+  let _, stats =
+    Exec.Sweep.run_seeds_budgeted ~budget:10 ~seeds:[ 1; 2; 3; 4 ]
+      (fun ~seed:_ ~max_prompts ->
+        allocs := max_prompts :: !allocs;
+        ((), { Exec.Sweep.spent = 1_000; abandoned = false }))
+  in
+  check (Alcotest.list int_t) "fair-share allocations" [ 2; 2; 3; 3 ]
+    (List.rev !allocs);
+  check int_t "spent clamped to the budget" 10 stats.Exec.Sweep.spent;
+  check int_t "nothing reclaimed without abandonment" 0
+    stats.Exec.Sweep.reclaimed
+
 (* ------------------------------------------------------------------ *)
 (* Global phase: hub looked up by name, not by position                *)
 (* ------------------------------------------------------------------ *)
@@ -896,6 +1102,10 @@ let () =
             test_sweep_journal_stale_codec;
           Alcotest.test_case "last write wins across resumes" `Quick
             test_sweep_journal_lww;
+          Alcotest.test_case "budgeted schedule reclaims abandoned budget" `Quick
+            test_sweep_budgeted;
+          Alcotest.test_case "budgeted schedule clamps overspend" `Quick
+            test_sweep_budgeted_overspend_clamped;
         ] );
       ( "shard",
         [
@@ -908,6 +1118,13 @@ let () =
       ( "serve",
         [
           Alcotest.test_case "socket round-trip" `Quick test_serve_roundtrip;
+          Alcotest.test_case "drain keeps in-flight work, rejects new" `Quick
+            test_serve_drain;
+          Alcotest.test_case "SIGTERM drains" `Quick test_serve_sigterm_drain;
+          Alcotest.test_case "connect backoff within a budget" `Quick
+            test_serve_connect_backoff;
+          Alcotest.test_case "shed frame raises Server_overloaded" `Quick
+            test_serve_overloaded_raises;
         ] );
       ( "global-phase",
         [

@@ -693,6 +693,161 @@ let test_runtime_stage_watchdog () =
       check bool_t "watchdog fired mid-retry, not at exhaustion" true (!calls < 50)
   | Ok _ -> Alcotest.fail "a hung stage must be cancelled"
 
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let adm_cfg =
+  {
+    Resilience.Admission.max_in_flight = 2;
+    max_queue = 1;
+    max_per_client = 2;
+    max_deadline_ms = 5_000;
+    retry_after_ms = 30;
+  }
+
+let test_admission_admit_release () =
+  let a = Resilience.Admission.create adm_cfg in
+  match
+    (Resilience.Admission.admit a ~client:"x", Resilience.Admission.admit a ~client:"y")
+  with
+  | Resilience.Admission.Admitted t1, Resilience.Admission.Admitted t2 ->
+      let s = Resilience.Admission.stats a in
+      check int_t "both in flight" 2 s.Resilience.Admission.in_flight;
+      Resilience.Admission.release a t1;
+      (* Idempotent: the abandonment path and the completion path may both
+         release the same ticket. *)
+      Resilience.Admission.release a t1;
+      Resilience.Admission.release a t2;
+      let s = Resilience.Admission.stats a in
+      check int_t "all released" 0 s.Resilience.Admission.in_flight;
+      check int_t "released counts tickets, not release calls" 2
+        s.Resilience.Admission.released;
+      check int_t "peak tracked" 2 s.Resilience.Admission.peak_in_flight
+  | _ -> Alcotest.fail "two admits under capacity must both be Admitted"
+
+let test_admission_capacity_shed () =
+  (* Capacity 2 + queue 1: with 2 running and 1 queued, the 4th caller is
+     shed immediately with the configured retry hint. *)
+  let a = Resilience.Admission.create adm_cfg in
+  let t1 =
+    match Resilience.Admission.admit a ~client:"a" with
+    | Resilience.Admission.Admitted t -> t
+    | _ -> Alcotest.fail "first admit"
+  in
+  (match Resilience.Admission.admit a ~client:"b" with
+  | Resilience.Admission.Admitted _ -> ()
+  | _ -> Alcotest.fail "second admit");
+  (* Third caller queues (blocking), so it runs on its own thread; it must
+     be admitted once a slot frees. *)
+  let queued_result = ref None in
+  let queued =
+    Thread.create
+      (fun () -> queued_result := Some (Resilience.Admission.admit a ~client:"c"))
+      ()
+  in
+  Thread.delay 0.05;
+  check int_t "third caller is queued" 1
+    (Resilience.Admission.stats a).Resilience.Admission.queued;
+  (* Queue full: the fourth caller is shed, not queued. *)
+  (match Resilience.Admission.admit a ~client:"d" with
+  | Resilience.Admission.Shed { retry_after_ms; reason } ->
+      check int_t "retry hint from config" 30 retry_after_ms;
+      check bool_t "shed for capacity" true (reason = Resilience.Admission.Capacity)
+  | Resilience.Admission.Admitted _ -> Alcotest.fail "queue-full caller admitted");
+  Resilience.Admission.release a t1;
+  Thread.join queued;
+  (match !queued_result with
+  | Some (Resilience.Admission.Admitted _) -> ()
+  | _ -> Alcotest.fail "queued caller not admitted after a release");
+  let s = Resilience.Admission.stats a in
+  check int_t "one capacity shed counted" 1 s.Resilience.Admission.shed_capacity;
+  check int_t "peak queue depth tracked" 1 s.Resilience.Admission.peak_queued
+
+let test_admission_per_client_cap () =
+  (* One identity at its cap is shed immediately — even though global
+     capacity remains — so a single flooding client cannot occupy the
+     whole queue. *)
+  let a =
+    Resilience.Admission.create { adm_cfg with Resilience.Admission.max_in_flight = 8 }
+  in
+  (match
+     ( Resilience.Admission.admit a ~client:"greedy",
+       Resilience.Admission.admit a ~client:"greedy" )
+   with
+  | Resilience.Admission.Admitted _, Resilience.Admission.Admitted _ -> ()
+  | _ -> Alcotest.fail "under the per-client cap both admit");
+  (match Resilience.Admission.admit a ~client:"greedy" with
+  | Resilience.Admission.Shed { reason; _ } ->
+      check bool_t "shed for the per-client cap" true
+        (reason = Resilience.Admission.Per_client)
+  | Resilience.Admission.Admitted _ -> Alcotest.fail "cap not enforced");
+  (* A different identity is untouched. *)
+  match Resilience.Admission.admit a ~client:"other" with
+  | Resilience.Admission.Admitted _ ->
+      check int_t "per-client shed counted" 1
+        (Resilience.Admission.stats a).Resilience.Admission.shed_per_client
+  | _ -> Alcotest.fail "other client shed by a stranger's cap"
+
+let test_admission_clamp_deadline () =
+  check int_t "no ask means the cap" 5_000
+    (Resilience.Admission.clamp_deadline adm_cfg None);
+  check int_t "ask under the cap honored" 250
+    (Resilience.Admission.clamp_deadline adm_cfg (Some 250));
+  check int_t "ask over the cap clamped" 5_000
+    (Resilience.Admission.clamp_deadline adm_cfg (Some 60_000));
+  check int_t "nonpositive ask clamped to 1" 1
+    (Resilience.Admission.clamp_deadline adm_cfg (Some 0))
+
+(* ------------------------------------------------------------------ *)
+(* Guard: per-request deadlines                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_guard_deadline_in_time () =
+  Resilience.Guard.reset ();
+  let settled = ref false in
+  (match
+     Resilience.Guard.run_deadline ~deadline_ms:2_000
+       ~on_settled:(fun () -> settled := true)
+       ~label:"fast" (fun () -> 6 * 7)
+   with
+  | Ok 42 -> ()
+  | _ -> Alcotest.fail "an in-time thunk must pass through");
+  (* on_settled fires on the worker thread the moment the thunk finishes;
+     give it a beat. *)
+  Thread.delay 0.05;
+  check bool_t "on_settled fired" true !settled;
+  check int_t "no crash recorded" 0 (Resilience.Guard.total ())
+
+let test_guard_deadline_expiry () =
+  Resilience.Guard.reset ();
+  let settled = ref false in
+  let t0 = Unix.gettimeofday () in
+  (match
+     Resilience.Guard.run_deadline ~deadline_ms:80
+       ~on_settled:(fun () -> settled := true)
+       ~label:"slow"
+       (fun () ->
+         Thread.delay 0.4;
+         0)
+   with
+  | Error c ->
+      check Alcotest.string "deadline constructor" "Deadline_exceeded"
+        c.Resilience.Guard.constructor;
+      check Alcotest.string "stage label carried" "slow" c.Resilience.Guard.stage
+  | Ok _ -> Alcotest.fail "an overrunning thunk must be Error");
+  let waited = Unix.gettimeofday () -. t0 in
+  check bool_t "caller returned near the deadline, not the full sleep" true
+    (waited < 0.3);
+  check bool_t "expiry recorded in the registry" true
+    (List.exists
+       (fun (s, k, _) -> s = "slow" && k = "Deadline_exceeded")
+       (Resilience.Guard.crashes ()));
+  (* The abandoned worker still finishes and settles — that is where the
+     admission slot comes back from. *)
+  Thread.delay 0.5;
+  check bool_t "on_settled fired after abandonment" true !settled
+
 let () =
   Alcotest.run "resilience"
     [
@@ -712,6 +867,19 @@ let () =
             test_guard_verifier_faulted;
           Alcotest.test_case "runtime stage watchdog" `Quick
             test_runtime_stage_watchdog;
+          Alcotest.test_case "deadline: in-time passthrough" `Quick
+            test_guard_deadline_in_time;
+          Alcotest.test_case "deadline: expiry abandons and records" `Quick
+            test_guard_deadline_expiry;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "admit and idempotent release" `Quick
+            test_admission_admit_release;
+          Alcotest.test_case "bounded queue, capacity shed" `Quick
+            test_admission_capacity_shed;
+          Alcotest.test_case "per-client cap" `Quick test_admission_per_client_cap;
+          Alcotest.test_case "deadline clamping" `Quick test_admission_clamp_deadline;
         ] );
       ( "breaker",
         [
