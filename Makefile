@@ -1,4 +1,4 @@
-.PHONY: all build test check bench chaos fuzz adversary serve-bench resume-smoke shard-smoke serve-smoke serve-overload-smoke clean
+.PHONY: all build test check bench chaos fuzz adversary adversary-verifier-smoke serve-bench resume-smoke shard-smoke serve-smoke serve-overload-smoke clean
 
 all: build
 
@@ -10,10 +10,11 @@ test:
 
 # Build + tests + one-seed smoke run of the bench harness (exercises the
 # parallel sweep plumbing end-to-end) + the full-scale chaos sweep + a
-# small-budget fuzz pass + smoke-budget adversary, serve and
-# serve-overload gates (the check alias runs all six bench modes) + the
-# shard, serve and serve-overload end-to-end smokes.
-check: shard-smoke serve-smoke serve-overload-smoke
+# small-budget fuzz pass + smoke-budget adversary, adversary-verifier,
+# serve and serve-overload gates (the check alias runs all seven bench
+# modes) + the shard, serve, serve-overload and adversary-verifier
+# end-to-end smokes.
+check: shard-smoke serve-smoke serve-overload-smoke adversary-verifier-smoke
 	dune build @check
 
 bench:
@@ -41,6 +42,17 @@ fuzz:
 # loop-level fuzzing of every LLM mode; exits nonzero on any violation).
 adversary:
 	dune exec bench/main.exe -- --adversary
+
+# The Byzantine-verifier gate: A2 (rate-0 byte-identity with the lie
+# engine armed at all-zero rates, then a lie-mode x rate x trust-on/off
+# sweep pinning that cross-checks against the raw oracle restore the
+# verified end state a lying verifier destroys — within the per-run check
+# budget, with trust-off runs spending nothing) + a CLI drill that a
+# heavy false-negative liar ends up quarantined.
+adversary-verifier-smoke: build
+	dune exec bench/main.exe -- --adversary-verifier --smoke
+	$(CLI) adversary --runs 4 --lie-fn 0.9 --trust | grep -Eq 'quarantines=[1-9]'
+	@echo "adversary-verifier-smoke: lies detected, liar quarantined, runs verified"
 
 # The service-mode gate: S1 (the same synthesis jobs through a warm
 # in-process `serve` daemon vs cold per-job pool + memo startup; fails on

@@ -41,6 +41,16 @@ let fuzz_only = Array.exists (fun a -> a = "--fuzz") Sys.argv
    --smoke shrinks the seed and fuzz budgets for the check alias. *)
 let adversary_only = Array.exists (fun a -> a = "--adversary") Sys.argv
 
+(* --adversary-verifier: only the A2 Byzantine-verifier gate (`make
+   adversary-verifier-smoke`) — lying verifiers (false negative / false
+   positive / mutated, adaptive on/off) vs the Resilience.Trust cross-check
+   ledger: the rate-0 and honest-trust byte-identity pins, the verified-rate
+   headline with trust on vs off, per-run cross-check budget compliance and
+   detected-lie counts; exits nonzero on any violation. --smoke shrinks the
+   seed budget for the check alias. *)
+let adversary_verifier_only =
+  Array.exists (fun a -> a = "--adversary-verifier") Sys.argv
+
 (* --serve: only the S1 service-mode gate (`make serve-bench`) — the same
    synthesis jobs through a warm in-process daemon vs cold per-job startup;
    exits nonzero when the daemon loses results, state, or throughput.
@@ -1928,6 +1938,198 @@ let table_a1 () =
       List.iter (fun v -> Printf.printf "  VIOLATION %s\n" v) vs;
       exit 1
 
+(* Every verifier-lie mode as (config builder, row label) pairs for the A2
+   headline table. The adaptive false-negative variant gets its own row so
+   the escalation schedule is swept alongside the flat rates. *)
+let a2_modes =
+  [
+    ( (fun rate -> Adversary.Verifier.make ~false_negative:rate ()),
+      "lie:false-negative" );
+    ( (fun rate -> Adversary.Verifier.make ~false_positive:rate ()),
+      "lie:false-positive" );
+    ((fun rate -> Adversary.Verifier.make ~mutated:rate ()), "lie:mutated");
+    ( (fun rate -> Adversary.Verifier.make ~false_negative:rate ~adaptive:true ()),
+      "lie:false-negative+adaptive" );
+  ]
+
+let a2_rates = [ 0.0; 0.35; 0.6 ]
+let a2_budget = 40
+
+let table_a2 () =
+  section "A2 — Byzantine verifiers: lying checks vs the cross-check trust layer";
+  let violations = ref [] in
+  let violation fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  let n = if smoke then 4 else 12 in
+  let seeds = Exec.Sweep.seeds ~base:9950 ~n in
+  let trust_cfg = Resilience.Trust.default_config in
+  let md = Cosynth.Driver.transcript_to_markdown ~title:"A2" in
+  let js t = Netcore.Json.to_string (Cosynth.Driver.transcript_to_json t) in
+  (* 1. The identity pins. A spec whose only payload is an all-zero verifier
+     config (adaptivity on, with nothing to escalate) must leave both
+     transcript renderings byte-identical to a plain run — the rate-0
+     invariant A1 pins, extended to the verifier-lie dimension. And arming
+     the trust ledger against *honest* verifiers must change nothing either:
+     cross-checks that agree are silent. *)
+  List.iter
+    (fun seed ->
+      let run ?adversary ?trust () =
+        (Cosynth.Driver.run_translation ~seed ?adversary ?trust ~cisco_text ())
+          .Cosynth.Driver.transcript
+      in
+      let plain = run () in
+      let zero =
+        run
+          ~adversary:
+            (Adversary.Spec.make ~verifier:(Adversary.Verifier.make ~adaptive:true ()) ())
+          ()
+      in
+      if md plain <> md zero then
+        violation "rate-0 verifier-lie markdown identity broken at seed %d" seed;
+      if js plain <> js zero then
+        violation "rate-0 verifier-lie JSON identity broken at seed %d" seed;
+      let honest_trust = run ~trust:trust_cfg () in
+      if md plain <> md honest_trust then
+        violation "honest trust-on markdown identity broken at seed %d" seed;
+      if js plain <> js honest_trust then
+        violation "honest trust-on JSON identity broken at seed %d" seed)
+    seeds;
+  Printf.printf
+    "  rate-0 + honest-trust identity: %d seed(s), markdown and JSON byte-identical\n"
+    (List.length seeds);
+  (* 2. The headline sweep: end-state verified rate (the raw Batfish+Campion
+     recheck of the final draft — the one signal a lying verifier cannot
+     forge) and detected lies, trust off vs on, per (mode, rate) cell. Runs
+     stay sequential so each run's global trust-counter delta is
+     attributable to it — the per-run budget-compliance check needs that. *)
+  let sweep ~trust spec_opt =
+    List.map
+      (fun seed ->
+        let before = Resilience.Trust.snapshot () in
+        let r =
+          Cosynth.Driver.run_translation ~seed ?adversary:spec_opt
+            ?trust:(if trust then Some trust_cfg else None)
+            ~max_prompts:a2_budget ~cisco_text ()
+        in
+        let delta =
+          Resilience.Trust.totals
+            (Resilience.Trust.diff (Resilience.Trust.snapshot ()) before)
+        in
+        (r, delta))
+      seeds
+  in
+  let verified rs =
+    List.length
+      (List.filter
+         (fun ((r : Cosynth.Driver.translation_result), _) -> r.Cosynth.Driver.verified)
+         rs)
+  in
+  let lies rs =
+    List.fold_left (fun acc (_, d) -> acc + d.Resilience.Trust.disagreements) 0 rs
+  in
+  let honest_verified = verified (sweep ~trust:false None) in
+  let rows, perf =
+    Cosynth.Metrics.measure (fun () ->
+        List.map
+          (fun (cfg_of_rate, label) ->
+            let cells =
+              List.map
+                (fun rate ->
+                  let vcfg = cfg_of_rate rate in
+                  let spec = Adversary.Spec.make ~verifier:vcfg () in
+                  let hardened = not (Adversary.Spec.is_none spec) in
+                  let spec_opt = if hardened then Some spec else None in
+                  let off = sweep ~trust:false spec_opt in
+                  let on = sweep ~trust:true spec_opt in
+                  List.iter
+                    (fun (tag, runs, trust) ->
+                      List.iter2
+                        (fun seed ((r : Cosynth.Driver.translation_result), d) ->
+                          let t = r.Cosynth.Driver.transcript in
+                          let prompts =
+                            t.Cosynth.Driver.auto_prompts + t.Cosynth.Driver.human_prompts
+                          in
+                          if prompts > a2_budget then
+                            violation "%s rate %.2f seed %d [%s]: %d prompts exceed budget %d"
+                              label rate seed tag prompts a2_budget;
+                          (match (hardened, t.Cosynth.Driver.certificate) with
+                          | true, None ->
+                              violation
+                                "%s rate %.2f seed %d [%s]: hardened run without certificate"
+                                label rate seed tag
+                          | false, Some _ ->
+                              violation
+                                "%s rate %.2f seed %d [%s]: rate-0 run carries a certificate"
+                                label rate seed tag
+                          | _ -> ());
+                          if trust then begin
+                            if
+                              d.Resilience.Trust.cross_checks
+                              > trust_cfg.Resilience.Trust.check_budget
+                            then
+                              violation
+                                "%s rate %.2f seed %d: %d cross-checks exceed budget %d"
+                                label rate seed d.Resilience.Trust.cross_checks
+                                trust_cfg.Resilience.Trust.check_budget
+                          end
+                          else if d <> Resilience.Trust.zero then
+                            violation
+                              "%s rate %.2f seed %d: trust-off run recorded trust activity"
+                              label rate seed)
+                        seeds runs)
+                    [ ("trust off", off, false); ("trust on", on, true) ];
+                  (* The acceptance headline, pinned on the false-negative
+                     rows (the swallowed-findings attack the trust layer
+                     exists for): at rate >= 0.3 the ledger must restore the
+                     verified rate to >= 80% of the honest baseline, the
+                     trust-off ablation must do strictly worse, and at least
+                     one lie must actually be caught. *)
+                  if vcfg.Adversary.Verifier.false_negative >= 0.3 then begin
+                    if
+                      float_of_int (verified on)
+                      < 0.8 *. float_of_int honest_verified
+                    then
+                      violation
+                        "%s rate %.2f: trust-on verified %d/%d below 80%% of honest %d/%d"
+                        label rate (verified on) n honest_verified n;
+                    if verified off >= verified on then
+                      violation
+                        "%s rate %.2f: trust-off ablation shows no collapse (%d/%d vs %d/%d)"
+                        label rate (verified off) n (verified on) n;
+                    if lies on = 0 then
+                      violation "%s rate %.2f: trust layer detected no lies" label rate
+                  end;
+                  (verified off, verified on, lies on))
+                a2_rates
+            in
+            label
+            :: List.map
+                 (fun (voff, von, l) -> Printf.sprintf "%d/%d|%d/%d L%-3d" voff n von n l)
+                 cells)
+          a2_modes)
+  in
+  print_string
+    (Cosynth.Report.table
+       ~title:
+         (Printf.sprintf
+            "verified runs, trust off|on, and detected lies (L), %d seed(s) per cell \
+             (honest baseline %d/%d)"
+            n honest_verified n)
+       ~header:("lie mode" :: List.map (Printf.sprintf "rate %.2f") a2_rates)
+       rows);
+  print_string
+    (Cosynth.Report.table ~title:"trust-layer activity over the sweep (trust-on cells)"
+       ~header:Cosynth.Metrics.trust_header
+       (Cosynth.Metrics.trust_rows perf));
+  Format.printf "  %a@." Cosynth.Metrics.pp_perf perf;
+  match List.rev !violations with
+  | [] -> Printf.printf "\n  A2: all invariants hold\n"
+  | vs ->
+      Printf.printf "\n  A2 GATE FAILED: %d violation(s)\n" (List.length vs);
+      List.iter (fun v -> Printf.printf "  VIOLATION %s\n" v) vs;
+      exit 1
+
 let () =
   Printf.printf
     "CoSynth benchmark harness — reproduction of 'What do LLMs need to Synthesize \
@@ -1937,6 +2139,9 @@ let () =
        if smoke then "fuzz gate (smoke budget)" else "fuzz gate (full budget)"
      else if adversary_only then
        if smoke then "adversary gate (smoke budget)" else "adversary gate (full budget)"
+     else if adversary_verifier_only then
+       if smoke then "adversary verifier gate (smoke budget)"
+       else "adversary verifier gate (full budget)"
      else if serve_only then
        if smoke then "serve gate (smoke budget)" else "serve gate (full budget)"
      else if serve_overload_only then
@@ -1954,6 +2159,12 @@ let () =
   end;
   if adversary_only then begin
     table_a1 ();
+    Exec.Pool.shutdown pool;
+    Printf.printf "\nDone.\n";
+    exit 0
+  end;
+  if adversary_verifier_only then begin
+    table_a2 ();
     Exec.Pool.shutdown pool;
     Printf.printf "\nDone.\n";
     exit 0

@@ -153,6 +153,7 @@ let print_transcript (t : Cosynth.Driver.transcript) verbose =
           | Cosynth.Driver.Human -> "HUMAN"
           | Cosynth.Driver.Degraded -> "degrd"
           | Cosynth.Driver.Stalled -> "STALL"
+          | Cosynth.Driver.Crosscheck -> "XCHCK"
         in
         let text = e.Cosynth.Driver.prompt in
         let text =
@@ -855,8 +856,8 @@ let chaos_cmd =
 
 let adversary_cmd =
   let run use_case runs routers seed truncated wrong_dialect stale partial_fix
-      off_topic dropped duplicated misattributed garbled journal_path resume
-      sweep_budget triage_path verbose =
+      off_topic dropped duplicated misattributed garbled lie_fn lie_fp lie_mutate
+      lie_adaptive trust journal_path resume sweep_budget triage_path verbose =
     Resilience.Guard.reset ();
     (* A budgeted sweep's per-seed allocations depend on what earlier seeds
        spent, while journal replay assumes a seed's run is a function of its
@@ -867,6 +868,13 @@ let adversary_cmd =
         Printf.eprintf "error: --sweep-budget cannot be combined with --journal\n%!";
         exit 2
     | _ -> ());
+    (* Cross-check counters are live process-global tallies: a resumed sweep
+       replays journaled transcripts without re-running their cross-checks,
+       so the trust summary could never match an uninterrupted run's. *)
+    if trust && journal_path <> None then begin
+      Printf.eprintf "error: --trust cannot be combined with --journal\n%!";
+      exit 2
+    end;
     let llm =
       Adversary.Llm.make ~truncated ~wrong_dialect ~stale ~partial_fix ~off_topic
         ~seed ()
@@ -874,8 +882,14 @@ let adversary_cmd =
     let findings =
       Adversary.Findings.make ~dropped ~duplicated ~misattributed ~garbled ~seed ()
     in
-    let spec = Adversary.Spec.make ~llm ~findings () in
+    let verifier =
+      Adversary.Verifier.make ~false_negative:lie_fn ~false_positive:lie_fp
+        ~mutated:lie_mutate ~adaptive:lie_adaptive ~seed ()
+    in
+    let spec = Adversary.Spec.make ~llm ~findings ~verifier () in
     let hardened = not (Adversary.Spec.is_none spec) in
+    let trust_cfg = if trust then Some Resilience.Trust.default_config else None in
+    let trust_before = Resilience.Trust.snapshot () in
     (* The driver defaults; the invariant under any rates in [0, 1] is that
        every run stays within them, never raises, and carries a convergence
        certificate exactly when the spec is non-trivial. *)
@@ -943,15 +957,16 @@ let adversary_cmd =
             match use_case with
             | `Translation ->
                 (Cosynth.Driver.run_translation ~seed:run_seed ?max_prompts
-                   ~adversary:spec ~cisco_text:Cisco.Samples.border_router ())
+                   ~adversary:spec ?trust:trust_cfg
+                   ~cisco_text:Cisco.Samples.border_router ())
                   .Cosynth.Driver.transcript
             | `No_transit ->
                 (Cosynth.Driver.run_no_transit ~seed:run_seed ?max_prompts
-                   ~adversary:spec ~routers ())
+                   ~adversary:spec ?trust:trust_cfg ~routers ())
                   .Cosynth.Driver.transcript
             | `Incremental ->
                 (Cosynth.Driver.run_incremental ~seed:run_seed ?max_prompts
-                   ~adversary:spec ~routers ())
+                   ~adversary:spec ?trust:trust_cfg ~routers ())
                   .Cosynth.Driver.inc_transcript)
       with
       | Error c -> Error (Resilience.Guard.crash_to_string c)
@@ -1028,6 +1043,16 @@ let adversary_cmd =
     Printf.printf "adversary: %s\n" (Adversary.Spec.describe spec);
     Format.printf "%a@." Cosynth.Metrics.pp_summary
       (Cosynth.Metrics.summarize transcripts);
+    if trust then begin
+      let d =
+        Resilience.Trust.totals
+          (Resilience.Trust.diff (Resilience.Trust.snapshot ()) trust_before)
+      in
+      Printf.printf
+        "trust: checks=%d lies-detected=%d quarantines=%d restores=%d\n"
+        d.Resilience.Trust.cross_checks d.Resilience.Trust.disagreements
+        d.Resilience.Trust.quarantines d.Resilience.Trust.restores
+    end;
     if hardened then
       print_string
         (Cosynth.Report.counts ~title:"convergence certificates"
@@ -1098,6 +1123,38 @@ let adversary_cmd =
     rate "misattributed" "Per-finding probability of mis-attributed references."
   in
   let garbled = rate "garbled" "Per-finding probability of garbled text, refs lost." in
+  let lie_fn =
+    rate "lie-fn"
+      "Per-check probability a verifier swallows its real findings (false \
+       negative: the loop sees a fake clean pass)."
+  in
+  let lie_fp =
+    rate "lie-fp"
+      "Per-check probability a verifier fabricates a finding on a correct \
+       draft (false positive)."
+  in
+  let lie_mutate =
+    rate "lie-mutate"
+      "Per-check probability a verifier misplaces a real finding (wrong \
+       router/line/direction)."
+  in
+  let lie_adaptive =
+    Arg.(
+      value & flag
+      & info [ "lie-adaptive" ]
+          ~doc:"Escalate the lie rates as the loop nears convergence (seeded, \
+                keyed off rounds since the last finding).")
+  in
+  let trust =
+    Arg.(
+      value & flag
+      & info [ "trust" ]
+          ~doc:"Arm the cross-check trust ledger: suspicious answers are \
+                re-run against the raw oracle on a bounded budget, detected \
+                liars are quarantined (hand-run checks, findings escalate to \
+                human prompts) until probation clears. Incompatible with \
+                $(b,--journal).")
+  in
   let journal_path =
     Arg.(
       value
@@ -1147,7 +1204,8 @@ let adversary_cmd =
     Term.(
       const run $ use_case $ runs $ routers $ seed $ truncated $ wrong_dialect
       $ stale $ partial_fix $ off_topic $ dropped $ duplicated $ misattributed
-      $ garbled $ journal_path $ resume $ sweep_budget $ triage_path $ verbose)
+      $ garbled $ lie_fn $ lie_fp $ lie_mutate $ lie_adaptive $ trust
+      $ journal_path $ resume $ sweep_budget $ triage_path $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* shard                                                               *)
@@ -1364,7 +1422,7 @@ let shard_cmd =
 let serve_cmd =
   let run socket jobs round_budget_cap stage_budget_cap max_in_flight max_queue
       max_per_client max_deadline_ms retry_after_ms io_timeout_ms drain_grace_ms
-      triage_path debug_jobs supervise max_restarts =
+      admission_file triage_path debug_jobs supervise max_restarts =
     if supervise then begin
       (* Supervisor mode: respawn a crashed daemon (nonzero exit or fatal
          signal) with a bounded budget; a clean exit 0 — shutdown or drain
@@ -1387,6 +1445,9 @@ let serve_cmd =
               "--drain-grace-ms"; string_of_int drain_grace_ms;
             ]
           @ (if debug_jobs then [ "--debug-jobs" ] else [])
+          @ (match admission_file with
+            | Some p -> [ "--admission-file"; p ]
+            | None -> [])
           @ (match triage_path with Some p -> [ "--triage"; p ] | None -> []))
       in
       let restarts = ref 0 in
@@ -1463,6 +1524,7 @@ let serve_cmd =
               max_deadline_ms;
               retry_after_ms;
             };
+          admission_file;
           io_timeout_ms;
           drain_grace_ms;
           handle_signals = true;
@@ -1569,6 +1631,19 @@ let serve_cmd =
                 requests on live connections are rejected with a structured \
                 frame for $(docv) before connections close.")
   in
+  let admission_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "admission-file" ] ~docv:"FILE"
+          ~doc:"Hot reload: on SIGHUP, re-read the admission caps from this \
+                JSON file (keys $(b,max_in_flight), $(b,max_queue), \
+                $(b,max_per_client), $(b,max_deadline_ms), \
+                $(b,retry_after_ms); missing keys keep their current values) \
+                and swap them in without a drain. A malformed or unreadable \
+                file keeps the caps in force; every reload bumps the \
+                $(b,reloads) counter in $(b,health)/$(b,stats).")
+  in
   let triage_path =
     Arg.(
       value
@@ -1613,8 +1688,8 @@ let serve_cmd =
     Term.(
       const run $ socket $ jobs $ round_budget $ stage_budget $ max_in_flight
       $ max_queue $ max_per_client $ max_deadline_ms $ retry_after_ms
-      $ io_timeout_ms $ drain_grace_ms $ triage_path $ debug_jobs $ supervise
-      $ max_restarts)
+      $ io_timeout_ms $ drain_grace_ms $ admission_file $ triage_path
+      $ debug_jobs $ supervise $ max_restarts)
 
 let client_cmd =
   let known_jobs =
@@ -1814,13 +1889,15 @@ let client_cmd =
 (* ------------------------------------------------------------------ *)
 
 let fuzz_cmd =
-  let run seeds_n mutations seed triage_path =
+  let run seeds_n mutations seed triage_path promote_dir =
     Resilience.Guard.reset ();
     let seeds = List.init seeds_n (fun i -> seed + i) in
     let escapes = ref 0 in
+    let all_escapes = ref [] in
     let report name (r : Fuzz.Props.report) =
       Printf.printf "%s: %d mutated input(s), %d escape(s)\n" name r.Fuzz.Props.inputs
         (List.length r.Fuzz.Props.escapes);
+      all_escapes := !all_escapes @ r.Fuzz.Props.escapes;
       List.iter
         (fun e ->
           incr escapes;
@@ -1831,6 +1908,19 @@ let fuzz_cmd =
     report "junos" (Fuzz.Props.run Fuzz.Corpus.Junos ~seeds ~mutations);
     report "topology" (Fuzz.Props.run_topology ~seeds ~mutations ());
     report "policy" (Fuzz.Props.run_policy ~seeds ~mutations ());
+    (match promote_dir with
+    | Some dir ->
+        let written = Fuzz.Props.promote ~dir !all_escapes in
+        List.iter
+          (fun (name, (e : Fuzz.Props.escape)) ->
+            Printf.printf "promoted: %s (%s in %s, %dB minimized)\n" name
+              e.Fuzz.Props.violation.Fuzz.Props.constructor
+              e.Fuzz.Props.violation.Fuzz.Props.stage
+              (String.length e.Fuzz.Props.minimized))
+          written;
+        Printf.printf "promote-corpus: %d new bucket(s) written to %s\n"
+          (List.length written) dir
+    | None -> ());
     (match triage_path with
     | Some path ->
         Resilience.Triage.record ~path ~seed ();
@@ -1851,13 +1941,24 @@ let fuzz_cmd =
           ~doc:"Append every Guard crash bucket from this campaign to $(docv) \
                 (JSONL; read back with $(b,cosynth triage)).")
   in
+  let promote_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "promote-corpus" ] ~docv:"DIR"
+          ~doc:"Promote each crasher that opens a new (stage x constructor) \
+                triage bucket into $(docv) as a minimized \
+                $(b,promoted-*.txt) regression seed; the F1 gate replays \
+                promoted entries first. Idempotent: buckets already \
+                promoted are skipped.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
          "Mutation-fuzz every pipeline stage (config dialects, topology \
           dictionaries, policy fragments); exits nonzero on any escape past the \
           Guard firewall")
-    Term.(const run $ seeds_n $ mutations $ seed $ triage_path)
+    Term.(const run $ seeds_n $ mutations $ seed $ triage_path $ promote_dir)
 
 let triage_cmd =
   let run file =

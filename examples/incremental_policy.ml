@@ -43,6 +43,7 @@ let () =
         | Cosynth.Driver.Human -> "HUMAN"
         | Cosynth.Driver.Degraded -> "degrd"
         | Cosynth.Driver.Stalled -> "stall"
+        | Cosynth.Driver.Crosscheck -> "xchck"
       in
       Printf.printf "[%s] %s\n" tag (shorten e.Cosynth.Driver.prompt))
     interesting.Cosynth.Driver.inc_transcript.Cosynth.Driver.events;

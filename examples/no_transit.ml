@@ -45,6 +45,7 @@ let () =
         | Cosynth.Driver.Human -> "HUMAN"
         | Cosynth.Driver.Degraded -> "degrd"
         | Cosynth.Driver.Stalled -> "stall"
+        | Cosynth.Driver.Crosscheck -> "xchck"
       in
       Printf.printf "[%s] (%s) %s\n" tag e.Cosynth.Driver.note (shorten e.Cosynth.Driver.prompt))
     r.Cosynth.Driver.transcript.Cosynth.Driver.events;

@@ -34,6 +34,7 @@ let () =
         | Cosynth.Driver.Human -> "HUMAN"
         | Cosynth.Driver.Degraded -> "degrd"
         | Cosynth.Driver.Stalled -> "stall"
+        | Cosynth.Driver.Crosscheck -> "xchck"
       in
       Printf.printf "[%s] %s\n" tag (shorten e.Cosynth.Driver.prompt))
     r.Cosynth.Driver.transcript.Cosynth.Driver.events;

@@ -1,12 +1,14 @@
 (* The combined adversary specification the driver accepts: Byzantine-LLM
-   rates, findings-corruption rates, and the convergence-hardening knobs.
-   [is_none] is the byte-identity switch: an all-zero spec means the driver
-   runs the exact unhardened code path, so `?adversary:(Some zero)` and
-   `?adversary:None` produce identical transcripts. *)
+   rates, findings-corruption rates, verifier-lie rates, and the
+   convergence-hardening knobs. [is_none] is the byte-identity switch: an
+   all-zero spec means the driver runs the exact unhardened code path, so
+   `?adversary:(Some zero)` and `?adversary:None` produce identical
+   transcripts. *)
 
 type t = {
   llm : Llm.config;
   findings : Findings.config;
+  verifier : Verifier.config;
   osc_repeat : int;
   watchdog_rounds : int;
 }
@@ -14,14 +16,17 @@ type t = {
 let default_osc_repeat = 6
 let default_watchdog_rounds = 12
 
-let make ?(llm = Llm.none) ?(findings = Findings.none)
+let make ?(llm = Llm.none) ?(findings = Findings.none) ?(verifier = Verifier.none)
     ?(osc_repeat = default_osc_repeat) ?(watchdog_rounds = default_watchdog_rounds) () =
-  { llm; findings; osc_repeat; watchdog_rounds }
+  { llm; findings; verifier; osc_repeat; watchdog_rounds }
 
 let none = make ()
 
-let is_none t = Llm.is_none t.llm && Findings.is_none t.findings
+let is_none t =
+  Llm.is_none t.llm && Findings.is_none t.findings && Verifier.is_none t.verifier
 
 let describe t =
-  Printf.sprintf "llm: %s; findings: %s; osc-repeat %d; watchdog %d rounds"
-    (Llm.describe t.llm) (Findings.describe t.findings) t.osc_repeat t.watchdog_rounds
+  Printf.sprintf "llm: %s; findings: %s; verifier: %s; osc-repeat %d; watchdog %d rounds"
+    (Llm.describe t.llm) (Findings.describe t.findings)
+    (Verifier.describe t.verifier)
+    t.osc_repeat t.watchdog_rounds

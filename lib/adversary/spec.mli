@@ -1,10 +1,14 @@
 (** The combined adversary specification accepted by [Driver.run_* ?adversary]:
     Byzantine-LLM rates ({!Llm.config}), feedback-corruption rates
-    ({!Findings.config}) and the convergence-hardening knobs. *)
+    ({!Findings.config}), verifier-lie rates ({!Verifier.config}) and the
+    convergence-hardening knobs. *)
 
 type t = {
   llm : Llm.config;
   findings : Findings.config;
+  verifier : Verifier.config;
+      (** Byzantine-verifier lie rates (false negative / false positive /
+          mutated, plus the adaptive schedule). *)
   osc_repeat : int;  (** Oscillation detector threshold ({!Watch.osc}). *)
   watchdog_rounds : int;  (** Progress watchdog K ({!Watch.progress}). *)
 }
@@ -15,6 +19,7 @@ val default_watchdog_rounds : int
 val make :
   ?llm:Llm.config ->
   ?findings:Findings.config ->
+  ?verifier:Verifier.config ->
   ?osc_repeat:int ->
   ?watchdog_rounds:int ->
   unit ->
@@ -25,6 +30,8 @@ val none : t
 val is_none : t -> bool
 (** Every rate is 0. The driver treats such a spec exactly like no spec at
     all — the unhardened code path runs and transcripts stay byte-identical
-    (the rate-0 invariant the A1 gate pins). *)
+    (the rate-0 invariant the A1 and A2 gates pin). *)
 
 val describe : t -> string
+(** Includes the verifier-lie and adaptive fields, so journal and triage
+    headers fully identify the attack that produced them. *)

@@ -1,6 +1,6 @@
 open Policy
 
-type origin = Auto | Human | Degraded | Stalled
+type origin = Auto | Human | Degraded | Stalled | Crosscheck
 
 (* The convergence certificate a hardened (adversary-on) run attaches to
    its transcript. [None] on the unhardened path, so plain runs serialize
@@ -53,6 +53,7 @@ let transcript_to_markdown ~title t =
         | Human -> "HUMAN"
         | Degraded -> "degraded"
         | Stalled -> "STALLED"
+        | Crosscheck -> "cross-check"
       in
       Buffer.add_string buf (Printf.sprintf "## %d. [%s] (%s)\n\n" (i + 1) who e.note);
       Buffer.add_string buf (String.trim e.prompt);
@@ -68,12 +69,14 @@ let origin_to_string = function
   | Human -> "human"
   | Degraded -> "degraded"
   | Stalled -> "stalled"
+  | Crosscheck -> "crosscheck"
 
 let origin_of_string = function
   | "auto" -> Auto
   | "human" -> Human
   | "degraded" -> Degraded
   | "stalled" -> Stalled
+  | "crosscheck" -> Crosscheck
   | s -> invalid_arg ("Driver.origin_of_string: " ^ s)
 
 let certificate_to_json = function
@@ -149,6 +152,7 @@ type adv = {
   spec : Adversary.Spec.t;
   llm : Adversary.Llm.t;
   corruption : Adversary.Findings.t;
+  lies : Adversary.Verifier.t;  (* Byzantine-verifier lie engine *)
   osc : Adversary.Watch.osc;
   prog : Adversary.Watch.progress;
   mutable escalate : int option;  (* pending oscillation period *)
@@ -166,6 +170,7 @@ type loop_state = {
   stall_threshold : int;
   mutable certificate : certificate option;
   adversary : adv option;
+  trust : Resilience.Trust.t option;
 }
 
 let adv_of_spec ?(salt = 0) spec =
@@ -178,6 +183,7 @@ let adv_of_spec ?(salt = 0) spec =
           spec = s;
           llm = Adversary.Llm.create ~salt s.Adversary.Spec.llm;
           corruption = Adversary.Findings.create ~salt s.Adversary.Spec.findings;
+          lies = Adversary.Verifier.create ~salt s.Adversary.Spec.verifier;
           osc = Adversary.Watch.osc ~repeat_threshold:s.Adversary.Spec.osc_repeat ();
           prog = Adversary.Watch.progress ~rounds:s.Adversary.Spec.watchdog_rounds;
           escalate = None;
@@ -193,6 +199,7 @@ let adv_derive adversary idx =
         a with
         llm = Adversary.Llm.derive a.llm idx;
         corruption = Adversary.Findings.derive a.corruption idx;
+        lies = Adversary.Verifier.derive a.lies idx;
         osc = Adversary.Watch.osc ~repeat_threshold:a.spec.Adversary.Spec.osc_repeat ();
         prog = Adversary.Watch.progress ~rounds:a.spec.Adversary.Spec.watchdog_rounds;
         escalate = None;
@@ -200,7 +207,7 @@ let adv_derive adversary idx =
       })
     adversary
 
-let new_loop ?adversary ~max_prompts ~stall_threshold () =
+let new_loop ?adversary ?trust ~max_prompts ~stall_threshold () =
   {
     events = [];
     human = 0;
@@ -211,6 +218,7 @@ let new_loop ?adversary ~max_prompts ~stall_threshold () =
     stall_threshold;
     certificate = None;
     adversary = (match adversary with Some a -> a | None -> None);
+    trust = (match trust with Some t -> t | None -> None);
   }
 
 let budget_left st = st.auto + st.human < st.max_prompts
@@ -237,7 +245,7 @@ let record st origin prompt note =
   match origin with
   | Auto -> st.auto <- st.auto + 1
   | Human -> st.human <- st.human + 1
-  | Degraded | Stalled -> ()  (* transcript annotations, not prompts *)
+  | Degraded | Stalled | Crosscheck -> ()  (* transcript annotations, not prompts *)
 
 (* Chat access routed through the Byzantine wrapper when one is armed; the
    [None] arms are exactly the pre-adversary code path. *)
@@ -297,6 +305,150 @@ let send_human st (chat : Llmsim.Chat.t) (prompt : Humanizer.prompt) ~note =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Byzantine-verifier lenses                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One lens per verifier output type: how the lying wrapper forges each of
+   its three modes. Fabricated findings are plausible but fictitious;
+   mutations keep a real finding and misplace it (wrong direction, wrong
+   neighbor, wrong line) — the "right diagnosis, wrong router" attack.
+   The lenses live here, not in [Adversary.Verifier], because only the
+   driver layer sees every typed finding. *)
+
+let parse_lens =
+  {
+    Adversary.Verifier.dirty =
+      (fun (_, diags) -> List.exists Netcore.Diag.is_error diags);
+    clean = (fun (ir, diags) -> (ir, List.filter (fun d -> not (Netcore.Diag.is_error d)) diags));
+    fabricate =
+      (fun (ir, diags) ->
+        (ir, diags @ [ Netcore.Diag.error ~line:1 "unexpected token at top of file" ]));
+    mutate =
+      (fun (ir, diags) ->
+        ( ir,
+          List.map
+            (fun d ->
+              if Netcore.Diag.is_error d then
+                {
+                  d with
+                  Netcore.Diag.line = 0;
+                  message = "in a later stanza: " ^ d.Netcore.Diag.message;
+                }
+              else d)
+            diags ));
+  }
+
+let campion_lens =
+  let open Campion.Differ in
+  let flip = function Import -> Export | Export -> Import in
+  let twist = function
+    | Structural (Missing_policy m) ->
+        Structural (Missing_policy { m with direction = flip m.direction })
+    | Structural (Missing_neighbor m) ->
+        Structural
+          (Missing_neighbor { m with missing_in_translation = not m.missing_in_translation })
+    | Structural (Missing_acl_attachment m) ->
+        Structural (Missing_acl_attachment { m with direction = flip m.direction })
+    | Structural _ as f -> f
+    | Attribute a ->
+        Attribute
+          { a with original_value = a.translated_value; translated_value = a.original_value }
+    | Behavior b -> Behavior { b with direction = flip b.direction }
+    | Acl_behavior b -> Acl_behavior { b with acl_direction = flip b.acl_direction }
+  in
+  {
+    Adversary.Verifier.dirty = (fun findings -> findings <> []);
+    clean = (fun _ -> []);
+    fabricate =
+      (fun findings ->
+        Structural
+          (Missing_policy
+             {
+               neighbor = Netcore.Ipv4.of_octets 203 0 113 199;
+               direction = Import;
+               missing_in_translation = true;
+             })
+        :: findings);
+    mutate = (function [] -> [] | f :: rest -> twist f :: rest);
+  }
+
+let topology_lens =
+  {
+    Adversary.Verifier.dirty = (fun findings -> findings <> []);
+    clean = (fun _ -> []);
+    fabricate =
+      (fun findings ->
+        {
+          Topoverify.Verifier.kind = Topoverify.Verifier.Local_as_mismatch;
+          message = "local AS mismatch: configured AS disagrees with the topology dictionary";
+          iface = None;
+          peer = None;
+          network = None;
+        }
+        :: findings);
+    mutate =
+      (function
+      | [] -> []
+      | f :: rest ->
+          {
+            f with
+            Topoverify.Verifier.message =
+              "on a different router: " ^ f.Topoverify.Verifier.message;
+            iface = None;
+            peer = None;
+            network = None;
+          }
+          :: rest);
+  }
+
+let route_policies_lens =
+  let open Batfish.Search_route_policies in
+  let is_violated (_, outcome) =
+    match outcome with Violated _ -> true | Holds | Policy_missing -> false
+  in
+  {
+    Adversary.Verifier.dirty = (fun outcomes -> List.exists is_violated outcomes);
+    clean =
+      List.map (fun (s, o) -> match o with Violated _ -> (s, Holds) | _ -> (s, o));
+    fabricate =
+      (function
+      | [] -> []
+      | (s, _) :: rest ->
+          ( s,
+            Violated
+              {
+                spec = s;
+                example = Netcore.Route.make (Netcore.Prefix.of_string_exn "198.51.100.0/24");
+                got_action = Action.Deny;
+                at_seq = None;
+                replaced_communities = false;
+              } )
+          :: rest);
+    mutate =
+      List.map (fun (s, o) ->
+          match o with
+          | Violated v ->
+              (s, Violated { v with spec = { v.spec with policy = v.spec.policy ^ "-other" } })
+          | _ -> (s, o));
+  }
+
+(* Arm the lying schedules on a wrapped suite. A no-op without an adversary
+   or with every lie rate 0 — the schedules stay exactly as chaos left
+   them, preserving rate-0 byte-identity. *)
+let arm_suite_lies adversary (suite : Resilience.Suite.t) =
+  match adversary with
+  | None -> ()
+  | Some a ->
+      Adversary.Verifier.arm a.lies ~lens:parse_lens suite.Resilience.Suite.parse;
+      Adversary.Verifier.arm a.lies ~lens:campion_lens suite.Resilience.Suite.campion;
+      Adversary.Verifier.arm a.lies ~lens:topology_lens suite.Resilience.Suite.topology;
+      Adversary.Verifier.arm a.lies ~lens:route_policies_lens
+        suite.Resilience.Suite.route_policies
+
+let arm_verifier_lies adversary ~lens v =
+  match adversary with None -> () | Some a -> Adversary.Verifier.arm a.lies ~lens v
+
+(* ------------------------------------------------------------------ *)
 (* Resilient verifier stages                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -324,27 +476,101 @@ let stage_value = function
 let stage_degraded = function Checked _ -> false | Hand_checked _ | Crashed_stage _ -> true
 
 let run_stage st rt (v : _ Resilience.Verifier.t) input =
-  match Resilience.Runtime.call rt v input with
-  | Ok r -> Checked r
-  | Error { Resilience.Runtime.kind; reason } -> (
-      record st Degraded
-        (Printf.sprintf
-           "[degraded] %s verifier unavailable: %s. The human operator runs this check \
-            by hand; its findings arrive as human prompts."
-           (Resilience.Verifier.kind_name kind)
-           reason)
-        "degraded";
-      (* The hand check consults the raw oracle, which on an adversarial
-         draft can raise the very exception that degraded the automated
-         path; the firewall keeps the loop alive either way. *)
-      match
-        Resilience.Guard.run
-          ~label:(Resilience.Verifier.kind_name kind ^ "/hand-check")
-          ~fingerprint:(Resilience.Guard.fingerprint_value input)
-          (fun () -> Resilience.Verifier.oracle v input)
-      with
-      | Ok r -> Hand_checked r
-      | Error crash -> Crashed_stage crash)
+  let kind = Resilience.Verifier.kind v in
+  let kname = Resilience.Verifier.kind_name kind in
+  (* The hand check consults the raw oracle — bypassing every installed
+     schedule, chaos faults and lies alike — which on an adversarial draft
+     can raise the very exception that degraded the automated path; the
+     firewall keeps the loop alive either way. *)
+  let hand_check () =
+    Resilience.Guard.run ~label:(kname ^ "/hand-check")
+      ~fingerprint:(Resilience.Guard.fingerprint_value input)
+      (fun () -> Resilience.Verifier.oracle v input)
+  in
+  let degraded reason =
+    record st Degraded
+      (Printf.sprintf
+         "[degraded] %s verifier unavailable: %s. The human operator runs this check \
+          by hand; its findings arrive as human prompts."
+         kname reason)
+      "degraded";
+    match hand_check () with
+    | Ok r -> Hand_checked r
+    | Error crash -> Crashed_stage crash
+  in
+  let automated () =
+    match Resilience.Runtime.call rt v input with
+    | Ok r -> `Ok r
+    | Error { Resilience.Runtime.kind = _; reason } -> `Degraded (degraded reason)
+  in
+  match st.trust with
+  | None -> (
+      (* No trust ledger: the exact pre-Byzantine code path. *)
+      match automated () with `Ok r -> Checked r | `Degraded res -> res)
+  | Some ledger when Resilience.Trust.quarantined ledger kind -> (
+      (* Quarantined kind: the hand-run oracle is authoritative and its
+         findings escalate to the human (the PR 2 degradation path). The
+         suspect schedule still runs as a probation re-run — enough
+         consecutive agreements lift the quarantine. *)
+      match hand_check () with
+      | Error crash -> Crashed_stage crash
+      | Ok honest ->
+          Resilience.Trust.note_truth ledger kind
+            ~dirty:(Resilience.Verifier.dirty v honest);
+          (match Resilience.Verifier.run v input with
+          | Ok suspect -> (
+              match Resilience.Trust.probation ledger kind ~agree:(suspect = honest) with
+              | `Restored streak ->
+                  record st Crosscheck
+                    (Printf.sprintf
+                       "[probation] the %s verifier matched the hand-run check %d consecutive \
+                        times; trust restored and quarantine lifted."
+                       kname streak)
+                    "probation"
+              | `Still -> ())
+          | Error _ -> ());
+          (* an injected fault is not a lie: probation streak unchanged *)
+          Hand_checked honest)
+  | Some ledger -> (
+      match automated () with
+      | `Degraded res -> res
+      | `Ok r ->
+          if Resilience.Trust.should_check ledger kind ~dirty:(Resilience.Verifier.dirty v r)
+          then
+            match hand_check () with
+            | Error crash -> Crashed_stage crash
+            | Ok honest ->
+                if honest = r then begin
+                  Resilience.Trust.agree ledger kind;
+                  Checked r
+                end
+                else begin
+                  (* The suspect's (possibly lying) dirtiness went into
+                     [should_check]; re-anchor the trigger to the truth so a
+                     caught false negative cannot launder the kind's
+                     history and slip its next fake clean pass through. *)
+                  Resilience.Trust.note_truth ledger kind
+                    ~dirty:(Resilience.Verifier.dirty v honest);
+                  record st Crosscheck
+                    (Printf.sprintf
+                       "[cross-check] the %s verifier's answer disagrees with an independent \
+                        oracle re-run; using the oracle's answer and debiting the verifier's \
+                        trust."
+                       kname)
+                    "cross-check";
+                  (match Resilience.Trust.disagree ledger kind with
+                  | `Quarantined ->
+                      record st Crosscheck
+                        (Printf.sprintf
+                           "[quarantine] the %s verifier fell below the trust threshold; its \
+                            checks are now hand-run and its findings escalate to human \
+                            prompts until probation clears."
+                           kname)
+                        "quarantine"
+                  | `Ok -> ());
+                  Hand_checked honest
+                end
+          else Checked r)
 
 (* Deliver a finding down the channel the stage earned: the automated
    prompt (with stall escalation) when the verifier answered, the human
@@ -542,7 +768,7 @@ let first_error diags = List.find_opt Netcore.Diag.is_error diags
 
 let run_translation ?(seed = 42) ?(force_faults = []) ?(suppress_random = false)
     ?(max_prompts = 200) ?(stall_threshold = 4) ?(quality = 0.0)
-    ?(resilience = Resilience.Runtime.default_config) ?adversary ~cisco_text () =
+    ?(resilience = Resilience.Runtime.default_config) ?adversary ?trust ~cisco_text () =
   let cisco_ir, _ = Cisco.Parser.parse cisco_text in
   let correct = Juniper.Translate.of_cisco_ir cisco_ir in
   let chat =
@@ -551,7 +777,13 @@ let run_translation ?(seed = 42) ?(force_faults = []) ?(suppress_random = false)
   in
   let rt = Resilience.Runtime.create ~salt:seed resilience in
   let suite = Resilience.Suite.make rt in
-  let st = new_loop ~adversary:(adv_of_spec adversary) ~max_prompts ~stall_threshold () in
+  let adv = adv_of_spec adversary in
+  arm_suite_lies adv suite;
+  let st =
+    new_loop ~adversary:adv
+      ~trust:(Option.map Resilience.Trust.create trust)
+      ~max_prompts ~stall_threshold ()
+  in
   let tr = { seen = []; tainted = [] } in
   (* The initial task prompt ("translate the configuration into an
      equivalent Juniper configuration") is the first human prompt. *)
@@ -663,7 +895,7 @@ type synthesis_result = {
 let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
     ?(stall_threshold = 2) ?(final_check = Simulate) ?pool ?tasks:tasks_override
     ?(force_hub_faults = []) ?(resilience = Resilience.Runtime.default_config)
-    ?adversary ~routers () =
+    ?adversary ?trust ~routers () =
   let star = Netcore.Star.make ~routers in
   let tasks =
     match tasks_override with Some ts -> ts | None -> Modularizer.plan star
@@ -672,7 +904,12 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
   let rt_main = Resilience.Runtime.create ~salt:seed resilience in
   let suite_main = Resilience.Suite.make rt_main in
   let adv_main = adv_of_spec adversary in
-  let st = new_loop ~adversary:adv_main ~max_prompts ~stall_threshold () in
+  arm_suite_lies adv_main suite_main;
+  let st =
+    new_loop ~adversary:adv_main
+      ~trust:(Option.map Resilience.Trust.create trust)
+      ~max_prompts ~stall_threshold ()
+  in
   record st Human
     (Printf.sprintf
        "Make a %d-router star network follow the no-transit policy: no two ISPs \
@@ -788,6 +1025,7 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
     let sub =
       new_loop
         ~adversary:(adv_derive adv_main idx)
+        ~trust:(Option.map Resilience.Trust.derive st.trust)
         ~max_prompts:router_budget ~stall_threshold ()
     in
     let force_faults =
@@ -802,6 +1040,7 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
        clock, breakers, fault streams) so the fan-out is deterministic on a
        pool and one router's outage never trips a sibling's breaker. *)
     let suite = Resilience.Suite.make (Resilience.Runtime.derive rt_main idx) in
+    arm_suite_lies sub.adversary suite;
     (* The modularizer's per-router prompt is machine-generated: automated.
        Recorded only while the share has budget, so a starved fan-out still
        respects the run-wide prompt ceiling. *)
@@ -878,8 +1117,24 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
      simulation by hand and the counterexample feedback arrives as a human
      prompt. *)
   let global_verifier =
-    Resilience.Runtime.arm rt_main (Resilience.Verifier.wrap Resilience.Verifier.Bgp_sim check_global)
+    Resilience.Runtime.arm rt_main
+      (Resilience.Verifier.wrap
+         ~dirty:(fun ((ok, _), _) -> not ok)
+         Resilience.Verifier.Bgp_sim check_global)
   in
+  arm_verifier_lies adv_main global_verifier
+    ~lens:
+      {
+        Adversary.Verifier.dirty = (fun ((ok, _), _) -> not ok);
+        clean = (fun ((_, _), proof) -> ((true, []), proof));
+        fabricate =
+          (fun ((_, violations), proof) ->
+            ((false, violations @ [ "a route from ISP-1 can reach ISP-2" ]), proof));
+        mutate =
+          (fun ((ok, violations), proof) ->
+            ( (ok, List.map (fun v -> "between a different pair of spokes: " ^ v) violations),
+              proof ));
+      };
   let rec global_phase results rounds =
     Resilience.Runtime.new_round rt_main;
     match run_stage st rt_main global_verifier (configs_of results) with
@@ -953,17 +1208,23 @@ type incremental_result = {
 
 let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
     ?(target = "R2") ?(prepend = [ 1; 1 ])
-    ?(resilience = Resilience.Runtime.default_config) ?adversary ~routers () =
+    ?(resilience = Resilience.Runtime.default_config) ?adversary ?trust ~routers () =
   let star = Netcore.Star.make ~routers in
   let rt = Resilience.Runtime.create ~salt:seed resilience in
   let suite = Resilience.Suite.make rt in
+  let adv = adv_of_spec adversary in
+  arm_suite_lies adv suite;
   let task = Modularizer.prepend_task star ~target ~prepend in
   let base_configs =
     List.map
       (fun (t : Modularizer.router_task) -> (t.Modularizer.router, t.Modularizer.correct))
       (Modularizer.plan star)
   in
-  let st = new_loop ~adversary:(adv_of_spec adversary) ~max_prompts ~stall_threshold () in
+  let st =
+    new_loop ~adversary:adv
+      ~trust:(Option.map Resilience.Trust.create trust)
+      ~max_prompts ~stall_threshold ()
+  in
   let interference = ref false in
   record st Human task.Modularizer.prompt "incremental task prompt";
   (* The LLM edits an already-correct configuration: only the edit-related
@@ -1055,9 +1316,23 @@ let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
      already failed there is nothing worth simulating. *)
   let global_verifier =
     Resilience.Runtime.arm rt
-      (Resilience.Verifier.wrap Resilience.Verifier.Bgp_sim (fun configs ->
-           Modularizer.no_transit_holds star configs))
+      (Resilience.Verifier.wrap
+         ~dirty:(fun (ok, _) -> not ok)
+         Resilience.Verifier.Bgp_sim
+         (fun configs -> Modularizer.no_transit_holds star configs))
   in
+  arm_verifier_lies adv global_verifier
+    ~lens:
+      {
+        Adversary.Verifier.dirty = (fun (ok, _) -> not ok);
+        clean = (fun (_, _) -> (true, []));
+        fabricate =
+          (fun (_, violations) ->
+            (false, violations @ [ "a route from ISP-1 can reach ISP-2" ]));
+        mutate =
+          (fun (ok, violations) ->
+            (ok, List.map (fun v -> "between a different pair of spokes: " ^ v) violations));
+      };
   let global_ok =
     specs_hold
     &&

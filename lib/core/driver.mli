@@ -21,6 +21,12 @@ type origin =
       (** Not a prompt: a transcript annotation that the hardened loop's
           progress watchdog or oscillation detector ended the run. Counts
           toward neither prompt total; only emitted on adversary-on runs. *)
+  | Crosscheck
+      (** Not a prompt: a transcript annotation from the trust layer — a
+          cross-check caught a verifier answer disagreeing with the oracle,
+          a kind entered quarantine, or probation lifted one. Counts toward
+          neither prompt total; only emitted when a [?trust] ledger is
+          armed, so plain transcripts are unchanged. *)
 
 (** The convergence verdict a hardened run attaches to its transcript:
     the loop converged, stalled (watchdog fired, budget exhausted, or it
@@ -88,6 +94,7 @@ val run_translation :
   ?quality:float ->
   ?resilience:Resilience.Runtime.config ->
   ?adversary:Adversary.Spec.t ->
+  ?trust:Resilience.Trust.config ->
   cisco_text:string ->
   unit ->
   translation_result
@@ -112,7 +119,25 @@ val run_translation :
     shrinking finding set end the run) and a convergence {!certificate} on
     the transcript. Under any adversary rates in [0, 1] the loop terminates
     within [max_prompts]; a spec with every rate 0 is treated exactly like
-    no spec, keeping transcripts byte-identical. *)
+    no spec, keeping transcripts byte-identical.
+
+    The spec's [verifier] field arms the Byzantine-{e verifier} layer: each
+    wrapped checker's successful answers pass through a seeded lying
+    schedule ({!Adversary.Verifier}) that can swallow real findings,
+    fabricate fake ones, or misplace a real finding — installed under the
+    chaos schedule, so lies ride the retry/breaker machinery as healthy
+    responses.
+
+    [trust] (default: none) arms the {!Resilience.Trust} defense: the
+    driver spends a bounded cross-check budget re-running suspicious
+    answers (findings, and clean passes right after dirty ones) against
+    the raw oracle; a disagreement is a detected lie — the oracle's answer
+    is used (its findings escalate to the human) and the kind's trust is
+    debited; below the threshold the kind is quarantined, its checks
+    hand-run until probation re-runs restore it. Cross-check, quarantine
+    and probation outcomes land in the transcript as [Crosscheck]
+    annotations. With honest verifiers the ledger changes no transcript
+    bytes — cross-checks that agree are silent. *)
 
 val table2_faults : cisco_text:string -> Llmsim.Fault.t list
 (** One representative fault per Table 2 row, targeted at the reference
@@ -145,6 +170,7 @@ val run_no_transit :
   ?force_hub_faults:Llmsim.Fault.t list ->
   ?resilience:Resilience.Runtime.config ->
   ?adversary:Adversary.Spec.t ->
+  ?trust:Resilience.Trust.config ->
   routers:int ->
   unit ->
   synthesis_result
@@ -203,6 +229,7 @@ val run_incremental :
   ?prepend:int list ->
   ?resilience:Resilience.Runtime.config ->
   ?adversary:Adversary.Spec.t ->
+  ?trust:Resilience.Trust.config ->
   routers:int ->
   unit ->
   incremental_result

@@ -138,6 +138,7 @@ type perf = {
   pool_utilization : float;
   verifier : (Resilience.Verifier.kind * Resilience.Stats.counters) list;
   supervisor : Exec.Supervisor.counters;
+  trust : Resilience.Trust.snapshot;
 }
 
 let verifier_totals p =
@@ -166,6 +167,29 @@ let verifier_rows p =
 let verifier_header =
   [ "verifier"; "attempts"; "retries"; "failures"; "trips"; "degraded"; "max att" ]
 
+let trust_totals p = Resilience.Trust.totals p.trust
+
+let trust_rows p =
+  List.filter_map
+    (fun ((k : Resilience.Verifier.kind), (c : Resilience.Trust.counters)) ->
+      if c.Resilience.Trust.cross_checks = 0 && c.Resilience.Trust.probation_runs = 0 then
+        None
+      else
+        Some
+          [
+            Resilience.Verifier.kind_name k;
+            string_of_int c.Resilience.Trust.cross_checks;
+            string_of_int c.Resilience.Trust.agreements;
+            string_of_int c.Resilience.Trust.disagreements;
+            string_of_int c.Resilience.Trust.quarantines;
+            string_of_int c.Resilience.Trust.restores;
+            string_of_int c.Resilience.Trust.probation_runs;
+          ])
+    p.trust
+
+let trust_header =
+  [ "verifier"; "checks"; "agree"; "lies"; "quarantines"; "restores"; "probation" ]
+
 let memo_hit_rate p =
   let total = p.memo_hits + p.memo_misses in
   if total = 0 then 0. else float_of_int p.memo_hits /. float_of_int total
@@ -173,6 +197,7 @@ let memo_hit_rate p =
 let measure ?pool f =
   let m0 = Exec.Memo.stats () in
   let v0 = Resilience.Stats.snapshot () in
+  let t0 = Resilience.Trust.snapshot () in
   let s0 = Exec.Supervisor.stats () in
   let p0 = Option.map Exec.Pool.stats pool in
   let r, wall_s = Exec.Sweep.timed f in
@@ -196,6 +221,7 @@ let measure ?pool f =
       pool_utilization = utilization;
       verifier = Resilience.Stats.diff v0 v1;
       supervisor = Exec.Supervisor.diff s0 (Exec.Supervisor.stats ());
+      trust = Resilience.Trust.diff (Resilience.Trust.snapshot ()) t0;
     } )
 
 let pp_perf ppf p =
@@ -209,6 +235,11 @@ let pp_perf ppf p =
       ", verifiers %d attempts / %d retries / %d trips / %d degraded"
       t.Resilience.Stats.attempts t.Resilience.Stats.retries
       t.Resilience.Stats.breaker_trips t.Resilience.Stats.degraded;
+  let tr = trust_totals p in
+  if tr.Resilience.Trust.cross_checks > 0 || tr.Resilience.Trust.probation_runs > 0 then
+    Format.fprintf ppf ", trust %d checks / %d lies / %d quarantines"
+      tr.Resilience.Trust.cross_checks tr.Resilience.Trust.disagreements
+      tr.Resilience.Trust.quarantines;
   let sup = p.supervisor in
   if sup.Exec.Supervisor.losses > 0 || sup.Exec.Supervisor.abandoned > 0 then
     Format.fprintf ppf

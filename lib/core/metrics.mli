@@ -63,6 +63,10 @@ type perf = {
   supervisor : Exec.Supervisor.counters;
       (** Supervised-execution deltas (worker losses, requeues, abandoned
           tasks) during the section; all zero without a supervisor. *)
+  trust : Resilience.Trust.snapshot;
+      (** Per-verifier trust-layer deltas (cross-checks, detected lies,
+          quarantines) during the section; all zero without a [?trust]
+          ledger armed. *)
 }
 
 val measure : ?pool:Exec.Pool.t -> (unit -> 'a) -> 'a * perf
@@ -81,7 +85,17 @@ val verifier_rows : perf -> string list list
 
 val verifier_header : string list
 
+val trust_totals : perf -> Resilience.Trust.counters
+(** Sum of the per-kind trust deltas. *)
+
+val trust_rows : perf -> string list list
+(** Rows for {!Report.table} under {!trust_header}, one per verifier kind
+    with any cross-check or probation activity (all-zero kinds dropped, so
+    a trust-off run renders an empty table). *)
+
+val trust_header : string list
+
 val pp_perf : Format.formatter -> perf -> unit
-(** One line; the verifier totals (and the supervisor's loss/requeue/
-    abandoned deltas) are appended only when any such activity happened,
-    so chaos-free output is unchanged. *)
+(** One line; the verifier totals, trust totals and the supervisor's
+    loss/requeue/abandoned deltas are appended only when any such activity
+    happened, so chaos-free output is unchanged. *)

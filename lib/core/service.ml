@@ -12,6 +12,7 @@ type config = {
   round_budget_cap : int;
   stage_budget_cap : int;
   admission : Resilience.Admission.config;
+  admission_file : string option;
   io_timeout_ms : int;
   drain_grace_ms : int;
   handle_signals : bool;
@@ -26,6 +27,7 @@ let default_config =
     round_budget_cap = 64;
     stage_budget_cap = 32;
     admission = Resilience.Admission.default_config;
+    admission_file = None;
     io_timeout_ms = 30_000;
     drain_grace_ms = 1_000;
     handle_signals = false;
@@ -76,6 +78,7 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
   let m = Mutex.create () in
   let served = ref 0 in
   let timed_out = ref 0 in
+  let reloads = ref 0 in
   let accepting = ref true in
   let drained = ref false in
   let locked f =
@@ -182,8 +185,10 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
     | Resilience.Admission.Shed { retry_after_ms; reason } ->
         Exec.Serve.Reply (shed_frame ~retry_after_ms ~reason)
     | Resilience.Admission.Admitted ticket -> (
+        (* The caps in force, not the boot-time ones: a SIGHUP reload that
+           raised max_deadline_ms must govern the very next request. *)
         let deadline_ms =
-          Resilience.Admission.clamp_deadline cfg.admission
+          Resilience.Admission.clamp_deadline (Resilience.Admission.config adm)
             (jint "deadline_ms" req)
         in
         (* The Guard is the crash boundary and the deadline is enforced on
@@ -204,6 +209,45 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
             locked (fun () -> incr timed_out);
             Exec.Serve.Reply (timeout_frame ~deadline_ms c)
         | Error c -> Exec.Serve.Reply (fail (Resilience.Guard.crash_to_string c)))
+  in
+  (* SIGHUP: re-read the admission caps from [admission_file] and swap them
+     in without draining (queued waiters re-evaluate against the new caps
+     immediately; running jobs keep their tickets). Missing keys keep their
+     current values, so a partial file adjusts one cap. A malformed or
+     unreadable file keeps the caps in force — a bad reload must never
+     degrade a healthy daemon — but still counts as a reload so operators
+     can see their signal arrived. *)
+  let reload_admission () =
+    locked (fun () -> incr reloads);
+    match cfg.admission_file with
+    | None -> ()
+    | Some path -> (
+        match
+          try Ok (In_channel.with_open_bin path In_channel.input_all)
+          with Sys_error e -> Error e
+        with
+        | Error e -> Printf.eprintf "reload: cannot read %s: %s\n%!" path e
+        | Ok text -> (
+            match J.of_string text with
+            | Error e -> Printf.eprintf "reload: %s: malformed JSON: %s\n%!" path e
+            | Ok json ->
+                let cur = Resilience.Admission.config adm in
+                let field name default =
+                  Option.value ~default (jint name json)
+                in
+                Resilience.Admission.set_caps adm
+                  {
+                    Resilience.Admission.max_in_flight =
+                      field "max_in_flight"
+                        cur.Resilience.Admission.max_in_flight;
+                    max_queue = field "max_queue" cur.Resilience.Admission.max_queue;
+                    max_per_client =
+                      field "max_per_client" cur.Resilience.Admission.max_per_client;
+                    max_deadline_ms =
+                      field "max_deadline_ms" cur.Resilience.Admission.max_deadline_ms;
+                    retry_after_ms =
+                      field "retry_after_ms" cur.Resilience.Admission.retry_after_ms;
+                  }))
   in
   let handle ~client req =
     locked (fun () -> incr served);
@@ -234,12 +278,14 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
                    + a.Resilience.Admission.shed_per_client) );
                ("timed_out", J.Int (locked (fun () -> !timed_out)));
                ("served", J.Int (locked (fun () -> !served)));
+               ("reloads", J.Int (locked (fun () -> !reloads)));
                ("restarts", J.Int cfg.restarts);
              ])
     | "stats" ->
         let mm = Exec.Memo.stats () in
         let p = Exec.Pool.stats pool in
         let a = Resilience.Admission.stats adm in
+        let caps = Resilience.Admission.config adm in
         Exec.Serve.Reply
           (ok
              [
@@ -275,8 +321,14 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
                      ( "peak_in_flight",
                        J.Int a.Resilience.Admission.peak_in_flight );
                      ("peak_queued", J.Int a.Resilience.Admission.peak_queued);
+                     ( "max_in_flight",
+                       J.Int caps.Resilience.Admission.max_in_flight );
+                     ("max_queue", J.Int caps.Resilience.Admission.max_queue);
+                     ( "max_per_client",
+                       J.Int caps.Resilience.Admission.max_per_client );
                    ] );
                ("timed_out", J.Int (locked (fun () -> !timed_out)));
+               ("reloads", J.Int (locked (fun () -> !reloads)));
                ("restarts", J.Int cfg.restarts);
                ("crashes", J.Int (Resilience.Guard.total ()));
              ])
@@ -302,7 +354,10 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
         ("ok", J.Bool false);
         ("error", J.String "server draining");
         ("draining", J.Bool true);
-        ("retry_after_ms", J.Int cfg.admission.Resilience.Admission.retry_after_ms);
+        ( "retry_after_ms",
+          J.Int
+            (Resilience.Admission.config adm).Resilience.Admission.retry_after_ms
+        );
       ]
   in
   let was_drain =
@@ -314,7 +369,7 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
             accepting := false;
             drained := true))
       ~on_ready:(fun () -> on_ready ~domains:(Exec.Pool.size pool))
-      ()
+      ~on_reload:reload_admission ()
   in
   Exec.Pool.shutdown pool;
   (match cfg.triage with

@@ -32,6 +32,14 @@ type config = {
   round_budget_cap : int;  (** Cap on the per-request verifier budget. *)
   stage_budget_cap : int;  (** Per-stage tick watchdog. *)
   admission : Resilience.Admission.config;
+  admission_file : string option;
+      (** SIGHUP hot reload: re-read the admission caps from this JSON
+          file ([{"max_in_flight": ..., "max_queue": ...}]; missing keys
+          keep their current values) and swap them in without a drain —
+          queued waiters re-evaluate immediately, running jobs keep their
+          tickets. A malformed or unreadable file keeps the caps in force.
+          Every SIGHUP bumps the [reloads] counter reported by [health]
+          and [stats], whether or not a file is configured. *)
   io_timeout_ms : int;  (** Socket read/write timeout; [0] disables. *)
   drain_grace_ms : int;  (** Reject window between drain and close. *)
   handle_signals : bool;  (** SIGTERM/SIGINT trigger a drain. *)

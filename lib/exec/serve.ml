@@ -75,7 +75,7 @@ let default_drain_reject _req =
 let serve ~socket_path ~handle ?(backlog = 16) ?(io_timeout_ms = 30_000)
     ?(drain_grace_ms = 1_000) ?(drain_reject = default_drain_reject)
     ?(handle_signals = false) ?(on_drain = fun () -> ())
-    ?(on_ready = fun () -> ()) () =
+    ?(on_ready = fun () -> ()) ?on_reload () =
   if Sys.file_exists socket_path then Unix.unlink socket_path;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
@@ -122,6 +122,24 @@ let serve ~socket_path ~handle ?(backlog = 16) ?(io_timeout_ms = 30_000)
     in
     if first then (try Unix.shutdown listen_fd Unix.SHUTDOWN_ALL with _ -> ())
   in
+  (* Hot reload (SIGHUP): the handler only flips an atomic flag — the
+     callback itself runs on whichever serving loop notices the flag next
+     (the accept loop's EINTR wakes it; an idle client thread's select
+     slice is at most 50 ms away), never inside the signal handler where a
+     lock-taking callback would deadlock. *)
+  let reload_flag = Atomic.make false in
+  let maybe_reload () =
+    if Atomic.exchange reload_flag false then
+      match on_reload with Some f -> ( try f () with _ -> ()) | None -> ()
+  in
+  let old_hup =
+    match on_reload with
+    | Some _ ->
+        Some
+          (Sys.signal Sys.sighup
+             (Sys.Signal_handle (fun _ -> Atomic.set reload_flag true)))
+    | None -> None
+  in
   let threads = ref [] in
   let threads_m = Mutex.create () in
   let next_client = ref 0 in
@@ -136,6 +154,7 @@ let serve ~socket_path ~handle ?(backlog = 16) ?(io_timeout_ms = 30_000)
     let continue = ref true in
     (try
        while !continue do
+         maybe_reload ();
          (* Wait for readability in short slices so a drain or stop begun
             while this client sits idle closes the connection at the grace
             deadline instead of stranding a blocked read forever. *)
@@ -207,6 +226,7 @@ let serve ~socket_path ~handle ?(backlog = 16) ?(io_timeout_ms = 30_000)
   on_ready ();
   (try
      while not (locked (fun () -> !draining || !stopping)) do
+       maybe_reload ();
        match Unix.accept listen_fd with
        | fd, _ ->
            let client = !next_client in
@@ -231,6 +251,9 @@ let serve ~socket_path ~handle ?(backlog = 16) ?(io_timeout_ms = 30_000)
   Mutex.unlock threads_m;
   List.iter Thread.join ts;
   List.iter (fun (s, h) -> try Sys.set_signal s h with _ -> ()) old_handlers;
+  (match old_hup with
+  | Some h -> ( try Sys.set_signal Sys.sighup h with _ -> ())
+  | None -> ());
   (try Unix.close listen_fd with _ -> ());
   if Sys.file_exists socket_path then Unix.unlink socket_path;
   locked (fun () -> !draining && not !stopping)

@@ -52,6 +52,7 @@ val serve :
   ?handle_signals:bool ->
   ?on_drain:(unit -> unit) ->
   ?on_ready:(unit -> unit) ->
+  ?on_reload:(unit -> unit) ->
   unit ->
   bool
 (** Bind [socket_path] (unlinking any stale socket file first), listen, and
@@ -80,7 +81,15 @@ val serve :
     {- [handle_signals] installs SIGTERM/SIGINT handlers for the server's
        lifetime (restored before returning); each signal triggers the same
        drain path, so a supervisor's TERM is indistinguishable from a
-       [drain] job.}}
+       [drain] job.}
+    {- [on_reload] installs a SIGHUP handler for the server's lifetime
+       (restored before returning). The signal handler only flips an atomic
+       flag; the callback runs on the accept loop (the signal's EINTR wakes
+       it) or on a client thread's next 50 ms select slice — never inside
+       the signal handler, so it may freely take locks (e.g.
+       [Resilience.Admission.set_caps]). It must therefore be thread-safe.
+       Exceptions it raises are swallowed: a bad reload must not kill the
+       daemon.}}
 
     [on_ready] runs once the socket is listening (the CLI prints its
     "listening" line there; tests use it to know when to connect). Returns

@@ -379,11 +379,30 @@ let dialect_of_filename name =
   if String.length name >= 6 && String.sub name 0 6 = "junos-" then Corpus.Junos
   else Corpus.Cisco
 
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* A promoted crasher's name, modulo the dialect prefix replay keys on. *)
+let is_promoted_filename name =
+  let base =
+    if starts_with "junos-" name then String.sub name 6 (String.length name - 6)
+    else name
+  in
+  starts_with "promoted-" base
+
 let replay_dir dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then []
   else
-    Sys.readdir dir |> Array.to_list |> List.sort compare
-    |> List.filter (fun f -> Filename.check_suffix f ".txt")
+    let all =
+      Sys.readdir dir |> Array.to_list |> List.sort compare
+      |> List.filter (fun f -> Filename.check_suffix f ".txt")
+    in
+    (* Promoted entries replay first: the youngest regressions are the most
+       likely to resurface, so a broken gate fails on them before spending
+       the budget on the long-stable hand-written seeds. *)
+    let promoted, stable = List.partition is_promoted_filename all in
+    promoted @ stable
     |> List.map (fun f ->
            let s = read_file (Filename.concat dir f) in
            let dialect = dialect_of_filename f in
@@ -393,6 +412,59 @@ let replay_dir dir =
                (check dialect s)
            in
            (f, escapes))
+
+(* ------------------------------------------------------------------ *)
+(* Corpus promotion                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One file per (stage, constructor) triage bucket, the bucket slug baked
+   into the filename so promotion stays idempotent across campaigns without
+   replaying the directory to find out what it already covers. *)
+let bucket_slug (v : violation) =
+  let slug s =
+    String.concat "-"
+      (List.filter
+         (fun part -> part <> "")
+         (String.split_on_char '-'
+            (String.map
+               (fun c ->
+                 match Char.lowercase_ascii c with
+                 | ('a' .. 'z' | '0' .. '9') as c -> c
+                 | _ -> '-')
+               s)))
+  in
+  slug (v.stage ^ "-" ^ v.constructor)
+
+let promoted_filename (e : escape) =
+  let prefix = match e.dialect with Corpus.Junos -> "junos-" | Corpus.Cisco -> "" in
+  prefix ^ "promoted-" ^ bucket_slug e.violation ^ ".txt"
+
+let promote ~dir escapes =
+  if escapes <> [] && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let covered = Hashtbl.create 16 in
+  (if Sys.file_exists dir && Sys.is_directory dir then
+     Array.iter
+       (fun f ->
+         if is_promoted_filename f && Filename.check_suffix f ".txt" then
+           let base =
+             if starts_with "junos-" f then String.sub f 6 (String.length f - 6)
+             else f
+           in
+           Hashtbl.replace covered (Filename.chop_suffix base ".txt") ())
+       (Sys.readdir dir));
+  List.filter_map
+    (fun e ->
+      let key = "promoted-" ^ bucket_slug e.violation in
+      if Hashtbl.mem covered key then None
+      else begin
+        Hashtbl.replace covered key ();
+        let name = promoted_filename e in
+        let oc = open_out_bin (Filename.concat dir name) in
+        output_string oc e.minimized;
+        close_out oc;
+        Some (name, e)
+      end)
+    escapes
 
 (* ------------------------------------------------------------------ *)
 (* The planted-bug canary                                              *)

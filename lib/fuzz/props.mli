@@ -76,8 +76,22 @@ val fuzz_loop : mode:Adversary.Llm.mode -> seed:int -> rate:float -> violation l
 
 val replay_dir : string -> (string * escape list) list
 (** Replay every [*.txt] file in a regression-corpus directory (files named
-    [junos-*] are parsed as Junos, everything else as Cisco), sorted by
-    filename. Missing directory = empty list. *)
+    [junos-*] are parsed as Junos, everything else as Cisco). Promoted
+    entries ([promoted-*] / [junos-promoted-*], see {!promote}) replay
+    first — the youngest regressions fail the gate before budget goes to
+    the long-stable seeds — each group sorted by filename. Missing
+    directory = empty list. *)
+
+val promote : dir:string -> escape list -> (string * escape) list
+(** Promote crashers into a regression corpus: each escape whose
+    (stage, constructor) triage bucket is not yet covered gets its
+    minimized trigger written to [dir] as
+    [promoted-<stage>-<constructor>.txt] (prefixed [junos-] for Junos
+    inputs so {!replay_dir} replays it under the right dialect). The
+    bucket slug is baked into the filename, so a bucket promoted by an
+    earlier campaign — or earlier in the same list — is skipped:
+    promotion is idempotent. Returns the (filename, escape) pairs
+    actually written; creates [dir] when something needs writing. *)
 
 val canary : ?max_rounds:int -> unit -> (escape, string) result
 (** Fuzz a deliberately planted parser bug (raises on non-ASCII bytes)

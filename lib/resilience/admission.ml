@@ -28,7 +28,7 @@ let reason_to_string = function
 type ticket = { t_client : string; mutable t_released : bool }
 
 type t = {
-  cfg : config;
+  mutable cfg : config;
   m : Mutex.t;
   cv : Condition.t;
   per_client : (string, int) Hashtbl.t;
@@ -43,16 +43,17 @@ type t = {
   mutable peak_queued : int;
 }
 
+let clamp_config cfg =
+  {
+    max_in_flight = max 1 cfg.max_in_flight;
+    max_queue = max 0 cfg.max_queue;
+    max_per_client = max 1 cfg.max_per_client;
+    max_deadline_ms = max 1 cfg.max_deadline_ms;
+    retry_after_ms = max 0 cfg.retry_after_ms;
+  }
+
 let create cfg =
-  let cfg =
-    {
-      max_in_flight = max 1 cfg.max_in_flight;
-      max_queue = max 0 cfg.max_queue;
-      max_per_client = max 1 cfg.max_per_client;
-      max_deadline_ms = max 1 cfg.max_deadline_ms;
-      retry_after_ms = max 0 cfg.retry_after_ms;
-    }
-  in
+  let cfg = clamp_config cfg in
   {
     cfg;
     m = Mutex.create ();
@@ -125,6 +126,22 @@ let admit t ~client =
   let decision = go () in
   Mutex.unlock t.m;
   decision
+
+(* Hot reload: swap the caps under the lock and wake every waiter — a
+   raised in-flight limit must admit queued requests immediately, and a
+   lowered one re-evaluates them against the new caps (running jobs keep
+   their tickets; the new limits bind as slots are released). *)
+let set_caps t cfg =
+  Mutex.lock t.m;
+  t.cfg <- clamp_config cfg;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m
+
+let config t =
+  Mutex.lock t.m;
+  let cfg = t.cfg in
+  Mutex.unlock t.m;
+  cfg
 
 let release t ticket =
   Mutex.lock t.m;

@@ -57,6 +57,16 @@ val admit : t -> client:string -> decision
 val release : t -> ticket -> unit
 (** Return the slot and wake queued waiters. Idempotent. *)
 
+val set_caps : t -> config -> unit
+(** Hot-reload the caps without draining: the new configuration (clamped
+    as by {!create}) takes effect under the lock and every queued waiter
+    is woken to re-evaluate against it — a raised in-flight limit admits
+    them immediately, a lowered one binds as running jobs release their
+    slots (tickets already issued are never revoked). *)
+
+val config : t -> config
+(** The caps currently in force (consistent read under the lock). *)
+
 val clamp_deadline : config -> int option -> int
 (** The effective deadline for a request: the client's ask clamped to
     [1 .. max_deadline_ms], or the cap itself when the client sent none. *)

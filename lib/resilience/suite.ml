@@ -18,17 +18,29 @@ type t = {
 }
 
 let make runtime =
-  let arm kind oracle = Runtime.arm runtime (Verifier.wrap kind oracle) in
+  let arm ~dirty kind oracle = Runtime.arm runtime (Verifier.wrap ~dirty kind oracle) in
   {
     runtime;
-    parse = arm Verifier.Parse_check (fun (dialect, text) -> Exec.Memo.check dialect text);
+    parse =
+      arm Verifier.Parse_check
+        ~dirty:(fun (_, diags) -> List.exists Netcore.Diag.is_error diags)
+        (fun (dialect, text) -> Exec.Memo.check dialect text);
     campion =
-      arm Verifier.Campion (fun (original, translation) ->
-          Campion.Differ.compare ~original ~translation);
+      arm Verifier.Campion
+        ~dirty:(fun findings -> findings <> [])
+        (fun (original, translation) -> Campion.Differ.compare ~original ~translation);
     topology =
-      arm Verifier.Topology (fun (topo, router, ir) ->
-          Topoverify.Verifier.check topo ~router ir);
+      arm Verifier.Topology
+        ~dirty:(fun findings -> findings <> [])
+        (fun (topo, router, ir) -> Topoverify.Verifier.check topo ~router ir);
     route_policies =
-      arm Verifier.Route_policies (fun (ir, specs) ->
-          Batfish.Search_route_policies.check_all ir specs);
+      arm Verifier.Route_policies
+        ~dirty:
+          (List.exists (fun (_, outcome) ->
+               match outcome with
+               | Batfish.Search_route_policies.Violated _ -> true
+               | Batfish.Search_route_policies.Holds
+               | Batfish.Search_route_policies.Policy_missing ->
+                   false))
+        (fun (ir, specs) -> Batfish.Search_route_policies.check_all ir specs);
   }

@@ -1,0 +1,226 @@
+type config = {
+  initial : float;
+  debit : float;
+  credit : float;
+  threshold : float;
+  probation : int;
+  check_budget : int;
+}
+
+let default_config =
+  { initial = 1.0; debit = 0.4; credit = 0.02; threshold = 0.5; probation = 3; check_budget = 16 }
+
+let clamp_config c =
+  {
+    initial = Float.max 0.0 c.initial;
+    debit = Float.max 0.0 c.debit;
+    credit = Float.max 0.0 c.credit;
+    threshold = Float.max 0.0 c.threshold;
+    probation = max 1 c.probation;
+    check_budget = max 0 c.check_budget;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Global counters (Stats idiom): per-kind atomics, read by the bench   *)
+(* harness and the CLI via snapshot diffs.                             *)
+(* ------------------------------------------------------------------ *)
+
+type counters = {
+  cross_checks : int;
+  agreements : int;
+  disagreements : int;
+  quarantines : int;
+  restores : int;
+  probation_runs : int;
+}
+
+let zero =
+  {
+    cross_checks = 0;
+    agreements = 0;
+    disagreements = 0;
+    quarantines = 0;
+    restores = 0;
+    probation_runs = 0;
+  }
+
+let add a b =
+  {
+    cross_checks = a.cross_checks + b.cross_checks;
+    agreements = a.agreements + b.agreements;
+    disagreements = a.disagreements + b.disagreements;
+    quarantines = a.quarantines + b.quarantines;
+    restores = a.restores + b.restores;
+    probation_runs = a.probation_runs + b.probation_runs;
+  }
+
+let diff_counters a b =
+  {
+    cross_checks = a.cross_checks - b.cross_checks;
+    agreements = a.agreements - b.agreements;
+    disagreements = a.disagreements - b.disagreements;
+    quarantines = a.quarantines - b.quarantines;
+    restores = a.restores - b.restores;
+    probation_runs = a.probation_runs - b.probation_runs;
+  }
+
+type global_cell = {
+  g_checks : int Atomic.t;
+  g_agree : int Atomic.t;
+  g_disagree : int Atomic.t;
+  g_quarantines : int Atomic.t;
+  g_restores : int Atomic.t;
+  g_probation : int Atomic.t;
+}
+
+let n_kinds = List.length Verifier.all_kinds
+
+let globals =
+  Array.init n_kinds (fun _ ->
+      {
+        g_checks = Atomic.make 0;
+        g_agree = Atomic.make 0;
+        g_disagree = Atomic.make 0;
+        g_quarantines = Atomic.make 0;
+        g_restores = Atomic.make 0;
+        g_probation = Atomic.make 0;
+      })
+
+let bump cell = Atomic.incr cell
+
+type snapshot = (Verifier.kind * counters) list
+
+let snapshot () : snapshot =
+  List.map
+    (fun kind ->
+      let g = globals.(Verifier.kind_index kind) in
+      ( kind,
+        {
+          cross_checks = Atomic.get g.g_checks;
+          agreements = Atomic.get g.g_agree;
+          disagreements = Atomic.get g.g_disagree;
+          quarantines = Atomic.get g.g_quarantines;
+          restores = Atomic.get g.g_restores;
+          probation_runs = Atomic.get g.g_probation;
+        } ))
+    Verifier.all_kinds
+
+let diff (after : snapshot) (before : snapshot) : snapshot =
+  List.map2
+    (fun (k, a) (k', b) ->
+      assert (k = k');
+      (k, diff_counters a b))
+    after before
+
+let totals (s : snapshot) = List.fold_left (fun acc (_, c) -> add acc c) zero s
+
+let reset_globals () =
+  Array.iter
+    (fun g ->
+      Atomic.set g.g_checks 0;
+      Atomic.set g.g_agree 0;
+      Atomic.set g.g_disagree 0;
+      Atomic.set g.g_quarantines 0;
+      Atomic.set g.g_restores 0;
+      Atomic.set g.g_probation 0)
+    globals
+
+(* ------------------------------------------------------------------ *)
+(* Per-run ledger                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type cell = {
+  mutable score : float;
+  mutable quarantined : bool;
+  mutable streak : int;  (* consecutive agreeing probation re-runs *)
+  mutable last_dirty : bool;
+}
+
+type t = {
+  cfg : config;
+  cells : cell array;
+  mutable checks_spent : int;
+  mutable lies_detected : int;
+  mutable quarantine_count : int;
+  mutable restore_count : int;
+}
+
+let create cfg =
+  let cfg = clamp_config cfg in
+  {
+    cfg;
+    cells =
+      Array.init n_kinds (fun _ ->
+          (* [last_dirty] starts true: an unvetted kind's first clean pass
+             is itself suspicious — a first-round false negative must not
+             slip through unchecked. *)
+          { score = cfg.initial; quarantined = false; streak = 0; last_dirty = true });
+    checks_spent = 0;
+    lies_detected = 0;
+    quarantine_count = 0;
+    restore_count = 0;
+  }
+
+let config_of t = t.cfg
+let derive t = create t.cfg
+let cell t kind = t.cells.(Verifier.kind_index kind)
+let quarantined t kind = (cell t kind).quarantined
+let score t kind = (cell t kind).score
+let checks_spent t = t.checks_spent
+let lies_detected t = t.lies_detected
+let quarantine_count t = t.quarantine_count
+let restore_count t = t.restore_count
+
+let should_check t kind ~dirty =
+  let c = cell t kind in
+  let suspicious = dirty || c.last_dirty in
+  c.last_dirty <- dirty;
+  if c.quarantined then false
+  else if suspicious && t.checks_spent < t.cfg.check_budget then begin
+    t.checks_spent <- t.checks_spent + 1;
+    bump globals.(Verifier.kind_index kind).g_checks;
+    true
+  end
+  else false
+
+let note_truth t kind ~dirty = (cell t kind).last_dirty <- dirty
+
+let agree t kind =
+  let c = cell t kind in
+  c.score <- Float.min t.cfg.initial (c.score +. t.cfg.credit);
+  bump globals.(Verifier.kind_index kind).g_agree
+
+let disagree t kind =
+  let c = cell t kind in
+  t.lies_detected <- t.lies_detected + 1;
+  bump globals.(Verifier.kind_index kind).g_disagree;
+  c.score <- c.score -. t.cfg.debit;
+  if (not c.quarantined) && c.score < t.cfg.threshold then begin
+    c.quarantined <- true;
+    c.streak <- 0;
+    t.quarantine_count <- t.quarantine_count + 1;
+    bump globals.(Verifier.kind_index kind).g_quarantines;
+    `Quarantined
+  end
+  else `Ok
+
+let probation t kind ~agree =
+  let c = cell t kind in
+  bump globals.(Verifier.kind_index kind).g_probation;
+  if not c.quarantined then `Still
+  else if agree then begin
+    c.streak <- c.streak + 1;
+    if c.streak >= t.cfg.probation then begin
+      c.quarantined <- false;
+      c.score <- t.cfg.initial;
+      c.streak <- 0;
+      t.restore_count <- t.restore_count + 1;
+      bump globals.(Verifier.kind_index kind).g_restores;
+      `Restored t.cfg.probation
+    end
+    else `Still
+  end
+  else begin
+    c.streak <- 0;
+    `Still
+  end

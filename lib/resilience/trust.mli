@@ -1,0 +1,112 @@
+(** A per-verifier-kind reputation ledger, the defense against Byzantine
+    (lying) verifiers.
+
+    The chaos layer models verifiers that {e fail}; the Byzantine layer
+    models verifiers that {e lie} — a swallowed finding produces a fake
+    clean pass the loop happily converges on, and PR 5's headline already
+    showed that leverage alone cannot detect a poisoned feedback signal.
+    This module keeps one trust score per {!Verifier.kind}, fed by
+    cross-check outcomes: the driver spends a bounded budget re-running
+    suspicious answers against the raw oracle ({!Verifier.oracle}, which
+    bypasses every installed schedule); a disagreement debits trust, and a
+    kind that falls below the threshold is {e quarantined} — its checks are
+    hand-run and its findings escalate to human prompts, exactly the PR 2
+    degradation path — until enough consecutive agreeing probation re-runs
+    restore it.
+
+    What counts as suspicious: any answer carrying findings, and a clean
+    pass immediately after a dirty one (the false-negative signature — the
+    draft just changed, so "suddenly clean" deserves a second opinion). A
+    kind's very first clean pass is suspicious too, so a round-one false
+    negative cannot slip through unchecked. *)
+
+type config = {
+  initial : float;  (** Starting (and maximum) trust score. *)
+  debit : float;  (** Subtracted on each cross-check disagreement. *)
+  credit : float;  (** Added (capped at [initial]) on each agreement. *)
+  threshold : float;  (** Quarantine when the score falls below this. *)
+  probation : int;
+      (** Consecutive agreeing probation re-runs required to lift a
+          quarantine (clamped to >= 1, so quarantine exit is always
+          reachable under honest behavior). *)
+  check_budget : int;
+      (** Maximum voluntary cross-checks per ledger instance; probation
+          re-runs ride on calls the quarantined path makes anyway and are
+          not charged against it. *)
+}
+
+val default_config : config
+(** Score 1.0, debit 0.4, credit 0.02, threshold 0.5, probation 3,
+    budget 16 — two disagreements quarantine a kind. *)
+
+type t
+(** One ledger per driver loop (mirroring {!Runtime.create}): fan-out
+    tasks get independent {!derive}d ledgers so pooled runs stay
+    deterministic. *)
+
+val create : config -> t
+val derive : t -> t
+(** A fresh ledger with the same configuration (fan-out tasks). *)
+
+val config_of : t -> config
+
+val quarantined : t -> Verifier.kind -> bool
+val score : t -> Verifier.kind -> float
+val checks_spent : t -> int
+val lies_detected : t -> int
+val quarantine_count : t -> int
+val restore_count : t -> int
+
+val should_check : t -> Verifier.kind -> dirty:bool -> bool
+(** Should the driver spend a cross-check on this answer? True when the
+    answer is suspicious (see above), the kind is not already quarantined,
+    and budget remains — in which case one unit of budget is consumed. *)
+
+val note_truth : t -> Verifier.kind -> dirty:bool -> unit
+(** Re-anchor the suspicious-clean trigger to the {e oracle}'s answer after
+    a cross-check. {!should_check} records the suspect's dirtiness, so
+    without this a caught false negative would launder the kind's history:
+    the lie reads clean, the next fake clean pass is no longer suspicious,
+    and the swallowed findings converge unchecked. The driver calls this
+    with the oracle's dirtiness whenever it has one (cross-checks and
+    quarantine hand-runs). *)
+
+val agree : t -> Verifier.kind -> unit
+(** Record a cross-check that matched the oracle. *)
+
+val disagree : t -> Verifier.kind -> [ `Ok | `Quarantined ]
+(** Record a detected lie. [`Quarantined] exactly when this disagreement
+    pushed the kind below the threshold (the caller records the transcript
+    event once, on entry). *)
+
+val probation : t -> Verifier.kind -> agree:bool -> [ `Still | `Restored of int ]
+(** Record a probation re-run of a quarantined kind. [`Restored n] after
+    [n] consecutive agreements; a disagreement resets the streak. No-op
+    ([`Still]) when the kind is not quarantined. *)
+
+(** {2 Global counters}
+
+    Process-wide per-kind tallies in the {!Stats} idiom, so the bench
+    harness and CLI can report cross-check activity as snapshot diffs
+    around a measured section. *)
+
+type counters = {
+  cross_checks : int;
+  agreements : int;
+  disagreements : int;  (** Detected lies. *)
+  quarantines : int;
+  restores : int;
+  probation_runs : int;
+}
+
+val zero : counters
+val add : counters -> counters -> counters
+
+type snapshot = (Verifier.kind * counters) list
+
+val snapshot : unit -> snapshot
+val diff : snapshot -> snapshot -> snapshot
+(** [diff after before]. *)
+
+val totals : snapshot -> counters
+val reset_globals : unit -> unit

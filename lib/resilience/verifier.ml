@@ -35,11 +35,13 @@ let failure_to_string = function
 type ('i, 'o) t = {
   kind : kind;
   oracle : 'i -> 'o;
+  dirty : 'o -> bool;
   mutable schedule : ('i -> ('o, failure) result) option;
 }
 
-let wrap kind oracle = { kind; oracle; schedule = None }
+let wrap ?(dirty = fun _ -> false) kind oracle = { kind; oracle; dirty; schedule = None }
 let kind t = t.kind
+let dirty t o = t.dirty o
 
 let run_oracle t input =
   match
@@ -54,3 +56,5 @@ let run t input =
 
 let oracle t input = t.oracle input
 let install t f = t.schedule <- Some f
+
+let runner t = match t.schedule with None -> run_oracle t | Some f -> f

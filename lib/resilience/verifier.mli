@@ -43,9 +43,16 @@ val failure_to_string : failure -> string
 
 type ('i, 'o) t
 
-val wrap : kind -> ('i -> 'o) -> ('i, 'o) t
+val wrap : ?dirty:('o -> bool) -> kind -> ('i -> 'o) -> ('i, 'o) t
+(** [dirty] classifies an output as carrying findings (default:
+    [fun _ -> false]). The trust layer uses it to decide which answers
+    warrant a cross-check — a finding, or a clean pass right after a dirty
+    one, is suspicious. *)
 
 val kind : ('i, 'o) t -> kind
+
+val dirty : ('i, 'o) t -> 'o -> bool
+(** Does this output carry findings, per the predicate given to {!wrap}? *)
 
 val run : ('i, 'o) t -> 'i -> ('o, failure) result
 (** The one entry point. [run_oracle t input] when no fault schedule is
@@ -62,3 +69,9 @@ val oracle : ('i, 'o) t -> 'i -> 'o
 
 val install : ('i, 'o) t -> ('i -> ('o, failure) result) -> unit
 (** Install a fault schedule (used by {!Chaos}). *)
+
+val runner : ('i, 'o) t -> 'i -> ('o, failure) result
+(** The effective runner at the moment of the call — what {!run} would
+    invoke right now ({!run_oracle} when no schedule is installed). Lets an
+    outer wrapper (the Byzantine-verifier adversary) capture and compose
+    with an already-armed fault schedule instead of replacing it. *)

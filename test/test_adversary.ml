@@ -341,6 +341,64 @@ let prop_rate0_identity_any_seed =
       = transcript_fingerprint (translate ~adversary:Adversary.Spec.none seed))
 
 (* ------------------------------------------------------------------ *)
+(* Byzantine verifiers: lies, determinism, and the trust ledger        *)
+(* ------------------------------------------------------------------ *)
+
+(* An all-zero verifier lie spec — adaptivity included, since a schedule
+   with no rate to escalate is off — must keep the rate-0 byte-identity:
+   the lie engine installs nothing. *)
+let prop_verifier_rate0_identity_any_seed =
+  QCheck2.Test.make
+    ~name:"all-zero verifier lie spec keeps byte-identity (adaptive on)"
+    ~count:10 (QCheck2.Gen.int_bound 10_000) (fun seed ->
+      let spec =
+        Adversary.Spec.make
+          ~verifier:(Adversary.Verifier.make ~adaptive:true ()) ()
+      in
+      transcript_fingerprint (translate seed)
+      = transcript_fingerprint (translate ~adversary:spec seed))
+
+let test_verifier_lies_deterministic () =
+  let spec () =
+    Adversary.Spec.make
+      ~verifier:
+        (Adversary.Verifier.make ~false_negative:0.5 ~mutated:0.3 ~seed:7 ())
+      ()
+  in
+  check string_t "same seed, same lie schedule, same transcript"
+    (transcript_fingerprint (translate ~adversary:(spec ()) 3))
+    (transcript_fingerprint (translate ~adversary:(spec ()) 3))
+
+let test_trust_crosscheck_budget_and_quarantine () =
+  (* A heavy false-negative liar with the trust layer on: the driver's
+     cross-checks catch lies and quarantine the lying kinds, per-run
+     voluntary spend stays within the configured budget, and the end state
+     still verifies against the raw oracle — the A2 headline in one run. *)
+  let cfg = Resilience.Trust.default_config in
+  let spec =
+    Adversary.Spec.make
+      ~verifier:(Adversary.Verifier.make ~false_negative:0.9 ~seed:5 ())
+      ()
+  in
+  let before = Resilience.Trust.snapshot () in
+  let r =
+    Cosynth.Driver.run_translation ~seed:3 ~adversary:spec ~trust:cfg
+      ~cisco_text:Cisco.Samples.border_router ()
+  in
+  let d =
+    Resilience.Trust.totals (Resilience.Trust.diff (Resilience.Trust.snapshot ()) before)
+  in
+  check bool_t "cross-checks within the budget" true
+    (d.Resilience.Trust.cross_checks <= cfg.Resilience.Trust.check_budget);
+  check bool_t "lies detected" true (d.Resilience.Trust.disagreements > 0);
+  check bool_t "quarantine entries bounded by detected lies" true
+    (d.Resilience.Trust.quarantines <= d.Resilience.Trust.disagreements);
+  check bool_t "restores bounded by quarantine entries" true
+    (d.Resilience.Trust.restores <= d.Resilience.Trust.quarantines);
+  check bool_t "end state verified despite 0.9 fn lies" true
+    r.Cosynth.Driver.verified
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "adversary"
@@ -382,10 +440,18 @@ let () =
           Alcotest.test_case "timestamps merge with unstamped lines" `Quick
             test_triage_timestamps;
         ] );
+      ( "byzantine-verifiers",
+        [
+          Alcotest.test_case "lies reproducible in seed" `Slow
+            test_verifier_lies_deterministic;
+          Alcotest.test_case "trust: budget, quarantine, verified end state" `Slow
+            test_trust_crosscheck_budget_and_quarantine;
+        ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_loop_terminates_certified;
           QCheck_alcotest.to_alcotest prop_distinct_drafts_never_fire;
           QCheck_alcotest.to_alcotest prop_rate0_identity_any_seed;
+          QCheck_alcotest.to_alcotest prop_verifier_rate0_identity_any_seed;
         ] );
     ]

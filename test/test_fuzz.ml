@@ -163,6 +163,69 @@ let test_corpus_replay_clean () =
         escapes)
     results
 
+let test_promote_idempotent () =
+  let dir = Filename.temp_file "cosynth-promote" "" in
+  Sys.remove dir;
+  let mk ?(dialect = Fuzz.Corpus.Cisco) ~stage ~ctor ~input () =
+    {
+      Fuzz.Props.dialect;
+      violation =
+        { Fuzz.Props.property = "total-parse"; stage; constructor = ctor;
+          detail = "boom" };
+      fingerprint = "cafecafe";
+      seed = 1;
+      round = 0;
+      input;
+      minimized = input;
+    }
+  in
+  let e1 = mk ~stage:"cisco-parse" ~ctor:"Failure" ~input:"hostname r1" () in
+  let e2 = mk ~stage:"cisco-parse" ~ctor:"Failure" ~input:"hostname r2" () in
+  let e3 =
+    mk ~dialect:Fuzz.Corpus.Junos ~stage:"junos-print" ~ctor:"Not_found"
+      ~input:"system { }" ()
+  in
+  (* Two escapes in one bucket promote once; the Junos bucket gets the
+     dialect prefix so replay parses it under the right grammar. *)
+  let written = Fuzz.Props.promote ~dir [ e1; e2; e3 ] in
+  check int_t "one file per new bucket" 2 (List.length written);
+  check bool_t "junos bucket carries the dialect prefix" true
+    (List.exists
+       (fun (name, _) -> String.length name >= 6 && String.sub name 0 6 = "junos-")
+       written);
+  List.iter
+    (fun (name, (e : Fuzz.Props.escape)) ->
+      let path = Filename.concat dir name in
+      check bool_t (name ^ " written") true (Sys.file_exists path);
+      check string_t (name ^ " holds the minimized trigger")
+        e.Fuzz.Props.minimized
+        (In_channel.with_open_bin path In_channel.input_all))
+    written;
+  (* The bucket slug lives in the filename: a second campaign hitting the
+     same buckets promotes nothing. *)
+  check int_t "idempotent across campaigns" 0
+    (List.length (Fuzz.Props.promote ~dir [ e2; e1; e3 ]));
+  (* Promoted entries replay before the long-stable seeds — the youngest
+     regressions fail the gate first. *)
+  Out_channel.with_open_bin (Filename.concat dir "aa-stable-seed.txt")
+    (fun oc -> Out_channel.output_string oc "hostname stable");
+  (match Fuzz.Props.replay_dir dir with
+  | [] -> Alcotest.fail "replay_dir missed the corpus"
+  | (first, _) :: rest ->
+      check bool_t "a promoted entry replays first" true
+        (String.length first >= 9
+        && (String.sub first 0 9 = "promoted-"
+           || String.sub first 0 15 = "junos-promoted-"));
+      check string_t "stable seed replays last" "aa-stable-seed.txt"
+        (fst (List.nth rest (List.length rest - 1))));
+  (* Benign triggers replay clean end to end. *)
+  List.iter
+    (fun (file, escapes) ->
+      if escapes <> [] then Alcotest.failf "promoted trigger %s re-escaped" file)
+    (Fuzz.Props.replay_dir dir);
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
 let test_canary_caught_and_minimized () =
   Resilience.Guard.reset ();
   match Fuzz.Props.canary ~max_rounds:200 () with
@@ -201,6 +264,8 @@ let () =
       ( "corpus",
         [
           Alcotest.test_case "regression replay clean" `Quick test_corpus_replay_clean;
+          Alcotest.test_case "promotion idempotent + replay order" `Quick
+            test_promote_idempotent;
           Alcotest.test_case "canary caught + minimized" `Slow
             test_canary_caught_and_minimized;
         ] );

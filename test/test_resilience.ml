@@ -848,6 +848,153 @@ let test_guard_deadline_expiry () =
   Thread.delay 0.5;
   check bool_t "on_settled fired after abandonment" true !settled
 
+(* ------------------------------------------------------------------ *)
+(* Trust: the Byzantine-verifier reputation ledger                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_trust_two_disagreements_quarantine () =
+  let t = Resilience.Trust.create Resilience.Trust.default_config in
+  let k = Resilience.Verifier.Campion in
+  (* 1.0 - 0.4 = 0.6 >= 0.5: the first detected lie only debits... *)
+  check bool_t "first disagreement debits" true
+    (Resilience.Trust.disagree t k = `Ok);
+  check bool_t "still trusted" false (Resilience.Trust.quarantined t k);
+  (* ...and 0.6 - 0.4 = 0.2 < 0.5: the second quarantines. *)
+  check bool_t "second disagreement quarantines" true
+    (Resilience.Trust.disagree t k = `Quarantined);
+  check bool_t "quarantined" true (Resilience.Trust.quarantined t k);
+  check int_t "both lies counted" 2 (Resilience.Trust.lies_detected t);
+  check int_t "entered quarantine once" 1 (Resilience.Trust.quarantine_count t);
+  (* Reputation is per kind: a lying Campion says nothing about Batfish. *)
+  check bool_t "other kinds untouched" false
+    (Resilience.Trust.quarantined t Resilience.Verifier.Parse_check);
+  (* A quarantined kind's answers are hand-run, never voluntarily
+     cross-checked — the budget is for kinds still worth vetting. *)
+  check bool_t "no voluntary checks while quarantined" false
+    (Resilience.Trust.should_check t k ~dirty:true)
+
+let test_trust_probation_restores () =
+  let cfg = { Resilience.Trust.default_config with Resilience.Trust.probation = 2 } in
+  let t = Resilience.Trust.create cfg in
+  let k = Resilience.Verifier.Topology in
+  ignore (Resilience.Trust.disagree t k);
+  check bool_t "setup: quarantined" true
+    (Resilience.Trust.disagree t k = `Quarantined);
+  (* One agreement, then a disagreement: the streak resets — restoration
+     demands *consecutive* honest behavior. *)
+  check bool_t "first agreeing re-run not enough" true
+    (Resilience.Trust.probation t k ~agree:true = `Still);
+  check bool_t "disagreeing re-run resets the streak" true
+    (Resilience.Trust.probation t k ~agree:false = `Still);
+  check bool_t "streak restarts" true
+    (Resilience.Trust.probation t k ~agree:true = `Still);
+  check bool_t "second consecutive agreement restores" true
+    (Resilience.Trust.probation t k ~agree:true = `Restored 2);
+  check bool_t "quarantine lifted" false (Resilience.Trust.quarantined t k);
+  check int_t "restore counted" 1 (Resilience.Trust.restore_count t);
+  (* Restoration is a clean slate: the score is back at [initial]. *)
+  check bool_t "score reset to initial" true
+    (Resilience.Trust.score t k = cfg.Resilience.Trust.initial)
+
+let test_trust_suspicion_and_note_truth () =
+  let t = Resilience.Trust.create Resilience.Trust.default_config in
+  let k = Resilience.Verifier.Parse_check in
+  (* A kind's very first clean pass is suspicious (a round-one false
+     negative must not slip through)... *)
+  check bool_t "first clean pass checked" true
+    (Resilience.Trust.should_check t k ~dirty:false);
+  (* ...but clean-after-clean is not. *)
+  check bool_t "clean after clean not suspicious" false
+    (Resilience.Trust.should_check t k ~dirty:false);
+  (* The oracle said the draft was actually dirty: re-anchoring to the
+     truth makes the next fake clean pass suspicious again — without
+     note_truth a caught false negative would launder the history. *)
+  Resilience.Trust.note_truth t k ~dirty:true;
+  check bool_t "clean after a caught lie is suspicious" true
+    (Resilience.Trust.should_check t k ~dirty:false)
+
+let test_trust_budget_exhausts () =
+  let cfg =
+    { Resilience.Trust.default_config with Resilience.Trust.check_budget = 3 }
+  in
+  let t = Resilience.Trust.create cfg in
+  let k = Resilience.Verifier.Bgp_sim in
+  for i = 1 to 3 do
+    if not (Resilience.Trust.should_check t k ~dirty:true) then
+      Alcotest.failf "check %d refused with budget remaining" i
+  done;
+  check bool_t "budget spent: dirty answers no longer checked" false
+    (Resilience.Trust.should_check t k ~dirty:true);
+  check int_t "spent exactly the budget" 3 (Resilience.Trust.checks_spent t)
+
+(* Whatever the answer stream — any dirtiness sequence, spread over every
+   kind — the ledger never grants more voluntary cross-checks than its
+   budget, and its spent counter is exactly the number of grants. *)
+let prop_trust_budget_never_exceeded =
+  QCheck2.Test.make ~name:"trust: voluntary cross-checks never exceed the budget"
+    ~count:100
+    QCheck2.Gen.(pair (int_bound 8) (list_size (int_bound 60) bool))
+    (fun (budget, answers) ->
+      let cfg =
+        { Resilience.Trust.default_config with Resilience.Trust.check_budget = budget }
+      in
+      let t = Resilience.Trust.create cfg in
+      let kinds = Array.of_list Resilience.Verifier.all_kinds in
+      let granted =
+        List.fold_left
+          (fun (i, n) dirty ->
+            let k = kinds.(i mod Array.length kinds) in
+            (i + 1, if Resilience.Trust.should_check t k ~dirty then n + 1 else n))
+          (0, 0) answers
+        |> snd
+      in
+      granted <= budget && Resilience.Trust.checks_spent t = granted)
+
+let test_admission_set_caps_live () =
+  (* SIGHUP hot reload: raising max_in_flight must admit a queued waiter
+     immediately — no release, no drain. *)
+  let a =
+    Resilience.Admission.create
+      { adm_cfg with Resilience.Admission.max_in_flight = 1 }
+  in
+  let t1 =
+    match Resilience.Admission.admit a ~client:"a" with
+    | Resilience.Admission.Admitted t -> t
+    | _ -> Alcotest.fail "first admit"
+  in
+  let queued_result = ref None in
+  let queued =
+    Thread.create
+      (fun () -> queued_result := Some (Resilience.Admission.admit a ~client:"b"))
+      ()
+  in
+  Thread.delay 0.05;
+  check int_t "second caller queued behind the cap" 1
+    (Resilience.Admission.stats a).Resilience.Admission.queued;
+  Resilience.Admission.set_caps a
+    { adm_cfg with Resilience.Admission.max_in_flight = 2 };
+  Thread.join queued;
+  (match !queued_result with
+  | Some (Resilience.Admission.Admitted _) -> ()
+  | _ -> Alcotest.fail "raised cap did not admit the queued waiter");
+  check int_t "new caps in force" 2
+    (Resilience.Admission.config a).Resilience.Admission.max_in_flight;
+  (* Reloaded caps are clamped exactly as by create: garbage in a caps
+     file must not wedge the daemon. *)
+  Resilience.Admission.set_caps a
+    { adm_cfg with Resilience.Admission.max_in_flight = 0; max_queue = -5 };
+  let c = Resilience.Admission.config a in
+  check int_t "in-flight clamped to >= 1" 1 c.Resilience.Admission.max_in_flight;
+  check int_t "queue clamped to >= 0" 0 c.Resilience.Admission.max_queue;
+  (* Lowering below current usage never revokes tickets: both releases
+     settle cleanly. *)
+  Resilience.Admission.release a t1;
+  (match !queued_result with
+  | Some (Resilience.Admission.Admitted t2) -> Resilience.Admission.release a t2
+  | _ -> ());
+  check int_t "all slots returned" 0
+    (Resilience.Admission.stats a).Resilience.Admission.in_flight
+
 let () =
   Alcotest.run "resilience"
     [
@@ -880,6 +1027,18 @@ let () =
             test_admission_capacity_shed;
           Alcotest.test_case "per-client cap" `Quick test_admission_per_client_cap;
           Alcotest.test_case "deadline clamping" `Quick test_admission_clamp_deadline;
+          Alcotest.test_case "set_caps hot reload" `Quick test_admission_set_caps_live;
+        ] );
+      ( "trust",
+        [
+          Alcotest.test_case "two disagreements quarantine" `Quick
+            test_trust_two_disagreements_quarantine;
+          Alcotest.test_case "probation restores on a streak" `Quick
+            test_trust_probation_restores;
+          Alcotest.test_case "suspicion + note_truth re-anchor" `Quick
+            test_trust_suspicion_and_note_truth;
+          Alcotest.test_case "check budget exhausts" `Quick test_trust_budget_exhausts;
+          QCheck_alcotest.to_alcotest prop_trust_budget_never_exceeded;
         ] );
       ( "breaker",
         [
