@@ -1,4 +1,4 @@
-.PHONY: all build test check bench chaos fuzz adversary adversary-verifier-smoke serve-bench resume-smoke shard-smoke serve-smoke serve-overload-smoke clean
+.PHONY: all build test check bench chaos fuzz adversary adversary-verifier-smoke adversary-collusion-smoke serve-bench resume-smoke shard-smoke serve-smoke serve-overload-smoke clean
 
 all: build
 
@@ -14,7 +14,7 @@ test:
 # serve and serve-overload gates (the check alias runs all seven bench
 # modes) + the shard, serve, serve-overload and adversary-verifier
 # end-to-end smokes.
-check: shard-smoke serve-smoke serve-overload-smoke adversary-verifier-smoke
+check: shard-smoke serve-smoke serve-overload-smoke adversary-verifier-smoke adversary-collusion-smoke
 	dune build @check
 
 bench:
@@ -53,6 +53,41 @@ adversary-verifier-smoke: build
 	dune exec bench/main.exe -- --adversary-verifier --smoke
 	$(CLI) adversary --runs 4 --lie-fn 0.9 --trust | grep -Eq 'quarantines=[1-9]'
 	@echo "adversary-verifier-smoke: lies detected, liar quarantined, runs verified"
+
+# The collusion gate: A3 (the rate-0 / honest-quorum / restored-ledger
+# byte-identity pins, then the verified-rate headline across oracle-only /
+# quorum K=4 / quorum K=3 defenses against a coalition that owns the
+# cross-check oracle) + a CLI drill that a 3-kind coalition including the
+# oracle gets the oracle quarantined while every run still converges + the
+# persistent-ledger crash drill — a collusion sweep killed mid-run via
+# --halt-after (exit 3) and resumed from its journal AND trust ledger must
+# reproduce both the uninterrupted sweep's stdout and its final ledger
+# byte-for-byte, proving quarantine state survives the restart.
+COLLUDE_TMP := $(shell mktemp -d)
+COLLUDE_ARGS := --runs 8 --seed 9980 --collude parse-check,campion \
+  --collude-oracle --collude-rate 0.35
+adversary-collusion-smoke: build
+	dune exec bench/main.exe -- --adversary-collusion --smoke
+	$(CLI) adversary --runs 6 --seed 9980 \
+	  --collude parse-check,route-policies,bgp-sim --collude-oracle \
+	  --collude-rate 0.35 --trust > $(COLLUDE_TMP)/drill.out
+	grep -Eq 'converged=6' $(COLLUDE_TMP)/drill.out
+	grep -Eq 'oracle-quarantines=[1-9]' $(COLLUDE_TMP)/drill.out
+	$(CLI) adversary $(COLLUDE_ARGS) \
+	  --trust-ledger $(COLLUDE_TMP)/full-trust.jsonl \
+	  --journal $(COLLUDE_TMP)/full.jsonl > $(COLLUDE_TMP)/full.out 2>/dev/null
+	sh -c '$(CLI) adversary $(COLLUDE_ARGS) \
+	  --trust-ledger $(COLLUDE_TMP)/trust.jsonl \
+	  --journal $(COLLUDE_TMP)/sweep.jsonl --halt-after 4 \
+	  > $(COLLUDE_TMP)/halted.out 2>/dev/null; test $$? -eq 3'
+	$(CLI) adversary $(COLLUDE_ARGS) \
+	  --trust-ledger $(COLLUDE_TMP)/trust.jsonl \
+	  --journal $(COLLUDE_TMP)/sweep.jsonl --resume \
+	  > $(COLLUDE_TMP)/resumed.out 2>/dev/null
+	cmp $(COLLUDE_TMP)/full.out $(COLLUDE_TMP)/resumed.out
+	cmp $(COLLUDE_TMP)/full-trust.jsonl $(COLLUDE_TMP)/trust.jsonl
+	@rm -rf $(COLLUDE_TMP)
+	@echo "adversary-collusion-smoke: coalition overruled, oracle quarantined, ledger survives the crash"
 
 # The service-mode gate: S1 (the same synthesis jobs through a warm
 # in-process `serve` daemon vs cold per-job pool + memo startup; fails on

@@ -51,6 +51,17 @@ let adversary_only = Array.exists (fun a -> a = "--adversary") Sys.argv
 let adversary_verifier_only =
   Array.exists (fun a -> a = "--adversary-verifier") Sys.argv
 
+(* --adversary-collusion: only the A3 collusion gate (`make
+   adversary-collusion-smoke`) — a seeded coalition of verifier kinds lying
+   consistently, optionally including the cross-check oracle itself, vs the
+   quorum audit layer: the all-zero-collusion and honest-quorum
+   byte-identity pins, the restored-ledger-equals-fresh-ledger pin, and the
+   verified-rate headline across oracle-only (PR 8) / quorum K=4 /
+   quorum K=3 defenses; exits nonzero on any violation. --smoke shrinks the
+   seed budget for the check alias. *)
+let adversary_collusion_only =
+  Array.exists (fun a -> a = "--adversary-collusion") Sys.argv
+
 (* --serve: only the S1 service-mode gate (`make serve-bench`) — the same
    synthesis jobs through a warm in-process daemon vs cold per-job startup;
    exits nonzero when the daemon loses results, state, or throughput.
@@ -2130,6 +2141,227 @@ let table_a2 () =
       List.iter (fun v -> Printf.printf "  VIOLATION %s\n" v) vs;
       exit 1
 
+(* ------------------------------------------------------------------ *)
+(* A3 — collusion-resistant trust: the compromised-oracle gate          *)
+(* ------------------------------------------------------------------ *)
+
+(* The coalition under test: the two cheapest-to-own kinds plus the
+   cross-check oracle itself — the configuration PR 8's
+   oracle-as-ground-truth trust layer cannot see at all. *)
+let a3_coalition = [ Resilience.Verifier.Parse_check; Resilience.Verifier.Campion ]
+let a3_rates = [ 0.0; 0.35 ]
+let a3_budget = 60
+
+let table_a3 () =
+  section
+    "A3 — Collusion-resistant trust: compromised oracle vs quorum cross-checks";
+  let violations = ref [] in
+  let violation fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  let n = if smoke then 4 else 12 in
+  let seeds = Exec.Sweep.seeds ~base:9980 ~n in
+  let cfg = Resilience.Trust.default_config in
+  let md = Cosynth.Driver.transcript_to_markdown ~title:"A3" in
+  let js t = Netcore.Json.to_string (Cosynth.Driver.transcript_to_json t) in
+  let collusion ~rate seed =
+    Adversary.Spec.make
+      ~collusion:
+        (Adversary.Collusion.make ~members:a3_coalition ~oracle:true ~rate ~seed ())
+      ()
+  in
+  (* 1. The identity pins. An armed coalition at rate 0 must leave both
+     transcript renderings byte-identical to a plain run (the A1/A2 rate-0
+     invariant, extended to the collusion dimension); auditing honest
+     clean-agreements must change nothing either; and a trust ledger
+     restored from an all-initial-scores persisted entry must behave
+     exactly like a freshly created one, under attack included. *)
+  List.iter
+    (fun seed ->
+      let run ?adversary ?trust ?trust_ledger () =
+        (Cosynth.Driver.run_translation ~seed ?adversary ?trust ?trust_ledger
+           ~cisco_text ())
+          .Cosynth.Driver.transcript
+      in
+      let plain = run () in
+      let zero = run ~adversary:(collusion ~rate:0.0 seed) () in
+      if md plain <> md zero then
+        violation "rate-0 collusion markdown identity broken at seed %d" seed;
+      if js plain <> js zero then
+        violation "rate-0 collusion JSON identity broken at seed %d" seed;
+      let honest_quorum = run ~trust:cfg () in
+      if md plain <> md honest_quorum then
+        violation "honest-quorum markdown identity broken at seed %d" seed;
+      if js plain <> js honest_quorum then
+        violation "honest-quorum JSON identity broken at seed %d" seed;
+      let initial =
+        Resilience.Trust.state_of (Resilience.Trust.create cfg)
+          ~counters:Resilience.Trust.zero ~quorum:Resilience.Trust.zero_quorum
+      in
+      let fresh = run ~adversary:(collusion ~rate:0.5 seed) ~trust:cfg () in
+      let restored =
+        run ~adversary:(collusion ~rate:0.5 seed)
+          ~trust_ledger:(Resilience.Trust.create_from cfg initial)
+          ()
+      in
+      if md fresh <> md restored then
+        violation "restored-ledger transcript diverges from fresh at seed %d" seed)
+    seeds;
+  Printf.printf
+    "  rate-0 + honest-quorum + restored-ledger identity: %d seed(s) byte-identical\n"
+    (List.length seeds);
+  (* 2. The headline sweep: end-state verified rate (the raw recheck of the
+     final draft — the one signal even a compromised oracle cannot forge)
+     per defense x collusion rate. Oracle-only (audit budget 0) is PR 8's
+     trust layer: under a coalition that owns the oracle every cross-check
+     agrees with the lie, so it must collapse. Quorum K=4 hand-runs
+     referees that outweigh the two-party camp and must restore the
+     verified rate; K=3 is the deliberately-too-small quorum the camp
+     outvotes. Runs stay sequential so each run's quorum-counter delta is
+     attributable to it. *)
+  let modes =
+    [
+      ("oracle-only (PR 8)", { cfg with Resilience.Trust.audit_budget = 0 });
+      ("quorum K=4", cfg);
+      ("quorum K=3", { cfg with Resilience.Trust.quorum = 3 });
+    ]
+  in
+  let sweep trust_cfg rate =
+    List.map
+      (fun seed ->
+        let q0 = Resilience.Trust.quorum_snapshot () in
+        let spec = collusion ~rate seed in
+        let adversary = if Adversary.Spec.is_none spec then None else Some spec in
+        let r =
+          Cosynth.Driver.run_translation ~seed ?adversary ~trust:trust_cfg
+            ~max_prompts:a3_budget ~cisco_text ()
+        in
+        let dq =
+          Resilience.Trust.diff_quorum (Resilience.Trust.quorum_snapshot ()) q0
+        in
+        (r, dq))
+      seeds
+  in
+  let results, perf =
+    Cosynth.Metrics.measure (fun () ->
+        List.map
+          (fun (label, trust_cfg) ->
+            let cells =
+              List.map
+                (fun rate ->
+                  let runs = sweep trust_cfg rate in
+                  let verified =
+                    List.length
+                      (List.filter
+                         (fun ((r : Cosynth.Driver.translation_result), _) ->
+                           r.Cosynth.Driver.verified)
+                         runs)
+                  in
+                  let overruled =
+                    List.fold_left
+                      (fun acc (_, dq) -> acc + dq.Resilience.Trust.overruled)
+                      0 runs
+                  in
+                  let oracle_q =
+                    List.fold_left
+                      (fun acc (_, dq) ->
+                        acc + dq.Resilience.Trust.oracle_quarantines)
+                      0 runs
+                  in
+                  List.iter2
+                    (fun seed (_, dq) ->
+                      (* Overruled audits refund their charge, so the budget
+                         bounds the audits that found nothing. *)
+                      if
+                        dq.Resilience.Trust.audits - dq.Resilience.Trust.overruled
+                        > trust_cfg.Resilience.Trust.audit_budget
+                      then
+                        violation
+                          "%s rate %.2f seed %d: %d charged audits exceed budget %d"
+                          label rate seed
+                          (dq.Resilience.Trust.audits - dq.Resilience.Trust.overruled)
+                          trust_cfg.Resilience.Trust.audit_budget)
+                    seeds runs;
+                  if rate = 0.0 then begin
+                    (* Collusion-free, the quorum may spend audits but must
+                       never overrule an honest agreement or quarantine the
+                       honest oracle. *)
+                    if overruled > 0 then
+                      violation "%s rate 0: %d honest agreement(s) overruled" label
+                        overruled;
+                    if oracle_q > 0 then
+                      violation "%s rate 0: honest oracle quarantined" label
+                  end;
+                  (verified, overruled, oracle_q))
+                a3_rates
+            in
+            (label, trust_cfg, cells))
+          modes)
+  in
+  (* 3. The acceptance headline, pinned at every attack rate >= 0.35: the
+     oracle-only defense must collapse (collusion wins), the full quorum
+     must restore the verified rate and both catch collusions and
+     quarantine the compromised oracle. K=3 carries no bound — losing is
+     its documented behavior — but it must never beat K=4. *)
+  List.iter
+    (fun (label, trust_cfg, cells) ->
+      List.iter2
+        (fun rate (verified, overruled, oracle_q) ->
+          if rate >= 0.35 then
+            if trust_cfg.Resilience.Trust.audit_budget = 0 then begin
+              if verified > (2 * n + 11) / 12 then
+                violation
+                  "%s rate %.2f: oracle-only verified %d/%d — the coalition should win"
+                  label rate verified n
+            end
+            else if trust_cfg.Resilience.Trust.quorum >= 4 then begin
+              if verified < 10 * n / 12 then
+                violation "%s rate %.2f: quorum verified %d/%d below the 10/12 bar"
+                  label rate verified n;
+              if overruled = 0 then
+                violation "%s rate %.2f: no colluding agreement overruled" label rate;
+              if oracle_q = 0 then
+                violation "%s rate %.2f: compromised oracle never quarantined" label
+                  rate
+            end)
+        a3_rates cells)
+    results;
+  (match (List.nth_opt results 1, List.nth_opt results 2) with
+  | Some (_, _, k4), Some (_, _, k3) ->
+      List.iter2
+        (fun rate ((v4, _, _), (v3, _, _)) ->
+          if rate >= 0.35 && v3 > v4 then
+            violation "quorum K=3 verified %d/%d beats K=4's %d/%d at rate %.2f" v3 n
+              v4 n rate)
+        a3_rates (List.combine k4 k3)
+  | _ -> ());
+  print_string
+    (Cosynth.Report.table
+       ~title:
+         (Printf.sprintf
+            "verified runs V, overruled collusions C, oracle quarantines OQ; \
+             coalition {parse-check, campion} + oracle, %d seed(s) per cell"
+            n)
+       ~header:("defense" :: List.map (Printf.sprintf "rate %.2f") a3_rates)
+       (List.map
+          (fun (label, _, cells) ->
+            label
+            :: List.map
+                 (fun (v, c, oq) -> Printf.sprintf "%d/%d C%-3d OQ%-2d" v n c oq)
+                 cells)
+          results));
+  print_string
+    (Cosynth.Report.table ~title:"trust-layer activity over the sweep"
+       ~header:Cosynth.Metrics.trust_header
+       (Cosynth.Metrics.trust_rows perf));
+  Format.printf "  %a@." Cosynth.Metrics.pp_perf perf;
+  match List.rev !violations with
+  | [] -> Printf.printf "\n  A3: all invariants hold\n"
+  | vs ->
+      Printf.printf "\n  A3 GATE FAILED: %d violation(s)\n" (List.length vs);
+      List.iter (fun v -> Printf.printf "  VIOLATION %s\n" v) vs;
+      exit 1
+
 let () =
   Printf.printf
     "CoSynth benchmark harness — reproduction of 'What do LLMs need to Synthesize \
@@ -2142,6 +2374,9 @@ let () =
      else if adversary_verifier_only then
        if smoke then "adversary verifier gate (smoke budget)"
        else "adversary verifier gate (full budget)"
+     else if adversary_collusion_only then
+       if smoke then "adversary collusion gate (smoke budget)"
+       else "adversary collusion gate (full budget)"
      else if serve_only then
        if smoke then "serve gate (smoke budget)" else "serve gate (full budget)"
      else if serve_overload_only then
@@ -2165,6 +2400,12 @@ let () =
   end;
   if adversary_verifier_only then begin
     table_a2 ();
+    Exec.Pool.shutdown pool;
+    Printf.printf "\nDone.\n";
+    exit 0
+  end;
+  if adversary_collusion_only then begin
+    table_a3 ();
     Exec.Pool.shutdown pool;
     Printf.printf "\nDone.\n";
     exit 0

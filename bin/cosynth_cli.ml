@@ -479,14 +479,39 @@ let chaos_encode (o : Cosynth.Driver.transcript Exec.Supervisor.outcome) =
   match o with
   | Exec.Supervisor.Completed t ->
       Netcore.Json.Obj
-        [
-          ("ok", Netcore.Json.Bool true);
-          ("auto", Netcore.Json.Int t.Cosynth.Driver.auto_prompts);
-          ("human", Netcore.Json.Int t.Cosynth.Driver.human_prompts);
-          ("converged", Netcore.Json.Bool t.Cosynth.Driver.converged);
-          ("rounds", Netcore.Json.Int t.Cosynth.Driver.rounds);
-          ("degraded", Netcore.Json.Int (degraded_rounds t));
-        ]
+        ([
+           ("ok", Netcore.Json.Bool true);
+           ("auto", Netcore.Json.Int t.Cosynth.Driver.auto_prompts);
+           ("human", Netcore.Json.Int t.Cosynth.Driver.human_prompts);
+           ("converged", Netcore.Json.Bool t.Cosynth.Driver.converged);
+           ("rounds", Netcore.Json.Int t.Cosynth.Driver.rounds);
+           ("degraded", Netcore.Json.Int (degraded_rounds t));
+         ]
+        @
+        (* Hardened (lie-armed) chaos runs carry a convergence certificate
+           the summary's stalled/oscillating counts read; round-trip it so
+           a resumed sweep reprints identically. Lie-free runs have none
+           and their journal lines keep the exact pre-certificate shape. *)
+        match t.Cosynth.Driver.certificate with
+        | None -> []
+        | Some c ->
+            [
+              ( "certificate",
+                Netcore.Json.Obj
+                  (match c with
+                  | Cosynth.Driver.Converged ->
+                      [ ("kind", Netcore.Json.String "converged") ]
+                  | Cosynth.Driver.Stalled_out reason ->
+                      [
+                        ("kind", Netcore.Json.String "stalled");
+                        ("reason", Netcore.Json.String reason);
+                      ]
+                  | Cosynth.Driver.Oscillating period ->
+                      [
+                        ("kind", Netcore.Json.String "oscillating");
+                        ("period", Netcore.Json.Int period);
+                      ]) );
+            ])
   | Exec.Supervisor.Abandoned { attempts; reason } ->
       Netcore.Json.Obj
         [
@@ -507,6 +532,21 @@ let chaos_decode json =
           mem Netcore.Json.to_int "degraded" )
       with
       | Some auto, Some human, Some converged, Some rounds, Some degraded ->
+          let certificate =
+            Option.bind (Netcore.Json.member "certificate" json) (fun c ->
+                let cmem f name = Option.bind (Netcore.Json.member name c) f in
+                match cmem Netcore.Json.to_str "kind" with
+                | Some "converged" -> Some Cosynth.Driver.Converged
+                | Some "stalled" ->
+                    Option.map
+                      (fun r -> Cosynth.Driver.Stalled_out r)
+                      (cmem Netcore.Json.to_str "reason")
+                | Some "oscillating" ->
+                    Option.map
+                      (fun p -> Cosynth.Driver.Oscillating p)
+                      (cmem Netcore.Json.to_int "period")
+                | _ -> None)
+          in
           Some
             (Exec.Supervisor.Completed
                {
@@ -521,7 +561,7 @@ let chaos_decode json =
                  auto_prompts = auto;
                  converged;
                  rounds;
-                 certificate = None;
+                 certificate;
                })
       | _ -> None)
   | Some false -> (
@@ -577,6 +617,45 @@ let print_sweep_summary ~chaos ~budget seeded =
         attempts reason)
     abandoned;
   violations
+
+(* The trust and quorum summary lines a trust-armed sweep ends with,
+   shared by `cosynth chaos`, `cosynth adversary` and the `cosynth shard`
+   coordinator. With a persistent ledger the lines are replayed from its
+   folded per-seed counter deltas — a killed-and-resumed sweep (or a
+   sharded one read from merged worker ledgers) reprints the exact lines
+   of an uninterrupted sequential run; otherwise the live process-global
+   tallies serve. The quorum line is keyed on activity, so it appears only
+   when cross-checks actually audited and every pre-quorum output shape is
+   unchanged. *)
+let print_trust_lines (d : Resilience.Trust.counters)
+    (q : Resilience.Trust.quorum_counters) =
+  Printf.printf "trust: checks=%d lies-detected=%d quarantines=%d restores=%d\n"
+    d.Resilience.Trust.cross_checks d.Resilience.Trust.disagreements
+    d.Resilience.Trust.quarantines d.Resilience.Trust.restores;
+  if Resilience.Trust.quorum_active q then
+    Printf.printf
+      "quorum: audits=%d collusions-detected=%d outvoted=%d \
+       oracle-quarantines=%d oracle-restores=%d\n"
+      q.Resilience.Trust.audits q.Resilience.Trust.overruled
+      q.Resilience.Trust.outvoted q.Resilience.Trust.oracle_quarantines
+      q.Resilience.Trust.oracle_restores
+
+let print_trust_summary ~trust_ledger ~trust_before ~quorum_before () =
+  let d, q =
+    match
+      Option.join (Option.map Resilience.Trust.Ledger_store.load trust_ledger)
+    with
+    | Some e ->
+        ( e.Resilience.Trust.Ledger_store.counters,
+          e.Resilience.Trust.Ledger_store.quorum )
+    | None ->
+        ( Resilience.Trust.totals
+            (Resilience.Trust.diff (Resilience.Trust.snapshot ()) trust_before),
+          Resilience.Trust.diff_quorum
+            (Resilience.Trust.quorum_snapshot ())
+            quorum_before )
+  in
+  print_trust_lines d q
 
 let leverage_cmd =
   let run use_case runs routers jobs =
@@ -645,13 +724,25 @@ let leverage_cmd =
 
 let chaos_cmd =
   let run use_case runs routers seed chaos_seed crash timeout flake truncate
-      worker_loss worker_loss_in_flight journal_path resume compact_journal
-      halt_after triage_path verbose =
+      worker_loss worker_loss_in_flight lie_fn trust trust_ledger journal_path
+      resume compact_journal halt_after triage_path verbose =
     if triage_path <> None then Resilience.Guard.reset ();
     if compact_journal && journal_path = None then begin
       (* Validated before the sweep runs: discovering a flag error only
          after a multi-hour sweep would be its own kind of fault. *)
       Printf.eprintf "error: --compact-journal requires --journal FILE\n%!";
+      exit 2
+    end;
+    (* --trust-ledger implies --trust, and --trust with --journal needs the
+       ledger to carry cross-check state across a resume — the same rules
+       `cosynth adversary` enforces. Shard workers always journal, so a
+       trust-armed shard sweep always rides on per-shard ledgers. *)
+    let trust = trust || trust_ledger <> None in
+    if trust && journal_path <> None && trust_ledger = None then begin
+      Printf.eprintf
+        "error: --trust cannot be combined with --journal (add --trust-ledger FILE \
+         to persist cross-check state across resume)\n\
+         %!";
       exit 2
     end;
     (* The fault streams are keyed on --chaos-seed (default: --seed) so a
@@ -667,6 +758,33 @@ let chaos_cmd =
     let resilience = Resilience.Runtime.config ~chaos () in
     let plan =
       Resilience.Chaos.worker_plan ~in_flight:worker_loss_in_flight chaos ~salt:0
+    in
+    (* Lying verifiers under chaos: the lie stream is pinned to the same
+       base seed as the fault streams, so a shard worker's slice draws the
+       sequential sweep's schedule. A rate-0 spec is treated by the driver
+       exactly like no spec, keeping lie-free sweeps byte-identical. *)
+    let spec =
+      Adversary.Spec.make
+        ~verifier:
+          (Adversary.Verifier.make ~false_negative:lie_fn
+             ~seed:(Option.value chaos_seed ~default:seed)
+             ())
+        ()
+    in
+    let trust_cfg = if trust then Some Resilience.Trust.default_config else None in
+    let trust_before = Resilience.Trust.snapshot () in
+    let quorum_before = Resilience.Trust.quorum_snapshot () in
+    let ledger_state =
+      ref (Option.join (Option.map Resilience.Trust.Ledger_store.load trust_ledger))
+    in
+    let ledger_handle =
+      Option.map
+        (fun path ->
+          (match !ledger_state with
+          | None -> Printf.eprintf "trust-ledger: recording to %s\n%!" path
+          | Some _ -> Printf.eprintf "trust-ledger: resuming trust state from %s\n%!" path);
+          Resilience.Trust.Ledger_store.open_ ~truncate:false path)
+        trust_ledger
     in
     let budget = use_case_budget use_case in
     (* Journal notices go to stderr: the stdout of a resumed sweep must be
@@ -702,21 +820,62 @@ let chaos_cmd =
           (* Every completed record is already fsync'd, but close anyway so
              even the simulated crash leaves no open handle behind. *)
           Option.iter Exec.Sweep.journal_close journal;
+          Option.iter Resilience.Trust.Ledger_store.close ledger_handle;
           exit 3
       | _ -> ());
       incr fresh;
-      Exec.Supervisor.run_one ~plan ~index:run_seed (fun () ->
-          match use_case with
-          | `Translation ->
-              (Cosynth.Driver.run_translation ~seed:run_seed ~resilience
-                 ~cisco_text:Cisco.Samples.border_router ())
-                .Cosynth.Driver.transcript
-          | `No_transit ->
-              (Cosynth.Driver.run_no_transit ~seed:run_seed ~resilience ~routers ())
-                .Cosynth.Driver.transcript
-          | `Incremental ->
-              (Cosynth.Driver.run_incremental ~seed:run_seed ~resilience ~routers ())
-                .Cosynth.Driver.inc_transcript)
+      (* Same per-seed ledger threading as `cosynth adversary`: each seed
+         starts from the cumulative state (a quarantine earned by an
+         earlier seed — or by the coordinator that seeded this worker's
+         ledger — is already in force) and lands one fsync'd line with its
+         evolved state plus this run's counter deltas. *)
+      let ledger_t =
+        Option.map
+          (fun _ ->
+            match !ledger_state with
+            | Some e -> Resilience.Trust.create_from Resilience.Trust.default_config e
+            | None -> Resilience.Trust.create Resilience.Trust.default_config)
+          ledger_handle
+      in
+      let t0 = Resilience.Trust.snapshot () in
+      let q0 = Resilience.Trust.quorum_snapshot () in
+      let outcome =
+        Exec.Supervisor.run_one ~plan ~index:run_seed (fun () ->
+            match use_case with
+            | `Translation ->
+                (Cosynth.Driver.run_translation ~seed:run_seed ~resilience
+                   ~adversary:spec ?trust:trust_cfg ?trust_ledger:ledger_t
+                   ~cisco_text:Cisco.Samples.border_router ())
+                  .Cosynth.Driver.transcript
+            | `No_transit ->
+                (Cosynth.Driver.run_no_transit ~seed:run_seed ~resilience
+                   ~adversary:spec ?trust:trust_cfg ?trust_ledger:ledger_t
+                   ~routers ())
+                  .Cosynth.Driver.transcript
+            | `Incremental ->
+                (Cosynth.Driver.run_incremental ~seed:run_seed ~resilience
+                   ~adversary:spec ?trust:trust_cfg ?trust_ledger:ledger_t
+                   ~routers ())
+                  .Cosynth.Driver.inc_transcript)
+      in
+      (match (outcome, ledger_t, ledger_handle) with
+      | Exec.Supervisor.Completed _, Some t, Some h ->
+          let counters =
+            Resilience.Trust.totals
+              (Resilience.Trust.diff (Resilience.Trust.snapshot ()) t0)
+          in
+          let quorum =
+            Resilience.Trust.diff_quorum (Resilience.Trust.quorum_snapshot ()) q0
+          in
+          let e = Resilience.Trust.state_of t ~counters ~quorum in
+          Resilience.Trust.Ledger_store.record h ~seed:run_seed e;
+          ledger_state :=
+            Some
+              (match !ledger_state with
+              | None -> e
+              | Some a -> Resilience.Trust.Ledger_store.merge a e)
+      | _ -> ());
+      outcome
     in
     (* The abort trap lives inside the measured thunk so the per-verifier
        counter deltas survive: a sweep that dies halfway still reports what
@@ -725,7 +884,9 @@ let chaos_cmd =
        left in an unflushed channel. *)
     let (outcomes, aborted), perf =
       Fun.protect
-        ~finally:(fun () -> Option.iter Exec.Sweep.journal_close journal)
+        ~finally:(fun () ->
+          Option.iter Exec.Sweep.journal_close journal;
+          Option.iter Resilience.Trust.Ledger_store.close ledger_handle)
         (fun () ->
           Cosynth.Metrics.measure (fun () ->
               try (Exec.Sweep.run_seeds ?journal ~seeds run_seed, None)
@@ -739,6 +900,7 @@ let chaos_cmd =
     | Some _ | None -> ());
     let seeded = if outcomes = [] then [] else List.combine seeds outcomes in
     let violations = print_sweep_summary ~chaos ~budget seeded in
+    if trust then print_trust_summary ~trust_ledger ~trust_before ~quorum_before ();
     if verbose || aborted <> None then print_string (verifier_stats_footer perf);
     (match triage_path with
     | Some path ->
@@ -794,6 +956,32 @@ let chaos_cmd =
        domain, so the retry repeats work that already happened. Varying \
        this never changes which dispatches are lost."
   in
+  let lie_fn =
+    rate "lie-fn"
+      "Per-check probability a verifier swallows its real findings (false \
+       negative), on top of the chaos schedule; keyed on \
+       $(b,--chaos-seed) so a shard worker draws the sequential sweep's \
+       lie stream."
+  in
+  let trust =
+    Arg.(
+      value & flag
+      & info [ "trust" ]
+          ~doc:"Arm the cross-check trust ledger (see $(b,cosynth \
+                adversary)). With $(b,--journal), requires \
+                $(b,--trust-ledger).")
+  in
+  let trust_ledger =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trust-ledger" ] ~docv:"FILE"
+          ~doc:"Persist the trust layer's state to $(docv), one fsync'd \
+                JSON line per completed seed; an existing ledger — e.g. one \
+                a shard coordinator pre-seeded — is loaded first, so \
+                inherited quarantine is in force from the first run. \
+                Implies $(b,--trust).")
+  in
   let journal_path =
     Arg.(
       value
@@ -847,8 +1035,8 @@ let chaos_cmd =
     Term.(
       const run $ use_case $ runs $ routers $ seed $ chaos_seed $ crash
       $ timeout $ flake $ truncate $ worker_loss $ worker_loss_in_flight
-      $ journal_path $ resume $ compact_journal $ halt_after $ triage_path
-      $ verbose)
+      $ lie_fn $ trust $ trust_ledger $ journal_path $ resume $ compact_journal
+      $ halt_after $ triage_path $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* adversary                                                           *)
@@ -857,8 +1045,12 @@ let chaos_cmd =
 let adversary_cmd =
   let run use_case runs routers seed truncated wrong_dialect stale partial_fix
       off_topic dropped duplicated misattributed garbled lie_fn lie_fp lie_mutate
-      lie_adaptive trust journal_path resume sweep_budget triage_path verbose =
+      lie_adaptive collude collude_oracle collude_rate trust trust_ledger
+      journal_path resume halt_after sweep_budget triage_path verbose =
     Resilience.Guard.reset ();
+    (* --trust-ledger implies --trust: a persisted ledger with the trust
+       layer off would never change. *)
+    let trust = trust || trust_ledger <> None in
     (* A budgeted sweep's per-seed allocations depend on what earlier seeds
        spent, while journal replay assumes a seed's run is a function of its
        seed alone — mixing them would replay records produced under
@@ -868,13 +1060,44 @@ let adversary_cmd =
         Printf.eprintf "error: --sweep-budget cannot be combined with --journal\n%!";
         exit 2
     | _ -> ());
-    (* Cross-check counters are live process-global tallies: a resumed sweep
-       replays journaled transcripts without re-running their cross-checks,
-       so the trust summary could never match an uninterrupted run's. *)
-    if trust && journal_path <> None then begin
-      Printf.eprintf "error: --trust cannot be combined with --journal\n%!";
+    (* The same objection applies to the persistent trust ledger: budgeted
+       allocations would be baked into the persisted trust trajectories. *)
+    if sweep_budget <> None && trust_ledger <> None then begin
+      Printf.eprintf "error: --sweep-budget cannot be combined with --trust-ledger\n%!";
       exit 2
     end;
+    (* Cross-check counters are live process-global tallies: a resumed sweep
+       replays journaled transcripts without re-running their cross-checks,
+       so the trust summary could never match an uninterrupted run's —
+       unless a --trust-ledger carries the per-seed counter deltas, in
+       which case the summary is replayed from the ledger instead. *)
+    if trust && journal_path <> None && trust_ledger = None then begin
+      Printf.eprintf
+        "error: --trust cannot be combined with --journal (add --trust-ledger FILE \
+         to persist cross-check state across resume)\n\
+         %!";
+      exit 2
+    end;
+    let members =
+      match collude with
+      | None -> []
+      | Some names ->
+          List.map
+            (fun name ->
+              match Resilience.Verifier.kind_of_name (String.trim name) with
+              | Some k -> k
+              | None ->
+                  Printf.eprintf
+                    "error: --collude: unknown verifier kind %S (expected a comma-separated \
+                     subset of: %s)\n\
+                     %!"
+                    name
+                    (String.concat ", "
+                       (List.map Resilience.Verifier.kind_name
+                          Resilience.Verifier.all_kinds));
+                  exit 2)
+            (String.split_on_char ',' names)
+    in
     let llm =
       Adversary.Llm.make ~truncated ~wrong_dialect ~stale ~partial_fix ~off_topic
         ~seed ()
@@ -886,10 +1109,30 @@ let adversary_cmd =
       Adversary.Verifier.make ~false_negative:lie_fn ~false_positive:lie_fp
         ~mutated:lie_mutate ~adaptive:lie_adaptive ~seed ()
     in
-    let spec = Adversary.Spec.make ~llm ~findings ~verifier () in
+    let collusion =
+      Adversary.Collusion.make ~members ~oracle:collude_oracle ~rate:collude_rate
+        ~seed ()
+    in
+    let spec = Adversary.Spec.make ~llm ~findings ~verifier ~collusion () in
     let hardened = not (Adversary.Spec.is_none spec) in
     let trust_cfg = if trust then Some Resilience.Trust.default_config else None in
     let trust_before = Resilience.Trust.snapshot () in
+    let quorum_before = Resilience.Trust.quorum_snapshot () in
+    (* The persistent trust ledger: load whatever earlier campaigns left
+       (quarantine survives kill/resume cycles), thread the cumulative
+       state through the sweep sequentially, and record one fsync'd line
+       per completed seed carrying the state plus that run's counter
+       deltas. *)
+    let ledger_state = ref (Option.join (Option.map Resilience.Trust.Ledger_store.load trust_ledger)) in
+    let ledger_handle =
+      Option.map
+        (fun path ->
+          (match !ledger_state with
+          | None -> Printf.eprintf "trust-ledger: recording to %s\n%!" path
+          | Some _ -> Printf.eprintf "trust-ledger: resuming trust state from %s\n%!" path);
+          Resilience.Trust.Ledger_store.open_ ~truncate:false path)
+        trust_ledger
+    in
     (* The driver defaults; the invariant under any rates in [0, 1] is that
        every run stays within them, never raises, and carries a convergence
        certificate exactly when the spec is non-trivial. *)
@@ -950,27 +1193,78 @@ let adversary_cmd =
                 (List.length done_) path);
           Some j
     in
+    let fresh = ref 0 in
     let run_seed ?max_prompts run_seed =
-      match
-        Resilience.Guard.run ~label:"vpp-loop"
-          ~fingerprint:(string_of_int run_seed) (fun () ->
-            match use_case with
-            | `Translation ->
-                (Cosynth.Driver.run_translation ~seed:run_seed ?max_prompts
-                   ~adversary:spec ?trust:trust_cfg
-                   ~cisco_text:Cisco.Samples.border_router ())
-                  .Cosynth.Driver.transcript
-            | `No_transit ->
-                (Cosynth.Driver.run_no_transit ~seed:run_seed ?max_prompts
-                   ~adversary:spec ?trust:trust_cfg ~routers ())
-                  .Cosynth.Driver.transcript
-            | `Incremental ->
-                (Cosynth.Driver.run_incremental ~seed:run_seed ?max_prompts
-                   ~adversary:spec ?trust:trust_cfg ~routers ())
-                  .Cosynth.Driver.inc_transcript)
-      with
-      | Error c -> Error (Resilience.Guard.crash_to_string c)
-      | Ok t -> Ok t
+      (* Only fresh (non-journaled) seeds reach this function, so the halt
+         counter measures exactly the runs this process contributed — same
+         discipline as `cosynth chaos`. Both journals are fsync'd per
+         record, but close anyway so even the simulated crash leaves no
+         open handle behind. *)
+      (match halt_after with
+      | Some n when !fresh >= n ->
+          Printf.eprintf "journal: halting after %d fresh run(s) (simulated crash)\n%!" n;
+          Option.iter Exec.Sweep.journal_close journal;
+          Option.iter Resilience.Trust.Ledger_store.close ledger_handle;
+          exit 3
+      | _ -> ());
+      incr fresh;
+      (* Under --trust-ledger each seed runs against a fresh instance seeded
+         from the cumulative ledger state — quarantine earned by earlier
+         seeds (this process or a killed predecessor) is already in force —
+         and its evolved state plus this run's counter deltas land as one
+         fsync'd ledger line before the run is reported complete. *)
+      let ledger_t =
+        Option.map
+          (fun _ ->
+            match !ledger_state with
+            | Some e -> Resilience.Trust.create_from Resilience.Trust.default_config e
+            | None -> Resilience.Trust.create Resilience.Trust.default_config)
+          ledger_handle
+      in
+      let t0 = Resilience.Trust.snapshot () in
+      let q0 = Resilience.Trust.quorum_snapshot () in
+      let result =
+        match
+          Resilience.Guard.run ~label:"vpp-loop"
+            ~fingerprint:(string_of_int run_seed) (fun () ->
+              match use_case with
+              | `Translation ->
+                  (Cosynth.Driver.run_translation ~seed:run_seed ?max_prompts
+                     ~adversary:spec ?trust:trust_cfg ?trust_ledger:ledger_t
+                     ~cisco_text:Cisco.Samples.border_router ())
+                    .Cosynth.Driver.transcript
+              | `No_transit ->
+                  (Cosynth.Driver.run_no_transit ~seed:run_seed ?max_prompts
+                     ~adversary:spec ?trust:trust_cfg ?trust_ledger:ledger_t
+                     ~routers ())
+                    .Cosynth.Driver.transcript
+              | `Incremental ->
+                  (Cosynth.Driver.run_incremental ~seed:run_seed ?max_prompts
+                     ~adversary:spec ?trust:trust_cfg ?trust_ledger:ledger_t
+                     ~routers ())
+                    .Cosynth.Driver.inc_transcript)
+        with
+        | Error c -> Error (Resilience.Guard.crash_to_string c)
+        | Ok t -> Ok t
+      in
+      (match (result, ledger_t, ledger_handle) with
+      | Ok _, Some t, Some h ->
+          let counters =
+            Resilience.Trust.totals
+              (Resilience.Trust.diff (Resilience.Trust.snapshot ()) t0)
+          in
+          let quorum =
+            Resilience.Trust.diff_quorum (Resilience.Trust.quorum_snapshot ()) q0
+          in
+          let e = Resilience.Trust.state_of t ~counters ~quorum in
+          Resilience.Trust.Ledger_store.record h ~seed:run_seed e;
+          ledger_state :=
+            Some
+              (match !ledger_state with
+              | None -> e
+              | Some a -> Resilience.Trust.Ledger_store.merge a e)
+      | _ -> ());
+      result
     in
     (* The journal is closed even when a seed's Guard boundary is breached
        by something unguardable — the finally runs on every exit path, so
@@ -1010,7 +1304,9 @@ let adversary_cmd =
           out
       | None ->
           Fun.protect
-            ~finally:(fun () -> Option.iter Exec.Sweep.journal_close journal)
+            ~finally:(fun () ->
+              Option.iter Exec.Sweep.journal_close journal;
+              Option.iter Resilience.Trust.Ledger_store.close ledger_handle)
             (fun () ->
               Exec.Sweep.run_seeds ?journal ~seeds (fun s -> run_seed s))
     in
@@ -1043,16 +1339,7 @@ let adversary_cmd =
     Printf.printf "adversary: %s\n" (Adversary.Spec.describe spec);
     Format.printf "%a@." Cosynth.Metrics.pp_summary
       (Cosynth.Metrics.summarize transcripts);
-    if trust then begin
-      let d =
-        Resilience.Trust.totals
-          (Resilience.Trust.diff (Resilience.Trust.snapshot ()) trust_before)
-      in
-      Printf.printf
-        "trust: checks=%d lies-detected=%d quarantines=%d restores=%d\n"
-        d.Resilience.Trust.cross_checks d.Resilience.Trust.disagreements
-        d.Resilience.Trust.quarantines d.Resilience.Trust.restores
-    end;
+    if trust then print_trust_summary ~trust_ledger ~trust_before ~quorum_before ();
     if hardened then
       print_string
         (Cosynth.Report.counts ~title:"convergence certificates"
@@ -1145,6 +1432,32 @@ let adversary_cmd =
           ~doc:"Escalate the lie rates as the loop nears convergence (seeded, \
                 keyed off rounds since the last finding).")
   in
+  let collude =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "collude" ] ~docv:"KINDS"
+          ~doc:"Arm a verifier coalition: a comma-separated list of verifier \
+                kinds (e.g. $(b,parse-check,campion)) that lie consistently — \
+                every colluder suppresses the same seeded subset of real \
+                findings, so pairwise cross-checks agree on the lie.")
+  in
+  let collude_oracle =
+    Arg.(
+      value & flag
+      & info [ "collude-oracle" ]
+          ~doc:"Compromise the cross-check oracle itself: it joins the \
+                coalition and confirms the colluders' fake clean passes. \
+                Only the hand-run quorum referees can catch this.")
+  in
+  let collude_rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "collude-rate" ] ~docv:"R"
+          ~doc:"Per-check probability the coalition suppresses a dirty \
+                answer. 0 (the default) disarms the coalition entirely and \
+                keeps output byte-identical to a sweep without $(b,--collude).")
+  in
   let trust =
     Arg.(
       value & flag
@@ -1153,7 +1466,29 @@ let adversary_cmd =
                 re-run against the raw oracle on a bounded budget, detected \
                 liars are quarantined (hand-run checks, findings escalate to \
                 human prompts) until probation clears. Incompatible with \
-                $(b,--journal).")
+                $(b,--journal) unless $(b,--trust-ledger) persists the \
+                cross-check state.")
+  in
+  let trust_ledger =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trust-ledger" ] ~docv:"FILE"
+          ~doc:"Persist the trust layer's state to $(docv) (one fsync'd JSON \
+                line per completed seed: per-kind and oracle trust scores, \
+                quarantine flags, and that run's counter deltas). An existing \
+                ledger is loaded first, so quarantine earned before a kill \
+                survives the resume. Implies $(b,--trust).")
+  in
+  let halt_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "halt-after" ] ~docv:"N"
+          ~doc:"Simulate a crash: exit 3 before running the N+1th fresh \
+                (non-journaled) seed. With $(b,--journal)/$(b,--trust-ledger) \
+                a subsequent $(b,--resume) run completes the sweep with \
+                byte-identical output.")
   in
   let journal_path =
     Arg.(
@@ -1204,8 +1539,9 @@ let adversary_cmd =
     Term.(
       const run $ use_case $ runs $ routers $ seed $ truncated $ wrong_dialect
       $ stale $ partial_fix $ off_topic $ dropped $ duplicated $ misattributed
-      $ garbled $ lie_fn $ lie_fp $ lie_mutate $ lie_adaptive $ trust
-      $ journal_path $ resume $ sweep_budget $ triage_path $ verbose)
+      $ garbled $ lie_fn $ lie_fp $ lie_mutate $ lie_adaptive $ collude
+      $ collude_oracle $ collude_rate $ trust $ trust_ledger $ journal_path
+      $ resume $ halt_after $ sweep_budget $ triage_path $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* shard                                                               *)
@@ -1213,11 +1549,13 @@ let adversary_cmd =
 
 let shard_cmd =
   let run shards use_case runs routers seed crash timeout flake truncate
-      worker_loss worker_loss_in_flight dir out max_respawns halt_first =
+      worker_loss worker_loss_in_flight lie_fn trust trust_ledger dir out
+      max_respawns halt_first =
     if shards < 1 then begin
       Printf.eprintf "error: --shards must be >= 1\n%!";
       exit 2
     end;
+    let trust = trust || trust_ledger <> None in
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     let chaos =
       Resilience.Chaos.make ~crash_rate:crash ~timeout_rate:timeout
@@ -1246,8 +1584,37 @@ let shard_cmd =
           ("--truncate-rate", truncate);
           ("--worker-loss-rate", worker_loss);
           ("--worker-loss-in-flight", worker_loss_in_flight);
+          ("--lie-fn", lie_fn);
         ]
     in
+    (* Trust-armed sharding: every worker gets its own per-shard trust
+       ledger, pre-seeded with the coordinator's baseline (the folded
+       state of --trust-ledger, counters zeroed so they are never counted
+       twice) at the sentinel seed -1 — a quarantine earned before this
+       campaign is in force in every worker from its first run. The
+       baseline write happens once, here; a respawned worker resumes from
+       whatever its ledger already holds. *)
+    let worker_ledger i = Filename.concat dir (Printf.sprintf "shard-%d-trust.jsonl" i) in
+    let baseline =
+      if trust then
+        Option.join (Option.map Resilience.Trust.Ledger_store.load trust_ledger)
+      else None
+    in
+    if trust then
+      List.iteri
+        (fun i _ ->
+          let h = Resilience.Trust.Ledger_store.open_ ~truncate:true (worker_ledger i) in
+          (match baseline with
+          | None -> ()
+          | Some e ->
+              Resilience.Trust.Ledger_store.record h ~seed:(-1)
+                {
+                  e with
+                  Resilience.Trust.Ledger_store.counters = Resilience.Trust.zero;
+                  quorum = Resilience.Trust.zero_quorum;
+                });
+          Resilience.Trust.Ledger_store.close h)
+        slices;
     let workers =
       List.mapi
         (fun i slice ->
@@ -1267,6 +1634,7 @@ let shard_cmd =
               string_of_int routers;
             ]
             @ rate_args
+            @ (if trust then [ "--trust-ledger"; worker_ledger i ] else [])
             @ [ "--journal"; journal ]
           in
           let fresh =
@@ -1310,9 +1678,17 @@ let shard_cmd =
         Printf.eprintf "error: %s\n%!" e;
         1
     | Ok report ->
+        (* Per-shard trust counters ride the stderr bookkeeping line: each
+           worker's ledger folds to exactly its own deltas (the pre-seeded
+           baseline carries zero counters), so the merged stdout below
+           stays byte-comparable to the sequential sweep. *)
+        let shard_trust i =
+          if not trust then None
+          else Resilience.Trust.Ledger_store.load (worker_ledger i)
+        in
         List.iter
           (fun (r : Exec.Shard.shard_report) ->
-            Printf.eprintf "shard %d: %d seed(s), %d launch(es)%s%s\n%!"
+            Printf.eprintf "shard %d: %d seed(s), %d launch(es)%s%s%s\n%!"
               r.Exec.Shard.shard r.Exec.Shard.owned r.Exec.Shard.launches
               (match r.Exec.Shard.recovered with
               | [] -> ""
@@ -1322,8 +1698,40 @@ let shard_cmd =
               (if r.Exec.Shard.abandoned_early = 0 then ""
                else
                  Printf.sprintf ", %d abandoned early"
-                   r.Exec.Shard.abandoned_early))
+                   r.Exec.Shard.abandoned_early)
+              (match shard_trust r.Exec.Shard.shard with
+              | None -> ""
+              | Some e ->
+                  let c = e.Resilience.Trust.Ledger_store.counters in
+                  Printf.sprintf ", trust checks=%d lies=%d quarantines=%d"
+                    c.Resilience.Trust.cross_checks
+                    c.Resilience.Trust.disagreements
+                    c.Resilience.Trust.quarantines))
           report.Exec.Shard.shards;
+        (* Merge the per-shard ledger deltas in seed order (slices are
+           contiguous and ascending, and the merge itself is commutative):
+           state merges conservatively, per-seed counter deltas sum — the
+           merged entry is what a sequential trust-armed sweep would have
+           folded. The coordinator's --trust-ledger gets it as one line at
+           the base seed, inheriting across campaigns. *)
+        let merged_trust =
+          if not trust then None
+          else
+            List.fold_left
+              (fun acc (i, _) ->
+                match (acc, shard_trust i) with
+                | None, e | e, None -> e
+                | Some a, Some b -> Some (Resilience.Trust.Ledger_store.merge a b))
+              None
+              (List.mapi (fun i s -> (i, s)) slices)
+        in
+        (match (trust_ledger, merged_trust) with
+        | Some path, Some e ->
+            let h = Resilience.Trust.Ledger_store.open_ ~truncate:false path in
+            Resilience.Trust.Ledger_store.record h ~seed e;
+            Resilience.Trust.Ledger_store.close h;
+            Printf.eprintf "shard: merged trust ledger written to %s\n%!" path
+        | _ -> ());
         let out =
           match out with Some o -> o | None -> Filename.concat dir "merged.jsonl"
         in
@@ -1345,6 +1753,26 @@ let shard_cmd =
             report.Exec.Shard.merged
         in
         let violations = print_sweep_summary ~chaos ~budget outcomes in
+        (* Stdout parity with a sequential trust-armed sweep: the same
+           trust/quorum lines, folded from the coordinator ledger when one
+           is kept (old campaigns included, as a resumed sequential ledger
+           would fold them) or from this campaign's merged deltas alone. *)
+        (if trust then
+           match trust_ledger with
+           | Some _ ->
+               print_trust_summary ~trust_ledger
+                 ~trust_before:(Resilience.Trust.snapshot ())
+                 ~quorum_before:(Resilience.Trust.quorum_snapshot ())
+                 ()
+           | None ->
+               let d, q =
+                 match merged_trust with
+                 | Some e ->
+                     ( e.Resilience.Trust.Ledger_store.counters,
+                       e.Resilience.Trust.Ledger_store.quorum )
+                 | None -> (Resilience.Trust.zero, Resilience.Trust.zero_quorum)
+               in
+               print_trust_lines d q);
         List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) violations;
         if violations <> [] then 1 else 0
   in
@@ -1371,6 +1799,31 @@ let shard_cmd =
   let worker_loss = rate "worker-loss-rate" "Per-dispatch worker-domain-loss probability, forwarded to every worker." in
   let worker_loss_in_flight =
     rate "worker-loss-in-flight" "Fraction of domain losses striking mid-task, forwarded to every worker."
+  in
+  let lie_fn =
+    rate "lie-fn"
+      "Per-check verifier false-negative probability, forwarded to every \
+       worker (keyed on the coordinator's base seed, so the sharded lie \
+       stream equals the sequential one)."
+  in
+  let trust =
+    Arg.(
+      value & flag
+      & info [ "trust" ]
+          ~doc:"Arm the cross-check trust ledger in every worker; each \
+                shard records its deltas to $(b,--journal-dir)/shard-K-trust.jsonl \
+                and the coordinator merges them in seed order.")
+  in
+  let trust_ledger =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trust-ledger" ] ~docv:"FILE"
+          ~doc:"Coordinator trust ledger: its folded state is pre-seeded \
+                into every worker's per-shard ledger (so inherited \
+                quarantine is in force everywhere), and the merged deltas \
+                of the campaign are appended back as one line. Implies \
+                $(b,--trust).")
   in
   let dir =
     Arg.(
@@ -1412,8 +1865,8 @@ let shard_cmd =
           sweep's summary (exits nonzero on violations or unrecovered shards)")
     Term.(
       const run $ shards $ use_case $ runs $ routers $ seed $ crash $ timeout
-      $ flake $ truncate $ worker_loss $ worker_loss_in_flight $ dir $ out
-      $ max_respawns $ halt_first)
+      $ flake $ truncate $ worker_loss $ worker_loss_in_flight $ lie_fn $ trust
+      $ trust_ledger $ dir $ out $ max_respawns $ halt_first)
 
 (* ------------------------------------------------------------------ *)
 (* serve / client                                                      *)
@@ -1422,7 +1875,8 @@ let shard_cmd =
 let serve_cmd =
   let run socket jobs round_budget_cap stage_budget_cap max_in_flight max_queue
       max_per_client max_deadline_ms retry_after_ms io_timeout_ms drain_grace_ms
-      admission_file triage_path debug_jobs supervise max_restarts =
+      admission_file triage_path trust_ledger_path debug_jobs supervise
+      max_restarts =
     if supervise then begin
       (* Supervisor mode: respawn a crashed daemon (nonzero exit or fatal
          signal) with a bounded budget; a clean exit 0 — shutdown or drain
@@ -1448,7 +1902,10 @@ let serve_cmd =
           @ (match admission_file with
             | Some p -> [ "--admission-file"; p ]
             | None -> [])
-          @ (match triage_path with Some p -> [ "--triage"; p ] | None -> []))
+          @ (match triage_path with Some p -> [ "--triage"; p ] | None -> [])
+          @ (match trust_ledger_path with
+            | Some p -> [ "--trust-ledger"; p ]
+            | None -> []))
       in
       let restarts = ref 0 in
       let child = ref None in
@@ -1531,6 +1988,7 @@ let serve_cmd =
           debug_jobs;
           triage = triage_path;
           restarts;
+          trust_ledger = trust_ledger_path;
         }
       in
       let summary =
@@ -1653,6 +2111,18 @@ let serve_cmd =
                 (deadline expiries included) to $(docv) at drain/shutdown \
                 (JSONL; read back with $(b,cosynth triage)).")
   in
+  let trust_ledger =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trust-ledger" ] ~docv:"FILE"
+          ~doc:"Arm the persistent trust layer: load $(docv) at startup (a \
+                quarantine recorded before a restart — or by a sweep sharing \
+                the file — governs the very first request), run \
+                $(b,translate)/$(b,synth)/$(b,repair) under cross-checks, \
+                and append one fsync'd line per job. $(b,health) and \
+                $(b,stats) gain a $(b,trust) object while set.")
+  in
   let debug_jobs =
     Arg.(
       value & flag
@@ -1689,7 +2159,7 @@ let serve_cmd =
       const run $ socket $ jobs $ round_budget $ stage_budget $ max_in_flight
       $ max_queue $ max_per_client $ max_deadline_ms $ retry_after_ms
       $ io_timeout_ms $ drain_grace_ms $ admission_file $ triage_path
-      $ debug_jobs $ supervise $ max_restarts)
+      $ trust_ledger $ debug_jobs $ supervise $ max_restarts)
 
 let client_cmd =
   let known_jobs =
@@ -1961,10 +2431,35 @@ let fuzz_cmd =
     Term.(const run $ seeds_n $ mutations $ seed $ triage_path $ promote_dir)
 
 let triage_cmd =
-  let run file =
-    match Resilience.Triage.load file with
+  let run file stage ctor =
+    (* Substring filters, case-sensitive like grep without -i: an operator
+       chasing one failing stage (or one crash constructor) reads a table
+       scoped to it instead of the whole campaign's. No filters — no
+       change, so existing triage output is untouched. *)
+    let contains ~needle hay =
+      let nl = String.length needle and hl = String.length hay in
+      nl = 0
+      || (nl <= hl
+         && (let found = ref false in
+             for i = 0 to hl - nl do
+               if (not !found) && String.sub hay i nl = needle then found := true
+             done;
+             !found))
+    in
+    let keep (r : Resilience.Triage.row) =
+      (match stage with
+      | None -> true
+      | Some s -> contains ~needle:s r.Resilience.Triage.stage)
+      && (match ctor with
+         | None -> true
+         | Some c -> contains ~needle:c r.Resilience.Triage.constructor)
+    in
+    match List.filter keep (Resilience.Triage.load file) with
     | [] ->
-        Printf.printf "no crash buckets recorded in %s\n" file;
+        (match (stage, ctor) with
+        | None, None -> Printf.printf "no crash buckets recorded in %s\n" file
+        | _ ->
+            Printf.printf "no crash buckets in %s match the given filters\n" file);
         0
     | rows ->
         (* UTC so the column is stable across operator timezones; "-" for
@@ -1998,12 +2493,32 @@ let triage_cmd =
                 rows));
         0
   in
+  let stage =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stage" ] ~docv:"S"
+          ~doc:"Only buckets whose stage label contains $(docv) (substring \
+                match, e.g. $(b,campion) or $(b,serve:)).")
+  in
+  let ctor =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ctor" ] ~docv:"C"
+          ~doc:"Only buckets whose crash constructor contains $(docv) \
+                (substring match, e.g. $(b,Deadline_exceeded)).")
+  in
   Cmd.v
     (Cmd.info "triage"
        ~doc:
          "Print the merged stage x constructor crash-bucket table from a \
-          $(b,--triage) JSONL journal (counts summed, first/last-seen seeds)")
-    Term.(const run $ Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"))
+          $(b,--triage) JSONL journal (counts summed, first/last-seen seeds), \
+          optionally scoped with $(b,--stage)/$(b,--ctor) substring filters")
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+      $ stage $ ctor)
 
 let () =
   let doc =

@@ -1,0 +1,58 @@
+(** A colluding verifier coalition — the attack PR 8's trust layer cannot
+    see.
+
+    {!Verifier} models {e independently} lying verifiers, which the trust
+    layer defeats by cross-checking suspicious answers against the raw
+    oracle. This module models the stronger adversary the ROADMAP names: a
+    {e coalition} of verifier kinds that lies {e consistently} — every
+    colluder suppresses the same findings on the same input — optionally
+    including the cross-check oracle itself. With the oracle in the
+    coalition, a PR 8 cross-check re-runs the lie and agrees with it: the
+    false negative is laundered into ground truth. Only a quorum that
+    includes hand-run referees ({!Resilience.Trust.should_audit} /
+    [quorum_verdict]) can catch it.
+
+    Lie decisions are keyed on the {e fingerprint of the honest answer},
+    not a per-wrapper call counter, so the lying member and the compromised
+    oracle service deterministically draw the same verdict for the same
+    check — the definition of colluding consistently. Suppression is the
+    only lie mode: fabricated findings would disagree with the
+    clean-claiming oracle and betray the coalition. *)
+
+type config = {
+  members : Resilience.Verifier.kind list;
+      (** The coalition, stored in canonical [all_kinds] order. *)
+  oracle : bool;  (** Is the cross-check oracle itself compromised? *)
+  rate : float;  (** Per-check suppression probability, clamped to [0,1]. *)
+  seed : int;
+}
+
+val make :
+  ?members:Resilience.Verifier.kind list ->
+  ?oracle:bool ->
+  ?rate:float ->
+  ?seed:int ->
+  unit ->
+  config
+
+val none : config
+
+val is_none : config -> bool
+(** Rate 0 or an empty coalition (an oracle flag alone colludes with
+    nobody): arming is a guaranteed no-op — rate-0 byte-identity. *)
+
+val describe : config -> string
+
+type t
+
+val create : ?salt:int -> config -> t
+
+val derive : t -> int -> t
+(** Independent decision streams for fan-out task [idx] (same discipline as
+    {!Verifier.derive}, distinct salt prime). *)
+
+val arm : t -> lens:'o Verifier.lens -> ('i, 'o) Resilience.Verifier.t -> unit
+(** Install the coalition on one wrapped verifier: a suppressing schedule
+    composed over the current runner for member kinds, plus the same
+    suppression as the cross-check oracle service when [config.oracle].
+    No-op for non-members and all-zero configs. *)

@@ -9,6 +9,7 @@ type t = {
   llm : Llm.config;
   findings : Findings.config;
   verifier : Verifier.config;
+  collusion : Collusion.config;
   osc_repeat : int;
   watchdog_rounds : int;
 }
@@ -17,16 +18,23 @@ let default_osc_repeat = 6
 let default_watchdog_rounds = 12
 
 let make ?(llm = Llm.none) ?(findings = Findings.none) ?(verifier = Verifier.none)
-    ?(osc_repeat = default_osc_repeat) ?(watchdog_rounds = default_watchdog_rounds) () =
-  { llm; findings; verifier; osc_repeat; watchdog_rounds }
+    ?(collusion = Collusion.none) ?(osc_repeat = default_osc_repeat)
+    ?(watchdog_rounds = default_watchdog_rounds) () =
+  { llm; findings; verifier; collusion; osc_repeat; watchdog_rounds }
 
 let none = make ()
 
 let is_none t =
   Llm.is_none t.llm && Findings.is_none t.findings && Verifier.is_none t.verifier
+  && Collusion.is_none t.collusion
 
 let describe t =
-  Printf.sprintf "llm: %s; findings: %s; verifier: %s; osc-repeat %d; watchdog %d rounds"
+  (* The collusion clause is appended only when armed, so every historical
+     spec description — and the journal/bench output embedding it — stays
+     byte-identical. *)
+  Printf.sprintf "llm: %s; findings: %s; verifier: %s%s; osc-repeat %d; watchdog %d rounds"
     (Llm.describe t.llm) (Findings.describe t.findings)
     (Verifier.describe t.verifier)
+    (if Collusion.is_none t.collusion then ""
+     else "; collusion: " ^ Collusion.describe t.collusion)
     t.osc_repeat t.watchdog_rounds

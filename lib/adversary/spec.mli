@@ -9,6 +9,9 @@ type t = {
   verifier : Verifier.config;
       (** Byzantine-verifier lie rates (false negative / false positive /
           mutated, plus the adaptive schedule). *)
+  collusion : Collusion.config;
+      (** The colluding coalition (optionally owning the cross-check
+          oracle). *)
   osc_repeat : int;  (** Oscillation detector threshold ({!Watch.osc}). *)
   watchdog_rounds : int;  (** Progress watchdog K ({!Watch.progress}). *)
 }
@@ -20,6 +23,7 @@ val make :
   ?llm:Llm.config ->
   ?findings:Findings.config ->
   ?verifier:Verifier.config ->
+  ?collusion:Collusion.config ->
   ?osc_repeat:int ->
   ?watchdog_rounds:int ->
   unit ->

@@ -153,6 +153,7 @@ type adv = {
   llm : Adversary.Llm.t;
   corruption : Adversary.Findings.t;
   lies : Adversary.Verifier.t;  (* Byzantine-verifier lie engine *)
+  colluders : Adversary.Collusion.t;  (* colluding coalition (+ oracle) *)
   osc : Adversary.Watch.osc;
   prog : Adversary.Watch.progress;
   mutable escalate : int option;  (* pending oscillation period *)
@@ -184,6 +185,7 @@ let adv_of_spec ?(salt = 0) spec =
           llm = Adversary.Llm.create ~salt s.Adversary.Spec.llm;
           corruption = Adversary.Findings.create ~salt s.Adversary.Spec.findings;
           lies = Adversary.Verifier.create ~salt s.Adversary.Spec.verifier;
+          colluders = Adversary.Collusion.create ~salt s.Adversary.Spec.collusion;
           osc = Adversary.Watch.osc ~repeat_threshold:s.Adversary.Spec.osc_repeat ();
           prog = Adversary.Watch.progress ~rounds:s.Adversary.Spec.watchdog_rounds;
           escalate = None;
@@ -200,6 +202,7 @@ let adv_derive adversary idx =
         llm = Adversary.Llm.derive a.llm idx;
         corruption = Adversary.Findings.derive a.corruption idx;
         lies = Adversary.Verifier.derive a.lies idx;
+        colluders = Adversary.Collusion.derive a.colluders idx;
         osc = Adversary.Watch.osc ~repeat_threshold:a.spec.Adversary.Spec.osc_repeat ();
         prog = Adversary.Watch.progress ~rounds:a.spec.Adversary.Spec.watchdog_rounds;
         escalate = None;
@@ -443,10 +446,21 @@ let arm_suite_lies adversary (suite : Resilience.Suite.t) =
       Adversary.Verifier.arm a.lies ~lens:campion_lens suite.Resilience.Suite.campion;
       Adversary.Verifier.arm a.lies ~lens:topology_lens suite.Resilience.Suite.topology;
       Adversary.Verifier.arm a.lies ~lens:route_policies_lens
+        suite.Resilience.Suite.route_policies;
+      (* The coalition arms over whatever the lie engine installed, and —
+         when it owns the oracle — as the cross-check oracle service too. *)
+      Adversary.Collusion.arm a.colluders ~lens:parse_lens suite.Resilience.Suite.parse;
+      Adversary.Collusion.arm a.colluders ~lens:campion_lens suite.Resilience.Suite.campion;
+      Adversary.Collusion.arm a.colluders ~lens:topology_lens suite.Resilience.Suite.topology;
+      Adversary.Collusion.arm a.colluders ~lens:route_policies_lens
         suite.Resilience.Suite.route_policies
 
 let arm_verifier_lies adversary ~lens v =
-  match adversary with None -> () | Some a -> Adversary.Verifier.arm a.lies ~lens v
+  match adversary with
+  | None -> ()
+  | Some a ->
+      Adversary.Verifier.arm a.lies ~lens v;
+      Adversary.Collusion.arm a.colluders ~lens v
 
 (* ------------------------------------------------------------------ *)
 (* Resilient verifier stages                                           *)
@@ -479,14 +493,11 @@ let run_stage st rt (v : _ Resilience.Verifier.t) input =
   let kind = Resilience.Verifier.kind v in
   let kname = Resilience.Verifier.kind_name kind in
   (* The hand check consults the raw oracle — bypassing every installed
-     schedule, chaos faults and lies alike — which on an adversarial draft
-     can raise the very exception that degraded the automated path; the
-     firewall keeps the loop alive either way. *)
-  let hand_check () =
-    Resilience.Guard.run ~label:(kname ^ "/hand-check")
-      ~fingerprint:(Resilience.Guard.fingerprint_value input)
-      (fun () -> Resilience.Verifier.oracle v input)
-  in
+     schedule, chaos faults, lies and compromised oracle services alike —
+     which on an adversarial draft can raise the very exception that
+     degraded the automated path; the firewall keeps the loop alive either
+     way. *)
+  let hand_check () = Resilience.Verifier.hand_run v input in
   let degraded reason =
     record st Degraded
       (Printf.sprintf
@@ -535,41 +546,122 @@ let run_stage st rt (v : _ Resilience.Verifier.t) input =
       match automated () with
       | `Degraded res -> res
       | `Ok r ->
-          if Resilience.Trust.should_check ledger kind ~dirty:(Resilience.Verifier.dirty v r)
-          then
-            match hand_check () with
-            | Error crash -> Crashed_stage crash
-            | Ok honest ->
-                if honest = r then begin
-                  Resilience.Trust.agree ledger kind;
-                  Checked r
-                end
-                else begin
-                  (* The suspect's (possibly lying) dirtiness went into
-                     [should_check]; re-anchor the trigger to the truth so a
-                     caught false negative cannot launder the kind's
-                     history and slip its next fake clean pass through. *)
-                  Resilience.Trust.note_truth ledger kind
-                    ~dirty:(Resilience.Verifier.dirty v honest);
-                  record st Crosscheck
-                    (Printf.sprintf
-                       "[cross-check] the %s verifier's answer disagrees with an independent \
-                        oracle re-run; using the oracle's answer and debiting the verifier's \
-                        trust."
-                       kname)
-                    "cross-check";
-                  (match Resilience.Trust.disagree ledger kind with
-                  | `Quarantined ->
-                      record st Crosscheck
-                        (Printf.sprintf
-                           "[quarantine] the %s verifier fell below the trust threshold; its \
-                            checks are now hand-run and its findings escalate to human \
-                            prompts until probation clears."
-                           kname)
-                        "quarantine"
-                  | `Ok -> ());
-                  Hand_checked honest
-                end
+          let dirty_r = Resilience.Verifier.dirty v r in
+          (* Shared disagreement machinery: [honest] is authoritative (a
+             hand-run, or an oracle service that is only consulted while
+             untainted), the suspect is debited. Exactly the PR 8 path. *)
+          let caught_lying honest =
+            (* The suspect's (possibly lying) dirtiness went into
+               [should_check]; re-anchor the trigger to the truth so a
+               caught false negative cannot launder the kind's history and
+               slip its next fake clean pass through. *)
+            Resilience.Trust.note_truth ledger kind
+              ~dirty:(Resilience.Verifier.dirty v honest);
+            record st Crosscheck
+              (Printf.sprintf
+                 "[cross-check] the %s verifier's answer disagrees with an independent \
+                  oracle re-run; using the oracle's answer and debiting the verifier's \
+                  trust."
+                 kname)
+              "cross-check";
+            (match Resilience.Trust.disagree ledger kind with
+            | `Quarantined ->
+                record st Crosscheck
+                  (Printf.sprintf
+                     "[quarantine] the %s verifier fell below the trust threshold; its \
+                      checks are now hand-run and its findings escalate to human \
+                      prompts until probation clears."
+                     kname)
+                  "quarantine"
+            | `Ok -> ());
+            Hand_checked honest
+          in
+          if Resilience.Trust.should_check ledger kind ~dirty:dirty_r then
+            if Resilience.Trust.oracle_quarantined ledger then (
+              (* A quarantined oracle drops out of cross-checks: the
+                 hand-run answer is authoritative, and the oracle service
+                 rides along on probation — enough consecutive matches
+                 against the hand-run answer restore it. *)
+              match hand_check () with
+              | Error crash -> Crashed_stage crash
+              | Ok honest ->
+                  (match Resilience.Verifier.oracle_run v input with
+                  | Error _ -> ()
+                  | Ok osvc -> (
+                      match
+                        Resilience.Trust.oracle_probation ledger ~agree:(osvc = honest)
+                      with
+                      | `Restored streak ->
+                          record st Crosscheck
+                            (Printf.sprintf
+                               "[oracle-probation] the cross-check oracle matched the \
+                                hand-run check %d consecutive times; oracle trust restored."
+                               streak)
+                            "oracle-probation"
+                      | `Still -> ()));
+                  if honest = r then begin
+                    Resilience.Trust.agree ledger kind;
+                    Checked r
+                  end
+                  else caught_lying honest)
+            else (
+              match Resilience.Verifier.oracle_run v input with
+              | Error crash -> Crashed_stage crash
+              | Ok honest ->
+                  if honest = r then begin
+                    Resilience.Trust.agree ledger kind;
+                    (* The collusion signature: suspect and oracle agree on
+                       a CLEAN answer. A budgeted quorum audit hand-runs
+                       the check as referee votes; in honest runs the
+                       referee is the very call that just agreed, so the
+                       audit is silent and rate-0 byte-identity holds. *)
+                    if (not dirty_r) && Resilience.Trust.should_audit ledger kind then (
+                      match hand_check () with
+                      | Error crash -> Crashed_stage crash
+                      | Ok referee ->
+                          if referee = r then Checked r
+                          else (
+                            match Resilience.Trust.quorum_verdict ledger kind with
+                            | `Outvoted ->
+                                record st Crosscheck
+                                  (Printf.sprintf
+                                     "[quorum] a hand-run referee disputes the clean pass \
+                                      the %s verifier and the cross-check oracle agree on, \
+                                      but their combined trust outvotes the quorum; the \
+                                      clean pass stands."
+                                     kname)
+                                  "quorum-outvoted";
+                                Checked r
+                            | `Overruled (kind_quarantined, oracle_quarantined) ->
+                                Resilience.Trust.note_truth ledger kind
+                                  ~dirty:(Resilience.Verifier.dirty v referee);
+                                record st Crosscheck
+                                  (Printf.sprintf
+                                     "[quorum] the %s verifier and the cross-check oracle \
+                                      agree on a clean pass, but the hand-run quorum \
+                                      referees overrule them: collusion detected — using \
+                                      the referee's findings and debiting both."
+                                     kname)
+                                  "quorum";
+                                if kind_quarantined then
+                                  record st Crosscheck
+                                    (Printf.sprintf
+                                       "[quarantine] the %s verifier fell below the trust \
+                                        threshold; its checks are now hand-run and its \
+                                        findings escalate to human prompts until probation \
+                                        clears."
+                                       kname)
+                                    "quarantine";
+                                if oracle_quarantined then
+                                  record st Crosscheck
+                                    "[oracle-quarantine] the cross-check oracle fell below \
+                                     the trust threshold; cross-checks now consult the \
+                                     hand-run check directly until oracle probation clears."
+                                    "oracle-quarantine";
+                                Hand_checked referee))
+                    else Checked r
+                  end
+                  else caught_lying honest)
           else Checked r)
 
 (* Deliver a finding down the channel the stage earned: the automated
@@ -768,7 +860,8 @@ let first_error diags = List.find_opt Netcore.Diag.is_error diags
 
 let run_translation ?(seed = 42) ?(force_faults = []) ?(suppress_random = false)
     ?(max_prompts = 200) ?(stall_threshold = 4) ?(quality = 0.0)
-    ?(resilience = Resilience.Runtime.default_config) ?adversary ?trust ~cisco_text () =
+    ?(resilience = Resilience.Runtime.default_config) ?adversary ?trust ?trust_ledger
+    ~cisco_text () =
   let cisco_ir, _ = Cisco.Parser.parse cisco_text in
   let correct = Juniper.Translate.of_cisco_ir cisco_ir in
   let chat =
@@ -781,7 +874,10 @@ let run_translation ?(seed = 42) ?(force_faults = []) ?(suppress_random = false)
   arm_suite_lies adv suite;
   let st =
     new_loop ~adversary:adv
-      ~trust:(Option.map Resilience.Trust.create trust)
+      ~trust:
+        (match trust_ledger with
+        | Some _ -> trust_ledger
+        | None -> Option.map Resilience.Trust.create trust)
       ~max_prompts ~stall_threshold ()
   in
   let tr = { seen = []; tainted = [] } in
@@ -895,7 +991,7 @@ type synthesis_result = {
 let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
     ?(stall_threshold = 2) ?(final_check = Simulate) ?pool ?tasks:tasks_override
     ?(force_hub_faults = []) ?(resilience = Resilience.Runtime.default_config)
-    ?adversary ?trust ~routers () =
+    ?adversary ?trust ?trust_ledger ~routers () =
   let star = Netcore.Star.make ~routers in
   let tasks =
     match tasks_override with Some ts -> ts | None -> Modularizer.plan star
@@ -907,7 +1003,10 @@ let run_no_transit ?(seed = 42) ?(use_iips = true) ?(max_prompts = 400)
   arm_suite_lies adv_main suite_main;
   let st =
     new_loop ~adversary:adv_main
-      ~trust:(Option.map Resilience.Trust.create trust)
+      ~trust:
+        (match trust_ledger with
+        | Some _ -> trust_ledger
+        | None -> Option.map Resilience.Trust.create trust)
       ~max_prompts ~stall_threshold ()
   in
   record st Human
@@ -1208,7 +1307,8 @@ type incremental_result = {
 
 let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
     ?(target = "R2") ?(prepend = [ 1; 1 ])
-    ?(resilience = Resilience.Runtime.default_config) ?adversary ?trust ~routers () =
+    ?(resilience = Resilience.Runtime.default_config) ?adversary ?trust ?trust_ledger
+    ~routers () =
   let star = Netcore.Star.make ~routers in
   let rt = Resilience.Runtime.create ~salt:seed resilience in
   let suite = Resilience.Suite.make rt in
@@ -1222,7 +1322,10 @@ let run_incremental ?(seed = 42) ?(max_prompts = 100) ?(stall_threshold = 2)
   in
   let st =
     new_loop ~adversary:adv
-      ~trust:(Option.map Resilience.Trust.create trust)
+      ~trust:
+        (match trust_ledger with
+        | Some _ -> trust_ledger
+        | None -> Option.map Resilience.Trust.create trust)
       ~max_prompts ~stall_threshold ()
   in
   let interference = ref false in

@@ -95,6 +95,7 @@ val run_translation :
   ?resilience:Resilience.Runtime.config ->
   ?adversary:Adversary.Spec.t ->
   ?trust:Resilience.Trust.config ->
+  ?trust_ledger:Resilience.Trust.t ->
   cisco_text:string ->
   unit ->
   translation_result
@@ -137,7 +138,24 @@ val run_translation :
     hand-run until probation re-runs restore it. Cross-check, quarantine
     and probation outcomes land in the transcript as [Crosscheck]
     annotations. With honest verifiers the ledger changes no transcript
-    bytes — cross-checks that agree are silent. *)
+    bytes — cross-checks that agree are silent.
+
+    The cross-check oracle is no longer unconditional ground truth: a
+    clean answer the oracle {e agrees} with may still be a coalition lie
+    (the spec's [collusion] field arms {!Adversary.Collusion}, optionally
+    compromising the oracle itself), so the trust layer spends a separate
+    audit budget hand-running such agreements as quorum referees — an
+    overruled agreement debits the kind {e and} the oracle, and a
+    quarantined oracle drops out of cross-checks (hand-run answers are
+    authoritative) until oracle probation restores it. In honest runs the
+    referee is the very call that just agreed, so audits are silent and
+    byte-identity holds.
+
+    [trust_ledger] passes an existing {!Resilience.Trust.t} instance
+    instead of a fresh [create] — the persistence hook: the caller seeds it
+    from {!Resilience.Trust.Ledger_store} state and reads the evolved state
+    back after the run, so quarantine survives kill/resume cycles. Takes
+    precedence over [trust]. *)
 
 val table2_faults : cisco_text:string -> Llmsim.Fault.t list
 (** One representative fault per Table 2 row, targeted at the reference
@@ -171,6 +189,7 @@ val run_no_transit :
   ?resilience:Resilience.Runtime.config ->
   ?adversary:Adversary.Spec.t ->
   ?trust:Resilience.Trust.config ->
+  ?trust_ledger:Resilience.Trust.t ->
   routers:int ->
   unit ->
   synthesis_result
@@ -230,6 +249,7 @@ val run_incremental :
   ?resilience:Resilience.Runtime.config ->
   ?adversary:Adversary.Spec.t ->
   ?trust:Resilience.Trust.config ->
+  ?trust_ledger:Resilience.Trust.t ->
   routers:int ->
   unit ->
   incremental_result

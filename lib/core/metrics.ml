@@ -139,6 +139,7 @@ type perf = {
   verifier : (Resilience.Verifier.kind * Resilience.Stats.counters) list;
   supervisor : Exec.Supervisor.counters;
   trust : Resilience.Trust.snapshot;
+  quorum : Resilience.Trust.quorum_counters;
 }
 
 let verifier_totals p =
@@ -198,6 +199,7 @@ let measure ?pool f =
   let m0 = Exec.Memo.stats () in
   let v0 = Resilience.Stats.snapshot () in
   let t0 = Resilience.Trust.snapshot () in
+  let q0 = Resilience.Trust.quorum_snapshot () in
   let s0 = Exec.Supervisor.stats () in
   let p0 = Option.map Exec.Pool.stats pool in
   let r, wall_s = Exec.Sweep.timed f in
@@ -222,6 +224,7 @@ let measure ?pool f =
       verifier = Resilience.Stats.diff v0 v1;
       supervisor = Exec.Supervisor.diff s0 (Exec.Supervisor.stats ());
       trust = Resilience.Trust.diff (Resilience.Trust.snapshot ()) t0;
+      quorum = Resilience.Trust.diff_quorum (Resilience.Trust.quorum_snapshot ()) q0;
     } )
 
 let pp_perf ppf p =
@@ -240,6 +243,12 @@ let pp_perf ppf p =
     Format.fprintf ppf ", trust %d checks / %d lies / %d quarantines"
       tr.Resilience.Trust.cross_checks tr.Resilience.Trust.disagreements
       tr.Resilience.Trust.quarantines;
+  (* Quorum activity prints only when the collusion defense actually moved,
+     so every pre-collusion perf line stays byte-identical. *)
+  if Resilience.Trust.quorum_active p.quorum then
+    Format.fprintf ppf ", quorum %d audits / %d overruled / %d oracle quarantines"
+      p.quorum.Resilience.Trust.audits p.quorum.Resilience.Trust.overruled
+      p.quorum.Resilience.Trust.oracle_quarantines;
   let sup = p.supervisor in
   if sup.Exec.Supervisor.losses > 0 || sup.Exec.Supervisor.abandoned > 0 then
     Format.fprintf ppf

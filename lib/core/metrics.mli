@@ -67,6 +67,10 @@ type perf = {
       (** Per-verifier trust-layer deltas (cross-checks, detected lies,
           quarantines) during the section; all zero without a [?trust]
           ledger armed. *)
+  quorum : Resilience.Trust.quorum_counters;
+      (** Quorum-audit deltas (audits, overruled collusions, oracle
+          quarantines/restores) during the section; all zero without a
+          trust ledger, and zero under honest verifiers even with one. *)
 }
 
 val measure : ?pool:Exec.Pool.t -> (unit -> 'a) -> 'a * perf

@@ -19,6 +19,7 @@ type config = {
   debug_jobs : bool;
   triage : string option;
   restarts : int;
+  trust_ledger : string option;
 }
 
 let default_config =
@@ -34,6 +35,7 @@ let default_config =
     debug_jobs = false;
     triage = None;
     restarts = 0;
+    trust_ledger = None;
   }
 
 type summary = { served : int; shed : int; timed_out : int; drained : bool }
@@ -74,6 +76,69 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
     | None -> Exec.Pool.create ()
   in
   let adm = Resilience.Admission.create cfg.admission in
+  (* The daemon's persistent trust layer: the ledger is loaded once at
+     start (a quarantine earned before a restart — or recorded by a sweep
+     that shares the file — is in force for the first request) and every
+     trust-armed work job appends one fsync'd line. Trust-armed synthesis
+     jobs serialize on [trust_m]: the ledger threads state from job to job
+     exactly like a sequential sweep, and the process-global counter
+     deltas each line carries stay attributable to one job. Control-plane
+     jobs, [parse] and [sleep] are untouched, as is everything when no
+     ledger is configured — the unloaded reply frames then stay
+     byte-identical to the trust-free daemon's. *)
+  let trust_m = Mutex.create () in
+  let ledger_state =
+    ref
+      (Option.join
+         (Option.map Resilience.Trust.Ledger_store.load cfg.trust_ledger))
+  in
+  let ledger_handle =
+    Option.map
+      (fun path ->
+        (match !ledger_state with
+        | None -> Printf.eprintf "trust-ledger: recording to %s\n%!" path
+        | Some _ ->
+            Printf.eprintf "trust-ledger: resuming trust state from %s\n%!" path);
+        Resilience.Trust.Ledger_store.open_ ~truncate:false path)
+      cfg.trust_ledger
+  in
+  (* Run one synthesis job under the ledger: the driver gets a trust
+     instance seeded from the cumulative state, and the evolved state plus
+     this job's counter deltas land as one ledger line keyed on the
+     request seed. *)
+  let with_trust ~seed f =
+    match ledger_handle with
+    | None -> f None
+    | Some h ->
+        Mutex.lock trust_m;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock trust_m)
+          (fun () ->
+            let t =
+              match !ledger_state with
+              | Some e ->
+                  Resilience.Trust.create_from Resilience.Trust.default_config e
+              | None -> Resilience.Trust.create Resilience.Trust.default_config
+            in
+            let t0 = Resilience.Trust.snapshot () in
+            let q0 = Resilience.Trust.quorum_snapshot () in
+            let r = f (Some t) in
+            let counters =
+              Resilience.Trust.totals
+                (Resilience.Trust.diff (Resilience.Trust.snapshot ()) t0)
+            in
+            let quorum =
+              Resilience.Trust.diff_quorum (Resilience.Trust.quorum_snapshot ()) q0
+            in
+            let e = Resilience.Trust.state_of t ~counters ~quorum in
+            Resilience.Trust.Ledger_store.record h ~seed e;
+            ledger_state :=
+              Some
+                (match !ledger_state with
+                | None -> e
+                | Some a -> Resilience.Trust.Ledger_store.merge a e);
+            r)
+  in
   let t0 = Unix.gettimeofday () in
   let m = Mutex.create () in
   let served = ref 0 in
@@ -128,8 +193,9 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
           Option.value ~default:Cisco.Samples.border_router (jstr "text" req)
         in
         let r =
-          Driver.run_translation ~seed ~resilience:(resilience_of req)
-            ~cisco_text:text ()
+          with_trust ~seed (fun trust_ledger ->
+              Driver.run_translation ~seed ?trust_ledger
+                ~resilience:(resilience_of req) ~cisco_text:text ())
         in
         let t = r.Driver.transcript in
         [
@@ -143,8 +209,9 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
         let seed = Option.value ~default:42 (jint "seed" req) in
         let routers = Option.value ~default:7 (jint "routers" req) in
         let r =
-          Driver.run_no_transit ~seed ~pool ~resilience:(resilience_of req)
-            ~routers ()
+          with_trust ~seed (fun trust_ledger ->
+              Driver.run_no_transit ~seed ~pool ?trust_ledger
+                ~resilience:(resilience_of req) ~routers ())
         in
         let t = r.Driver.transcript in
         [
@@ -161,8 +228,9 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
         let seed = Option.value ~default:42 (jint "seed" req) in
         let routers = Option.value ~default:5 (jint "routers" req) in
         let r =
-          Driver.run_incremental ~seed ~resilience:(resilience_of req) ~routers
-            ()
+          with_trust ~seed (fun trust_ledger ->
+              Driver.run_incremental ~seed ?trust_ledger
+                ~resilience:(resilience_of req) ~routers ())
         in
         let t = r.Driver.inc_transcript in
         [
@@ -249,6 +317,78 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
                       field "retry_after_ms" cur.Resilience.Admission.retry_after_ms;
                   }))
   in
+  (* Trust state for the health/stats frames — present only when a ledger
+     is configured, so unconfigured daemons keep their exact frame shape.
+     Health gets the operator's triage view (who is quarantined right
+     now); stats gets the full cumulative counters. *)
+  let trust_state () =
+    Mutex.lock trust_m;
+    let v = !ledger_state in
+    Mutex.unlock trust_m;
+    v
+  in
+  let trust_health_fields () =
+    match cfg.trust_ledger with
+    | None -> []
+    | Some _ ->
+        let quarantined, oracle_q, lies, collusions =
+          match trust_state () with
+          | None -> ([], false, 0, 0)
+          | Some e ->
+              ( List.filter_map
+                  (fun (k, (c : Resilience.Trust.Ledger_store.cell_state)) ->
+                    if c.Resilience.Trust.Ledger_store.s_quarantined then
+                      Some (J.String (Resilience.Verifier.kind_name k))
+                    else None)
+                  e.Resilience.Trust.Ledger_store.kinds,
+                e.Resilience.Trust.Ledger_store.oracle
+                  .Resilience.Trust.Ledger_store.s_quarantined,
+                e.Resilience.Trust.Ledger_store.counters
+                  .Resilience.Trust.disagreements,
+                e.Resilience.Trust.Ledger_store.quorum.Resilience.Trust.overruled )
+        in
+        [
+          ( "trust",
+            J.Obj
+              [
+                ("quarantined", J.List quarantined);
+                ("oracle_quarantined", J.Bool oracle_q);
+                ("lies_detected", J.Int lies);
+                ("collusions_detected", J.Int collusions);
+              ] );
+        ]
+  in
+  let trust_stats_fields () =
+    match cfg.trust_ledger with
+    | None -> []
+    | Some _ ->
+        let c, q, oracle_q =
+          match trust_state () with
+          | None ->
+              (Resilience.Trust.zero, Resilience.Trust.zero_quorum, false)
+          | Some e ->
+              ( e.Resilience.Trust.Ledger_store.counters,
+                e.Resilience.Trust.Ledger_store.quorum,
+                e.Resilience.Trust.Ledger_store.oracle
+                  .Resilience.Trust.Ledger_store.s_quarantined )
+        in
+        [
+          ( "trust",
+            J.Obj
+              [
+                ("checks", J.Int c.Resilience.Trust.cross_checks);
+                ("lies_detected", J.Int c.Resilience.Trust.disagreements);
+                ("quarantines", J.Int c.Resilience.Trust.quarantines);
+                ("restores", J.Int c.Resilience.Trust.restores);
+                ("audits", J.Int q.Resilience.Trust.audits);
+                ("collusions_detected", J.Int q.Resilience.Trust.overruled);
+                ( "oracle_quarantines",
+                  J.Int q.Resilience.Trust.oracle_quarantines );
+                ("oracle_restores", J.Int q.Resilience.Trust.oracle_restores);
+                ("oracle_quarantined", J.Bool oracle_q);
+              ] );
+        ]
+  in
   let handle ~client req =
     locked (fun () -> incr served);
     let job = Option.value ~default:"" (jstr "job" req) in
@@ -268,7 +408,7 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
         let a = Resilience.Admission.stats adm in
         Exec.Serve.Reply
           (ok
-             [
+             ([
                ("accepting", J.Bool (locked (fun () -> !accepting)));
                ("in_flight", J.Int a.Resilience.Admission.in_flight);
                ("queued", J.Int a.Resilience.Admission.queued);
@@ -280,7 +420,8 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
                ("served", J.Int (locked (fun () -> !served)));
                ("reloads", J.Int (locked (fun () -> !reloads)));
                ("restarts", J.Int cfg.restarts);
-             ])
+             ]
+             @ trust_health_fields ()))
     | "stats" ->
         let mm = Exec.Memo.stats () in
         let p = Exec.Pool.stats pool in
@@ -288,7 +429,7 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
         let caps = Resilience.Admission.config adm in
         Exec.Serve.Reply
           (ok
-             [
+             ([
                ("served", J.Int (locked (fun () -> !served)));
                ("uptime_s", J.Float (Unix.gettimeofday () -. t0));
                ( "memo",
@@ -331,7 +472,8 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
                ("reloads", J.Int (locked (fun () -> !reloads)));
                ("restarts", J.Int cfg.restarts);
                ("crashes", J.Int (Resilience.Guard.total ()));
-             ])
+             ]
+             @ trust_stats_fields ()))
     | "crash" when cfg.debug_jobs ->
         (* Ack first, then die from a detached thread: the supervisor
            smoke needs the reply flushed before the process vanishes. *)
@@ -372,6 +514,9 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
       ~on_reload:reload_admission ()
   in
   Exec.Pool.shutdown pool;
+  (* Every ledger line is already fsync'd; the close just guarantees a
+     drained/shut-down daemon leaves no open handle. *)
+  Option.iter Resilience.Trust.Ledger_store.close ledger_handle;
   (match cfg.triage with
   | Some path ->
       Resilience.Triage.record ~ts:(Unix.gettimeofday ()) ~path

@@ -52,6 +52,18 @@ type config = {
   restarts : int;
       (** How often a supervisor has respawned this daemon; reported in
           [stats] and [health]. *)
+  trust_ledger : string option;
+      (** Persistent trust ledger ({!Resilience.Trust.Ledger_store}):
+          loaded once at startup (quarantine recorded before a restart —
+          or by a sweep sharing the file — is in force for the first
+          request) and appended to, one fsync'd line per trust-armed work
+          job. While set, [translate]/[synth]/[repair] run under the trust
+          layer and serialize on an internal mutex (the ledger threads
+          state from job to job exactly like a sequential sweep), [health]
+          gains a compact [trust] object (quarantined kinds, oracle
+          quarantine, lie/collusion totals) and [stats] a full counter
+          one. [None] (the default) leaves every code path and frame shape
+          byte-identical to the trust-free daemon. *)
 }
 
 val default_config : config

@@ -5,10 +5,21 @@ type config = {
   threshold : float;
   probation : int;
   check_budget : int;
+  quorum : int;
+  audit_budget : int;
 }
 
 let default_config =
-  { initial = 1.0; debit = 0.4; credit = 0.02; threshold = 0.5; probation = 3; check_budget = 16 }
+  {
+    initial = 1.0;
+    debit = 0.4;
+    credit = 0.02;
+    threshold = 0.5;
+    probation = 3;
+    check_budget = 16;
+    quorum = 4;
+    audit_budget = 8;
+  }
 
 let clamp_config c =
   {
@@ -18,6 +29,8 @@ let clamp_config c =
     threshold = Float.max 0.0 c.threshold;
     probation = max 1 c.probation;
     check_budget = max 0 c.check_budget;
+    quorum = max 2 c.quorum;
+    audit_budget = max 0 c.audit_budget;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -114,6 +127,71 @@ let diff (after : snapshot) (before : snapshot) : snapshot =
 
 let totals (s : snapshot) = List.fold_left (fun acc (_, c) -> add acc c) zero s
 
+(* Quorum activity is tallied separately from the PR 8 counters above so
+   that runs without collusion keep the historical trust rows and summary
+   lines byte-identical. One process-wide cell (not per-kind): the oracle
+   is a single shared service. *)
+
+type quorum_counters = {
+  audits : int;
+  overruled : int;
+  outvoted : int;
+  oracle_quarantines : int;
+  oracle_restores : int;
+  oracle_probations : int;
+}
+
+let zero_quorum =
+  {
+    audits = 0;
+    overruled = 0;
+    outvoted = 0;
+    oracle_quarantines = 0;
+    oracle_restores = 0;
+    oracle_probations = 0;
+  }
+
+let add_quorum a b =
+  {
+    audits = a.audits + b.audits;
+    overruled = a.overruled + b.overruled;
+    outvoted = a.outvoted + b.outvoted;
+    oracle_quarantines = a.oracle_quarantines + b.oracle_quarantines;
+    oracle_restores = a.oracle_restores + b.oracle_restores;
+    oracle_probations = a.oracle_probations + b.oracle_probations;
+  }
+
+let diff_quorum a b =
+  {
+    audits = a.audits - b.audits;
+    overruled = a.overruled - b.overruled;
+    outvoted = a.outvoted - b.outvoted;
+    oracle_quarantines = a.oracle_quarantines - b.oracle_quarantines;
+    oracle_restores = a.oracle_restores - b.oracle_restores;
+    oracle_probations = a.oracle_probations - b.oracle_probations;
+  }
+
+let q_audits = Atomic.make 0
+let q_overruled = Atomic.make 0
+let q_outvoted = Atomic.make 0
+let q_oracle_quarantines = Atomic.make 0
+let q_oracle_restores = Atomic.make 0
+let q_oracle_probations = Atomic.make 0
+
+let quorum_snapshot () =
+  {
+    audits = Atomic.get q_audits;
+    overruled = Atomic.get q_overruled;
+    outvoted = Atomic.get q_outvoted;
+    oracle_quarantines = Atomic.get q_oracle_quarantines;
+    oracle_restores = Atomic.get q_oracle_restores;
+    oracle_probations = Atomic.get q_oracle_probations;
+  }
+
+let quorum_active c =
+  c.audits <> 0 || c.overruled <> 0 || c.outvoted <> 0 || c.oracle_quarantines <> 0
+  || c.oracle_restores <> 0 || c.oracle_probations <> 0
+
 let reset_globals () =
   Array.iter
     (fun g ->
@@ -123,7 +201,13 @@ let reset_globals () =
       Atomic.set g.g_quarantines 0;
       Atomic.set g.g_restores 0;
       Atomic.set g.g_probation 0)
-    globals
+    globals;
+  Atomic.set q_audits 0;
+  Atomic.set q_overruled 0;
+  Atomic.set q_outvoted 0;
+  Atomic.set q_oracle_quarantines 0;
+  Atomic.set q_oracle_restores 0;
+  Atomic.set q_oracle_probations 0
 
 (* ------------------------------------------------------------------ *)
 (* Per-run ledger                                                      *)
@@ -139,6 +223,14 @@ type cell = {
 type t = {
   cfg : config;
   cells : cell array;
+  (* The cross-check oracle's own pseudo-cell: debited alongside every
+     overruled colluder, quarantined below the threshold like any kind. *)
+  oracle_cell : cell;
+  audits_by_kind : int array;
+  mutable audits_spent : int;
+  mutable collusions_detected : int;
+  mutable oracle_quarantine_count : int;
+  mutable oracle_restore_count : int;
   mutable checks_spent : int;
   mutable lies_detected : int;
   mutable quarantine_count : int;
@@ -155,6 +247,12 @@ let create cfg =
              is itself suspicious — a first-round false negative must not
              slip through unchecked. *)
           { score = cfg.initial; quarantined = false; streak = 0; last_dirty = true });
+    oracle_cell = { score = cfg.initial; quarantined = false; streak = 0; last_dirty = true };
+    audits_by_kind = Array.make n_kinds 0;
+    audits_spent = 0;
+    collusions_detected = 0;
+    oracle_quarantine_count = 0;
+    oracle_restore_count = 0;
     checks_spent = 0;
     lies_detected = 0;
     quarantine_count = 0;
@@ -170,12 +268,26 @@ let checks_spent t = t.checks_spent
 let lies_detected t = t.lies_detected
 let quarantine_count t = t.quarantine_count
 let restore_count t = t.restore_count
+let oracle_quarantined t = t.oracle_cell.quarantined
+let oracle_score t = t.oracle_cell.score
+let audits_spent t = t.audits_spent
+let collusions_detected t = t.collusions_detected
 
 let should_check t kind ~dirty =
   let c = cell t kind in
   let suspicious = dirty || c.last_dirty in
   c.last_dirty <- dirty;
   if c.quarantined then false
+  else if t.oracle_cell.quarantined then begin
+    (* Alert mode: a quarantined oracle is categorical evidence of an
+       active coalition with unknown membership, so every answer is
+       suspicious — and free: the check budget bounds voluntary calls into
+       the oracle service, while these checks resolve against the hand-run
+       fallback the quarantine mandates anyway. Honest runs never
+       quarantine the oracle, so the peacetime path is untouched. *)
+    bump globals.(Verifier.kind_index kind).g_checks;
+    true
+  end
   else if suspicious && t.checks_spent < t.cfg.check_budget then begin
     t.checks_spent <- t.checks_spent + 1;
     bump globals.(Verifier.kind_index kind).g_checks;
@@ -224,3 +336,286 @@ let probation t kind ~agree =
     c.streak <- 0;
     `Still
   end
+
+(* ------------------------------------------------------------------ *)
+(* Quorum cross-checks (the collusion defense)                         *)
+(* ------------------------------------------------------------------ *)
+
+let should_audit t kind =
+  let c = cell t kind in
+  if
+    t.cfg.audit_budget <= 0
+    || t.audits_spent >= t.cfg.audit_budget
+    || t.oracle_cell.quarantined || c.quarantined
+  then false
+  else begin
+    (* Trust-informed scheduling: each kind's share of the audit budget is
+       proportional to its current trust weight, with a floor of one and a
+       ceiling division — a full-trust kind among five gets
+       ceil(8 * 1.0 / 5.0) = 2 audits, the two needed to quarantine a
+       colluder at the default debit/threshold. *)
+    let sum = Array.fold_left (fun acc c -> acc +. Float.max 0.0 c.score) 0.0 t.cells in
+    let share =
+      if sum <= 0.0 then t.cfg.audit_budget
+      else
+        max 1
+          (int_of_float
+             (Float.ceil (float_of_int t.cfg.audit_budget *. Float.max 0.0 c.score /. sum)))
+    in
+    let ix = Verifier.kind_index kind in
+    if t.audits_by_kind.(ix) >= share then false
+    else begin
+      t.audits_by_kind.(ix) <- t.audits_by_kind.(ix) + 1;
+      t.audits_spent <- t.audits_spent + 1;
+      bump q_audits;
+      true
+    end
+  end
+
+let quorum_verdict t kind =
+  (* Weighted vote over a K-member quorum: the suspect kind and the oracle
+     service form the lie camp (they just agreed); the hand-run referee
+     answer stands in for the quorum's max 1 (K-2) remaining independent
+     members, each voting with full weight. Referees win ties — agreement
+     between two already-suspect parties must not outrank an independent
+     hand re-run of equal weight. *)
+  let camp = Float.max 0.0 (score t kind) +. Float.max 0.0 t.oracle_cell.score in
+  let referees = float_of_int (max 1 (t.cfg.quorum - 2)) in
+  if referees >= camp then begin
+    bump q_overruled;
+    t.collusions_detected <- t.collusions_detected + 1;
+    (* Refund the audit: the budget bounds what auditing *honest*
+       agreements may cost, and an overrule just proved this one was
+       collusion — detection pressure must not exhaust itself while the
+       lies continue. Refunds cannot run away: two overrules quarantine
+       the oracle, and a quarantined oracle stops every audit. *)
+    t.audits_spent <- max 0 (t.audits_spent - 1);
+    let ix = Verifier.kind_index kind in
+    t.audits_by_kind.(ix) <- max 0 (t.audits_by_kind.(ix) - 1);
+    let kind_quarantined = disagree t kind = `Quarantined in
+    let o = t.oracle_cell in
+    (* The oracle is debited at double weight: a kind's lie is a single
+       noisy signal, but an overruled clean-agreement is corroborated by
+       the whole referee quorum — categorical evidence the service every
+       cross-check trusts has vouched for a lie. At the default
+       debit/threshold one proven collusion quarantines it. *)
+    o.score <- o.score -. (2. *. t.cfg.debit);
+    let oracle_quarantined =
+      if (not o.quarantined) && o.score < t.cfg.threshold then begin
+        o.quarantined <- true;
+        o.streak <- 0;
+        t.oracle_quarantine_count <- t.oracle_quarantine_count + 1;
+        bump q_oracle_quarantines;
+        true
+      end
+      else false
+    in
+    `Overruled (kind_quarantined, oracle_quarantined)
+  end
+  else begin
+    bump q_outvoted;
+    `Outvoted
+  end
+
+let oracle_probation t ~agree =
+  bump q_oracle_probations;
+  let o = t.oracle_cell in
+  if not o.quarantined then `Still
+  else if agree then begin
+    o.streak <- o.streak + 1;
+    if o.streak >= t.cfg.probation then begin
+      o.quarantined <- false;
+      o.score <- t.cfg.initial;
+      o.streak <- 0;
+      t.oracle_restore_count <- t.oracle_restore_count + 1;
+      bump q_oracle_restores;
+      `Restored t.cfg.probation
+    end
+    else `Still
+  end
+  else begin
+    o.streak <- 0;
+    `Still
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Persistent trust ledger (Exec.Checkpoint discipline)                *)
+(* ------------------------------------------------------------------ *)
+
+module Ledger_store = struct
+  type cell_state = { s_score : float; s_quarantined : bool }
+
+  type entry = {
+    kinds : (Verifier.kind * cell_state) list;
+    oracle : cell_state;
+    counters : counters;
+    quorum : quorum_counters;
+  }
+
+  let cell_state_to_json (c : cell_state) : Netcore.Json.t =
+    Obj [ ("score", Float c.s_score); ("quarantined", Bool c.s_quarantined) ]
+
+  let cell_state_of_json j =
+    match (Netcore.Json.member "score" j, Netcore.Json.member "quarantined" j) with
+    | Some s, Some q -> (
+        match (Netcore.Json.to_float s, Netcore.Json.to_bool q) with
+        | Some s_score, Some s_quarantined -> Some { s_score; s_quarantined }
+        | _ -> None)
+    | _ -> None
+
+  let counters_to_json (c : counters) : Netcore.Json.t =
+    Obj
+      [
+        ("checks", Int c.cross_checks);
+        ("agree", Int c.agreements);
+        ("disagree", Int c.disagreements);
+        ("quarantines", Int c.quarantines);
+        ("restores", Int c.restores);
+        ("probation", Int c.probation_runs);
+      ]
+
+  let counters_of_json j =
+    let f k = Option.bind (Netcore.Json.member k j) Netcore.Json.to_int in
+    match (f "checks", f "agree", f "disagree", f "quarantines", f "restores", f "probation")
+    with
+    | Some cross_checks, Some agreements, Some disagreements, Some quarantines, Some restores,
+      Some probation_runs ->
+        Some { cross_checks; agreements; disagreements; quarantines; restores; probation_runs }
+    | _ -> None
+
+  let quorum_to_json (q : quorum_counters) : Netcore.Json.t =
+    Obj
+      [
+        ("audits", Int q.audits);
+        ("overruled", Int q.overruled);
+        ("outvoted", Int q.outvoted);
+        ("oracle_quarantines", Int q.oracle_quarantines);
+        ("oracle_restores", Int q.oracle_restores);
+        ("oracle_probations", Int q.oracle_probations);
+      ]
+
+  let quorum_of_json j =
+    let f k = Option.bind (Netcore.Json.member k j) Netcore.Json.to_int in
+    match
+      ( f "audits",
+        f "overruled",
+        f "outvoted",
+        f "oracle_quarantines",
+        f "oracle_restores",
+        f "oracle_probations" )
+    with
+    | Some audits, Some overruled, Some outvoted, Some oracle_quarantines, Some oracle_restores,
+      Some oracle_probations ->
+        Some
+          {
+            audits;
+            overruled;
+            outvoted;
+            oracle_quarantines;
+            oracle_restores;
+            oracle_probations;
+          }
+    | _ -> None
+
+  let entry_to_json (e : entry) : Netcore.Json.t =
+    Obj
+      [
+        ( "kinds",
+          Netcore.Json.Obj
+            (List.map (fun (k, c) -> (Verifier.kind_name k, cell_state_to_json c)) e.kinds) );
+        ("oracle", cell_state_to_json e.oracle);
+        ("counters", counters_to_json e.counters);
+        ("quorum", quorum_to_json e.quorum);
+      ]
+
+  let entry_of_json j =
+    match
+      ( Option.bind (Netcore.Json.member "kinds" j) Netcore.Json.to_obj,
+        Option.bind (Netcore.Json.member "oracle" j) cell_state_of_json,
+        Option.bind (Netcore.Json.member "counters" j) counters_of_json,
+        Option.bind (Netcore.Json.member "quorum" j) quorum_of_json )
+    with
+    | Some fields, Some oracle, Some counters, Some quorum ->
+        let kinds =
+          List.filter_map
+            (fun (name, cj) ->
+              match (Verifier.kind_of_name name, cell_state_of_json cj) with
+              | Some k, Some c -> Some (k, c)
+              | _ -> None)
+            fields
+        in
+        if List.length kinds = List.length fields then Some { kinds; oracle; counters; quorum }
+        else None
+    | _ -> None
+
+  (* Commutative, associative state merge: a kind quarantined in either
+     entry stays quarantined, scores take the minimum — the conservative
+     fold that makes per-shard ledger deltas order-insensitive within a
+     seed tier. Counters sum (they are per-run deltas). *)
+  let merge_cell a b =
+    { s_score = Float.min a.s_score b.s_score; s_quarantined = a.s_quarantined || b.s_quarantined }
+
+  let merge a b =
+    {
+      kinds =
+        List.filter_map
+          (fun k ->
+            match (List.assoc_opt k a.kinds, List.assoc_opt k b.kinds) with
+            | Some ca, Some cb -> Some (k, merge_cell ca cb)
+            | (Some _ as c), None | None, (Some _ as c) -> Option.map (fun c -> (k, c)) c
+            | None, None -> None)
+          Verifier.all_kinds;
+      oracle = merge_cell a.oracle b.oracle;
+      counters = add a.counters b.counters;
+      quorum = add_quorum a.quorum b.quorum;
+    }
+
+  type handle = Exec.Checkpoint.t
+
+  let open_ ?truncate path : handle = Exec.Checkpoint.open_ ?truncate path
+  let record (h : handle) ~seed e = Exec.Checkpoint.record h ~seed (entry_to_json e)
+  let close (h : handle) = Exec.Checkpoint.close h
+
+  (* Fold the surviving (last-write-wins) lines in seed order: states merge
+     conservatively, per-seed counter deltas sum — so a resumed sweep can
+     reprint the exact trust summary of an uninterrupted one. *)
+  let load path =
+    Exec.Checkpoint.load path
+    |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+    |> List.fold_left
+         (fun acc (_, j) ->
+           match entry_of_json j with
+           | None -> acc
+           | Some e -> Some (match acc with None -> e | Some a -> merge a e))
+         None
+end
+
+let state_of t ~counters ~quorum : Ledger_store.entry =
+  {
+    kinds =
+      List.map
+        (fun k ->
+          let c = cell t k in
+          (k, { Ledger_store.s_score = c.score; s_quarantined = c.quarantined }))
+        Verifier.all_kinds;
+    oracle =
+      { Ledger_store.s_score = t.oracle_cell.score; s_quarantined = t.oracle_cell.quarantined };
+    counters;
+    quorum;
+  }
+
+let create_from cfg (e : Ledger_store.entry) =
+  let t = create cfg in
+  List.iter
+    (fun (k, (s : Ledger_store.cell_state)) ->
+      let c = cell t k in
+      c.score <- Float.min t.cfg.initial s.Ledger_store.s_score;
+      c.quarantined <- s.Ledger_store.s_quarantined;
+      (* Probation streaks deliberately do not persist: a restart restarts
+         probation from zero, quarantine itself survives. *)
+      c.streak <- 0)
+    e.Ledger_store.kinds;
+  t.oracle_cell.score <- Float.min t.cfg.initial e.Ledger_store.oracle.Ledger_store.s_score;
+  t.oracle_cell.quarantined <- e.Ledger_store.oracle.Ledger_store.s_quarantined;
+  t.oracle_cell.streak <- 0;
+  t

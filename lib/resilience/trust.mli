@@ -33,11 +33,22 @@ type config = {
       (** Maximum voluntary cross-checks per ledger instance; probation
           re-runs ride on calls the quarantined path makes anyway and are
           not charged against it. *)
+  quorum : int;
+      (** Quorum size K for collusion audits (clamped to >= 2): the suspect
+          and the oracle service are two members, the hand-run referee
+          stands in for the remaining [max 1 (K-2)] independent members.
+          The default 4 defeats a fresh two-party coalition; 3 is the
+          deliberately-too-small knob the bench sweeps. *)
+  audit_budget : int;
+      (** Maximum quorum audits per ledger instance (clamped to >= 0),
+          charged separately from [check_budget] so PR 8 trust
+          trajectories are untouched. 0 restores oracle-as-ground-truth. *)
 }
 
 val default_config : config
 (** Score 1.0, debit 0.4, credit 0.02, threshold 0.5, probation 3,
-    budget 16 — two disagreements quarantine a kind. *)
+    budget 16 — two disagreements quarantine a kind — plus quorum 4 and
+    audit budget 8 for the collusion defense. *)
 
 type t
 (** One ledger per driver loop (mirroring {!Runtime.create}): fan-out
@@ -60,7 +71,13 @@ val restore_count : t -> int
 val should_check : t -> Verifier.kind -> dirty:bool -> bool
 (** Should the driver spend a cross-check on this answer? True when the
     answer is suspicious (see above), the kind is not already quarantined,
-    and budget remains — in which case one unit of budget is consumed. *)
+    and budget remains — in which case one unit of budget is consumed.
+    While the {e oracle} is quarantined the ledger is in alert mode:
+    every answer from a non-quarantined kind is suspicious (a compromised
+    oracle proves a coalition with unknown membership) and the check is
+    free — the budget bounds voluntary oracle-service calls, and alert-mode
+    checks resolve against the hand-run fallback the quarantine mandates
+    anyway. *)
 
 val note_truth : t -> Verifier.kind -> dirty:bool -> unit
 (** Re-anchor the suspicious-clean trigger to the {e oracle}'s answer after
@@ -83,6 +100,50 @@ val probation : t -> Verifier.kind -> agree:bool -> [ `Still | `Restored of int 
 (** Record a probation re-run of a quarantined kind. [`Restored n] after
     [n] consecutive agreements; a disagreement resets the streak. No-op
     ([`Still]) when the kind is not quarantined. *)
+
+(** {2 Quorum cross-checks}
+
+    The collusion defense. PR 8 treated the cross-check oracle as
+    unconditional ground truth; a coalition that owns the oracle makes
+    every cross-check agree with the lie. The quorum layer audits exactly
+    that signature — a suspicious answer the oracle {e agrees} is clean —
+    by hand-running the pristine check as referee votes in a K-member
+    weighted quorum. An overruled agreement debits both the suspect kind
+    and the oracle itself; a quarantined oracle drops out of cross-checks
+    entirely (hand-run answers become authoritative) until its own
+    probation clears. *)
+
+val oracle_quarantined : t -> bool
+val oracle_score : t -> float
+val audits_spent : t -> int
+
+val collusions_detected : t -> int
+(** Overruled clean-agreements (the collusion signature), this ledger. *)
+
+val should_audit : t -> Verifier.kind -> bool
+(** Should the driver spend a quorum audit on this clean agreement? True
+    when audit budget remains, neither the kind nor the oracle is
+    quarantined, and the kind's trust-weighted share of the budget is not
+    exhausted — in which case one audit is consumed. Trust-informed
+    scheduling: shares are proportional to current scores (ceiling
+    division, floor 1), so audit budget concentrates on the high-trust
+    kinds whose lies would do the most damage. *)
+
+val quorum_verdict : t -> Verifier.kind -> [ `Overruled of bool * bool | `Outvoted ]
+(** Resolve an audit where the hand-run referee {e disagreed} with the
+    suspect+oracle clean camp. [`Overruled (kind_quarantined,
+    oracle_quarantined)] when the referee votes carry the quorum: the kind
+    is debited via {!disagree} and the oracle debited alongside (the two
+    booleans flag threshold crossings on this call), and the audit charge
+    is refunded — the budget bounds what auditing {e honest} agreements may
+    cost, never the pursuit of a proven coalition (refunds are bounded
+    because two overrules quarantine the oracle, which stops all audits).
+    [`Outvoted] when the camp's combined trust outweighs the referees
+    (quorum too small — the K=3 failure mode the bench pins). *)
+
+val oracle_probation : t -> agree:bool -> [ `Still | `Restored of int ]
+(** Record a probation comparison of the (quarantined) oracle service
+    against a hand-run answer; mirrors {!probation}. *)
 
 (** {2 Global counters}
 
@@ -110,3 +171,76 @@ val diff : snapshot -> snapshot -> snapshot
 
 val totals : snapshot -> counters
 val reset_globals : unit -> unit
+
+type quorum_counters = {
+  audits : int;
+  overruled : int;  (** Audits where the referee carried the quorum. *)
+  outvoted : int;  (** Audits lost to the camp's combined trust. *)
+  oracle_quarantines : int;
+  oracle_restores : int;
+  oracle_probations : int;
+}
+
+val zero_quorum : quorum_counters
+val add_quorum : quorum_counters -> quorum_counters -> quorum_counters
+val diff_quorum : quorum_counters -> quorum_counters -> quorum_counters
+(** [diff_quorum after before]. *)
+
+val quorum_snapshot : unit -> quorum_counters
+(** Process-wide quorum tallies (one cell, not per-kind: the oracle is a
+    single shared service). Kept separate from the PR 8 counters so
+    collusion-free runs report byte-identical trust lines. *)
+
+val quorum_active : quorum_counters -> bool
+(** Any field nonzero — gates the new report/CLI lines so they only appear
+    when the quorum layer actually did something. *)
+
+(** {2 Persistent trust ledger}
+
+    An fsync'd JSONL store in the {!Exec.Checkpoint} discipline: one
+    last-write-wins line per seed carrying the cumulative trust state
+    after that seed plus the per-seed counter deltas. Loaded at
+    sweep/shard/serve start and persisted as runs complete, so quarantine
+    survives kill/resume cycles and shard workers inherit the
+    coordinator's ledger. *)
+
+module Ledger_store : sig
+  type cell_state = { s_score : float; s_quarantined : bool }
+
+  type entry = {
+    kinds : (Verifier.kind * cell_state) list;
+    oracle : cell_state;
+    counters : counters;  (** Per-run delta of the PR 8 counters. *)
+    quorum : quorum_counters;  (** Per-run delta of the quorum counters. *)
+  }
+
+  val entry_to_json : entry -> Netcore.Json.t
+  val entry_of_json : Netcore.Json.t -> entry option
+
+  val merge : entry -> entry -> entry
+  (** Commutative, associative: quarantine ORs, scores take the minimum,
+      counter deltas sum — per-shard ledger deltas merge deterministically
+      regardless of arrival order within a seed tier. *)
+
+  type handle
+
+  val open_ : ?truncate:bool -> string -> handle
+  val record : handle -> seed:int -> entry -> unit
+  (** Append one fsync'd line (thread-safe, last-write-wins by seed). *)
+
+  val close : handle -> unit
+
+  val load : string -> entry option
+  (** Fold the surviving lines in seed order with {!merge}; [None] for a
+      missing/empty/unparseable file. *)
+end
+
+val state_of : t -> counters:counters -> quorum:quorum_counters -> Ledger_store.entry
+(** This ledger's current state as a persistable entry; the caller supplies
+    the per-run counter deltas (global snapshot diffs around the run). *)
+
+val create_from : config -> Ledger_store.entry -> t
+(** A fresh ledger seeded from persisted state: scores and quarantine flags
+    are restored (scores capped at [initial]); probation streaks, budgets
+    and suspicion history start fresh. [create_from cfg] of an
+    all-initial-scores entry behaves identically to [create cfg]. *)

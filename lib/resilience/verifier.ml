@@ -16,6 +16,14 @@ let kind_name = function
   | Route_policies -> "route-policies"
   | Bgp_sim -> "bgp-sim"
 
+let kind_of_name = function
+  | "parse-check" -> Some Parse_check
+  | "campion" -> Some Campion
+  | "topology" -> Some Topology
+  | "route-policies" -> Some Route_policies
+  | "bgp-sim" -> Some Bgp_sim
+  | _ -> None
+
 type failure =
   | Crashed of { down_ticks : int }
   | Timed_out of { ticks : int }
@@ -37,9 +45,12 @@ type ('i, 'o) t = {
   oracle : 'i -> 'o;
   dirty : 'o -> bool;
   mutable schedule : ('i -> ('o, failure) result) option;
+  mutable oracle_service : ('i -> ('o, Guard.crash) result) option;
 }
 
-let wrap ?(dirty = fun _ -> false) kind oracle = { kind; oracle; dirty; schedule = None }
+let wrap ?(dirty = fun _ -> false) kind oracle =
+  { kind; oracle; dirty; schedule = None; oracle_service = None }
+
 let kind t = t.kind
 let dirty t o = t.dirty o
 
@@ -58,3 +69,16 @@ let oracle t input = t.oracle input
 let install t f = t.schedule <- Some f
 
 let runner t = match t.schedule with None -> run_oracle t | Some f -> f
+
+(* The hand-run check: the simulated human consults the pristine oracle
+   directly, bypassing the fault schedule AND any installed cross-check
+   oracle service. The label matches the historical driver-side hand check
+   so crash records stay byte-identical. *)
+let hand_run t input =
+  Guard.run ~label:(kind_name t.kind ^ "/hand-check")
+    ~fingerprint:(Guard.fingerprint_value input)
+    (fun () -> t.oracle input)
+
+let install_oracle t f = t.oracle_service <- Some f
+let oracle_run t input = match t.oracle_service with None -> hand_run t input | Some f -> f input
+let oracle_runner t = match t.oracle_service with None -> hand_run t | Some f -> f

@@ -399,6 +399,115 @@ let test_trust_crosscheck_budget_and_quarantine () =
     r.Cosynth.Driver.verified
 
 (* ------------------------------------------------------------------ *)
+(* Colluding coalitions: rate-0 identity, determinism, quorum headline *)
+(* ------------------------------------------------------------------ *)
+
+(* Satellite of the A3 gate: an all-zero collusion spec — coalition
+   members and the compromised-oracle flag included — installs nothing,
+   for any seed. So does a non-empty rate with an empty coalition (an
+   oracle flag alone colludes with nobody). *)
+let prop_collusion_rate0_identity_any_seed =
+  QCheck2.Test.make
+    ~name:"all-zero / empty collusion spec keeps byte-identity"
+    ~count:10 (QCheck2.Gen.int_bound 10_000) (fun seed ->
+      let zero_rate =
+        Adversary.Spec.make
+          ~collusion:
+            (Adversary.Collusion.make
+               ~members:
+                 [ Resilience.Verifier.Parse_check; Resilience.Verifier.Campion ]
+               ~oracle:true ~rate:0.0 ())
+          ()
+      in
+      let no_members =
+        Adversary.Spec.make
+          ~collusion:(Adversary.Collusion.make ~oracle:true ~rate:0.7 ())
+          ()
+      in
+      let plain = transcript_fingerprint (translate seed) in
+      plain = transcript_fingerprint (translate ~adversary:zero_rate seed)
+      && plain = transcript_fingerprint (translate ~adversary:no_members seed))
+
+let collusion_spec ?(rate = 0.35) ?(seed = 11) () =
+  Adversary.Spec.make
+    ~collusion:
+      (Adversary.Collusion.make
+         ~members:
+           [ Resilience.Verifier.Parse_check; Resilience.Verifier.Campion ]
+         ~oracle:true ~rate ~seed ())
+    ()
+
+let test_collusion_deterministic () =
+  (* Same coalition config + same driver seed → the same suppression
+     decisions on both the member wrappers and the oracle service, hence
+     the same transcript — the decisions are keyed on honest-answer
+     fingerprints, not wall-clock or call order. *)
+  List.iter
+    (fun seed ->
+      check string_t
+        (Printf.sprintf "collusion reproducible in seed %d" seed)
+        (transcript_fingerprint (translate ~adversary:(collusion_spec ()) seed))
+        (transcript_fingerprint (translate ~adversary:(collusion_spec ()) seed)))
+    [ 3; 31; 9980 ]
+
+let test_collusion_trust_ledger_restore_identity () =
+  (* The persistent-ledger identity the A3 gate pins, in one run: a ledger
+     restored from an all-initial-scores entry drives the attacked run to
+     the same transcript as a fresh [?trust] ledger. *)
+  let cfg = Resilience.Trust.default_config in
+  let initial =
+    Resilience.Trust.state_of
+      (Resilience.Trust.create cfg)
+      ~counters:Resilience.Trust.zero ~quorum:Resilience.Trust.zero_quorum
+  in
+  let run ?trust ?trust_ledger () =
+    (Cosynth.Driver.run_translation ~seed:9980
+       ~adversary:(collusion_spec ~rate:0.5 ())
+       ?trust ?trust_ledger ~cisco_text:Cisco.Samples.border_router ())
+      .Cosynth.Driver.transcript
+  in
+  check string_t "restored all-initial ledger == fresh trust config"
+    (transcript_fingerprint (run ~trust:cfg ()))
+    (transcript_fingerprint
+       (run ~trust_ledger:(Resilience.Trust.create_from cfg initial) ()))
+
+let test_collusion_quorum_restores_verification () =
+  (* The A3 headline in one seed: with the oracle in the coalition, PR 8's
+     oracle-as-ground-truth trust (audit budget 0) is blind — while the
+     quorum defense detects the collusion and quarantines the oracle.
+     Coalition seed tied to the driver seed, the CLI/bench convention. *)
+  let spec () = collusion_spec ~rate:0.5 ~seed:9980 () in
+  let cfg = Resilience.Trust.default_config in
+  let before = Resilience.Trust.quorum_snapshot () in
+  let r =
+    Cosynth.Driver.run_translation ~seed:9980 ~adversary:(spec ()) ~trust:cfg
+      ~cisco_text:Cisco.Samples.border_router ()
+  in
+  let d =
+    Resilience.Trust.diff_quorum (Resilience.Trust.quorum_snapshot ()) before
+  in
+  check bool_t "quorum audits spent" true (d.Resilience.Trust.audits > 0);
+  check bool_t "collusion overruled" true (d.Resilience.Trust.overruled > 0);
+  check bool_t "compromised oracle quarantined" true
+    (d.Resilience.Trust.oracle_quarantines > 0);
+  check bool_t "run verified under a colluding oracle" true
+    r.Cosynth.Driver.verified;
+  (* PR 8's defense on the same attack: no audits, no detection. *)
+  let before = Resilience.Trust.quorum_snapshot () in
+  let r8 =
+    Cosynth.Driver.run_translation ~seed:9980 ~adversary:(spec ())
+      ~trust:{ cfg with Resilience.Trust.audit_budget = 0 }
+      ~cisco_text:Cisco.Samples.border_router ()
+  in
+  let d8 =
+    Resilience.Trust.diff_quorum (Resilience.Trust.quorum_snapshot ()) before
+  in
+  ignore r8;
+  check int_t "oracle-only defense never audits" 0 d8.Resilience.Trust.audits;
+  check int_t "oracle-only defense never detects" 0
+    d8.Resilience.Trust.overruled
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "adversary"
@@ -447,11 +556,21 @@ let () =
           Alcotest.test_case "trust: budget, quarantine, verified end state" `Slow
             test_trust_crosscheck_budget_and_quarantine;
         ] );
+      ( "collusion",
+        [
+          Alcotest.test_case "coalition reproducible in seed" `Slow
+            test_collusion_deterministic;
+          Alcotest.test_case "restored ledger == fresh trust config" `Slow
+            test_collusion_trust_ledger_restore_identity;
+          Alcotest.test_case "quorum detects what oracle-only cannot" `Slow
+            test_collusion_quorum_restores_verification;
+        ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_loop_terminates_certified;
           QCheck_alcotest.to_alcotest prop_distinct_drafts_never_fire;
           QCheck_alcotest.to_alcotest prop_rate0_identity_any_seed;
           QCheck_alcotest.to_alcotest prop_verifier_rate0_identity_any_seed;
+          QCheck_alcotest.to_alcotest prop_collusion_rate0_identity_any_seed;
         ] );
     ]

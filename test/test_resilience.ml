@@ -995,6 +995,390 @@ let test_admission_set_caps_live () =
   check int_t "all slots returned" 0
     (Resilience.Admission.stats a).Resilience.Admission.in_flight
 
+(* ------------------------------------------------------------------ *)
+(* Quorum cross-checks (the collusion defense)                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_quorum_overrule_refund_and_tie () =
+  let t = Resilience.Trust.create Resilience.Trust.default_config in
+  let k = Resilience.Verifier.Campion in
+  check bool_t "audit granted against a fresh ledger" true
+    (Resilience.Trust.should_audit t k);
+  check int_t "the grant charges the budget" 1 (Resilience.Trust.audits_spent t);
+  (* K=4: two referees at weight 1.0 tie the full-trust suspect+oracle
+     camp (1.0 + 1.0) — and referees win ties, because agreement between
+     two already-suspect parties must not outrank independent hand
+     re-runs of equal weight. *)
+  (match Resilience.Trust.quorum_verdict t k with
+  | `Overruled (kind_q, oracle_q) ->
+      check bool_t "one debit does not quarantine the kind" false kind_q;
+      (* The oracle is debited at double weight: one proven collusion
+         (1.0 - 0.8 = 0.2 < 0.5) quarantines it. *)
+      check bool_t "one overrule quarantines the oracle" true oracle_q
+  | `Outvoted -> Alcotest.fail "tie must go to the referees");
+  check bool_t "oracle quarantined" true (Resilience.Trust.oracle_quarantined t);
+  check int_t "collusion counted" 1 (Resilience.Trust.collusions_detected t);
+  (* The overrule refunds its audit charge: the budget bounds what
+     auditing honest agreements may cost, never the pursuit of a proven
+     coalition. *)
+  check int_t "overruled audit refunded" 0 (Resilience.Trust.audits_spent t);
+  (* A quarantined oracle stops all audits — hand-runs are authoritative
+     now, there is no clean-agreement left to audit. *)
+  check bool_t "no audits while the oracle is quarantined" false
+    (Resilience.Trust.should_audit t k)
+
+let test_quorum_k3_outvoted () =
+  (* The deliberately-too-small quorum: one referee (K - 2 = 1) cannot
+     outweigh the full-trust camp's 2.0, so the colluding clean pass
+     stands — and the outvoted audit stays charged. *)
+  let cfg =
+    { Resilience.Trust.default_config with Resilience.Trust.quorum = 3 }
+  in
+  let t = Resilience.Trust.create cfg in
+  let k = Resilience.Verifier.Parse_check in
+  check bool_t "audit granted" true (Resilience.Trust.should_audit t k);
+  check bool_t "one referee is outvoted" true
+    (Resilience.Trust.quorum_verdict t k = `Outvoted);
+  check bool_t "no debit on an outvote" true
+    (Resilience.Trust.oracle_score t = cfg.Resilience.Trust.initial);
+  check int_t "no collusion counted" 0 (Resilience.Trust.collusions_detected t);
+  check int_t "outvoted audit stays charged" 1 (Resilience.Trust.audits_spent t)
+
+let test_quorum_trust_weighted_shares () =
+  (* Trust-informed scheduling: a full-trust kind among five gets
+     ceil(8 * 1.0 / 5.0) = 2 of the default budget of 8 — audits
+     concentrate on the high-trust kinds whose lies would do the most
+     damage, and the third request for the same kind is refused with
+     budget remaining. *)
+  let t = Resilience.Trust.create Resilience.Trust.default_config in
+  let k = Resilience.Verifier.Topology in
+  check bool_t "first audit granted" true (Resilience.Trust.should_audit t k);
+  check bool_t "second audit granted" true (Resilience.Trust.should_audit t k);
+  check bool_t "third audit exceeds the kind's share" false
+    (Resilience.Trust.should_audit t k);
+  check int_t "global budget barely touched" 2 (Resilience.Trust.audits_spent t);
+  check bool_t "another kind still has its own share" true
+    (Resilience.Trust.should_audit t Resilience.Verifier.Bgp_sim)
+
+let test_quorum_oracle_probation_and_alert_mode () =
+  let t = Resilience.Trust.create Resilience.Trust.default_config in
+  let k = Resilience.Verifier.Campion in
+  ignore (Resilience.Trust.should_audit t k);
+  (match Resilience.Trust.quorum_verdict t k with
+  | `Overruled (_, true) -> ()
+  | _ -> Alcotest.fail "setup: overrule must quarantine the oracle");
+  (* Alert mode: a quarantined oracle proves a coalition with unknown
+     membership, so every answer is suspicious — even clean-after-clean —
+     and the checks are free (they resolve against the hand-run fallback,
+     not the oracle service the budget bounds). *)
+  let k2 = Resilience.Verifier.Topology in
+  check bool_t "clean answer suspicious in alert mode" true
+    (Resilience.Trust.should_check t k2 ~dirty:false);
+  check bool_t "clean-after-clean still suspicious in alert mode" true
+    (Resilience.Trust.should_check t k2 ~dirty:false);
+  check int_t "alert-mode checks are not charged" 0
+    (Resilience.Trust.checks_spent t);
+  (* Oracle probation mirrors kind probation: a disagreement resets the
+     streak, enough consecutive agreements restore. *)
+  check bool_t "first agreement not enough" true
+    (Resilience.Trust.oracle_probation t ~agree:true = `Still);
+  check bool_t "disagreement resets the streak" true
+    (Resilience.Trust.oracle_probation t ~agree:false = `Still);
+  for _ = 1 to 2 do
+    ignore (Resilience.Trust.oracle_probation t ~agree:true)
+  done;
+  check bool_t "third consecutive agreement restores" true
+    (Resilience.Trust.oracle_probation t ~agree:true = `Restored 3);
+  check bool_t "oracle quarantine lifted" false
+    (Resilience.Trust.oracle_quarantined t);
+  (* Peacetime rules are back: clean-after-clean is no longer suspicious.
+     ([k2]'s last observation above was clean.) *)
+  check bool_t "alert mode ends with the quarantine" false
+    (Resilience.Trust.should_check t k2 ~dirty:false)
+
+(* ------------------------------------------------------------------ *)
+(* Persistent trust ledger (Ledger_store)                              *)
+(* ------------------------------------------------------------------ *)
+
+let sample_counters =
+  {
+    Resilience.Trust.cross_checks = 3;
+    agreements = 2;
+    disagreements = 1;
+    quarantines = 1;
+    restores = 0;
+    probation_runs = 2;
+  }
+
+let sample_quorum =
+  {
+    Resilience.Trust.audits = 2;
+    overruled = 1;
+    outvoted = 0;
+    oracle_quarantines = 1;
+    oracle_restores = 0;
+    oracle_probations = 1;
+  }
+
+(* A ledger with real battle scars: the oracle quarantined by an overrule,
+   Campion quarantined by two lies, Parse_check debited once. *)
+let scarred_entry () =
+  let t = Resilience.Trust.create Resilience.Trust.default_config in
+  ignore (Resilience.Trust.should_audit t Resilience.Verifier.Parse_check);
+  ignore (Resilience.Trust.quorum_verdict t Resilience.Verifier.Parse_check);
+  ignore (Resilience.Trust.disagree t Resilience.Verifier.Campion);
+  ignore (Resilience.Trust.disagree t Resilience.Verifier.Campion);
+  Resilience.Trust.state_of t ~counters:sample_counters ~quorum:sample_quorum
+
+let test_ledger_store_roundtrip () =
+  let e = scarred_entry () in
+  (* JSON codec round-trip, field for field. *)
+  (match
+     Resilience.Trust.Ledger_store.entry_of_json
+       (Resilience.Trust.Ledger_store.entry_to_json e)
+   with
+  | Some e' -> check bool_t "entry round-trips through JSON" true (e = e')
+  | None -> Alcotest.fail "entry_to_json produced an unparseable entry");
+  (* File round-trip with last-write-wins by seed. *)
+  let path = Filename.temp_file "cosynth_trust_ledger_" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with _ -> ())
+    (fun () ->
+      let fresh =
+        Resilience.Trust.state_of
+          (Resilience.Trust.create Resilience.Trust.default_config)
+          ~counters:Resilience.Trust.zero ~quorum:Resilience.Trust.zero_quorum
+      in
+      let h = Resilience.Trust.Ledger_store.open_ ~truncate:true path in
+      Resilience.Trust.Ledger_store.record h ~seed:0 fresh;
+      Resilience.Trust.Ledger_store.record h ~seed:1 fresh;
+      (* A re-run of seed 0 supersedes its first record. *)
+      Resilience.Trust.Ledger_store.record h ~seed:0 e;
+      Resilience.Trust.Ledger_store.close h;
+      match Resilience.Trust.Ledger_store.load path with
+      | None -> Alcotest.fail "load lost the ledger"
+      | Some merged ->
+          check bool_t "last write wins, then seeds merge" true
+            (merged = Resilience.Trust.Ledger_store.merge e fresh));
+  check bool_t "missing file loads to None" true
+    (Resilience.Trust.Ledger_store.load (path ^ ".does-not-exist") = None)
+
+let test_ledger_merge_commutative () =
+  let e1 = scarred_entry () in
+  let e2 =
+    let t = Resilience.Trust.create Resilience.Trust.default_config in
+    ignore (Resilience.Trust.disagree t Resilience.Verifier.Topology);
+    Resilience.Trust.state_of t ~counters:sample_counters
+      ~quorum:Resilience.Trust.zero_quorum
+  in
+  let e3 =
+    Resilience.Trust.state_of
+      (Resilience.Trust.create Resilience.Trust.default_config)
+      ~counters:Resilience.Trust.zero ~quorum:sample_quorum
+  in
+  let m = Resilience.Trust.Ledger_store.merge in
+  check bool_t "merge commutes" true (m e1 e2 = m e2 e1);
+  check bool_t "merge associates" true (m (m e1 e2) e3 = m e1 (m e2 e3));
+  (* Quarantine ORs, scores take the min, counter deltas sum. *)
+  let merged = m e1 e2 in
+  check bool_t "quarantine survives the merge" true
+    (List.exists
+       (fun (k, (c : Resilience.Trust.Ledger_store.cell_state)) ->
+         k = Resilience.Verifier.Campion && c.Resilience.Trust.Ledger_store.s_quarantined)
+       merged.Resilience.Trust.Ledger_store.kinds);
+  check int_t "counter deltas sum" 6
+    merged.Resilience.Trust.Ledger_store.counters.Resilience.Trust.cross_checks
+
+let test_trust_create_from () =
+  let cfg = Resilience.Trust.default_config in
+  (* Restoring an all-initial entry is indistinguishable from create. *)
+  let initial =
+    Resilience.Trust.state_of (Resilience.Trust.create cfg)
+      ~counters:Resilience.Trust.zero ~quorum:Resilience.Trust.zero_quorum
+  in
+  let t = Resilience.Trust.create_from cfg initial in
+  List.iter
+    (fun k ->
+      check bool_t "no kind quarantined" false (Resilience.Trust.quarantined t k);
+      check bool_t "score at initial" true
+        (Resilience.Trust.score t k = cfg.Resilience.Trust.initial))
+    Resilience.Verifier.all_kinds;
+  check bool_t "oracle trusted" false (Resilience.Trust.oracle_quarantined t);
+  (* Restoring battle scars puts the quarantines back in force. *)
+  let t' = Resilience.Trust.create_from cfg (scarred_entry ()) in
+  check bool_t "kind quarantine restored" true
+    (Resilience.Trust.quarantined t' Resilience.Verifier.Campion);
+  check bool_t "oracle quarantine restored" true
+    (Resilience.Trust.oracle_quarantined t');
+  check bool_t "debited score restored" true
+    (Resilience.Trust.score t' Resilience.Verifier.Parse_check
+    < cfg.Resilience.Trust.initial)
+
+(* ------------------------------------------------------------------ *)
+(* Service daemon x trust layer races                                  *)
+(* ------------------------------------------------------------------ *)
+
+let with_trust_daemon ?admission ?caps f =
+  let dir = Filename.temp_file "cosynth_trustserve_" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let socket_path = Filename.concat dir "trust.sock" in
+  let ledger = Filename.concat dir "trust.jsonl" in
+  let caps_path = Filename.concat dir "caps.json" in
+  Option.iter
+    (fun text ->
+      let oc = open_out caps_path in
+      output_string oc text;
+      close_out oc)
+    caps;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with _ -> ())
+        [ socket_path; ledger; caps_path ];
+      try Sys.rmdir dir with _ -> ())
+    (fun () ->
+      let cfg =
+        {
+          Cosynth.Service.default_config with
+          Cosynth.Service.domains = Some 1;
+          drain_grace_ms = 500;
+          trust_ledger = Some ledger;
+          admission =
+            Option.value
+              ~default:
+                Cosynth.Service.default_config.Cosynth.Service.admission
+              admission;
+          admission_file =
+            (if caps = None then None else Some caps_path);
+        }
+      in
+      let summary = ref None in
+      let server =
+        Thread.create
+          (fun () -> summary := Some (Cosynth.Service.serve ~socket_path cfg))
+          ()
+      in
+      let rec wait n =
+        if n = 0 then Alcotest.fail "daemon never bound its socket"
+        else if not (Sys.file_exists socket_path) then begin
+          Thread.delay 0.05;
+          wait (n - 1)
+        end
+      in
+      wait 100;
+      let r = f ~dir ~socket_path ~ledger in
+      Thread.join server;
+      (r, !summary))
+
+let req_ok r =
+  let module J = Netcore.Json in
+  Option.bind (J.member "ok" r) J.to_bool = Some true
+
+let test_service_drain_races_trust_crosscheck () =
+  let module J = Netcore.Json in
+  let (), summary =
+    with_trust_daemon (fun ~dir:_ ~socket_path ~ledger ->
+        (* Warm-up: a completed trust-armed job must hand its admission
+           slot back — [health] still shows zero in flight and the compact
+           trust object. *)
+        Exec.Serve.with_connection ~socket_path (fun fd ->
+            let r =
+              Exec.Serve.request fd (J.Obj [ ("job", J.String "translate") ])
+            in
+            check bool_t "warm-up translate ok" true (req_ok r);
+            let h = Exec.Serve.request fd (J.Obj [ ("job", J.String "health") ]) in
+            check bool_t "no admission-slot leak after the trust job" true
+              (Option.bind (J.member "in_flight" h) J.to_int = Some 0);
+            check bool_t "health carries the trust object" true
+              (J.member "trust" h <> None));
+        (* The race: drain lands while a trust-armed job — mid quorum
+           cross-check, holding the trust mutex — is in flight. Drain must
+           wait for admitted work, the reply must arrive intact, and the
+           job's ledger line must be flushed before the daemon exits. *)
+        let in_flight_reply = ref None in
+        let worker =
+          Thread.create
+            (fun () ->
+              Exec.Serve.with_connection ~socket_path (fun fd ->
+                  in_flight_reply :=
+                    Some
+                      (Exec.Serve.request fd
+                         (J.Obj [ ("job", J.String "translate"); ("seed", J.Int 7) ]))))
+            ()
+        in
+        Thread.delay 0.02;
+        Exec.Serve.with_connection ~socket_path (fun fd ->
+            ignore (Exec.Serve.request fd (J.Obj [ ("job", J.String "drain") ])));
+        Thread.join worker;
+        (match !in_flight_reply with
+        | Some r -> check bool_t "in-flight trust job survived the drain" true (req_ok r)
+        | None -> Alcotest.fail "in-flight job lost its reply");
+        check bool_t "trust ledger flushed across the drain" true
+          (Resilience.Trust.Ledger_store.load ledger <> None))
+  in
+  match summary with
+  | Some s -> check bool_t "daemon wound down via drain" true s.Cosynth.Service.drained
+  | None -> Alcotest.fail "daemon never returned a summary"
+
+let test_service_set_caps_during_queued_trust_job () =
+  let module J = Netcore.Json in
+  let admission =
+    {
+      Resilience.Admission.max_in_flight = 1;
+      max_queue = 4;
+      max_per_client = 4;
+      max_deadline_ms = 30_000;
+      retry_after_ms = 30;
+    }
+  in
+  let (), _ =
+    with_trust_daemon ~admission ~caps:{|{"max_in_flight": 2}|}
+      (fun ~dir:_ ~socket_path ~ledger:_ ->
+        (* Job A holds the single admission slot and the trust mutex; job B
+           queues behind the cap. A SIGHUP caps reload (Admission.set_caps
+           under the hood) lands while B is queued: B re-evaluates against
+           the raised cap, gets admitted, then blocks on the trust mutex
+           until A's ledger write completes. Nothing may deadlock and both
+           replies must arrive. *)
+        let reply_a = ref None and reply_b = ref None in
+        let job cell seed =
+          Thread.create
+            (fun () ->
+              Exec.Serve.with_connection ~socket_path (fun fd ->
+                  cell :=
+                    Some
+                      (Exec.Serve.request fd
+                         (J.Obj
+                            [ ("job", J.String "translate"); ("seed", J.Int seed) ]))))
+            ()
+        in
+        let a = job reply_a 42 in
+        Thread.delay 0.02;
+        let b = job reply_b 43 in
+        Thread.delay 0.02;
+        Unix.kill (Unix.getpid ()) Sys.sighup;
+        Thread.join a;
+        Thread.join b;
+        (match (!reply_a, !reply_b) with
+        | Some ra, Some rb ->
+            check bool_t "job A answered" true (req_ok ra);
+            check bool_t "job B answered after the reload" true (req_ok rb)
+        | _ -> Alcotest.fail "a queued trust job lost its reply");
+        Exec.Serve.with_connection ~socket_path (fun fd ->
+            let s = Exec.Serve.request fd (J.Obj [ ("job", J.String "stats") ]) in
+            check bool_t "the SIGHUP was counted" true
+              (match Option.bind (J.member "reloads" s) J.to_int with
+              | Some n -> n >= 1
+              | None -> false);
+            check bool_t "all slots returned" true
+              (match J.member "admission" s with
+              | Some adm -> Option.bind (J.member "in_flight" adm) J.to_int = Some 0
+              | None -> false);
+            ignore (Exec.Serve.request fd (J.Obj [ ("job", J.String "shutdown") ]))))
+  in
+  ()
+
 let () =
   Alcotest.run "resilience"
     [
@@ -1039,6 +1423,33 @@ let () =
             test_trust_suspicion_and_note_truth;
           Alcotest.test_case "check budget exhausts" `Quick test_trust_budget_exhausts;
           QCheck_alcotest.to_alcotest prop_trust_budget_never_exceeded;
+        ] );
+      ( "quorum",
+        [
+          Alcotest.test_case "overrule: tie to referees, refund, oracle out"
+            `Quick test_quorum_overrule_refund_and_tie;
+          Alcotest.test_case "K=3: one referee is outvoted" `Quick
+            test_quorum_k3_outvoted;
+          Alcotest.test_case "trust-weighted audit shares" `Quick
+            test_quorum_trust_weighted_shares;
+          Alcotest.test_case "oracle probation and alert mode" `Quick
+            test_quorum_oracle_probation_and_alert_mode;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "JSON + file roundtrip, last write wins" `Quick
+            test_ledger_store_roundtrip;
+          Alcotest.test_case "merge commutes and associates" `Quick
+            test_ledger_merge_commutative;
+          Alcotest.test_case "create_from restores state" `Quick
+            test_trust_create_from;
+        ] );
+      ( "service-trust",
+        [
+          Alcotest.test_case "drain races an in-flight cross-check" `Slow
+            test_service_drain_races_trust_crosscheck;
+          Alcotest.test_case "SIGHUP caps reload with a queued trust job" `Slow
+            test_service_set_caps_during_queued_trust_job;
         ] );
       ( "breaker",
         [
