@@ -1,4 +1,4 @@
-.PHONY: all build test check bench chaos fuzz adversary adversary-verifier-smoke adversary-collusion-smoke serve-bench resume-smoke shard-smoke serve-smoke serve-overload-smoke clean
+.PHONY: all build test check bench chaos fuzz adversary adversary-verifier-smoke adversary-collusion-smoke serve-bench resume-smoke shard-smoke serve-smoke serve-overload-smoke durable durable-smoke clean
 
 all: build
 
@@ -11,10 +11,10 @@ test:
 # Build + tests + one-seed smoke run of the bench harness (exercises the
 # parallel sweep plumbing end-to-end) + the full-scale chaos sweep + a
 # small-budget fuzz pass + smoke-budget adversary, adversary-verifier,
-# serve and serve-overload gates (the check alias runs all seven bench
-# modes) + the shard, serve, serve-overload and adversary-verifier
-# end-to-end smokes.
-check: shard-smoke serve-smoke serve-overload-smoke adversary-verifier-smoke adversary-collusion-smoke
+# serve, serve-overload and durability gates (the check alias runs all
+# eight bench modes) + the shard, serve, serve-overload,
+# adversary-verifier and durable end-to-end smokes.
+check: shard-smoke serve-smoke serve-overload-smoke adversary-verifier-smoke adversary-collusion-smoke durable-smoke
 	dune build @check
 
 bench:
@@ -177,6 +177,90 @@ serve-overload-smoke: build
 	wait
 	@rm -rf $(OVERLOAD_TMP)
 	@echo "serve-overload-smoke: overload gate, crash/respawn, deadline, drain all clean"
+
+# The durability gate: D1 — every persistence surface (checkpoint
+# journal, trust ledger, crash triage, corpus promotion) killed at every
+# write point of a recorded fault schedule and recovered to a clean
+# prefix; exhaustive truncation and single-bit-flip sweeps over the CRC
+# framing (reads total, no phantom records); atomic-promotion crash
+# states; fault-off byte-identity with the chaos layer armed at zero
+# rates.
+durable:
+	dune exec bench/main.exe -- --durable
+
+# Durable-state end-to-end against the real binary: D1 at smoke budget,
+# then four drills. (1) a journaled chaos sweep killed by an injected
+# disk crash (exit 3, the kill/resume convention) and resumed fault-off:
+# stdout and the LWW-compacted journal must be byte-identical to an
+# intact run's. (2) the same sweep under silent torn writes: stdout
+# unaffected, `fsck` counts the damage (exit 1), a resume re-runs
+# exactly the torn seeds and the compacted record sets converge (sorted
+# compare: re-run seeds land at the tail, order is not part of the
+# contract after a torn loss). (3) a 2-shard sweep whose workers both
+# die from the injected crash and are respawned on their resume argv:
+# merged journal and stdout byte-identical to sequential. (4) a
+# collusion sweep's trust ledger killed mid-fsync and resumed: the final
+# ledger is byte-identical to the intact run's. Plus the SIGHUP
+# hot-reload hardening: a truncated admission file must be rejected
+# (reload_rejected=1 in health) with the old caps kept in force.
+DURABLE_TMP := $(shell mktemp -d)
+DURABLE_CHAOS := chaos --use-case no-transit --runs 6 --routers 5 --flake-rate 0.1
+DURABLE_ADV := adversary --runs 6 --seed 9980 --collude parse-check,campion \
+  --collude-oracle --collude-rate 0.35
+durable-smoke: build
+	dune exec bench/main.exe -- --durable --smoke
+	$(CLI) $(DURABLE_CHAOS) --journal $(DURABLE_TMP)/full.jsonl \
+	  > $(DURABLE_TMP)/full.out 2>/dev/null
+	sh -c '$(CLI) $(DURABLE_CHAOS) --journal $(DURABLE_TMP)/sweep.jsonl \
+	  --disk-crash-after 5 > $(DURABLE_TMP)/halted.out 2>/dev/null; test $$? -eq 3'
+	$(CLI) $(DURABLE_CHAOS) --journal $(DURABLE_TMP)/sweep.jsonl --resume \
+	  > $(DURABLE_TMP)/resumed.out 2>/dev/null
+	cmp $(DURABLE_TMP)/full.out $(DURABLE_TMP)/resumed.out
+	$(CLI) fsck $(DURABLE_TMP)/sweep.jsonl --lww > /dev/null
+	$(CLI) fsck $(DURABLE_TMP)/full.jsonl --lww > /dev/null
+	cmp $(DURABLE_TMP)/full.jsonl $(DURABLE_TMP)/sweep.jsonl
+	$(CLI) $(DURABLE_CHAOS) --journal $(DURABLE_TMP)/torn.jsonl \
+	  --disk-torn-rate 0.4 --disk-seed 7 > $(DURABLE_TMP)/torn.out 2>/dev/null
+	cmp $(DURABLE_TMP)/full.out $(DURABLE_TMP)/torn.out
+	sh -c '$(CLI) fsck $(DURABLE_TMP)/torn.jsonl > /dev/null; test $$? -eq 1'
+	$(CLI) $(DURABLE_CHAOS) --journal $(DURABLE_TMP)/torn.jsonl --resume \
+	  > $(DURABLE_TMP)/torn-resumed.out 2>/dev/null
+	cmp $(DURABLE_TMP)/full.out $(DURABLE_TMP)/torn-resumed.out
+	sh -c '$(CLI) fsck $(DURABLE_TMP)/torn.jsonl --lww > /dev/null; test $$? -eq 1'
+	sort $(DURABLE_TMP)/torn.jsonl > $(DURABLE_TMP)/torn.sorted
+	sort $(DURABLE_TMP)/full.jsonl > $(DURABLE_TMP)/full.sorted
+	cmp $(DURABLE_TMP)/torn.sorted $(DURABLE_TMP)/full.sorted
+	$(CLI) chaos --use-case no-transit --runs 8 --routers 5 --flake-rate 0.1 \
+	  --journal $(DURABLE_TMP)/seq.jsonl > $(DURABLE_TMP)/seq.out 2>/dev/null
+	$(CLI) shard --shards 2 --use-case no-transit --runs 8 --routers 5 \
+	  --flake-rate 0.1 --disk-crash-after 5 --journal-dir $(DURABLE_TMP)/shards \
+	  > $(DURABLE_TMP)/shard.out 2>/dev/null
+	cmp $(DURABLE_TMP)/seq.jsonl $(DURABLE_TMP)/shards/merged.jsonl
+	cmp $(DURABLE_TMP)/seq.out $(DURABLE_TMP)/shard.out
+	$(CLI) $(DURABLE_ADV) --trust-ledger $(DURABLE_TMP)/full-trust.jsonl \
+	  --journal $(DURABLE_TMP)/afull.jsonl > $(DURABLE_TMP)/afull.out 2>/dev/null
+	sh -c '$(CLI) $(DURABLE_ADV) --trust-ledger $(DURABLE_TMP)/trust.jsonl \
+	  --journal $(DURABLE_TMP)/asweep.jsonl --disk-crash-after 9 \
+	  > $(DURABLE_TMP)/ahalted.out 2>/dev/null; test $$? -eq 3'
+	$(CLI) $(DURABLE_ADV) --trust-ledger $(DURABLE_TMP)/trust.jsonl \
+	  --journal $(DURABLE_TMP)/asweep.jsonl --resume \
+	  > $(DURABLE_TMP)/aresumed.out 2>/dev/null
+	cmp $(DURABLE_TMP)/afull.out $(DURABLE_TMP)/aresumed.out
+	$(CLI) fsck $(DURABLE_TMP)/trust.jsonl --lww > /dev/null
+	$(CLI) fsck $(DURABLE_TMP)/full-trust.jsonl --lww > /dev/null
+	cmp $(DURABLE_TMP)/full-trust.jsonl $(DURABLE_TMP)/trust.jsonl
+	sh -c 'echo "{\"max_in_flight\": 4}" > $(DURABLE_TMP)/caps.json; \
+	  $(CLI) serve --socket $(DURABLE_TMP)/reload.sock \
+	    --admission-file $(DURABLE_TMP)/caps.json > /dev/null 2>&1 & pid=$$!; \
+	  sleep 1; \
+	  printf "{\"max_in_flight\": 2, \"max_qu" > $(DURABLE_TMP)/caps.json; \
+	  kill -HUP $$pid; sleep 1; \
+	  $(CLI) client --socket $(DURABLE_TMP)/reload.sock --connect-budget-ms 5000 \
+	    health | grep -q "\"reload_rejected\":1"; ok=$$?; \
+	  $(CLI) client --socket $(DURABLE_TMP)/reload.sock shutdown > /dev/null; \
+	  wait $$pid; test $$ok -eq 0'
+	@rm -rf $(DURABLE_TMP)
+	@echo "durable-smoke: disk crashes recovered, torn writes contained, shards respawned, ledger survived, truncated reload rejected"
 
 clean:
 	dune clean

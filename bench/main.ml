@@ -75,6 +75,14 @@ let serve_only = Array.exists (fun a -> a = "--serve") Sys.argv
    retry, expired deadlines answer timeout frames instead of hanging, and
    a mid-burst drain loses zero admitted jobs. --smoke shrinks the burst. *)
 let serve_overload_only = Array.exists (fun a -> a = "--serve-overload") Sys.argv
+
+(* --durable: only the D1 durability gate (`make durable`) — every
+   persistence surface killed at every write point of a recorded
+   schedule and recovered; exhaustive truncation and bit-flip sweeps
+   over the CRC framing; fault-off byte-identity; atomic-promotion
+   crash states. --smoke shrinks the scripted record budget for the
+   check alias. *)
+let durable_only = Array.exists (fun a -> a = "--durable") Sys.argv
 let runs n = if smoke then 1 else n
 
 (* --journal DIR: checkpoint every seeded sweep (L1/L2/C1) to one journal
@@ -2362,6 +2370,440 @@ let table_a3 () =
       List.iter (fun v -> Printf.printf "  VIOLATION %s\n" v) vs;
       exit 1
 
+(* ------------------------------------------------------------------ *)
+(* D1: the durability gate — crash at every write point, recover       *)
+(* ------------------------------------------------------------------ *)
+
+let d1_tmp_dir () =
+  let dir = Filename.temp_file "cosynth-d1" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  dir
+
+let d1_rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let d1_file_bytes path =
+  if Sys.file_exists path then
+    In_channel.with_open_bin path In_channel.input_all
+  else "<absent>"
+
+(* One scripted persistence surface. [d_prefix ~dir ~k] replays the first
+   [k] scripted records into a fresh [dir] (k = d_script_len is the whole
+   script); [d_recover] digests whatever survives on disk — it must be
+   total; [d_resume] finishes an interrupted run the way the surface's
+   real resume path would. [d_compacted] pins post-resume byte-identity
+   for the surfaces that own a compactor. *)
+type d1_kind = {
+  d_name : string;
+  d_script_len : int;
+  d_prefix : dir:string -> k:int -> unit;
+  d_recover : dir:string -> string;
+  d_resume : dir:string -> unit;
+  d_compacted : (dir:string -> string) option;
+}
+
+let d1_journal_kind n =
+  let file dir = Filename.concat dir "journal.jsonl" in
+  let payload s =
+    Netcore.Json.Obj
+      [ ("ok", Netcore.Json.Bool true); ("cost", Netcore.Json.Int (s * 7)) ]
+  in
+  let seeds = List.init n (fun i -> i + 1) in
+  let record dir ss =
+    let j = Exec.Checkpoint.open_ (file dir) in
+    Fun.protect
+      ~finally:(fun () -> Exec.Checkpoint.close j)
+      (fun () -> List.iter (fun s -> Exec.Checkpoint.record j ~seed:s (payload s)) ss)
+  in
+  {
+    d_name = "checkpoint journal";
+    d_script_len = n;
+    d_prefix = (fun ~dir ~k -> record dir (List.filteri (fun i _ -> i < k) seeds));
+    d_recover =
+      (fun ~dir ->
+        String.concat ";"
+          (List.map
+             (fun (s, j) -> Printf.sprintf "%d=%s" s (Netcore.Json.to_string j))
+             (Exec.Checkpoint.load (file dir))));
+    d_resume =
+      (fun ~dir ->
+        let done_ = List.map fst (Exec.Checkpoint.load (file dir)) in
+        let missing = List.filter (fun s -> not (List.mem s done_)) seeds in
+        if missing <> [] then record dir missing);
+    d_compacted =
+      Some
+        (fun ~dir ->
+          ignore (Exec.Checkpoint.compact (file dir) : int * int);
+          d1_file_bytes (file dir));
+  }
+
+let d1_ledger_kind n =
+  let module T = Resilience.Trust in
+  let file dir = Filename.concat dir "trust.jsonl" in
+  let entry i =
+    T.state_of
+      (T.create T.default_config)
+      ~counters:{ T.zero with T.cross_checks = i; T.agreements = i mod 2 }
+      ~quorum:T.zero_quorum
+  in
+  let seeds = List.init n (fun i -> i + 1) in
+  let record dir ss =
+    let h = T.Ledger_store.open_ (file dir) in
+    Fun.protect
+      ~finally:(fun () -> T.Ledger_store.close h)
+      (fun () -> List.iter (fun s -> T.Ledger_store.record h ~seed:s (entry s)) ss)
+  in
+  {
+    d_name = "trust ledger";
+    d_script_len = n;
+    d_prefix = (fun ~dir ~k -> record dir (List.filteri (fun i _ -> i < k) seeds));
+    d_recover =
+      (fun ~dir ->
+        match T.Ledger_store.load (file dir) with
+        | None -> "<empty>"
+        | Some e -> Netcore.Json.to_string (T.Ledger_store.entry_to_json e));
+    d_resume =
+      (* The ledger is last-write-wins per seed and its per-seed entries
+         are deterministic, so a resume simply re-records every seed:
+         survivors are overwritten with identical state and lost lines
+         reappear — the merged load converges on the intact state. *)
+      (fun ~dir -> record dir seeds);
+    d_compacted = None;
+  }
+
+let d1_triage_kind n =
+  let file dir = Filename.concat dir "triage.jsonl" in
+  let row s = (Printf.sprintf "stage%02d" s, "Failure", s) in
+  let seeds = List.init n (fun i -> i + 1) in
+  let append dir s =
+    let stage, ctor, count = row s in
+    Resilience.Triage.append ~path:(file dir) ~seed:s [ (stage, ctor, count) ]
+  in
+  {
+    d_name = "crash triage";
+    d_script_len = n;
+    d_prefix =
+      (fun ~dir ~k -> List.iter (append dir) (List.filteri (fun i _ -> i < k) seeds));
+    d_recover =
+      (fun ~dir ->
+        String.concat ";"
+          (List.map
+             (fun (r : Resilience.Triage.row) ->
+               Printf.sprintf "%s/%s=%d@%d-%d" r.stage r.constructor r.count
+                 r.first_seed r.last_seed)
+             (Resilience.Triage.load (file dir))));
+    d_resume =
+      (fun ~dir ->
+        let have =
+          List.map
+            (fun (r : Resilience.Triage.row) -> r.stage)
+            (Resilience.Triage.load (file dir))
+        in
+        List.iter
+          (fun s ->
+            let stage, _, _ = row s in
+            if not (List.mem stage have) then append dir s)
+          seeds);
+    d_compacted = None;
+  }
+
+(* Kill one surface at every write point of its scripted run. The valid
+   recovery states are exactly the script prefixes (a torn trailing line
+   fails the CRC and drops, so a crash can never land between records);
+   after a fault-off resume the state must equal the intact run's, and a
+   surface with a compactor must be byte-identical to it. Returns
+   (write points, crash points with a clean prefix recovery, crash
+   points whose resume converged). *)
+let d1_drill ~violation kind =
+  let n = kind.d_script_len in
+  let in_fresh_dir f =
+    let dir = d1_tmp_dir () in
+    Fun.protect ~finally:(fun () -> d1_rm_rf dir) (fun () -> f dir)
+  in
+  let states =
+    Array.init (n + 1) (fun k ->
+        in_fresh_dir (fun dir ->
+            kind.d_prefix ~dir ~k;
+            kind.d_recover ~dir))
+  in
+  let intact_compacted =
+    match kind.d_compacted with
+    | None -> None
+    | Some f ->
+        Some
+          (in_fresh_dir (fun dir ->
+               kind.d_prefix ~dir ~k:n;
+               f ~dir))
+  in
+  (* Count the schedule's write points with an all-zero-rate config
+     installed: it injects nothing but counts every write, fsync and
+     rename the script performs. *)
+  let w =
+    in_fresh_dir (fun dir ->
+        Resilience.Diskchaos.install (Resilience.Diskchaos.make ~seed:0 ());
+        Fun.protect
+          ~finally:(fun () -> Resilience.Diskchaos.uninstall ())
+          (fun () ->
+            kind.d_prefix ~dir ~k:n;
+            (Resilience.Diskchaos.stats ()).Resilience.Diskchaos.ops))
+  in
+  let recovered = ref 0 and resumed = ref 0 in
+  for i = 0 to w - 1 do
+    in_fresh_dir (fun dir ->
+        Fun.protect
+          ~finally:(fun () -> Resilience.Diskchaos.uninstall ())
+          (fun () ->
+            Resilience.Diskchaos.install
+              (Resilience.Diskchaos.make ~crash_after:i ~seed:(1000 + i) ());
+            (match kind.d_prefix ~dir ~k:n with
+            | () ->
+                violation
+                  (Printf.sprintf
+                     "%s: crash_after=%d: the script completed without crashing"
+                     kind.d_name i)
+            | exception Resilience.Diskchaos.Crashed _ -> ());
+            Resilience.Diskchaos.uninstall ();
+            let got = kind.d_recover ~dir in
+            if Array.exists (String.equal got) states then incr recovered
+            else
+              violation
+              (Printf.sprintf "%s: crash at write point %d recovered a non-prefix state: %s"
+                kind.d_name i got);
+            kind.d_resume ~dir;
+            let final = kind.d_recover ~dir in
+            if String.equal final states.(n) then incr resumed
+            else
+              violation
+              (Printf.sprintf "%s: crash at write point %d: resume did not converge: %s"
+                kind.d_name i final);
+            match (kind.d_compacted, intact_compacted) with
+            | Some f, Some want ->
+                let got = f ~dir in
+                if not (String.equal got want) then
+                  violation
+                    (Printf.sprintf
+                       "%s: crash at write point %d: compacted bytes differ from \
+                        the intact run's"
+                       kind.d_name i)
+            | _ -> ()))
+  done;
+  (w, !recovered, !resumed)
+
+(* Corruption totality: over the wire bytes of a framed journal, truncate
+   at every byte offset and flip one bit at every byte position. Reads
+   must never raise, never decode a phantom record, and lose at most the
+   lines the damaged byte touches (a flipped newline merges two). *)
+let d1_corruption_sweep ~violation () =
+  let dir = d1_tmp_dir () in
+  Fun.protect
+    ~finally:(fun () -> d1_rm_rf dir)
+    (fun () ->
+      let path = Filename.concat dir "sweep.jsonl" in
+      let records =
+        List.init 6 (fun i ->
+            Netcore.Json.Obj
+              [
+                ("seed", Netcore.Json.Int (i + 1));
+                ("note", Netcore.Json.String (Printf.sprintf "record-%d" (i + 1)));
+              ])
+      in
+      let bytes =
+        String.concat ""
+          (List.map
+             (fun j -> Resilience.Store.frame (Netcore.Json.to_string j))
+             records)
+      in
+      let intact = List.map Netcore.Json.to_string records in
+      let read_mutant tag s =
+        Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s);
+        match Resilience.Store.read path with
+        | recs, _ -> Some (List.map Netcore.Json.to_string recs)
+        | exception e ->
+            violation
+              (Printf.sprintf "corruption sweep: %s: read raised %s" tag
+              (Printexc.to_string e));
+            None
+      in
+      let len = String.length bytes in
+      for off = 0 to len do
+        match read_mutant (Printf.sprintf "truncation at %d" off)
+                (String.sub bytes 0 off)
+        with
+        | None -> ()
+        | Some got ->
+            let rec is_prefix a b =
+              match (a, b) with
+              | [], _ -> true
+              | x :: a', y :: b' when String.equal x y -> is_prefix a' b'
+              | _ -> false
+            in
+            if not (is_prefix got intact) then
+              violation
+                (Printf.sprintf
+                   "corruption sweep: truncation at %d decoded a non-prefix" off)
+      done;
+      Printf.printf
+        "  truncation: %d offset(s) swept, every surviving decode a clean prefix\n"
+        (len + 1);
+      for p = 0 to len - 1 do
+        let b = Bytes.of_string bytes in
+        Bytes.set b p (Char.chr (Char.code (Bytes.get b p) lxor 1));
+        match read_mutant (Printf.sprintf "bit flip at %d" p) (Bytes.to_string b)
+        with
+        | None -> ()
+        | Some got ->
+            if List.exists (fun g -> not (List.mem g intact)) got then
+              violation
+                (Printf.sprintf
+                   "corruption sweep: bit flip at %d decoded a phantom record" p)
+            else if List.length got < List.length intact - 2 then
+              violation
+                (Printf.sprintf "corruption sweep: bit flip at %d lost %d record(s)"
+                   p
+                   (List.length intact - List.length got))
+      done;
+      Printf.printf
+        "  bit flips: %d position(s) swept, no exception, no phantom, <= 2 lines \
+         lost each\n"
+        len)
+
+(* Atomic promotion: crash an atomic replace at each of its write points;
+   the target must be either the old artifact or the new one (or still
+   absent on first promotion) — never a torn hybrid — and a fault-off
+   retry must converge. The corpus promoter and the admission-cap tooling
+   both ride this exact path. *)
+let d1_promotion ~violation () =
+  let dir = d1_tmp_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      Resilience.Diskchaos.uninstall ();
+      d1_rm_rf dir)
+    (fun () ->
+      let target = Filename.concat dir "promoted-parse-Failure.txt" in
+      let old_content = "interface OLD\n" and new_content = "interface NEW\n" in
+      Resilience.Diskchaos.install (Resilience.Diskchaos.make ~seed:0 ());
+      if not (Resilience.Store.write_atomic target new_content) then
+        violation "promotion: fault-free write_atomic failed";
+      let w = (Resilience.Diskchaos.stats ()).Resilience.Diskchaos.ops in
+      Resilience.Diskchaos.uninstall ();
+      Printf.printf "  corpus promotion: %d write point(s) per atomic replace\n" w;
+      List.iter
+        (fun pre_existing ->
+          for i = 0 to w - 1 do
+            if Sys.file_exists target then Sys.remove target;
+            if Sys.file_exists (target ^ ".tmp") then Sys.remove (target ^ ".tmp");
+            if pre_existing then
+              Out_channel.with_open_bin target (fun oc ->
+                  Out_channel.output_string oc old_content);
+            Resilience.Diskchaos.install
+              (Resilience.Diskchaos.make ~crash_after:i ~seed:(2000 + i) ());
+            (match Resilience.Store.write_atomic target new_content with
+            | ok ->
+                violation
+                  (Printf.sprintf
+                     "promotion: crash_after=%d completed (%b) without crashing" i
+                     ok)
+            | exception Resilience.Diskchaos.Crashed _ -> ());
+            Resilience.Diskchaos.uninstall ();
+            let got = d1_file_bytes target in
+            let valid =
+              if pre_existing then
+                String.equal got old_content || String.equal got new_content
+              else String.equal got "<absent>" || String.equal got new_content
+            in
+            if not valid then
+              violation
+                (Printf.sprintf
+                   "promotion: crash at write point %d (old %s) left a torn \
+                    target: %S"
+                   i
+                   (if pre_existing then "present" else "absent")
+                   got);
+            if not (Resilience.Store.write_atomic target new_content) then
+              violation
+                (Printf.sprintf
+                   "promotion: fault-off retry after crash point %d failed" i)
+            else if not (String.equal (d1_file_bytes target) new_content) then
+              violation
+                (Printf.sprintf
+                   "promotion: retry after crash point %d left stale content" i)
+          done)
+        [ true; false ];
+      Printf.printf
+        "  promotion crashes: %d point(s) x {old present, old absent}: target \
+         always whole, retry always converged\n"
+        w)
+
+(* Fault-off identity: a run with the zero-rate config installed must
+   leave byte-identical files to one with nothing installed — arming the
+   chaos layer without faults costs determinism nothing. *)
+let d1_identity ~violation kind =
+  let dir_bytes dir =
+    String.concat ""
+      (List.map
+         (fun f -> f ^ "=" ^ d1_file_bytes (Filename.concat dir f))
+         (List.sort compare (Array.to_list (Sys.readdir dir))))
+  in
+  let run armed =
+    let dir = d1_tmp_dir () in
+    Fun.protect
+      ~finally:(fun () ->
+        Resilience.Diskchaos.uninstall ();
+        d1_rm_rf dir)
+      (fun () ->
+        if armed then
+          Resilience.Diskchaos.install (Resilience.Diskchaos.make ~seed:7 ());
+        kind.d_prefix ~dir ~k:kind.d_script_len;
+        Resilience.Diskchaos.uninstall ();
+        dir_bytes dir)
+  in
+  if not (String.equal (run false) (run true)) then
+    violation
+      (Printf.sprintf "%s: zero-rate armed run not byte-identical to an unarmed one"
+         kind.d_name)
+
+let table_d1 () =
+  section "D1 — durability gate: crash at every write point, recover";
+  let violations = ref [] in
+  let violation s = violations := s :: !violations in
+  let n = if smoke then 3 else 6 in
+  let kinds = [ d1_journal_kind n; d1_ledger_kind n; d1_triage_kind n ] in
+  let rows =
+    List.map
+      (fun kind ->
+        let w, recovered, resumed = d1_drill ~violation kind in
+        d1_identity ~violation kind;
+        [
+          kind.d_name;
+          string_of_int kind.d_script_len;
+          string_of_int w;
+          Printf.sprintf "%d/%d" recovered w;
+          Printf.sprintf "%d/%d" resumed w;
+        ])
+      kinds
+  in
+  print_string
+    (Cosynth.Report.table
+       ~title:
+         "scripted records, write points W, crash points recovered to a clean \
+          prefix, fault-off resumes converged"
+       ~header:[ "store"; "records"; "W"; "prefix recovery"; "resume" ]
+       rows);
+  d1_promotion ~violation ();
+  d1_corruption_sweep ~violation ();
+  Printf.printf "  corrupt lines skipped and counted so far: %d\n"
+    (Resilience.Store.corrupt_seen ());
+  match List.rev !violations with
+  | [] -> Printf.printf "\n  D1: every crash recovered, every corruption contained\n"
+  | vs ->
+      Printf.printf "\n  D1 GATE FAILED: %d violation(s)\n" (List.length vs);
+      List.iter (fun v -> Printf.printf "  VIOLATION %s\n" v) vs;
+      exit 1
+
 let () =
   Printf.printf
     "CoSynth benchmark harness — reproduction of 'What do LLMs need to Synthesize \
@@ -2382,6 +2824,9 @@ let () =
      else if serve_overload_only then
        if smoke then "serve overload gate (smoke budget)"
        else "serve overload gate (full budget)"
+     else if durable_only then
+       if smoke then "durability gate (smoke budget)"
+       else "durability gate (full budget)"
      else if chaos_only then "chaos sweep only (full seeds)"
      else if smoke then "smoke (1 seed per experiment)"
      else "full")
@@ -2418,6 +2863,12 @@ let () =
   end;
   if serve_overload_only then begin
     table_s2 ();
+    Exec.Pool.shutdown pool;
+    Printf.printf "\nDone.\n";
+    exit 0
+  end;
+  if durable_only then begin
+    table_d1 ();
     Exec.Pool.shutdown pool;
     Printf.printf "\nDone.\n";
     exit 0

@@ -719,14 +719,122 @@ let leverage_cmd =
     Term.(const run $ use_case $ runs $ routers $ jobs)
 
 (* ------------------------------------------------------------------ *)
+(* disk chaos (the shared --disk-* flags)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One cmdliner term shared by chaos/adversary/shard/serve: a seeded
+   Diskchaos configuration consulted by every Durable.Store write the
+   run makes (journals, trust ledgers, triage, corpus promotion). All
+   rates default to 0 — the all-zero configuration is never installed,
+   so fault-free runs keep the exact fast path. *)
+let disk_chaos_term =
+  let rate name doc = Arg.(value & opt float 0. & info [ name ] ~docv:"R" ~doc) in
+  let short =
+    rate "disk-short-rate"
+      "Per-write probability of a detected short write: the store rolls \
+       the file back and reports the record as not journaled (a resume \
+       re-runs the seed)."
+  in
+  let torn =
+    rate "disk-torn-rate"
+      "Per-write probability of a silent torn write (the kernel claims \
+       success): caught by the CRC frame at replay, skipped and counted, \
+       never decoded."
+  in
+  let io_error = rate "disk-io-error-rate" "Per-write probability of EIO." in
+  let enospc = rate "disk-enospc-rate" "Per-write probability of ENOSPC." in
+  let fsync_fail =
+    rate "disk-fsync-fail-rate"
+      "Per-fsync probability the durability barrier fails: the record is \
+       not counted as journaled; replay dedup absorbs the possible \
+       duplicate line after the seed is re-run."
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "disk-seed" ] ~docv:"N"
+          ~doc:
+            "Seed for the disk fault streams (keyed on (seed, salt, path), \
+             so two stores never share a stream and a re-run draws the \
+             identical schedule).")
+  in
+  let crash_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "disk-crash-after" ] ~docv:"N"
+          ~doc:
+            "Simulated process death: the first $(docv) store operations \
+             (writes, fsyncs, renames) succeed, the next one kills the \
+             process with exit status 3 — the $(b,--halt-after) \
+             convention — leaving a torn line for recovery to skip.")
+  in
+  Term.(
+    const (fun short torn io_error enospc fsync_fail seed crash_after ->
+        Resilience.Diskchaos.make ~short_rate:short ~torn_rate:torn
+          ~io_error_rate:io_error ~enospc_rate:enospc
+          ~fsync_fail_rate:fsync_fail ?crash_after ~seed ())
+    $ short $ torn $ io_error $ enospc $ fsync_fail $ seed $ crash_after)
+
+let disk_chaos_arm disk =
+  if not (Resilience.Diskchaos.is_none disk) then begin
+    Resilience.Diskchaos.install disk;
+    Printf.eprintf "disk-chaos: armed: %s\n%!" (Resilience.Diskchaos.describe disk)
+  end
+
+(* Stderr-only: the stdout of a faulted run that still completes must stay
+   byte-identical to the fault-free run (the durable-smoke drills cmp it). *)
+let disk_chaos_footer disk =
+  if not (Resilience.Diskchaos.is_none disk) then begin
+    let s = Resilience.Diskchaos.stats () in
+    Printf.eprintf
+      "disk-chaos: %d op(s): %d short, %d torn, %d io-error, %d enospc, %d \
+       fsync-fail\n\
+       %!"
+      s.Resilience.Diskchaos.ops s.Resilience.Diskchaos.shorts
+      s.Resilience.Diskchaos.torn s.Resilience.Diskchaos.io_errors
+      s.Resilience.Diskchaos.enospc s.Resilience.Diskchaos.fsync_failures
+  end
+
+(* The argv fragment reproducing a configuration in a child process (shard
+   workers, the supervised serve daemon). *)
+let disk_chaos_args (d : Resilience.Diskchaos.config) =
+  let rate flag r =
+    if r > 0. then [ flag; Printf.sprintf "%g" r ] else []
+  in
+  rate "--disk-short-rate" d.Resilience.Diskchaos.short_rate
+  @ rate "--disk-torn-rate" d.Resilience.Diskchaos.torn_rate
+  @ rate "--disk-io-error-rate" d.Resilience.Diskchaos.io_error_rate
+  @ rate "--disk-enospc-rate" d.Resilience.Diskchaos.enospc_rate
+  @ rate "--disk-fsync-fail-rate" d.Resilience.Diskchaos.fsync_fail_rate
+  @ (if d.Resilience.Diskchaos.seed <> 0 then
+       [ "--disk-seed"; string_of_int d.Resilience.Diskchaos.seed ]
+     else [])
+  @
+  match d.Resilience.Diskchaos.crash_after with
+  | Some n -> [ "--disk-crash-after"; string_of_int n ]
+  | None -> []
+
+(* An injected crash must end the process like a real one: exit 3, the
+   kill/resume convention --halt-after established, after the Fun.protect
+   finalizers on the way out have closed every journal handle. *)
+let exit_on_disk_crash f =
+  try f ()
+  with Resilience.Diskchaos.Crashed what ->
+    Printf.eprintf "disk-chaos: simulated crash during %s\n%!" what;
+    exit 3
+
+(* ------------------------------------------------------------------ *)
 (* chaos                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let chaos_cmd =
   let run use_case runs routers seed chaos_seed crash timeout flake truncate
       worker_loss worker_loss_in_flight lie_fn trust trust_ledger journal_path
-      resume compact_journal halt_after triage_path verbose =
+      resume compact_journal halt_after triage_path disk verbose =
+   exit_on_disk_crash @@ fun () ->
     if triage_path <> None then Resilience.Guard.reset ();
+    disk_chaos_arm disk;
     if compact_journal && journal_path = None then begin
       (* Validated before the sweep runs: discovering a flag error only
          after a multi-hour sweep would be its own kind of fault. *)
@@ -890,8 +998,14 @@ let chaos_cmd =
         (fun () ->
           Cosynth.Metrics.measure (fun () ->
               try (Exec.Sweep.run_seeds ?journal ~seeds run_seed, None)
-              with e -> ([], Some e)))
+              with
+              (* A simulated disk crash is a process death, not a sweep
+                 abort: let it reach the exit-3 handler (the protecting
+                 finalizers close the journal and ledger on the way). *)
+              | Resilience.Diskchaos.Crashed _ as c -> raise c
+              | e -> ([], Some e)))
     in
+    disk_chaos_footer disk;
     (match journal_path with
     | Some path when compact_journal ->
         let dropped, kept = Exec.Checkpoint.compact path in
@@ -1036,7 +1150,7 @@ let chaos_cmd =
       const run $ use_case $ runs $ routers $ seed $ chaos_seed $ crash
       $ timeout $ flake $ truncate $ worker_loss $ worker_loss_in_flight
       $ lie_fn $ trust $ trust_ledger $ journal_path $ resume $ compact_journal
-      $ halt_after $ triage_path $ verbose)
+      $ halt_after $ triage_path $ disk_chaos_term $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* adversary                                                           *)
@@ -1046,8 +1160,10 @@ let adversary_cmd =
   let run use_case runs routers seed truncated wrong_dialect stale partial_fix
       off_topic dropped duplicated misattributed garbled lie_fn lie_fp lie_mutate
       lie_adaptive collude collude_oracle collude_rate trust trust_ledger
-      journal_path resume halt_after sweep_budget triage_path verbose =
+      journal_path resume halt_after sweep_budget triage_path disk verbose =
+   exit_on_disk_crash @@ fun () ->
     Resilience.Guard.reset ();
+    disk_chaos_arm disk;
     (* --trust-ledger implies --trust: a persisted ledger with the trust
        layer off would never change. *)
     let trust = trust || trust_ledger <> None in
@@ -1379,6 +1495,7 @@ let adversary_cmd =
           (List.length (Resilience.Guard.crashes ()))
           path
     | None -> ());
+    disk_chaos_footer disk;
     List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) (List.rev !violations);
     if !violations <> [] then 1 else 0
   in
@@ -1541,7 +1658,8 @@ let adversary_cmd =
       $ stale $ partial_fix $ off_topic $ dropped $ duplicated $ misattributed
       $ garbled $ lie_fn $ lie_fp $ lie_mutate $ lie_adaptive $ collude
       $ collude_oracle $ collude_rate $ trust $ trust_ledger $ journal_path
-      $ resume $ halt_after $ sweep_budget $ triage_path $ verbose)
+      $ resume $ halt_after $ sweep_budget $ triage_path $ disk_chaos_term
+      $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* shard                                                               *)
@@ -1550,7 +1668,7 @@ let adversary_cmd =
 let shard_cmd =
   let run shards use_case runs routers seed crash timeout flake truncate
       worker_loss worker_loss_in_flight lie_fn trust trust_ledger dir out
-      max_respawns halt_first =
+      max_respawns halt_first disk =
     if shards < 1 then begin
       Printf.eprintf "error: --shards must be >= 1\n%!";
       exit 2
@@ -1634,6 +1752,13 @@ let shard_cmd =
               string_of_int routers;
             ]
             @ rate_args
+            (* Disk faults are injected in the workers — the processes
+               doing the journaled writes — not in the coordinator, whose
+               merge already goes through the store's atomic-rewrite path
+               (drilled in-process by the D1 gate). A crashed worker
+               (exit 3) is a dead shard: the supervisor respawns it with
+               the resume argv and replay skips the torn line. *)
+            @ disk_chaos_args disk
             @ (if trust then [ "--trust-ledger"; worker_ledger i ] else [])
             @ [ "--journal"; journal ]
           in
@@ -1866,7 +1991,7 @@ let shard_cmd =
     Term.(
       const run $ shards $ use_case $ runs $ routers $ seed $ crash $ timeout
       $ flake $ truncate $ worker_loss $ worker_loss_in_flight $ lie_fn $ trust
-      $ trust_ledger $ dir $ out $ max_respawns $ halt_first)
+      $ trust_ledger $ dir $ out $ max_respawns $ halt_first $ disk_chaos_term)
 
 (* ------------------------------------------------------------------ *)
 (* serve / client                                                      *)
@@ -1876,7 +2001,7 @@ let serve_cmd =
   let run socket jobs round_budget_cap stage_budget_cap max_in_flight max_queue
       max_per_client max_deadline_ms retry_after_ms io_timeout_ms drain_grace_ms
       admission_file triage_path trust_ledger_path debug_jobs supervise
-      max_restarts =
+      max_restarts disk =
     if supervise then begin
       (* Supervisor mode: respawn a crashed daemon (nonzero exit or fatal
          signal) with a bounded budget; a clean exit 0 — shutdown or drain
@@ -1905,7 +2030,10 @@ let serve_cmd =
           @ (match triage_path with Some p -> [ "--triage"; p ] | None -> [])
           @ (match trust_ledger_path with
             | Some p -> [ "--trust-ledger"; p ]
-            | None -> []))
+            | None -> [])
+          (* Faults belong in the daemon doing the ledger/triage writes,
+             not in the supervisor: forward the flags, stay clean here. *)
+          @ disk_chaos_args disk)
       in
       let restarts = ref 0 in
       let child = ref None in
@@ -1963,6 +2091,11 @@ let serve_cmd =
       loop ()
     end
     else begin
+      (* In the daemon the Guard is the crash boundary, so a Crashed from
+         a crash-after schedule surfaces as a failed request rather than
+         a process death; the rate faults (torn/short/fsync-fail on the
+         ledger and triage writes) are the useful knobs here. *)
+      disk_chaos_arm disk;
       let restarts =
         match Sys.getenv_opt "COSYNTH_SERVE_RESTARTS" with
         | Some s -> ( try int_of_string s with _ -> 0)
@@ -2008,6 +2141,7 @@ let serve_cmd =
            session must remain byte-identical to the pre-hardening daemon. *)
         Printf.printf "cosynth serve: %d request(s) served, shut down cleanly\n%!"
           summary.Cosynth.Service.served;
+      disk_chaos_footer disk;
       0
     end
   in
@@ -2159,7 +2293,7 @@ let serve_cmd =
       const run $ socket $ jobs $ round_budget $ stage_budget $ max_in_flight
       $ max_queue $ max_per_client $ max_deadline_ms $ retry_after_ms
       $ io_timeout_ms $ drain_grace_ms $ admission_file $ triage_path
-      $ trust_ledger $ debug_jobs $ supervise $ max_restarts)
+      $ trust_ledger $ debug_jobs $ supervise $ max_restarts $ disk_chaos_term)
 
 let client_cmd =
   let known_jobs =
@@ -2520,6 +2654,63 @@ let triage_cmd =
       $ Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
       $ stage $ ctor)
 
+(* ------------------------------------------------------------------ *)
+(* fsck                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fsck_cmd =
+  let run file lww compact =
+    let records, stats = Resilience.Store.read file in
+    Printf.printf "%s: lines=%d ok=%d corrupt=%d legacy=%d\n" file
+      stats.Resilience.Store.lines stats.Resilience.Store.ok
+      stats.Resilience.Store.corrupt stats.Resilience.Store.legacy;
+    (if lww then begin
+       (* Checkpoint-journal semantics: one surviving record per seed.
+          Records without the {"seed", "summary"} envelope (e.g. triage
+          rows) are dropped — use plain --compact for those files. *)
+       let dropped, kept = Exec.Checkpoint.compact file in
+       Printf.printf "compacted (last-write-wins): %d dropped, %d kept\n"
+         dropped kept
+     end
+     else if compact then
+       if Resilience.Store.rewrite file records then
+         Printf.printf "compacted: %d record(s) kept, corruption dropped\n"
+           (List.length records)
+       else Printf.printf "compaction failed; file untouched\n");
+    (* Nonzero exactly when corruption was observed, so scripts can gate
+       on a clean store — compaction repairs the file but the exit code
+       still reports what was found. *)
+    if stats.Resilience.Store.corrupt = 0 then 0 else 1
+  in
+  let lww =
+    Arg.(
+      value & flag
+      & info [ "lww" ]
+          ~doc:
+            "Compact with checkpoint-journal semantics: keep the last \
+             record per seed (what replay would use), dropping superseded \
+             duplicates, corruption, and records without a seed envelope.")
+  in
+  let compact =
+    Arg.(
+      value & flag
+      & info [ "compact" ]
+          ~doc:
+            "Atomically rewrite the file keeping every decodable record \
+             (order preserved, legacy lines re-framed), dropping torn and \
+             corrupt lines. Ignored when $(b,--lww) is given.")
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Check a durable store file (journal, trust ledger, triage): count \
+          CRC-verified, corrupt and legacy lines, optionally compact — exits \
+          nonzero when corruption was found")
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+      $ lww $ compact)
+
 let () =
   let doc =
     "CoSynth: verified prompt programming for router configurations (HotNets 2023 \
@@ -2530,5 +2721,5 @@ let () =
          [
            topology_cmd; parse_cmd; diff_cmd; verify_cmd; translate_cmd; synth_cmd;
            sim_cmd; prove_cmd; leverage_cmd; chaos_cmd; adversary_cmd; shard_cmd;
-           serve_cmd; client_cmd; fuzz_cmd; triage_cmd;
+           serve_cmd; client_cmd; fuzz_cmd; triage_cmd; fsck_cmd;
          ]))

@@ -45,6 +45,59 @@ let fail msg = J.Obj [ ("ok", J.Bool false); ("error", J.String msg) ]
 let jstr name req = Option.bind (J.member name req) J.to_str
 let jint name req = Option.bind (J.member name req) J.to_int
 
+(* Strict validation for a SIGHUP admission-caps reload. The file is
+   typically rewritten by an operator or a config pusher moments before
+   the signal lands, so "half-written" is a live failure mode, not a
+   theoretical one: reject anything that does not parse, is not an
+   object, or carries a non-integer / out-of-range value — the caller
+   keeps the caps in force. Missing keys keep their current values (a
+   partial file adjusts one cap); unknown keys are ignored. *)
+let parse_admission_caps ~(current : Resilience.Admission.config) text =
+  match J.of_string text with
+  | Error e -> Error ("malformed JSON: " ^ e)
+  | Ok json -> (
+      match J.to_obj json with
+      | None -> Error "not a JSON object"
+      | Some _ -> (
+          let field name ~min default =
+            match J.member name json with
+            | None -> Ok default
+            | Some v -> (
+                match J.to_int v with
+                | Some n when n >= min -> Ok n
+                | Some n ->
+                    Error
+                      (Printf.sprintf "%s: %d out of range (min %d)" name n min)
+                | None -> Error (name ^ ": not an integer"))
+          in
+          let ( let* ) = Result.bind in
+          let* max_in_flight =
+            field "max_in_flight" ~min:1 current.Resilience.Admission.max_in_flight
+          in
+          let* max_queue =
+            field "max_queue" ~min:0 current.Resilience.Admission.max_queue
+          in
+          let* max_per_client =
+            field "max_per_client" ~min:1
+              current.Resilience.Admission.max_per_client
+          in
+          let* max_deadline_ms =
+            field "max_deadline_ms" ~min:1
+              current.Resilience.Admission.max_deadline_ms
+          in
+          let* retry_after_ms =
+            field "retry_after_ms" ~min:0
+              current.Resilience.Admission.retry_after_ms
+          in
+          Ok
+            {
+              Resilience.Admission.max_in_flight;
+              max_queue;
+              max_per_client;
+              max_deadline_ms;
+              retry_after_ms;
+            }))
+
 let shed_frame ~retry_after_ms ~reason =
   J.Obj
     [
@@ -144,6 +197,7 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
   let served = ref 0 in
   let timed_out = ref 0 in
   let reloads = ref 0 in
+  let reload_rejected = ref 0 in
   let accepting = ref true in
   let drained = ref false in
   let locked f =
@@ -281,41 +335,33 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
   (* SIGHUP: re-read the admission caps from [admission_file] and swap them
      in without draining (queued waiters re-evaluate against the new caps
      immediately; running jobs keep their tickets). Missing keys keep their
-     current values, so a partial file adjusts one cap. A malformed or
-     unreadable file keeps the caps in force — a bad reload must never
-     degrade a healthy daemon — but still counts as a reload so operators
-     can see their signal arrived. *)
+     current values, so a partial file adjusts one cap. An unreadable,
+     half-written or otherwise invalid file keeps the caps in force — a
+     bad reload must never degrade a healthy daemon — but still counts as
+     a reload (so operators can see their signal arrived) and bumps
+     [reload_rejected] in health/stats (so they can see it was refused
+     rather than silently half-applied). *)
   let reload_admission () =
     locked (fun () -> incr reloads);
     match cfg.admission_file with
     | None -> ()
     | Some path -> (
+        let reject why =
+          locked (fun () -> incr reload_rejected);
+          Printf.eprintf "reload: %s: %s; keeping current caps\n%!" path why
+        in
         match
           try Ok (In_channel.with_open_bin path In_channel.input_all)
           with Sys_error e -> Error e
         with
-        | Error e -> Printf.eprintf "reload: cannot read %s: %s\n%!" path e
+        | Error e -> reject ("cannot read: " ^ e)
         | Ok text -> (
-            match J.of_string text with
-            | Error e -> Printf.eprintf "reload: %s: malformed JSON: %s\n%!" path e
-            | Ok json ->
-                let cur = Resilience.Admission.config adm in
-                let field name default =
-                  Option.value ~default (jint name json)
-                in
-                Resilience.Admission.set_caps adm
-                  {
-                    Resilience.Admission.max_in_flight =
-                      field "max_in_flight"
-                        cur.Resilience.Admission.max_in_flight;
-                    max_queue = field "max_queue" cur.Resilience.Admission.max_queue;
-                    max_per_client =
-                      field "max_per_client" cur.Resilience.Admission.max_per_client;
-                    max_deadline_ms =
-                      field "max_deadline_ms" cur.Resilience.Admission.max_deadline_ms;
-                    retry_after_ms =
-                      field "retry_after_ms" cur.Resilience.Admission.retry_after_ms;
-                  }))
+            match
+              parse_admission_caps ~current:(Resilience.Admission.config adm)
+                text
+            with
+            | Error why -> reject why
+            | Ok caps -> Resilience.Admission.set_caps adm caps))
   in
   (* Trust state for the health/stats frames — present only when a ledger
      is configured, so unconfigured daemons keep their exact frame shape.
@@ -419,6 +465,7 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
                ("timed_out", J.Int (locked (fun () -> !timed_out)));
                ("served", J.Int (locked (fun () -> !served)));
                ("reloads", J.Int (locked (fun () -> !reloads)));
+               ("reload_rejected", J.Int (locked (fun () -> !reload_rejected)));
                ("restarts", J.Int cfg.restarts);
              ]
              @ trust_health_fields ()))
@@ -470,6 +517,7 @@ let serve ?(on_ready = fun ~domains:_ -> ()) ~socket_path cfg =
                    ] );
                ("timed_out", J.Int (locked (fun () -> !timed_out)));
                ("reloads", J.Int (locked (fun () -> !reloads)));
+               ("reload_rejected", J.Int (locked (fun () -> !reload_rejected)));
                ("restarts", J.Int cfg.restarts);
                ("crashes", J.Int (Resilience.Guard.total ()));
              ]

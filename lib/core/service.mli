@@ -37,9 +37,12 @@ type config = {
           file ([{"max_in_flight": ..., "max_queue": ...}]; missing keys
           keep their current values) and swap them in without a drain —
           queued waiters re-evaluate immediately, running jobs keep their
-          tickets. A malformed or unreadable file keeps the caps in force.
-          Every SIGHUP bumps the [reloads] counter reported by [health]
-          and [stats], whether or not a file is configured. *)
+          tickets. The file is validated strictly (see
+          {!parse_admission_caps}): an unreadable, half-written, malformed
+          or out-of-range file keeps {e all} the caps in force and bumps
+          the [reload_rejected] counter reported by [health] and [stats].
+          Every SIGHUP bumps the [reloads] counter, whether or not a file
+          is configured. *)
   io_timeout_ms : int;  (** Socket read/write timeout; [0] disables. *)
   drain_grace_ms : int;  (** Reject window between drain and close. *)
   handle_signals : bool;  (** SIGTERM/SIGINT trigger a drain. *)
@@ -65,6 +68,19 @@ type config = {
           one. [None] (the default) leaves every code path and frame shape
           byte-identical to the trust-free daemon. *)
 }
+
+val parse_admission_caps :
+  current:Resilience.Admission.config ->
+  string ->
+  (Resilience.Admission.config, string) result
+(** Validate the text of an [admission_file] against the caps currently in
+    force. All-or-nothing: the result is either a complete, in-range
+    configuration (missing keys filled from [current], unknown keys
+    ignored) or a reason to reject — a truncated write, a non-object, a
+    non-integer value, or a value below its floor ([max_in_flight],
+    [max_per_client], [max_deadline_ms] >= 1; [max_queue],
+    [retry_after_ms] >= 0) never half-applies. Exposed (pure) so the
+    reload path's validation is unit-testable without a daemon. *)
 
 val default_config : config
 (** PR 6's budget caps (64/32), {!Resilience.Admission.default_config},

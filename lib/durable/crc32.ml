@@ -1,0 +1,21 @@
+(* Table-driven IEEE CRC-32 (polynomial 0xEDB88320, reflected). Fits in
+   OCaml's native int on 64-bit: every intermediate stays below 2^32. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update register s =
+  let t = Lazy.force table in
+  let crc = ref register in
+  String.iter
+    (fun ch -> crc := t.((!crc lxor Char.code ch) land 0xFF) lxor (!crc lsr 8))
+    s;
+  !crc
+
+let digest s = update 0xFFFFFFFF s lxor 0xFFFFFFFF

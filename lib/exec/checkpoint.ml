@@ -1,96 +1,60 @@
-type t = {
-  oc : out_channel;
-  fd : Unix.file_descr;
-  m : Mutex.t;
-  mutable closed : bool;
-}
+(* The sweep journal, riding the one checksummed store. Everything
+   durability-related — CRC framing, fsync ordering, torn-tail sealing,
+   fault injection — lives in Durable.Store; this module only owns the
+   record shape ({"seed": N, "summary": ...}) and the last-write-wins
+   replay semantics. *)
 
-let open_ ?(truncate = false) path =
-  let flags =
-    [ Open_wronly; Open_creat; (if truncate then Open_trunc else Open_append) ]
-  in
-  let oc = open_out_gen flags 0o644 path in
-  { oc; fd = Unix.descr_of_out_channel oc; m = Mutex.create (); closed = false }
+type t = Durable.Store.t
+
+let open_ ?truncate path = Durable.Store.open_ ?truncate path
 
 let record t ~seed payload =
-  let line =
-    Netcore.Json.to_string
-      (Netcore.Json.Obj [ ("seed", Netcore.Json.Int seed); ("summary", payload) ])
+  let json =
+    Netcore.Json.Obj [ ("seed", Netcore.Json.Int seed); ("summary", payload) ]
   in
-  Mutex.lock t.m;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.m)
-    (fun () ->
-      if t.closed then invalid_arg "Checkpoint.record: journal is closed";
-      output_string t.oc line;
-      output_char t.oc '\n';
-      flush t.oc;
-      (* The line is durable before the run counts as completed: a journal
-         replay after a crash only ever sees whole, fsync'd records. *)
-      Unix.fsync t.fd)
+  (* A [false] append (injected write/fsync fault) simply leaves the line
+     out of the journal: the run is not durably completed, so a resume
+     re-runs the seed — the exact contract record-then-complete exists
+     to provide. Nothing to do here but not crash. *)
+  ignore (Durable.Store.append t json : bool)
 
-let close t =
-  Mutex.lock t.m;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.m)
-    (fun () ->
-      if not t.closed then begin
-        t.closed <- true;
-        close_out t.oc
-      end)
+let close t = Durable.Store.close t
 
 (* A journal written by a process that died mid-[record] can end in a
-   partial line; anything that fails to parse (or lacks the expected shape)
-   is skipped rather than poisoning the replay. Later records win so a
-   re-run that re-completed a seed supersedes the older line. *)
+   torn line, and a bit-flipped or truncated line can appear anywhere;
+   the store counts and skips those. Records that decode but lack the
+   expected shape are skipped here. Later records win so a re-run that
+   re-completed a seed supersedes the older line. *)
 let load path =
-  if not (Sys.file_exists path) then []
-  else begin
-    let ic = open_in_bin path in
-    let entries = ref [] in
-    (try
-       while true do
-         let line = input_line ic in
-         if String.trim line <> "" then
-           match Netcore.Json.of_string line with
-           | Error _ -> ()
-           | Ok json -> (
-               match
-                 ( Option.bind (Netcore.Json.member "seed" json) Netcore.Json.to_int,
-                   Netcore.Json.member "summary" json )
-               with
-               | Some seed, Some payload ->
-                   entries := (seed, payload) :: List.remove_assoc seed !entries
-               | _ -> ())
-       done
-     with End_of_file -> ());
-    close_in ic;
-    List.rev !entries
-  end
+  let records, _stats = Durable.Store.read path in
+  let entries = ref [] in
+  List.iter
+    (fun json ->
+      match
+        ( Option.bind (Netcore.Json.member "seed" json) Netcore.Json.to_int,
+          Netcore.Json.member "summary" json )
+      with
+      | Some seed, Some payload ->
+          entries := (seed, payload) :: List.remove_assoc seed !entries
+      | _ -> ())
+    records;
+  List.rev !entries
 
-(* Compaction is load + rewrite: the surviving lines are written to a
-   sibling temp file, fsync'd, then renamed over the original — the journal
-   is never in a half-rewritten state, a crash leaves either the old file
-   or the new one. *)
+(* Compaction is load + atomic rewrite (temp file, fsync, rename): the
+   journal is never in a half-rewritten state — a crash leaves either the
+   old file or the new one. *)
 let compact path =
   let entries = load path in
   let kept = List.length entries in
-  let before =
-    if Sys.file_exists path then
-      let ic = open_in_bin path in
-      let n = ref 0 in
-      (try
-         while true do
-           if String.trim (input_line ic) <> "" then incr n
-         done
-       with End_of_file -> ());
-      close_in ic;
-      !n
-    else 0
+  let _, stats = Durable.Store.read path in
+  let lines =
+    List.map
+      (fun (seed, payload) ->
+        Netcore.Json.Obj
+          [ ("seed", Netcore.Json.Int seed); ("summary", payload) ])
+      entries
   in
-  let tmp = path ^ ".compact.tmp" in
-  let t = open_ ~truncate:true tmp in
-  List.iter (fun (seed, payload) -> record t ~seed payload) entries;
-  close t;
-  Sys.rename tmp path;
-  (before - kept, kept)
+  if Durable.Store.rewrite path lines then
+    (stats.Durable.Store.lines - kept, kept)
+  else (* An injected fault aborted the rewrite; the file is untouched. *)
+    (0, kept)

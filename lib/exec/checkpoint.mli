@@ -1,11 +1,16 @@
-(** An fsync'd append-only journal of completed seeded runs.
+(** An fsync'd append-only journal of completed seeded runs, on the one
+    checksummed {!Durable.Store}.
 
-    One line per completed run — [{"seed": N, "summary": <json>}] — written
-    and [fsync]'d under a mutex before {!record} returns, so concurrent
-    writers never interleave within a line and a crash at any instant
-    leaves at most one partial trailing line. {!load} tolerates exactly that: unparseable or
-    wrong-shaped lines are skipped, and when a seed appears twice the later
-    record wins. *)
+    One CRC-framed line per completed run — payload
+    [{"seed": N, "summary": <json>}] — written and [fsync]'d under a mutex
+    before {!record} returns, so concurrent writers never interleave
+    within a line and a crash at any instant leaves at most one torn
+    trailing line. {!load} tolerates exactly that and worse: torn,
+    bit-flipped or truncated lines fail the store's CRC check and are
+    skipped (and counted — {!Durable.Store.corrupt_seen}), wrong-shaped
+    records are skipped, and when a seed appears twice the later record
+    wins. Journals written before the framing existed (bare-JSON lines)
+    still load. *)
 
 type t
 

@@ -457,12 +457,19 @@ let promote ~dir escapes =
       let key = "promoted-" ^ bucket_slug e.violation in
       if Hashtbl.mem covered key then None
       else begin
-        Hashtbl.replace covered key ();
         let name = promoted_filename e in
-        let oc = open_out_bin (Filename.concat dir name) in
-        output_string oc e.minimized;
-        close_out oc;
-        Some (name, e)
+        (* Atomic (temp + fsync + rename): a crash mid-promotion leaves
+           either no file or the whole crasher, never a truncated seed
+           F1 would then replay as a bogus corpus entry. The leftover
+           [*.tmp] a crash can leave is invisible to [replay_dir] (no
+           [.txt] suffix). The bucket is marked covered only on success,
+           so a failed write retries on the campaign's next escape. *)
+        if Resilience.Store.write_atomic (Filename.concat dir name) e.minimized
+        then begin
+          Hashtbl.replace covered key ();
+          Some (name, e)
+        end
+        else None
       end)
     escapes
 

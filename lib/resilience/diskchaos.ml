@@ -1,0 +1,1 @@
+include Durable.Diskchaos

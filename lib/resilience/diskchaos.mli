@@ -1,0 +1,9 @@
+(** Seeded disk-fault injection, re-exported from {!Durable.Diskchaos} —
+    the {!Chaos} discipline applied to the filesystem: short writes, torn
+    writes, [EIO]/[ENOSPC], fsync failures and crash-after-N schedules,
+    drawn deterministically from [(seed, salt, path)] and honored by
+    every write {!Store} makes. *)
+
+include module type of struct
+  include Durable.Diskchaos
+end

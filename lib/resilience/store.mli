@@ -1,0 +1,9 @@
+(** The checksummed append-only record store, re-exported from
+    {!Durable.Store} under the resilience umbrella where the rest of the
+    fault-tolerance toolkit lives. ({!Durable} is a bottom-layer library
+    so {!Exec.Checkpoint} can ride the same store without a dependency
+    cycle — [resilience] depends on [exec].) *)
+
+include module type of struct
+  include Durable.Store
+end

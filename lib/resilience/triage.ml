@@ -1,10 +1,13 @@
 (* Persistent crash triage: the Guard registry, journaled across runs.
 
    Each [append] writes one JSON object per (stage, constructor) bucket on
-   its own line — append-only, so concurrent tools never corrupt earlier
-   rows and a crashed run still leaves everything it observed. [load]
-   re-merges the history; malformed lines are skipped rather than fatal
-   (the file may end mid-line if the writer died). *)
+   its own line, through Durable.Store — append-only and fsync'd per row,
+   so concurrent tools never corrupt earlier rows, a crashed run still
+   leaves every row it got to journal, and (the bug this migration fixed)
+   rows are on disk before [append] returns rather than parked in a
+   buffered channel a crash would discard. [load] re-merges the history;
+   torn or bit-flipped rows fail the store's CRC check and are skipped
+   rather than fatal. *)
 
 open Netcore
 
@@ -18,97 +21,84 @@ type row = {
   last_ts : float option;  (* wall-clock of the latest timestamped line *)
 }
 
-let encode_line ~seed ~ts (stage, constructor, count) =
-  Json.to_string
-    (Json.Obj
-       ([
-          ("stage", Json.String stage);
-          ("ctor", Json.String constructor);
-          ("count", Json.Int count);
-          ("seed", Json.Int seed);
-        ]
-       @ match ts with None -> [] | Some t -> [ ("ts", Json.Float t) ]))
+let encode_row ~seed ~ts (stage, constructor, count) =
+  Json.Obj
+    ([
+       ("stage", Json.String stage);
+       ("ctor", Json.String constructor);
+       ("count", Json.Int count);
+       ("seed", Json.Int seed);
+     ]
+    @ match ts with None -> [] | Some t -> [ ("ts", Json.Float t) ])
 
 let append ?ts ~path ~seed crashes =
   if crashes <> [] then begin
-    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    let store = Store.open_ path in
     Fun.protect
-      ~finally:(fun () -> close_out oc)
+      ~finally:(fun () -> Store.close store)
       (fun () ->
         List.iter
           (fun bucket ->
-            output_string oc (encode_line ~seed ~ts bucket);
-            output_char oc '\n')
+            (* A false append (injected fault) loses that one row, exactly
+               like a crash between rows would; the rows already appended
+               are fsync'd and safe. *)
+            ignore (Store.append store (encode_row ~seed ~ts bucket) : bool))
           crashes)
   end
 
-let decode_line line =
-  match Json.of_string line with
-  | Error _ -> None
-  | Ok j -> (
-      let mem f name = Option.bind (Json.member name j) f in
-      match
-        ( mem Json.to_str "stage",
-          mem Json.to_str "ctor",
-          mem Json.to_int "count",
-          mem Json.to_int "seed" )
-      with
-      | Some stage, Some constructor, Some count, Some seed ->
-          (* [ts] is optional: rows journaled before timestamps existed
-             load fine and simply show "-" in the triage table. *)
-          Some (stage, constructor, count, seed, mem Json.to_float "ts")
-      | _ -> None)
+let decode_row j =
+  let mem f name = Option.bind (Json.member name j) f in
+  match
+    ( mem Json.to_str "stage",
+      mem Json.to_str "ctor",
+      mem Json.to_int "count",
+      mem Json.to_int "seed" )
+  with
+  | Some stage, Some constructor, Some count, Some seed ->
+      (* [ts] is optional: rows journaled before timestamps existed
+         load fine and simply show "-" in the triage table. *)
+      Some (stage, constructor, count, seed, mem Json.to_float "ts")
+  | _ -> None
 
 let load path =
-  if not (Sys.file_exists path) then []
-  else begin
-    let ic = open_in path in
-    let order = ref [] in
-    let merged = Hashtbl.create 16 in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        try
-          while true do
-            match decode_line (input_line ic) with
-            | None -> ()
-            | Some (stage, constructor, count, seed, ts) ->
-                let key = (stage, constructor) in
-                (match Hashtbl.find_opt merged key with
-                | None ->
-                    order := key :: !order;
-                    Hashtbl.replace merged key
-                      {
-                        stage;
-                        constructor;
-                        count;
-                        first_seed = seed;
-                        last_seed = seed;
-                        first_ts = ts;
-                        last_ts = ts;
-                      }
-                | Some r ->
-                    let first_ts =
-                      match r.first_ts with None -> ts | some -> some
-                    in
-                    let last_ts =
-                      match ts with None -> r.last_ts | some -> some
-                    in
-                    Hashtbl.replace merged key
-                      {
-                        r with
-                        count = r.count + count;
-                        last_seed = seed;
-                        first_ts;
-                        last_ts;
-                      })
-          done
-        with End_of_file -> ());
-    List.rev_map (fun key -> Hashtbl.find merged key) !order
-    |> List.sort (fun a b ->
-           match compare a.stage b.stage with
-           | 0 -> compare a.constructor b.constructor
-           | c -> c)
-  end
+  let records, _stats = Store.read path in
+  let order = ref [] in
+  let merged = Hashtbl.create 16 in
+  List.iter
+    (fun j ->
+      match decode_row j with
+      | None -> ()
+      | Some (stage, constructor, count, seed, ts) -> (
+          let key = (stage, constructor) in
+          match Hashtbl.find_opt merged key with
+          | None ->
+              order := key :: !order;
+              Hashtbl.replace merged key
+                {
+                  stage;
+                  constructor;
+                  count;
+                  first_seed = seed;
+                  last_seed = seed;
+                  first_ts = ts;
+                  last_ts = ts;
+                }
+          | Some r ->
+              let first_ts = match r.first_ts with None -> ts | some -> some in
+              let last_ts = match ts with None -> r.last_ts | some -> some in
+              Hashtbl.replace merged key
+                {
+                  r with
+                  count = r.count + count;
+                  last_seed = seed;
+                  first_ts;
+                  last_ts;
+                }))
+    records;
+  List.rev_map (fun key -> Hashtbl.find merged key) !order
+  |> List.sort (fun a b ->
+         match compare a.stage b.stage with
+         | 0 -> compare a.constructor b.constructor
+         | c -> c)
 
 let record ?ts ~path ~seed () = append ?ts ~path ~seed (Guard.crashes ())

@@ -401,6 +401,108 @@ let test_checkpoint_compact () =
       check bool_t "second compaction drops nothing" true
         (Exec.Checkpoint.compact path = (0, 2)))
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_checkpoint_framing () =
+  with_temp (fun path ->
+      let ck = Exec.Checkpoint.open_ ~truncate:true path in
+      Exec.Checkpoint.record ck ~seed:1 (Netcore.Json.Int 10);
+      Exec.Checkpoint.record ck ~seed:2 (Netcore.Json.Int 20);
+      Exec.Checkpoint.close ck;
+      (* Every journal line carries the store's "len crc payload" frame. *)
+      let lines =
+        List.filter
+          (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' (read_file path))
+      in
+      check int_t "one frame per record" 2 (List.length lines);
+      List.iter
+        (fun l ->
+          check bool_t "header separators" true (l.[8] = ' ' && l.[17] = ' ');
+          let payload = String.sub l 18 (String.length l - 18) in
+          check bool_t "framed line decodes as Ok" true
+            (match Resilience.Store.decode_line l with
+            | `Ok j -> Netcore.Json.to_string j = payload
+            | _ -> false))
+        lines;
+      (* Flipping one payload byte fails the CRC: the record is skipped
+         and counted, never decoded wrong or raised. *)
+      let b = Bytes.of_string (read_file path) in
+      Bytes.set b (Bytes.length b - 3)
+        (Char.chr (Char.code (Bytes.get b (Bytes.length b - 3)) lxor 1));
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc;
+      let entries = Exec.Checkpoint.load path in
+      check int_t "flipped record skipped" 1 (List.length entries);
+      check bool_t "surviving record intact" true
+        (List.assoc 1 entries = Netcore.Json.Int 10))
+
+let test_checkpoint_legacy_loads () =
+  with_temp (fun path ->
+      (* A journal written before the CRC framing: bare JSON objects. *)
+      let oc = open_out_bin path in
+      output_string oc "{\"seed\":1,\"summary\":10}\n";
+      output_string oc "{\"seed\":2,\"summary\":20}\n";
+      close_out oc;
+      let entries = Exec.Checkpoint.load path in
+      check int_t "legacy lines load" 2 (List.length entries);
+      check bool_t "legacy payloads decode" true
+        (List.assoc 1 entries = Netcore.Json.Int 10
+        && List.assoc 2 entries = Netcore.Json.Int 20);
+      (* Mixed history: appends land framed next to the legacy lines and
+         compaction rewrites everything framed, dropping nothing legal. *)
+      let ck = Exec.Checkpoint.open_ path in
+      Exec.Checkpoint.record ck ~seed:3 (Netcore.Json.Int 30);
+      Exec.Checkpoint.record ck ~seed:1 (Netcore.Json.Int 11);
+      Exec.Checkpoint.close ck;
+      let dropped, kept = Exec.Checkpoint.compact path in
+      check int_t "superseded legacy line dropped" 1 dropped;
+      check int_t "three seeds kept" 3 kept;
+      let _, stats = Resilience.Store.read path in
+      check int_t "compaction leaves no legacy lines" 0
+        stats.Resilience.Store.legacy;
+      check bool_t "post-compact load merges both eras" true
+        (* Completion order: seed 1's superseding record is the youngest. *)
+        (Exec.Checkpoint.load path
+        = [ (2, Netcore.Json.Int 20); (3, Netcore.Json.Int 30);
+            (1, Netcore.Json.Int 11) ]);
+      (* A bare non-object line is corruption, not a legacy record: a torn
+         frame header can scan as a JSON scalar. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "0000001\n";
+      close_out oc;
+      let _, stats = Resilience.Store.read path in
+      check int_t "bare scalar counted corrupt" 1 stats.Resilience.Store.corrupt;
+      check int_t "no phantom record" 3 (List.length (Exec.Checkpoint.load path)))
+
+let test_checkpoint_torn_tail_sealed () =
+  with_temp (fun path ->
+      let ck = Exec.Checkpoint.open_ ~truncate:true path in
+      Exec.Checkpoint.record ck ~seed:1 (Netcore.Json.Int 10);
+      Exec.Checkpoint.close ck;
+      (* A writer died mid-record: the tail line has no newline. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "00000016 deadbeef {\"se";
+      close_out oc;
+      (* Reopening for append seals the torn tail so the next record
+         cannot merge into it and be lost to the old crash. *)
+      let ck = Exec.Checkpoint.open_ path in
+      Exec.Checkpoint.record ck ~seed:2 (Netcore.Json.Int 20);
+      Exec.Checkpoint.close ck;
+      let entries = Exec.Checkpoint.load path in
+      check int_t "record after the torn tail survives" 2 (List.length entries);
+      check bool_t "both good seeds load" true
+        (List.assoc 1 entries = Netcore.Json.Int 10
+        && List.assoc 2 entries = Netcore.Json.Int 20);
+      let _, stats = Resilience.Store.read path in
+      check int_t "torn line isolated and counted" 1
+        stats.Resilience.Store.corrupt)
+
 let test_sweep_journal_resume () =
   with_temp (fun path ->
       let encode v = Netcore.Json.Int v in
@@ -1097,6 +1199,12 @@ let () =
           Alcotest.test_case "partial line tolerated" `Quick
             test_checkpoint_partial_line_tolerated;
           Alcotest.test_case "compaction" `Quick test_checkpoint_compact;
+          Alcotest.test_case "CRC framing on every line" `Quick
+            test_checkpoint_framing;
+          Alcotest.test_case "legacy bare-JSON journals load" `Quick
+            test_checkpoint_legacy_loads;
+          Alcotest.test_case "torn tail sealed on reopen" `Quick
+            test_checkpoint_torn_tail_sealed;
           Alcotest.test_case "sweep resume" `Quick test_sweep_journal_resume;
           Alcotest.test_case "stale codec recomputes" `Quick
             test_sweep_journal_stale_codec;

@@ -226,6 +226,62 @@ let test_promote_idempotent () =
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Unix.rmdir dir
 
+let test_promote_crash_atomic () =
+  (* Promotion rides Store.write_atomic, which is three faultable ops
+     (write tmp, fsync tmp, rename). Crash at each: the corpus entry is
+     absent or whole — never a truncated seed — any [*.tmp] leftover is
+     invisible to replay, and a fault-free retry lands the bucket. *)
+  let dir = Filename.temp_file "cosynth-promote-crash" "" in
+  Sys.remove dir;
+  let e =
+    {
+      Fuzz.Props.dialect = Fuzz.Corpus.Cisco;
+      violation =
+        { Fuzz.Props.property = "total-parse"; stage = "cisco-parse";
+          constructor = "Failure"; detail = "boom" };
+      fingerprint = "cafecafe";
+      seed = 1;
+      round = 0;
+      input = "hostname r1";
+      minimized = "hostname r1";
+    }
+  in
+  let target = Filename.concat dir "promoted-cisco-parse-failure.txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      Resilience.Diskchaos.uninstall ();
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () ->
+      for crash_after = 0 to 2 do
+        Resilience.Diskchaos.install
+          (Resilience.Diskchaos.make ~crash_after ~seed:(100 + crash_after) ());
+        (match Fuzz.Props.promote ~dir [ e ] with
+        | _ -> Alcotest.failf "write point %d did not crash" crash_after
+        | exception Resilience.Diskchaos.Crashed _ -> ());
+        Resilience.Diskchaos.uninstall ();
+        if Sys.file_exists target then
+          check string_t
+            (Printf.sprintf "write point %d: target whole" crash_after)
+            e.Fuzz.Props.minimized
+            (In_channel.with_open_bin target In_channel.input_all);
+        (* The crash may strand a [*.tmp]; replay must never pick it up. *)
+        List.iter
+          (fun (f, _) ->
+            check bool_t (f ^ " is not a temp leftover") false
+              (Filename.check_suffix f ".tmp"))
+          (Fuzz.Props.replay_dir dir)
+      done;
+      (* Every crash point dies before the rename installs the target, so
+         the bucket is still open and a fault-free retry promotes it. *)
+      check int_t "retry promotes the open bucket" 1
+        (List.length (Fuzz.Props.promote ~dir [ e ]));
+      check bool_t "retry landed the bucket" true (Sys.file_exists target);
+      check string_t "converged to the whole seed" e.Fuzz.Props.minimized
+        (In_channel.with_open_bin target In_channel.input_all))
+
 let test_canary_caught_and_minimized () =
   Resilience.Guard.reset ();
   match Fuzz.Props.canary ~max_rounds:200 () with
@@ -266,6 +322,8 @@ let () =
           Alcotest.test_case "regression replay clean" `Quick test_corpus_replay_clean;
           Alcotest.test_case "promotion idempotent + replay order" `Quick
             test_promote_idempotent;
+          Alcotest.test_case "promotion atomic under crashes" `Quick
+            test_promote_crash_atomic;
           Alcotest.test_case "canary caught + minimized" `Slow
             test_canary_caught_and_minimized;
         ] );

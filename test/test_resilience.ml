@@ -574,6 +574,218 @@ let prop_breaker_half_open_timing =
       expect (Resilience.Breaker.trips b = !trips_seen);
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Durable store: CRC framing, disk chaos, triage durability           *)
+(* ------------------------------------------------------------------ *)
+
+let with_store_temp f =
+  let path = Filename.temp_file "cosynth_store_" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Resilience.Diskchaos.uninstall ();
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_crc32_vector () =
+  (* The IEEE CRC-32 check value: crc32("123456789") = 0xCBF43926. *)
+  check bool_t "check vector" true
+    (Durable.Crc32.digest "123456789" = 0xCBF43926);
+  check bool_t "empty string" true (Durable.Crc32.digest "" = 0);
+  check bool_t "single-bit sensitivity" true
+    (Durable.Crc32.digest "123456788" <> 0xCBF43926)
+
+let test_store_roundtrip () =
+  with_store_temp (fun path ->
+      let records =
+        List.init 5 (fun i -> Netcore.Json.Obj [ ("i", Netcore.Json.Int i) ])
+      in
+      let t = Resilience.Store.open_ ~truncate:true path in
+      List.iter
+        (fun j -> check bool_t "append durable" true (Resilience.Store.append t j))
+        records;
+      Resilience.Store.close t;
+      let got, stats = Resilience.Store.read path in
+      check bool_t "round trip" true (got = records);
+      check int_t "all ok" 5 stats.Resilience.Store.ok;
+      check int_t "no corruption" 0 stats.Resilience.Store.corrupt;
+      check int_t "no legacy" 0 stats.Resilience.Store.legacy)
+
+let test_diskchaos_deterministic () =
+  let cfg = Resilience.Diskchaos.make ~torn_rate:0.3 ~io_error_rate:0.2 ~seed:11 () in
+  let fates cfg =
+    Resilience.Diskchaos.install cfg;
+    let fs =
+      List.init 20 (fun i ->
+          Resilience.Diskchaos.write_fate ~path:"/x/a" ~len:(40 + i))
+    in
+    Resilience.Diskchaos.uninstall ();
+    fs
+  in
+  check bool_t "same config, same fates" true (fates cfg = fates cfg);
+  check bool_t "different seed, different fates" true
+    (fates cfg
+    <> fates (Resilience.Diskchaos.make ~torn_rate:0.3 ~io_error_rate:0.2 ~seed:12 ()));
+  check bool_t "none is none" true
+    (Resilience.Diskchaos.is_none Resilience.Diskchaos.none);
+  (* Disarmed: the fast path neither injects nor counts. Installing the
+     all-zero config injects nothing but counts every operation — how the
+     D1 gate measures a run's write-point schedule. *)
+  check bool_t "disarmed fast path" true
+    (Resilience.Diskchaos.write_fate ~path:"/x/a" ~len:100
+    = Resilience.Diskchaos.Write_all);
+  Resilience.Diskchaos.install Resilience.Diskchaos.none;
+  ignore (Resilience.Diskchaos.write_fate ~path:"/x/a" ~len:10);
+  ignore (Resilience.Diskchaos.fsync_fate ~path:"/x/a");
+  let st = Resilience.Diskchaos.stats () in
+  Resilience.Diskchaos.uninstall ();
+  check int_t "armed zero-rate config counts ops" 2 st.Resilience.Diskchaos.ops;
+  check int_t "but injects nothing" 0
+    (st.Resilience.Diskchaos.shorts + st.Resilience.Diskchaos.torn
+    + st.Resilience.Diskchaos.io_errors + st.Resilience.Diskchaos.enospc
+    + st.Resilience.Diskchaos.fsync_failures + st.Resilience.Diskchaos.crashes)
+
+let test_triage_kill_mid_append () =
+  with_store_temp (fun path ->
+      let rows = [ ("parse", "Failure", 2); ("synth", "Timeout", 1) ] in
+      (* Each row is one write + one fsync; crash_after 2 lets row 1 land
+         durably and kills the process inside row 2's write. *)
+      Resilience.Diskchaos.install
+        (Resilience.Diskchaos.make ~crash_after:2 ~seed:1 ());
+      (match Resilience.Triage.append ~path ~seed:5 rows with
+      | () -> Alcotest.fail "expected the injected crash"
+      | exception Resilience.Diskchaos.Crashed _ -> ());
+      Resilience.Diskchaos.uninstall ();
+      let survived = Resilience.Triage.load path in
+      check int_t "only the fsync'd prefix row survives" 1 (List.length survived);
+      (match survived with
+      | [ r ] ->
+          check bool_t "and it is the first row, intact" true
+            (r.Resilience.Triage.stage = "parse"
+            && r.Resilience.Triage.constructor = "Failure"
+            && r.Resilience.Triage.count = 2)
+      | _ -> ());
+      (* Re-running the seed repairs the history: load stays total over
+         the torn line and merges the re-run rows. *)
+      Resilience.Triage.append ~path ~seed:5 rows;
+      let merged = Resilience.Triage.load path in
+      check int_t "re-run restores both buckets" 2 (List.length merged);
+      check bool_t "torn line never surfaces as a row" true
+        (List.for_all
+           (fun r ->
+             r.Resilience.Triage.stage = "parse"
+             || r.Resilience.Triage.stage = "synth")
+           merged))
+
+let test_parse_admission_caps () =
+  let module A = Resilience.Admission in
+  let current = A.default_config in
+  let parse = Cosynth.Service.parse_admission_caps ~current in
+  (match parse "{\"max_in_flight\": 9, \"max_queue\": 3}" with
+  | Ok c ->
+      check int_t "in-flight applied" 9 c.A.max_in_flight;
+      check int_t "queue applied" 3 c.A.max_queue;
+      check int_t "missing keys keep current" current.A.max_per_client
+        c.A.max_per_client;
+      check int_t "missing deadline kept" current.A.max_deadline_ms
+        c.A.max_deadline_ms
+  | Error e -> Alcotest.failf "valid caps rejected: %s" e);
+  (match parse "{\"unknown\": 1}" with
+  | Ok c -> check bool_t "unknown keys ignored" true (c = current)
+  | Error e -> Alcotest.failf "unknown-keys file rejected: %s" e);
+  let rejects text = match parse text with Ok _ -> false | Error _ -> true in
+  check bool_t "truncated write rejected (all-or-nothing)" true
+    (rejects "{\"max_in_flight\": 2, \"max_qu");
+  check bool_t "empty file rejected" true (rejects "");
+  check bool_t "non-object rejected" true (rejects "[1, 2]");
+  check bool_t "non-integer value rejected" true
+    (rejects "{\"max_in_flight\": \"all\"}");
+  check bool_t "below-floor in-flight rejected" true
+    (rejects "{\"max_in_flight\": 0}");
+  check bool_t "negative queue rejected" true (rejects "{\"max_queue\": -1}");
+  check bool_t "one bad key poisons the whole file" true
+    (rejects "{\"max_queue\": 5, \"max_in_flight\": 0}")
+
+(* ------------------------------------------------------------------ *)
+(* Property: store reads are total under arbitrary corruption          *)
+(* ------------------------------------------------------------------ *)
+
+let store_corruption_gen =
+  let open QCheck2.Gen in
+  (* (record count, payload seed, mutation site, xor byte, truncate?) *)
+  tup5 (int_range 1 8) (int_range 0 9999) (int_range 0 1_000_000) (int_range 1 255)
+    bool
+
+let store_corruption_print (n, seed, site, x, truncate) =
+  Printf.sprintf "%d record(s) seed %d %s at site %d (xor %#x)" n seed
+    (if truncate then "truncated" else "flipped")
+    site x
+
+let prop_store_read_total_under_corruption =
+  QCheck2.Test.make
+    ~name:"store: reads are total under truncation and byte flips" ~count:250
+    ~print:store_corruption_print store_corruption_gen
+    (fun (n, seed, site, x, truncate) ->
+      let records =
+        List.init n (fun i ->
+            Netcore.Json.Obj
+              [
+                ("seed", Netcore.Json.Int seed);
+                ("i", Netcore.Json.Int i);
+                ("note", Netcore.Json.String (Printf.sprintf "r%d-%d" seed i));
+              ])
+      in
+      let intact = List.map Netcore.Json.to_string records in
+      let bytes =
+        String.concat ""
+          (List.map (fun j -> Resilience.Store.frame (Netcore.Json.to_string j)) records)
+      in
+      let mutated =
+        if truncate then String.sub bytes 0 (site mod (String.length bytes + 1))
+        else begin
+          let b = Bytes.of_string bytes in
+          let p = site mod Bytes.length b in
+          Bytes.set b p (Char.chr (Char.code (Bytes.get b p) lxor x));
+          Bytes.to_string b
+        end
+      in
+      let path = Filename.temp_file "cosynth_prop_" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let oc = open_out_bin path in
+          output_string oc mutated;
+          close_out oc;
+          let got, _ = Resilience.Store.read path in
+          let got = List.map Netcore.Json.to_string got in
+          let rec is_prefix a b =
+            match (a, b) with
+            | [], _ -> true
+            | x :: a', y :: b' when String.equal x y -> is_prefix a' b'
+            | _ -> false
+          in
+          (* Never a phantom record; a truncation yields exactly a clean
+             prefix, and a single flipped byte loses at most the lines it
+             touches (two, when the flip eats a newline). *)
+          List.for_all (fun g -> List.mem g intact) got
+          &&
+          if truncate then is_prefix got intact else List.length got >= n - 2))
+
+let prop_store_roundtrip_identity =
+  QCheck2.Test.make ~name:"store: fault-free frame/decode round trip" ~count:200
+    ~print:(fun (a, b) -> Printf.sprintf "(%d, %d)" a b)
+    QCheck2.Gen.(tup2 int int)
+    (fun (a, b) ->
+      let j =
+        Netcore.Json.Obj
+          [ ("a", Netcore.Json.Int a); ("b", Netcore.Json.Int b) ]
+      in
+      let line = Resilience.Store.frame (Netcore.Json.to_string j) in
+      match
+        Resilience.Store.decode_line (String.sub line 0 (String.length line - 1))
+      with
+      | `Ok j' -> j' = j
+      | _ -> false)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -581,6 +793,8 @@ let props =
       prop_no_transit_terminates_within_budget;
       prop_retry_backoff_bounds_extreme;
       prop_breaker_half_open_timing;
+      prop_store_read_total_under_corruption;
+      prop_store_roundtrip_identity;
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -1500,6 +1714,17 @@ let () =
         [
           Alcotest.test_case "failures bypass the table" `Quick
             test_memo_failures_bypass_table;
+        ] );
+      ( "durable",
+        [
+          Alcotest.test_case "CRC-32 check vector" `Quick test_crc32_vector;
+          Alcotest.test_case "fault-free round trip" `Quick test_store_roundtrip;
+          Alcotest.test_case "deterministic fault schedules" `Quick
+            test_diskchaos_deterministic;
+          Alcotest.test_case "triage kill mid-append" `Quick
+            test_triage_kill_mid_append;
+          Alcotest.test_case "admission caps all-or-nothing" `Quick
+            test_parse_admission_caps;
         ] );
       ("properties", props);
     ]
